@@ -1,0 +1,44 @@
+//! Substrate costs: the hash and MAC primitives under every token code and
+//! RADIUS packet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpcmfa_crypto::{hmac, md5, sha1, sha256, sha512};
+use std::hint::black_box;
+
+fn bench_digests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("md5", size), &data, |b, d| {
+            b.iter(|| md5::md5(black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| sha1::sha1(black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256::sha256(black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| {
+            b.iter(|| sha512::sha512(black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmac");
+    let key = b"a-twenty-byte-key!!!";
+    // The 8-byte counter message of HOTP.
+    let msg = 42u64.to_be_bytes();
+    group.bench_function("hmac_sha1_hotp_sized", |b| {
+        b.iter(|| hmac::hmac::<sha1::Sha1>(black_box(key), black_box(&msg)))
+    });
+    group.bench_function("hmac_sha256_hotp_sized", |b| {
+        b.iter(|| hmac::hmac::<sha256::Sha256>(black_box(key), black_box(&msg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_digests, bench_hmac);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! DESIGN.md ablation #1: exemption-list scan strategy at scale.
+//!
+//! "This mechanism allows for dynamic, powerful, and scalable
+//! configurations" (§3.4) — this bench quantifies the scalability: the
+//! linear first-match scan vs the per-user index, from 10 rules to 100k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcmfa_pam::access::{AccessConfig, AccessIndex};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn config_with(n: usize) -> AccessConfig {
+    let mut text = String::new();
+    for i in 0..n {
+        let _ = writeln!(
+            text,
+            "+ : user{i:06} : 10.{}.{}.0/24 : ALL",
+            (i / 250) % 250,
+            i % 250
+        );
+    }
+    // The internal-network catch-all sits last, like production.
+    text.push_str("+ : ALL : 129.114.0.0/16 : ALL\n");
+    AccessConfig::parse(&text).expect("valid config")
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exemption_acl");
+    let probe_ip: Ipv4Addr = "8.8.8.8".parse().unwrap();
+    let internal_ip: Ipv4Addr = "129.114.7.7".parse().unwrap();
+    for n in [10usize, 1_000, 10_000, 100_000] {
+        let cfg = config_with(n);
+        let index = AccessIndex::build(&cfg);
+        // Worst case for the linear scan: a user matching no explicit rule
+        // coming from outside (falls through everything).
+        group.bench_with_input(BenchmarkId::new("linear_miss", n), &n, |b, _| {
+            b.iter(|| cfg.decide(black_box("nobody"), probe_ip, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_miss", n), &n, |b, _| {
+            b.iter(|| index.decide(black_box("nobody"), probe_ip, 0))
+        });
+        // Internal traffic hits the trailing ALL rule.
+        group.bench_with_input(BenchmarkId::new("linear_internal", n), &n, |b, _| {
+            b.iter(|| cfg.decide(black_box("nobody"), internal_ip, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_internal", n), &n, |b, _| {
+            b.iter(|| index.decide(black_box("nobody"), internal_ip, 0))
+        });
+        // A user with an early explicit rule.
+        group.bench_with_input(BenchmarkId::new("linear_hit_first", n), &n, |b, _| {
+            b.iter(|| cfg.decide(black_box("user000000"), "10.0.0.5".parse().unwrap(), 0))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_hit_first", n), &n, |b, _| {
+            b.iter(|| index.decide(black_box("user000000"), "10.0.0.5".parse().unwrap(), 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exemption_parse");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let mut text = String::new();
+        for i in 0..n {
+            let _ = writeln!(text, "+ : user{i:06} : 10.0.0.0/8 : 2016-12-31");
+        }
+        group.bench_with_input(BenchmarkId::new("parse", n), &text, |b, t| {
+            b.iter(|| AccessConfig::parse(black_box(t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_parse);
+criterion_main!(benches);

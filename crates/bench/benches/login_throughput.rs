@@ -1,0 +1,74 @@
+//! §6 scale: "over half a million successful log ins". End-to-end login
+//! throughput through sshd → PAM → RADIUS → OTP server, with concurrent
+//! login storms across threads.
+//!
+//! Within one sample every user logs in exactly once and the shared clock
+//! is advanced a single TOTP step *between* samples — concurrent clock
+//! motion during a login would (correctly!) trip the drift window and
+//! replay protection, which is its own test, not a throughput question.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpcmfa_core::center::{Center, CenterConfig};
+use hpcmfa_pam::modules::token::EnforcementMode;
+use hpcmfa_ssh::client::{ClientProfile, TokenSource};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const LOGINS_PER_THREAD: usize = 64;
+
+fn storm_center(users: usize) -> (Arc<Center>, Vec<ClientProfile>) {
+    let c = Center::new(CenterConfig::default());
+    c.set_enforcement(EnforcementMode::Full);
+    let mut profiles = Vec::new();
+    for u in 0..users {
+        let name = format!("user{u}");
+        c.create_user(&name, &format!("{name}@x.edu"), &format!("{name}-pw"));
+        let device = c.pair_soft(&name);
+        let ip = Ipv4Addr::new(70, 1, (u / 250) as u8, (u % 250) as u8);
+        profiles.push(
+            ClientProfile::interactive_user(&name, ip, &format!("{name}-pw")).with_token(
+                TokenSource::device(move |now| Some(device.displayed_code(now))),
+            ),
+        );
+    }
+    (c, profiles)
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("login_throughput");
+    group.sample_size(10);
+
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * LOGINS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mfa_logins_threads", threads),
+            &threads,
+            |b, &nt| {
+                let (center, profiles) = storm_center(nt * LOGINS_PER_THREAD);
+                b.iter(|| {
+                    // Fresh TOTP step for every user, once per sample.
+                    center.clock.advance(30);
+                    crossbeam::thread::scope(|s| {
+                        for tid in 0..nt {
+                            let center = Arc::clone(&center);
+                            let profiles = &profiles;
+                            s.spawn(move |_| {
+                                for i in 0..LOGINS_PER_THREAD {
+                                    let p = &profiles[tid * LOGINS_PER_THREAD + i];
+                                    let node = i % center.nodes.len();
+                                    let r = center.ssh(node, p);
+                                    assert!(r.granted, "{:?}", r.prompts);
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

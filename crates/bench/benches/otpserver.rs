@@ -1,0 +1,102 @@
+//! OTP-server validation engine costs: single-user validation, lockout
+//! bookkeeping, SMS triggering, and multi-threaded validation scaling
+//! (DESIGN.md ablation #3: contention on the token store).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpcmfa_otp::device::SoftToken;
+use hpcmfa_otp::totp::TotpParams;
+use hpcmfa_otpserver::server::LinotpServer;
+use hpcmfa_otpserver::sms::{PhoneNumber, TwilioSim};
+use std::sync::Arc;
+
+const NOW: u64 = 1_475_000_000;
+
+fn bench_validate(c: &mut Criterion) {
+    let srv = LinotpServer::new(TwilioSim::new(1), 9);
+    let secret = srv.enroll_soft("alice", NOW);
+    let device = SoftToken::new(secret, TotpParams::default());
+
+    let mut t = NOW;
+    c.bench_function("otpserver_validate_success", |b| {
+        b.iter(|| {
+            t += 30; // fresh step every iteration: never a replay
+            let code = device.displayed_code(t);
+            assert!(srv.validate("alice", &code, t).is_success());
+        })
+    });
+    c.bench_function("otpserver_validate_wrong_code", |b| {
+        b.iter(|| {
+            let out = srv.validate("alice", "000000", NOW);
+            // Periodically reset so the account doesn't stay locked.
+            if out == hpcmfa_otpserver::ValidationOutcome::Locked {
+                srv.reset_failcount("alice", NOW);
+            }
+        })
+    });
+}
+
+fn bench_sms_trigger(c: &mut Criterion) {
+    let srv = LinotpServer::new(TwilioSim::new(2), 10);
+    srv.enroll_sms("bob", PhoneNumber::parse("5125551234").unwrap(), NOW);
+    let mut t = NOW;
+    c.bench_function("otpserver_sms_trigger", |b| {
+        b.iter(|| {
+            t += 400; // past validity so every trigger sends
+            srv.trigger_sms("bob", t)
+        })
+    });
+}
+
+fn bench_concurrent_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("otpserver_scaling");
+    group.sample_size(10);
+    const USERS: usize = 64;
+    const OPS_PER_THREAD: usize = 500;
+
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("validate_threads", threads),
+            &threads,
+            |b, &nt| {
+                let srv = LinotpServer::new(TwilioSim::new(3), 11);
+                let devices: Vec<SoftToken> = (0..USERS)
+                    .map(|u| {
+                        let secret = srv.enroll_soft(&format!("user{u}"), NOW);
+                        SoftToken::new(secret, TotpParams::default())
+                    })
+                    .collect();
+                let devices = Arc::new(devices);
+                b.iter(|| {
+                    crossbeam::thread::scope(|s| {
+                        for tid in 0..nt {
+                            let srv = Arc::clone(&srv);
+                            let devices = Arc::clone(&devices);
+                            s.spawn(move |_| {
+                                // Each thread owns a disjoint user slice so
+                                // successes don't fight over replay state.
+                                let per = USERS / nt;
+                                for i in 0..OPS_PER_THREAD {
+                                    let u = tid * per + (i % per);
+                                    let t = NOW + (i as u64 + 1) * 30;
+                                    let code = devices[u].displayed_code(t);
+                                    srv.validate(&format!("user{u}"), &code, t);
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_validate,
+    bench_sms_trigger,
+    bench_concurrent_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Figure 1 path costs: one bench per route through the PAM stack —
+//! exempt pubkey (gateway), password + token (interactive MFA), countdown
+//! acknowledgement, and denial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmfa_core::center::{Center, CenterConfig};
+use hpcmfa_pam::modules::token::EnforcementMode;
+use hpcmfa_ssh::client::{ClientProfile, TokenSource};
+use hpcmfa_core::Clock as _;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const EXTERNAL_IP: Ipv4Addr = Ipv4Addr::new(70, 1, 2, 3);
+
+fn center() -> Arc<Center> {
+    let c = Center::new(CenterConfig::default());
+    c.create_user("alice", "a@x.edu", "alice-pw");
+    c.create_user("gateway1", "g@x.edu", "gw-pw");
+    c.add_exemption_rule("+ : gateway1 : ALL : ALL").unwrap();
+    c
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pam_stack");
+    group.sample_size(50);
+
+    // Gateway: pubkey + exemption, fully non-interactive.
+    {
+        let center = center();
+        center.set_enforcement(EnforcementMode::Full);
+        let key = center.provision_key("gateway1");
+        let profile = ClientProfile::batch_client("gateway1", EXTERNAL_IP, key);
+        let clock = center.clock.clone();
+        group.bench_function("pubkey_exempt_gateway", |b| {
+            b.iter(|| {
+                // Advance time so auth-log entries age out of the pubkey
+                // module's scan window instead of accumulating.
+                clock.advance(30);
+                let r = center.ssh(0, &profile);
+                assert!(r.granted);
+            })
+        });
+    }
+
+    // Interactive password + token (the full MFA path). Each iteration
+    // advances the clock a step so codes are never replays.
+    {
+        let center = center();
+        center.set_enforcement(EnforcementMode::Full);
+        let device = center.pair_soft("alice");
+        let clock = center.clock.clone();
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| {
+                Some(device.displayed_code(now))
+            }));
+        group.bench_function("password_plus_token", |b| {
+            b.iter(|| {
+                clock.advance(30);
+                let r = center.ssh(0, &profile);
+                assert!(r.granted);
+            })
+        });
+    }
+
+    // Countdown acknowledgement (phase 2, unpaired user).
+    {
+        let center = center();
+        // Far-future deadline: the bench clock advances one step per
+        // iteration and must not cross it mid-run.
+        center.set_enforcement(EnforcementMode::Countdown {
+            deadline: hpcmfa_otp::date::Date::new(2050, 1, 1),
+            url: "https://portal/mfa".into(),
+        });
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw");
+        let clock = center.clock.clone();
+        group.bench_function("countdown_acknowledgement", |b| {
+            b.iter(|| {
+                clock.advance(30);
+                let r = center.ssh(0, &profile);
+                assert!(r.granted);
+            })
+        });
+    }
+
+    // Denial: wrong token code in full mode.
+    {
+        let center = center();
+        center.set_enforcement(EnforcementMode::Full);
+        center.pair_soft("alice");
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::Fixed("000000".into()));
+        let clock = center.clock.clone();
+        group.bench_function("token_denial", |b| {
+            b.iter(|| {
+                clock.advance(30);
+                // Denials trip the 20-failure lockout; keep the account
+                // active so every iteration exercises the same path.
+                center.linotp.reset_failcount("alice", clock.now());
+                let r = center.ssh(0, &profile);
+                assert!(!r.granted);
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

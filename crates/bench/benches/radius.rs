@@ -1,0 +1,103 @@
+//! RADIUS costs: codec, password hiding, full round trips, and the
+//! round-robin failover ablation (DESIGN.md #2) — latency (in attempts and
+//! work) as servers drop out of the pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcmfa_radius::attribute::{Attribute, AttributeType};
+use hpcmfa_radius::auth::{fixture_authenticator, hide_password};
+use hpcmfa_radius::client::{ClientConfig, RadiusClient};
+use hpcmfa_radius::packet::{Code, Packet};
+use hpcmfa_radius::server::{Handler, RadiusServer, ServerDecision};
+use hpcmfa_radius::transport::{FaultPlan, InMemoryTransport, Transport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SECRET: &[u8] = b"bench-secret";
+
+fn sample_packet() -> Packet {
+    let ra = fixture_authenticator("bench");
+    Packet::new(Code::AccessRequest, 1, ra)
+        .with_attribute(Attribute::text(AttributeType::UserName, "alice"))
+        .with_attribute(Attribute::new(
+            AttributeType::UserPassword,
+            hide_password(b"123456", &ra, SECRET),
+        ))
+        .with_attribute(Attribute::text(AttributeType::NasIdentifier, "login1"))
+        .with_attribute(Attribute::text(AttributeType::CallingStationId, "70.1.2.3"))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let packet = sample_packet();
+    let wire = packet.encode();
+    c.bench_function("radius_encode", |b| b.iter(|| black_box(&packet).encode()));
+    c.bench_function("radius_decode", |b| {
+        b.iter(|| Packet::decode(black_box(&wire)).unwrap())
+    });
+    let ra = fixture_authenticator("bench");
+    c.bench_function("radius_hide_password", |b| {
+        b.iter(|| hide_password(black_box(b"123456"), &ra, SECRET))
+    });
+}
+
+fn accept_all() -> Arc<dyn Handler> {
+    Arc::new(|_: &Packet, _: Option<&[u8]>| ServerDecision::Accept(vec![]))
+}
+
+fn pool(n: usize) -> (RadiusClient, Vec<Arc<FaultPlan>>) {
+    let mut transports: Vec<Arc<dyn Transport>> = Vec::new();
+    let mut plans = Vec::new();
+    for i in 0..n {
+        let server = Arc::new(RadiusServer::new(SECRET, accept_all()));
+        let plan = FaultPlan::healthy();
+        plans.push(Arc::clone(&plan));
+        transports.push(Arc::new(InMemoryTransport::new(
+            &format!("r{i}"),
+            server,
+            plan,
+        )));
+    }
+    (
+        RadiusClient::new(ClientConfig::new(SECRET, "login1"), transports),
+        plans,
+    )
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let (client, _) = pool(3);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("radius_round_trip_healthy", |b| {
+        b.iter(|| {
+            client
+                .authenticate(&mut rng, "alice", b"123456", "70.1.2.3")
+                .unwrap()
+        })
+    });
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radius_failover");
+    for down in [0usize, 1, 2] {
+        let (client, plans) = pool(3);
+        for p in plans.iter().take(down) {
+            p.set_down(true);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(
+            BenchmarkId::new("3_servers_down", down),
+            &down,
+            |b, _| {
+                b.iter(|| {
+                    client
+                        .authenticate(&mut rng, "alice", b"123456", "70.1.2.3")
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_round_trip, bench_failover);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Costs of the §6 growth features: GeoIP lookups at database scale and
+//! risk-engine assessment throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcmfa_pam::access::Cidr;
+use hpcmfa_risk::engine::{RiskEngine, RiskWeights};
+use hpcmfa_risk::geo::{CountryCode, GeoDb};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn synthetic_geodb(entries: usize) -> GeoDb {
+    let mut db = GeoDb::new();
+    let countries = ["US", "DE", "CN", "GB", "FR", "ES", "CH", "JP"];
+    for i in 0..entries {
+        let net = Cidr::parse(&format!("{}.{}.0.0/16", 1 + (i / 250) % 200, i % 250)).unwrap();
+        let cc = CountryCode::parse(countries[i % countries.len()]).unwrap();
+        db.add(net, cc);
+    }
+    db
+}
+
+fn bench_geo_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_lookup");
+    for n in [100usize, 10_000, 50_000] {
+        let db = synthetic_geodb(n);
+        let hit: Ipv4Addr = "1.7.3.4".parse().unwrap();
+        let miss: Ipv4Addr = "250.1.2.3".parse().unwrap();
+        group.bench_with_input(BenchmarkId::new("hit", n), &n, |b, _| {
+            b.iter(|| db.country_of(black_box(hit)))
+        });
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
+            b.iter(|| db.country_of(black_box(miss)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_risk_assess(c: &mut Criterion) {
+    let engine = RiskEngine::new(Arc::new(synthetic_geodb(1_000)), RiskWeights::default());
+    // Warm history for a habitual user.
+    let home: Ipv4Addr = "1.7.3.4".parse().unwrap();
+    engine.assess("habitual", home, 0);
+    let mut t = 0u64;
+    c.bench_function("risk_assess_habitual", |b| {
+        b.iter(|| {
+            t += 3600;
+            engine.assess(black_box("habitual"), home, t)
+        })
+    });
+    c.bench_function("risk_assess_fresh_users", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            engine.assess(&format!("user{i}"), home, i * 60)
+        })
+    });
+}
+
+criterion_group!(benches, bench_geo_lookup, bench_risk_assess);
+criterion_main!(benches);

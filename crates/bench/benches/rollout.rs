@@ -1,0 +1,33 @@
+//! Wall-clock cost of the figure-regeneration simulations themselves
+//! (Figures 3–6 / Table 1 all come from this one engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcmfa_otp::date::Date;
+use hpcmfa_workload::rollout::{RolloutParams, RolloutSim};
+
+fn bench_rollout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollout_sim");
+    group.sample_size(10);
+    for scale in [0.01f64, 0.02, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new("aug_only_scale", format!("{scale}")),
+            &scale,
+            |b, &s| {
+                b.iter(|| {
+                    RolloutSim::new(RolloutParams {
+                        population_scale: s,
+                        from: Date::new(2016, 8, 1),
+                        to: Date::new(2016, 8, 31),
+                        seed: 5,
+                        ..RolloutParams::default()
+                    })
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollout);
+criterion_main!(benches);

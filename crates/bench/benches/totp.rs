@@ -1,0 +1,45 @@
+//! Token-code costs, including the drift-window ablation (DESIGN.md #4):
+//! the ±300 s tolerance (§3.3) costs a 21-step scan per validation versus
+//! 1 step with no tolerance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcmfa_crypto::HashAlg;
+use hpcmfa_otp::hotp::hotp;
+use hpcmfa_otp::secret::Secret;
+use hpcmfa_otp::totp::Totp;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let secret = Secret::from_bytes(*b"12345678901234567890");
+    let totp = Totp::new(secret.clone());
+    c.bench_function("hotp_generate", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            hotp(black_box(&secret), black_box(counter), 6, HashAlg::Sha1)
+        })
+    });
+    c.bench_function("totp_generate", |b| {
+        b.iter(|| totp.code_at(black_box(1_475_000_000)))
+    });
+}
+
+fn bench_verify_windows(c: &mut Criterion) {
+    let totp = Totp::new(Secret::from_bytes(*b"12345678901234567890"));
+    let now = 1_475_000_000u64;
+    let good = totp.code_at(now);
+    let bad = "000000".to_string();
+    let mut group = c.benchmark_group("totp_verify_window");
+    for window in [0u64, 1, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("accept", window), &window, |b, &w| {
+            b.iter(|| totp.verify(black_box(&good), now, w))
+        });
+        group.bench_with_input(BenchmarkId::new("reject", window), &window, |b, &w| {
+            b.iter(|| totp.verify(black_box(&bad), now, w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_verify_windows);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Export the simulated rollout's full per-day table as CSV — the raw data
+//! behind Figures 3–6, for external plotting tools.
+//!
+//! ```text
+//! cargo run --release -p hpcmfa-bench --bin export_csv > rollout.csv
+//! ```
+
+use hpcmfa_bench::FigureArgs;
+use hpcmfa_otp::date::Date;
+use hpcmfa_workload::figures::to_csv;
+
+fn main() {
+    let mut args = FigureArgs::parse();
+    if args.to < Date::new(2017, 3, 31) {
+        args.to = Date::new(2017, 3, 31);
+    }
+    let out = args.run();
+    print!("{}", to_csv(&out));
+}

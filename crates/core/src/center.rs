@@ -1,0 +1,585 @@
+//! Center assembly.
+
+use hpcmfa_directory::identity::{IdentityDb, PairingMethod};
+use hpcmfa_directory::ldap::{Directory, Entry};
+use hpcmfa_otp::clock::{Clock, SimClock};
+use hpcmfa_otp::device::{HardTokenBatch, SoftToken};
+use hpcmfa_otpserver::admin::AdminApi;
+use hpcmfa_otpserver::handler::OtpRadiusHandler;
+use hpcmfa_otpserver::server::LinotpServer;
+use hpcmfa_otpserver::sms::{PhoneNumber, SmsProvider, TwilioSim};
+use hpcmfa_pam::access::{AccessConfig, Cidr, WatchedAccessConfig};
+use hpcmfa_pam::modules::exemption::ExemptionModule;
+use hpcmfa_pam::modules::password::{hash_password, UnixPasswordModule, PASSWORD_ATTR};
+use hpcmfa_pam::modules::pubkey::PubkeyCheckModule;
+use hpcmfa_pam::modules::token::{EnforcementMode, TokenModule};
+use hpcmfa_pam::stack::{ControlFlag, PamStack};
+use hpcmfa_radius::client::{ClientConfig, RadiusClient};
+use hpcmfa_radius::server::RadiusServer;
+use hpcmfa_radius::transport::{FaultPlan, InMemoryTransport, Transport};
+use hpcmfa_ssh::authlog::AuthLog;
+use hpcmfa_ssh::client::ClientProfile;
+use hpcmfa_ssh::daemon::{SessionReport, SshDaemon};
+use hpcmfa_ssh::keys::{KeyPair, PublicKey};
+use parking_lot::Mutex;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Deployment parameters.
+#[derive(Clone)]
+pub struct CenterConfig {
+    /// Shared secret between login nodes and the RADIUS fleet.
+    pub radius_secret: Vec<u8>,
+    /// Size of the RADIUS fleet ("a handful of servers", §3.2).
+    pub radius_servers: usize,
+    /// Login-node names.
+    pub login_nodes: Vec<String>,
+    /// The center's internal network, exempt by default so users can
+    /// "move back and forth freely within login and reserved compute
+    /// nodes" (§3.4).
+    pub internal_network: Cidr,
+    /// Initial token-module enforcement mode on all nodes.
+    pub enforcement: EnforcementMode,
+    /// Directory subtree for people entries.
+    pub people_base: String,
+    /// Simulation start time.
+    pub start_time: u64,
+    /// Master RNG seed for all deterministic components.
+    pub seed: u64,
+}
+
+impl Default for CenterConfig {
+    fn default() -> Self {
+        CenterConfig {
+            radius_secret: b"tacc-radius-secret".to_vec(),
+            radius_servers: 3,
+            login_nodes: vec!["login1".into(), "login2".into()],
+            internal_network: Cidr::parse("129.114.0.0/16").unwrap(),
+            enforcement: EnforcementMode::Paired,
+            people_base: "ou=people,dc=tacc".to_string(),
+            start_time: 1_470_787_200, // 2016-08-10, announcement day
+            seed: 2016,
+        }
+    }
+}
+
+/// One login node: sshd + its PAM stack and local state.
+pub struct LoginNode {
+    /// Node name (NAS identifier).
+    pub name: String,
+    /// The sshd instance.
+    pub daemon: SshDaemon,
+    /// This node's token module (mode switchable in production).
+    pub token_module: Arc<TokenModule>,
+    /// This node's exemption list (hot-reloadable).
+    pub exemptions: WatchedAccessConfig,
+    /// This node's RADIUS client (round-robin over the fleet).
+    pub radius_client: Arc<RadiusClient>,
+}
+
+/// The fully assembled center.
+pub struct Center {
+    /// Deployment parameters.
+    pub config: CenterConfig,
+    /// The shared virtual clock.
+    pub clock: SimClock,
+    /// LDAP directory.
+    pub directory: Directory,
+    /// Identity-management database.
+    pub identity: IdentityDb,
+    /// The OTP back end.
+    pub linotp: Arc<LinotpServer>,
+    /// The SMS provider.
+    pub twilio: Arc<TwilioSim>,
+    /// The admin REST interface.
+    pub admin: Arc<AdminApi>,
+    /// The user portal.
+    pub portal: Arc<hpcmfa_portal::portal::Portal>,
+    /// Fault planes for each RADIUS server, index-aligned with the fleet.
+    pub radius_faults: Vec<Arc<FaultPlan>>,
+    /// The RADIUS servers themselves (for stats).
+    pub radius_servers: Vec<Arc<RadiusServer>>,
+    /// Login nodes.
+    pub nodes: Vec<Arc<LoginNode>>,
+    /// Exemption file text lines added beyond the internal-network rule,
+    /// mirrored to every node.
+    exemption_lines: Mutex<Vec<String>>,
+}
+
+impl Center {
+    /// Stand up the center.
+    pub fn new(config: CenterConfig) -> Arc<Self> {
+        let clock = SimClock::at(config.start_time);
+        let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
+        let directory = Directory::new();
+        let identity = IdentityDb::new();
+        let twilio = TwilioSim::new(config.seed ^ 0x5115);
+        let linotp = LinotpServer::new(Arc::clone(&twilio) as Arc<dyn SmsProvider>, config.seed);
+        let admin = AdminApi::new(Arc::clone(&linotp), "LinOTP admin area", config.seed ^ 0xadd);
+        admin.add_admin("portal-svc", "portal-svc-password");
+        let portal = hpcmfa_portal::portal::Portal::new(
+            Arc::clone(&admin),
+            "portal-svc",
+            "portal-svc-password",
+            identity.clone(),
+            directory.clone(),
+            &config.people_base,
+            b"portal-url-signing-key",
+            Arc::clone(&clock_arc),
+        );
+
+        // RADIUS fleet.
+        let mut radius_faults = Vec::new();
+        let mut radius_servers = Vec::new();
+        let mut transports: Vec<Arc<dyn Transport>> = Vec::new();
+        for i in 0..config.radius_servers {
+            let handler = OtpRadiusHandler::new(Arc::clone(&linotp), Arc::clone(&clock_arc));
+            let server = Arc::new(RadiusServer::new(config.radius_secret.clone(), handler));
+            let faults = FaultPlan::healthy();
+            transports.push(Arc::new(InMemoryTransport::new(
+                &format!("radius{i}"),
+                Arc::clone(&server),
+                Arc::clone(&faults),
+            )));
+            radius_faults.push(faults);
+            radius_servers.push(server);
+        }
+
+        // Login nodes.
+        let internal_rule = format!(
+            "+ : ALL : {}/{} : ALL",
+            config.internal_network.addr, config.internal_network.prefix
+        );
+        let mut nodes = Vec::new();
+        for (i, name) in config.login_nodes.iter().enumerate() {
+            let authlog = AuthLog::new();
+            let exemptions = WatchedAccessConfig::new(
+                AccessConfig::parse(&internal_rule).expect("internal rule parses"),
+            );
+            let radius_client = Arc::new(RadiusClient::new(
+                ClientConfig::new(config.radius_secret.clone(), name),
+                transports.clone(),
+            ));
+            let token_module = TokenModule::new(
+                config.enforcement.clone(),
+                Arc::clone(&radius_client),
+                directory.clone(),
+                &config.people_base,
+                config.seed ^ (i as u64),
+            );
+            let mut stack = PamStack::new();
+            stack.push(
+                ControlFlag::SuccessSkip(1),
+                PubkeyCheckModule::new(Arc::new(authlog.clone())),
+            );
+            stack.push(
+                ControlFlag::Requisite,
+                UnixPasswordModule::new(directory.clone(), &config.people_base),
+            );
+            stack.push(
+                ControlFlag::Sufficient,
+                ExemptionModule::new(exemptions.clone()),
+            );
+            stack.push(ControlFlag::Required, Arc::clone(&token_module) as _);
+            let daemon = SshDaemon::new(
+                name,
+                Arc::new(stack),
+                authlog,
+                Arc::clone(&clock_arc),
+            );
+            nodes.push(Arc::new(LoginNode {
+                name: name.clone(),
+                daemon,
+                token_module,
+                exemptions,
+                radius_client,
+            }));
+        }
+
+        Arc::new(Center {
+            config,
+            clock,
+            directory,
+            identity,
+            linotp,
+            twilio,
+            admin,
+            portal,
+            radius_faults,
+            radius_servers,
+            nodes,
+            exemption_lines: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A center with default parameters.
+    pub fn default_center() -> Arc<Self> {
+        Self::new(CenterConfig::default())
+    }
+
+    // ------------------------------------------------------------------
+    // Account management
+    // ------------------------------------------------------------------
+
+    /// Create an account end to end: identity record, LDAP entry with
+    /// password hash, uid number shared between both (§3.1).
+    pub fn create_user(&self, username: &str, email: &str, password: &str) {
+        let rec = self
+            .identity
+            .create_account(username, email)
+            .expect("unique username");
+        let dn = format!("uid={username},{}", self.config.people_base);
+        self.directory
+            .add(
+                Entry::new(dn)
+                    .with_attr("uid", username)
+                    .with_attr(
+                        hpcmfa_directory::UID_NUMBER_ATTR,
+                        &rec.uid_number.to_string(),
+                    )
+                    .with_attr("mail", email)
+                    .with_attr(PASSWORD_ATTR, &hash_password(password, username)),
+            )
+            .expect("unique dn");
+    }
+
+    /// Install a public key for `user` on every login node.
+    pub fn authorize_key_everywhere(&self, user: &str, key: &PublicKey) {
+        for node in &self.nodes {
+            node.daemon.authorize_key(user, key);
+        }
+    }
+
+    /// Generate and install a keypair for `user` on all nodes.
+    pub fn provision_key(&self, user: &str) -> KeyPair {
+        let key = KeyPair::generate(&format!("{user}@client"));
+        self.authorize_key_everywhere(user, key.public());
+        key
+    }
+
+    // ------------------------------------------------------------------
+    // Pairing conveniences (drive the real portal flows)
+    // ------------------------------------------------------------------
+
+    /// Pair a soft token through the portal and return the working device.
+    pub fn pair_soft(&self, user: &str) -> SoftToken {
+        let qr = self.portal.begin_soft_pairing(user).expect("begin soft");
+        let device = SoftToken::from_uri(qr.payload()).expect("scannable QR");
+        let code = device.displayed_code(self.clock.now());
+        self.portal
+            .confirm_pairing(user, &code)
+            .expect("confirm soft");
+        // The confirmation consumed the current time step; step past it so
+        // an immediately following login isn't a replay.
+        self.clock.advance(30);
+        device
+    }
+
+    /// Pair an SMS token through the portal; the confirmation code is read
+    /// off the simulated phone after carrier delivery. A message that takes
+    /// the slow carrier-retry path arrives after the code expired — the
+    /// user waits out the validity window and restarts the pairing, as a
+    /// real user would.
+    pub fn pair_sms(&self, user: &str, phone: &str) -> PhoneNumber {
+        let parsed = PhoneNumber::parse(phone).expect("valid phone");
+        for _attempt in 0..8 {
+            self.portal
+                .begin_sms_pairing(user, phone)
+                .expect("begin sms");
+            let sent_at = self.clock.now();
+            // Wait out carrier latency (fast path is ≤ 9 s).
+            self.clock.advance(10);
+            let inbox = self.twilio.inbox(&parsed, self.clock.now());
+            let fresh = inbox.iter().rev().find(|m| m.sent_at >= sent_at);
+            if let Some(msg) = fresh {
+                let code = msg.body.rsplit(' ').next().unwrap().to_string();
+                self.portal
+                    .confirm_pairing(user, &code)
+                    .expect("confirm sms");
+                self.clock.advance(30);
+                return parsed;
+            }
+            // Delayed delivery: let the pending code expire, then retry
+            // from the top (the suppression window blocks earlier resends).
+            self.clock
+                .advance(hpcmfa_otpserver::SMS_CODE_VALIDITY_SECS + 1);
+        }
+        panic!("carrier failed to deliver a pairing SMS in 8 attempts");
+    }
+
+    /// Import a hard-token batch and pair one fob to `user` by serial.
+    pub fn pair_hard(&self, user: &str, batch: &HardTokenBatch, serial: &str) {
+        self.portal.import_hard_token_batch(batch.seed_file());
+        self.portal
+            .begin_hard_pairing(user, serial)
+            .expect("begin hard");
+        let fob = batch.by_serial(serial).expect("serial in batch");
+        let code = fob.press_button(self.clock.now()).expect("battery ok");
+        self.portal
+            .confirm_pairing(user, &code)
+            .expect("confirm hard");
+        self.clock.advance(30);
+    }
+
+    /// Enroll a training account with a static code (§3.3). Also records
+    /// the pairing in the identity back end and LDAP.
+    pub fn enroll_training_account(&self, user: &str) -> String {
+        let code = self.linotp.enroll_static(user, self.clock.now());
+        let _ = self
+            .identity
+            .set_pairing(user, PairingMethod::Training, self.clock.now());
+        let dn = format!("uid={user},{}", self.config.people_base);
+        let _ = self.directory.modify(&dn, |e| {
+            e.set_attr(
+                hpcmfa_directory::MFA_PAIRING_ATTR,
+                vec!["training".to_string()],
+            );
+        });
+        code
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    /// Switch the enforcement mode on every node (the phase transitions of
+    /// §5).
+    pub fn set_enforcement(&self, mode: EnforcementMode) {
+        for node in &self.nodes {
+            node.token_module.set_mode(mode.clone());
+        }
+    }
+
+    /// Append an exemption rule (one config line) and reload every node's
+    /// list — "changes take effect immediately upon write to disk" (§3.4).
+    pub fn add_exemption_rule(&self, line: &str) -> Result<(), hpcmfa_pam::access::AccessParseError> {
+        let mut lines = self.exemption_lines.lock();
+        let internal_rule = format!(
+            "+ : ALL : {}/{} : ALL",
+            self.config.internal_network.addr, self.config.internal_network.prefix
+        );
+        let mut text = String::new();
+        for l in lines.iter() {
+            text.push_str(l);
+            text.push('\n');
+        }
+        text.push_str(line);
+        text.push('\n');
+        text.push_str(&internal_rule);
+        text.push('\n');
+        let parsed = AccessConfig::parse(&text)?;
+        for node in &self.nodes {
+            node.exemptions.reload(parsed.clone());
+        }
+        lines.push(line.to_string());
+        Ok(())
+    }
+
+    /// SSH into node `node_idx` with `profile`.
+    pub fn ssh(&self, node_idx: usize, profile: &ClientProfile) -> SessionReport {
+        self.nodes[node_idx].daemon.connect(profile)
+    }
+
+    /// An address inside the internal network (for intra-center traffic).
+    pub fn internal_ip(&self, host: u8) -> Ipv4Addr {
+        let base = u32::from(self.config.internal_network.addr);
+        Ipv4Addr::from(base | ((40u32 << 8) | host as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmfa_ssh::client::TokenSource;
+
+    const EXTERNAL_IP: Ipv4Addr = Ipv4Addr::new(70, 112, 50, 3);
+
+    fn center() -> Arc<Center> {
+        let c = Center::default_center();
+        c.create_user("alice", "alice@utexas.edu", "alice-pw");
+        c.create_user("gateway1", "gw@portal.org", "gw-pw");
+        c
+    }
+
+    #[test]
+    fn unpaired_user_passes_in_paired_mode() {
+        let c = center();
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw");
+        let report = c.ssh(0, &profile);
+        assert!(report.granted);
+        assert!(!report.mfa_prompted);
+    }
+
+    #[test]
+    fn paired_user_is_challenged_and_succeeds() {
+        let c = center();
+        let device = c.pair_soft("alice");
+        let clock = c.clock.clone();
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| {
+                let _ = &clock;
+                Some(device.displayed_code(now))
+            }));
+        let report = c.ssh(0, &profile);
+        assert!(report.granted, "prompts: {:?}", report.prompts);
+        assert!(report.mfa_prompted);
+    }
+
+    #[test]
+    fn full_mode_locks_out_unpaired() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw");
+        let report = c.ssh(0, &profile);
+        assert!(!report.granted);
+        assert!(report.mfa_prompted);
+    }
+
+    #[test]
+    fn internal_traffic_is_exempt() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let profile =
+            ClientProfile::interactive_user("alice", c.internal_ip(7), "alice-pw");
+        let report = c.ssh(0, &profile);
+        assert!(report.granted);
+        assert!(!report.mfa_prompted);
+    }
+
+    #[test]
+    fn gateway_exemption_with_pubkey_runs_noninteractive() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        c.add_exemption_rule("+ : gateway1 : ALL : ALL").unwrap();
+        let key = c.provision_key("gateway1");
+        let profile = ClientProfile::batch_client("gateway1", EXTERNAL_IP, key);
+        let report = c.ssh(0, &profile);
+        assert!(report.granted);
+        assert!(report.used_pubkey);
+        assert!(report.prompts.is_empty(), "fully non-interactive");
+    }
+
+    #[test]
+    fn batch_client_without_exemption_fails_in_full_mode() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let key = c.provision_key("alice");
+        let profile = ClientProfile::batch_client("alice", EXTERNAL_IP, key);
+        let report = c.ssh(0, &profile);
+        assert!(!report.granted);
+    }
+
+    #[test]
+    fn temporary_variance_expires_mid_simulation() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        c.add_exemption_rule("+ : alice : ALL : 2016-08-20").unwrap();
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw");
+        assert!(c.ssh(0, &profile).granted);
+        // Advance past the variance (start is 2016-08-10).
+        c.clock.advance(12 * 86_400);
+        assert!(!c.ssh(0, &profile).granted);
+    }
+
+    #[test]
+    fn sms_pairing_and_login() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let phone = c.pair_sms("alice", "5125551234");
+        let twilio = Arc::clone(&c.twilio);
+        let clock = c.clock.clone();
+        // The login-time token source reads the most recent SMS; carrier
+        // latency means we read slightly in the future of "now".
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| {
+                clock.advance(10); // user waits for the text
+                let _ = now;
+                twilio
+                    .inbox(&phone, clock.now())
+                    .last()
+                    .map(|m| m.body.rsplit(' ').next().unwrap().to_string())
+            }));
+        let report = c.ssh(0, &profile);
+        assert!(report.granted, "prompts: {:?}", report.prompts);
+        assert!(report.prompts.iter().any(|p| p.contains("SMS")));
+    }
+
+    #[test]
+    fn hard_token_pairing_and_login() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use rand::SeedableRng;
+        let batch = HardTokenBatch::manufacture("TACC", 5, &mut rng);
+        c.pair_hard("alice", &batch, "TACC-0003");
+        let fob = batch.by_serial("TACC-0003").unwrap().clone();
+        c.clock.advance(30);
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| fob.press_button(now)));
+        assert!(c.ssh(0, &profile).granted);
+    }
+
+    #[test]
+    fn training_account_static_code() {
+        let c = center();
+        c.create_user("train01", "train@tacc", "train-pw");
+        c.set_enforcement(EnforcementMode::Full);
+        let code = c.enroll_training_account("train01");
+        let profile = ClientProfile::interactive_user("train01", EXTERNAL_IP, "train-pw")
+            .with_token(TokenSource::Fixed(code.clone()));
+        // Reusable: several participants log in with the same code.
+        for _ in 0..3 {
+            assert!(c.ssh(0, &profile).granted);
+            c.clock.advance(60);
+        }
+    }
+
+    #[test]
+    fn radius_outage_failover_keeps_logins_working() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let device = c.pair_soft("alice");
+        // Take down 2 of 3 RADIUS servers.
+        c.radius_faults[0].set_down(true);
+        c.radius_faults[1].set_down(true);
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| {
+                Some(device.displayed_code(now))
+            }));
+        assert!(c.ssh(0, &profile).granted);
+        // Total outage fails secure.
+        c.radius_faults[2].set_down(true);
+        c.clock.advance(30);
+        assert!(!c.ssh(1, &profile).granted);
+    }
+
+    #[test]
+    fn both_nodes_share_backend_state() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let device = c.pair_soft("alice");
+        let d2 = device.clone();
+        let p1 = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| {
+                Some(device.displayed_code(now))
+            }));
+        assert!(c.ssh(0, &p1).granted);
+        c.clock.advance(30);
+        let p2 = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| Some(d2.displayed_code(now))));
+        assert!(c.ssh(1, &p2).granted);
+    }
+
+    #[test]
+    fn replayed_token_code_rejected_across_nodes() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let device = c.pair_soft("alice");
+        let code = device.displayed_code(c.clock.now());
+        let p = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::Fixed(code.clone()));
+        assert!(c.ssh(0, &p).granted);
+        // Same code immediately on the other node: replay, denied.
+        assert!(!c.ssh(1, &p).granted);
+    }
+}

@@ -1,0 +1,159 @@
+//! Base32 encoding (RFC 4648 §6), the interchange format for OTP secret keys.
+//!
+//! Soft-token apps in the Google Authenticator lineage — including the
+//! in-house application described in the paper — import secrets from
+//! `otpauth://` URIs whose `secret` parameter is unpadded base32.
+
+/// The RFC 4648 base32 alphabet.
+const ALPHABET: &[u8; 32] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base32Error {
+    /// A character outside the RFC 4648 alphabet (after case folding).
+    InvalidChar(char),
+    /// Padding appears somewhere other than the end, or the input length is
+    /// not a valid base32 quantum.
+    InvalidLength,
+}
+
+impl std::fmt::Display for Base32Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base32Error::InvalidChar(c) => write!(f, "invalid base32 character {c:?}"),
+            Base32Error::InvalidLength => write!(f, "invalid base32 length"),
+        }
+    }
+}
+
+impl std::error::Error for Base32Error {}
+
+/// Encode `data` as unpadded base32 (the otpauth convention).
+pub fn encode(data: &[u8]) -> String {
+    encode_inner(data, false)
+}
+
+/// Encode `data` as padded base32 (`=` to a multiple of 8 chars).
+pub fn encode_padded(data: &[u8]) -> String {
+    encode_inner(data, true)
+}
+
+fn encode_inner(data: &[u8], pad: bool) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    for chunk in data.chunks(5) {
+        let mut buf = [0u8; 5];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        let bits = u64::from_be_bytes([0, 0, 0, buf[0], buf[1], buf[2], buf[3], buf[4]]);
+        // Number of 5-bit symbols carrying real data for this chunk length.
+        let n_sym = match chunk.len() {
+            1 => 2,
+            2 => 4,
+            3 => 5,
+            4 => 7,
+            _ => 8,
+        };
+        for i in 0..n_sym {
+            let idx = ((bits >> (35 - 5 * i)) & 0x1f) as usize;
+            out.push(ALPHABET[idx] as char);
+        }
+        if pad {
+            for _ in n_sym..8 {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+/// Decode base32, accepting lower case and optional trailing padding.
+pub fn decode(s: &str) -> Result<Vec<u8>, Base32Error> {
+    let trimmed = s.trim_end_matches('=');
+    if s.len() != trimmed.len() && !s.len().is_multiple_of(8) {
+        return Err(Base32Error::InvalidLength);
+    }
+    // Reject quanta that can never occur: 1, 3, or 6 symbols mod 8.
+    match trimmed.len() % 8 {
+        1 | 3 | 6 => return Err(Base32Error::InvalidLength),
+        _ => {}
+    }
+    let mut out = Vec::with_capacity(trimmed.len() * 5 / 8);
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for ch in trimmed.chars() {
+        let v = match ch.to_ascii_uppercase() {
+            c @ 'A'..='Z' => c as u8 - b'A',
+            c @ '2'..='7' => c as u8 - b'2' + 26,
+            other => return Err(Base32Error::InvalidChar(other)),
+        };
+        acc = (acc << 5) | v as u64;
+        acc_bits += 5;
+        if acc_bits >= 8 {
+            acc_bits -= 8;
+            out.push((acc >> acc_bits) as u8);
+        }
+    }
+    // Leftover bits must be zero padding from the encoder.
+    if acc_bits > 0 && (acc & ((1 << acc_bits) - 1)) != 0 {
+        return Err(Base32Error::InvalidLength);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors_padded() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "MY======"),
+            (b"fo", "MZXQ===="),
+            (b"foo", "MZXW6==="),
+            (b"foob", "MZXW6YQ="),
+            (b"fooba", "MZXW6YTB"),
+            (b"foobar", "MZXW6YTBOI======"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode_padded(raw), *enc);
+            assert_eq!(decode(enc).unwrap(), raw.to_vec());
+        }
+    }
+
+    #[test]
+    fn unpadded_round_trip() {
+        for n in 0..40usize {
+            let data: Vec<u8> = (0..n as u8).map(|i| i.wrapping_mul(37)).collect();
+            let enc = encode(&data);
+            assert!(!enc.contains('='));
+            assert_eq!(decode(&enc).unwrap(), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lower_case_accepted() {
+        assert_eq!(decode("mzxw6ytb").unwrap(), b"fooba".to_vec());
+    }
+
+    #[test]
+    fn invalid_characters_rejected() {
+        assert_eq!(decode("MZ1W6YTB"), Err(Base32Error::InvalidChar('1')));
+        assert_eq!(decode("MZ W6YTB"), Err(Base32Error::InvalidChar(' ')));
+        assert_eq!(decode("MZ8W6YTB"), Err(Base32Error::InvalidChar('8')));
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert_eq!(decode("A"), Err(Base32Error::InvalidLength));
+        assert_eq!(decode("ABC"), Err(Base32Error::InvalidLength));
+        assert_eq!(decode("ABCDEF"), Err(Base32Error::InvalidLength));
+    }
+
+    #[test]
+    fn nonzero_trailing_bits_rejected() {
+        // "MY" (= "f") has zero leftover bits; "MZ" leaves a nonzero remainder.
+        assert_eq!(decode("MY").unwrap(), b"f".to_vec());
+        assert_eq!(decode("MZ"), Err(Base32Error::InvalidLength));
+    }
+}

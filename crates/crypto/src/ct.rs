@@ -1,0 +1,65 @@
+//! Constant-time comparison.
+//!
+//! Token codes, RADIUS response authenticators, and digest-auth responses are
+//! all attacker-supplied values compared against server-side secrets; a
+//! short-circuiting `==` would leak the match length through timing. The
+//! paper's back end (LinOTP) performs the equivalent comparison server-side.
+
+/// Compare two byte slices in time dependent only on their lengths.
+///
+/// Returns `false` immediately for mismatched lengths — the length of a
+/// token code or MAC is public information.
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff: u8 = 0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // A data-independent reduction of the accumulated difference.
+    diff == 0
+}
+
+/// Constant-time string equality (byte-wise; no Unicode normalization —
+/// token codes and hex digests are ASCII).
+#[inline]
+pub fn ct_eq_str(a: &str, b: &str) -> bool {
+    ct_eq(a.as_bytes(), b.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"123456", b"123456"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"123456", b"123457"));
+        assert!(!ct_eq(b"123456", b"023456"));
+        assert!(!ct_eq(b"123456", b"12345"));
+        assert!(!ct_eq(b"", b"x"));
+    }
+
+    #[test]
+    fn differs_in_every_position() {
+        let a = b"abcdef";
+        for i in 0..a.len() {
+            let mut b = *a;
+            b[i] ^= 0xff;
+            assert!(!ct_eq(a, &b), "position {i}");
+        }
+    }
+
+    #[test]
+    fn string_wrapper() {
+        assert!(ct_eq_str("000000", "000000"));
+        assert!(!ct_eq_str("000000", "000001"));
+    }
+}

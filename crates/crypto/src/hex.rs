@@ -1,0 +1,76 @@
+//! Hexadecimal encoding helpers. HTTP Digest authentication exchanges all of
+//! its hashes as lower-case hex, and audit logs render secrets' fingerprints
+//! the same way.
+
+/// Errors from [`from_hex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// Character not in `[0-9a-fA-F]`.
+    InvalidChar(char),
+    /// Odd number of hex digits.
+    OddLength,
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::InvalidChar(c) => write!(f, "invalid hex character {c:?}"),
+            HexError::OddLength => write!(f, "odd-length hex string"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Encode bytes as lower-case hex.
+pub fn to_hex(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decode hex (either case) into bytes.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, HexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let mut chars = s.chars();
+    while let (Some(hi), Some(lo)) = (chars.next(), chars.next()) {
+        let h = hi.to_digit(16).ok_or(HexError::InvalidChar(hi))?;
+        let l = lo.to_digit(16).ok_or(HexError::InvalidChar(lo))?;
+        out.push(((h << 4) | l) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn upper_case_accepted() {
+        assert_eq!(from_hex("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(from_hex("abc"), Err(HexError::OddLength));
+        assert_eq!(from_hex("zz"), Err(HexError::InvalidChar('z')));
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

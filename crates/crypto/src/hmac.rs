@@ -1,0 +1,166 @@
+//! HMAC keyed-hash message authentication code (RFC 2104 / FIPS 198-1),
+//! generic over any [`Digest`].
+
+use crate::Digest;
+
+/// Incremental HMAC computation.
+///
+/// ```
+/// use hpcmfa_crypto::{hmac::Hmac, sha1::Sha1};
+/// let mut mac = Hmac::<Sha1>::new(b"key");
+/// mac.update(b"The quick brown fox ");
+/// mac.update(b"jumps over the lazy dog");
+/// assert_eq!(
+///     hpcmfa_crypto::hex::to_hex(&mac.finalize()),
+///     "de7c9b85b8b78aa6bc8a7a36f70a90701c9db4d9"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    /// Key XOR opad, retained for the outer pass.
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Start an HMAC computation with `key`. Keys longer than the digest
+    /// block size are hashed first, as required by RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = if key.len() > D::BLOCK_LEN {
+            D::digest(key)
+        } else {
+            key.to_vec()
+        };
+        k.resize(D::BLOCK_LEN, 0);
+
+        let ipad_key: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+        let opad_key: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+
+        let mut inner = D::default();
+        inner.update(&ipad_key);
+        Hmac { inner, opad_key }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and return the MAC.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize_vec();
+        let mut outer = D::default();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize_vec()
+    }
+}
+
+/// One-shot `HMAC_D(key, msg)`.
+pub fn hmac<D: Digest>(key: &[u8], msg: &[u8]) -> Vec<u8> {
+    let mut mac = Hmac::<D>::new(key);
+    mac.update(msg);
+    mac.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+    use crate::{md5::Md5, sha1::Sha1, sha256::Sha256, sha512::Sha512};
+
+    // RFC 2202 HMAC-MD5 and HMAC-SHA1 test cases; RFC 4231 for SHA-2.
+    #[test]
+    fn rfc2202_md5_case1() {
+        let key = [0x0bu8; 16];
+        assert_eq!(
+            to_hex(&hmac::<Md5>(&key, b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
+    }
+
+    #[test]
+    fn rfc2202_md5_case2() {
+        assert_eq!(
+            to_hex(&hmac::<Md5>(b"Jefe", b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            to_hex(&hmac::<Sha1>(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case2() {
+        assert_eq!(
+            to_hex(&hmac::<Sha1>(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case3_long_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            to_hex(&hmac::<Sha1>(&key, &data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case6_oversized_key() {
+        // 80-byte key exceeds the 64-byte block: must be hashed first.
+        let key = [0xaau8; 80];
+        assert_eq!(
+            to_hex(&hmac::<Sha1>(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case1_sha256_sha512() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            to_hex(&hmac::<Sha256>(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            to_hex(&hmac::<Sha512>(&key, b"Hi There")),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_jefe_sha256() {
+        assert_eq!(
+            to_hex(&hmac::<Sha256>(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = b"some-key-material";
+        let msg: Vec<u8> = (0..300u16).map(|i| (i & 0xff) as u8).collect();
+        let mut mac = Hmac::<Sha256>::new(key);
+        for c in msg.chunks(17) {
+            mac.update(c);
+        }
+        assert_eq!(mac.finalize(), hmac::<Sha256>(key, &msg));
+    }
+
+    #[test]
+    fn empty_key_and_message() {
+        // Degenerate inputs must not panic and must be deterministic.
+        assert_eq!(hmac::<Sha1>(b"", b""), hmac::<Sha1>(b"", b""));
+        assert_eq!(hmac::<Sha1>(b"", b"").len(), 20);
+    }
+}

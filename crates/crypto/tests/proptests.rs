@@ -1,0 +1,79 @@
+//! Property-based tests for the crypto substrate.
+
+use hpcmfa_crypto::{base32, base64, ct, hex, hmac, md5, sha1, sha256, sha512, Digest};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn base32_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let enc = base32::encode(&data);
+        prop_assert_eq!(base32::decode(&enc).unwrap(), data.clone());
+        let padded = base32::encode_padded(&data);
+        prop_assert_eq!(base32::decode(&padded).unwrap(), data);
+        if !padded.is_empty() {
+            prop_assert_eq!(padded.len() % 8, 0);
+        }
+    }
+
+    #[test]
+    fn base64_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data.clone());
+        prop_assert_eq!(base64::decode_url(&base64::encode_url(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex::from_hex(&hex::to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                            b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct::ct_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn digests_are_deterministic_and_split_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        macro_rules! check {
+            ($t:ty) => {{
+                let mut h = <$t>::default();
+                h.update(&data[..split]);
+                h.update(&data[split..]);
+                prop_assert_eq!(h.finalize_vec(), <$t>::digest(&data));
+            }};
+        }
+        check!(md5::Md5);
+        check!(sha1::Sha1);
+        check!(sha256::Sha256);
+        check!(sha512::Sha512);
+    }
+
+    #[test]
+    fn hmac_key_sensitivity(
+        key in proptest::collection::vec(any::<u8>(), 1..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        flip in 0usize..80,
+    ) {
+        let mac1 = hmac::hmac::<sha1::Sha1>(&key, &msg);
+        let mut key2 = key.clone();
+        let i = flip % key2.len();
+        key2[i] ^= 0x01;
+        let mac2 = hmac::hmac::<sha1::Sha1>(&key2, &msg);
+        prop_assert_ne!(mac1, mac2);
+    }
+
+    #[test]
+    fn base32_decode_never_panics(s in "\\PC{0,64}") {
+        let _ = base32::decode(&s);
+    }
+
+    #[test]
+    fn base64_decode_never_panics(s in "\\PC{0,64}") {
+        let _ = base64::decode(&s);
+        let _ = base64::decode_url(&s);
+    }
+}

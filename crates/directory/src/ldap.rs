@@ -1,0 +1,497 @@
+//! A small LDAP-like directory: DN-addressed entries, multi-valued
+//! attributes, and an RFC 4515-flavoured filter language.
+//!
+//! Only the slice of LDAP semantics the MFA infrastructure exercises is
+//! implemented: exact-match, presence, prefix/suffix substring filters, and
+//! boolean composition. Attribute names compare case-insensitively, values
+//! case-sensitively (like `caseExactMatch` syntaxes; token pairing labels
+//! are lower case by convention).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A directory entry: a DN plus multi-valued attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Distinguished name, e.g. `uid=alice,ou=people,dc=tacc`.
+    pub dn: String,
+    attrs: BTreeMap<String, Vec<String>>,
+}
+
+impl Entry {
+    /// Create an entry with no attributes.
+    pub fn new(dn: impl Into<String>) -> Self {
+        Entry {
+            dn: dn.into(),
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style attribute addition.
+    pub fn with_attr(mut self, name: &str, value: &str) -> Self {
+        self.add_attr(name, value);
+        self
+    }
+
+    /// Add one value to an attribute.
+    pub fn add_attr(&mut self, name: &str, value: &str) {
+        self.attrs
+            .entry(name.to_ascii_lowercase())
+            .or_default()
+            .push(value.to_string());
+    }
+
+    /// Replace all values of an attribute.
+    pub fn set_attr(&mut self, name: &str, values: Vec<String>) {
+        self.attrs.insert(name.to_ascii_lowercase(), values);
+    }
+
+    /// Remove an attribute entirely. Returns whether it existed.
+    pub fn remove_attr(&mut self, name: &str) -> bool {
+        self.attrs.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// All values of `name`, empty if absent.
+    pub fn get(&self, name: &str) -> &[String] {
+        self.attrs
+            .get(&name.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// First value of `name`, if any.
+    pub fn get_one(&self, name: &str) -> Option<&str> {
+        self.get(name).first().map(String::as_str)
+    }
+
+    /// Whether the attribute exists with at least one value.
+    pub fn has_attr(&self, name: &str) -> bool {
+        !self.get(name).is_empty()
+    }
+}
+
+/// An LDAP search filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// `(attr=value)`
+    Eq(String, String),
+    /// `(attr=*)`
+    Present(String),
+    /// `(attr=prefix*)`
+    Prefix(String, String),
+    /// `(attr=*suffix)`
+    Suffix(String, String),
+    /// `(&(f1)(f2)...)`
+    And(Vec<Filter>),
+    /// `(|(f1)(f2)...)`
+    Or(Vec<Filter>),
+    /// `(!(f))`
+    Not(Box<Filter>),
+}
+
+/// Errors from [`Filter::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterParseError {
+    /// Offset in the input where parsing failed.
+    pub at: usize,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "filter parse error at {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for FilterParseError {}
+
+impl Filter {
+    /// Convenience equality filter.
+    pub fn eq(attr: &str, value: &str) -> Self {
+        Filter::Eq(attr.to_string(), value.to_string())
+    }
+
+    /// Parse an RFC 4515-style string like `(&(uid=alice)(mfaPairing=*))`.
+    pub fn parse(s: &str) -> Result<Self, FilterParseError> {
+        let bytes = s.as_bytes();
+        let (f, consumed) = Self::parse_at(bytes, 0)?;
+        if consumed != bytes.len() {
+            return Err(FilterParseError {
+                at: consumed,
+                reason: "trailing input after filter",
+            });
+        }
+        Ok(f)
+    }
+
+    fn parse_at(b: &[u8], pos: usize) -> Result<(Filter, usize), FilterParseError> {
+        if b.get(pos) != Some(&b'(') {
+            return Err(FilterParseError {
+                at: pos,
+                reason: "expected '('",
+            });
+        }
+        let inner = pos + 1;
+        match b.get(inner) {
+            Some(&b'&') | Some(&b'|') => {
+                let op = b[inner];
+                let mut children = Vec::new();
+                let mut p = inner + 1;
+                while b.get(p) == Some(&b'(') {
+                    let (child, np) = Self::parse_at(b, p)?;
+                    children.push(child);
+                    p = np;
+                }
+                if b.get(p) != Some(&b')') {
+                    return Err(FilterParseError {
+                        at: p,
+                        reason: "expected ')' closing boolean filter",
+                    });
+                }
+                if children.is_empty() {
+                    return Err(FilterParseError {
+                        at: inner + 1,
+                        reason: "boolean filter needs at least one child",
+                    });
+                }
+                let f = if op == b'&' {
+                    Filter::And(children)
+                } else {
+                    Filter::Or(children)
+                };
+                Ok((f, p + 1))
+            }
+            Some(&b'!') => {
+                let (child, p) = Self::parse_at(b, inner + 1)?;
+                if b.get(p) != Some(&b')') {
+                    return Err(FilterParseError {
+                        at: p,
+                        reason: "expected ')' closing negation",
+                    });
+                }
+                Ok((Filter::Not(Box::new(child)), p + 1))
+            }
+            Some(_) => {
+                // Simple item: attr=value up to the matching ')'.
+                let close = b[inner..]
+                    .iter()
+                    .position(|&c| c == b')')
+                    .map(|i| inner + i)
+                    .ok_or(FilterParseError {
+                        at: inner,
+                        reason: "unterminated simple filter",
+                    })?;
+                let item = std::str::from_utf8(&b[inner..close]).map_err(|_| FilterParseError {
+                    at: inner,
+                    reason: "non-UTF-8 filter item",
+                })?;
+                let (attr, value) = item.split_once('=').ok_or(FilterParseError {
+                    at: inner,
+                    reason: "simple filter missing '='",
+                })?;
+                if attr.is_empty() {
+                    return Err(FilterParseError {
+                        at: inner,
+                        reason: "empty attribute name",
+                    });
+                }
+                let attr = attr.to_string();
+                let f = if value == "*" {
+                    Filter::Present(attr)
+                } else if let Some(prefix) = value.strip_suffix('*') {
+                    if prefix.contains('*') {
+                        return Err(FilterParseError {
+                            at: inner,
+                            reason: "only single leading/trailing wildcard supported",
+                        });
+                    }
+                    Filter::Prefix(attr, prefix.to_string())
+                } else if let Some(suffix) = value.strip_prefix('*') {
+                    if suffix.contains('*') {
+                        return Err(FilterParseError {
+                            at: inner,
+                            reason: "only single leading/trailing wildcard supported",
+                        });
+                    }
+                    Filter::Suffix(attr, suffix.to_string())
+                } else if value.contains('*') {
+                    return Err(FilterParseError {
+                        at: inner,
+                        reason: "interior wildcards unsupported",
+                    });
+                } else {
+                    Filter::Eq(attr, value.to_string())
+                };
+                Ok((f, close + 1))
+            }
+            None => Err(FilterParseError {
+                at: inner,
+                reason: "unexpected end of input",
+            }),
+        }
+    }
+
+    /// Evaluate the filter against an entry.
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            Filter::Eq(a, v) => entry.get(a).iter().any(|x| x == v),
+            Filter::Present(a) => entry.has_attr(a),
+            Filter::Prefix(a, p) => entry.get(a).iter().any(|x| x.starts_with(p)),
+            Filter::Suffix(a, sfx) => entry.get(a).iter().any(|x| x.ends_with(sfx)),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
+            Filter::Not(f) => !f.matches(entry),
+        }
+    }
+}
+
+/// Directory operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// Add of a DN that already exists.
+    AlreadyExists(String),
+    /// Operation on a DN that does not exist.
+    NoSuchEntry(String),
+}
+
+impl std::fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryError::AlreadyExists(dn) => write!(f, "entry already exists: {dn}"),
+            DirectoryError::NoSuchEntry(dn) => write!(f, "no such entry: {dn}"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
+/// A thread-safe directory instance, cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct Directory {
+    inner: Arc<RwLock<BTreeMap<String, Entry>>>,
+}
+
+impl Directory {
+    /// Create an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a new entry. Fails if the DN exists.
+    pub fn add(&self, entry: Entry) -> Result<(), DirectoryError> {
+        let mut map = self.inner.write();
+        if map.contains_key(&entry.dn) {
+            return Err(DirectoryError::AlreadyExists(entry.dn));
+        }
+        map.insert(entry.dn.clone(), entry);
+        Ok(())
+    }
+
+    /// Fetch an entry by exact DN.
+    pub fn get(&self, dn: &str) -> Option<Entry> {
+        self.inner.read().get(dn).cloned()
+    }
+
+    /// Delete an entry by DN.
+    pub fn delete(&self, dn: &str) -> Result<(), DirectoryError> {
+        self.inner
+            .write()
+            .remove(dn)
+            .map(|_| ())
+            .ok_or_else(|| DirectoryError::NoSuchEntry(dn.to_string()))
+    }
+
+    /// Apply `f` to the entry at `dn` under the write lock.
+    pub fn modify(
+        &self,
+        dn: &str,
+        f: impl FnOnce(&mut Entry),
+    ) -> Result<(), DirectoryError> {
+        let mut map = self.inner.write();
+        let entry = map
+            .get_mut(dn)
+            .ok_or_else(|| DirectoryError::NoSuchEntry(dn.to_string()))?;
+        f(entry);
+        Ok(())
+    }
+
+    /// Search all entries under `base` (DN suffix match) with `filter`.
+    pub fn search(&self, base: &str, filter: &Filter) -> Vec<Entry> {
+        self.inner
+            .read()
+            .values()
+            .filter(|e| e.dn.ends_with(base) && filter.matches(e))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people_dir() -> Directory {
+        let dir = Directory::new();
+        for (uid, pairing) in [
+            ("alice", Some("soft")),
+            ("bob", Some("sms")),
+            ("carol", None),
+            ("gateway1", None),
+        ] {
+            let mut e = Entry::new(format!("uid={uid},ou=people,dc=tacc"))
+                .with_attr("uid", uid)
+                .with_attr("objectClass", "posixAccount");
+            if let Some(p) = pairing {
+                e.add_attr("mfaPairing", p);
+            }
+            dir.add(e).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn add_get_delete() {
+        let dir = Directory::new();
+        let e = Entry::new("uid=x,dc=tacc").with_attr("uid", "x");
+        dir.add(e.clone()).unwrap();
+        assert_eq!(dir.get("uid=x,dc=tacc"), Some(e.clone()));
+        assert_eq!(dir.add(e), Err(DirectoryError::AlreadyExists("uid=x,dc=tacc".into())));
+        dir.delete("uid=x,dc=tacc").unwrap();
+        assert_eq!(dir.get("uid=x,dc=tacc"), None);
+        assert_eq!(
+            dir.delete("uid=x,dc=tacc"),
+            Err(DirectoryError::NoSuchEntry("uid=x,dc=tacc".into()))
+        );
+    }
+
+    #[test]
+    fn attribute_names_case_insensitive() {
+        let e = Entry::new("dn").with_attr("MfaPairing", "soft");
+        assert_eq!(e.get_one("mfapairing"), Some("soft"));
+        assert_eq!(e.get_one("MFAPAIRING"), Some("soft"));
+    }
+
+    #[test]
+    fn values_case_sensitive() {
+        let e = Entry::new("dn").with_attr("uid", "Alice");
+        assert!(!Filter::eq("uid", "alice").matches(&e));
+        assert!(Filter::eq("uid", "Alice").matches(&e));
+    }
+
+    #[test]
+    fn search_with_eq_filter() {
+        let dir = people_dir();
+        let hits = dir.search("ou=people,dc=tacc", &Filter::eq("uid", "alice"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get_one("mfaPairing"), Some("soft"));
+    }
+
+    #[test]
+    fn search_with_presence_filter_finds_paired_users() {
+        let dir = people_dir();
+        let hits = dir.search("dc=tacc", &Filter::Present("mfaPairing".into()));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn parse_and_match_composite_filter() {
+        let dir = people_dir();
+        let f = Filter::parse("(&(objectClass=posixAccount)(!(mfaPairing=*)))").unwrap();
+        let hits = dir.search("dc=tacc", &f);
+        let uids: Vec<_> = hits.iter().filter_map(|e| e.get_one("uid")).collect();
+        assert_eq!(uids.len(), 2);
+        assert!(uids.contains(&"carol") && uids.contains(&"gateway1"));
+    }
+
+    #[test]
+    fn parse_or_and_substring_filters() {
+        let f = Filter::parse("(|(uid=gate*)(uid=*ice))").unwrap();
+        assert_eq!(
+            f,
+            Filter::Or(vec![
+                Filter::Prefix("uid".into(), "gate".into()),
+                Filter::Suffix("uid".into(), "ice".into()),
+            ])
+        );
+        let dir = people_dir();
+        assert_eq!(dir.search("dc=tacc", &f).len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Filter::parse("").is_err());
+        assert!(Filter::parse("(uid=alice").is_err());
+        assert!(Filter::parse("(uid=alice))").is_err());
+        assert!(Filter::parse("(=x)").is_err());
+        assert!(Filter::parse("(uidalice)").is_err());
+        assert!(Filter::parse("(&)").is_err());
+        assert!(Filter::parse("(uid=a*b*c)").is_err());
+        assert!(Filter::parse("(uid=a*c)").is_err());
+    }
+
+    #[test]
+    fn modify_updates_pairing() {
+        let dir = people_dir();
+        dir.modify("uid=carol,ou=people,dc=tacc", |e| {
+            e.set_attr("mfaPairing", vec!["hard".into()]);
+        })
+        .unwrap();
+        let e = dir.get("uid=carol,ou=people,dc=tacc").unwrap();
+        assert_eq!(e.get_one("mfaPairing"), Some("hard"));
+        assert!(dir
+            .modify("uid=nobody,dc=tacc", |_| {})
+            .is_err());
+    }
+
+    #[test]
+    fn multi_valued_attributes() {
+        let mut e = Entry::new("dn");
+        e.add_attr("mail", "a@x.org");
+        e.add_attr("mail", "b@x.org");
+        assert_eq!(e.get("mail").len(), 2);
+        assert_eq!(e.get_one("mail"), Some("a@x.org"));
+        assert!(e.remove_attr("mail"));
+        assert!(!e.remove_attr("mail"));
+    }
+
+    #[test]
+    fn base_scoping() {
+        let dir = people_dir();
+        dir.add(Entry::new("uid=svc,ou=services,dc=tacc").with_attr("uid", "svc"))
+            .unwrap();
+        assert_eq!(dir.search("ou=people,dc=tacc", &Filter::Present("uid".into())).len(), 4);
+        assert_eq!(dir.search("dc=tacc", &Filter::Present("uid".into())).len(), 5);
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes() {
+        let dir = people_dir();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let d = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let dn = format!("uid=u{t}-{i},ou=people,dc=tacc");
+                    d.add(Entry::new(dn).with_attr("uid", &format!("u{t}-{i}"))).unwrap();
+                    let _ = d.search("dc=tacc", &Filter::Present("uid".into()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dir.len(), 4 + 8 * 50);
+    }
+}

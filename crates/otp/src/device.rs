@@ -1,0 +1,339 @@
+//! Token devices a user may possess (§3.3).
+//!
+//! Three public device types plus a fourth internal one:
+//!
+//! * **Soft token** — the in-house smartphone app (Google Authenticator
+//!   lineage). Needs no network; its only failure mode is clock drift,
+//!   which the server tolerates up to ±300 s.
+//! * **Hard token** — a Feitian OTP c200-style fob: pre-programmed secret,
+//!   serial number on the back used for pairing, single button, LCD.
+//! * **SMS token** — the *server* generates the code and texts it; the
+//!   "device" is just a phone number. Modeled in `hpcmfa-otpserver::sms`
+//!   since all logic is server-side.
+//! * **Static training token** — a fixed six-digit code for workshop
+//!   accounts, regenerated per session.
+
+use crate::qr::{QrCode, ScanOutcome};
+use crate::secret::Secret;
+use crate::totp::{Totp, TotpParams};
+use crate::uri::{OtpauthUri, UriError};
+
+/// The four pairing types tracked by the identity-management back end and
+/// reported in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Smartphone application.
+    Soft,
+    /// SMS text-message delivery.
+    Sms,
+    /// Key fob with LCD screen.
+    Hard,
+    /// Static code for training accounts (not publicly offered).
+    Training,
+}
+
+impl TokenKind {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TokenKind::Soft => "Soft",
+            TokenKind::Sms => "SMS",
+            TokenKind::Hard => "Hard",
+            TokenKind::Training => "Training",
+        }
+    }
+
+    /// All kinds, in Table 1 order.
+    pub const ALL: [TokenKind; 4] = [
+        TokenKind::Soft,
+        TokenKind::Sms,
+        TokenKind::Hard,
+        TokenKind::Training,
+    ];
+}
+
+/// A smartphone soft token: secret imported by QR scan, codes generated
+/// locally against the phone's (possibly drifting) clock.
+#[derive(Debug, Clone)]
+pub struct SoftToken {
+    totp: Totp,
+    /// Phone clock offset from true time, in seconds (positive = fast).
+    pub clock_skew_secs: i64,
+}
+
+impl SoftToken {
+    /// Import a scanned provisioning URI, as the app's QR reader does.
+    pub fn from_uri(uri: &str) -> Result<Self, UriError> {
+        let parsed = OtpauthUri::parse(uri)?;
+        Ok(SoftToken {
+            totp: Totp::with_params(parsed.secret, parsed.params),
+            clock_skew_secs: 0,
+        })
+    }
+
+    /// Import by scanning a QR code; `reliability`/`roll` as in
+    /// [`QrCode::scan`]. `None` means the camera failed and the user must
+    /// retry.
+    pub fn scan_qr(qr: &QrCode, reliability: f64, roll: f64) -> Option<Result<Self, UriError>> {
+        match qr.scan(reliability, roll) {
+            ScanOutcome::Decoded(payload) => Some(Self::from_uri(&payload)),
+            ScanOutcome::Unreadable => None,
+        }
+    }
+
+    /// Direct construction (tests, hard-token emulation).
+    pub fn new(secret: Secret, params: TotpParams) -> Self {
+        SoftToken {
+            totp: Totp::with_params(secret, params),
+            clock_skew_secs: 0,
+        }
+    }
+
+    /// Set the phone's clock skew.
+    pub fn with_skew(mut self, skew_secs: i64) -> Self {
+        self.clock_skew_secs = skew_secs;
+        self
+    }
+
+    /// The code currently displayed, given the true time `unix_time`.
+    pub fn displayed_code(&self, unix_time: u64) -> String {
+        let local = unix_time.saturating_add_signed(self.clock_skew_secs);
+        self.totp.code_at(local)
+    }
+
+    /// Access to the underlying generator (for pairing confirmation).
+    pub fn totp(&self) -> &Totp {
+        &self.totp
+    }
+}
+
+/// A Feitian-style hard token fob.
+///
+/// Fobs arrive "pre-programmed with a secret key, all of which were provided
+/// at the time of batch purchase" (§3.3); users pair by entering the serial
+/// number printed on the back.
+#[derive(Debug, Clone)]
+pub struct HardToken {
+    /// Printed serial number, e.g. `K1234567`.
+    pub serial: String,
+    totp: Totp,
+    /// Fob oscillator drift in seconds (hard tokens drift slowly over
+    /// years; the c200 spec is within a couple of minutes per year).
+    pub clock_skew_secs: i64,
+    /// Whether the battery is still good; a dead fob displays nothing.
+    pub battery_ok: bool,
+}
+
+impl HardToken {
+    /// Construct a fob as the factory does.
+    pub fn new(serial: impl Into<String>, secret: Secret) -> Self {
+        HardToken {
+            serial: serial.into(),
+            totp: Totp::new(secret),
+            clock_skew_secs: 0,
+            battery_ok: true,
+        }
+    }
+
+    /// Set oscillator drift.
+    pub fn with_skew(mut self, skew_secs: i64) -> Self {
+        self.clock_skew_secs = skew_secs;
+        self
+    }
+
+    /// Press the button: the displayed code at true time `unix_time`, or
+    /// `None` if the battery is dead.
+    pub fn press_button(&self, unix_time: u64) -> Option<String> {
+        if !self.battery_ok {
+            return None;
+        }
+        let local = unix_time.saturating_add_signed(self.clock_skew_secs);
+        Some(self.totp.code_at(local))
+    }
+
+    /// Access to the underlying generator.
+    pub fn totp(&self) -> &Totp {
+        &self.totp
+    }
+}
+
+/// A batch of hard tokens as shipped by the vendor: serials plus seeds.
+///
+/// "The single button TOTP hard tokens came pre-programmed with a secret
+/// key, all of which were provided at the time of batch purchase" (§3.3).
+#[derive(Debug, Default)]
+pub struct HardTokenBatch {
+    /// The physical fobs.
+    pub fobs: Vec<HardToken>,
+}
+
+impl HardTokenBatch {
+    /// Manufacture `n` fobs with serials `prefix-0001...` using `rng` for
+    /// the seeds.
+    pub fn manufacture<R: rand::RngCore + ?Sized>(prefix: &str, n: usize, rng: &mut R) -> Self {
+        let fobs = (0..n)
+            .map(|i| HardToken::new(format!("{prefix}-{:04}", i + 1), Secret::generate(rng)))
+            .collect();
+        HardTokenBatch { fobs }
+    }
+
+    /// The seed file handed to the center at purchase: serial → secret.
+    pub fn seed_file(&self) -> Vec<(String, Secret)> {
+        self.fobs
+            .iter()
+            .map(|f| (f.serial.clone(), f.totp().secret.clone()))
+            .collect()
+    }
+
+    /// Look up a fob by serial.
+    pub fn by_serial(&self, serial: &str) -> Option<&HardToken> {
+        self.fobs.iter().find(|f| f.serial == serial)
+    }
+}
+
+/// A static training token: a fixed six-digit code assigned per session.
+///
+/// "Before each training session, accounts are assigned a random six-digit
+/// number such that the participants may step through the multi-factor
+/// authentication process" (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticToken {
+    code: String,
+}
+
+impl StaticToken {
+    /// Assign a random six-digit code.
+    pub fn assign<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        StaticToken {
+            code: crate::format_code(rng.random_range(0..1_000_000), 6),
+        }
+    }
+
+    /// Wrap a specific code (must be six ASCII digits).
+    pub fn from_code(code: &str) -> Option<Self> {
+        if code.len() == 6 && code.bytes().all(|b| b.is_ascii_digit()) {
+            Some(StaticToken {
+                code: code.to_string(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The fixed code handed to workshop participants.
+    pub fn code(&self) -> &str {
+        &self.code
+    }
+
+    /// Regenerate after the session ends ("easily regenerated once the
+    /// training session is finished").
+    pub fn regenerate<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+        *self = Self::assign(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn secret() -> Secret {
+        Secret::from_bytes(*b"12345678901234567890")
+    }
+
+    #[test]
+    fn soft_token_imports_uri_and_matches_server() {
+        let uri = OtpauthUri::new("TACC", "alice", secret(), TotpParams::default());
+        let app = SoftToken::from_uri(&uri.render()).unwrap();
+        let server = Totp::new(secret());
+        assert_eq!(app.displayed_code(1_475_000_000), server.code_at(1_475_000_000));
+    }
+
+    #[test]
+    fn soft_token_qr_scan_round_trip() {
+        let uri = OtpauthUri::new("TACC", "alice", secret(), TotpParams::default()).render();
+        let qr = QrCode::encode(&uri);
+        let app = SoftToken::scan_qr(&qr, 1.0, 0.0).unwrap().unwrap();
+        assert_eq!(app.displayed_code(59), Totp::new(secret()).code_at(59));
+        // Failed scan surfaces as None, prompting a retry in the portal flow.
+        assert!(SoftToken::scan_qr(&qr, 0.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn skewed_clock_shows_adjacent_step_code() {
+        let app = SoftToken::new(secret(), TotpParams::default()).with_skew(-45);
+        let server = Totp::new(secret());
+        let now = 1_475_000_000;
+        // Skew -45 s puts the phone one-or-two steps behind.
+        assert_eq!(app.displayed_code(now), server.code_at(now - 45));
+        // Still within the ±300 s acceptance window.
+        assert!(server
+            .verify(&app.displayed_code(now), now, server.window_for_drift(300))
+            .is_some());
+    }
+
+    #[test]
+    fn excessive_skew_rejected_by_server_window() {
+        let app = SoftToken::new(secret(), TotpParams::default()).with_skew(-400);
+        let server = Totp::new(secret());
+        let now = 1_475_000_000;
+        assert!(server
+            .verify(&app.displayed_code(now), now, server.window_for_drift(300))
+            .is_none());
+    }
+
+    #[test]
+    fn hard_token_button_and_battery() {
+        let mut fob = HardToken::new("TACC-0001", secret());
+        assert_eq!(
+            fob.press_button(59).unwrap(),
+            Totp::new(secret()).code_at(59)
+        );
+        fob.battery_ok = false;
+        assert_eq!(fob.press_button(59), None);
+    }
+
+    #[test]
+    fn batch_manufacture_unique_serials_and_secrets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = HardTokenBatch::manufacture("TACC", 50, &mut rng);
+        assert_eq!(batch.fobs.len(), 50);
+        let serials: std::collections::HashSet<_> =
+            batch.fobs.iter().map(|f| f.serial.clone()).collect();
+        assert_eq!(serials.len(), 50);
+        let secrets: std::collections::HashSet<_> = batch
+            .seed_file()
+            .into_iter()
+            .map(|(_, s)| s.to_hex())
+            .collect();
+        assert_eq!(secrets.len(), 50);
+        assert!(batch.by_serial("TACC-0007").is_some());
+        assert!(batch.by_serial("TACC-9999").is_none());
+    }
+
+    #[test]
+    fn static_token_lifecycle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = StaticToken::assign(&mut rng);
+        assert_eq!(t.code().len(), 6);
+        assert!(t.code().bytes().all(|b| b.is_ascii_digit()));
+        let before = t.code().to_string();
+        t.regenerate(&mut rng);
+        // Overwhelmingly likely to change; the test seed makes it so.
+        assert_ne!(t.code(), before);
+    }
+
+    #[test]
+    fn static_token_from_code_validation() {
+        assert!(StaticToken::from_code("123456").is_some());
+        assert!(StaticToken::from_code("12345").is_none());
+        assert!(StaticToken::from_code("12345a").is_none());
+    }
+
+    #[test]
+    fn token_kind_labels() {
+        assert_eq!(TokenKind::Soft.label(), "Soft");
+        assert_eq!(TokenKind::ALL.len(), 4);
+    }
+}

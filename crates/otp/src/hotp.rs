@@ -1,0 +1,153 @@
+//! HOTP: an HMAC-based one-time password algorithm (RFC 4226).
+//!
+//! TOTP (RFC 6238) — what every token in the paper generates — is defined as
+//! HOTP over a time-derived counter, so this module is the single source of
+//! truth for code generation.
+
+use crate::secret::Secret;
+use hpcmfa_crypto::HashAlg;
+
+/// Compute the raw HOTP value (before decimal truncation) for `counter`.
+///
+/// Implements RFC 4226 §5.3 dynamic truncation: the low nibble of the final
+/// MAC byte selects a 4-byte window whose 31-bit big-endian value is reduced
+/// modulo `10^digits`.
+pub fn hotp_value(secret: &Secret, counter: u64, alg: HashAlg) -> u32 {
+    let mac = alg.hmac(secret.bytes(), &counter.to_be_bytes());
+    dynamic_truncate(&mac)
+}
+
+/// RFC 4226 dynamic truncation of an HMAC output.
+pub fn dynamic_truncate(mac: &[u8]) -> u32 {
+    debug_assert!(mac.len() >= 20, "HMAC output shorter than SHA-1");
+    let offset = (mac[mac.len() - 1] & 0x0f) as usize;
+    let window: [u8; 4] = mac[offset..offset + 4].try_into().unwrap();
+    u32::from_be_bytes(window) & 0x7fff_ffff
+}
+
+/// Compute the `digits`-digit HOTP code for `counter` as a zero-padded
+/// string — what the user types at the `TACC Token:` prompt.
+pub fn hotp(secret: &Secret, counter: u64, digits: u32, alg: HashAlg) -> String {
+    let value = hotp_value(secret, counter, alg) % 10u32.pow(digits);
+    crate::format_code(value, digits)
+}
+
+/// Validate `candidate` against a look-ahead window of counters, as an HOTP
+/// validation server must (RFC 4226 §7.2). Returns the matching counter so
+/// the server can resynchronize.
+///
+/// Used by the hard-token resync path: the LinOTP admin interface lets staff
+/// "re-synchronize tokens" (§3.1) whose counters have drifted from button
+/// presses that never reached the server.
+pub fn validate_window(
+    secret: &Secret,
+    candidate: &str,
+    counter: u64,
+    look_ahead: u64,
+    digits: u32,
+    alg: HashAlg,
+) -> Option<u64> {
+    (counter..=counter.saturating_add(look_ahead)).find(|&c| {
+        hpcmfa_crypto::ct::ct_eq_str(&hotp(secret, c, digits, alg), candidate)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfc_secret() -> Secret {
+        Secret::from_bytes(*b"12345678901234567890")
+    }
+
+    /// RFC 4226 Appendix D: intermediate HMAC truncated values.
+    #[test]
+    fn rfc4226_truncated_values() {
+        let expected: [u32; 10] = [
+            1284755224, 1094287082, 137359152, 1726969429, 1640338314, 868254676, 1918287922,
+            82162583, 673399871, 645520489,
+        ];
+        let secret = rfc_secret();
+        for (counter, want) in expected.iter().enumerate() {
+            assert_eq!(
+                hotp_value(&secret, counter as u64, HashAlg::Sha1),
+                *want,
+                "counter {counter}"
+            );
+        }
+    }
+
+    /// RFC 4226 Appendix D: final 6-digit HOTP codes.
+    #[test]
+    fn rfc4226_codes() {
+        let expected = [
+            "755224", "287082", "359152", "969429", "338314", "254676", "287922", "162583",
+            "399871", "520489",
+        ];
+        let secret = rfc_secret();
+        for (counter, want) in expected.iter().enumerate() {
+            assert_eq!(hotp(&secret, counter as u64, 6, HashAlg::Sha1), *want);
+        }
+    }
+
+    #[test]
+    fn leading_zeros_preserved() {
+        // Find a counter whose code starts with '0' and ensure the string
+        // keeps full width.
+        let secret = rfc_secret();
+        let code = hotp(&secret, 7, 6, HashAlg::Sha1); // "162583"
+        assert_eq!(code.len(), 6);
+        let code8 = hotp(&secret, 0, 8, HashAlg::Sha1);
+        assert_eq!(code8.len(), 8);
+        assert_eq!(code8, "84755224");
+    }
+
+    #[test]
+    fn validate_window_finds_drifted_counter() {
+        let secret = rfc_secret();
+        let code_at_5 = hotp(&secret, 5, 6, HashAlg::Sha1);
+        assert_eq!(
+            validate_window(&secret, &code_at_5, 2, 10, 6, HashAlg::Sha1),
+            Some(5)
+        );
+        // Outside the window: rejected.
+        assert_eq!(
+            validate_window(&secret, &code_at_5, 2, 2, 6, HashAlg::Sha1),
+            None
+        );
+    }
+
+    #[test]
+    fn validate_window_rejects_garbage() {
+        let secret = rfc_secret();
+        assert_eq!(
+            validate_window(&secret, "000000", 0, 100, 6, HashAlg::Sha1),
+            None
+        );
+        assert_eq!(
+            validate_window(&secret, "not-a-code", 0, 100, 6, HashAlg::Sha1),
+            None
+        );
+    }
+
+    #[test]
+    fn different_algorithms_differ() {
+        let secret = rfc_secret();
+        let s1 = hotp(&secret, 1, 6, HashAlg::Sha1);
+        let s256 = hotp(&secret, 1, 6, HashAlg::Sha256);
+        let s512 = hotp(&secret, 1, 6, HashAlg::Sha512);
+        assert_ne!(s1, s256);
+        assert_ne!(s256, s512);
+    }
+
+    #[test]
+    fn counter_saturation_no_overflow() {
+        let secret = rfc_secret();
+        // Window straddling u64::MAX must not panic.
+        let code = hotp(&secret, u64::MAX, 6, HashAlg::Sha1);
+        assert_eq!(
+            validate_window(&secret, &code, u64::MAX - 1, 10, 6, HashAlg::Sha1),
+            Some(u64::MAX)
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for civil-date arithmetic (exemption expiries and
+//! the rollout calendar depend on it being exactly right).
+
+use hpcmfa_otp::date::{Date, SECS_PER_DAY};
+use proptest::prelude::*;
+
+proptest! {
+    /// days_from_epoch and from_days are inverse bijections.
+    #[test]
+    fn days_round_trip(days in -200_000i64..200_000) {
+        let d = Date::from_days(days);
+        prop_assert_eq!(d.days_from_epoch(), days);
+    }
+
+    /// Unix-time round trip at any second of the day.
+    #[test]
+    fn unix_round_trip(days in 0i64..40_000, secs in 0u64..SECS_PER_DAY) {
+        let d = Date::from_days(days);
+        prop_assert_eq!(Date::from_unix(d.unix_midnight() + secs), d);
+    }
+
+    /// Successor is strictly increasing by exactly one day and is the
+    /// inverse of plus_days(-1).
+    #[test]
+    fn succ_properties(days in -100_000i64..100_000) {
+        let d = Date::from_days(days);
+        let n = d.succ();
+        prop_assert_eq!(d.days_until(n), 1);
+        prop_assert!(n > d);
+        prop_assert_eq!(n.plus_days(-1), d);
+    }
+
+    /// Weekdays cycle with period 7 and are always in 0..=6.
+    #[test]
+    fn weekday_cycles(days in -100_000i64..100_000) {
+        let d = Date::from_days(days);
+        prop_assert!(d.weekday() <= 6);
+        prop_assert_eq!(d.plus_days(7).weekday(), d.weekday());
+        prop_assert_eq!(d.succ().weekday(), (d.weekday() + 1) % 7);
+    }
+
+    /// Parse/display round trip for any valid construction.
+    #[test]
+    fn display_parse_round_trip(days in 0i64..60_000) {
+        let d = Date::from_days(days);
+        prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+    }
+
+    /// Date ordering matches day-number ordering.
+    #[test]
+    fn ordering_consistent(a in -50_000i64..50_000, b in -50_000i64..50_000) {
+        let da = Date::from_days(a);
+        let db = Date::from_days(b);
+        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+    }
+}

@@ -1,0 +1,287 @@
+//! The RADIUS [`Handler`] bridging Access-Requests to the validation engine
+//! — the server half of Figure 2.
+//!
+//! Protocol (mirroring the paper's §3.2/§3.4 flow):
+//!
+//! 1. The PAM token module opens with a **null request** (empty
+//!    `User-Password`). For SMS users this triggers the text message; for
+//!    everyone it yields an Access-Challenge whose `Reply-Message` is the
+//!    prompt and whose `State` must be echoed.
+//! 2. The module answers the challenge with the user's code. The engine
+//!    validates and the handler maps the outcome to Accept/Reject.
+//!
+//! A request that arrives with a non-empty password and no `State` is
+//! treated as a direct single-shot validation (some SSH/SFTP clients send
+//! the token concatenated this way).
+
+use crate::server::{LinotpServer, SmsTrigger};
+use hpcmfa_otp::clock::Clock;
+use hpcmfa_radius::attribute::{Attribute, AttributeType};
+use hpcmfa_radius::packet::Packet;
+use hpcmfa_radius::server::{Handler, ServerDecision};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Prompt shown for the token challenge.
+pub const TOKEN_PROMPT: &str = "TACC Token:";
+
+/// Message when an SMS was just dispatched.
+pub const SMS_SENT_MSG: &str = "An SMS with your token code has been sent. TACC Token:";
+
+/// Message when a still-valid code suppresses a resend (§3.3).
+pub const SMS_ALREADY_SENT_MSG: &str = "SMS already sent; code still valid. TACC Token:";
+
+/// Reject message — deliberately uninformative to outsiders.
+pub const AUTH_ERROR_MSG: &str = "Authentication error";
+
+/// The OTP-validating RADIUS handler.
+pub struct OtpRadiusHandler {
+    server: Arc<LinotpServer>,
+    clock: Arc<dyn Clock>,
+    challenge_counter: AtomicU64,
+}
+
+impl OtpRadiusHandler {
+    /// Bridge `server` using `clock` for validation time.
+    pub fn new(server: Arc<LinotpServer>, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Arc::new(OtpRadiusHandler {
+            server,
+            clock,
+            challenge_counter: AtomicU64::new(0),
+        })
+    }
+
+    fn fresh_state(&self) -> Vec<u8> {
+        let n = self.challenge_counter.fetch_add(1, Ordering::Relaxed);
+        let mut state = b"otp-chal-".to_vec();
+        state.extend_from_slice(&n.to_be_bytes());
+        state
+    }
+
+    fn challenge(&self, message: &str) -> ServerDecision {
+        ServerDecision::Challenge(vec![
+            Attribute::new(AttributeType::State, self.fresh_state()),
+            Attribute::text(AttributeType::ReplyMessage, message),
+        ])
+    }
+
+    fn reject() -> ServerDecision {
+        ServerDecision::Reject(vec![Attribute::text(
+            AttributeType::ReplyMessage,
+            AUTH_ERROR_MSG,
+        )])
+    }
+}
+
+impl Handler for OtpRadiusHandler {
+    fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision {
+        let Some(username) = request.text(AttributeType::UserName) else {
+            return ServerDecision::Discard;
+        };
+        let Some(password) = password else {
+            // No decryptable password attribute at all: malformed client.
+            return ServerDecision::Discard;
+        };
+        let now = self.clock.now();
+
+        if password.is_empty() {
+            // Null request: open the challenge, texting SMS users first.
+            return match self.server.trigger_sms(username, now) {
+                SmsTrigger::Sent(_) => self.challenge(SMS_SENT_MSG),
+                SmsTrigger::AlreadyActive => self.challenge(SMS_ALREADY_SENT_MSG),
+                // Soft/hard/static users just get the prompt; users with no
+                // pairing are prompted too (the "full" enforcement mode
+                // prompts regardless, §3.4) and will fail validation.
+                SmsTrigger::NotSmsUser | SmsTrigger::NoToken => self.challenge(TOKEN_PROMPT),
+                SmsTrigger::Locked => Self::reject(),
+            };
+        }
+
+        let Ok(code) = std::str::from_utf8(password) else {
+            return Self::reject();
+        };
+        if self.server.validate(username, code, now).is_success() {
+            ServerDecision::Accept(vec![])
+        } else {
+            Self::reject()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sms::{PhoneNumber, SmsProvider, TwilioSim};
+    use hpcmfa_otp::clock::SimClock;
+    use hpcmfa_otp::device::SoftToken;
+    use hpcmfa_otp::totp::TotpParams;
+    use hpcmfa_radius::client::{ClientConfig, Outcome, RadiusClient};
+    use hpcmfa_radius::server::RadiusServer;
+    use hpcmfa_radius::transport::{FaultPlan, InMemoryTransport, Transport};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NOW: u64 = 1_475_000_000;
+    const SECRET: &[u8] = b"pool";
+
+    struct Rig {
+        client: RadiusClient,
+        linotp: Arc<LinotpServer>,
+        twilio: Arc<TwilioSim>,
+        clock: SimClock,
+        rng: StdRng,
+    }
+
+    fn rig() -> Rig {
+        let twilio = TwilioSim::new(9);
+        let linotp = LinotpServer::new(Arc::clone(&twilio) as Arc<dyn SmsProvider>, 77);
+        let clock = SimClock::at(NOW);
+        let handler = OtpRadiusHandler::new(Arc::clone(&linotp), Arc::new(clock.clone()));
+        let radius = Arc::new(RadiusServer::new(SECRET, handler));
+        let transport: Arc<dyn Transport> =
+            Arc::new(InMemoryTransport::new("r0", radius, FaultPlan::healthy()));
+        let client = RadiusClient::new(ClientConfig::new(SECRET, "login1"), vec![transport]);
+        Rig {
+            client,
+            linotp,
+            twilio,
+            clock,
+            rng: StdRng::seed_from_u64(5),
+        }
+    }
+
+    #[test]
+    fn totp_challenge_flow_end_to_end() {
+        let mut rig = rig();
+        let secret = rig.linotp.enroll_soft("alice", NOW);
+        let device = SoftToken::new(secret, TotpParams::default());
+
+        let out = rig
+            .client
+            .authenticate(&mut rig.rng, "alice", b"", "198.51.100.7")
+            .unwrap();
+        let Outcome::Challenge { state, message } = out else {
+            panic!("expected challenge, got {out:?}");
+        };
+        assert_eq!(message.as_deref(), Some(TOKEN_PROMPT));
+
+        let code = device.displayed_code(rig.clock.now());
+        let fin = rig
+            .client
+            .respond_to_challenge(&mut rig.rng, "alice", code.as_bytes(), "198.51.100.7", &state)
+            .unwrap();
+        assert!(matches!(fin, Outcome::Accept { .. }));
+    }
+
+    #[test]
+    fn wrong_code_rejected_with_message() {
+        let mut rig = rig();
+        rig.linotp.enroll_soft("alice", NOW);
+        let out = rig
+            .client
+            .authenticate(&mut rig.rng, "alice", b"000000", "198.51.100.7")
+            .unwrap();
+        assert!(matches!(out, Outcome::Reject { message: Some(m) } if m == AUTH_ERROR_MSG));
+    }
+
+    #[test]
+    fn sms_flow_end_to_end() {
+        let mut rig = rig();
+        let phone = PhoneNumber::parse("5125551234").unwrap();
+        rig.linotp.enroll_sms("bob", phone.clone(), NOW);
+
+        // Null request triggers the text.
+        let out = rig
+            .client
+            .authenticate(&mut rig.rng, "bob", b"", "198.51.100.7")
+            .unwrap();
+        let Outcome::Challenge { state, message } = out else {
+            panic!("expected challenge");
+        };
+        assert_eq!(message.as_deref(), Some(SMS_SENT_MSG));
+
+        // Another null request while the code is active: suppressed resend.
+        let out2 = rig
+            .client
+            .authenticate(&mut rig.rng, "bob", b"", "198.51.100.7")
+            .unwrap();
+        assert!(
+            matches!(out2, Outcome::Challenge { ref message, .. } if message.as_deref() == Some(SMS_ALREADY_SENT_MSG))
+        );
+        assert_eq!(rig.twilio.sent_count(), 1);
+
+        // The phone receives the message after carrier latency.
+        rig.clock.advance(15);
+        let inbox = rig.twilio.inbox(&phone, rig.clock.now());
+        assert_eq!(inbox.len(), 1);
+        let code = inbox[0].body.rsplit(' ').next().unwrap().to_string();
+
+        let fin = rig
+            .client
+            .respond_to_challenge(&mut rig.rng, "bob", code.as_bytes(), "198.51.100.7", &state)
+            .unwrap();
+        assert!(matches!(fin, Outcome::Accept { .. }));
+    }
+
+    #[test]
+    fn unpaired_user_is_prompted_then_rejected() {
+        let mut rig = rig();
+        let out = rig
+            .client
+            .authenticate(&mut rig.rng, "ghost", b"", "198.51.100.7")
+            .unwrap();
+        let Outcome::Challenge { state, .. } = out else {
+            panic!("expected challenge");
+        };
+        let fin = rig
+            .client
+            .respond_to_challenge(&mut rig.rng, "ghost", b"123456", "198.51.100.7", &state)
+            .unwrap();
+        assert!(matches!(fin, Outcome::Reject { .. }));
+    }
+
+    #[test]
+    fn locked_user_rejected_at_null_request() {
+        let mut rig = rig();
+        let phone = PhoneNumber::parse("5125551234").unwrap();
+        rig.linotp.enroll_sms("bob", phone, NOW);
+        rig.linotp.store().with_record("bob", |r| r.active = false);
+        let out = rig
+            .client
+            .authenticate(&mut rig.rng, "bob", b"", "198.51.100.7")
+            .unwrap();
+        assert!(matches!(out, Outcome::Reject { .. }));
+    }
+
+    #[test]
+    fn missing_username_discarded() {
+        let rig = rig();
+        // Hand-build a request without User-Name.
+        use hpcmfa_radius::auth::{fixture_authenticator, hide_password};
+        use hpcmfa_radius::packet::Code;
+        let ra = fixture_authenticator("x");
+        let req = Packet::new(Code::AccessRequest, 1, ra).with_attribute(Attribute::new(
+            AttributeType::UserPassword,
+            hide_password(b"123456", &ra, SECRET),
+        ));
+        // Route straight through a server to observe the discard.
+        let handler = OtpRadiusHandler::new(
+            Arc::clone(&rig.linotp),
+            Arc::new(SimClock::at(NOW)),
+        );
+        let server = RadiusServer::new(SECRET, handler);
+        assert_eq!(server.process_datagram(&req.encode()), None);
+    }
+
+    #[test]
+    fn challenge_states_are_unique() {
+        let rig = rig();
+        let handler = OtpRadiusHandler::new(
+            Arc::clone(&rig.linotp),
+            Arc::new(SimClock::at(NOW)),
+        );
+        let s1 = handler.fresh_state();
+        let s2 = handler.fresh_state();
+        assert_ne!(s1, s2);
+    }
+}

@@ -1,0 +1,684 @@
+//! The validation engine: token-code checks, replay nullification, the
+//! 20-failure lockout, SMS triggering, and admin operations.
+
+use crate::audit::{AuditAction, AuditLog};
+use crate::sms::{PhoneNumber, SmsMessage, SmsProvider};
+use crate::store::{PendingSmsCode, TokenPairing, TokenStore, TotpProvenance, UserTokenStatus};
+use crate::{DRIFT_TOLERANCE_SECS, LOCKOUT_THRESHOLD, SMS_CODE_VALIDITY_SECS};
+use hpcmfa_otp::secret::Secret;
+use hpcmfa_otp::totp::Totp;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Result of a token-code validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationOutcome {
+    /// Code accepted; the code is now nullified.
+    Success,
+    /// Code did not match (or SMS code expired).
+    WrongCode,
+    /// Code matched a step already consumed — replays are refused.
+    Replayed,
+    /// Account deactivated by the failure-counter policy.
+    Locked,
+    /// User has no pairing in the token database.
+    NoToken,
+}
+
+impl ValidationOutcome {
+    /// Whether SSH entry may proceed.
+    pub fn is_success(self) -> bool {
+        self == ValidationOutcome::Success
+    }
+}
+
+/// Result of asking the server to text a code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmsTrigger {
+    /// A message was handed to the provider.
+    Sent(SmsMessage),
+    /// A previously sent code is still active; "LinOTP will not forward to
+    /// Twilio and instead ... a response message ... notifying them that the
+    /// SMS has already been sent" (§3.3).
+    AlreadyActive,
+    /// The user's pairing is not an SMS token.
+    NotSmsUser,
+    /// No pairing at all.
+    NoToken,
+    /// Account locked out.
+    Locked,
+}
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Consecutive failures before deactivation (paper: 20).
+    pub lockout_threshold: u32,
+    /// TOTP drift tolerance in seconds (paper: 300).
+    pub drift_tolerance_secs: u64,
+    /// SMS code validity in seconds.
+    pub sms_validity_secs: u64,
+    /// Half-width of the resync search window, in time steps.
+    pub resync_window_steps: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            lockout_threshold: LOCKOUT_THRESHOLD,
+            drift_tolerance_secs: DRIFT_TOLERANCE_SECS,
+            sms_validity_secs: SMS_CODE_VALIDITY_SECS,
+            resync_window_steps: 2_000,
+        }
+    }
+}
+
+/// The LinOTP-substitute server.
+pub struct LinotpServer {
+    store: TokenStore,
+    audit: AuditLog,
+    sms: Arc<dyn SmsProvider>,
+    rng: Mutex<StdRng>,
+    config: ServerConfig,
+}
+
+impl LinotpServer {
+    /// Create a server with default configuration.
+    pub fn new(sms: Arc<dyn SmsProvider>, seed: u64) -> Arc<Self> {
+        Self::with_config(sms, seed, ServerConfig::default())
+    }
+
+    /// Create with explicit configuration.
+    pub fn with_config(sms: Arc<dyn SmsProvider>, seed: u64, config: ServerConfig) -> Arc<Self> {
+        Arc::new(LinotpServer {
+            store: TokenStore::new(),
+            audit: AuditLog::new(),
+            sms,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            config,
+        })
+    }
+
+    /// The token store (shared with the admin API).
+    pub fn store(&self) -> &TokenStore {
+        &self.store
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The SMS provider.
+    pub fn sms_provider(&self) -> &Arc<dyn SmsProvider> {
+        &self.sms
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Enrollment (driven by the portal through the admin API)
+    // ------------------------------------------------------------------
+
+    /// Enroll a soft token: mint a fresh secret and return it (the portal
+    /// turns it into a QR code).
+    pub fn enroll_soft(&self, username: &str, now: u64) -> Secret {
+        let secret = Secret::generate(&mut *self.rng.lock());
+        self.store.enroll(
+            username,
+            TokenPairing::Totp {
+                totp: Totp::new(secret.clone()),
+                provenance: TotpProvenance::Soft,
+                serial: None,
+                last_step: None,
+                drift_steps: 0,
+            },
+        );
+        self.audit
+            .record(now, username, AuditAction::Enroll, true, "soft");
+        secret
+    }
+
+    /// Enroll a hard token from the vendor seed file.
+    pub fn enroll_hard(&self, username: &str, serial: &str, secret: Secret, now: u64) {
+        self.store.enroll(
+            username,
+            TokenPairing::Totp {
+                totp: Totp::new(secret),
+                provenance: TotpProvenance::Hard,
+                serial: Some(serial.to_string()),
+                last_step: None,
+                drift_steps: 0,
+            },
+        );
+        self.audit
+            .record(now, username, AuditAction::Enroll, true, "hard");
+    }
+
+    /// Enroll an SMS token for `phone`.
+    pub fn enroll_sms(&self, username: &str, phone: PhoneNumber, now: u64) {
+        self.store.enroll(
+            username,
+            TokenPairing::Sms {
+                phone,
+                pending: None,
+            },
+        );
+        self.audit
+            .record(now, username, AuditAction::Enroll, true, "sms");
+    }
+
+    /// Enroll a static training code; returns the assigned code.
+    pub fn enroll_static(&self, username: &str, now: u64) -> String {
+        let code = format!("{:06}", self.rng.lock().random_range(0..1_000_000u32));
+        self.store.enroll(
+            username,
+            TokenPairing::Static { code: code.clone() },
+        );
+        self.audit
+            .record(now, username, AuditAction::Enroll, true, "training");
+        code
+    }
+
+    /// Remove a pairing.
+    pub fn remove_pairing(&self, username: &str, now: u64) -> bool {
+        let existed = self.store.remove(username);
+        self.audit
+            .record(now, username, AuditAction::Remove, existed, "");
+        existed
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Validate `code` for `username` at `now`. Implements the full §3.1/
+    /// §3.2 semantics: drift window, replay nullification, SMS expiry, the
+    /// consecutive-failure lockout.
+    pub fn validate(&self, username: &str, code: &str, now: u64) -> ValidationOutcome {
+        let threshold = self.config.lockout_threshold;
+        let drift = self.config.drift_tolerance_secs;
+        let (outcome, locked_now) = self
+            .store
+            .with_record(username, |rec| {
+                if !rec.active {
+                    return (ValidationOutcome::Locked, false);
+                }
+                let outcome = match &mut rec.pairing {
+                    TokenPairing::Totp {
+                        totp,
+                        last_step,
+                        drift_steps,
+                        ..
+                    } => {
+                        let adjusted_now =
+                            now.saturating_add_signed(*drift_steps * totp.params.step_secs as i64);
+                        let window = totp.window_for_drift(drift);
+                        match totp.verify(code, adjusted_now, window) {
+                            Some(step) => {
+                                if last_step.is_some_and(|ls| step <= ls) {
+                                    ValidationOutcome::Replayed
+                                } else {
+                                    *last_step = Some(step);
+                                    ValidationOutcome::Success
+                                }
+                            }
+                            None => ValidationOutcome::WrongCode,
+                        }
+                    }
+                    TokenPairing::Sms { pending, .. } => match pending {
+                        Some(p) if p.active(now) => {
+                            if hpcmfa_crypto::ct::ct_eq_str(&p.code, code) {
+                                // One-time: consume on success.
+                                *pending = None;
+                                ValidationOutcome::Success
+                            } else {
+                                ValidationOutcome::WrongCode
+                            }
+                        }
+                        Some(_) | None => ValidationOutcome::WrongCode,
+                    },
+                    TokenPairing::Static { code: expected } => {
+                        if hpcmfa_crypto::ct::ct_eq_str(expected, code) {
+                            ValidationOutcome::Success
+                        } else {
+                            ValidationOutcome::WrongCode
+                        }
+                    }
+                };
+                // Failure accounting and lockout.
+                let mut locked_now = false;
+                match outcome {
+                    ValidationOutcome::Success => rec.fail_count = 0,
+                    ValidationOutcome::WrongCode | ValidationOutcome::Replayed => {
+                        rec.fail_count += 1;
+                        if rec.fail_count >= threshold && rec.active {
+                            rec.active = false;
+                            locked_now = true;
+                        }
+                    }
+                    _ => {}
+                }
+                (outcome, locked_now)
+            })
+            .unwrap_or((ValidationOutcome::NoToken, false));
+
+        self.audit.record(
+            now,
+            username,
+            AuditAction::Validate,
+            outcome.is_success(),
+            match outcome {
+                ValidationOutcome::Success => "ok",
+                ValidationOutcome::WrongCode => "wrong code",
+                ValidationOutcome::Replayed => "replayed code",
+                ValidationOutcome::Locked => "account locked",
+                ValidationOutcome::NoToken => "no pairing",
+            },
+        );
+        if locked_now {
+            self.audit
+                .record(now, username, AuditAction::Lockout, true, "threshold reached");
+        }
+        outcome
+    }
+
+    /// Trigger an SMS code for `username` (the "null request" path).
+    pub fn trigger_sms(&self, username: &str, now: u64) -> SmsTrigger {
+        let validity = self.config.sms_validity_secs;
+        let code = format!("{:06}", self.rng.lock().random_range(0..1_000_000u32));
+        let decision = self
+            .store
+            .with_record(username, |rec| {
+                if !rec.active {
+                    return SmsDecision::Locked;
+                }
+                match &mut rec.pairing {
+                    TokenPairing::Sms { phone, pending } => {
+                        if pending.as_ref().is_some_and(|p| p.active(now)) {
+                            SmsDecision::AlreadyActive
+                        } else {
+                            *pending = Some(PendingSmsCode {
+                                code: code.clone(),
+                                sent_at: now,
+                                expires_at: now + validity,
+                            });
+                            SmsDecision::Send(phone.clone())
+                        }
+                    }
+                    _ => SmsDecision::NotSms,
+                }
+            })
+            .unwrap_or(SmsDecision::NoToken);
+
+        match decision {
+            SmsDecision::Send(phone) => {
+                let body = format!("Your TACC token code is {code}");
+                let msg = self.sms.send(&phone, &body, now);
+                self.audit
+                    .record(now, username, AuditAction::SmsTriggered, true, "");
+                SmsTrigger::Sent(msg)
+            }
+            SmsDecision::AlreadyActive => {
+                self.audit
+                    .record(now, username, AuditAction::SmsSuppressed, true, "code active");
+                SmsTrigger::AlreadyActive
+            }
+            SmsDecision::NotSms => SmsTrigger::NotSmsUser,
+            SmsDecision::NoToken => SmsTrigger::NoToken,
+            SmsDecision::Locked => SmsTrigger::Locked,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admin operations
+    // ------------------------------------------------------------------
+
+    /// Clear a user's failure counter and reactivate (staff action, §3.1).
+    pub fn reset_failcount(&self, username: &str, now: u64) -> bool {
+        let ok = self
+            .store
+            .with_record(username, |rec| {
+                rec.fail_count = 0;
+                rec.active = true;
+            })
+            .is_some();
+        self.audit
+            .record(now, username, AuditAction::ResetFailCount, ok, "");
+        ok
+    }
+
+    /// Resynchronize a drifted TOTP token from two consecutive codes.
+    ///
+    /// Searches ±`resync_window_steps` around `now` for a step where `code1`
+    /// matches and `code2` matches the following step, then stores the
+    /// offset so future validations are centered correctly.
+    pub fn resync(&self, username: &str, code1: &str, code2: &str, now: u64) -> bool {
+        let window = self.config.resync_window_steps;
+        let ok = self
+            .store
+            .with_record(username, |rec| {
+                let TokenPairing::Totp {
+                    totp,
+                    last_step,
+                    drift_steps,
+                    ..
+                } = &mut rec.pairing
+                else {
+                    return false;
+                };
+                let center = totp.params.time_step(now);
+                let lo = center.saturating_sub(window);
+                let hi = center.saturating_add(window);
+                for step in lo..hi {
+                    let c1 = hpcmfa_otp::hotp::hotp(
+                        &totp.secret,
+                        step,
+                        totp.params.digits,
+                        totp.params.alg,
+                    );
+                    if c1 == code1 {
+                        let c2 = hpcmfa_otp::hotp::hotp(
+                            &totp.secret,
+                            step + 1,
+                            totp.params.digits,
+                            totp.params.alg,
+                        );
+                        if c2 == code2 {
+                            *drift_steps = step as i64 + 1 - center as i64;
+                            *last_step = Some(step + 1);
+                            rec.fail_count = 0;
+                            rec.active = true;
+                            return true;
+                        }
+                    }
+                }
+                false
+            })
+            .unwrap_or(false);
+        self.audit.record(now, username, AuditAction::Resync, ok, "");
+        ok
+    }
+
+    /// Status for staff tooling.
+    pub fn status(&self, username: &str) -> Option<UserTokenStatus> {
+        self.store.status(username)
+    }
+}
+
+enum SmsDecision {
+    Send(PhoneNumber),
+    AlreadyActive,
+    NotSms,
+    NoToken,
+    Locked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sms::TwilioSim;
+    use hpcmfa_otp::device::SoftToken;
+    use hpcmfa_otp::totp::TotpParams;
+
+    const NOW: u64 = 1_475_000_000;
+
+    fn server() -> Arc<LinotpServer> {
+        LinotpServer::new(TwilioSim::new(5), 42)
+    }
+
+    fn soft_device(secret: &Secret) -> SoftToken {
+        SoftToken::new(secret.clone(), TotpParams::default())
+    }
+
+    #[test]
+    fn soft_token_validation_succeeds() {
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        let device = soft_device(&secret);
+        let code = device.displayed_code(NOW + 60);
+        assert_eq!(srv.validate("alice", &code, NOW + 60), ValidationOutcome::Success);
+    }
+
+    #[test]
+    fn used_code_is_nullified() {
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        let code = soft_device(&secret).displayed_code(NOW);
+        assert!(srv.validate("alice", &code, NOW).is_success());
+        // "the provided token code is nullified" (§3.2).
+        assert_eq!(srv.validate("alice", &code, NOW), ValidationOutcome::Replayed);
+        // The next step's code works.
+        let next = soft_device(&secret).displayed_code(NOW + 30);
+        assert!(srv.validate("alice", &next, NOW + 30).is_success());
+    }
+
+    #[test]
+    fn failed_code_stays_valid_for_retry() {
+        // "In the event of a token mismatch, the token code remains valid"
+        // (§3.2): a typo then the correct code must succeed.
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        let code = soft_device(&secret).displayed_code(NOW);
+        assert_eq!(srv.validate("alice", "000000", NOW), ValidationOutcome::WrongCode);
+        assert!(srv.validate("alice", &code, NOW).is_success());
+    }
+
+    #[test]
+    fn drift_tolerance_300s() {
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        let slow_phone = soft_device(&secret).with_skew(-300);
+        assert!(srv
+            .validate("alice", &slow_phone.displayed_code(NOW), NOW)
+            .is_success());
+        let too_slow = soft_device(&secret).with_skew(-331);
+        assert_eq!(
+            srv.validate("alice", &too_slow.displayed_code(NOW), NOW),
+            ValidationOutcome::WrongCode
+        );
+    }
+
+    #[test]
+    fn lockout_after_20_consecutive_failures() {
+        let srv = server();
+        srv.enroll_soft("alice", NOW);
+        for i in 0..19 {
+            assert_eq!(
+                srv.validate("alice", "000000", NOW + i),
+                ValidationOutcome::WrongCode,
+                "attempt {i}"
+            );
+        }
+        // 20th failure trips the threshold.
+        assert_eq!(srv.validate("alice", "000000", NOW + 19), ValidationOutcome::WrongCode);
+        assert_eq!(srv.validate("alice", "000000", NOW + 20), ValidationOutcome::Locked);
+        assert!(!srv.status("alice").unwrap().active);
+        assert_eq!(srv.audit().count(AuditAction::Lockout, true), 1);
+    }
+
+    #[test]
+    fn success_resets_fail_counter() {
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        for i in 0..19 {
+            srv.validate("alice", "000000", NOW + i);
+        }
+        let code = soft_device(&secret).displayed_code(NOW + 30);
+        assert!(srv.validate("alice", &code, NOW + 30).is_success());
+        assert_eq!(srv.status("alice").unwrap().fail_count, 0);
+        // Counter starts over: 20 more failures needed to lock.
+        for i in 0..19 {
+            srv.validate("alice", "000000", NOW + 60 + i);
+        }
+        assert!(srv.status("alice").unwrap().active);
+    }
+
+    #[test]
+    fn staff_reset_unlocks() {
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        for i in 0..20 {
+            srv.validate("alice", "000000", NOW + i);
+        }
+        assert_eq!(srv.validate("alice", "x", NOW + 30), ValidationOutcome::Locked);
+        assert!(srv.reset_failcount("alice", NOW + 40));
+        let code = soft_device(&secret).displayed_code(NOW + 60);
+        assert!(srv.validate("alice", &code, NOW + 60).is_success());
+        assert!(!srv.reset_failcount("nobody", NOW));
+    }
+
+    #[test]
+    fn sms_flow_send_validate() {
+        let srv = server();
+        let phone = PhoneNumber::parse("5125551234").unwrap();
+        srv.enroll_sms("bob", phone.clone(), NOW);
+        let SmsTrigger::Sent(msg) = srv.trigger_sms("bob", NOW) else {
+            panic!("expected send");
+        };
+        // The code rides inside the message body.
+        let code = msg.body.rsplit(' ').next().unwrap().to_string();
+        assert_eq!(code.len(), 6);
+        assert!(srv.validate("bob", &code, NOW + 10).is_success());
+        // Consumed: same code fails afterwards.
+        assert_eq!(srv.validate("bob", &code, NOW + 11), ValidationOutcome::WrongCode);
+    }
+
+    #[test]
+    fn sms_already_sent_suppression() {
+        let srv = server();
+        srv.enroll_sms("bob", PhoneNumber::parse("5125551234").unwrap(), NOW);
+        assert!(matches!(srv.trigger_sms("bob", NOW), SmsTrigger::Sent(_)));
+        assert_eq!(srv.trigger_sms("bob", NOW + 5), SmsTrigger::AlreadyActive);
+        // After expiry a new send goes out.
+        assert!(matches!(
+            srv.trigger_sms("bob", NOW + SMS_CODE_VALIDITY_SECS + 1),
+            SmsTrigger::Sent(_)
+        ));
+        assert_eq!(srv.audit().count(AuditAction::SmsSuppressed, true), 1);
+    }
+
+    #[test]
+    fn sms_code_expires() {
+        let srv = server();
+        srv.enroll_sms("bob", PhoneNumber::parse("5125551234").unwrap(), NOW);
+        let SmsTrigger::Sent(msg) = srv.trigger_sms("bob", NOW) else {
+            panic!()
+        };
+        let code = msg.body.rsplit(' ').next().unwrap().to_string();
+        assert_eq!(
+            srv.validate("bob", &code, NOW + SMS_CODE_VALIDITY_SECS + 1),
+            ValidationOutcome::WrongCode
+        );
+    }
+
+    #[test]
+    fn sms_trigger_classifications() {
+        let srv = server();
+        assert_eq!(srv.trigger_sms("ghost", NOW), SmsTrigger::NoToken);
+        srv.enroll_soft("alice", NOW);
+        assert_eq!(srv.trigger_sms("alice", NOW), SmsTrigger::NotSmsUser);
+        srv.enroll_sms("bob", PhoneNumber::parse("5125551234").unwrap(), NOW);
+        srv.store().with_record("bob", |r| r.active = false);
+        assert_eq!(srv.trigger_sms("bob", NOW), SmsTrigger::Locked);
+    }
+
+    #[test]
+    fn static_training_codes_are_reusable() {
+        let srv = server();
+        let code = srv.enroll_static("train01", NOW);
+        assert!(srv.validate("train01", &code, NOW).is_success());
+        // Reusable within the session (no replay nullification for static).
+        assert!(srv.validate("train01", &code, NOW + 100).is_success());
+        assert_eq!(srv.validate("train01", "999999", NOW), ValidationOutcome::WrongCode);
+        // Regeneration invalidates the old code.
+        let new_code = srv.enroll_static("train01", NOW + 200);
+        assert_ne!(code, new_code);
+        assert_eq!(srv.validate("train01", &code, NOW + 201), ValidationOutcome::WrongCode);
+    }
+
+    #[test]
+    fn validation_without_pairing() {
+        let srv = server();
+        assert_eq!(srv.validate("ghost", "123456", NOW), ValidationOutcome::NoToken);
+    }
+
+    #[test]
+    fn resync_recovers_badly_drifted_fob() {
+        let srv = server();
+        let secret = Secret::from_bytes(*b"12345678901234567890");
+        srv.enroll_hard("carol", "TACC-0042", secret.clone(), NOW);
+        // The fob drifted 2 hours (240 steps) — far outside ±300 s.
+        let fob_time = NOW - 7200;
+        let fob = soft_device(&secret);
+        assert_eq!(
+            srv.validate("carol", &fob.displayed_code(fob_time), NOW),
+            ValidationOutcome::WrongCode
+        );
+        // Staff resync with two consecutive codes.
+        let c1 = fob.displayed_code(fob_time);
+        let c2 = fob.displayed_code(fob_time + 30);
+        assert!(srv.resync("carol", &c1, &c2, NOW));
+        // Fob codes now validate at its own pace.
+        let c3 = fob.displayed_code(fob_time + 60);
+        assert!(srv.validate("carol", &c3, NOW + 60).is_success());
+    }
+
+    #[test]
+    fn resync_rejects_nonconsecutive_codes() {
+        let srv = server();
+        let secret = Secret::from_bytes(*b"12345678901234567890");
+        srv.enroll_hard("carol", "TACC-0042", secret.clone(), NOW);
+        let fob = soft_device(&secret);
+        let c1 = fob.displayed_code(NOW);
+        let c_far = fob.displayed_code(NOW + 300);
+        assert!(!srv.resync("carol", &c1, &c_far, NOW));
+        assert!(!srv.resync("nobody", "111111", "222222", NOW));
+    }
+
+    #[test]
+    fn audit_trail_records_validations() {
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        let code = soft_device(&secret).displayed_code(NOW);
+        srv.validate("alice", &code, NOW);
+        srv.validate("alice", "000000", NOW + 1);
+        let entries = srv.audit().for_user("alice");
+        assert_eq!(entries.len(), 3); // enroll + 2 validations
+        assert!(entries.iter().any(|e| e.action == AuditAction::Enroll));
+        assert_eq!(srv.audit().count(AuditAction::Validate, true), 1);
+        assert_eq!(srv.audit().count(AuditAction::Validate, false), 1);
+        // Codes never appear in audit details.
+        assert!(entries.iter().all(|e| !e.detail.contains(&code)));
+    }
+
+    #[test]
+    fn concurrent_validation_storm() {
+        let srv = server();
+        for u in 0..16 {
+            srv.enroll_soft(&format!("user{u}"), NOW);
+        }
+        let mut handles = Vec::new();
+        for u in 0..16 {
+            let s = Arc::clone(&srv);
+            handles.push(std::thread::spawn(move || {
+                let name = format!("user{u}");
+                for i in 0..50 {
+                    let _ = s.validate(&name, "000000", NOW + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every user hit the lockout threshold exactly.
+        for u in 0..16 {
+            assert!(!srv.status(&format!("user{u}")).unwrap().active);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The token store — the MariaDB-backed LinOTP user repository (§3.1).
+//!
+//! One record per user: the pairing (which kind of token and its secret
+//! material), replay-prevention state, the consecutive-failure counter, and
+//! the active flag the lockout policy clears.
+
+use crate::sms::PhoneNumber;
+use hpcmfa_otp::totp::Totp;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which physical token a TOTP pairing corresponds to (identical math,
+/// different provenance and reporting label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TotpProvenance {
+    /// Secret minted by the portal and imported via QR (smartphone app).
+    Soft,
+    /// Factory-seeded fob identified by serial number.
+    Hard,
+}
+
+/// An SMS code awaiting use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingSmsCode {
+    /// The six-digit code that was texted.
+    pub code: String,
+    /// When it was generated.
+    pub sent_at: u64,
+    /// When it stops being accepted.
+    pub expires_at: u64,
+}
+
+impl PendingSmsCode {
+    /// Whether the code is still usable at `now`.
+    pub fn active(&self, now: u64) -> bool {
+        now < self.expires_at
+    }
+}
+
+/// A user's pairing record.
+#[derive(Debug, Clone)]
+pub enum TokenPairing {
+    /// Soft or hard TOTP token.
+    Totp {
+        /// Generator bound to the shared secret.
+        totp: Totp,
+        /// Soft or hard.
+        provenance: TotpProvenance,
+        /// Hard-token serial, if any.
+        serial: Option<String>,
+        /// Highest accepted time step — used codes are nullified (§3.2) by
+        /// refusing any step at or below this.
+        last_step: Option<u64>,
+        /// Resync adjustment in whole time steps (admin "re-synchronize
+        /// tokens", §3.1).
+        drift_steps: i64,
+    },
+    /// SMS token: the server texts a fresh code on demand.
+    Sms {
+        /// Destination number.
+        phone: PhoneNumber,
+        /// The outstanding code, if one is active.
+        pending: Option<PendingSmsCode>,
+    },
+    /// Static training-account code (§3.3, fourth token type).
+    Static {
+        /// The fixed six-digit code.
+        code: String,
+    },
+}
+
+impl TokenPairing {
+    /// The reporting label (Table 1 rows).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            TokenPairing::Totp {
+                provenance: TotpProvenance::Soft,
+                ..
+            } => "soft",
+            TokenPairing::Totp {
+                provenance: TotpProvenance::Hard,
+                ..
+            } => "hard",
+            TokenPairing::Sms { .. } => "sms",
+            TokenPairing::Static { .. } => "training",
+        }
+    }
+}
+
+/// Per-user record in the store.
+#[derive(Debug, Clone)]
+pub struct UserTokenRecord {
+    /// The pairing.
+    pub pairing: TokenPairing,
+    /// Consecutive validation failures since the last success/reset.
+    pub fail_count: u32,
+    /// Cleared by the lockout policy; admins re-activate.
+    pub active: bool,
+}
+
+/// Status summary exposed to admins and the internal staff website (§3.1:
+/// deactivation info "is available to staff via an internal website").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserTokenStatus {
+    /// Pairing kind label.
+    pub kind: String,
+    /// Current consecutive failures.
+    pub fail_count: u32,
+    /// Whether validation is currently allowed.
+    pub active: bool,
+    /// Hard-token serial if applicable.
+    pub serial: Option<String>,
+}
+
+/// Thread-safe token store. Clone shares state.
+#[derive(Clone, Default)]
+pub struct TokenStore {
+    users: Arc<RwLock<BTreeMap<String, UserTokenRecord>>>,
+}
+
+impl TokenStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enroll (or replace) a pairing for `username`. Re-enrolling resets
+    /// failure state, matching LinOTP's behaviour on token re-init.
+    pub fn enroll(&self, username: &str, pairing: TokenPairing) {
+        self.users.write().insert(
+            username.to_string(),
+            UserTokenRecord {
+                pairing,
+                fail_count: 0,
+                active: true,
+            },
+        );
+    }
+
+    /// Remove a user's pairing. Returns whether one existed.
+    pub fn remove(&self, username: &str) -> bool {
+        self.users.write().remove(username).is_some()
+    }
+
+    /// Whether the user has any pairing.
+    pub fn has_pairing(&self, username: &str) -> bool {
+        self.users.read().contains_key(username)
+    }
+
+    /// Snapshot a user's record.
+    pub fn get(&self, username: &str) -> Option<UserTokenRecord> {
+        self.users.read().get(username).cloned()
+    }
+
+    /// Status summary for staff tooling.
+    pub fn status(&self, username: &str) -> Option<UserTokenStatus> {
+        self.users.read().get(username).map(|r| UserTokenStatus {
+            kind: r.pairing.kind_label().to_string(),
+            fail_count: r.fail_count,
+            active: r.active,
+            serial: match &r.pairing {
+                TokenPairing::Totp { serial, .. } => serial.clone(),
+                _ => None,
+            },
+        })
+    }
+
+    /// Mutate a user's record under the write lock. Returns `None` if the
+    /// user has no pairing, else the closure's result.
+    pub fn with_record<T>(
+        &self,
+        username: &str,
+        f: impl FnOnce(&mut UserTokenRecord) -> T,
+    ) -> Option<T> {
+        self.users.write().get_mut(username).map(f)
+    }
+
+    /// Number of enrolled users.
+    pub fn len(&self) -> usize {
+        self.users.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.read().is_empty()
+    }
+
+    /// Count pairings by kind label — the Table 1 numerator.
+    pub fn breakdown(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for rec in self.users.read().values() {
+            *out.entry(rec.pairing.kind_label()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmfa_otp::secret::Secret;
+
+    fn totp_pairing(provenance: TotpProvenance) -> TokenPairing {
+        TokenPairing::Totp {
+            totp: Totp::new(Secret::from_bytes(*b"12345678901234567890")),
+            provenance,
+            serial: match provenance {
+                TotpProvenance::Hard => Some("TACC-0001".into()),
+                TotpProvenance::Soft => None,
+            },
+            last_step: None,
+            drift_steps: 0,
+        }
+    }
+
+    #[test]
+    fn enroll_get_remove() {
+        let store = TokenStore::new();
+        assert!(!store.has_pairing("alice"));
+        store.enroll("alice", totp_pairing(TotpProvenance::Soft));
+        assert!(store.has_pairing("alice"));
+        assert_eq!(store.len(), 1);
+        assert!(store.remove("alice"));
+        assert!(!store.remove("alice"));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn reenroll_resets_failures() {
+        let store = TokenStore::new();
+        store.enroll("alice", totp_pairing(TotpProvenance::Soft));
+        store.with_record("alice", |r| {
+            r.fail_count = 19;
+            r.active = false;
+        });
+        store.enroll("alice", totp_pairing(TotpProvenance::Soft));
+        let rec = store.get("alice").unwrap();
+        assert_eq!(rec.fail_count, 0);
+        assert!(rec.active);
+    }
+
+    #[test]
+    fn status_reports_kind_and_serial() {
+        let store = TokenStore::new();
+        store.enroll("h", totp_pairing(TotpProvenance::Hard));
+        store.enroll(
+            "s",
+            TokenPairing::Sms {
+                phone: PhoneNumber::parse("5125551234").unwrap(),
+                pending: None,
+            },
+        );
+        store.enroll(
+            "t",
+            TokenPairing::Static {
+                code: "123456".into(),
+            },
+        );
+        assert_eq!(store.status("h").unwrap().kind, "hard");
+        assert_eq!(store.status("h").unwrap().serial.as_deref(), Some("TACC-0001"));
+        assert_eq!(store.status("s").unwrap().kind, "sms");
+        assert_eq!(store.status("t").unwrap().kind, "training");
+        assert_eq!(store.status("missing"), None);
+    }
+
+    #[test]
+    fn breakdown_counts() {
+        let store = TokenStore::new();
+        store.enroll("a", totp_pairing(TotpProvenance::Soft));
+        store.enroll("b", totp_pairing(TotpProvenance::Soft));
+        store.enroll("c", totp_pairing(TotpProvenance::Hard));
+        let b = store.breakdown();
+        assert_eq!(b.get("soft"), Some(&2));
+        assert_eq!(b.get("hard"), Some(&1));
+        assert_eq!(b.get("sms"), None);
+    }
+
+    #[test]
+    fn pending_sms_activity_window() {
+        let p = PendingSmsCode {
+            code: "111111".into(),
+            sent_at: 100,
+            expires_at: 400,
+        };
+        assert!(p.active(100));
+        assert!(p.active(399));
+        assert!(!p.active(400));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the OTP server: JSON codec round trips and
+//! validation-engine invariants.
+
+use hpcmfa_otpserver::json::Json;
+use hpcmfa_otpserver::server::{LinotpServer, ValidationOutcome};
+use hpcmfa_otpserver::sms::TwilioSim;
+use hpcmfa_otp::device::SoftToken;
+use hpcmfa_otp::totp::TotpParams;
+use proptest::prelude::*;
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1.0e9..1.0e9f64).prop_map(|f| Json::Num((f * 100.0).round() / 100.0)),
+        "\\PC{0,20}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 32, 5, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Json::Arr),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..5).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_round_trips(value in arb_json()) {
+        let text = value.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn json_parse_never_panics(text in "\\PC{0,200}") {
+        let _ = Json::parse(&text);
+    }
+
+    /// The engine never accepts a malformed candidate for a TOTP pairing,
+    /// whatever the account's state.
+    #[test]
+    fn malformed_codes_never_validate(
+        code in "[0-9]{1,5}|[0-9]{7,9}|[a-zA-Z!@#]{1,8}|",
+        t in 1_400_000_000u64..1_500_000_000,
+    ) {
+        let srv = LinotpServer::new(TwilioSim::new(1), 5);
+        srv.enroll_soft("u", t);
+        prop_assert_ne!(srv.validate("u", &code, t), ValidationOutcome::Success);
+    }
+
+    /// Lockout invariant: after any interleaving of wrong codes and
+    /// correct codes, the account is inactive iff some run of consecutive
+    /// failures reached the threshold — and a success always resets the
+    /// streak.
+    #[test]
+    fn lockout_streak_semantics(pattern in proptest::collection::vec(any::<bool>(), 1..60)) {
+        let srv = LinotpServer::new(TwilioSim::new(2), 6);
+        let start = 1_475_000_000u64;
+        let secret = srv.enroll_soft("u", start);
+        let device = SoftToken::new(secret, TotpParams::default());
+
+        let mut streak = 0u32;
+        let mut locked = false;
+        for (i, &good) in pattern.iter().enumerate() {
+            let t = start + (i as u64 + 1) * 30; // fresh step each attempt
+            let outcome = if good {
+                let code = device.displayed_code(t);
+                srv.validate("u", &code, t)
+            } else {
+                srv.validate("u", "000000", t)
+            };
+            // Model the spec.
+            if locked {
+                prop_assert_eq!(outcome, ValidationOutcome::Locked, "attempt {}", i);
+                continue;
+            }
+            if good {
+                prop_assert_eq!(outcome, ValidationOutcome::Success, "attempt {}", i);
+                streak = 0;
+            } else {
+                prop_assert_eq!(outcome, ValidationOutcome::WrongCode, "attempt {}", i);
+                streak += 1;
+                if streak >= hpcmfa_otpserver::LOCKOUT_THRESHOLD {
+                    locked = true;
+                }
+            }
+            let status = srv.status("u").unwrap();
+            prop_assert_eq!(status.active, !locked, "attempt {}", i);
+        }
+    }
+
+    /// Replay invariant: a code that validated once never validates again,
+    /// no matter how much later it is retried (within the secret's life).
+    #[test]
+    fn accepted_codes_never_replay(delay_steps in 0u64..9) {
+        let srv = LinotpServer::new(TwilioSim::new(3), 7);
+        let start = 1_475_000_000u64;
+        let secret = srv.enroll_soft("u", start);
+        let device = SoftToken::new(secret, TotpParams::default());
+        let code = device.displayed_code(start);
+        prop_assert_eq!(srv.validate("u", &code, start), ValidationOutcome::Success);
+        let retry_at = start + delay_steps * 30;
+        prop_assert_ne!(srv.validate("u", &code, retry_at), ValidationOutcome::Success);
+    }
+}

@@ -1,0 +1,80 @@
+//! The per-authentication PAM context: who is logging in, from where, and
+//! through which conversation.
+
+use crate::conv::Conversation;
+use hpcmfa_otp::clock::Clock;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Context threaded through every module in a stack run.
+pub struct PamContext<'a> {
+    /// The authenticating login name (`PAM_USER`).
+    pub username: String,
+    /// The remote host address (`PAM_RHOST`).
+    pub rhost: Ipv4Addr,
+    /// Service name (`sshd`).
+    pub service: String,
+    /// Time source.
+    pub clock: Arc<dyn Clock>,
+    /// The application conversation.
+    pub conv: &'a mut dyn Conversation,
+    /// Set by the pubkey module when first-factor public key authentication
+    /// has already succeeded (its "success" signal to the rest of the
+    /// stack).
+    pub pubkey_succeeded: bool,
+    /// Set by a risk-assessment module (see `hpcmfa-risk`) to demand
+    /// step-up authentication: exemption modules honour it by declining to
+    /// bypass the second factor for this login.
+    pub risk_step_up: bool,
+}
+
+impl<'a> PamContext<'a> {
+    /// Build a context for `username` from `rhost`.
+    pub fn new(
+        username: &str,
+        rhost: Ipv4Addr,
+        clock: Arc<dyn Clock>,
+        conv: &'a mut dyn Conversation,
+    ) -> Self {
+        PamContext {
+            username: username.to_string(),
+            rhost,
+            service: "sshd".to_string(),
+            clock,
+            conv,
+            pubkey_succeeded: false,
+            risk_step_up: false,
+        }
+    }
+
+    /// Current Unix time.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::ScriptedConversation;
+    use hpcmfa_otp::clock::SimClock;
+
+    #[test]
+    fn context_carries_identity_and_time() {
+        let clock = SimClock::at(1000);
+        let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
+        let ctx = PamContext::new(
+            "alice",
+            Ipv4Addr::new(10, 0, 0, 1),
+            Arc::new(clock.clone()),
+            &mut conv,
+        );
+        assert_eq!(ctx.username, "alice");
+        assert_eq!(ctx.rhost, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(ctx.service, "sshd");
+        assert_eq!(ctx.now(), 1000);
+        assert!(!ctx.pubkey_succeeded);
+        clock.advance(30);
+        assert_eq!(ctx.now(), 1030);
+    }
+}

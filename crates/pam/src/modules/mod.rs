@@ -1,0 +1,14 @@
+//! The PAM modules of Figure 1: the four in-house modules plus the stock
+//! first-factor password module they compose with.
+
+pub mod exemption;
+pub mod password;
+pub mod pubkey;
+pub mod solaris;
+pub mod token;
+
+pub use exemption::ExemptionModule;
+pub use password::{hash_password, UnixPasswordModule, PASSWORD_ATTR};
+pub use pubkey::{AuthLogSource, PubkeyCheckModule};
+pub use solaris::SolarisComboModule;
+pub use token::{EnforcementMode, TokenModule};

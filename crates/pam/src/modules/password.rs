@@ -1,0 +1,166 @@
+//! The stock first-factor password module (the `pam_unix` role in
+//! Figure 1): "an existing PAM module instead ensures that the user enters
+//! an appropriate password as their first factor of authentication" (§3.4).
+//!
+//! Credentials live in the LDAP directory as salted SHA-256 digests in the
+//! `userPassword` attribute, format `{SSHA256}salt$hex`.
+
+use crate::context::PamContext;
+use crate::conv::{ConvError, Prompt};
+use crate::stack::{PamModule, PamResult};
+use hpcmfa_crypto::hex::to_hex;
+use hpcmfa_crypto::sha256::sha256;
+use hpcmfa_directory::ldap::{Directory, Filter};
+use std::sync::Arc;
+
+/// The directory attribute holding the password hash.
+pub const PASSWORD_ATTR: &str = "userPassword";
+
+/// Hash a password for storage: `{SSHA256}salt$hex(sha256(salt || pw))`.
+pub fn hash_password(password: &str, salt: &str) -> String {
+    let mut input = salt.as_bytes().to_vec();
+    input.extend_from_slice(password.as_bytes());
+    format!("{{SSHA256}}{salt}${}", to_hex(&sha256(&input)))
+}
+
+/// Verify a candidate against a stored hash.
+pub fn verify_password(candidate: &str, stored: &str) -> bool {
+    let Some(rest) = stored.strip_prefix("{SSHA256}") else {
+        return false;
+    };
+    let Some((salt, _hex)) = rest.split_once('$') else {
+        return false;
+    };
+    hpcmfa_crypto::ct::ct_eq_str(&hash_password(candidate, salt), stored)
+}
+
+/// The password-checking module.
+pub struct UnixPasswordModule {
+    directory: Directory,
+    base: String,
+}
+
+impl UnixPasswordModule {
+    /// Check passwords against entries under `base` in `directory`.
+    pub fn new(directory: Directory, base: &str) -> Arc<Self> {
+        Arc::new(UnixPasswordModule {
+            directory,
+            base: base.to_string(),
+        })
+    }
+}
+
+impl PamModule for UnixPasswordModule {
+    fn name(&self) -> &'static str {
+        "pam_unix"
+    }
+
+    fn authenticate(&self, ctx: &mut PamContext<'_>) -> PamResult {
+        let answer = match ctx.conv.converse(&Prompt::EchoOff("Password: ".into())) {
+            Ok(a) => a,
+            Err(ConvError::Aborted) | Err(ConvError::Unsupported) => return PamResult::Abort,
+        };
+        let hits = self
+            .directory
+            .search(&self.base, &Filter::eq("uid", &ctx.username));
+        let Some(entry) = hits.first() else {
+            // Unknown user: indistinguishable from a bad password.
+            return PamResult::AuthErr;
+        };
+        match entry.get_one(PASSWORD_ATTR) {
+            Some(stored) if verify_password(&answer, stored) => PamResult::Success,
+            _ => PamResult::AuthErr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::ScriptedConversation;
+    use hpcmfa_directory::ldap::Entry;
+    use hpcmfa_otp::clock::SimClock;
+    use std::net::Ipv4Addr;
+
+    fn directory_with(user: &str, password: &str) -> Directory {
+        let dir = Directory::new();
+        dir.add(
+            Entry::new(format!("uid={user},ou=people,dc=tacc"))
+                .with_attr("uid", user)
+                .with_attr(PASSWORD_ATTR, &hash_password(password, "s4lt")),
+        )
+        .unwrap();
+        dir
+    }
+
+    fn run(module: &UnixPasswordModule, user: &str, answers: Vec<&str>) -> PamResult {
+        let mut conv = ScriptedConversation::with_answers(answers);
+        let mut ctx = PamContext::new(
+            user,
+            Ipv4Addr::new(8, 8, 8, 8),
+            Arc::new(SimClock::at(0)),
+            &mut conv,
+        );
+        module.authenticate(&mut ctx)
+    }
+
+    #[test]
+    fn hash_and_verify() {
+        let h = hash_password("hunter2", "abc");
+        assert!(h.starts_with("{SSHA256}abc$"));
+        assert!(verify_password("hunter2", &h));
+        assert!(!verify_password("hunter3", &h));
+        assert!(!verify_password("hunter2", "plaintext"));
+        assert!(!verify_password("hunter2", "{SSHA256}missing-dollar"));
+    }
+
+    #[test]
+    fn salts_produce_distinct_hashes() {
+        assert_ne!(hash_password("pw", "salt1"), hash_password("pw", "salt2"));
+    }
+
+    #[test]
+    fn correct_password_succeeds() {
+        let dir = directory_with("alice", "correct horse");
+        let m = UnixPasswordModule::new(dir, "dc=tacc");
+        assert_eq!(run(&m, "alice", vec!["correct horse"]), PamResult::Success);
+    }
+
+    #[test]
+    fn wrong_password_fails() {
+        let dir = directory_with("alice", "correct horse");
+        let m = UnixPasswordModule::new(dir, "dc=tacc");
+        assert_eq!(run(&m, "alice", vec!["battery staple"]), PamResult::AuthErr);
+    }
+
+    #[test]
+    fn unknown_user_fails_identically() {
+        let dir = directory_with("alice", "pw");
+        let m = UnixPasswordModule::new(dir, "dc=tacc");
+        assert_eq!(run(&m, "mallory", vec!["pw"]), PamResult::AuthErr);
+    }
+
+    #[test]
+    fn conversation_failure_aborts() {
+        let dir = directory_with("alice", "pw");
+        let m = UnixPasswordModule::new(dir, "dc=tacc");
+        assert_eq!(run(&m, "alice", vec![]), PamResult::Abort);
+    }
+
+    #[test]
+    fn prompt_is_echo_off() {
+        let dir = directory_with("alice", "pw");
+        let m = UnixPasswordModule::new(dir, "dc=tacc");
+        let mut conv = ScriptedConversation::with_answers(["pw"]);
+        let transcript = conv.transcript();
+        let mut ctx = PamContext::new(
+            "alice",
+            Ipv4Addr::new(8, 8, 8, 8),
+            Arc::new(SimClock::at(0)),
+            &mut conv,
+        );
+        m.authenticate(&mut ctx);
+        let t = transcript.lock();
+        assert!(matches!(t[0].prompt, Prompt::EchoOff(_)));
+    }
+}

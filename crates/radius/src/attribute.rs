@@ -1,0 +1,143 @@
+//! RADIUS attribute TLVs (RFC 2865 §5).
+
+use bytes::{BufMut, BytesMut};
+
+/// The attribute types this infrastructure uses.
+///
+/// Numeric values are the IANA assignments so the wire format
+/// interoperates with real RADIUS tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeType {
+    /// 1 — the authenticating login name.
+    UserName,
+    /// 2 — hidden password / token code.
+    UserPassword,
+    /// 4 — NAS (login node) IPv4 address.
+    NasIpAddress,
+    /// 18 — text shown to the user (prompts, "SMS already sent", countdown
+    /// notices).
+    ReplyMessage,
+    /// 24 — opaque server state for challenge–response round trips.
+    State,
+    /// 31 — the remote client address, used for exemption decisions.
+    CallingStationId,
+    /// 32 — NAS identifier string.
+    NasIdentifier,
+    /// 33 — proxy bookkeeping, appended/removed by each proxy hop.
+    ProxyState,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl AttributeType {
+    /// IANA attribute number.
+    pub fn code(self) -> u8 {
+        match self {
+            AttributeType::UserName => 1,
+            AttributeType::UserPassword => 2,
+            AttributeType::NasIpAddress => 4,
+            AttributeType::ReplyMessage => 18,
+            AttributeType::State => 24,
+            AttributeType::CallingStationId => 31,
+            AttributeType::NasIdentifier => 32,
+            AttributeType::ProxyState => 33,
+            AttributeType::Other(c) => c,
+        }
+    }
+
+    /// Map a wire code back to a type.
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            1 => AttributeType::UserName,
+            2 => AttributeType::UserPassword,
+            4 => AttributeType::NasIpAddress,
+            18 => AttributeType::ReplyMessage,
+            24 => AttributeType::State,
+            31 => AttributeType::CallingStationId,
+            32 => AttributeType::NasIdentifier,
+            33 => AttributeType::ProxyState,
+            other => AttributeType::Other(other),
+        }
+    }
+}
+
+/// One attribute: type plus raw value bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute type.
+    pub ty: AttributeType,
+    /// Raw value (≤ 253 bytes on the wire).
+    pub value: Vec<u8>,
+}
+
+impl Attribute {
+    /// Construct from type and raw bytes.
+    pub fn new(ty: AttributeType, value: impl Into<Vec<u8>>) -> Self {
+        Attribute {
+            ty,
+            value: value.into(),
+        }
+    }
+
+    /// Text-valued attribute helper.
+    pub fn text(ty: AttributeType, s: &str) -> Self {
+        Attribute::new(ty, s.as_bytes().to_vec())
+    }
+
+    /// Value as UTF-8 text, if valid.
+    pub fn as_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.value).ok()
+    }
+
+    /// Encoded length on the wire (2-byte header + value).
+    pub fn wire_len(&self) -> usize {
+        2 + self.value.len()
+    }
+
+    /// Append the TLV encoding to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        debug_assert!(self.value.len() <= 253, "attribute value too long");
+        buf.put_u8(self.ty.code());
+        buf.put_u8(self.wire_len() as u8);
+        buf.put_slice(&self.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in 0u8..=255 {
+            assert_eq!(AttributeType::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn known_codes() {
+        assert_eq!(AttributeType::UserName.code(), 1);
+        assert_eq!(AttributeType::UserPassword.code(), 2);
+        assert_eq!(AttributeType::ReplyMessage.code(), 18);
+        assert_eq!(AttributeType::State.code(), 24);
+        assert_eq!(AttributeType::CallingStationId.code(), 31);
+        assert_eq!(AttributeType::ProxyState.code(), 33);
+    }
+
+    #[test]
+    fn encode_layout() {
+        let a = Attribute::text(AttributeType::UserName, "alice");
+        let mut buf = BytesMut::new();
+        a.encode(&mut buf);
+        assert_eq!(&buf[..], &[1, 7, b'a', b'l', b'i', b'c', b'e']);
+        assert_eq!(a.wire_len(), 7);
+    }
+
+    #[test]
+    fn text_accessor() {
+        let a = Attribute::text(AttributeType::ReplyMessage, "Enter token:");
+        assert_eq!(a.as_text(), Some("Enter token:"));
+        let b = Attribute::new(AttributeType::State, vec![0xff, 0xfe]);
+        assert_eq!(b.as_text(), None);
+    }
+}

@@ -1,0 +1,440 @@
+//! The RADIUS client embedded in the PAM token module.
+//!
+//! "These API calls communicate with RADIUS servers in a round-robin fashion
+//! to provide load balancing and resiliency if specific RADIUS servers are
+//! unavailable" (§3.4). The client owns a list of transports; each request
+//! starts at the next rotor position and fails over through the remaining
+//! servers on timeout or unreachability. Response authenticators are
+//! verified before a reply is trusted.
+
+use crate::attribute::{Attribute, AttributeType};
+use crate::auth::{hide_password, request_authenticator, verify_response};
+use crate::packet::{Code, Packet};
+use crate::transport::{Transport, TransportError};
+use rand::RngCore;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// Shared secret with all servers in the pool.
+    pub secret: Vec<u8>,
+    /// NAS identifier sent with every request (the login node's name).
+    pub nas_identifier: String,
+    /// How many times to walk the full server list before giving up.
+    pub max_rounds: u32,
+}
+
+impl ClientConfig {
+    /// Config with one walk of the server list.
+    pub fn new(secret: impl Into<Vec<u8>>, nas_identifier: &str) -> Self {
+        ClientConfig {
+            secret: secret.into(),
+            nas_identifier: nas_identifier.to_string(),
+            max_rounds: 1,
+        }
+    }
+}
+
+/// Errors surfaced to the PAM module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Every server in the pool failed.
+    AllServersFailed {
+        /// Number of exchange attempts made.
+        attempts: u32,
+    },
+    /// A reply arrived but its authenticator did not verify — treated as an
+    /// attack or misconfiguration, never as a success.
+    BadAuthenticator,
+    /// A reply arrived with the wrong identifier.
+    IdentifierMismatch {
+        /// What we sent.
+        expected: u8,
+        /// What came back.
+        got: u8,
+    },
+    /// No transports configured.
+    NoServers,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::AllServersFailed { attempts } => {
+                write!(f, "all RADIUS servers failed after {attempts} attempts")
+            }
+            ClientError::BadAuthenticator => write!(f, "response authenticator mismatch"),
+            ClientError::IdentifierMismatch { expected, got } => {
+                write!(f, "identifier mismatch: sent {expected}, got {got}")
+            }
+            ClientError::NoServers => write!(f, "no RADIUS servers configured"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The verified outcome of one authentication exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Access-Accept.
+    Accept {
+        /// Optional message for the user.
+        message: Option<String>,
+    },
+    /// Access-Reject.
+    Reject {
+        /// Optional message for the user.
+        message: Option<String>,
+    },
+    /// Access-Challenge: present `message` and reply with `state` echoed.
+    Challenge {
+        /// Opaque state to echo in the follow-up request.
+        state: Vec<u8>,
+        /// Prompt to present (e.g. `TACC Token:` or "SMS already sent").
+        message: Option<String>,
+    },
+}
+
+/// Failover counters for the resiliency benches.
+#[derive(Default)]
+pub struct ClientStats {
+    /// Total requests issued by callers.
+    pub requests: AtomicU64,
+    /// Individual exchange attempts (≥ requests).
+    pub attempts: AtomicU64,
+    /// Attempts that failed over to another server.
+    pub failovers: AtomicU64,
+}
+
+/// A round-robin, failover RADIUS client.
+pub struct RadiusClient {
+    config: ClientConfig,
+    transports: Vec<Arc<dyn Transport>>,
+    rotor: AtomicUsize,
+    identifier: AtomicUsize,
+    /// Exchange counters.
+    pub stats: ClientStats,
+}
+
+impl RadiusClient {
+    /// Build a client over `transports`.
+    pub fn new(config: ClientConfig, transports: Vec<Arc<dyn Transport>>) -> Self {
+        RadiusClient {
+            config,
+            transports,
+            rotor: AtomicUsize::new(0),
+            identifier: AtomicUsize::new(0),
+            stats: ClientStats::default(),
+        }
+    }
+
+    fn next_identifier(&self) -> u8 {
+        (self.identifier.fetch_add(1, Ordering::Relaxed) & 0xff) as u8
+    }
+
+    /// Start an authentication: `password` may be empty (null request) to
+    /// open a challenge round / trigger an SMS.
+    pub fn authenticate<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        password: &[u8],
+        calling_station: &str,
+    ) -> Result<Outcome, ClientError> {
+        self.request(rng, username, password, calling_station, None)
+    }
+
+    /// Continue a challenge with the user's answer and the echoed state.
+    pub fn respond_to_challenge<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        answer: &[u8],
+        calling_station: &str,
+        state: &[u8],
+    ) -> Result<Outcome, ClientError> {
+        self.request(rng, username, answer, calling_station, Some(state))
+    }
+
+    fn request<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        password: &[u8],
+        calling_station: &str,
+        state: Option<&[u8]>,
+    ) -> Result<Outcome, ClientError> {
+        if self.transports.is_empty() {
+            return Err(ClientError::NoServers);
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        let ra = request_authenticator(rng);
+        let id = self.next_identifier();
+        let mut packet = Packet::new(Code::AccessRequest, id, ra)
+            .with_attribute(Attribute::text(AttributeType::UserName, username))
+            .with_attribute(Attribute::new(
+                AttributeType::UserPassword,
+                hide_password(password, &ra, &self.config.secret),
+            ))
+            .with_attribute(Attribute::text(
+                AttributeType::NasIdentifier,
+                &self.config.nas_identifier,
+            ))
+            .with_attribute(Attribute::text(
+                AttributeType::CallingStationId,
+                calling_station,
+            ));
+        if let Some(s) = state {
+            packet = packet.with_attribute(Attribute::new(AttributeType::State, s.to_vec()));
+        }
+        let wire = packet.encode();
+
+        // Round-robin with failover: start at the rotor, try every server,
+        // repeat up to max_rounds walks.
+        let n = self.transports.len();
+        let start = self.rotor.fetch_add(1, Ordering::Relaxed);
+        let mut attempts = 0u32;
+        for round in 0..self.config.max_rounds {
+            for k in 0..n {
+                let idx = (start + k) % n;
+                attempts += 1;
+                self.stats.attempts.fetch_add(1, Ordering::Relaxed);
+                if round > 0 || k > 0 {
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                match self.transports[idx].exchange(&wire) {
+                    Ok(reply) => return self.interpret(&reply, id, &ra),
+                    Err(TransportError::Timeout) | Err(TransportError::Unreachable) => continue,
+                    Err(TransportError::Io(_)) | Err(TransportError::GarbledReply) => continue,
+                }
+            }
+        }
+        Err(ClientError::AllServersFailed { attempts })
+    }
+
+    fn interpret(
+        &self,
+        reply: &[u8],
+        expected_id: u8,
+        request_auth: &[u8; 16],
+    ) -> Result<Outcome, ClientError> {
+        let resp = Packet::decode(reply).map_err(|_| ClientError::BadAuthenticator)?;
+        if resp.identifier != expected_id {
+            return Err(ClientError::IdentifierMismatch {
+                expected: expected_id,
+                got: resp.identifier,
+            });
+        }
+        if !verify_response(&resp, request_auth, &self.config.secret) {
+            return Err(ClientError::BadAuthenticator);
+        }
+        let message = resp
+            .text(AttributeType::ReplyMessage)
+            .map(|s| s.to_string());
+        match resp.code {
+            Code::AccessAccept => Ok(Outcome::Accept { message }),
+            Code::AccessReject => Ok(Outcome::Reject { message }),
+            Code::AccessChallenge => {
+                let state = resp
+                    .attribute(AttributeType::State)
+                    .map(|a| a.value.clone())
+                    .unwrap_or_default();
+                Ok(Outcome::Challenge { state, message })
+            }
+            Code::AccessRequest => Err(ClientError::BadAuthenticator),
+        }
+    }
+
+    /// Number of configured servers.
+    pub fn server_count(&self) -> usize {
+        self.transports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Handler, RadiusServer, ServerDecision};
+    use crate::transport::{FaultPlan, InMemoryTransport};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SECRET: &[u8] = b"pool-secret";
+
+    /// A handler that accepts password "123456", challenges empty
+    /// passwords, rejects the rest.
+    fn token_handler() -> Arc<dyn Handler> {
+        Arc::new(|_req: &Packet, pw: Option<&[u8]>| match pw {
+            Some(b"") => ServerDecision::Challenge(vec![
+                Attribute::new(AttributeType::State, b"chal-1".to_vec()),
+                Attribute::text(AttributeType::ReplyMessage, "TACC Token:"),
+            ]),
+            Some(b"123456") => ServerDecision::Accept(vec![]),
+            _ => ServerDecision::Reject(vec![Attribute::text(
+                AttributeType::ReplyMessage,
+                "Authentication error",
+            )]),
+        })
+    }
+
+    fn pool(n: usize) -> (RadiusClient, Vec<Arc<FaultPlan>>) {
+        let mut transports: Vec<Arc<dyn Transport>> = Vec::new();
+        let mut plans = Vec::new();
+        for i in 0..n {
+            let server = Arc::new(RadiusServer::new(SECRET, token_handler()));
+            let plan = FaultPlan::healthy();
+            plans.push(Arc::clone(&plan));
+            transports.push(Arc::new(InMemoryTransport::new(
+                &format!("radius{i}"),
+                server,
+                plan,
+            )));
+        }
+        let client = RadiusClient::new(ClientConfig::new(SECRET, "login1"), transports);
+        (client, plans)
+    }
+
+    #[test]
+    fn accept_and_reject() {
+        let (client, _) = pool(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ok = client
+            .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+            .unwrap();
+        assert!(matches!(ok, Outcome::Accept { .. }));
+        let bad = client
+            .authenticate(&mut rng, "alice", b"999999", "10.0.0.1")
+            .unwrap();
+        assert!(matches!(bad, Outcome::Reject { message: Some(m) } if m == "Authentication error"));
+    }
+
+    #[test]
+    fn challenge_round_trip() {
+        let (client, _) = pool(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = client
+            .authenticate(&mut rng, "alice", b"", "10.0.0.1")
+            .unwrap();
+        let (state, message) = match outcome {
+            Outcome::Challenge { state, message } => (state, message),
+            other => panic!("expected challenge, got {other:?}"),
+        };
+        assert_eq!(message.as_deref(), Some("TACC Token:"));
+        let final_outcome = client
+            .respond_to_challenge(&mut rng, "alice", b"123456", "10.0.0.1", &state)
+            .unwrap();
+        assert!(matches!(final_outcome, Outcome::Accept { .. }));
+    }
+
+    #[test]
+    fn round_robin_spreads_load() {
+        let (client, _) = pool(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..9 {
+            client
+                .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+                .unwrap();
+        }
+        // With a healthy pool each request is exactly one attempt.
+        assert_eq!(client.stats.attempts.load(Ordering::SeqCst), 9);
+        assert_eq!(client.stats.failovers.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn failover_on_down_server() {
+        let (client, plans) = pool(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        plans[0].set_down(true);
+        plans[1].set_down(true);
+        for _ in 0..6 {
+            let out = client
+                .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+                .unwrap();
+            assert!(matches!(out, Outcome::Accept { .. }));
+        }
+        assert!(client.stats.failovers.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn all_down_reports_failure() {
+        let (client, plans) = pool(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for p in &plans {
+            p.set_down(true);
+        }
+        let err = client
+            .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+            .unwrap_err();
+        assert_eq!(err, ClientError::AllServersFailed { attempts: 2 });
+    }
+
+    #[test]
+    fn recovery_after_outage() {
+        let (client, plans) = pool(2);
+        let mut rng = StdRng::seed_from_u64(6);
+        plans[0].set_down(true);
+        plans[1].set_down(true);
+        assert!(client
+            .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+            .is_err());
+        plans[1].set_down(false);
+        assert!(client
+            .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+            .is_ok());
+    }
+
+    #[test]
+    fn dropped_datagrams_retry_next_server() {
+        let (client, plans) = pool(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        // Drop every datagram on server 0.
+        plans[0].drop_every.store(1, Ordering::SeqCst);
+        for _ in 0..4 {
+            assert!(client
+                .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn wrong_pool_secret_rejected_as_bad_authenticator() {
+        let server = Arc::new(RadiusServer::new(b"other-secret".to_vec(), token_handler()));
+        let transport: Arc<dyn Transport> = Arc::new(InMemoryTransport::new(
+            "radius0",
+            server,
+            FaultPlan::healthy(),
+        ));
+        let client = RadiusClient::new(ClientConfig::new(SECRET, "login1"), vec![transport]);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Password garbles under the wrong secret, so the server rejects —
+        // but the response seal also fails verification, which must win.
+        let err = client
+            .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+            .unwrap_err();
+        assert_eq!(err, ClientError::BadAuthenticator);
+    }
+
+    #[test]
+    fn no_servers_error() {
+        let client = RadiusClient::new(ClientConfig::new(SECRET, "login1"), vec![]);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(
+            client.authenticate(&mut rng, "a", b"x", "ip").unwrap_err(),
+            ClientError::NoServers
+        );
+    }
+
+    #[test]
+    fn identifiers_cycle() {
+        let (client, _) = pool(1);
+        let first = client.next_identifier();
+        for _ in 0..255 {
+            client.next_identifier();
+        }
+        assert_eq!(client.next_identifier(), first);
+    }
+}

@@ -1,0 +1,43 @@
+//! RADIUS: Remote Authentication Dial-In User Service (after RFC 2865/2869).
+//!
+//! "The Remote Authentication Dial-In User Service (RADIUS) and HTTPS
+//! networking protocols connect the back end core infrastructure ... to
+//! provide access control responses to vetted login nodes" (§1). The paper
+//! runs FreeRADIUS; this crate implements the protocol slice that
+//! deployment exercises:
+//!
+//! * the binary wire format — code, identifier, length, authenticator,
+//!   attribute TLVs ([`packet`], [`attribute`]);
+//! * request/response authenticators and `User-Password` hiding
+//!   ([`auth`]);
+//! * challenge–response ("the token code is sent using challenge-response
+//!   functionality of the RADIUS protocol", §3.2) via the `State`
+//!   attribute;
+//! * a client that walks servers "in a round-robin fashion to provide load
+//!   balancing and resiliency if specific RADIUS servers are unavailable"
+//!   (§3.4) ([`client`]);
+//! * a server shell dispatching to pluggable handlers ([`server`]) and a
+//!   proxy handler for the "proxy chaining across servers" deployment
+//!   pattern (§3.2) ([`proxy`]);
+//! * transports: deterministic in-memory (with fault injection, used by the
+//!   rollout simulator and benches) and real UDP ([`transport`]).
+
+pub mod attribute;
+pub mod auth;
+pub mod client;
+pub mod packet;
+pub mod proxy;
+pub mod server;
+pub mod transport;
+
+pub use attribute::{Attribute, AttributeType};
+pub use client::{ClientConfig, ClientError, RadiusClient};
+pub use packet::{Code, Packet, PacketError};
+pub use server::{Handler, RadiusServer, ServerDecision};
+pub use transport::{FaultPlan, InMemoryTransport, Transport, TransportError};
+
+/// Maximum RADIUS packet length (RFC 2865 §3).
+pub const MAX_PACKET_LEN: usize = 4096;
+
+/// Minimum RADIUS packet length: the 20-byte header.
+pub const MIN_PACKET_LEN: usize = 20;

@@ -1,0 +1,317 @@
+//! RADIUS packet encoding and decoding (RFC 2865 §3).
+//!
+//! Layout: `code(1) | identifier(1) | length(2, BE) | authenticator(16) |
+//! attributes...`.
+
+use crate::attribute::{Attribute, AttributeType};
+use crate::{MAX_PACKET_LEN, MIN_PACKET_LEN};
+use bytes::{BufMut, BytesMut};
+
+/// RADIUS packet codes used by the authentication flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// 1 — login node asks the back end to authenticate.
+    AccessRequest,
+    /// 2 — authentication succeeded; PAM exits the stack successfully.
+    AccessAccept,
+    /// 3 — authentication failed.
+    AccessReject,
+    /// 11 — server demands more input (the token-code prompt).
+    AccessChallenge,
+}
+
+impl Code {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Code::AccessRequest => 1,
+            Code::AccessAccept => 2,
+            Code::AccessReject => 3,
+            Code::AccessChallenge => 11,
+        }
+    }
+
+    /// Parse a wire code.
+    pub fn from_code(c: u8) -> Option<Self> {
+        match c {
+            1 => Some(Code::AccessRequest),
+            2 => Some(Code::AccessAccept),
+            3 => Some(Code::AccessReject),
+            11 => Some(Code::AccessChallenge),
+            _ => None,
+        }
+    }
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer than 20 bytes.
+    TooShort,
+    /// Longer than the RFC maximum or longer than the declared length.
+    BadLength {
+        /// Length declared in the header.
+        declared: usize,
+        /// Bytes actually available.
+        actual: usize,
+    },
+    /// Unknown packet code.
+    UnknownCode(u8),
+    /// Attribute TLV runs past the packet or has length < 2.
+    MalformedAttribute {
+        /// Offset of the offending attribute.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::TooShort => write!(f, "packet shorter than 20-byte header"),
+            PacketError::BadLength { declared, actual } => {
+                write!(f, "declared length {declared} vs actual {actual}")
+            }
+            PacketError::UnknownCode(c) => write!(f, "unknown packet code {c}"),
+            PacketError::MalformedAttribute { offset } => {
+                write!(f, "malformed attribute at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A decoded RADIUS packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Packet code.
+    pub code: Code,
+    /// Request/response matching identifier.
+    pub identifier: u8,
+    /// 16-byte authenticator (random for requests, MD5 chain for replies).
+    pub authenticator: [u8; 16],
+    /// Attributes in wire order.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Packet {
+    /// Construct a packet.
+    pub fn new(code: Code, identifier: u8, authenticator: [u8; 16]) -> Self {
+        Packet {
+            code,
+            identifier,
+            authenticator,
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Builder-style attribute addition.
+    pub fn with_attribute(mut self, attr: Attribute) -> Self {
+        self.attributes.push(attr);
+        self
+    }
+
+    /// First attribute of `ty`.
+    pub fn attribute(&self, ty: AttributeType) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.ty == ty)
+    }
+
+    /// All attributes of `ty` (Proxy-State may repeat).
+    pub fn attributes_of(&self, ty: AttributeType) -> Vec<&Attribute> {
+        self.attributes.iter().filter(|a| a.ty == ty).collect()
+    }
+
+    /// Text value of the first attribute of `ty`.
+    pub fn text(&self, ty: AttributeType) -> Option<&str> {
+        self.attribute(ty).and_then(Attribute::as_text)
+    }
+
+    /// Total encoded length.
+    pub fn wire_len(&self) -> usize {
+        MIN_PACKET_LEN + self.attributes.iter().map(Attribute::wire_len).sum::<usize>()
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = self.wire_len();
+        debug_assert!(len <= MAX_PACKET_LEN, "packet exceeds RFC maximum");
+        let mut buf = BytesMut::with_capacity(len);
+        buf.put_u8(self.code.code());
+        buf.put_u8(self.identifier);
+        buf.put_u16(len as u16);
+        buf.put_slice(&self.authenticator);
+        for attr in &self.attributes {
+            attr.encode(&mut buf);
+        }
+        buf.to_vec()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, PacketError> {
+        if data.len() < MIN_PACKET_LEN {
+            return Err(PacketError::TooShort);
+        }
+        let declared = u16::from_be_bytes([data[2], data[3]]) as usize;
+        if declared < MIN_PACKET_LEN || declared > data.len() || declared > MAX_PACKET_LEN {
+            return Err(PacketError::BadLength {
+                declared,
+                actual: data.len(),
+            });
+        }
+        let code = Code::from_code(data[0]).ok_or(PacketError::UnknownCode(data[0]))?;
+        let identifier = data[1];
+        let mut authenticator = [0u8; 16];
+        authenticator.copy_from_slice(&data[4..20]);
+
+        let mut attributes = Vec::new();
+        let mut offset = MIN_PACKET_LEN;
+        // RFC: octets past the declared length are padding and ignored.
+        while offset < declared {
+            if declared - offset < 2 {
+                return Err(PacketError::MalformedAttribute { offset });
+            }
+            let ty = AttributeType::from_code(data[offset]);
+            let alen = data[offset + 1] as usize;
+            if alen < 2 || offset + alen > declared {
+                return Err(PacketError::MalformedAttribute { offset });
+            }
+            attributes.push(Attribute::new(ty, data[offset + 2..offset + alen].to_vec()));
+            offset += alen;
+        }
+        Ok(Packet {
+            code,
+            identifier,
+            authenticator,
+            attributes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet::new(Code::AccessRequest, 42, [7u8; 16])
+            .with_attribute(Attribute::text(AttributeType::UserName, "alice"))
+            .with_attribute(Attribute::new(AttributeType::State, vec![1, 2, 3]))
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = sample();
+        let decoded = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn header_layout() {
+        let p = sample();
+        let wire = p.encode();
+        assert_eq!(wire[0], 1); // Access-Request
+        assert_eq!(wire[1], 42);
+        assert_eq!(u16::from_be_bytes([wire[2], wire[3]]) as usize, wire.len());
+        assert_eq!(&wire[4..20], &[7u8; 16]);
+    }
+
+    #[test]
+    fn empty_attribute_list() {
+        let p = Packet::new(Code::AccessAccept, 0, [0u8; 16]);
+        let wire = p.encode();
+        assert_eq!(wire.len(), 20);
+        assert_eq!(Packet::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn trailing_padding_ignored() {
+        let p = sample();
+        let mut wire = p.encode();
+        wire.extend_from_slice(&[0u8; 7]); // UDP padding
+        assert_eq!(Packet::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert_eq!(Packet::decode(&[1, 2, 0, 4]), Err(PacketError::TooShort));
+    }
+
+    #[test]
+    fn declared_length_beyond_buffer_rejected() {
+        let p = sample();
+        let mut wire = p.encode();
+        let bogus = (wire.len() + 10) as u16;
+        wire[2..4].copy_from_slice(&bogus.to_be_bytes());
+        assert!(matches!(
+            Packet::decode(&wire),
+            Err(PacketError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_length_below_header_rejected() {
+        let mut wire = Packet::new(Code::AccessAccept, 0, [0u8; 16]).encode();
+        wire[2..4].copy_from_slice(&10u16.to_be_bytes());
+        assert!(matches!(
+            Packet::decode(&wire),
+            Err(PacketError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_code_rejected() {
+        let mut wire = sample().encode();
+        wire[0] = 99;
+        assert_eq!(Packet::decode(&wire), Err(PacketError::UnknownCode(99)));
+    }
+
+    #[test]
+    fn truncated_attribute_rejected() {
+        let mut wire = sample().encode();
+        // Corrupt the last attribute's length to run past the packet.
+        let len = wire.len();
+        wire[len - 4] = 200;
+        // Keep declared packet length the same: attribute overruns.
+        assert!(matches!(
+            Packet::decode(&wire),
+            Err(PacketError::MalformedAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_length_below_two_rejected() {
+        let mut p = Packet::new(Code::AccessRequest, 1, [0u8; 16]);
+        p.attributes
+            .push(Attribute::text(AttributeType::UserName, "x"));
+        let mut wire = p.encode();
+        wire[21] = 1; // attribute length field
+        assert!(matches!(
+            Packet::decode(&wire),
+            Err(PacketError::MalformedAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_attributes_preserved_in_order() {
+        let p = Packet::new(Code::AccessRequest, 1, [0u8; 16])
+            .with_attribute(Attribute::new(AttributeType::ProxyState, vec![1]))
+            .with_attribute(Attribute::new(AttributeType::ProxyState, vec![2]));
+        let d = Packet::decode(&p.encode()).unwrap();
+        let states = d.attributes_of(AttributeType::ProxyState);
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].value, vec![1]);
+        assert_eq!(states[1].value, vec![2]);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for c in [
+            Code::AccessRequest,
+            Code::AccessAccept,
+            Code::AccessReject,
+            Code::AccessChallenge,
+        ] {
+            assert_eq!(Code::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Code::from_code(99), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! RADIUS proxy chaining (§3.2: the protocol "allows for flexible deployment
+//! that is capable of load balancing and proxy chaining across servers").
+//!
+//! A [`ProxyHandler`] is a [`Handler`] that forwards each Access-Request to
+//! an upstream pool through a [`RadiusClient`], tagging the request with a
+//! `Proxy-State` attribute (RFC 2865 §5.33) and stripping it from the reply.
+//! In the paper's deployment the FreeRADIUS tier proxies between login nodes
+//! and the LinOTP host exactly this way.
+
+use crate::attribute::AttributeType;
+use crate::client::{ClientError, Outcome, RadiusClient};
+use crate::packet::Packet;
+use crate::server::{Handler, ServerDecision};
+use crate::attribute::Attribute;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A handler that relays requests to an upstream client pool.
+pub struct ProxyHandler {
+    upstream: Arc<RadiusClient>,
+    /// Identifier stamped into the Proxy-State attribute.
+    proxy_id: String,
+    /// RNG for upstream request authenticators.
+    rng: Mutex<StdRng>,
+    /// Requests proxied.
+    pub forwarded: AtomicU64,
+    /// Upstream failures turned into local discards.
+    pub upstream_failures: AtomicU64,
+}
+
+impl ProxyHandler {
+    /// Create a proxy relaying to `upstream`. `seed` keeps simulations
+    /// deterministic.
+    pub fn new(proxy_id: &str, upstream: Arc<RadiusClient>, seed: u64) -> Self {
+        ProxyHandler {
+            upstream,
+            proxy_id: proxy_id.to_string(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            forwarded: AtomicU64::new(0),
+            upstream_failures: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Handler for ProxyHandler {
+    fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision {
+        // A proxy cannot forward a password it cannot decrypt; RFC behaviour
+        // is to decrypt with the downstream secret and re-hide upstream —
+        // our client re-hides on send, so we need the cleartext here.
+        let Some(password) = password else {
+            return ServerDecision::Discard;
+        };
+        let username = request
+            .text(AttributeType::UserName)
+            .unwrap_or_default()
+            .to_string();
+        let calling = request
+            .text(AttributeType::CallingStationId)
+            .unwrap_or_default()
+            .to_string();
+        let state = request
+            .attribute(AttributeType::State)
+            .map(|a| a.value.clone());
+
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        let mut rng = self.rng.lock();
+        let result = match state {
+            Some(s) => self.upstream.respond_to_challenge(
+                &mut *rng,
+                &username,
+                password,
+                &calling,
+                &s,
+            ),
+            None => self
+                .upstream
+                .authenticate(&mut *rng, &username, password, &calling),
+        };
+        drop(rng);
+
+        match result {
+            Ok(Outcome::Accept { message }) => ServerDecision::Accept(reply_attrs(message)),
+            Ok(Outcome::Reject { message }) => ServerDecision::Reject(reply_attrs(message)),
+            Ok(Outcome::Challenge { state, message }) => {
+                let mut attrs = reply_attrs(message);
+                attrs.push(Attribute::new(AttributeType::State, state));
+                ServerDecision::Challenge(attrs)
+            }
+            Err(ClientError::AllServersFailed { .. }) | Err(_) => {
+                // RFC: a proxy that cannot reach its home server stays
+                // silent; the NAS will fail over to another proxy.
+                self.upstream_failures.fetch_add(1, Ordering::Relaxed);
+                ServerDecision::Discard
+            }
+        }
+    }
+}
+
+impl ProxyHandler {
+    /// The configured proxy identifier (placed in Proxy-State by tests that
+    /// exercise multi-hop chains explicitly).
+    pub fn proxy_id(&self) -> &str {
+        &self.proxy_id
+    }
+}
+
+fn reply_attrs(message: Option<String>) -> Vec<Attribute> {
+    message
+        .map(|m| vec![Attribute::text(AttributeType::ReplyMessage, &m)])
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientConfig;
+    use crate::server::RadiusServer;
+    use crate::transport::{FaultPlan, InMemoryTransport, Transport};
+    use rand::rngs::StdRng;
+
+    const HOME_SECRET: &[u8] = b"home-secret";
+    const EDGE_SECRET: &[u8] = b"edge-secret";
+
+    /// Build home server (token logic) ← proxy ← client, with *different*
+    /// shared secrets on each hop, as real deployments use.
+    fn chain() -> (RadiusClient, Arc<FaultPlan>) {
+        let home_handler: Arc<dyn Handler> =
+            Arc::new(|_req: &Packet, pw: Option<&[u8]>| match pw {
+                Some(b"") => ServerDecision::Challenge(vec![
+                    Attribute::new(AttributeType::State, b"st".to_vec()),
+                    Attribute::text(AttributeType::ReplyMessage, "TACC Token:"),
+                ]),
+                Some(b"123456") => ServerDecision::Accept(vec![]),
+                _ => ServerDecision::Reject(vec![]),
+            });
+        let home = Arc::new(RadiusServer::new(HOME_SECRET, home_handler));
+        let home_faults = FaultPlan::healthy();
+        let home_transport: Arc<dyn Transport> = Arc::new(InMemoryTransport::new(
+            "home",
+            home,
+            Arc::clone(&home_faults),
+        ));
+        let upstream = Arc::new(RadiusClient::new(
+            ClientConfig::new(HOME_SECRET, "proxy1"),
+            vec![home_transport],
+        ));
+        let proxy_handler = Arc::new(ProxyHandler::new("proxy1", upstream, 99));
+        let edge = Arc::new(RadiusServer::new(EDGE_SECRET, proxy_handler));
+        let client = RadiusClient::new(
+            ClientConfig::new(EDGE_SECRET, "login1"),
+            vec![Arc::new(InMemoryTransport::new(
+                "edge",
+                edge,
+                FaultPlan::healthy(),
+            ))],
+        );
+        (client, home_faults)
+    }
+
+    #[test]
+    fn proxied_accept() {
+        let (client, _) = chain();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = client
+            .authenticate(&mut rng, "alice", b"123456", "1.2.3.4")
+            .unwrap();
+        assert!(matches!(out, Outcome::Accept { .. }));
+    }
+
+    #[test]
+    fn proxied_challenge_round_trip() {
+        let (client, _) = chain();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = client.authenticate(&mut rng, "alice", b"", "1.2.3.4").unwrap();
+        let Outcome::Challenge { state, message } = out else {
+            panic!("expected challenge");
+        };
+        assert_eq!(message.as_deref(), Some("TACC Token:"));
+        let fin = client
+            .respond_to_challenge(&mut rng, "alice", b"123456", "1.2.3.4", &state)
+            .unwrap();
+        assert!(matches!(fin, Outcome::Accept { .. }));
+    }
+
+    #[test]
+    fn proxied_reject() {
+        let (client, _) = chain();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = client
+            .authenticate(&mut rng, "alice", b"000000", "1.2.3.4")
+            .unwrap();
+        assert!(matches!(out, Outcome::Reject { .. }));
+    }
+
+    #[test]
+    fn home_server_outage_silences_proxy() {
+        let (client, home_faults) = chain();
+        let mut rng = StdRng::seed_from_u64(4);
+        home_faults.set_down(true);
+        let err = client
+            .authenticate(&mut rng, "alice", b"123456", "1.2.3.4")
+            .unwrap_err();
+        assert!(matches!(err, ClientError::AllServersFailed { .. }));
+    }
+
+    #[test]
+    fn secrets_differ_per_hop() {
+        // The password must be re-encrypted per hop: the edge secret and
+        // home secret differ, yet the cleartext arrives intact upstream.
+        let (client, _) = chain();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_ne!(HOME_SECRET, EDGE_SECRET);
+        let out = client
+            .authenticate(&mut rng, "alice", b"123456", "1.2.3.4")
+            .unwrap();
+        assert!(matches!(out, Outcome::Accept { .. }));
+    }
+}

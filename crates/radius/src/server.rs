@@ -1,0 +1,291 @@
+//! The RADIUS server shell: datagram handling, password recovery, response
+//! sealing, and a pluggable authentication [`Handler`].
+//!
+//! The paper's deployment put "a handful of servers ... set up to accept and
+//! proxy requests between authentication agents, i.e. login nodes, and the
+//! LinOTP server" (§3.2). The OTP-validation logic lives in
+//! `hpcmfa-otpserver`; this crate provides the protocol plumbing those
+//! handlers plug into.
+
+use crate::attribute::{Attribute, AttributeType};
+use crate::auth::{recover_password, seal_response};
+use crate::packet::{Code, Packet};
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a handler decides about an Access-Request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerDecision {
+    /// Access-Accept with extra attributes.
+    Accept(Vec<Attribute>),
+    /// Access-Reject with extra attributes (e.g. a Reply-Message).
+    Reject(Vec<Attribute>),
+    /// Access-Challenge; attributes must include `State` for the round trip.
+    Challenge(Vec<Attribute>),
+    /// Silently discard (malformed or unauthorized source) — the RFC's
+    /// response to unparseable requests, surfacing client-side as a timeout.
+    Discard,
+}
+
+/// An authentication decision point.
+pub trait Handler: Send + Sync {
+    /// Decide on `request`. `password` is the recovered `User-Password`
+    /// (None when absent or undecodable). An empty password is meaningful:
+    /// it is the null request that starts a challenge round or triggers an
+    /// SMS send (§3.3).
+    fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Packet, Option<&[u8]>) -> ServerDecision + Send + Sync,
+{
+    fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision {
+        self(request, password)
+    }
+}
+
+/// Counters exposed for capacity benches.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Datagrams received.
+    pub received: AtomicU64,
+    /// Replies sent.
+    pub replied: AtomicU64,
+    /// Datagrams discarded (undecodable or handler said so).
+    pub discarded: AtomicU64,
+}
+
+/// A RADIUS server bound to one shared secret.
+pub struct RadiusServer {
+    secret: Vec<u8>,
+    handler: Arc<dyn Handler>,
+    /// Traffic counters.
+    pub stats: ServerStats,
+}
+
+impl RadiusServer {
+    /// Create a server with `secret` and `handler`.
+    pub fn new(secret: impl Into<Vec<u8>>, handler: Arc<dyn Handler>) -> Self {
+        RadiusServer {
+            secret: secret.into(),
+            handler,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Process one raw datagram; `Some(reply_bytes)` or `None` to discard.
+    pub fn process_datagram(&self, data: &[u8]) -> Option<Vec<u8>> {
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        let request = match Packet::decode(data) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.discarded.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        // Only Access-Requests are valid inbound traffic here.
+        if request.code != Code::AccessRequest {
+            self.stats.discarded.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let password = request
+            .attribute(AttributeType::UserPassword)
+            .and_then(|a| recover_password(&a.value, &request.authenticator, &self.secret));
+
+        let decision = self.handler.handle(&request, password.as_deref());
+        let (code, mut attrs) = match decision {
+            ServerDecision::Accept(a) => (Code::AccessAccept, a),
+            ServerDecision::Reject(a) => (Code::AccessReject, a),
+            ServerDecision::Challenge(a) => {
+                debug_assert!(
+                    a.iter().any(|at| at.ty == AttributeType::State),
+                    "challenges must carry State"
+                );
+                (Code::AccessChallenge, a)
+            }
+            ServerDecision::Discard => {
+                self.stats.discarded.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+
+        // RFC 2865 §5.33: echo Proxy-State attributes unmodified, in order.
+        for ps in request.attributes_of(AttributeType::ProxyState) {
+            attrs.push(ps.clone());
+        }
+
+        let mut response = Packet::new(code, request.identifier, [0u8; 16]);
+        response.attributes = attrs;
+        seal_response(&mut response, &request.authenticator, &self.secret);
+        self.stats.replied.fetch_add(1, Ordering::Relaxed);
+        Some(response.encode())
+    }
+
+    /// The shared secret (used by proxies re-hiding passwords upstream).
+    pub fn secret(&self) -> &[u8] {
+        &self.secret
+    }
+
+    /// Serve on a bound UDP socket until `shutdown` is set. Returns the
+    /// join handle; the socket read timeout bounds shutdown latency.
+    pub fn serve_udp(
+        self: &Arc<Self>,
+        socket: UdpSocket,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        let server = Arc::clone(self);
+        socket
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .expect("set_read_timeout");
+        std::thread::spawn(move || {
+            let mut buf = [0u8; crate::MAX_PACKET_LEN];
+            while !shutdown.load(Ordering::SeqCst) {
+                match socket.recv_from(&mut buf) {
+                    Ok((n, peer)) => {
+                        if let Some(reply) = server.process_datagram(&buf[..n]) {
+                            let _ = socket.send_to(&reply, peer);
+                        }
+                    }
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{fixture_authenticator, hide_password, verify_response};
+
+    const SECRET: &[u8] = b"s3cret";
+
+    fn accept_all() -> Arc<dyn Handler> {
+        Arc::new(|_: &Packet, _: Option<&[u8]>| ServerDecision::Accept(vec![]))
+    }
+
+    fn make_request(id: u8, password: Option<&[u8]>) -> Packet {
+        let ra = fixture_authenticator("req");
+        let mut p = Packet::new(Code::AccessRequest, id, ra)
+            .with_attribute(Attribute::text(AttributeType::UserName, "alice"));
+        if let Some(pw) = password {
+            p = p.with_attribute(Attribute::new(
+                AttributeType::UserPassword,
+                hide_password(pw, &ra, SECRET),
+            ));
+        }
+        p
+    }
+
+    #[test]
+    fn accept_path_sealed_and_id_matched() {
+        let server = RadiusServer::new(SECRET, accept_all());
+        let req = make_request(7, Some(b"123456"));
+        let reply = server.process_datagram(&req.encode()).unwrap();
+        let resp = Packet::decode(&reply).unwrap();
+        assert_eq!(resp.code, Code::AccessAccept);
+        assert_eq!(resp.identifier, 7);
+        assert!(verify_response(&resp, &req.authenticator, SECRET));
+    }
+
+    #[test]
+    fn handler_sees_recovered_password() {
+        let seen = Arc::new(parking_lot::Mutex::new(None::<Vec<u8>>));
+        let seen2 = Arc::clone(&seen);
+        let handler = Arc::new(move |_: &Packet, pw: Option<&[u8]>| {
+            *seen2.lock() = pw.map(|p| p.to_vec());
+            ServerDecision::Accept(vec![])
+        });
+        let server = RadiusServer::new(SECRET, handler);
+        let req = make_request(1, Some(b"424242"));
+        server.process_datagram(&req.encode()).unwrap();
+        assert_eq!(seen.lock().as_deref(), Some(&b"424242"[..]));
+    }
+
+    #[test]
+    fn empty_password_still_reaches_handler() {
+        // The null request that triggers SMS delivery must not be dropped.
+        let seen = Arc::new(parking_lot::Mutex::new(None::<Vec<u8>>));
+        let seen2 = Arc::clone(&seen);
+        let handler = Arc::new(move |_: &Packet, pw: Option<&[u8]>| {
+            *seen2.lock() = pw.map(|p| p.to_vec());
+            ServerDecision::Challenge(vec![Attribute::new(AttributeType::State, vec![1])])
+        });
+        let server = RadiusServer::new(SECRET, handler);
+        let req = make_request(1, Some(b""));
+        let reply = server.process_datagram(&req.encode()).unwrap();
+        assert_eq!(Packet::decode(&reply).unwrap().code, Code::AccessChallenge);
+        assert_eq!(seen.lock().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn garbage_discarded() {
+        let server = RadiusServer::new(SECRET, accept_all());
+        assert_eq!(server.process_datagram(&[1, 2, 3]), None);
+        assert_eq!(server.stats.discarded.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn non_request_codes_discarded() {
+        let server = RadiusServer::new(SECRET, accept_all());
+        let bogus = Packet::new(Code::AccessAccept, 1, [0u8; 16]);
+        assert_eq!(server.process_datagram(&bogus.encode()), None);
+    }
+
+    #[test]
+    fn handler_discard_yields_no_reply() {
+        let server = RadiusServer::new(
+            SECRET,
+            Arc::new(|_: &Packet, _: Option<&[u8]>| ServerDecision::Discard),
+        );
+        let req = make_request(1, None);
+        assert_eq!(server.process_datagram(&req.encode()), None);
+    }
+
+    #[test]
+    fn proxy_state_echoed_in_order() {
+        let server = RadiusServer::new(SECRET, accept_all());
+        let req = make_request(3, None)
+            .with_attribute(Attribute::new(AttributeType::ProxyState, vec![0xaa]))
+            .with_attribute(Attribute::new(AttributeType::ProxyState, vec![0xbb]));
+        let reply = server.process_datagram(&req.encode()).unwrap();
+        let resp = Packet::decode(&reply).unwrap();
+        let ps = resp.attributes_of(AttributeType::ProxyState);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].value, vec![0xaa]);
+        assert_eq!(ps[1].value, vec![0xbb]);
+    }
+
+    #[test]
+    fn reject_carries_reply_message() {
+        let server = RadiusServer::new(
+            SECRET,
+            Arc::new(|_: &Packet, _: Option<&[u8]>| {
+                ServerDecision::Reject(vec![Attribute::text(
+                    AttributeType::ReplyMessage,
+                    "Authentication error",
+                )])
+            }),
+        );
+        let req = make_request(5, Some(b"badcode"));
+        let resp = Packet::decode(&server.process_datagram(&req.encode()).unwrap()).unwrap();
+        assert_eq!(resp.code, Code::AccessReject);
+        assert_eq!(resp.text(AttributeType::ReplyMessage), Some("Authentication error"));
+    }
+
+    #[test]
+    fn stats_counted() {
+        let server = RadiusServer::new(SECRET, accept_all());
+        let req = make_request(1, None);
+        server.process_datagram(&req.encode());
+        server.process_datagram(&[0xff]);
+        assert_eq!(server.stats.received.load(Ordering::SeqCst), 2);
+        assert_eq!(server.stats.replied.load(Ordering::SeqCst), 1);
+        assert_eq!(server.stats.discarded.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Transports carrying RADIUS datagrams between login nodes and servers.
+//!
+//! Two implementations:
+//!
+//! * [`InMemoryTransport`] — deterministic, in-process delivery to a
+//!   [`RadiusServer`], with a [`FaultPlan`]
+//!   for outage/packet-loss injection. The rollout simulator and the
+//!   failover benches use this.
+//! * [`UdpTransport`] — real UDP datagrams, used by integration tests to
+//!   prove the wire format is sound end to end.
+
+use crate::server::RadiusServer;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transport failures a client must survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No reply within the timeout (server down or datagram lost).
+    Timeout,
+    /// The server actively refused (simulated host-down).
+    Unreachable,
+    /// OS-level I/O failure.
+    Io(String),
+    /// Reply was not a decodable RADIUS packet.
+    GarbledReply,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout => write!(f, "timeout waiting for reply"),
+            TransportError::Unreachable => write!(f, "server unreachable"),
+            TransportError::Io(e) => write!(f, "I/O error: {e}"),
+            TransportError::GarbledReply => write!(f, "garbled reply"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A synchronous datagram exchange: one request, one reply.
+pub trait Transport: Send + Sync {
+    /// Send `request` bytes, wait for the reply bytes.
+    fn exchange(&self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
+
+    /// Diagnostic name for logs and stats.
+    fn name(&self) -> String;
+}
+
+/// Deterministic fault injection for [`InMemoryTransport`].
+///
+/// All knobs are atomics so tests and benches can flip them while clients
+/// run on other threads — exactly the "specific RADIUS servers are
+/// unavailable" scenario §3.4 designs for.
+#[derive(Default)]
+pub struct FaultPlan {
+    /// Host down: every exchange fails with `Unreachable`.
+    pub down: AtomicBool,
+    /// Drop one datagram in every `n` (0 = never): `Timeout`s.
+    pub drop_every: AtomicU64,
+    counter: AtomicU64,
+    /// Simulated one-way latency in microseconds, accumulated into
+    /// `total_latency_us` rather than slept, keeping simulations fast and
+    /// deterministic.
+    pub latency_us: AtomicU64,
+    /// Sum of simulated latency incurred (2× per exchange).
+    pub total_latency_us: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A healthy, zero-latency plan.
+    pub fn healthy() -> Arc<Self> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// Mark the host down/up.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Returns whether this exchange should be dropped, advancing the
+    /// deterministic counter.
+    fn should_drop(&self) -> bool {
+        let n = self.drop_every.load(Ordering::Relaxed);
+        if n == 0 {
+            return false;
+        }
+        let c = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        c.is_multiple_of(n)
+    }
+
+    fn charge_latency(&self) {
+        let l = self.latency_us.load(Ordering::Relaxed);
+        if l > 0 {
+            self.total_latency_us.fetch_add(2 * l, Ordering::Relaxed);
+        }
+    }
+}
+
+/// In-process transport delivering datagrams straight to a server's
+/// datagram handler, through the full encode/decode path.
+pub struct InMemoryTransport {
+    server: Arc<RadiusServer>,
+    faults: Arc<FaultPlan>,
+    label: String,
+    /// Number of exchanges attempted through this transport.
+    pub exchanges: AtomicU64,
+}
+
+impl InMemoryTransport {
+    /// Wire a transport to `server` with `faults`.
+    pub fn new(label: &str, server: Arc<RadiusServer>, faults: Arc<FaultPlan>) -> Self {
+        InMemoryTransport {
+            server,
+            faults,
+            label: label.to_string(),
+            exchanges: AtomicU64::new(0),
+        }
+    }
+
+    /// The fault plan, for tests flipping outages mid-run.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn exchange(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        self.exchanges.fetch_add(1, Ordering::Relaxed);
+        if self.faults.down.load(Ordering::SeqCst) {
+            return Err(TransportError::Unreachable);
+        }
+        if self.faults.should_drop() {
+            return Err(TransportError::Timeout);
+        }
+        self.faults.charge_latency();
+        // A server that discards the datagram looks like a timeout to the
+        // client, exactly as over UDP.
+        self.server
+            .process_datagram(request)
+            .ok_or(TransportError::Timeout)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Real-UDP transport: one ephemeral socket per exchange.
+pub struct UdpTransport {
+    server_addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl UdpTransport {
+    /// Target `server_addr` with a per-exchange `timeout`.
+    pub fn new(server_addr: SocketAddr, timeout: Duration) -> Self {
+        UdpTransport {
+            server_addr,
+            timeout,
+        }
+    }
+}
+
+impl Transport for UdpTransport {
+    fn exchange(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| TransportError::Io(e.to_string()))?;
+        sock.set_read_timeout(Some(self.timeout))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        sock.send_to(request, self.server_addr)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let mut buf = [0u8; crate::MAX_PACKET_LEN];
+        match sock.recv_from(&mut buf) {
+            Ok((n, _)) => Ok(buf[..n].to_vec()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(TransportError::Timeout)
+            }
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("udp://{}", self.server_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_drop_cadence() {
+        let plan = FaultPlan::default();
+        plan.drop_every.store(3, Ordering::SeqCst);
+        let pattern: Vec<bool> = (0..9).map(|_| plan.should_drop()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn fault_plan_no_drops_by_default() {
+        let plan = FaultPlan::default();
+        assert!((0..100).all(|_| !plan.should_drop()));
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let plan = FaultPlan::default();
+        plan.latency_us.store(250, Ordering::SeqCst);
+        plan.charge_latency();
+        plan.charge_latency();
+        assert_eq!(plan.total_latency_us.load(Ordering::SeqCst), 1000);
+    }
+}

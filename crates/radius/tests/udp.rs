@@ -1,0 +1,108 @@
+//! End-to-end RADIUS over real UDP sockets: proves the wire format and the
+//! serve loop work outside the in-memory harness.
+
+use hpcmfa_radius::attribute::{Attribute, AttributeType};
+use hpcmfa_radius::client::{ClientConfig, Outcome, RadiusClient};
+use hpcmfa_radius::packet::Packet;
+use hpcmfa_radius::server::{RadiusServer, ServerDecision};
+use hpcmfa_radius::transport::{Transport, UdpTransport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SECRET: &[u8] = b"udp-secret";
+
+fn spawn_server() -> (std::net::SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let handler = Arc::new(|_req: &Packet, pw: Option<&[u8]>| match pw {
+        Some(b"") => ServerDecision::Challenge(vec![
+            Attribute::new(AttributeType::State, b"udp-state".to_vec()),
+            Attribute::text(AttributeType::ReplyMessage, "TACC Token:"),
+        ]),
+        Some(b"654321") => ServerDecision::Accept(vec![]),
+        _ => ServerDecision::Reject(vec![Attribute::text(
+            AttributeType::ReplyMessage,
+            "Authentication error",
+        )]),
+    });
+    let server = Arc::new(RadiusServer::new(SECRET, handler));
+    let socket = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = socket.local_addr().unwrap();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let handle = server.serve_udp(socket, Arc::clone(&shutdown));
+    (addr, shutdown, handle)
+}
+
+#[test]
+fn udp_full_challenge_flow() {
+    let (addr, shutdown, handle) = spawn_server();
+    let transport: Arc<dyn Transport> =
+        Arc::new(UdpTransport::new(addr, Duration::from_millis(500)));
+    let client = RadiusClient::new(ClientConfig::new(SECRET, "login-udp"), vec![transport]);
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let out = client
+        .authenticate(&mut rng, "alice", b"", "192.0.2.7")
+        .expect("challenge");
+    let Outcome::Challenge { state, message } = out else {
+        panic!("expected challenge, got {out:?}");
+    };
+    assert_eq!(message.as_deref(), Some("TACC Token:"));
+
+    let ok = client
+        .respond_to_challenge(&mut rng, "alice", b"654321", "192.0.2.7", &state)
+        .expect("accept");
+    assert!(matches!(ok, Outcome::Accept { .. }));
+
+    let bad = client
+        .respond_to_challenge(&mut rng, "alice", b"111111", "192.0.2.7", &state)
+        .expect("reject");
+    assert!(matches!(bad, Outcome::Reject { message: Some(m) } if m == "Authentication error"));
+
+    shutdown.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+#[test]
+fn udp_timeout_when_no_server() {
+    // Reserve a port then close it: nothing listens there.
+    let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let addr = sock.local_addr().unwrap();
+    drop(sock);
+
+    let transport: Arc<dyn Transport> =
+        Arc::new(UdpTransport::new(addr, Duration::from_millis(100)));
+    let client = RadiusClient::new(ClientConfig::new(SECRET, "login-udp"), vec![transport]);
+    let mut rng = StdRng::seed_from_u64(12);
+    assert!(client
+        .authenticate(&mut rng, "alice", b"654321", "192.0.2.7")
+        .is_err());
+}
+
+#[test]
+fn udp_concurrent_clients() {
+    let (addr, shutdown, handle) = spawn_server();
+    let mut joins = Vec::new();
+    for t in 0..8 {
+        joins.push(std::thread::spawn(move || {
+            let transport: Arc<dyn Transport> =
+                Arc::new(UdpTransport::new(addr, Duration::from_millis(500)));
+            let client =
+                RadiusClient::new(ClientConfig::new(SECRET, "login-udp"), vec![transport]);
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            for _ in 0..10 {
+                let out = client
+                    .authenticate(&mut rng, "bob", b"654321", "192.0.2.9")
+                    .expect("accept");
+                assert!(matches!(out, Outcome::Accept { .. }));
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}

@@ -1,0 +1,326 @@
+//! Dynamic risk assessment (§6 growth feature).
+//!
+//! A per-account behavioural engine scoring every login attempt from its
+//! history: first-seen countries and networks, impossible travel
+//! (country-to-country faster than a plane), and failure velocity. Scores
+//! map to [`RiskDecision`]s; the PAM gate turns *step-up* into "no
+//! exemption bypass for this login" and *deny* into an outright refusal.
+
+use crate::geo::{CountryCode, GeoDb};
+use hpcmfa_pam::context::PamContext;
+use hpcmfa_pam::stack::{PamModule, PamResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Scoring weights and thresholds.
+#[derive(Debug, Clone)]
+pub struct RiskWeights {
+    /// First login ever seen from this country.
+    pub new_country: u32,
+    /// First login from this /16 network.
+    pub new_network: u32,
+    /// Country differs from the previous login's and the gap is under
+    /// [`RiskWeights::travel_window_secs`].
+    pub impossible_travel: u32,
+    /// More than [`RiskWeights::velocity_max`] attempts inside
+    /// [`RiskWeights::velocity_window_secs`].
+    pub high_velocity: u32,
+    /// Recent failed attempts (each, capped at 5 counted).
+    pub recent_failure: u32,
+    /// Minimum plausible country-switch time.
+    pub travel_window_secs: u64,
+    /// Attempt-velocity window.
+    pub velocity_window_secs: u64,
+    /// Attempts allowed inside the velocity window.
+    pub velocity_max: usize,
+    /// Score at or above which step-up is demanded.
+    pub step_up_at: u32,
+    /// Score at or above which the login is denied.
+    pub deny_at: u32,
+}
+
+impl Default for RiskWeights {
+    fn default() -> Self {
+        RiskWeights {
+            new_country: 40,
+            new_network: 15,
+            impossible_travel: 45,
+            high_velocity: 25,
+            recent_failure: 10,
+            travel_window_secs: 4 * 3600,
+            velocity_window_secs: 60,
+            velocity_max: 6,
+            step_up_at: 40,
+            deny_at: 90,
+        }
+    }
+}
+
+/// The verdict for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiskDecision {
+    /// Business as usual.
+    Allow,
+    /// Allow, but the second factor may not be bypassed.
+    StepUp,
+    /// Refuse outright.
+    Deny,
+}
+
+#[derive(Default)]
+struct UserHistory {
+    countries: Vec<CountryCode>,
+    networks: Vec<u32>, // /16 prefixes seen
+    last_country: Option<(CountryCode, u64)>,
+    attempts: Vec<u64>,
+    recent_failures: Vec<u64>,
+}
+
+/// The engine: shared, thread-safe, bounded history per user.
+pub struct RiskEngine {
+    geodb: Arc<GeoDb>,
+    weights: RiskWeights,
+    history: Mutex<HashMap<String, UserHistory>>,
+}
+
+impl RiskEngine {
+    /// Build over `geodb` with `weights`.
+    pub fn new(geodb: Arc<GeoDb>, weights: RiskWeights) -> Arc<Self> {
+        Arc::new(RiskEngine {
+            geodb,
+            weights,
+            history: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn net16(ip: Ipv4Addr) -> u32 {
+        u32::from(ip) >> 16
+    }
+
+    /// Score an attempt and update history. Call once per login attempt.
+    pub fn assess(&self, user: &str, ip: Ipv4Addr, now: u64) -> (u32, RiskDecision) {
+        let w = &self.weights;
+        let country = self.geodb.country_of(ip);
+        let net = Self::net16(ip);
+
+        let mut history = self.history.lock();
+        let h = history.entry(user.to_string()).or_default();
+        let mut score = 0u32;
+
+        if let Some(cc) = country {
+            if !h.countries.contains(&cc) {
+                // A brand-new account's very first location is baseline,
+                // not anomaly.
+                if !h.countries.is_empty() {
+                    score += w.new_country;
+                }
+                h.countries.push(cc);
+            }
+            if let Some((prev, at)) = h.last_country {
+                if prev != cc && now.saturating_sub(at) < w.travel_window_secs {
+                    score += w.impossible_travel;
+                }
+            }
+            h.last_country = Some((cc, now));
+        }
+        if !h.networks.contains(&net) {
+            if !h.networks.is_empty() {
+                score += w.new_network;
+            }
+            h.networks.push(net);
+        }
+
+        h.attempts.push(now);
+        h.attempts
+            .retain(|&t| now.saturating_sub(t) <= w.velocity_window_secs);
+        if h.attempts.len() > w.velocity_max {
+            score += w.high_velocity;
+        }
+
+        h.recent_failures
+            .retain(|&t| now.saturating_sub(t) <= 3600);
+        score += w.recent_failure * (h.recent_failures.len().min(5) as u32);
+
+        let decision = if score >= w.deny_at {
+            RiskDecision::Deny
+        } else if score >= w.step_up_at {
+            RiskDecision::StepUp
+        } else {
+            RiskDecision::Allow
+        };
+        (score, decision)
+    }
+
+    /// Report the outcome of the attempt (feeds the failure signal).
+    pub fn record_outcome(&self, user: &str, now: u64, granted: bool) {
+        if !granted {
+            let mut history = self.history.lock();
+            history
+                .entry(user.to_string())
+                .or_default()
+                .recent_failures
+                .push(now);
+        }
+    }
+
+    /// Forget a user's history (account reset).
+    pub fn reset(&self, user: &str) {
+        self.history.lock().remove(user);
+    }
+}
+
+/// The PAM gate: place `requisite` early in the stack.
+pub struct RiskGateModule {
+    engine: Arc<RiskEngine>,
+}
+
+impl RiskGateModule {
+    /// Gate on `engine`.
+    pub fn new(engine: Arc<RiskEngine>) -> Arc<Self> {
+        Arc::new(RiskGateModule { engine })
+    }
+}
+
+impl PamModule for RiskGateModule {
+    fn name(&self) -> &'static str {
+        "pam_tacc_risk"
+    }
+
+    fn authenticate(&self, ctx: &mut PamContext<'_>) -> PamResult {
+        let (_score, decision) = self.engine.assess(&ctx.username, ctx.rhost, ctx.now());
+        match decision {
+            RiskDecision::Allow => PamResult::Ignore,
+            RiskDecision::StepUp => {
+                ctx.risk_step_up = true;
+                PamResult::Ignore
+            }
+            RiskDecision::Deny => PamResult::AuthErr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoDb;
+
+    fn engine() -> Arc<RiskEngine> {
+        let db = GeoDb::parse(
+            "70.0.0.0/8    US\n\
+             141.30.0.0/16 DE\n\
+             1.2.0.0/16    CN\n",
+        )
+        .unwrap();
+        RiskEngine::new(Arc::new(db), RiskWeights::default())
+    }
+
+    const DAY: u64 = 86_400;
+
+    #[test]
+    fn first_login_is_baseline() {
+        let e = engine();
+        let (score, d) = e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
+        assert_eq!(score, 0);
+        assert_eq!(d, RiskDecision::Allow);
+    }
+
+    #[test]
+    fn habitual_location_stays_quiet() {
+        let e = engine();
+        for day in 0..30 {
+            let (score, d) = e.assess("alice", "70.1.1.1".parse().unwrap(), day * DAY);
+            assert_eq!(score, 0, "day {day}");
+            assert_eq!(d, RiskDecision::Allow);
+        }
+    }
+
+    #[test]
+    fn new_country_triggers_step_up() {
+        let e = engine();
+        e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
+        // Weeks later from Germany: new country + new network.
+        let (score, d) = e.assess("alice", "141.30.1.1".parse().unwrap(), 30 * DAY);
+        assert_eq!(score, 40 + 15);
+        assert_eq!(d, RiskDecision::StepUp);
+        // The next German login is familiar again.
+        let (score, d) = e.assess("alice", "141.30.1.1".parse().unwrap(), 31 * DAY);
+        assert_eq!(score, 0);
+        assert_eq!(d, RiskDecision::Allow);
+    }
+
+    #[test]
+    fn impossible_travel_denies() {
+        let e = engine();
+        e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
+        e.assess("alice", "141.30.1.1".parse().unwrap(), 30 * DAY); // step-up (trip)
+        // 20 minutes after a German login, a Chinese one: new country +
+        // new network + impossible travel ≥ deny threshold.
+        let (score, d) = e.assess("alice", "1.2.3.4".parse().unwrap(), 30 * DAY + 1200);
+        assert!(score >= 90, "score {score}");
+        assert_eq!(d, RiskDecision::Deny);
+    }
+
+    #[test]
+    fn velocity_scores() {
+        let e = engine();
+        // Warm up location.
+        e.assess("bot", "70.1.1.1".parse().unwrap(), 0);
+        let mut last = (0, RiskDecision::Allow);
+        for i in 0..10 {
+            last = e.assess("bot", "70.1.1.1".parse().unwrap(), 1000 + i);
+        }
+        assert!(last.0 >= 25, "velocity scored: {}", last.0);
+    }
+
+    #[test]
+    fn failures_accumulate_risk() {
+        let e = engine();
+        e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
+        for i in 0..5 {
+            e.record_outcome("alice", 1000 + i, false);
+        }
+        let (score, d) = e.assess("alice", "70.1.1.1".parse().unwrap(), 2000);
+        assert_eq!(score, 50);
+        assert_eq!(d, RiskDecision::StepUp);
+        // An hour later the failures age out.
+        let (score, _) = e.assess("alice", "70.1.1.1".parse().unwrap(), 2000 + 3700);
+        assert_eq!(score, 0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let e = engine();
+        e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
+        e.reset("alice");
+        // Post-reset the first login is baseline again (no new-country hit).
+        let (score, _) = e.assess("alice", "141.30.1.1".parse().unwrap(), DAY);
+        assert_eq!(score, 0);
+    }
+
+    #[test]
+    fn pam_gate_maps_decisions() {
+        use hpcmfa_otp::clock::SimClock;
+        use hpcmfa_pam::conv::ScriptedConversation;
+
+        let e = engine();
+        let gate = RiskGateModule::new(Arc::clone(&e));
+        let run = |user: &str, ip: &str, now: u64| {
+            let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
+            let mut ctx = PamContext::new(
+                user,
+                ip.parse().unwrap(),
+                Arc::new(SimClock::at(now)),
+                &mut conv,
+            );
+            let r = gate.authenticate(&mut ctx);
+            (r, ctx.risk_step_up)
+        };
+        assert_eq!(run("carol", "70.1.1.1", 0), (PamResult::Ignore, false));
+        // New country weeks later: step-up flag set, stack continues.
+        assert_eq!(run("carol", "141.30.1.1", 30 * DAY), (PamResult::Ignore, true));
+        // Impossible travel right after: denied.
+        assert_eq!(run("carol", "1.2.3.4", 30 * DAY + 600), (PamResult::AuthErr, false));
+    }
+}

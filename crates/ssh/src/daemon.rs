@@ -1,0 +1,423 @@
+//! The sshd authentication state machine.
+//!
+//! The §3.4 flow: "SSH would be configured to test for an authorized public
+//! key and then hand off the authentication decision, including password
+//! check, if necessary, to PAM." On a failed password "the PAM stack is
+//! restarted and the user is prompted once again for a password, up to a
+//! maximum of two more times before SSH disconnect."
+
+use crate::authlog::{AuthLog, AuthMethod, LogEntry};
+use crate::client::{ClientProfile, ConnectionRequest, CredentialResponder, ProfileResponder};
+use crate::keys::PublicKey;
+use hpcmfa_otp::clock::Clock;
+use hpcmfa_pam::conv::{ConvError, Conversation, Prompt};
+use hpcmfa_pam::stack::{PamStack, PamVerdict};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// sshd's `MaxAuthTries`-equivalent: one initial try plus "two more times".
+pub const MAX_STACK_ATTEMPTS: u32 = 3;
+
+/// What one connection attempt produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Whether entry was granted.
+    pub granted: bool,
+    /// Number of PAM stack runs consumed.
+    pub attempts: u32,
+    /// Whether the first factor was a public key.
+    pub used_pubkey: bool,
+    /// Whether an MFA token prompt was shown (Figure 4's MFA/non-MFA
+    /// traffic classification).
+    pub mfa_prompted: bool,
+    /// Every prompt text shown during the session.
+    pub prompts: Vec<String>,
+    /// The banner text presented before authentication.
+    pub banner: String,
+}
+
+/// Bridges a [`CredentialResponder`] into a PAM [`Conversation`], recording
+/// prompts.
+struct RecordingConversation<'a> {
+    responder: &'a mut dyn CredentialResponder,
+    clock: Arc<dyn Clock>,
+    prompts: Vec<String>,
+    /// Set when the client proved unable to converse; retrying the stack
+    /// would deny identically, so the daemon disconnects instead.
+    conversation_dead: bool,
+}
+
+impl Conversation for RecordingConversation<'_> {
+    fn converse(&mut self, prompt: &Prompt) -> Result<String, ConvError> {
+        self.prompts.push(prompt.text().to_string());
+        let out = self.responder.respond(prompt, self.clock.now());
+        if out.is_err() {
+            self.conversation_dead = true;
+        }
+        out
+    }
+}
+
+/// A login node's sshd.
+pub struct SshDaemon {
+    /// NAS identifier, e.g. `login1.stampede`.
+    pub name: String,
+    authorized: RwLock<HashMap<String, HashSet<String>>>,
+    stack: Arc<PamStack>,
+    authlog: AuthLog,
+    clock: Arc<dyn Clock>,
+    banner: RwLock<String>,
+}
+
+impl SshDaemon {
+    /// Bring up a daemon with `stack` and a shared `authlog`.
+    pub fn new(name: &str, stack: Arc<PamStack>, authlog: AuthLog, clock: Arc<dyn Clock>) -> Self {
+        SshDaemon {
+            name: name.to_string(),
+            authorized: RwLock::new(HashMap::new()),
+            stack,
+            authlog,
+            clock,
+            banner: RwLock::new(String::new()),
+        }
+    }
+
+    /// Install a public key for `user` (an `authorized_keys` line).
+    pub fn authorize_key(&self, user: &str, key: &PublicKey) {
+        self.authorized
+            .write()
+            .entry(user.to_string())
+            .or_default()
+            .insert(key.fingerprint());
+    }
+
+    /// Remove all keys for `user`.
+    pub fn revoke_keys(&self, user: &str) {
+        self.authorized.write().remove(user);
+    }
+
+    /// Set the pre-auth banner ("an updated SSH banner with instructions
+    /// was put in place to greet all incoming users", §4.2).
+    pub fn set_banner(&self, text: &str) {
+        *self.banner.write() = text.to_string();
+    }
+
+    /// The shared auth log.
+    pub fn authlog(&self) -> &AuthLog {
+        &self.authlog
+    }
+
+    fn key_authorized(&self, user: &str, fingerprint: &str) -> bool {
+        self.authorized
+            .read()
+            .get(user)
+            .is_some_and(|set| set.contains(fingerprint))
+    }
+
+    /// Handle a full connection from `profile`.
+    pub fn connect(&self, profile: &ClientProfile) -> SessionReport {
+        let request = ConnectionRequest {
+            username: profile.username.clone(),
+            source_ip: profile.source_ip,
+            offered_key_fingerprint: profile.key.as_ref().map(|k| k.public().fingerprint()),
+            wants_tty: profile.wants_tty,
+        };
+        let mut responder = ProfileResponder::new(profile);
+        self.connect_with(&request, &mut responder)
+    }
+
+    /// Handle a connection with an explicit responder (lets the
+    /// multiplexing layer and tests drive the conversation directly).
+    pub fn connect_with(
+        &self,
+        request: &ConnectionRequest,
+        responder: &mut dyn CredentialResponder,
+    ) -> SessionReport {
+        let now = self.clock.now();
+
+        // Phase 1: sshd's own public key verification, logged so the PAM
+        // pubkey module can discover it.
+        let used_pubkey = match &request.offered_key_fingerprint {
+            Some(fp) if self.key_authorized(&request.username, fp) => {
+                self.authlog.record(LogEntry {
+                    at: now,
+                    user: request.username.clone(),
+                    rhost: request.source_ip,
+                    method: AuthMethod::Publickey,
+                    success: true,
+                    tty: request.wants_tty,
+                });
+                true
+            }
+            Some(fp) => {
+                self.authlog.record(LogEntry {
+                    at: now,
+                    user: request.username.clone(),
+                    rhost: request.source_ip,
+                    method: AuthMethod::Publickey,
+                    success: false,
+                    tty: request.wants_tty,
+                });
+                let _ = fp;
+                false
+            }
+            None => false,
+        };
+
+        // Phase 2: PAM, with sshd's retry-on-deny loop.
+        let mut conv = RecordingConversation {
+            responder,
+            clock: Arc::clone(&self.clock),
+            prompts: Vec::new(),
+            conversation_dead: false,
+        };
+        let banner = self.banner.read().clone();
+
+        let mut attempts = 0;
+        let mut granted = false;
+        while attempts < MAX_STACK_ATTEMPTS {
+            attempts += 1;
+            let mut ctx = hpcmfa_pam::context::PamContext::new(
+                &request.username,
+                request.source_ip,
+                Arc::clone(&self.clock),
+                &mut conv,
+            );
+            ctx.pubkey_succeeded = false;
+            match self.stack.authenticate(&mut ctx) {
+                PamVerdict::Granted => {
+                    granted = true;
+                    break;
+                }
+                PamVerdict::Denied => {
+                    // Only a fresh password attempt justifies restarting
+                    // the stack; a dead conversation or a token denial is
+                    // final for this connection.
+                    if conv.conversation_dead
+                        || !conv
+                            .prompts
+                            .last()
+                            .is_some_and(|p| p.to_ascii_lowercase().contains("password"))
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mfa_prompted = conv
+            .prompts
+            .iter()
+            .any(|p| p.contains("Token") || p.contains("token"));
+
+        self.authlog.record(LogEntry {
+            at: self.clock.now(),
+            user: request.username.clone(),
+            rhost: request.source_ip,
+            method: if mfa_prompted {
+                AuthMethod::KeyboardInteractive
+            } else if used_pubkey {
+                AuthMethod::Publickey
+            } else {
+                AuthMethod::Password
+            },
+            success: granted,
+            tty: request.wants_tty,
+        });
+
+        SessionReport {
+            granted,
+            attempts,
+            used_pubkey,
+            mfa_prompted,
+            prompts: conv.prompts,
+            banner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TokenSource;
+    use crate::keys::KeyPair;
+    use hpcmfa_directory::ldap::{Directory, Entry};
+    use hpcmfa_otp::clock::SimClock;
+    use hpcmfa_pam::modules::password::{hash_password, UnixPasswordModule, PASSWORD_ATTR};
+    use hpcmfa_pam::modules::pubkey::PubkeyCheckModule;
+    use hpcmfa_pam::stack::ControlFlag;
+    use std::net::Ipv4Addr;
+
+    /// A two-factor-free stack: pubkey skips password, password otherwise.
+    fn first_factor_stack(directory: Directory, authlog: AuthLog) -> Arc<PamStack> {
+        let mut stack = PamStack::new();
+        stack.push(
+            ControlFlag::SuccessSkip(1),
+            PubkeyCheckModule::new(Arc::new(authlog)),
+        );
+        stack.push(
+            ControlFlag::Requisite,
+            UnixPasswordModule::new(directory, "dc=tacc"),
+        );
+        // A terminal "permit" so the stack has a granting module when the
+        // pubkey path skipped the password.
+        struct Permit;
+        impl hpcmfa_pam::stack::PamModule for Permit {
+            fn name(&self) -> &'static str {
+                "pam_permit"
+            }
+            fn authenticate(
+                &self,
+                _: &mut hpcmfa_pam::context::PamContext<'_>,
+            ) -> hpcmfa_pam::stack::PamResult {
+                hpcmfa_pam::stack::PamResult::Success
+            }
+        }
+        stack.push(ControlFlag::Required, Arc::new(Permit));
+        Arc::new(stack)
+    }
+
+    fn directory_with(user: &str, password: &str) -> Directory {
+        let dir = Directory::new();
+        dir.add(
+            Entry::new(format!("uid={user},ou=people,dc=tacc"))
+                .with_attr("uid", user)
+                .with_attr(PASSWORD_ATTR, &hash_password(password, "na")),
+        )
+        .unwrap();
+        dir
+    }
+
+    fn daemon() -> SshDaemon {
+        let authlog = AuthLog::new();
+        let dir = directory_with("alice", "hunter2");
+        let stack = first_factor_stack(dir, authlog.clone());
+        SshDaemon::new(
+            "login1",
+            stack,
+            authlog,
+            Arc::new(SimClock::at(1_000_000)),
+        )
+    }
+
+    #[test]
+    fn password_login_succeeds() {
+        let d = daemon();
+        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
+        let report = d.connect(&profile);
+        assert!(report.granted);
+        assert!(!report.used_pubkey);
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn wrong_password_retries_then_disconnects() {
+        let d = daemon();
+        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "wrong");
+        let report = d.connect(&profile);
+        assert!(!report.granted);
+        assert_eq!(report.attempts, MAX_STACK_ATTEMPTS);
+        // Three password prompts were shown.
+        assert_eq!(
+            report
+                .prompts
+                .iter()
+                .filter(|p| p.contains("Password"))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn pubkey_login_skips_password() {
+        let d = daemon();
+        let key = KeyPair::generate("alice@laptop");
+        d.authorize_key("alice", key.public());
+        let profile = ClientProfile::batch_client("alice", Ipv4Addr::new(8, 8, 8, 8), key);
+        let report = d.connect(&profile);
+        assert!(report.granted);
+        assert!(report.used_pubkey);
+        assert!(report.prompts.is_empty(), "no prompts for key login");
+    }
+
+    #[test]
+    fn unauthorized_key_falls_back_to_password_and_fails_for_batch() {
+        let d = daemon();
+        let key = KeyPair::generate("stranger@box");
+        let profile = ClientProfile::batch_client("alice", Ipv4Addr::new(8, 8, 8, 8), key);
+        let report = d.connect(&profile);
+        assert!(!report.granted);
+        // Batch client can't answer the password prompt: single attempt.
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn revoked_key_stops_working() {
+        let d = daemon();
+        let key = KeyPair::generate("alice@laptop");
+        d.authorize_key("alice", key.public());
+        d.revoke_keys("alice");
+        let profile =
+            ClientProfile::batch_client("alice", Ipv4Addr::new(8, 8, 8, 8), key);
+        assert!(!d.connect(&profile).granted);
+    }
+
+    #[test]
+    fn auth_log_records_both_phases() {
+        let d = daemon();
+        let key = KeyPair::generate("alice@laptop");
+        d.authorize_key("alice", key.public());
+        let profile = ClientProfile::batch_client("alice", Ipv4Addr::new(8, 8, 8, 8), key);
+        d.connect(&profile);
+        let entries = d.authlog().entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].method, AuthMethod::Publickey);
+        assert!(entries[0].success);
+        assert!(entries[1].success);
+    }
+
+    #[test]
+    fn banner_is_reported() {
+        let d = daemon();
+        d.set_banner("MFA is required. See https://portal/mfa");
+        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
+        let report = d.connect(&profile);
+        assert!(report.banner.contains("MFA is required"));
+    }
+
+    #[test]
+    fn fixed_token_source_marks_mfa_prompted() {
+        // Stack with a prompt containing "Token" to verify classification.
+        struct TokenPrompt;
+        impl hpcmfa_pam::stack::PamModule for TokenPrompt {
+            fn name(&self) -> &'static str {
+                "fake_token"
+            }
+            fn authenticate(
+                &self,
+                ctx: &mut hpcmfa_pam::context::PamContext<'_>,
+            ) -> hpcmfa_pam::stack::PamResult {
+                match ctx.conv.converse(&Prompt::EchoOff("TACC Token:".into())) {
+                    Ok(code) if code == "424242" => hpcmfa_pam::stack::PamResult::Success,
+                    Ok(_) => hpcmfa_pam::stack::PamResult::AuthErr,
+                    Err(_) => hpcmfa_pam::stack::PamResult::Abort,
+                }
+            }
+        }
+        let authlog = AuthLog::new();
+        let mut stack = PamStack::new();
+        stack.push(ControlFlag::Required, Arc::new(TokenPrompt));
+        let d = SshDaemon::new(
+            "login1",
+            Arc::new(stack),
+            authlog,
+            Arc::new(SimClock::at(0)),
+        );
+        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "x")
+            .with_token(TokenSource::Fixed("424242".into()));
+        let report = d.connect(&profile);
+        assert!(report.granted);
+        assert!(report.mfa_prompted);
+    }
+}

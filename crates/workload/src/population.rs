@@ -1,0 +1,469 @@
+//! The synthetic user population.
+//!
+//! Cohort structure follows §2/§4.1: "Thousands of users enter directly
+//! through SSH clients onto public-facing login nodes. That number again
+//! interface through trusted web portals and specialized accounts";
+//! "a non-negligible number of user accounts, on the order of hundreds,
+//! clearly were automating log ins"; staff "generally tend to be quite
+//! active"; training accounts serve workshops.
+//!
+//! Device choice targets Table 1: Soft 55.38 %, SMS 40.22 %, Training
+//! 2.97 %, Hard 1.43 %. Hard tokens go to users who "worked at locations
+//! where phones were not permitted, lived outside the United States, or
+//! did not own a compatible phone" (§3.3).
+
+use hpcmfa_otp::date::Date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Behavioural cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cohort {
+    /// A researcher at a terminal.
+    Interactive,
+    /// Scripted, high-volume, non-TTY workflows (§4.1's targeted users).
+    Automated,
+    /// Science-gateway account, exempted, very high volume.
+    Gateway,
+    /// Community account shared by a project, exempted.
+    Community,
+    /// Center staff: active, early adopters.
+    Staff,
+    /// Workshop training account with a static token.
+    Training,
+    /// Holds an account but essentially never logs in.
+    Inactive,
+}
+
+/// Which device the user will pair when they adopt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DevicePreference {
+    /// Smartphone app.
+    Soft,
+    /// SMS texts.
+    Sms,
+    /// Key fob.
+    Hard,
+    /// Static training code (training accounts only).
+    Training,
+}
+
+/// One account in the population.
+#[derive(Debug, Clone)]
+pub struct UserSpec {
+    /// Login name.
+    pub username: String,
+    /// Cohort.
+    pub cohort: Cohort,
+    /// Device the user will pair.
+    pub device: DevicePreference,
+    /// Expected external logins per active weekday.
+    pub daily_logins: f64,
+    /// Probability of being active on a given weekday.
+    pub activity_prob: f64,
+    /// The day this user pairs a device (None = never, e.g. exempted
+    /// accounts and inactive users).
+    pub adoption_day: Option<Date>,
+    /// Whether the user authenticates with a public key (vs password).
+    pub uses_pubkey: bool,
+    /// US-based phone number for SMS users.
+    pub phone: Option<String>,
+}
+
+/// Population sizing. Defaults approximate the paper's scale; use
+/// [`PopulationParams::scaled`] for faster experiments.
+#[derive(Debug, Clone)]
+pub struct PopulationParams {
+    /// Interactive researchers.
+    pub interactive: usize,
+    /// Automated/scripted accounts ("on the order of hundreds").
+    pub automated: usize,
+    /// Gateway accounts.
+    pub gateways: usize,
+    /// Community accounts.
+    pub community: usize,
+    /// Staff accounts.
+    pub staff: usize,
+    /// Training accounts.
+    pub training: usize,
+    /// Dormant accounts (the long tail of 10,000+).
+    pub inactive: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PopulationParams {
+    fn default() -> Self {
+        PopulationParams {
+            interactive: 4_200,
+            automated: 300,
+            gateways: 15,
+            community: 35,
+            staff: 150,
+            training: 130,
+            inactive: 5_200,
+            seed: 20160810,
+        }
+    }
+}
+
+impl PopulationParams {
+    /// Scale all cohort sizes by `f` (minimum 1 per nonzero cohort).
+    pub fn scaled(f: f64) -> Self {
+        let d = Self::default();
+        let s = |n: usize| ((n as f64 * f).round() as usize).max(1);
+        PopulationParams {
+            interactive: s(d.interactive),
+            automated: s(d.automated),
+            gateways: s(d.gateways),
+            community: s(d.community),
+            staff: s(d.staff),
+            training: s(d.training),
+            inactive: s(d.inactive),
+            seed: d.seed,
+        }
+    }
+
+    /// Total account count.
+    pub fn total(&self) -> usize {
+        self.interactive
+            + self.automated
+            + self.gateways
+            + self.community
+            + self.staff
+            + self.training
+            + self.inactive
+    }
+}
+
+/// Adoption-day weights across the rollout window.
+///
+/// Chosen so the realized ranking matches §5: the day after phase 2 begins
+/// (2016-09-07) ranks first in new pairings and the mandatory date
+/// (2016-10-04) ranks fourth, with the announcement (08-10) among the top
+/// days. Margins are wide enough that multinomial noise does not flip the
+/// asserted ranks at realistic population sizes.
+pub fn adoption_weight(date: Date) -> f64 {
+    let announce = Date::new(2016, 8, 10);
+    let phase2 = Date::new(2016, 9, 6);
+    let mandatory = Date::new(2016, 10, 4);
+    let year_end = Date::new(2016, 12, 31);
+    if date < announce || date > year_end {
+        return 0.0;
+    }
+    // Spot weights on milestone days. Note the mandatory date carries a
+    // modest *planned* weight: most of its realized pairings come from
+    // the forced-adoption mechanism in the rollout simulator (locked-out
+    // users pairing the day they hit the closed door), which is why the
+    // paper sees it rank fourth rather than first.
+    let spot = match (date.year, date.month, date.day) {
+        (2016, 8, 10) => 30.0,
+        (2016, 8, 11) => 15.0,
+        (2016, 8, 12) => 7.0,
+        (2016, 9, 6) => 16.0,
+        (2016, 9, 7) => 65.0,
+        (2016, 9, 8) => 36.0,
+        (2016, 9, 9) => 10.0,
+        (2016, 10, 4) => 10.0,
+        (2016, 10, 5) => 7.0,
+        (2016, 10, 6) => 5.0,
+        _ => 0.0,
+    };
+    if spot > 0.0 {
+        return spot;
+    }
+    // Base rates per phase, decaying after the mandatory date ("most
+    // users had already paired an MFA device before the mandatory
+    // deadline", Fig. 3 caption).
+    if date < phase2 {
+        3.0
+    } else if date < mandatory {
+        5.0
+    } else {
+        let days_after = mandatory.days_until(date) as f64;
+        (1.2 * (-days_after / 18.0).exp()).max(0.25)
+    }
+}
+
+/// Sample an adoption day from the weight profile.
+fn sample_adoption_day(rng: &mut StdRng) -> Date {
+    let start = Date::new(2016, 8, 10);
+    let end = Date::new(2016, 12, 31);
+    let days = start.days_until(end) as usize + 1;
+    let weights: Vec<f64> = (0..days)
+        .map(|i| adoption_weight(start.plus_days(i as i64)))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return start.plus_days(i as i64);
+        }
+        draw -= w;
+    }
+    end
+}
+
+/// Sample a device preference for a non-training user.
+fn sample_device(rng: &mut StdRng) -> DevicePreference {
+    // Hard-token users: no compatible phone / abroad / secure facility.
+    // Table 1: hard is 1.43 % of pairings; soft:sms among phone users is
+    // 55.38:40.22.
+    let r: f64 = rng.random();
+    if r < 0.0145 {
+        DevicePreference::Hard
+    } else if r < 0.0145 + 0.5710 {
+        DevicePreference::Soft
+    } else {
+        DevicePreference::Sms
+    }
+}
+
+fn us_phone(rng: &mut StdRng) -> String {
+    format!("512555{:04}", rng.random_range(0..10_000))
+}
+
+/// The generated population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// All accounts.
+    pub users: Vec<UserSpec>,
+    /// Sizing used.
+    pub params: PopulationParams,
+}
+
+impl Population {
+    /// Generate deterministically from `params`.
+    pub fn generate(params: PopulationParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut users = Vec::with_capacity(params.total());
+
+        for i in 0..params.interactive {
+            let device = sample_device(&mut rng);
+            users.push(UserSpec {
+                username: format!("user{i:05}"),
+                cohort: Cohort::Interactive,
+                device,
+                daily_logins: rng.random_range(1.0..3.0),
+                activity_prob: rng.random_range(0.10..0.55),
+                adoption_day: Some(sample_adoption_day(&mut rng)),
+                uses_pubkey: rng.random_bool(0.35),
+                phone: matches!(device, DevicePreference::Sms).then(|| us_phone(&mut rng)),
+            });
+        }
+        for i in 0..params.automated {
+            let device = sample_device(&mut rng);
+            // Most automated owners eventually pair for their interactive
+            // sessions too; their scripted traffic is the interesting part.
+            users.push(UserSpec {
+                username: format!("auto{i:04}"),
+                cohort: Cohort::Automated,
+                device,
+                daily_logins: rng.random_range(8.0..30.0),
+                activity_prob: 0.95,
+                adoption_day: Some(sample_adoption_day(&mut rng)),
+                uses_pubkey: true,
+                phone: matches!(device, DevicePreference::Sms).then(|| us_phone(&mut rng)),
+            });
+        }
+        for i in 0..params.gateways {
+            users.push(UserSpec {
+                username: format!("gateway{i:02}"),
+                cohort: Cohort::Gateway,
+                device: DevicePreference::Soft, // never used: exempted
+                daily_logins: rng.random_range(40.0..120.0),
+                activity_prob: 1.0,
+                adoption_day: None,
+                uses_pubkey: true,
+                phone: None,
+            });
+        }
+        for i in 0..params.community {
+            users.push(UserSpec {
+                username: format!("community{i:02}"),
+                cohort: Cohort::Community,
+                device: DevicePreference::Soft,
+                daily_logins: rng.random_range(10.0..40.0),
+                activity_prob: 0.9,
+                adoption_day: None,
+                uses_pubkey: true,
+                phone: None,
+            });
+        }
+        for i in 0..params.staff {
+            let device = sample_device(&mut rng);
+            // Staff opted in during the July internal beta and early
+            // phase 1 (§4.2).
+            let early = Date::new(2016, 7, 11).plus_days(rng.random_range(0..35));
+            users.push(UserSpec {
+                username: format!("staff{i:03}"),
+                cohort: Cohort::Staff,
+                device,
+                daily_logins: rng.random_range(2.0..6.0),
+                activity_prob: 0.8,
+                adoption_day: Some(early),
+                uses_pubkey: rng.random_bool(0.7),
+                phone: matches!(device, DevicePreference::Sms).then(|| us_phone(&mut rng)),
+            });
+        }
+        for i in 0..params.training {
+            users.push(UserSpec {
+                username: format!("train{i:03}"),
+                cohort: Cohort::Training,
+                device: DevicePreference::Training,
+                daily_logins: rng.random_range(0.2..1.0),
+                activity_prob: 0.15,
+                // Training accounts get static codes as workshops occur.
+                adoption_day: Some(
+                    Date::new(2016, 8, 15).plus_days(rng.random_range(0..100)),
+                ),
+                uses_pubkey: false,
+                phone: None,
+            });
+        }
+        for i in 0..params.inactive {
+            users.push(UserSpec {
+                username: format!("dormant{i:05}"),
+                cohort: Cohort::Inactive,
+                device: DevicePreference::Soft,
+                daily_logins: 0.0,
+                activity_prob: 0.0,
+                adoption_day: None,
+                uses_pubkey: false,
+                phone: None,
+            });
+        }
+
+        Population { users, params }
+    }
+
+    /// Users of one cohort.
+    pub fn cohort(&self, cohort: Cohort) -> impl Iterator<Item = &UserSpec> {
+        self.users.iter().filter(move |u| u.cohort == cohort)
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_population_has_paper_scale() {
+        let p = PopulationParams::default();
+        assert!(p.total() > 10_000, "paper supports >10,000 accounts");
+        assert!((100..1000).contains(&p.automated), "hundreds of automators");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(PopulationParams::scaled(0.02));
+        let b = Population::generate(PopulationParams::scaled(0.02));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.users.iter().zip(b.users.iter()) {
+            assert_eq!(x.username, y.username);
+            assert_eq!(x.device, y.device);
+            assert_eq!(x.adoption_day, y.adoption_day);
+        }
+    }
+
+    #[test]
+    fn device_mix_tracks_table1_targets() {
+        let pop = Population::generate(PopulationParams::default());
+        let adopters: Vec<_> = pop
+            .users
+            .iter()
+            .filter(|u| u.adoption_day.is_some())
+            .collect();
+        let n = adopters.len() as f64;
+        let frac = |d: DevicePreference| {
+            adopters.iter().filter(|u| u.device == d).count() as f64 / n
+        };
+        let soft = frac(DevicePreference::Soft);
+        let sms = frac(DevicePreference::Sms);
+        let hard = frac(DevicePreference::Hard);
+        let training = frac(DevicePreference::Training);
+        assert!((0.50..0.62).contains(&soft), "soft {soft}");
+        assert!((0.34..0.46).contains(&sms), "sms {sms}");
+        assert!((0.005..0.03).contains(&hard), "hard {hard}");
+        assert!((0.01..0.05).contains(&training), "training {training}");
+        assert!(soft > sms && sms > training && training > hard,
+            "Table 1 ordering: soft > sms > training > hard");
+    }
+
+    #[test]
+    fn adoption_weights_rank_milestones() {
+        // Expected ranking of spot days drives the realized Figure 6 ranks.
+        let w = |y, m, d| adoption_weight(Date::new(y, m, d));
+        let sep7 = w(2016, 9, 7);
+        let sep8 = w(2016, 9, 8);
+        let aug10 = w(2016, 8, 10);
+        let oct4 = w(2016, 10, 4);
+        assert!(sep7 > sep8 && sep8 > aug10 && aug10 > oct4,
+            "top three planned days exceed the mandatory date");
+        // Oct 4's planned weight still beats the ordinary phase-2 base.
+        assert!(oct4 >= 2.0 * w(2016, 9, 20));
+        assert_eq!(w(2016, 8, 9), 0.0, "no adoption before announcement");
+        assert_eq!(w(2017, 1, 5), 0.0, "window closes at year end");
+    }
+
+    #[test]
+    fn adoption_days_cluster_on_spikes() {
+        let pop = Population::generate(PopulationParams::default());
+        let mut counts: std::collections::HashMap<Date, usize> = Default::default();
+        for u in pop.users.iter().filter(|u| u.cohort == Cohort::Interactive) {
+            if let Some(d) = u.adoption_day {
+                *counts.entry(d).or_default() += 1;
+            }
+        }
+        let mut ranked: Vec<(Date, usize)> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        assert_eq!(ranked[0].0, Date::new(2016, 9, 7), "Sep 7 ranks first");
+        // The mandatory date's planned adoption is modest; its realized
+        // rank-four position comes from forced adoption in the rollout
+        // simulator. Here it must at least stay among the top days.
+        let oct4_rank = ranked
+            .iter()
+            .position(|(d, _)| *d == Date::new(2016, 10, 4))
+            .unwrap();
+        assert!(oct4_rank <= 9, "Oct 4 among top planned days ({oct4_rank})");
+    }
+
+    #[test]
+    fn gateways_and_community_never_adopt() {
+        let pop = Population::generate(PopulationParams::scaled(0.1));
+        for u in pop.users.iter() {
+            if matches!(u.cohort, Cohort::Gateway | Cohort::Community | Cohort::Inactive) {
+                assert!(u.adoption_day.is_none(), "{}", u.username);
+            }
+        }
+    }
+
+    #[test]
+    fn sms_users_have_phones() {
+        let pop = Population::generate(PopulationParams::scaled(0.05));
+        for u in &pop.users {
+            if u.device == DevicePreference::Sms && u.adoption_day.is_some() {
+                assert!(u.phone.is_some(), "{} needs a phone", u.username);
+            }
+        }
+    }
+
+    #[test]
+    fn staff_adopt_before_the_public() {
+        let pop = Population::generate(PopulationParams::scaled(0.2));
+        for u in pop.cohort(Cohort::Staff) {
+            let d = u.adoption_day.unwrap();
+            assert!(d < Date::new(2016, 8, 16), "staff {} adopted {d}", u.username);
+        }
+    }
+}

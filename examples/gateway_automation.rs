@@ -1,0 +1,94 @@
+//! Automated, non-interactive workloads under MFA (§2, §3.4, §5).
+//!
+//! Science gateways and community accounts "negotiate in an automated
+//! fashion on behalf of [satellite] users" — they can't type token codes.
+//! This example shows the three survival strategies the paper deployed:
+//! a standing exemption, a temporary variance that expires, and SSH
+//! multiplexing.
+//!
+//! ```text
+//! cargo run --example gateway_automation
+//! ```
+
+use securing_hpc::core::center::{Center, CenterConfig};
+use securing_hpc::pam::modules::token::EnforcementMode;
+use securing_hpc::ssh::client::{ClientProfile, TokenSource};
+use securing_hpc::ssh::multiplex::MultiplexedConnection;
+use std::net::Ipv4Addr;
+
+const GATEWAY_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7);
+
+fn main() {
+    let center = Center::new(CenterConfig::default());
+    center.set_enforcement(EnforcementMode::Full);
+
+    center.create_user("gateway1", "ops@scigateway.org", "unused-pw");
+    center.create_user("pi_smith", "smith@utexas.edu", "smith-pw");
+    center.create_user("grad42", "grad@utexas.edu", "grad-pw");
+
+    // --- Strategy 1: standing exemption for the trusted gateway. ---
+    center
+        .add_exemption_rule("+ : gateway1 : 198.51.100.7 : ALL")
+        .unwrap();
+    let key = center.provision_key("gateway1");
+    let gw = ClientProfile::batch_client("gateway1", GATEWAY_IP, key);
+    let mut ok = 0;
+    for _ in 0..50 {
+        center.clock.advance(60);
+        if center.ssh(0, &gw).granted {
+            ok += 1;
+        }
+    }
+    println!("gateway1 (pubkey + standing exemption): {ok}/50 automated logins, zero prompts");
+
+    // But only from its registered address — the exemption is IP-scoped.
+    let elsewhere = ClientProfile::batch_client(
+        "gateway1",
+        Ipv4Addr::new(203, 0, 113, 9),
+        center.provision_key("gateway1"),
+    );
+    println!(
+        "gateway1 from an unregistered IP: granted = {}",
+        center.ssh(0, &elsewhere).granted
+    );
+
+    // --- Strategy 2: a temporary variance while a workflow is reworked. ---
+    center
+        .add_exemption_rule("+ : pi_smith : ALL : 2016-08-24")
+        .unwrap();
+    let key = center.provision_key("pi_smith");
+    let smith = ClientProfile::batch_client("pi_smith", Ipv4Addr::new(70, 1, 2, 3), key);
+    println!(
+        "\npi_smith under a variance through 2016-08-24: granted = {}",
+        center.ssh(0, &smith).granted
+    );
+    center.clock.advance(16 * 86_400); // past the expiry
+    println!(
+        "pi_smith after the variance lapsed:          granted = {}",
+        center.ssh(0, &smith).granted
+    );
+
+    // --- Strategy 3: SSH multiplexing — "perhaps most popular of all". ---
+    let device = center.pair_soft("grad42");
+    let profile = ClientProfile::interactive_user("grad42", Ipv4Addr::new(70, 4, 5, 6), "grad-pw")
+        .with_token(TokenSource::device(move |now| {
+            Some(device.displayed_code(now))
+        }));
+    let node = &center.nodes[0].daemon;
+    let mut mux = MultiplexedConnection::new(node);
+    mux.establish(&profile).expect("master authenticates with MFA");
+    for _ in 0..25 {
+        mux.open_channel().unwrap();
+    }
+    println!(
+        "\ngrad42 multiplexing: 1 MFA authentication, {} channels (scp/sftp/shells)",
+        mux.channels()
+    );
+    let kb_interactive = node
+        .authlog()
+        .count_where(|e| e.method == securing_hpc::ssh::authlog::AuthMethod::KeyboardInteractive);
+    println!(
+        "keyboard-interactive auth events on the node (incl. the failed \
+         gateway/variance probes above): {kb_interactive}"
+    );
+}

@@ -1,0 +1,141 @@
+//! The fourth in-house module in its natural habitat: a Solaris-style PAM
+//! stack without the Linux `[success=N default=ignore]` jump control
+//! (§3.4). The combo module must reproduce the Linux stack's decisions for
+//! every first-factor × exemption combination.
+
+use securing_hpc::core::center::{Center, CenterConfig};
+use securing_hpc::core::Clock as _;
+use securing_hpc::pam::context::PamContext;
+use securing_hpc::pam::conv::ScriptedConversation;
+use securing_hpc::pam::modules::solaris::SolarisComboModule;
+use securing_hpc::pam::modules::password::UnixPasswordModule;
+use securing_hpc::pam::modules::token::{EnforcementMode, TokenModule};
+use securing_hpc::pam::stack::{ControlFlag, PamStack, PamVerdict};
+use securing_hpc::ssh::authlog::{AuthLog, AuthMethod, LogEntry};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const GW_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7);
+const USER_IP: Ipv4Addr = Ipv4Addr::new(70, 3, 3, 3);
+
+struct Rig {
+    center: Arc<Center>,
+    stack: PamStack,
+    authlog: AuthLog,
+}
+
+/// Solaris stack: combo(sufficient) → password(requisite) → token(required).
+fn rig() -> Rig {
+    let center = Center::new(CenterConfig::default());
+    center.create_user("gateway1", "g@x.edu", "gw-pw");
+    center.create_user("alice", "a@x.edu", "alice-pw");
+    center.add_exemption_rule("+ : gateway1 : ALL : ALL").unwrap();
+    let node = &center.nodes[0];
+
+    let authlog = AuthLog::new();
+    let mut stack = PamStack::new();
+    stack.push(
+        ControlFlag::Sufficient,
+        SolarisComboModule::new(Arc::new(authlog.clone()), node.exemptions.clone()),
+    );
+    stack.push(
+        ControlFlag::Requisite,
+        UnixPasswordModule::new(center.directory.clone(), "ou=people,dc=tacc"),
+    );
+    stack.push(
+        ControlFlag::Required,
+        TokenModule::new(
+            EnforcementMode::Full,
+            Arc::clone(&node.radius_client),
+            center.directory.clone(),
+            "ou=people,dc=tacc",
+            17,
+        ),
+    );
+    Rig {
+        center: Arc::clone(&center),
+        stack,
+        authlog,
+    }
+}
+
+fn log_pubkey(rig: &Rig, user: &str, ip: Ipv4Addr) {
+    rig.authlog.record(LogEntry {
+        at: rig.center.clock.now(),
+        user: user.into(),
+        rhost: ip,
+        method: AuthMethod::Publickey,
+        success: true,
+        tty: false,
+    });
+}
+
+fn login(rig: &Rig, user: &str, ip: Ipv4Addr, answers: Vec<String>) -> (PamVerdict, Vec<String>) {
+    let mut conv = ScriptedConversation::with_answers(answers);
+    let transcript = conv.transcript();
+    let mut ctx = PamContext::new(user, ip, Arc::new(rig.center.clock.clone()), &mut conv);
+    let verdict = rig.stack.authenticate(&mut ctx);
+    let prompts = transcript
+        .lock()
+        .iter()
+        .map(|t| t.prompt.text().to_string())
+        .collect();
+    (verdict, prompts)
+}
+
+#[test]
+fn exempt_gateway_with_pubkey_is_fully_noninteractive() {
+    let r = rig();
+    log_pubkey(&r, "gateway1", GW_IP);
+    let (verdict, prompts) = login(&r, "gateway1", GW_IP, vec![]);
+    assert_eq!(verdict, PamVerdict::Granted);
+    assert!(prompts.is_empty(), "combo short-circuits everything: {prompts:?}");
+}
+
+#[test]
+fn exempt_gateway_without_pubkey_faces_full_mfa() {
+    // The combo bypass demands *both* pubkey evidence and an exemption —
+    // a password login, even by an exempt account, continues into the
+    // token module. Solaris automation therefore must use keys, which is
+    // exactly how the paper's gateways operate.
+    let r = rig();
+    let (verdict, prompts) = login(&r, "gateway1", GW_IP, vec!["gw-pw".into()]);
+    assert_eq!(verdict, PamVerdict::Denied, "no device paired");
+    assert!(prompts.iter().any(|p| p.contains("Token")), "{prompts:?}");
+    // And a wrong password never reaches the token prompt (requisite).
+    let (verdict, prompts) = login(&r, "gateway1", GW_IP, vec!["nope".into()]);
+    assert_eq!(verdict, PamVerdict::Denied);
+    assert!(prompts.iter().all(|p| !p.contains("Token")), "{prompts:?}");
+}
+
+#[test]
+fn ordinary_user_with_pubkey_still_faces_token() {
+    let r = rig();
+    let device = r.center.pair_soft("alice");
+    log_pubkey(&r, "alice", USER_IP);
+    // Pubkey succeeded but no exemption: combo is Ignore, so the Solaris
+    // stack (lacking the skip) asks for the password AND the token.
+    let code = device.displayed_code(r.center.clock.now());
+    let (verdict, prompts) = login(
+        &r,
+        "alice",
+        USER_IP,
+        vec!["alice-pw".into(), code],
+    );
+    assert_eq!(verdict, PamVerdict::Granted);
+    assert_eq!(prompts.len(), 2, "{prompts:?}");
+    assert!(prompts[1].contains("Token"));
+}
+
+#[test]
+fn stale_pubkey_evidence_is_ignored() {
+    let r = rig();
+    log_pubkey(&r, "gateway1", GW_IP);
+    // An hour later the log line is stale: the combo no longer fires, so
+    // the login falls through to password + token like anyone else's.
+    r.center.clock.advance(3600);
+    let (verdict, prompts) = login(&r, "gateway1", GW_IP, vec!["gw-pw".into()]);
+    assert_eq!(verdict, PamVerdict::Denied, "no device paired");
+    assert_eq!(prompts.first().map(String::as_str), Some("Password: "));
+    assert!(prompts.iter().any(|p| p.contains("Token")));
+}

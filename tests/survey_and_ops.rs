@@ -1,0 +1,143 @@
+//! Integration of the §4.1 information-gathering pipeline and operational
+//! behaviours: auth-log auditing identifies automated users; exemption
+//! reloads propagate instantly; RADIUS fleet failures degrade gracefully.
+
+use securing_hpc::core::center::{Center, CenterConfig};
+use securing_hpc::core::Clock as _;
+use securing_hpc::pam::modules::token::EnforcementMode;
+use securing_hpc::ssh::client::{ClientProfile, TokenSource};
+use securing_hpc::ssh::survey::survey;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const OUTSIDE: Ipv4Addr = Ipv4Addr::new(70, 70, 70, 70);
+
+#[test]
+fn survey_pipeline_finds_the_automators() {
+    // Pre-MFA state: the center watches who logs in and how (§4.1).
+    let c = Center::new(CenterConfig::default());
+    c.set_enforcement(EnforcementMode::Off);
+    for (name, logins, tty) in [
+        ("casual1", 3, true),
+        ("casual2", 5, true),
+        ("staffer1", 15, true),
+        ("cronjob_carl", 120, false),
+        ("datamover_dana", 90, false),
+        ("gateway1", 400, false),
+    ] {
+        c.create_user(name, &format!("{name}@x.edu"), &format!("{name}-pw"));
+        let key = c.provision_key(name);
+        let profile = if tty {
+            ClientProfile::interactive_user(name, OUTSIDE, &format!("{name}-pw")).with_key(key)
+        } else {
+            ClientProfile::batch_client(name, OUTSIDE, key)
+        };
+        for _ in 0..logins {
+            c.clock.advance(40);
+            assert!(c.ssh(0, &profile).granted);
+        }
+    }
+
+    let from = c.config.start_time;
+    let to = c.clock.now() + 1;
+    let staff: HashSet<String> = ["staffer1".to_string()].into();
+    let known: HashSet<String> = ["gateway1".to_string()].into();
+    let report = survey(c.nodes[0].daemon.authlog(), from, to, &staff, &known);
+
+    let targeted: Vec<&str> = report.targeted.iter().map(|a| a.user.as_str()).collect();
+    assert!(targeted.contains(&"cronjob_carl"));
+    assert!(targeted.contains(&"datamover_dana"));
+    assert!(!targeted.contains(&"casual1"));
+    assert!(!targeted.contains(&"gateway1"), "known accounts excluded");
+    // "The far majority of these log in events were not invoked with a TTY."
+    for t in &report.targeted {
+        assert!(t.non_tty_fraction() > 0.9, "{} tty fraction", t.user);
+    }
+}
+
+#[test]
+fn exemption_reload_applies_to_inflight_traffic() {
+    let c = Center::new(CenterConfig::default());
+    c.set_enforcement(EnforcementMode::Full);
+    c.create_user("late_prof", "p@x.edu", "prof-pw");
+    let key = c.provision_key("late_prof");
+    let batch = ClientProfile::batch_client("late_prof", OUTSIDE, key);
+
+    assert!(!c.ssh(0, &batch).granted, "no exemption yet");
+    // Staff grant a variance; "changes take effect immediately" (§3.4).
+    c.add_exemption_rule("+ : late_prof : ALL : 2016-12-31").unwrap();
+    assert!(c.ssh(0, &batch).granted);
+    // And on the other login node too — each node reloaded.
+    assert!(c.ssh(1, &batch).granted);
+}
+
+#[test]
+fn radius_fleet_degrades_gracefully_and_recovers() {
+    let c = Center::new(CenterConfig::default());
+    c.set_enforcement(EnforcementMode::Full);
+    c.create_user("alice", "a@x.edu", "alice-pw");
+    let device = c.pair_soft("alice");
+    let profile = ClientProfile::interactive_user("alice", OUTSIDE, "alice-pw")
+        .with_token(TokenSource::device(move |now| Some(device.displayed_code(now))));
+
+    // Rolling outage: kill one server at a time; logins keep working.
+    for victim in 0..c.radius_faults.len() {
+        for (i, f) in c.radius_faults.iter().enumerate() {
+            f.set_down(i == victim);
+        }
+        c.clock.advance(30);
+        assert!(c.ssh(0, &profile).granted, "outage of server {victim}");
+    }
+    // Total outage: fail secure.
+    for f in &c.radius_faults {
+        f.set_down(true);
+    }
+    c.clock.advance(30);
+    assert!(!c.ssh(0, &profile).granted);
+    // Recovery.
+    for f in &c.radius_faults {
+        f.set_down(false);
+    }
+    c.clock.advance(30);
+    assert!(c.ssh(0, &profile).granted);
+    // The fleet actually shared the load: every server replied at least
+    // once across the test.
+    for srv in &c.radius_servers {
+        assert!(
+            srv.stats.replied.load(std::sync::atomic::Ordering::SeqCst) > 0,
+            "round-robin spread load to every server"
+        );
+    }
+}
+
+#[test]
+fn training_workshop_day() {
+    // A workshop: one static code per account, reused by participants all
+    // day, regenerated afterwards (§3.3).
+    let c = Center::new(CenterConfig::default());
+    c.set_enforcement(EnforcementMode::Full);
+    let mut codes = Vec::new();
+    for i in 0..5 {
+        let name = format!("train{i:02}");
+        c.create_user(&name, &format!("{name}@x.edu"), "tacc-training");
+        codes.push((name.clone(), c.enroll_training_account(&name)));
+    }
+    for (name, code) in &codes {
+        let p = ClientProfile::interactive_user(name, OUTSIDE, "tacc-training")
+            .with_token(TokenSource::Fixed(code.clone()));
+        for _ in 0..3 {
+            c.clock.advance(20);
+            assert!(c.ssh(0, &p).granted, "{name} logs in repeatedly");
+        }
+    }
+    // After the session the codes are rotated and the old ones die.
+    let (name, old_code) = &codes[0];
+    let new_code = c.enroll_training_account(name);
+    assert_ne!(&new_code, old_code);
+    let stale = ClientProfile::interactive_user(name, OUTSIDE, "tacc-training")
+        .with_token(TokenSource::Fixed(old_code.clone()));
+    c.clock.advance(20);
+    assert!(!c.ssh(0, &stale).granted);
+    let _ = Arc::strong_count(&c);
+}
