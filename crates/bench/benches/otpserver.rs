@@ -68,11 +68,11 @@ fn bench_concurrent_scaling(c: &mut Criterion) {
                     .collect();
                 let devices = Arc::new(devices);
                 b.iter(|| {
-                    crossbeam::thread::scope(|s| {
+                    std::thread::scope(|s| {
                         for tid in 0..nt {
                             let srv = Arc::clone(&srv);
                             let devices = Arc::clone(&devices);
-                            s.spawn(move |_| {
+                            s.spawn(move || {
                                 // Each thread owns a disjoint user slice so
                                 // successes don't fight over replay state.
                                 let per = USERS / nt;
@@ -84,8 +84,7 @@ fn bench_concurrent_scaling(c: &mut Criterion) {
                                 }
                             });
                         }
-                    })
-                    .unwrap();
+                    });
                 })
             },
         );

@@ -12,9 +12,10 @@ use hpcmfa_pam::access::{AccessConfig, Cidr, WatchedAccessConfig};
 use hpcmfa_pam::modules::exemption::ExemptionModule;
 use hpcmfa_pam::modules::password::{hash_password, UnixPasswordModule, PASSWORD_ATTR};
 use hpcmfa_pam::modules::pubkey::PubkeyCheckModule;
-use hpcmfa_pam::modules::token::{EnforcementMode, TokenModule};
+use hpcmfa_pam::modules::token::{DegradationPolicy, EnforcementMode, TokenModule};
 use hpcmfa_pam::stack::{ControlFlag, PamStack};
-use hpcmfa_radius::client::{ClientConfig, RadiusClient};
+use hpcmfa_radius::breaker::BreakerConfig;
+use hpcmfa_radius::client::{ClientConfig, RadiusClient, RetryPolicy, ServerHealthSnapshot};
 use hpcmfa_radius::server::RadiusServer;
 use hpcmfa_radius::transport::{FaultPlan, InMemoryTransport, Transport};
 use hpcmfa_ssh::authlog::AuthLog;
@@ -46,6 +47,12 @@ pub struct CenterConfig {
     pub start_time: u64,
     /// Master RNG seed for all deterministic components.
     pub seed: u64,
+    /// Per-login retry budget for every node's RADIUS client.
+    pub retry: RetryPolicy,
+    /// Per-server circuit-breaker tuning for every node's RADIUS client.
+    pub breaker: BreakerConfig,
+    /// What the token module does during a total back-end outage.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for CenterConfig {
@@ -59,6 +66,9 @@ impl Default for CenterConfig {
             people_base: "ou=people,dc=tacc".to_string(),
             start_time: 1_470_787_200, // 2016-08-10, announcement day
             seed: 2016,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            degradation: DegradationPolicy::FailClosed,
         }
     }
 }
@@ -156,10 +166,10 @@ impl Center {
             let exemptions = WatchedAccessConfig::new(
                 AccessConfig::parse(&internal_rule).expect("internal rule parses"),
             );
-            let radius_client = Arc::new(RadiusClient::new(
-                ClientConfig::new(config.radius_secret.clone(), name),
-                transports.clone(),
-            ));
+            let mut client_config = ClientConfig::new(config.radius_secret.clone(), name);
+            client_config.retry = config.retry.clone();
+            client_config.breaker = config.breaker;
+            let radius_client = Arc::new(RadiusClient::new(client_config, transports.clone()));
             let token_module = TokenModule::new(
                 config.enforcement.clone(),
                 Arc::clone(&radius_client),
@@ -167,6 +177,7 @@ impl Center {
                 &config.people_base,
                 config.seed ^ (i as u64),
             );
+            token_module.set_degradation(config.degradation.clone());
             let mut stack = PamStack::new();
             stack.push(
                 ControlFlag::SuccessSkip(1),
@@ -348,6 +359,18 @@ impl Center {
         for node in &self.nodes {
             node.token_module.set_mode(mode.clone());
         }
+    }
+
+    /// Switch the total-outage degradation policy on every node.
+    pub fn set_degradation(&self, policy: DegradationPolicy) {
+        for node in &self.nodes {
+            node.token_module.set_degradation(policy.clone());
+        }
+    }
+
+    /// Per-RADIUS-server health as seen from login node `node_idx`.
+    pub fn radius_health(&self, node_idx: usize) -> Vec<ServerHealthSnapshot> {
+        self.nodes[node_idx].radius_client.server_health()
     }
 
     /// Append an exemption rule (one config line) and reload every node's

@@ -11,4 +11,4 @@ pub use exemption::ExemptionModule;
 pub use password::{hash_password, UnixPasswordModule, PASSWORD_ATTR};
 pub use pubkey::{AuthLogSource, PubkeyCheckModule};
 pub use solaris::SolarisComboModule;
-pub use token::{EnforcementMode, TokenModule};
+pub use token::{DegradationPolicy, EnforcementMode, TokenModule};

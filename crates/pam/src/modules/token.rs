@@ -19,13 +19,14 @@
 //! challenge–response for validation, and may be switched between modes
 //! during production operation.
 
+use crate::access::{AccessDecision, WatchedAccessConfig};
 use crate::context::PamContext;
 use crate::conv::{ConvError, Prompt};
 use crate::stack::{PamModule, PamResult};
 use hpcmfa_directory::ldap::{Directory, Filter};
 use hpcmfa_directory::MFA_PAIRING_ATTR;
 use hpcmfa_otp::date::Date;
-use hpcmfa_radius::client::{Outcome, RadiusClient};
+use hpcmfa_radius::client::{ClientError, Outcome, RadiusClient};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,9 +72,53 @@ impl EnforcementMode {
     }
 }
 
+/// What the module does when the whole RADIUS fleet is unreachable — the
+/// client exhausted its deadline budget and returned
+/// [`ClientError::AllServersFailed`]. Protocol-level failures
+/// (bad authenticators, identifier mismatches) are never degraded: they
+/// always deny.
+#[derive(Clone, Default)]
+pub enum DegradationPolicy {
+    /// Deny the login — the paper's fail-secure rule, and the default.
+    #[default]
+    FailClosed,
+    /// Let logins matching the operator ACL through on the first factor
+    /// alone while the back end is down; everyone else is still denied.
+    /// The ACL reuses the §3.4 exemption syntax, so a site lists its
+    /// on-call operators exactly the way it lists gateway exemptions.
+    FailOpenExempt {
+        /// Who may log in single-factor during a total back-end outage.
+        operators: WatchedAccessConfig,
+    },
+}
+
+impl DegradationPolicy {
+    /// Parse a PAM-config `degraded=` argument. Unknown values fail
+    /// secure, mirroring [`EnforcementMode::parse`].
+    pub fn parse(value: &str, operators: WatchedAccessConfig) -> DegradationPolicy {
+        match value {
+            "fail_open_exempt" => DegradationPolicy::FailOpenExempt { operators },
+            // "fail_closed" and anything unrecognised: fail secure.
+            _ => DegradationPolicy::FailClosed,
+        }
+    }
+}
+
+impl std::fmt::Debug for DegradationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationPolicy::FailClosed => write!(f, "FailClosed"),
+            DegradationPolicy::FailOpenExempt { operators } => {
+                write!(f, "FailOpenExempt({} rules)", operators.len())
+            }
+        }
+    }
+}
+
 /// The token-validation module.
 pub struct TokenModule {
     mode: RwLock<EnforcementMode>,
+    degradation: RwLock<DegradationPolicy>,
     radius: Arc<RadiusClient>,
     directory: Directory,
     base: String,
@@ -92,6 +137,7 @@ impl TokenModule {
     ) -> Arc<Self> {
         Arc::new(TokenModule {
             mode: RwLock::new(mode),
+            degradation: RwLock::new(DegradationPolicy::FailClosed),
             radius,
             directory,
             base: base.to_string(),
@@ -109,6 +155,36 @@ impl TokenModule {
     /// The active mode.
     pub fn mode(&self) -> EnforcementMode {
         self.mode.read().clone()
+    }
+
+    /// Set the total-outage policy. Like enforcement modes, switchable in
+    /// production.
+    pub fn set_degradation(&self, policy: DegradationPolicy) {
+        *self.degradation.write() = policy;
+    }
+
+    /// The active degradation policy.
+    pub fn degradation(&self) -> DegradationPolicy {
+        self.degradation.read().clone()
+    }
+
+    /// Apply the degradation policy after the RADIUS client reported every
+    /// server unreachable within its deadline budget.
+    fn degraded(&self, ctx: &mut PamContext<'_>) -> PamResult {
+        match self.degradation() {
+            DegradationPolicy::FailClosed => PamResult::AuthErr,
+            DegradationPolicy::FailOpenExempt { operators } => {
+                match operators.decide(&ctx.username, ctx.rhost, ctx.now()) {
+                    AccessDecision::Exempt => {
+                        let _ = ctx.conv.converse(&Prompt::Info(
+                            "MFA back end unreachable; operator variance applied.".into(),
+                        ));
+                        PamResult::Success
+                    }
+                    AccessDecision::NotExempt => PamResult::AuthErr,
+                }
+            }
+        }
     }
 
     /// The user's pairing label from LDAP, if any (Figure 2's first step).
@@ -135,7 +211,11 @@ impl TokenModule {
             ),
             Ok(Outcome::Accept { .. }) => return PamResult::Success,
             Ok(Outcome::Reject { .. }) => return PamResult::AuthErr,
-            // Back end unreachable: fail secure.
+            // Whole fleet unreachable: apply the degradation policy
+            // (fail-closed unless an operator variance is configured).
+            Err(ClientError::AllServersFailed { .. }) => return self.degraded(ctx),
+            // Protocol-level failure (forged or corrupt responses): always
+            // deny, regardless of policy.
             Err(_) => return PamResult::AuthErr,
         };
 
@@ -156,6 +236,9 @@ impl TokenModule {
                 let _ = ctx.conv.converse(&Prompt::ErrorMsg(text));
                 PamResult::AuthErr
             }
+            // An outage mid-login (challenge opened, fleet died before the
+            // answer) degrades the same way as one at the opening.
+            Err(ClientError::AllServersFailed { .. }) => self.degraded(ctx),
             Ok(Outcome::Challenge { .. }) | Err(_) => PamResult::AuthErr,
         }
     }
@@ -407,6 +490,69 @@ mod tests {
         rig.faults.set_down(true);
         let (r, _) = run(&rig, "alice", vec!["123456".into()]);
         assert_eq!(r, PamResult::AuthErr);
+    }
+
+    #[test]
+    fn backend_outage_fail_open_admits_only_listed_operators() {
+        use crate::access::{AccessConfig, WatchedAccessConfig};
+        let rig = rig(EnforcementMode::Full);
+        add_user(&rig, "oncall1", Some("soft"));
+        add_user(&rig, "alice", Some("soft"));
+        rig.linotp.enroll_soft("oncall1", NOW);
+        rig.linotp.enroll_soft("alice", NOW);
+        let operators = WatchedAccessConfig::new(
+            AccessConfig::parse("+ : oncall1 : ALL : ALL\n").unwrap(),
+        );
+        rig.module
+            .set_degradation(DegradationPolicy::FailOpenExempt { operators });
+        rig.faults.set_down(true);
+        // The listed operator gets in single-factor, with a notice.
+        let (r, texts) = run(&rig, "oncall1", vec![]);
+        assert_eq!(r, PamResult::Success);
+        assert!(texts.iter().any(|t| t.contains("unreachable")), "{texts:?}");
+        // Everyone else is still denied.
+        let (r, _) = run(&rig, "alice", vec![]);
+        assert_eq!(r, PamResult::AuthErr);
+    }
+
+    #[test]
+    fn fail_open_policy_never_excuses_wrong_codes() {
+        use crate::access::{AccessConfig, WatchedAccessConfig};
+        // With the back end healthy, the degradation policy must be inert:
+        // an operator typing a wrong code is denied like anyone else.
+        let rig = rig(EnforcementMode::Full);
+        add_user(&rig, "oncall1", Some("soft"));
+        rig.linotp.enroll_soft("oncall1", NOW);
+        let operators = WatchedAccessConfig::new(
+            AccessConfig::parse("+ : oncall1 : ALL : ALL\n").unwrap(),
+        );
+        rig.module
+            .set_degradation(DegradationPolicy::FailOpenExempt { operators });
+        let (r, _) = run(&rig, "oncall1", vec!["000000".into()]);
+        assert_eq!(r, PamResult::AuthErr);
+    }
+
+    #[test]
+    fn degradation_parse_fail_secure() {
+        use crate::access::WatchedAccessConfig;
+        let acl = WatchedAccessConfig::default();
+        assert!(matches!(
+            DegradationPolicy::parse("fail_closed", acl.clone()),
+            DegradationPolicy::FailClosed
+        ));
+        assert!(matches!(
+            DegradationPolicy::parse("fail_open_exempt", acl.clone()),
+            DegradationPolicy::FailOpenExempt { .. }
+        ));
+        // Typos and unknowns must not open the door.
+        assert!(matches!(
+            DegradationPolicy::parse("fail_open", acl.clone()),
+            DegradationPolicy::FailClosed
+        ));
+        assert!(matches!(
+            DegradationPolicy::parse("bogus", acl),
+            DegradationPolicy::FailClosed
+        ));
     }
 
     #[test]

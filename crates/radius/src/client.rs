@@ -6,14 +6,115 @@
 //! starts at the next rotor position and fails over through the remaining
 //! servers on timeout or unreachability. Response authenticators are
 //! verified before a reply is trusted.
+//!
+//! Resiliency is bounded and observable:
+//!
+//! * every server sits behind a [`CircuitBreaker`] (closed → open after a
+//!   streak of transport failures → half-open revival probe after a
+//!   cooldown), mirroring FreeRADIUS `zombie_period`/`revive_interval`;
+//! * instead of unbounded walks of the pool, each login gets a
+//!   [`RetryPolicy`] deadline budget, with deterministic exponential
+//!   backoff and bounded seeded jitter between walks;
+//! * per-server [`ServerHealthSnapshot`] stats expose attempts, failures,
+//!   skips and breaker state to the chaos harness and operators.
+//!
+//! Time is *virtual*: a monotonic microsecond counter advanced by per-
+//! attempt cost charges, never by sleeping, so the whole failover story is
+//! deterministic and fast to simulate.
 
 use crate::attribute::{Attribute, AttributeType};
 use crate::auth::{hide_password, request_authenticator, verify_response};
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::packet::{Code, Packet};
 use crate::transport::{Transport, TransportError};
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Deadline-budgeted retry tuning.
+///
+/// All durations are virtual microseconds. The per-attempt "cost" fields
+/// are what an attempt charges against the login's deadline — they stand in
+/// for the wall-clock a real client would burn (a UDP timeout is expensive,
+/// an ICMP port-unreachable is cheap, a healthy round trip is cheap).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total budget for one login request; when spent, the request fails
+    /// with [`ClientError::AllServersFailed`].
+    pub deadline_us: u64,
+    /// Backoff before the second walk of the pool; doubles each walk.
+    pub initial_backoff_us: u64,
+    /// Upper bound on the exponential backoff (before jitter).
+    pub max_backoff_us: u64,
+    /// Seed for the deterministic bounded jitter added to each backoff.
+    pub jitter_seed: u64,
+    /// Charged when an attempt times out (lost datagram / silent server).
+    pub timeout_cost_us: u64,
+    /// Charged when the host is actively unreachable (fast failure).
+    pub unreachable_cost_us: u64,
+    /// Charged for any attempt that got a reply (healthy round trip).
+    pub rtt_cost_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline_us: 10_000_000, // 10 s per login
+            initial_backoff_us: 50_000,
+            max_backoff_us: 1_000_000,
+            jitter_seed: 0x5eed_cafe,
+            timeout_cost_us: 1_000_000, // matches a 1 s UDP read timeout
+            unreachable_cost_us: 10_000,
+            rtt_cost_us: 2_000,
+        }
+    }
+}
+
+/// SplitMix64: one deterministic 64-bit hash step for jitter derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// Backoff delay inserted before walk `round` (1-based): exponential
+    /// doubling from `initial_backoff_us`, capped at `max_backoff_us`,
+    /// plus deterministic jitter in `[0, base/4]` derived from
+    /// `jitter_seed` and the round number. Pure: same policy + round →
+    /// same delay, always ≥ 1.
+    pub fn backoff_us(&self, round: u32) -> u64 {
+        let exp = round.saturating_sub(1).min(20);
+        let base = self
+            .initial_backoff_us
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_us)
+            .max(1);
+        let span = base / 4;
+        base + splitmix64(self.jitter_seed ^ u64::from(round)) % (span + 1)
+    }
+
+    /// The full deterministic backoff schedule: delays for walks 1, 2, …
+    /// whose running total stays within `deadline_us`. The property tests
+    /// pin down that this is a pure function of the policy and that the
+    /// cumulative schedule never exceeds the login deadline.
+    pub fn backoff_schedule(&self) -> Vec<u64> {
+        let mut delays = Vec::new();
+        let mut spent = 0u64;
+        for round in 1.. {
+            let d = self.backoff_us(round);
+            match spent.checked_add(d) {
+                Some(total) if total <= self.deadline_us => {
+                    spent = total;
+                    delays.push(d);
+                }
+                _ => break,
+            }
+        }
+        delays
+    }
+}
 
 /// Client configuration.
 #[derive(Clone)]
@@ -22,17 +123,20 @@ pub struct ClientConfig {
     pub secret: Vec<u8>,
     /// NAS identifier sent with every request (the login node's name).
     pub nas_identifier: String,
-    /// How many times to walk the full server list before giving up.
-    pub max_rounds: u32,
+    /// Deadline budget and backoff tuning for each login request.
+    pub retry: RetryPolicy,
+    /// Per-server circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl ClientConfig {
-    /// Config with one walk of the server list.
+    /// Config with default retry deadline and breaker tuning.
     pub fn new(secret: impl Into<Vec<u8>>, nas_identifier: &str) -> Self {
         ClientConfig {
             secret: secret.into(),
             nas_identifier: nas_identifier.to_string(),
-            max_rounds: 1,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -40,7 +144,8 @@ impl ClientConfig {
 /// Errors surfaced to the PAM module.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
-    /// Every server in the pool failed.
+    /// Every server in the pool failed (or the deadline budget ran out
+    /// before any answered).
     AllServersFailed {
         /// Number of exchange attempts made.
         attempts: u32,
@@ -109,12 +214,58 @@ pub struct ClientStats {
     pub failovers: AtomicU64,
 }
 
-/// A round-robin, failover RADIUS client.
+/// Per-server health counters (atomics; snapshot via
+/// [`RadiusClient::server_health`]).
+#[derive(Default)]
+struct ServerHealth {
+    attempts: AtomicU64,
+    successes: AtomicU64,
+    failures: AtomicU64,
+    skipped: AtomicU64,
+}
+
+/// One server's health as seen by the client.
+#[derive(Clone, Debug)]
+pub struct ServerHealthSnapshot {
+    /// Transport name (e.g. `radius0`).
+    pub name: String,
+    /// Exchange attempts actually sent to this server.
+    pub attempts: u64,
+    /// Attempts that produced a usable reply.
+    pub successes: u64,
+    /// Transport-level failures (timeout, unreachable, garbled).
+    pub failures: u64,
+    /// Attempts *not* sent because the breaker was open.
+    pub skipped: u64,
+    /// Breaker state at snapshot time.
+    pub breaker: BreakerState,
+    /// How many times the breaker has opened.
+    pub breaker_opens: u64,
+}
+
+/// How one reply should steer the failover loop.
+enum Interpreted {
+    /// A verified outcome: return it.
+    Done(Outcome),
+    /// A security-relevant failure: abort the whole login.
+    Fatal(ClientError),
+    /// RFC 2865 "silently discard": treat like a lost datagram and fail
+    /// over to the next server.
+    Discard,
+}
+
+/// A round-robin, failover RADIUS client with per-server circuit breakers
+/// and a deadline-budgeted retry loop.
 pub struct RadiusClient {
     config: ClientConfig,
     transports: Vec<Arc<dyn Transport>>,
+    breakers: Vec<CircuitBreaker>,
+    health: Vec<ServerHealth>,
     rotor: AtomicUsize,
     identifier: AtomicUsize,
+    /// Virtual clock, microseconds. Advanced by attempt costs and backoff
+    /// delays; breaker cooldowns are measured against it.
+    vclock: AtomicU64,
     /// Exchange counters.
     pub stats: ClientStats,
 }
@@ -122,17 +273,53 @@ pub struct RadiusClient {
 impl RadiusClient {
     /// Build a client over `transports`.
     pub fn new(config: ClientConfig, transports: Vec<Arc<dyn Transport>>) -> Self {
+        let breakers = transports
+            .iter()
+            .map(|_| CircuitBreaker::new(config.breaker))
+            .collect();
+        let health = transports.iter().map(|_| ServerHealth::default()).collect();
         RadiusClient {
             config,
             transports,
+            breakers,
+            health,
             rotor: AtomicUsize::new(0),
             identifier: AtomicUsize::new(0),
+            vclock: AtomicU64::new(0),
             stats: ClientStats::default(),
         }
     }
 
     fn next_identifier(&self) -> u8 {
         (self.identifier.fetch_add(1, Ordering::Relaxed) & 0xff) as u8
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn vclock_us(&self) -> u64 {
+        self.vclock.load(Ordering::SeqCst)
+    }
+
+    /// Advance the virtual clock and return the new time.
+    fn advance(&self, delta_us: u64) -> u64 {
+        self.vclock.fetch_add(delta_us, Ordering::SeqCst) + delta_us
+    }
+
+    /// Per-server health and breaker snapshot, in pool order.
+    pub fn server_health(&self) -> Vec<ServerHealthSnapshot> {
+        self.transports
+            .iter()
+            .zip(&self.breakers)
+            .zip(&self.health)
+            .map(|((t, b), h)| ServerHealthSnapshot {
+                name: t.name(),
+                attempts: h.attempts.load(Ordering::Relaxed),
+                successes: h.successes.load(Ordering::Relaxed),
+                failures: h.failures.load(Ordering::Relaxed),
+                skipped: h.skipped.load(Ordering::Relaxed),
+                breaker: b.state(),
+                breaker_opens: b.opened_count(),
+            })
+            .collect()
     }
 
     /// Start an authentication: `password` may be empty (null request) to
@@ -193,59 +380,123 @@ impl RadiusClient {
         }
         let wire = packet.encode();
 
-        // Round-robin with failover: start at the rotor, try every server,
-        // repeat up to max_rounds walks.
+        // Round-robin with failover: start at the rotor, walk the pool,
+        // back off, and repeat until the deadline budget is spent. Servers
+        // with an open breaker are skipped instead of attempted.
+        let retry = &self.config.retry;
         let n = self.transports.len();
         let start = self.rotor.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.vclock_us();
+        let deadline = t0.saturating_add(retry.deadline_us);
         let mut attempts = 0u32;
-        for round in 0..self.config.max_rounds {
+        let mut round = 0u32;
+        loop {
+            let mut sent_any = false;
             for k in 0..n {
                 let idx = (start + k) % n;
+                let now = self.vclock_us();
+                if now >= deadline {
+                    return Err(ClientError::AllServersFailed { attempts });
+                }
+                if !self.breakers[idx].allow(now) {
+                    self.health[idx].skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                sent_any = true;
                 attempts += 1;
                 self.stats.attempts.fetch_add(1, Ordering::Relaxed);
-                if round > 0 || k > 0 {
+                if attempts > 1 {
                     self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                 }
+                self.health[idx].attempts.fetch_add(1, Ordering::Relaxed);
                 match self.transports[idx].exchange(&wire) {
-                    Ok(reply) => return self.interpret(&reply, id, &ra),
-                    Err(TransportError::Timeout) | Err(TransportError::Unreachable) => continue,
-                    Err(TransportError::Io(_)) | Err(TransportError::GarbledReply) => continue,
+                    Ok(reply) => {
+                        let now = self.advance(retry.rtt_cost_us);
+                        match self.interpret(&reply, id, &ra) {
+                            Interpreted::Done(outcome) => {
+                                self.breakers[idx].record_success();
+                                self.health[idx].successes.fetch_add(1, Ordering::Relaxed);
+                                return Ok(outcome);
+                            }
+                            Interpreted::Fatal(e) => {
+                                // The transport works; the payload is the
+                                // problem. Never mark the server dead for it.
+                                self.breakers[idx].record_success();
+                                return Err(e);
+                            }
+                            Interpreted::Discard => {
+                                self.breakers[idx].record_failure(now);
+                                self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(TransportError::Timeout) | Err(TransportError::Io(_)) => {
+                        let now = self.advance(retry.timeout_cost_us);
+                        self.breakers[idx].record_failure(now);
+                        self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TransportError::Unreachable) => {
+                        let now = self.advance(retry.unreachable_cost_us);
+                        self.breakers[idx].record_failure(now);
+                        self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TransportError::GarbledReply) => {
+                        let now = self.advance(retry.rtt_cost_us);
+                        self.breakers[idx].record_failure(now);
+                        self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
+            if !sent_any {
+                // Every breaker is open. Fast-forward virtual time to the
+                // earliest revival probe instead of spinning.
+                let earliest = self.breakers.iter().filter_map(|b| b.open_until_us()).min();
+                match earliest {
+                    Some(t) if t < deadline => {
+                        self.vclock.fetch_max(t, Ordering::SeqCst);
+                    }
+                    _ => return Err(ClientError::AllServersFailed { attempts }),
+                }
+                continue;
+            }
+            round += 1;
+            let delay = retry.backoff_us(round);
+            if self.advance(delay) >= deadline {
+                return Err(ClientError::AllServersFailed { attempts });
+            }
         }
-        Err(ClientError::AllServersFailed { attempts })
     }
 
-    fn interpret(
-        &self,
-        reply: &[u8],
-        expected_id: u8,
-        request_auth: &[u8; 16],
-    ) -> Result<Outcome, ClientError> {
-        let resp = Packet::decode(reply).map_err(|_| ClientError::BadAuthenticator)?;
+    fn interpret(&self, reply: &[u8], expected_id: u8, request_auth: &[u8; 16]) -> Interpreted {
+        // RFC 2865 §3: a datagram that fails to parse is silently
+        // discarded — to the client it is indistinguishable from a lost
+        // packet, so it must fail over, not abort the login.
+        let Ok(resp) = Packet::decode(reply) else {
+            return Interpreted::Discard;
+        };
         if resp.identifier != expected_id {
-            return Err(ClientError::IdentifierMismatch {
+            return Interpreted::Fatal(ClientError::IdentifierMismatch {
                 expected: expected_id,
                 got: resp.identifier,
             });
         }
         if !verify_response(&resp, request_auth, &self.config.secret) {
-            return Err(ClientError::BadAuthenticator);
+            return Interpreted::Fatal(ClientError::BadAuthenticator);
         }
         let message = resp
             .text(AttributeType::ReplyMessage)
             .map(|s| s.to_string());
         match resp.code {
-            Code::AccessAccept => Ok(Outcome::Accept { message }),
-            Code::AccessReject => Ok(Outcome::Reject { message }),
+            Code::AccessAccept => Interpreted::Done(Outcome::Accept { message }),
+            Code::AccessReject => Interpreted::Done(Outcome::Reject { message }),
             Code::AccessChallenge => {
                 let state = resp
                     .attribute(AttributeType::State)
                     .map(|a| a.value.clone())
                     .unwrap_or_default();
-                Ok(Outcome::Challenge { state, message })
+                Interpreted::Done(Outcome::Challenge { state, message })
             }
-            Code::AccessRequest => Err(ClientError::BadAuthenticator),
+            Code::AccessRequest => Interpreted::Fatal(ClientError::BadAuthenticator),
         }
     }
 
@@ -342,6 +593,9 @@ mod tests {
         // With a healthy pool each request is exactly one attempt.
         assert_eq!(client.stats.attempts.load(Ordering::SeqCst), 9);
         assert_eq!(client.stats.failovers.load(Ordering::SeqCst), 0);
+        let health = client.server_health();
+        assert!(health.iter().all(|h| h.attempts == 3 && h.failures == 0));
+        assert!(health.iter().all(|h| h.breaker == BreakerState::Closed));
     }
 
     #[test]
@@ -360,7 +614,7 @@ mod tests {
     }
 
     #[test]
-    fn all_down_reports_failure() {
+    fn all_down_reports_failure_within_deadline() {
         let (client, plans) = pool(2);
         let mut rng = StdRng::seed_from_u64(5);
         for p in &plans {
@@ -369,7 +623,45 @@ mod tests {
         let err = client
             .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
             .unwrap_err();
-        assert_eq!(err, ClientError::AllServersFailed { attempts: 2 });
+        // The walk is bounded by the deadline budget, not a fixed round
+        // count: both servers get probed repeatedly (breakers open after
+        // the failure streak, then one revival probe each per cooldown)
+        // and the final error still names every attempt.
+        let ClientError::AllServersFailed { attempts } = err else {
+            panic!("expected AllServersFailed, got {err:?}");
+        };
+        assert!(attempts >= 4, "too few attempts before giving up: {attempts}");
+        // The virtual clock never runs past the login deadline by more
+        // than one backoff step.
+        assert!(client.vclock_us() <= client.config.retry.deadline_us * 2);
+    }
+
+    #[test]
+    fn breaker_opens_on_dead_server_and_limits_attempts() {
+        let (client, plans) = pool(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        plans[0].set_down(true);
+        let logins = 300;
+        for _ in 0..logins {
+            let out = client
+                .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+                .unwrap();
+            assert!(matches!(out, Outcome::Accept { .. }));
+        }
+        let health = client.server_health();
+        // A naive every-request walk would hit the dead server on every
+        // login that starts at (or rotates through) it — ≥ logins/3 times.
+        // The breaker caps that at the failure streak plus revival probes.
+        assert!(
+            health[0].attempts < (logins / 3) as u64,
+            "breaker did not shed load: {} attempts to dead server",
+            health[0].attempts
+        );
+        assert!(health[0].skipped > 0, "open breaker never skipped");
+        assert!(health[0].breaker_opens >= 1);
+        assert_eq!(health[0].successes, 0);
+        // The healthy servers carried the fleet.
+        assert_eq!(health[1].successes + health[2].successes, logins as u64);
     }
 
     #[test]
@@ -401,6 +693,23 @@ mod tests {
     }
 
     #[test]
+    fn garbled_replies_fail_over_instead_of_aborting() {
+        let (client, plans) = pool(2);
+        let mut rng = StdRng::seed_from_u64(12);
+        // Server 0 answers every request with an undecodable datagram.
+        plans[0].set_garble_every(1);
+        for _ in 0..4 {
+            let out = client
+                .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+                .unwrap();
+            assert!(matches!(out, Outcome::Accept { .. }));
+        }
+        let health = client.server_health();
+        assert!(health[0].failures > 0, "garbled replies not counted");
+        assert_eq!(health[0].successes, 0);
+    }
+
+    #[test]
     fn wrong_pool_secret_rejected_as_bad_authenticator() {
         let server = Arc::new(RadiusServer::new(b"other-secret".to_vec(), token_handler()));
         let transport: Arc<dyn Transport> = Arc::new(InMemoryTransport::new(
@@ -412,6 +721,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         // Password garbles under the wrong secret, so the server rejects —
         // but the response seal also fails verification, which must win.
+        // Unlike an undecodable reply, a decodable-but-unauthentic one is
+        // a fatal error, never a failover.
         let err = client
             .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
             .unwrap_err();
@@ -436,5 +747,23 @@ mod tests {
             client.next_identifier();
         }
         assert_eq!(client.next_identifier(), first);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().sum::<u64>() <= policy.deadline_us);
+        // Exponential up to the cap, jitter within +25%.
+        for (i, d) in a.iter().enumerate() {
+            let base = policy
+                .initial_backoff_us
+                .saturating_mul(1 << i.min(20))
+                .min(policy.max_backoff_us);
+            assert!(*d >= base && *d <= base + base / 4, "round {i}: {d}");
+        }
     }
 }

@@ -15,7 +15,8 @@
 //!   attribute;
 //! * a client that walks servers "in a round-robin fashion to provide load
 //!   balancing and resiliency if specific RADIUS servers are unavailable"
-//!   (§3.4) ([`client`]);
+//!   (§3.4) ([`client`]), with per-server circuit breakers ([`breaker`])
+//!   and a deadline-budgeted retry policy in place of unbounded walks;
 //! * a server shell dispatching to pluggable handlers ([`server`]) and a
 //!   proxy handler for the "proxy chaining across servers" deployment
 //!   pattern (§3.2) ([`proxy`]);
@@ -24,6 +25,7 @@
 
 pub mod attribute;
 pub mod auth;
+pub mod breaker;
 pub mod client;
 pub mod packet;
 pub mod proxy;
@@ -31,7 +33,8 @@ pub mod server;
 pub mod transport;
 
 pub use attribute::{Attribute, AttributeType};
-pub use client::{ClientConfig, ClientError, RadiusClient};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use client::{ClientConfig, ClientError, RadiusClient, RetryPolicy, ServerHealthSnapshot};
 pub use packet::{Code, Packet, PacketError};
 pub use server::{Handler, RadiusServer, ServerDecision};
 pub use transport::{FaultPlan, InMemoryTransport, Transport, TransportError};

@@ -52,20 +52,39 @@ pub trait Transport: Send + Sync {
 
 /// Deterministic fault injection for [`InMemoryTransport`].
 ///
-/// All knobs are atomics so tests and benches can flip them while clients
-/// run on other threads — exactly the "specific RADIUS servers are
-/// unavailable" scenario §3.4 designs for.
+/// All knobs are atomics so tests, benches and the chaos harness can flip
+/// them while clients run on other threads — exactly the "specific RADIUS
+/// servers are unavailable" scenario §3.4 designs for.
+///
+/// **Ordering contract.** Configuration knobs (`down`, `drop_every`,
+/// `garble_every`, `flap_period`, …) are plain flags: writers use `SeqCst`
+/// stores and readers may observe a flip one exchange late, which is fine —
+/// fault injection needs no cross-knob consistency. The cadence *counters*
+/// are different: every `1-in-n` decision must be taken exactly once per
+/// exchange even when several client threads exchange concurrently, so the
+/// counters use `SeqCst` RMWs and the decision is made from the value the
+/// RMW returned (never from a separate re-read).
 #[derive(Default)]
 pub struct FaultPlan {
     /// Host down: every exchange fails with `Unreachable`.
     pub down: AtomicBool,
     /// Drop one datagram in every `n` (0 = never): `Timeout`s.
     pub drop_every: AtomicU64,
-    counter: AtomicU64,
+    drop_counter: AtomicU64,
+    /// Garble one reply in every `n` (0 = never): the client receives an
+    /// undecodable datagram instead of the server's answer.
+    pub garble_every: AtomicU64,
+    garble_counter: AtomicU64,
+    /// Flapping host: alternates `n` exchanges up, `n` exchanges down
+    /// (0 = never flaps). Down phases fail with `Unreachable`.
+    pub flap_period: AtomicU64,
+    flap_counter: AtomicU64,
     /// Simulated one-way latency in microseconds, accumulated into
     /// `total_latency_us` rather than slept, keeping simulations fast and
     /// deterministic.
     pub latency_us: AtomicU64,
+    /// Additional one-way latency during a spike (added to `latency_us`).
+    pub extra_latency_us: AtomicU64,
     /// Sum of simulated latency incurred (2× per exchange).
     pub total_latency_us: AtomicU64,
 }
@@ -81,21 +100,65 @@ impl FaultPlan {
         self.down.store(down, Ordering::SeqCst);
     }
 
-    /// Returns whether this exchange should be dropped, advancing the
-    /// deterministic counter.
-    fn should_drop(&self) -> bool {
-        let n = self.drop_every.load(Ordering::Relaxed);
+    /// Drop one datagram in every `n` (0 disables).
+    pub fn set_drop_every(&self, n: u64) {
+        self.drop_every.store(n, Ordering::SeqCst);
+    }
+
+    /// Garble one reply in every `n` (0 disables).
+    pub fn set_garble_every(&self, n: u64) {
+        self.garble_every.store(n, Ordering::SeqCst);
+    }
+
+    /// Flap with half-period `n` exchanges (0 disables).
+    pub fn set_flap_period(&self, n: u64) {
+        self.flap_period.store(n, Ordering::SeqCst);
+    }
+
+    /// Add (or clear, with 0) a one-way latency spike.
+    pub fn set_extra_latency_us(&self, us: u64) {
+        self.extra_latency_us.store(us, Ordering::SeqCst);
+    }
+
+    /// One deterministic 1-in-`every` decision: advances `counter` and
+    /// reports whether this exchange is selected. See the ordering
+    /// contract in the type docs.
+    fn cadence_hit(every: &AtomicU64, counter: &AtomicU64) -> bool {
+        let n = every.load(Ordering::SeqCst);
         if n == 0 {
             return false;
         }
-        let c = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let c = counter.fetch_add(1, Ordering::SeqCst) + 1;
         c.is_multiple_of(n)
     }
 
+    /// Returns whether this exchange should be dropped, advancing the
+    /// deterministic counter.
+    fn should_drop(&self) -> bool {
+        Self::cadence_hit(&self.drop_every, &self.drop_counter)
+    }
+
+    /// Returns whether this exchange's reply should be garbled.
+    fn should_garble(&self) -> bool {
+        Self::cadence_hit(&self.garble_every, &self.garble_counter)
+    }
+
+    /// Returns whether the host is in the down half of a flap cycle,
+    /// advancing the flap counter.
+    fn flapping_down(&self) -> bool {
+        let period = self.flap_period.load(Ordering::SeqCst);
+        if period == 0 {
+            return false;
+        }
+        let c = self.flap_counter.fetch_add(1, Ordering::SeqCst);
+        (c / period) % 2 == 1
+    }
+
     fn charge_latency(&self) {
-        let l = self.latency_us.load(Ordering::Relaxed);
+        let l = self.latency_us.load(Ordering::SeqCst)
+            + self.extra_latency_us.load(Ordering::SeqCst);
         if l > 0 {
-            self.total_latency_us.fetch_add(2 * l, Ordering::Relaxed);
+            self.total_latency_us.fetch_add(2 * l, Ordering::SeqCst);
         }
     }
 }
@@ -130,7 +193,7 @@ impl InMemoryTransport {
 impl Transport for InMemoryTransport {
     fn exchange(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
         self.exchanges.fetch_add(1, Ordering::Relaxed);
-        if self.faults.down.load(Ordering::SeqCst) {
+        if self.faults.down.load(Ordering::SeqCst) || self.faults.flapping_down() {
             return Err(TransportError::Unreachable);
         }
         if self.faults.should_drop() {
@@ -139,9 +202,21 @@ impl Transport for InMemoryTransport {
         self.faults.charge_latency();
         // A server that discards the datagram looks like a timeout to the
         // client, exactly as over UDP.
-        self.server
+        let reply = self
+            .server
             .process_datagram(request)
-            .ok_or(TransportError::Timeout)
+            .ok_or(TransportError::Timeout)?;
+        if self.faults.should_garble() {
+            // Corrupt the reply on the wire: shorter than any legal RADIUS
+            // packet and bit-flipped, so decode must fail at the client.
+            let garbled: Vec<u8> = reply
+                .iter()
+                .take(crate::MIN_PACKET_LEN - 8)
+                .map(|b| b ^ 0xa5)
+                .collect();
+            return Ok(garbled);
+        }
+        Ok(reply)
     }
 
     fn name(&self) -> String {
@@ -218,5 +293,50 @@ mod tests {
         plan.charge_latency();
         plan.charge_latency();
         assert_eq!(plan.total_latency_us.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn latency_spike_adds_to_base_latency() {
+        let plan = FaultPlan::default();
+        plan.latency_us.store(250, Ordering::SeqCst);
+        plan.set_extra_latency_us(750);
+        plan.charge_latency();
+        assert_eq!(plan.total_latency_us.load(Ordering::SeqCst), 2000);
+        plan.set_extra_latency_us(0);
+        plan.charge_latency();
+        assert_eq!(plan.total_latency_us.load(Ordering::SeqCst), 2500);
+    }
+
+    #[test]
+    fn garble_cadence_is_deterministic() {
+        let plan = FaultPlan::default();
+        plan.set_garble_every(2);
+        let pattern: Vec<bool> = (0..6).map(|_| plan.should_garble()).collect();
+        assert_eq!(pattern, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn flap_alternates_up_and_down_phases() {
+        let plan = FaultPlan::default();
+        plan.set_flap_period(3);
+        let pattern: Vec<bool> = (0..12).map(|_| plan.flapping_down()).collect();
+        assert_eq!(
+            pattern,
+            vec![
+                false, false, false, true, true, true, false, false, false, true, true, true
+            ]
+        );
+    }
+
+    #[test]
+    fn drop_and_garble_counters_are_independent() {
+        let plan = FaultPlan::default();
+        plan.set_drop_every(2);
+        plan.set_garble_every(2);
+        // Interleaved queries must not perturb each other's cadence.
+        assert!(!plan.should_drop());
+        assert!(!plan.should_garble());
+        assert!(plan.should_drop());
+        assert!(plan.should_garble());
     }
 }

@@ -2,8 +2,25 @@
 
 use hpcmfa_radius::attribute::{Attribute, AttributeType};
 use hpcmfa_radius::auth::{hide_password, recover_password};
+use hpcmfa_radius::client::RetryPolicy;
 use hpcmfa_radius::packet::{Code, Packet};
 use proptest::prelude::*;
+
+fn arb_retry_policy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        1_000u64..30_000_000,   // deadline
+        1u64..200_000,          // initial backoff
+        1u64..2_000_000,        // max backoff
+        any::<u64>(),           // jitter seed
+    )
+        .prop_map(|(deadline_us, initial_backoff_us, max_backoff_us, jitter_seed)| RetryPolicy {
+            deadline_us,
+            initial_backoff_us,
+            max_backoff_us,
+            jitter_seed,
+            ..RetryPolicy::default()
+        })
+}
 
 fn arb_code() -> impl Strategy<Value = Code> {
     prop::sample::select(vec![
@@ -75,5 +92,30 @@ proptest! {
         // The first 6 bytes matching cleartext would require a zero
         // keystream prefix, probability 2^-48 per case.
         prop_assert_ne!(&hidden[..6], &pw[..6]);
+    }
+}
+
+proptest! {
+    /// The backoff schedule is a pure function of the policy: regenerating
+    /// it yields the identical sequence (fixed seed ⇒ fixed jitter).
+    #[test]
+    fn backoff_schedule_is_deterministic(policy in arb_retry_policy()) {
+        let first = policy.backoff_schedule();
+        let second = policy.clone().backoff_schedule();
+        prop_assert_eq!(first, second);
+    }
+
+    /// The cumulative backoff never exceeds the login deadline, and every
+    /// delay stays within the exponential envelope (cap + 25% jitter).
+    #[test]
+    fn backoff_schedule_never_exceeds_deadline(policy in arb_retry_policy()) {
+        let schedule = policy.backoff_schedule();
+        let total: u64 = schedule.iter().sum();
+        prop_assert!(total <= policy.deadline_us,
+            "schedule spends {total} of a {} budget", policy.deadline_us);
+        let cap = policy.max_backoff_us.max(1);
+        for d in &schedule {
+            prop_assert!(*d >= 1 && *d <= cap + cap / 4, "delay {d} outside envelope");
+        }
     }
 }

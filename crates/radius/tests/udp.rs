@@ -82,6 +82,68 @@ fn udp_timeout_when_no_server() {
 }
 
 #[test]
+fn udp_timeout_when_server_never_answers() {
+    // A bound socket that nobody reads: the datagram is accepted by the
+    // kernel but no reply ever comes, so the transport itself must report
+    // Timeout (not Io, not a hang).
+    let silent = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let addr = silent.local_addr().unwrap();
+
+    let transport = UdpTransport::new(addr, Duration::from_millis(100));
+    let start = std::time::Instant::now();
+    let err = transport.exchange(b"any request").unwrap_err();
+    assert_eq!(err, hpcmfa_radius::transport::TransportError::Timeout);
+    assert!(start.elapsed() < Duration::from_secs(2), "timeout not honored");
+    drop(silent);
+}
+
+/// A "server" that answers every datagram with undecodable junk.
+fn spawn_junk_server() -> (std::net::SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let socket = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = socket.local_addr().unwrap();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        socket
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        while !stop.load(Ordering::SeqCst) {
+            if let Ok((_, peer)) = socket.recv_from(&mut buf) {
+                let _ = socket.send_to(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x01], peer);
+            }
+        }
+    });
+    (addr, shutdown, handle)
+}
+
+#[test]
+fn udp_garbled_reply_fails_over_to_healthy_server() {
+    let (junk_addr, junk_stop, junk_handle) = spawn_junk_server();
+    let (good_addr, good_stop, good_handle) = spawn_server();
+
+    // Junk server first in the pool: RFC 2865 silently-discard semantics
+    // mean the undecodable reply must fail over, not abort the login.
+    let transports: Vec<Arc<dyn Transport>> = vec![
+        Arc::new(UdpTransport::new(junk_addr, Duration::from_millis(500))),
+        Arc::new(UdpTransport::new(good_addr, Duration::from_millis(500))),
+    ];
+    let client = RadiusClient::new(ClientConfig::new(SECRET, "login-udp"), transports);
+    let mut rng = StdRng::seed_from_u64(13);
+    let out = client
+        .authenticate(&mut rng, "alice", b"654321", "192.0.2.7")
+        .expect("failover past garbled reply");
+    assert!(matches!(out, Outcome::Accept { .. }));
+    let health = client.server_health();
+    assert!(health[0].failures > 0, "garbled reply not counted as failure");
+
+    junk_stop.store(true, Ordering::SeqCst);
+    good_stop.store(true, Ordering::SeqCst);
+    junk_handle.join().unwrap();
+    good_handle.join().unwrap();
+}
+
+#[test]
 fn udp_concurrent_clients() {
     let (addr, shutdown, handle) = spawn_server();
     let mut joins = Vec::new();

@@ -77,7 +77,7 @@ impl GeoDb {
     /// Add one network → country mapping.
     pub fn add(&mut self, net: Cidr, country: CountryCode) {
         self.entries.push((net, country));
-        self.entries.sort_by(|a, b| b.0.prefix.cmp(&a.0.prefix));
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.0.prefix));
     }
 
     /// Parse a text database: one `CIDR CC` pair per line, `#` comments.
@@ -134,11 +134,12 @@ impl GeoDb {
 }
 
 /// What to do with logins from unexpected places.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum GeoAction {
     /// Refuse the login outright.
     Deny,
     /// Allow, but demand step-up authentication (no exemption bypass).
+    #[default]
     StepUp,
 }
 
@@ -185,12 +186,6 @@ impl GeoPolicy {
         }
         let default = self.default_allowed.read();
         default.is_empty() || default.contains(&country)
-    }
-}
-
-impl Default for GeoAction {
-    fn default() -> Self {
-        GeoAction::StepUp
     }
 }
 

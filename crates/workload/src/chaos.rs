@@ -1,0 +1,409 @@
+//! Chaos scenario harness: scripted fault injection against a live center.
+//!
+//! The paper's fleet walks RADIUS servers "in a round-robin fashion to
+//! provide load balancing and resiliency if specific RADIUS servers are
+//! unavailable" (§3.4). This module turns that claim into an experiment:
+//! a [`FaultScript`] replays a deterministic sequence of infrastructure
+//! faults (outages, rolling restarts, packet loss, flapping, garbled-reply
+//! storms, latency spikes) against a [`Center`] while a steady stream of
+//! real logins runs through the full sshd → PAM → RADIUS → OTP path. The
+//! run produces a [`ChaosReport`] with availability figures and the
+//! per-server health the circuit breakers accumulated.
+//!
+//! Everything is virtual-time and seeded: the same script and seed yield
+//! byte-identical reports.
+
+use hpcmfa_core::center::{Center, CenterConfig};
+use hpcmfa_pam::modules::token::EnforcementMode;
+use hpcmfa_radius::breaker::BreakerConfig;
+use hpcmfa_radius::client::{RetryPolicy, ServerHealthSnapshot};
+use hpcmfa_ssh::client::{ClientProfile, TokenSource};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// One fault applied to a RADIUS server's fault plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Hard-down: every exchange fails immediately.
+    ServerDown,
+    /// Bring the server back up (clears a `ServerDown`).
+    ServerUp,
+    /// Drop one datagram in `one_in` (0 clears).
+    PacketLoss {
+        /// Loss cadence denominator.
+        one_in: u64,
+    },
+    /// Corrupt one reply in `one_in` on the wire (0 clears).
+    GarbleStorm {
+        /// Garble cadence denominator.
+        one_in: u64,
+    },
+    /// Alternate `period` exchanges up, `period` down (0 clears).
+    Flap {
+        /// Half-period in exchanges.
+        period: u64,
+    },
+    /// Add one-way latency (0 clears the spike).
+    LatencySpike {
+        /// Extra one-way latency, microseconds.
+        extra_us: u64,
+    },
+}
+
+/// Apply `action` to server `server` just before login number `at_login`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// 0-based login index the event fires before.
+    pub at_login: usize,
+    /// Index into the RADIUS fleet.
+    pub server: usize,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault schedule, indexed by login count rather than wall
+/// time so runs are reproducible regardless of how fast logins execute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    /// Events in any order; the runner fires every event whose `at_login`
+    /// has been reached.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// An empty script (a control run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: append an event.
+    pub fn at(mut self, at_login: usize, server: usize, action: FaultAction) -> Self {
+        self.events.push(FaultEvent {
+            at_login,
+            server,
+            action,
+        });
+        self
+    }
+
+    /// The acceptance scenario: server `down_server` hard-down from the
+    /// start, 1-in-`one_in` packet loss on every other server.
+    pub fn outage_with_loss(down_server: usize, n_servers: usize, one_in: u64) -> Self {
+        let mut script = FaultScript::new().at(0, down_server, FaultAction::ServerDown);
+        for s in (0..n_servers).filter(|&s| s != down_server) {
+            script = script.at(0, s, FaultAction::PacketLoss { one_in });
+        }
+        script
+    }
+
+    /// A rolling restart: each server in turn is down for `hold` logins,
+    /// back-to-back, starting at login `start`.
+    pub fn rolling_restart(n_servers: usize, start: usize, hold: usize) -> Self {
+        let mut script = FaultScript::new();
+        for s in 0..n_servers {
+            let t = start + s * hold;
+            script = script
+                .at(t, s, FaultAction::ServerDown)
+                .at(t + hold, s, FaultAction::ServerUp);
+        }
+        script
+    }
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosParams {
+    /// RADIUS fleet size.
+    pub radius_servers: usize,
+    /// Logins in the stream.
+    pub logins: usize,
+    /// Distinct paired users cycled round-robin through the stream.
+    pub users: usize,
+    /// Times a denied user re-dials before counting an eventual failure.
+    pub max_redials: usize,
+    /// Retry budget handed to every node's RADIUS client.
+    pub retry: RetryPolicy,
+    /// Breaker tuning handed to every node's RADIUS client.
+    pub breaker: BreakerConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ChaosParams {
+    fn default() -> Self {
+        ChaosParams {
+            radius_servers: 3,
+            logins: 120,
+            users: 4,
+            max_redials: 3,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            seed: 0xc4a05,
+        }
+    }
+}
+
+/// What a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Logins attempted.
+    pub logins: usize,
+    /// Logins granted on the first dial.
+    pub first_try_successes: usize,
+    /// Logins granted within `max_redials` re-dials (includes first-try).
+    pub eventual_successes: usize,
+    /// Logins still denied after all re-dials.
+    pub eventual_failures: usize,
+    /// Total re-dials across the stream.
+    pub redials: usize,
+    /// Per-server health from the login node's RADIUS client: attempts,
+    /// failures, breaker-skipped sends, breaker state.
+    pub health: Vec<ServerHealthSnapshot>,
+}
+
+impl ChaosReport {
+    /// Fraction of logins that eventually succeeded.
+    pub fn availability(&self) -> f64 {
+        if self.logins == 0 {
+            return 1.0;
+        }
+        self.eventual_successes as f64 / self.logins as f64
+    }
+
+    /// Fraction of logins that succeeded without a re-dial.
+    pub fn first_try_availability(&self) -> f64 {
+        if self.logins == 0 {
+            return 1.0;
+        }
+        self.first_try_successes as f64 / self.logins as f64
+    }
+
+    /// Failovers observed by the client (attempts beyond the first within
+    /// one request).
+    pub fn failovers(&self) -> u64 {
+        let total_attempts: u64 = self.health.iter().map(|h| h.attempts).sum();
+        let successes: u64 = self.health.iter().map(|h| h.successes).sum();
+        total_attempts.saturating_sub(successes)
+    }
+}
+
+impl std::fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "chaos: {}/{} logins eventually succeeded ({:.1}% availability, {:.1}% first-try), {} re-dials",
+            self.eventual_successes,
+            self.logins,
+            100.0 * self.availability(),
+            100.0 * self.first_try_availability(),
+            self.redials,
+        )?;
+        for h in &self.health {
+            writeln!(
+                f,
+                "  {}: {} attempts, {} ok, {} failed, {} skipped by breaker ({:?}, opened {}x)",
+                h.name, h.attempts, h.successes, h.failures, h.skipped, h.breaker, h.breaker_opens,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A user's token-code generator, shared with the login profile.
+type TokenFn = Arc<dyn Fn(u64) -> Option<String> + Send + Sync>;
+
+/// Builds the center, enrolls the users, replays the script.
+pub struct ChaosRunner {
+    /// The center under test (single login node, so the health stats have
+    /// one unambiguous owner).
+    pub center: Arc<Center>,
+    params: ChaosParams,
+    devices: Vec<(String, TokenFn)>,
+}
+
+impl ChaosRunner {
+    /// Stand up a full-enforcement center with `params.users` soft-token
+    /// users, ready to take a login stream.
+    pub fn new(params: ChaosParams) -> Self {
+        let center = Center::new(CenterConfig {
+            radius_servers: params.radius_servers,
+            login_nodes: vec!["login1".into()],
+            enforcement: EnforcementMode::Full,
+            seed: params.seed,
+            retry: params.retry.clone(),
+            breaker: params.breaker,
+            ..CenterConfig::default()
+        });
+        let mut devices = Vec::new();
+        for i in 0..params.users {
+            let name = format!("chaos{i:02}");
+            center.create_user(&name, &format!("{name}@utexas.edu"), &format!("{name}-pw"));
+            let token = center.pair_soft(&name);
+            devices.push((
+                name,
+                Arc::new(move |now| Some(token.displayed_code(now))) as TokenFn,
+            ));
+        }
+        ChaosRunner {
+            center,
+            params,
+            devices,
+        }
+    }
+
+    fn apply(&self, event: &FaultEvent) {
+        let faults = &self.center.radius_faults[event.server];
+        match event.action {
+            FaultAction::ServerDown => faults.set_down(true),
+            FaultAction::ServerUp => faults.set_down(false),
+            FaultAction::PacketLoss { one_in } => faults.set_drop_every(one_in),
+            FaultAction::GarbleStorm { one_in } => faults.set_garble_every(one_in),
+            FaultAction::Flap { period } => faults.set_flap_period(period),
+            FaultAction::LatencySpike { extra_us } => faults.set_extra_latency_us(extra_us),
+        }
+    }
+
+    /// Replay `script` under a steady login stream and report.
+    pub fn run(self, script: &FaultScript) -> ChaosReport {
+        let mut report = ChaosReport {
+            logins: self.params.logins,
+            first_try_successes: 0,
+            eventual_successes: 0,
+            eventual_failures: 0,
+            redials: 0,
+            health: Vec::new(),
+        };
+        let source_ip = Ipv4Addr::new(70, 112, 50, 3); // external: MFA enforced
+        for login in 0..self.params.logins {
+            for event in script.events.iter().filter(|e| e.at_login == login) {
+                self.apply(event);
+            }
+            let (user, device) = &self.devices[login % self.devices.len()];
+            let device = Arc::clone(device);
+            let profile = ClientProfile::interactive_user(user, source_ip, &format!("{user}-pw"))
+                .with_token(TokenSource::Device(device));
+            let mut granted = false;
+            for dial in 0..=self.params.max_redials {
+                // Step past the TOTP window so a retry (or the next login
+                // by this user) is a fresh code, not a replay.
+                self.center.clock.advance(30);
+                if self.center.ssh(0, &profile).granted {
+                    granted = true;
+                    if dial == 0 {
+                        report.first_try_successes += 1;
+                    } else {
+                        report.redials += dial;
+                    }
+                    break;
+                }
+                if dial == self.params.max_redials {
+                    report.redials += dial;
+                }
+            }
+            if granted {
+                report.eventual_successes += 1;
+            } else {
+                report.eventual_failures += 1;
+            }
+        }
+        report.health = self.center.radius_health(0);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmfa_radius::breaker::BreakerState;
+
+    fn small(logins: usize) -> ChaosParams {
+        ChaosParams {
+            logins,
+            users: 3,
+            seed: 11,
+            ..ChaosParams::default()
+        }
+    }
+
+    #[test]
+    fn control_run_is_perfect() {
+        let report = ChaosRunner::new(small(20)).run(&FaultScript::new());
+        assert_eq!(report.eventual_successes, 20);
+        assert_eq!(report.first_try_successes, 20);
+        assert_eq!(report.redials, 0);
+        assert!(report
+            .health
+            .iter()
+            .all(|h| h.breaker == BreakerState::Closed && h.skipped == 0));
+    }
+
+    #[test]
+    fn outage_with_loss_survives_with_full_availability() {
+        let script = FaultScript::outage_with_loss(0, 3, 5);
+        let report = ChaosRunner::new(small(60)).run(&script);
+        assert_eq!(report.availability(), 1.0, "{report}");
+        // The breaker quarantined the dead server after the threshold.
+        assert!(report.health[0].skipped > 0, "{report}");
+        assert!(report.health[0].breaker_opens >= 1, "{report}");
+    }
+
+    #[test]
+    fn rolling_restart_never_loses_logins() {
+        let script = FaultScript::rolling_restart(3, 5, 10);
+        let report = ChaosRunner::new(small(50)).run(&script);
+        assert_eq!(report.availability(), 1.0, "{report}");
+        // Every server took some traffic: the restart rolled, it didn't
+        // blackhole.
+        assert!(report.health.iter().all(|h| h.successes > 0), "{report}");
+    }
+
+    #[test]
+    fn garble_storm_and_flapping_fail_over() {
+        let script = FaultScript::new()
+            .at(0, 0, FaultAction::GarbleStorm { one_in: 1 })
+            .at(0, 1, FaultAction::Flap { period: 4 })
+            .at(20, 0, FaultAction::GarbleStorm { one_in: 0 });
+        let report = ChaosRunner::new(small(40)).run(&script);
+        assert_eq!(report.availability(), 1.0, "{report}");
+        assert!(report.health[0].failures > 0, "garbles counted: {report}");
+    }
+
+    #[test]
+    fn latency_spike_is_charged_not_fatal() {
+        let script = FaultScript::new().at(0, 2, FaultAction::LatencySpike { extra_us: 40_000 });
+        let runner = ChaosRunner::new(small(15));
+        let center = Arc::clone(&runner.center);
+        let report = runner.run(&script);
+        assert_eq!(report.availability(), 1.0, "{report}");
+        assert!(
+            center.radius_faults[2]
+                .total_latency_us
+                .load(std::sync::atomic::Ordering::SeqCst)
+                > 0
+        );
+    }
+
+    #[test]
+    fn total_outage_fails_closed_then_recovers() {
+        let script = FaultScript::new()
+            .at(5, 0, FaultAction::ServerDown)
+            .at(5, 1, FaultAction::ServerDown)
+            .at(5, 2, FaultAction::ServerDown)
+            .at(10, 0, FaultAction::ServerUp)
+            .at(10, 1, FaultAction::ServerUp)
+            .at(10, 2, FaultAction::ServerUp);
+        let mut params = small(20);
+        params.max_redials = 0; // one dial per login: outage shows up crisply
+        let report = ChaosRunner::new(params).run(&script);
+        assert_eq!(report.eventual_failures, 5, "{report}");
+        assert_eq!(report.eventual_successes, 15, "{report}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let script = FaultScript::outage_with_loss(1, 3, 4);
+        let a = ChaosRunner::new(small(30)).run(&script);
+        let b = ChaosRunner::new(small(30)).run(&script);
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+}

@@ -17,13 +17,18 @@
 //!   disruption and migration, ticket generation, daily aggregation.
 //! * [`figures`] — series extraction for Figures 3–6 and Table 1, plus
 //!   terminal rendering for the regeneration binaries.
+//! * [`chaos`] — scripted fault-injection scenarios (outages, rolling
+//!   restarts, packet loss, garble storms) replayed against a center under
+//!   a live login stream, reporting availability and breaker behaviour.
 //!
 //! [`Center`]: hpcmfa_core::Center
 
+pub mod chaos;
 pub mod figures;
 pub mod population;
 pub mod rollout;
 
+pub use chaos::{ChaosParams, ChaosReport, ChaosRunner, FaultAction, FaultEvent, FaultScript};
 pub use figures::{render_bar_chart, Table1};
 pub use population::{Cohort, DevicePreference, Population, PopulationParams, UserSpec};
 pub use rollout::{DayRecord, Milestones, RolloutParams, RolloutSim, SimOutput};

@@ -1,0 +1,35 @@
+//! Chaos drill: replay scripted RADIUS-fleet faults under a live login
+//! stream and print the availability / breaker report.
+//!
+//! ```bash
+//! cargo run --release --example chaos_drill
+//! ```
+
+use securing_hpc::workload::chaos::{ChaosParams, ChaosRunner, FaultAction, FaultScript};
+
+fn main() {
+    // Scenario 1: the acceptance drill — server 0 hard-down from the first
+    // login, 1-in-5 packet loss on the two survivors.
+    let script = FaultScript::outage_with_loss(0, 3, 5);
+    let report = ChaosRunner::new(ChaosParams {
+        logins: 100,
+        ..ChaosParams::default()
+    })
+    .run(&script);
+    println!("— one dead server + packet loss —");
+    print!("{report}");
+
+    // Scenario 2: a rolling restart of the whole fleet, plus a garbled-reply
+    // storm and a latency spike along the way.
+    let script = FaultScript::rolling_restart(3, 10, 12)
+        .at(20, 1, FaultAction::GarbleStorm { one_in: 3 })
+        .at(46, 1, FaultAction::GarbleStorm { one_in: 0 })
+        .at(30, 2, FaultAction::LatencySpike { extra_us: 50_000 });
+    let report = ChaosRunner::new(ChaosParams {
+        logins: 100,
+        ..ChaosParams::default()
+    })
+    .run(&script);
+    println!("\n— rolling restart + garble storm + latency spike —");
+    print!("{report}");
+}

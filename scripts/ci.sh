@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: hermetic build, full test suite, lint wall.
+#
+# Everything runs --offline: dependencies resolve to the path shims under
+# shims/, so this must pass on a machine with no crate-registry access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace -- -D warnings
+
+echo "CI green."

@@ -1,0 +1,223 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no crate-registry access, so the workspace
+//! vendors criterion's API shape: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`] and the
+//! `criterion_group!` / `criterion_main!` macros. There is no statistical
+//! engine — each benchmark runs a short warm-up plus a fixed number of
+//! timed iterations and prints one line with the mean per-iteration time
+//! (and derived throughput when declared). That keeps `cargo bench` and
+//! the figure-regeneration flow working, and keeps harness-less bench
+//! binaries fast enough to run under `cargo test`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// A benchmark name, optionally parameterised (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { label: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also forces lazy init outside timing
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / self.iters as u32);
+    }
+}
+
+fn report(label: &str, group: Option<&str>, mean: Option<Duration>, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    match mean {
+        None => println!("bench {full:50} (closure never called iter)"),
+        Some(mean) => {
+            let rate = throughput.map(|t| {
+                let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+                match t {
+                    Throughput::Bytes(n) => format!("  {:>12.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+                    Throughput::Elements(n) => format!("  {:>12.1} elem/s", per_sec(n)),
+                }
+            });
+            println!("bench {full:50} {mean:>12.3?}/iter{}", rate.unwrap_or_default());
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: DEFAULT_ITERS, mean: None };
+        f(&mut b);
+        report(name, None, b.mean, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            iters: DEFAULT_ITERS,
+            throughput: None,
+        }
+    }
+
+    /// Flush any pending output (called by `criterion_main!`).
+    pub fn final_summary(&mut self) {}
+}
+
+const DEFAULT_ITERS: u64 = 20;
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's statistical sample count; here it bounds timed
+    /// iterations so heavyweight benches stay quick under `cargo test`.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(1, DEFAULT_ITERS);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: self.iters, mean: None };
+        f(&mut b);
+        report(&id.label, Some(&self.name), b.mean, self.throughput);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: self.iters, mean: None };
+        f(&mut b, input);
+        report(&id.label, Some(&self.name), b.mean, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box("x".repeat(4))));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

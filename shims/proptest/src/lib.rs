@@ -1,0 +1,680 @@
+//! Offline drop-in replacement for the subset of `proptest` this workspace
+//! uses.
+//!
+//! The build environment has no crate-registry access, so the workspace
+//! vendors a miniature property-testing engine with proptest's API shape:
+//! the [`Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`),
+//! [`Just`], ranges and regex-like string literals as strategies, tuples,
+//! [`any`], `collection::{vec, btree_map}`, `sample::select`, and the
+//! `proptest!` / `prop_oneof!` / `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! each test runs [`CASES`] deterministic cases seeded from the test name,
+//! and a failing case panics with the ordinary assert message. That is
+//! enough to keep the seed repo's property suites meaningful and fully
+//! reproducible offline.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of deterministic cases each `proptest!` test runs.
+pub const CASES: usize = 256;
+
+/// Deterministic per-test RNG (seeded from the test's name).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named test: FNV-1a of the name seeds the generator, so
+    /// every run of the same test replays the same cases.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+}
+
+/// Runs one generated case; an `Err` means the case was rejected by
+/// `prop_assume!` and is simply skipped.
+pub fn run_case<F: FnOnce() -> Result<(), &'static str>>(f: F) {
+    let _ = f();
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a clonable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.generate(rng))
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + Send + Sync + 'static,
+        Self::Value: 'static,
+        U: 'static,
+        F: Fn(Self::Value) -> U + Send + Sync + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.generate(rng)))
+    }
+
+    /// Build a recursive strategy: `self` generates leaves and `recurse`
+    /// wraps an inner strategy into one more level of structure. `depth`
+    /// bounds the nesting; the size/branch hints are accepted for API
+    /// compatibility but unused (this engine has no global size budget).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + Send + Sync + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = OneOf::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen_fn: Arc<dyn Fn(&mut TestRng) -> T + Send + Sync>,
+}
+
+impl<T> BoxedStrategy<T> {
+    fn new<F: Fn(&mut TestRng) -> T + Send + Sync + 'static>(f: F) -> Self {
+        BoxedStrategy { gen_fn: Arc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen_fn: Arc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+#[derive(Clone)]
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `arms` on every draw.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T: 'static> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.random_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// String literals act as regex-like generators (`"[a-z]{1,8}"`).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.random()
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Strategy for [`any`]. (`fn() -> T` keeps it `Send + Sync` regardless
+/// of `T`.)
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_map}`).
+pub mod collection {
+    use super::{BTreeMap, Range, RangeInclusive, Rng, Strategy, TestRng};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.min..=self.max)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    /// Maps with `size` entries drawn from the key/value strategies
+    /// (duplicate keys collapse, as in real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { keys, values, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            (0..n)
+                .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Pick uniformly from `items` on every draw.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.random_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+/// The `prop::` path exposed by proptest's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, OneOf, Strategy,
+    };
+}
+
+/// Tiny regex-flavoured string generation: top-level alternation,
+/// character classes with ranges, `\PC` (any printable char) and the
+/// `{n}` / `{m,n}` / `*` / `+` / `?` quantifiers. Exactly the dialect the
+/// workspace's test patterns use.
+mod pattern {
+    use super::{Rng, TestRng};
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let alts = split_alternatives(pat);
+        let pick = alts[rng.random_range(0..alts.len())];
+        generate_sequence(pick, rng)
+    }
+
+    fn split_alternatives(pat: &str) -> Vec<&str> {
+        let mut alts = Vec::new();
+        let (mut start, mut in_class, mut escaped) = (0, false, false);
+        for (i, c) in pat.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '[' => in_class = true,
+                ']' => in_class = false,
+                '|' if !in_class => {
+                    alts.push(&pat[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        alts.push(&pat[start..]);
+        alts
+    }
+
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..=0x7e).map(char::from).collect();
+        // A sprinkle of multi-byte scalars so "never panics" tests see
+        // non-ASCII UTF-8 too.
+        pool.extend(['\u{e9}', '\u{3a9}', '\u{2192}', '\u{65e5}', '\u{1f600}']);
+        pool
+    }
+
+    fn generate_sequence(seq: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = seq.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let pool = parse_atom(&chars, &mut i);
+            let (lo, hi) = parse_quantifier(&chars, &mut i);
+            let n = rng.random_range(lo..=hi);
+            for _ in 0..n {
+                out.push(pool[rng.random_range(0..pool.len())]);
+            }
+        }
+        out
+    }
+
+    fn parse_atom(chars: &[char], i: &mut usize) -> Vec<char> {
+        match chars[*i] {
+            '[' => {
+                let mut pool = Vec::new();
+                let mut j = *i + 1;
+                while j < chars.len() && chars[j] != ']' {
+                    if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                        for c in chars[j]..=chars[j + 2] {
+                            pool.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        if chars[j] == '\\' {
+                            j += 1;
+                        }
+                        pool.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                *i = j + 1;
+                pool
+            }
+            '\\' if *i + 2 < chars.len() && chars[*i + 1] == 'P' && chars[*i + 2] == 'C' => {
+                *i += 3;
+                printable_pool()
+            }
+            '\\' => {
+                let c = chars[*i + 1];
+                *i += 2;
+                vec![c]
+            }
+            c => {
+                *i += 1;
+                vec![c]
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+        if *i >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*i] {
+            '{' => {
+                let mut j = *i + 1;
+                let mut lo = 0usize;
+                while chars[j].is_ascii_digit() {
+                    lo = lo * 10 + chars[j] as usize - '0' as usize;
+                    j += 1;
+                }
+                let hi = if chars[j] == ',' {
+                    j += 1;
+                    let mut hi = 0usize;
+                    while chars[j].is_ascii_digit() {
+                        hi = hi * 10 + chars[j] as usize - '0' as usize;
+                        j += 1;
+                    }
+                    hi
+                } else {
+                    lo
+                };
+                *i = j + 1; // past '}'
+                (lo, hi)
+            }
+            '*' => {
+                *i += 1;
+                (0, 8)
+            }
+            '+' => {
+                *i += 1;
+                (1, 8)
+            }
+            '?' => {
+                *i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that replays [`CASES`](crate::CASES) deterministic
+/// cases seeded from the test name.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut __rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0usize..$crate::CASES {
+                    let _ = __case;
+                    $crate::run_case(|| {
+                        $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                        $body
+                        ::core::result::Result::Ok(())
+                    });
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategy alternatives, all yielding one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+/// Assert inside a property test (panics the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::core::assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::core::assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::core::assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err("prop_assume rejected");
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn patterns_match_their_own_shape() {
+        let mut rng = TestRng::for_test("patterns_match_their_own_shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[0-9]{1,5}", &mut rng);
+            assert!((1..=5).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_digit()));
+
+            let t = Strategy::generate(&"[a-z][a-z0-9]{0,3}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_lowercase());
+            assert!((1..=4).contains(&t.chars().count()));
+
+            let u = Strategy::generate(&"x|y", &mut rng);
+            assert!(u == "x" || u == "y");
+
+            let v = Strategy::generate(&"[0-9]{2}|", &mut rng);
+            assert!(v.is_empty() || v.len() == 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let strat = crate::collection::vec(any::<u8>(), 0..10);
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end, including assume-rejection.
+        #[test]
+        fn macro_end_to_end(
+            x in 1u32..100,
+            pair in (0u8..10, prop::sample::select(vec!["a", "b"])),
+            items in prop::collection::vec(any::<bool>(), 0..4),
+        ) {
+            prop_assume!(x != 55);
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert_ne!(x, 55);
+            prop_assert_eq!(pair.1.len(), 1);
+            prop_assert!(items.len() <= 3, "vec(_, 0..4) produced {} items", items.len());
+        }
+    }
+}
