@@ -6,8 +6,9 @@ use hpcmfa_otp::clock::{Clock, SimClock};
 use hpcmfa_otp::device::{HardTokenBatch, SoftToken};
 use hpcmfa_otpserver::admin::AdminApi;
 use hpcmfa_otpserver::handler::OtpRadiusHandler;
-use hpcmfa_otpserver::server::LinotpServer;
+use hpcmfa_otpserver::server::{LinotpServer, ServerConfig};
 use hpcmfa_otpserver::sms::{PhoneNumber, SmsProvider, TwilioSim};
+use hpcmfa_otpserver::{RecoverError, RecoveryReport, StorageBackend};
 use hpcmfa_pam::access::{AccessConfig, Cidr, WatchedAccessConfig};
 use hpcmfa_pam::modules::exemption::ExemptionModule;
 use hpcmfa_pam::modules::password::{hash_password, UnixPasswordModule, PASSWORD_ATTR};
@@ -53,6 +54,14 @@ pub struct CenterConfig {
     pub breaker: BreakerConfig,
     /// What the token module does during a total back-end outage.
     pub degradation: DegradationPolicy,
+    /// Durable storage for the OTP back end. `None` (the default) runs
+    /// the server purely in memory, as before; `Some` makes every store
+    /// and audit mutation write-ahead-logged through the backend and lets
+    /// [`Center::crash_otp_server`] kill and recover it mid-run.
+    pub otp_storage: Option<Arc<dyn StorageBackend>>,
+    /// Compaction cadence for the durable OTP server: a snapshot replaces
+    /// the WAL after this many appends. Ignored without `otp_storage`.
+    pub otp_snapshot_every: u64,
 }
 
 impl Default for CenterConfig {
@@ -69,6 +78,8 @@ impl Default for CenterConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             degradation: DegradationPolicy::FailClosed,
+            otp_storage: None,
+            otp_snapshot_every: ServerConfig::default().snapshot_every_appends,
         }
     }
 }
@@ -124,7 +135,21 @@ impl Center {
         let directory = Directory::new();
         let identity = IdentityDb::new();
         let twilio = TwilioSim::new(config.seed ^ 0x5115);
-        let linotp = LinotpServer::new(Arc::clone(&twilio) as Arc<dyn SmsProvider>, config.seed);
+        let linotp = match &config.otp_storage {
+            Some(backend) => LinotpServer::with_storage(
+                Arc::clone(&twilio) as Arc<dyn SmsProvider>,
+                config.seed,
+                ServerConfig {
+                    snapshot_every_appends: config.otp_snapshot_every,
+                    ..ServerConfig::default()
+                },
+                Arc::clone(backend),
+            )
+            .expect("durable OTP state recovers at startup"),
+            None => {
+                LinotpServer::new(Arc::clone(&twilio) as Arc<dyn SmsProvider>, config.seed)
+            }
+        };
         let admin = AdminApi::new(Arc::clone(&linotp), "LinOTP admin area", config.seed ^ 0xadd);
         admin.add_admin("portal-svc", "portal-svc-password");
         let portal = hpcmfa_portal::portal::Portal::new(
@@ -373,6 +398,16 @@ impl Center {
         self.nodes[node_idx].radius_client.server_health()
     }
 
+    /// Kill the OTP server mid-stream and bring it back from durable
+    /// state: un-synced WAL bytes are lost (possibly leaving a torn
+    /// tail), the in-memory store is wiped, and recovery replays
+    /// snapshot + WAL. Requires `otp_storage` in the config; the RADIUS
+    /// handlers and admin API share the recovered instance, so the fleet
+    /// resumes serving immediately.
+    pub fn crash_otp_server(&self) -> Result<RecoveryReport, RecoverError> {
+        self.linotp.crash_and_recover()
+    }
+
     /// Append an exemption rule (one config line) and reload every node's
     /// list — "changes take effect immediately upon write to disk" (§3.4).
     pub fn add_exemption_rule(&self, line: &str) -> Result<(), hpcmfa_pam::access::AccessParseError> {
@@ -591,6 +626,36 @@ mod tests {
         let p2 = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
             .with_token(TokenSource::device(move |now| Some(d2.displayed_code(now))));
         assert!(c.ssh(1, &p2).granted);
+    }
+
+    #[test]
+    fn durable_center_keeps_replay_nullification_across_otp_crash() {
+        use hpcmfa_otpserver::MemoryBackend;
+        let backend = MemoryBackend::healthy();
+        let c = Center::new(CenterConfig {
+            otp_storage: Some(backend as Arc<dyn StorageBackend>),
+            ..CenterConfig::default()
+        });
+        c.create_user("alice", "alice@utexas.edu", "alice-pw");
+        c.set_enforcement(EnforcementMode::Full);
+        let device = c.pair_soft("alice");
+        let code = device.displayed_code(c.clock.now());
+        let p = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::Fixed(code));
+        assert!(c.ssh(0, &p).granted);
+
+        let report = c.crash_otp_server().expect("recovers");
+        assert!(report.wal_records > 0, "the login stream was logged");
+
+        // The accepted code is still a replay on the recovered server.
+        assert!(!c.ssh(1, &p).granted);
+
+        // A fresh code works: the fleet resumed serving after recovery.
+        c.clock.advance(30);
+        let d2 = device.clone();
+        let fresh = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| Some(d2.displayed_code(now))));
+        assert!(c.ssh(0, &fresh).granted);
     }
 
     #[test]

@@ -155,8 +155,9 @@ impl AdminApi {
             ("POST", "/admin/resync") => self.admin_resync(req, now),
             ("POST", "/admin/reset") => self.admin_reset(req, now),
             ("POST", "/admin/smschallenge") => self.admin_smschallenge(req, now),
-            ("GET", "/admin/show") => self.admin_show(req),
+            ("GET", "/admin/show") => self.admin_show(req, now),
             ("GET", "/audit/search") => self.audit_search(req),
+            ("GET", "/system/durability") => self.system_durability(),
             _ => HttpResponse::error(404, "no such route"),
         }
     }
@@ -272,14 +273,15 @@ impl AdminApi {
             SmsTrigger::NotSmsUser => HttpResponse::error(400, "user has no SMS pairing"),
             SmsTrigger::NoToken => HttpResponse::error(404, "no pairing for user"),
             SmsTrigger::Locked => HttpResponse::error(403, "account locked"),
+            SmsTrigger::Unavailable => HttpResponse::error(503, "durable storage unavailable"),
         }
     }
 
-    fn admin_show(&self, req: &HttpRequest) -> HttpResponse {
+    fn admin_show(&self, req: &HttpRequest, now: u64) -> HttpResponse {
         let Some(user) = Self::str_field(&req.body, "user") else {
             return HttpResponse::error(400, "user required");
         };
-        match self.server.status(user) {
+        match self.server.status(user, now) {
             Some(st) => HttpResponse::ok(Json::obj([
                 ("kind", Json::str(st.kind)),
                 ("failcount", Json::Num(st.fail_count as f64)),
@@ -288,8 +290,30 @@ impl AdminApi {
                     "serial",
                     st.serial.map(Json::Str).unwrap_or(Json::Null),
                 ),
+                ("sms_pending", Json::Bool(st.sms_pending)),
             ])),
             None => HttpResponse::error(404, "no pairing for user"),
+        }
+    }
+
+    /// Recovery/fsync counters for the operations dashboard. 404s when the
+    /// server runs without a storage backend.
+    fn system_durability(&self) -> HttpResponse {
+        match self.server.durability_counters() {
+            Some(c) => HttpResponse::ok(Json::obj([
+                ("appends", Json::Num(c.appends as f64)),
+                ("append_failures", Json::Num(c.append_failures as f64)),
+                ("fsyncs", Json::Num(c.fsyncs as f64)),
+                ("fsync_failures", Json::Num(c.fsync_failures as f64)),
+                ("snapshots", Json::Num(c.snapshots as f64)),
+                ("snapshot_failures", Json::Num(c.snapshot_failures as f64)),
+                ("recoveries", Json::Num(c.recoveries as f64)),
+                ("records_replayed", Json::Num(c.records_replayed as f64)),
+                ("tail_truncations", Json::Num(c.tail_truncations as f64)),
+                ("truncated_bytes", Json::Num(c.truncated_bytes as f64)),
+                ("audit_dropped", Json::Num(self.server.audit().dropped() as f64)),
+            ])),
+            None => HttpResponse::error(404, "no storage backend configured"),
         }
     }
 

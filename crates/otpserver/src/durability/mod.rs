@@ -1,0 +1,278 @@
+//! Durable OTP-server state: write-ahead log, snapshots, crash recovery.
+//!
+//! The paper's validation server keeps pairing, replay-nullification and
+//! failure-counter state in a MariaDB-backed LinOTP database (§3.1–§3.2);
+//! losing that state across a restart silently re-opens the TOTP replay
+//! window and forgets lockouts. This module gives the in-process
+//! [`LinotpServer`](crate::server::LinotpServer) the same durability
+//! posture:
+//!
+//! * [`wal`] — a checksummed, length-prefixed record codec. Every store or
+//!   audit mutation appends one record *before* the operation is
+//!   acknowledged.
+//! * [`backend`] — the [`StorageBackend`] trait with two implementations: a
+//!   real file-backed backend and a deterministic in-memory backend whose
+//!   [`StorageFaultPlan`](backend::StorageFaultPlan) injects short writes,
+//!   fsync failures, read corruption and torn crash tails.
+//! * [`snapshot`] — periodic compaction (snapshot + WAL reset) and the
+//!   [`recover`](snapshot::recover) path that replays snapshot + WAL,
+//!   truncating at the first torn or corrupt tail record.
+//!
+//! The recovery invariants the test suite pins down: **replay
+//! nullification and lockout state never regress across a crash** — a code
+//! accepted before the crash is rejected after recovery, and a locked
+//! account stays locked until an admin acts.
+
+pub mod backend;
+pub mod snapshot;
+pub mod wal;
+
+pub use backend::{FileBackend, MemoryBackend, StorageFaultPlan};
+pub use snapshot::{recover, RecoverError, RecoveredState, RecoveryReport};
+pub use wal::{decode_stream, PairingImage, WalRecord, WalTail};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors a storage backend can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// OS-level I/O failure.
+    Io(String),
+    /// An append persisted only a prefix of the frame.
+    ShortWrite {
+        /// Bytes actually written.
+        wrote: usize,
+        /// Bytes requested.
+        of: usize,
+    },
+    /// fsync reported failure; durability of buffered data is unknown.
+    FsyncFailed,
+    /// The backend is in a simulated-crash state.
+    Crashed,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::ShortWrite { wrote, of } => {
+                write!(f, "short write: {wrote} of {of} bytes")
+            }
+            StorageError::FsyncFailed => write!(f, "fsync failed"),
+            StorageError::Crashed => write!(f, "backend crashed"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// The storage substrate the durability layer writes through. One WAL
+/// byte stream plus one snapshot blob; both opaque to the backend.
+pub trait StorageBackend: Send + Sync {
+    /// Append one encoded frame to the WAL. On error the backend should
+    /// already have discarded (or the caller will roll back) any partial
+    /// bytes via [`StorageBackend::rollback_inflight`].
+    fn append_wal(&self, frame: &[u8]) -> Result<(), StorageError>;
+
+    /// Make every appended byte durable.
+    fn sync_wal(&self) -> Result<(), StorageError>;
+
+    /// Read the entire durable WAL.
+    fn read_wal(&self) -> Result<Vec<u8>, StorageError>;
+
+    /// Cut the durable WAL down to `len` bytes (recovery truncates torn
+    /// tails through this).
+    fn truncate_wal(&self, len: u64) -> Result<(), StorageError>;
+
+    /// Empty the WAL (after a successful snapshot).
+    fn reset_wal(&self) -> Result<(), StorageError> {
+        self.truncate_wal(0)
+    }
+
+    /// Durable WAL length in bytes.
+    fn wal_len(&self) -> u64;
+
+    /// Atomically replace the snapshot blob.
+    fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Read the current snapshot blob, if one exists.
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Discard bytes appended but not yet synced (called after a failed
+    /// append so a detected short write cannot poison the stream).
+    fn rollback_inflight(&self) {}
+
+    /// Simulate a process crash: un-synced bytes are lost, possibly
+    /// leaving a torn prefix of the in-flight frame behind. No-op for
+    /// backends whose crash model is "the process dies" (files survive).
+    fn simulate_crash(&self) {}
+
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+}
+
+/// Monotonic durability counters, exposed to admins via
+/// `GET /system/durability` and asserted on by the chaos scenarios.
+#[derive(Default)]
+pub struct DurabilityStats {
+    /// WAL records appended and synced.
+    pub appends: AtomicU64,
+    /// Appends the backend rejected (short write / crashed / I/O).
+    pub append_failures: AtomicU64,
+    /// Successful fsyncs.
+    pub fsyncs: AtomicU64,
+    /// Failed fsyncs.
+    pub fsync_failures: AtomicU64,
+    /// Snapshots written (compactions).
+    pub snapshots: AtomicU64,
+    /// Snapshot attempts that failed.
+    pub snapshot_failures: AtomicU64,
+    /// Recoveries performed.
+    pub recoveries: AtomicU64,
+    /// WAL records replayed across all recoveries.
+    pub records_replayed: AtomicU64,
+    /// Recoveries that truncated a torn or corrupt tail.
+    pub tail_truncations: AtomicU64,
+    /// Bytes dropped by tail truncation across all recoveries.
+    pub truncated_bytes: AtomicU64,
+}
+
+/// A plain-value copy of [`DurabilityStats`] for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityCounters {
+    /// WAL records appended and synced.
+    pub appends: u64,
+    /// Appends the backend rejected.
+    pub append_failures: u64,
+    /// Successful fsyncs.
+    pub fsyncs: u64,
+    /// Failed fsyncs.
+    pub fsync_failures: u64,
+    /// Snapshots written.
+    pub snapshots: u64,
+    /// Snapshot attempts that failed.
+    pub snapshot_failures: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub records_replayed: u64,
+    /// Recoveries that truncated a torn or corrupt tail.
+    pub tail_truncations: u64,
+    /// Bytes dropped by tail truncation.
+    pub truncated_bytes: u64,
+}
+
+impl DurabilityStats {
+    /// Snapshot the counters.
+    pub fn counters(&self) -> DurabilityCounters {
+        DurabilityCounters {
+            appends: self.appends.load(Ordering::Relaxed),
+            append_failures: self.append_failures.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            fsync_failures: self.fsync_failures.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            records_replayed: self.records_replayed.load(Ordering::Relaxed),
+            tail_truncations: self.tail_truncations.load(Ordering::Relaxed),
+            truncated_bytes: self.truncated_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The durability pump: encodes records, appends + fsyncs them through a
+/// backend, counts everything, and tracks when a compaction is due.
+pub struct Persistence {
+    backend: Arc<dyn StorageBackend>,
+    stats: DurabilityStats,
+    /// Appends between snapshots; 0 disables compaction.
+    snapshot_every: u64,
+    appends_since_snapshot: AtomicU64,
+}
+
+impl Persistence {
+    /// Pump through `backend`, compacting every `snapshot_every` appends
+    /// (0 = never).
+    pub fn new(backend: Arc<dyn StorageBackend>, snapshot_every: u64) -> Self {
+        Persistence {
+            backend,
+            stats: DurabilityStats::default(),
+            snapshot_every,
+            appends_since_snapshot: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> &DurabilityStats {
+        &self.stats
+    }
+
+    /// Append one record and make it durable. The operation that produced
+    /// the record must not be acknowledged until this returns `Ok`.
+    pub fn append(&self, record: &WalRecord) -> Result<(), StorageError> {
+        let frame = record.encode_frame();
+        if let Err(e) = self.backend.append_wal(&frame) {
+            self.backend.rollback_inflight();
+            self.stats.append_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        match self.backend.sync_wal() {
+            Ok(()) => {
+                self.stats.appends.fetch_add(1, Ordering::Relaxed);
+                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.appends_since_snapshot.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.fsync_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.append_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether enough appends have accumulated for a compaction. Callers
+    /// check this *outside* any store lock (compaction re-locks).
+    pub fn wants_snapshot(&self) -> bool {
+        self.snapshot_every > 0
+            && self.appends_since_snapshot.load(Ordering::Relaxed) >= self.snapshot_every
+    }
+
+    /// Install `bytes` as the new snapshot and reset the WAL. The WAL is
+    /// only reset after the snapshot write succeeds, so a failed
+    /// compaction never loses records.
+    pub fn install_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
+        if let Err(e) = self.backend.write_snapshot(bytes) {
+            self.stats.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        if let Err(e) = self.backend.reset_wal() {
+            self.stats.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.appends_since_snapshot.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Record a completed recovery in the counters.
+    pub fn note_recovery(&self, report: &RecoveryReport) {
+        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .records_replayed
+            .fetch_add(report.wal_records as u64, Ordering::Relaxed);
+        if report.truncated_bytes > 0 {
+            self.stats.tail_truncations.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .truncated_bytes
+                .fetch_add(report.truncated_bytes as u64, Ordering::Relaxed);
+        }
+        self.appends_since_snapshot.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,580 @@
+//! Snapshot encoding, compaction, and the crash-recovery path.
+//!
+//! A snapshot is the full store + audit state serialized as a sequence of
+//! ordinary WAL frames ([`WalRecord::SnapshotUser`] per user,
+//! [`WalRecord::Audit`] per retained audit entry) terminated by a
+//! [`WalRecord::SnapshotSeal`] carrying the expected counts. Snapshots are
+//! replaced atomically by the backend and validated wholesale on read: a
+//! snapshot with a torn tail, a failed checksum, or a seal whose counts
+//! disagree is rejected as [`RecoverError::SnapshotCorrupt`] — unlike the
+//! WAL, there is no valid "prefix" of a snapshot to fall back on.
+//!
+//! [`recover`] then replays the WAL over the snapshot image. The WAL *is*
+//! allowed a bad tail — that is what a crash mid-append leaves behind — and
+//! recovery truncates the backend at the first torn or corrupt record.
+//! Replay is monotonic where security demands it: `last_step` only ever
+//! moves forward (`max`-merge), so replay nullification cannot regress
+//! whatever order records landed in.
+
+use super::wal::{decode_stream, WalRecord, WalTail};
+use super::{StorageBackend, StorageError};
+use crate::audit::{AuditEntry, AuditLog};
+use crate::store::{TokenPairing, UserTokenRecord};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Why recovery failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The backend could not be read or truncated.
+    Storage(StorageError),
+    /// The snapshot exists but is not wholly valid.
+    SnapshotCorrupt,
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Storage(e) => write!(f, "recovery storage error: {e}"),
+            RecoverError::SnapshotCorrupt => write!(f, "snapshot failed validation"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<StorageError> for RecoverError {
+    fn from(e: StorageError) -> Self {
+        RecoverError::Storage(e)
+    }
+}
+
+/// What a recovery did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Users restored from the snapshot.
+    pub snapshot_users: usize,
+    /// Audit entries restored from the snapshot.
+    pub snapshot_audits: usize,
+    /// WAL records replayed.
+    pub wal_records: usize,
+    /// Valid WAL bytes kept.
+    pub wal_bytes: usize,
+    /// Bytes cut off a torn/corrupt tail (0 for a clean WAL).
+    pub truncated_bytes: usize,
+    /// Checksummed-but-semantically-unusable records skipped (e.g. a
+    /// pairing whose algorithm label no longer parses).
+    pub skipped_records: usize,
+    /// Whether the WAL tail was clean, torn, or corrupt.
+    pub tail_was_clean: bool,
+}
+
+/// The state a recovery produced, ready to load into a live server.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Per-user records.
+    pub users: BTreeMap<String, UserTokenRecord>,
+    /// Audit entries in order.
+    pub audit_entries: Vec<AuditEntry>,
+    /// The audit ring's dropped-entry counter at snapshot time.
+    pub audit_dropped: u64,
+    /// What happened.
+    pub report: RecoveryReport,
+}
+
+/// Serialize the full state as a snapshot blob.
+pub fn encode_snapshot(
+    users: &BTreeMap<String, UserTokenRecord>,
+    audit_entries: &[AuditEntry],
+    audit_dropped: u64,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (user, rec) in users {
+        out.extend_from_slice(&WalRecord::snapshot_user(user, rec).encode_frame());
+    }
+    for entry in audit_entries {
+        out.extend_from_slice(&WalRecord::audit(entry).encode_frame());
+    }
+    out.extend_from_slice(
+        &WalRecord::SnapshotSeal {
+            users: users.len() as u64,
+            audits: audit_entries.len() as u64,
+            audit_dropped,
+        }
+        .encode_frame(),
+    );
+    out
+}
+
+/// Convenience: snapshot a live store + audit log (used by compaction).
+pub fn snapshot_live(store: &crate::store::TokenStore, audit: &AuditLog) -> Vec<u8> {
+    let users = store.export_all();
+    let entries = audit.export_all();
+    encode_snapshot(&users, &entries, audit.dropped())
+}
+
+/// What a valid snapshot blob decodes to.
+struct DecodedSnapshot {
+    users: BTreeMap<String, UserTokenRecord>,
+    audits: Vec<AuditEntry>,
+    audit_dropped: u64,
+    skipped: usize,
+}
+
+/// Decode and validate a snapshot blob.
+fn decode_snapshot(bytes: &[u8]) -> Result<DecodedSnapshot, RecoverError> {
+    let (records, tail) = decode_stream(bytes);
+    if tail != WalTail::Clean {
+        return Err(RecoverError::SnapshotCorrupt);
+    }
+    let Some(WalRecord::SnapshotSeal {
+        users: want_users,
+        audits: want_audits,
+        audit_dropped,
+    }) = records.last().cloned()
+    else {
+        return Err(RecoverError::SnapshotCorrupt);
+    };
+    let mut users = BTreeMap::new();
+    let mut audits = Vec::new();
+    let mut skipped = 0usize;
+    for rec in &records[..records.len() - 1] {
+        match rec {
+            WalRecord::SnapshotUser {
+                user,
+                pairing,
+                fail_count,
+                active,
+            } => match pairing.restore() {
+                Some(p) => {
+                    users.insert(
+                        user.clone(),
+                        UserTokenRecord {
+                            pairing: p,
+                            fail_count: *fail_count,
+                            active: *active,
+                        },
+                    );
+                }
+                None => skipped += 1,
+            },
+            WalRecord::Audit {
+                at,
+                user,
+                action,
+                success,
+                detail,
+            } => {
+                let Some(action) = super::wal::action_from_tag(*action) else {
+                    skipped += 1;
+                    continue;
+                };
+                audits.push(AuditEntry {
+                    at: *at,
+                    username: user.clone(),
+                    action,
+                    success: *success,
+                    detail: detail.clone(),
+                });
+            }
+            // Anything else inside a snapshot is a writer bug or damage.
+            _ => return Err(RecoverError::SnapshotCorrupt),
+        }
+    }
+    // The seal's counts must match what was actually present; `skipped`
+    // records still counted toward the seal when written, so compare
+    // against decoded + skipped.
+    if users.len() + skipped_users(&records) != want_users as usize
+        || audits.len() + skipped_audits(&records) != want_audits as usize
+    {
+        return Err(RecoverError::SnapshotCorrupt);
+    }
+    Ok(DecodedSnapshot {
+        users,
+        audits,
+        audit_dropped,
+        skipped,
+    })
+}
+
+fn skipped_users(records: &[WalRecord]) -> usize {
+    records[..records.len() - 1]
+        .iter()
+        .filter(|r| {
+            matches!(r, WalRecord::SnapshotUser { pairing, .. } if pairing.restore().is_none())
+        })
+        .count()
+}
+
+fn skipped_audits(records: &[WalRecord]) -> usize {
+    records[..records.len() - 1]
+        .iter()
+        .filter(|r| {
+            matches!(r, WalRecord::Audit { action, .. } if super::wal::action_from_tag(*action).is_none())
+        })
+        .count()
+}
+
+/// Apply one WAL record to the in-flight recovered image. Returns `false`
+/// if the record was semantically unusable and skipped.
+fn apply(
+    users: &mut BTreeMap<String, UserTokenRecord>,
+    audits: &mut Vec<AuditEntry>,
+    rec: &WalRecord,
+) -> bool {
+    match rec {
+        WalRecord::Enroll { user, pairing } => match pairing.restore() {
+            Some(p) => {
+                users.insert(
+                    user.clone(),
+                    UserTokenRecord {
+                        pairing: p,
+                        fail_count: 0,
+                        active: true,
+                    },
+                );
+                true
+            }
+            None => false,
+        },
+        WalRecord::Remove { user } => {
+            users.remove(user);
+            true
+        }
+        WalRecord::ValState {
+            user,
+            last_step,
+            fail_count,
+            active,
+        } => {
+            if let Some(rec) = users.get_mut(user) {
+                if let Some(step) = last_step {
+                    merge_last_step(&mut rec.pairing, *step);
+                }
+                rec.fail_count = *fail_count;
+                rec.active = *active;
+            }
+            true
+        }
+        WalRecord::Resync {
+            user,
+            drift_steps,
+            last_step,
+        } => {
+            if let Some(rec) = users.get_mut(user) {
+                if let TokenPairing::Totp {
+                    drift_steps: d, ..
+                } = &mut rec.pairing
+                {
+                    *d = *drift_steps;
+                }
+                merge_last_step(&mut rec.pairing, *last_step);
+                rec.fail_count = 0;
+                rec.active = true;
+            }
+            true
+        }
+        WalRecord::SmsIssue {
+            user,
+            code,
+            sent_at,
+            expires_at,
+        } => {
+            if let Some(rec) = users.get_mut(user) {
+                if let TokenPairing::Sms { pending, .. } = &mut rec.pairing {
+                    *pending = Some(crate::store::PendingSmsCode {
+                        code: code.clone(),
+                        sent_at: *sent_at,
+                        expires_at: *expires_at,
+                    });
+                }
+            }
+            true
+        }
+        WalRecord::SmsClear { user } => {
+            if let Some(rec) = users.get_mut(user) {
+                if let TokenPairing::Sms { pending, .. } = &mut rec.pairing {
+                    *pending = None;
+                }
+            }
+            true
+        }
+        WalRecord::Audit {
+            at,
+            user,
+            action,
+            success,
+            detail,
+        } => match super::wal::action_from_tag(*action) {
+            Some(action) => {
+                audits.push(AuditEntry {
+                    at: *at,
+                    username: user.clone(),
+                    action,
+                    success: *success,
+                    detail: detail.clone(),
+                });
+                true
+            }
+            None => false,
+        },
+        // Snapshot-only records inside the WAL are skipped, not fatal.
+        WalRecord::SnapshotUser { .. } | WalRecord::SnapshotSeal { .. } => false,
+    }
+}
+
+/// Advance (never regress) a TOTP pairing's replay mark.
+fn merge_last_step(pairing: &mut TokenPairing, step: u64) {
+    if let TokenPairing::Totp { last_step, .. } = pairing {
+        *last_step = Some(last_step.map_or(step, |ls| ls.max(step)));
+    }
+}
+
+/// Rebuild state from `backend`: snapshot first, then WAL replay, then
+/// tail truncation. The backend's WAL is left holding exactly the valid
+/// prefix, so appends after recovery continue a clean stream.
+pub fn recover(backend: &Arc<dyn StorageBackend>) -> Result<RecoveredState, RecoverError> {
+    let mut report = RecoveryReport::default();
+
+    let (mut users, mut audits, audit_dropped) = match backend.read_snapshot()? {
+        Some(bytes) => {
+            let snap = decode_snapshot(&bytes)?;
+            report.snapshot_users = snap.users.len();
+            report.snapshot_audits = snap.audits.len();
+            report.skipped_records += snap.skipped;
+            (snap.users, snap.audits, snap.audit_dropped)
+        }
+        None => (BTreeMap::new(), Vec::new(), 0),
+    };
+
+    let wal = backend.read_wal()?;
+    let (records, tail) = decode_stream(&wal);
+    report.tail_was_clean = tail == WalTail::Clean;
+    report.wal_bytes = tail.valid_len(wal.len());
+    report.truncated_bytes = wal.len() - report.wal_bytes;
+    for rec in &records {
+        if apply(&mut users, &mut audits, rec) {
+            report.wal_records += 1;
+        } else {
+            report.skipped_records += 1;
+        }
+    }
+    if report.truncated_bytes > 0 {
+        backend.truncate_wal(report.wal_bytes as u64)?;
+    }
+
+    Ok(RecoveredState {
+        users,
+        audit_entries: audits,
+        audit_dropped,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditAction;
+    use crate::durability::backend::MemoryBackend;
+    use crate::durability::wal::{action_tag, PairingImage};
+
+    fn totp_image(last_step: Option<u64>) -> PairingImage {
+        PairingImage::Totp {
+            secret: b"12345678901234567890".to_vec(),
+            digits: 6,
+            step_secs: 30,
+            t0: 0,
+            alg: "SHA1".into(),
+            hard: false,
+            serial: None,
+            last_step,
+            drift_steps: 0,
+        }
+    }
+
+    fn backend_with(records: &[WalRecord]) -> Arc<dyn StorageBackend> {
+        let mut wal = Vec::new();
+        for r in records {
+            wal.extend_from_slice(&r.encode_frame());
+        }
+        MemoryBackend::with_contents(wal, None)
+    }
+
+    #[test]
+    fn empty_backend_recovers_empty() {
+        let b: Arc<dyn StorageBackend> = MemoryBackend::healthy();
+        let state = recover(&b).unwrap();
+        assert!(state.users.is_empty());
+        assert!(state.audit_entries.is_empty());
+        assert!(state.report.tail_was_clean);
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_store() {
+        let b = backend_with(&[
+            WalRecord::Enroll {
+                user: "alice".into(),
+                pairing: totp_image(None),
+            },
+            WalRecord::ValState {
+                user: "alice".into(),
+                last_step: Some(100),
+                fail_count: 0,
+                active: true,
+            },
+            WalRecord::ValState {
+                user: "alice".into(),
+                last_step: None,
+                fail_count: 3,
+                active: true,
+            },
+            WalRecord::Audit {
+                at: 7,
+                user: "alice".into(),
+                action: action_tag(AuditAction::Validate),
+                success: true,
+                detail: "ok".into(),
+            },
+        ]);
+        let state = recover(&b).unwrap();
+        let rec = &state.users["alice"];
+        assert_eq!(rec.fail_count, 3);
+        assert!(rec.active);
+        let TokenPairing::Totp { last_step, .. } = &rec.pairing else {
+            panic!("wrong pairing");
+        };
+        assert_eq!(*last_step, Some(100));
+        assert_eq!(state.audit_entries.len(), 1);
+        assert_eq!(state.report.wal_records, 4);
+    }
+
+    #[test]
+    fn last_step_never_regresses_on_replay() {
+        // Records landing out of order (concurrent writers) must still
+        // leave the high-water mark at the max.
+        let b = backend_with(&[
+            WalRecord::Enroll {
+                user: "alice".into(),
+                pairing: totp_image(None),
+            },
+            WalRecord::ValState {
+                user: "alice".into(),
+                last_step: Some(200),
+                fail_count: 0,
+                active: true,
+            },
+            WalRecord::ValState {
+                user: "alice".into(),
+                last_step: Some(150),
+                fail_count: 0,
+                active: true,
+            },
+        ]);
+        let state = recover(&b).unwrap();
+        let TokenPairing::Totp { last_step, .. } = &state.users["alice"].pairing else {
+            panic!("wrong pairing");
+        };
+        assert_eq!(*last_step, Some(200));
+    }
+
+    #[test]
+    fn torn_tail_truncates_backend() {
+        let records = vec![
+            WalRecord::Enroll {
+                user: "alice".into(),
+                pairing: totp_image(Some(5)),
+            },
+            WalRecord::Remove { user: "bob".into() },
+        ];
+        let mut wal = Vec::new();
+        for r in &records {
+            wal.extend_from_slice(&r.encode_frame());
+        }
+        let clean_len = wal.len();
+        // A torn third frame.
+        let torn = WalRecord::Remove { user: "carol".into() }.encode_frame();
+        wal.extend_from_slice(&torn[..torn.len() - 3]);
+        let b: Arc<dyn StorageBackend> = MemoryBackend::with_contents(wal, None);
+        let state = recover(&b).unwrap();
+        assert_eq!(state.report.truncated_bytes, torn.len() - 3);
+        assert!(!state.report.tail_was_clean);
+        assert_eq!(b.wal_len(), clean_len as u64, "backend truncated");
+        assert!(state.users.contains_key("alice"));
+        // A second recovery now sees a clean WAL.
+        let again = recover(&b).unwrap();
+        assert!(again.report.tail_was_clean);
+        assert_eq!(again.users.len(), state.users.len());
+    }
+
+    #[test]
+    fn snapshot_plus_wal_compose() {
+        let mut users = BTreeMap::new();
+        users.insert(
+            "alice".to_string(),
+            UserTokenRecord {
+                pairing: totp_image(Some(90)).restore().unwrap(),
+                fail_count: 2,
+                active: true,
+            },
+        );
+        let audit = vec![AuditEntry {
+            at: 1,
+            username: "alice".into(),
+            action: AuditAction::Enroll,
+            success: true,
+            detail: "soft".into(),
+        }];
+        let snap = encode_snapshot(&users, &audit, 7);
+        let mut wal = Vec::new();
+        wal.extend_from_slice(
+            &WalRecord::ValState {
+                user: "alice".into(),
+                last_step: Some(95),
+                fail_count: 0,
+                active: true,
+            }
+            .encode_frame(),
+        );
+        let b: Arc<dyn StorageBackend> = MemoryBackend::with_contents(wal, Some(snap));
+        let state = recover(&b).unwrap();
+        assert_eq!(state.report.snapshot_users, 1);
+        assert_eq!(state.report.snapshot_audits, 1);
+        assert_eq!(state.audit_dropped, 7);
+        let TokenPairing::Totp { last_step, .. } = &state.users["alice"].pairing else {
+            panic!();
+        };
+        assert_eq!(*last_step, Some(95));
+        assert_eq!(state.users["alice"].fail_count, 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_fatal_not_partial() {
+        let mut users = BTreeMap::new();
+        users.insert(
+            "alice".to_string(),
+            UserTokenRecord {
+                pairing: totp_image(None).restore().unwrap(),
+                fail_count: 0,
+                active: true,
+            },
+        );
+        let mut snap = encode_snapshot(&users, &[], 0);
+        let mid = snap.len() / 2;
+        snap[mid] ^= 0x40;
+        let b: Arc<dyn StorageBackend> = MemoryBackend::with_contents(Vec::new(), Some(snap));
+        assert_eq!(recover(&b).unwrap_err(), RecoverError::SnapshotCorrupt);
+    }
+
+    #[test]
+    fn snapshot_without_seal_rejected() {
+        let frame = WalRecord::SnapshotUser {
+            user: "alice".into(),
+            pairing: totp_image(None),
+            fail_count: 0,
+            active: true,
+        }
+        .encode_frame();
+        let b: Arc<dyn StorageBackend> = MemoryBackend::with_contents(Vec::new(), Some(frame));
+        assert_eq!(recover(&b).unwrap_err(), RecoverError::SnapshotCorrupt);
+    }
+}

@@ -1,0 +1,912 @@
+//! The write-ahead-log record codec.
+//!
+//! Every mutation of the token store or audit log is appended to the WAL
+//! as one *frame* before the operation is acknowledged:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the payload. The payload is a tagged
+//! binary encoding of one [`WalRecord`]. The decoder walks frames until the
+//! bytes run out; a frame whose length field overruns the buffer is a *torn
+//! tail* (the classic crash-mid-write shape), a frame whose checksum or
+//! payload fails to parse is *corrupt*. Either way decoding stops at the
+//! offset of the bad frame: recovery keeps the clean prefix and truncates
+//! the rest, which is exactly the LinOTP/MariaDB redo-log posture the paper
+//! relies on (§3.1–§3.2).
+//!
+//! CRC-32 is linear in its input, so a single flipped bit always changes
+//! the checksum — a property the codec proptests pin down.
+
+use crate::audit::{AuditAction, AuditEntry};
+use crate::sms::PhoneNumber;
+use crate::store::{PendingSmsCode, TokenPairing, TotpProvenance, UserTokenRecord};
+use hpcmfa_crypto::HashAlg;
+use hpcmfa_otp::secret::Secret;
+use hpcmfa_otp::totp::{Totp, TotpParams};
+
+/// Upper bound on a single record payload. A length field beyond this is
+/// treated as corruption rather than an allocation request — a bit-flipped
+/// length must never make the decoder try to allocate gigabytes.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), bitwise — speed is
+/// irrelevant next to the fsync each frame pays for.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A serializable image of a [`TokenPairing`] — the WAL cannot hold the
+/// live `Totp` object, so pairings cross the boundary as plain fields. The
+/// image *does* contain the shared secret: the WAL replaces the MariaDB
+/// tables that hold the same material in the paper's deployment, and must
+/// be protected accordingly (file permissions, encrypted volume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairingImage {
+    /// Soft/hard TOTP pairing.
+    Totp {
+        /// Raw shared-secret bytes.
+        secret: Vec<u8>,
+        /// Code digits.
+        digits: u32,
+        /// Time-step seconds.
+        step_secs: u64,
+        /// RFC 6238 T0.
+        t0: u64,
+        /// HMAC algorithm label (e.g. `SHA1`).
+        alg: String,
+        /// Hard (fob) rather than soft (app) provenance.
+        hard: bool,
+        /// Hard-token serial.
+        serial: Option<String>,
+        /// Replay-nullification high-water mark.
+        last_step: Option<u64>,
+        /// Resync offset in steps.
+        drift_steps: i64,
+    },
+    /// SMS pairing.
+    Sms {
+        /// Canonical phone-number string.
+        phone: String,
+        /// Outstanding code, if any: (code, sent_at, expires_at).
+        pending: Option<(String, u64, u64)>,
+    },
+    /// Static training code.
+    Static {
+        /// The fixed code.
+        code: String,
+    },
+}
+
+impl PairingImage {
+    /// Capture a live pairing.
+    pub fn of(pairing: &TokenPairing) -> Self {
+        match pairing {
+            TokenPairing::Totp {
+                totp,
+                provenance,
+                serial,
+                last_step,
+                drift_steps,
+            } => PairingImage::Totp {
+                secret: totp.secret.bytes().to_vec(),
+                digits: totp.params.digits,
+                step_secs: totp.params.step_secs,
+                t0: totp.params.t0,
+                alg: totp.params.alg.name().to_string(),
+                hard: *provenance == TotpProvenance::Hard,
+                serial: serial.clone(),
+                last_step: *last_step,
+                drift_steps: *drift_steps,
+            },
+            TokenPairing::Sms { phone, pending } => PairingImage::Sms {
+                phone: phone.as_str().to_string(),
+                pending: pending
+                    .as_ref()
+                    .map(|p| (p.code.clone(), p.sent_at, p.expires_at)),
+            },
+            TokenPairing::Static { code } => PairingImage::Static { code: code.clone() },
+        }
+    }
+
+    /// Rebuild the live pairing. `None` if the image holds values that no
+    /// longer parse (counted as corruption by the caller).
+    pub fn restore(&self) -> Option<TokenPairing> {
+        match self {
+            PairingImage::Totp {
+                secret,
+                digits,
+                step_secs,
+                t0,
+                alg,
+                hard,
+                serial,
+                last_step,
+                drift_steps,
+            } => {
+                if *step_secs == 0 {
+                    return None;
+                }
+                let params = TotpParams {
+                    digits: *digits,
+                    step_secs: *step_secs,
+                    t0: *t0,
+                    alg: HashAlg::parse(alg)?,
+                };
+                Some(TokenPairing::Totp {
+                    totp: Totp::with_params(Secret::from_bytes(secret.clone()), params),
+                    provenance: if *hard {
+                        TotpProvenance::Hard
+                    } else {
+                        TotpProvenance::Soft
+                    },
+                    serial: serial.clone(),
+                    last_step: *last_step,
+                    drift_steps: *drift_steps,
+                })
+            }
+            PairingImage::Sms { phone, pending } => Some(TokenPairing::Sms {
+                phone: PhoneNumber::parse(phone).ok()?,
+                pending: pending.as_ref().map(|(code, sent_at, expires_at)| {
+                    PendingSmsCode {
+                        code: code.clone(),
+                        sent_at: *sent_at,
+                        expires_at: *expires_at,
+                    }
+                }),
+            }),
+            PairingImage::Static { code } => {
+                Some(TokenPairing::Static { code: code.clone() })
+            }
+        }
+    }
+}
+
+/// One logged state mutation. Replaying the records of a clean WAL in
+/// order over the snapshot reproduces the pre-crash store and audit log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A pairing was enrolled or replaced (fail state resets).
+    Enroll {
+        /// Account.
+        user: String,
+        /// The new pairing.
+        pairing: PairingImage,
+    },
+    /// A pairing was removed.
+    Remove {
+        /// Account.
+        user: String,
+    },
+    /// Post-validation security state: replay high-water mark, failure
+    /// counter, active flag. One record per validation attempt.
+    ValState {
+        /// Account.
+        user: String,
+        /// New replay mark; `None` leaves the stored mark untouched.
+        /// Replay applies `max`, so the mark can never regress.
+        last_step: Option<u64>,
+        /// Consecutive-failure counter after the attempt.
+        fail_count: u32,
+        /// Whether the account is active after the attempt.
+        active: bool,
+    },
+    /// An admin resynchronization succeeded.
+    Resync {
+        /// Account.
+        user: String,
+        /// New drift offset in steps.
+        drift_steps: i64,
+        /// New replay mark (max-merged on replay).
+        last_step: u64,
+    },
+    /// An SMS code was issued.
+    SmsIssue {
+        /// Account.
+        user: String,
+        /// The six-digit code.
+        code: String,
+        /// Issue time.
+        sent_at: u64,
+        /// Expiry time.
+        expires_at: u64,
+    },
+    /// The outstanding SMS code was consumed or purged.
+    SmsClear {
+        /// Account.
+        user: String,
+    },
+    /// An audit-log entry.
+    Audit {
+        /// Event time.
+        at: u64,
+        /// Account.
+        user: String,
+        /// Action tag (see [`action_tag`]).
+        action: u8,
+        /// Operation success flag.
+        success: bool,
+        /// Free-form detail.
+        detail: String,
+    },
+    /// Snapshot-only: one user's full record.
+    SnapshotUser {
+        /// Account.
+        user: String,
+        /// The pairing image.
+        pairing: PairingImage,
+        /// Failure counter.
+        fail_count: u32,
+        /// Active flag.
+        active: bool,
+    },
+    /// Snapshot-only: trailing seal carrying the expected record counts —
+    /// a snapshot without a matching seal is rejected wholesale.
+    SnapshotSeal {
+        /// User records in the snapshot.
+        users: u64,
+        /// Audit records in the snapshot.
+        audits: u64,
+        /// Audit entries dropped by the retention ring before the snapshot.
+        audit_dropped: u64,
+    },
+}
+
+/// Stable tag for an [`AuditAction`].
+pub fn action_tag(action: AuditAction) -> u8 {
+    match action {
+        AuditAction::Validate => 0,
+        AuditAction::SmsTriggered => 1,
+        AuditAction::SmsSuppressed => 2,
+        AuditAction::Enroll => 3,
+        AuditAction::Remove => 4,
+        AuditAction::Resync => 5,
+        AuditAction::ResetFailCount => 6,
+        AuditAction::Lockout => 7,
+    }
+}
+
+/// Inverse of [`action_tag`].
+pub fn action_from_tag(tag: u8) -> Option<AuditAction> {
+    Some(match tag {
+        0 => AuditAction::Validate,
+        1 => AuditAction::SmsTriggered,
+        2 => AuditAction::SmsSuppressed,
+        3 => AuditAction::Enroll,
+        4 => AuditAction::Remove,
+        5 => AuditAction::Resync,
+        6 => AuditAction::ResetFailCount,
+        7 => AuditAction::Lockout,
+        _ => return None,
+    })
+}
+
+impl WalRecord {
+    /// Build the audit-record variant from a live entry.
+    pub fn audit(entry: &AuditEntry) -> Self {
+        WalRecord::Audit {
+            at: entry.at,
+            user: entry.username.clone(),
+            action: action_tag(entry.action),
+            success: entry.success,
+            detail: entry.detail.clone(),
+        }
+    }
+
+    /// Build the snapshot-user variant from a live store record.
+    pub fn snapshot_user(user: &str, rec: &UserTokenRecord) -> Self {
+        WalRecord::SnapshotUser {
+            user: user.to_string(),
+            pairing: PairingImage::of(&rec.pairing),
+            fail_count: rec.fail_count,
+            active: rec.active,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------
+
+const TAG_ENROLL: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_VALSTATE: u8 = 3;
+const TAG_RESYNC: u8 = 4;
+const TAG_SMS_ISSUE: u8 = 5;
+const TAG_SMS_CLEAR: u8 = 6;
+const TAG_AUDIT: u8 = 7;
+const TAG_SNAP_USER: u8 = 8;
+const TAG_SNAP_SEAL: u8 = 9;
+
+const PAIR_TOTP: u8 = 1;
+const PAIR_SMS: u8 = 2;
+const PAIR_STATIC: u8 = 3;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
+    match v {
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_pairing(out: &mut Vec<u8>, p: &PairingImage) {
+    match p {
+        PairingImage::Totp {
+            secret,
+            digits,
+            step_secs,
+            t0,
+            alg,
+            hard,
+            serial,
+            last_step,
+            drift_steps,
+        } => {
+            out.push(PAIR_TOTP);
+            put_bytes(out, secret);
+            put_u32(out, *digits);
+            put_u64(out, *step_secs);
+            put_u64(out, *t0);
+            put_str(out, alg);
+            out.push(u8::from(*hard));
+            put_opt_str(out, serial);
+            put_opt_u64(out, *last_step);
+            put_i64(out, *drift_steps);
+        }
+        PairingImage::Sms { phone, pending } => {
+            out.push(PAIR_SMS);
+            put_str(out, phone);
+            match pending {
+                Some((code, sent_at, expires_at)) => {
+                    out.push(1);
+                    put_str(out, code);
+                    put_u64(out, *sent_at);
+                    put_u64(out, *expires_at);
+                }
+                None => out.push(0),
+            }
+        }
+        PairingImage::Static { code } => {
+            out.push(PAIR_STATIC);
+            put_str(out, code);
+        }
+    }
+}
+
+impl WalRecord {
+    /// Encode the payload (no frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Enroll { user, pairing } => {
+                out.push(TAG_ENROLL);
+                put_str(&mut out, user);
+                put_pairing(&mut out, pairing);
+            }
+            WalRecord::Remove { user } => {
+                out.push(TAG_REMOVE);
+                put_str(&mut out, user);
+            }
+            WalRecord::ValState {
+                user,
+                last_step,
+                fail_count,
+                active,
+            } => {
+                out.push(TAG_VALSTATE);
+                put_str(&mut out, user);
+                put_opt_u64(&mut out, *last_step);
+                put_u32(&mut out, *fail_count);
+                out.push(u8::from(*active));
+            }
+            WalRecord::Resync {
+                user,
+                drift_steps,
+                last_step,
+            } => {
+                out.push(TAG_RESYNC);
+                put_str(&mut out, user);
+                put_i64(&mut out, *drift_steps);
+                put_u64(&mut out, *last_step);
+            }
+            WalRecord::SmsIssue {
+                user,
+                code,
+                sent_at,
+                expires_at,
+            } => {
+                out.push(TAG_SMS_ISSUE);
+                put_str(&mut out, user);
+                put_str(&mut out, code);
+                put_u64(&mut out, *sent_at);
+                put_u64(&mut out, *expires_at);
+            }
+            WalRecord::SmsClear { user } => {
+                out.push(TAG_SMS_CLEAR);
+                put_str(&mut out, user);
+            }
+            WalRecord::Audit {
+                at,
+                user,
+                action,
+                success,
+                detail,
+            } => {
+                out.push(TAG_AUDIT);
+                put_u64(&mut out, *at);
+                put_str(&mut out, user);
+                out.push(*action);
+                out.push(u8::from(*success));
+                put_str(&mut out, detail);
+            }
+            WalRecord::SnapshotUser {
+                user,
+                pairing,
+                fail_count,
+                active,
+            } => {
+                out.push(TAG_SNAP_USER);
+                put_str(&mut out, user);
+                put_pairing(&mut out, pairing);
+                put_u32(&mut out, *fail_count);
+                out.push(u8::from(*active));
+            }
+            WalRecord::SnapshotSeal {
+                users,
+                audits,
+                audit_dropped,
+            } => {
+                out.push(TAG_SNAP_SEAL);
+                put_u64(&mut out, *users);
+                put_u64(&mut out, *audits);
+                put_u64(&mut out, *audit_dropped);
+            }
+        }
+        out
+    }
+
+    /// Encode a full frame: header + payload.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        put_u32(&mut out, payload.len() as u32);
+        put_u32(&mut out, crc32(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over a payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        if len > MAX_RECORD_LEN as usize {
+            return None;
+        }
+        self.take(len).map(|b| b.to_vec())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
+    }
+
+    fn opt_u64(&mut self) -> Option<Option<u64>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.u64()?)),
+            _ => None,
+        }
+    }
+
+    fn opt_string(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.string()?)),
+            _ => None,
+        }
+    }
+
+    fn pairing(&mut self) -> Option<PairingImage> {
+        match self.u8()? {
+            PAIR_TOTP => Some(PairingImage::Totp {
+                secret: self.bytes()?,
+                digits: self.u32()?,
+                step_secs: self.u64()?,
+                t0: self.u64()?,
+                alg: self.string()?,
+                hard: self.bool()?,
+                serial: self.opt_string()?,
+                last_step: self.opt_u64()?,
+                drift_steps: self.i64()?,
+            }),
+            PAIR_SMS => Some(PairingImage::Sms {
+                phone: self.string()?,
+                pending: match self.u8()? {
+                    0 => None,
+                    1 => Some((self.string()?, self.u64()?, self.u64()?)),
+                    _ => return None,
+                },
+            }),
+            PAIR_STATIC => Some(PairingImage::Static {
+                code: self.string()?,
+            }),
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+impl WalRecord {
+    /// Decode one payload. `None` on any malformation; never panics.
+    pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8()? {
+            TAG_ENROLL => WalRecord::Enroll {
+                user: r.string()?,
+                pairing: r.pairing()?,
+            },
+            TAG_REMOVE => WalRecord::Remove { user: r.string()? },
+            TAG_VALSTATE => WalRecord::ValState {
+                user: r.string()?,
+                last_step: r.opt_u64()?,
+                fail_count: r.u32()?,
+                active: r.bool()?,
+            },
+            TAG_RESYNC => WalRecord::Resync {
+                user: r.string()?,
+                drift_steps: r.i64()?,
+                last_step: r.u64()?,
+            },
+            TAG_SMS_ISSUE => WalRecord::SmsIssue {
+                user: r.string()?,
+                code: r.string()?,
+                sent_at: r.u64()?,
+                expires_at: r.u64()?,
+            },
+            TAG_SMS_CLEAR => WalRecord::SmsClear { user: r.string()? },
+            TAG_AUDIT => WalRecord::Audit {
+                at: r.u64()?,
+                user: r.string()?,
+                action: {
+                    let tag = r.u8()?;
+                    action_from_tag(tag)?;
+                    tag
+                },
+                success: r.bool()?,
+                detail: r.string()?,
+            },
+            TAG_SNAP_USER => WalRecord::SnapshotUser {
+                user: r.string()?,
+                pairing: r.pairing()?,
+                fail_count: r.u32()?,
+                active: r.bool()?,
+            },
+            TAG_SNAP_SEAL => WalRecord::SnapshotSeal {
+                users: r.u64()?,
+                audits: r.u64()?,
+                audit_dropped: r.u64()?,
+            },
+            _ => return None,
+        };
+        if !r.done() {
+            return None; // trailing garbage inside a checksummed frame
+        }
+        Some(rec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream decoding
+// ---------------------------------------------------------------------
+
+/// How the end of a WAL byte stream looked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The stream ended exactly on a frame boundary.
+    Clean,
+    /// The final frame was cut short (crash mid-append). `offset` is where
+    /// the valid prefix ends.
+    Torn {
+        /// Byte offset of the start of the torn frame.
+        offset: usize,
+    },
+    /// A frame failed its checksum or payload parse. `offset` is where the
+    /// valid prefix ends.
+    Corrupt {
+        /// Byte offset of the start of the corrupt frame.
+        offset: usize,
+    },
+}
+
+impl WalTail {
+    /// The byte length of the valid prefix for a stream of `total` bytes.
+    pub fn valid_len(self, total: usize) -> usize {
+        match self {
+            WalTail::Clean => total,
+            WalTail::Torn { offset } | WalTail::Corrupt { offset } => offset,
+        }
+    }
+}
+
+/// Decode every clean frame from `bytes`. Stops at the first torn or
+/// corrupt frame; never panics, whatever the input.
+pub fn decode_stream(bytes: &[u8]) -> (Vec<WalRecord>, WalTail) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < FRAME_HEADER_LEN {
+            return (records, WalTail::Torn { offset: pos });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            return (records, WalTail::Corrupt { offset: pos });
+        }
+        let body_start = pos + FRAME_HEADER_LEN;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            return (records, WalTail::Torn { offset: pos });
+        }
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            return (records, WalTail::Corrupt { offset: pos });
+        }
+        match WalRecord::decode_payload(payload) {
+            Some(rec) => records.push(rec),
+            None => return (records, WalTail::Corrupt { offset: pos }),
+        }
+        pos = body_end;
+    }
+    (records, WalTail::Clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Enroll {
+                user: "alice".into(),
+                pairing: PairingImage::Totp {
+                    secret: b"12345678901234567890".to_vec(),
+                    digits: 6,
+                    step_secs: 30,
+                    t0: 0,
+                    alg: "SHA1".into(),
+                    hard: false,
+                    serial: None,
+                    last_step: None,
+                    drift_steps: 0,
+                },
+            },
+            WalRecord::ValState {
+                user: "alice".into(),
+                last_step: Some(49_166_666),
+                fail_count: 0,
+                active: true,
+            },
+            WalRecord::SmsIssue {
+                user: "bob".into(),
+                code: "123456".into(),
+                sent_at: 100,
+                expires_at: 400,
+            },
+            WalRecord::SmsClear { user: "bob".into() },
+            WalRecord::Audit {
+                at: 100,
+                user: "alice".into(),
+                action: action_tag(AuditAction::Validate),
+                success: true,
+                detail: "ok".into(),
+            },
+            WalRecord::Resync {
+                user: "carol".into(),
+                drift_steps: -240,
+                last_step: 10,
+            },
+            WalRecord::Remove { user: "dave".into() },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" -> 0xCBF43926 (the canonical IEEE check value).
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut stream = Vec::new();
+        let records = sample_records();
+        for r in &records {
+            stream.extend_from_slice(&r.encode_frame());
+        }
+        let (decoded, tail) = decode_stream(&stream);
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix() {
+        let records = sample_records();
+        let mut stream = Vec::new();
+        for r in &records {
+            stream.extend_from_slice(&r.encode_frame());
+        }
+        let boundary = records[0].encode_frame().len() + records[1].encode_frame().len();
+        // Cut mid-way through the third frame.
+        let cut = boundary + 3;
+        let (decoded, tail) = decode_stream(&stream[..cut]);
+        assert_eq!(decoded, records[..2].to_vec());
+        assert_eq!(tail, WalTail::Torn { offset: boundary });
+        assert_eq!(tail.valid_len(cut), boundary);
+    }
+
+    #[test]
+    fn corrupt_frame_stops_decoding() {
+        let records = sample_records();
+        let mut stream = Vec::new();
+        for r in &records {
+            stream.extend_from_slice(&r.encode_frame());
+        }
+        let boundary = records[0].encode_frame().len();
+        // Flip a payload bit in the second frame.
+        stream[boundary + FRAME_HEADER_LEN + 2] ^= 0x10;
+        let (decoded, tail) = decode_stream(&stream);
+        assert_eq!(decoded, records[..1].to_vec());
+        assert_eq!(tail, WalTail::Corrupt { offset: boundary });
+    }
+
+    #[test]
+    fn absurd_length_is_corruption_not_allocation() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend_from_slice(&0u32.to_le_bytes());
+        stream.extend_from_slice(&[0u8; 64]);
+        let (decoded, tail) = decode_stream(&stream);
+        assert!(decoded.is_empty());
+        assert_eq!(tail, WalTail::Corrupt { offset: 0 });
+    }
+
+    #[test]
+    fn pairing_images_restore() {
+        let sms = PairingImage::Sms {
+            phone: "5125551234".into(),
+            pending: Some(("111111".into(), 5, 305)),
+        };
+        let restored = sms.restore().unwrap();
+        let TokenPairing::Sms { phone, pending } = restored else {
+            panic!("wrong variant");
+        };
+        assert_eq!(phone.as_str(), "5125551234");
+        assert_eq!(pending.unwrap().code, "111111");
+
+        let bad_alg = PairingImage::Totp {
+            secret: vec![1; 20],
+            digits: 6,
+            step_secs: 30,
+            t0: 0,
+            alg: "SHA3".into(),
+            hard: false,
+            serial: None,
+            last_step: None,
+            drift_steps: 0,
+        };
+        assert!(bad_alg.restore().is_none());
+    }
+
+    #[test]
+    fn audit_tags_round_trip() {
+        for action in [
+            AuditAction::Validate,
+            AuditAction::SmsTriggered,
+            AuditAction::SmsSuppressed,
+            AuditAction::Enroll,
+            AuditAction::Remove,
+            AuditAction::Resync,
+            AuditAction::ResetFailCount,
+            AuditAction::Lockout,
+        ] {
+            assert_eq!(action_from_tag(action_tag(action)), Some(action));
+        }
+        assert_eq!(action_from_tag(200), None);
+    }
+}

@@ -93,7 +93,7 @@ impl Handler for OtpRadiusHandler {
                 // pairing are prompted too (the "full" enforcement mode
                 // prompts regardless, §3.4) and will fail validation.
                 SmsTrigger::NotSmsUser | SmsTrigger::NoToken => self.challenge(TOKEN_PROMPT),
-                SmsTrigger::Locked => Self::reject(),
+                SmsTrigger::Locked | SmsTrigger::Unavailable => Self::reject(),
             };
         }
 

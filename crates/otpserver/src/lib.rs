@@ -25,12 +25,17 @@
 
 pub mod admin;
 pub mod audit;
+pub mod durability;
 pub mod handler;
 pub mod json;
 pub mod server;
 pub mod sms;
 pub mod store;
 
+pub use durability::{
+    recover, DurabilityCounters, FileBackend, MemoryBackend, Persistence, RecoverError,
+    RecoveryReport, StorageBackend, StorageError, StorageFaultPlan,
+};
 pub use handler::OtpRadiusHandler;
 pub use server::{LinotpServer, SmsTrigger, ValidationOutcome};
 pub use sms::{SmsProvider, TwilioSim};

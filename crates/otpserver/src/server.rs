@@ -1,7 +1,20 @@
 //! The validation engine: token-code checks, replay nullification, the
 //! 20-failure lockout, SMS triggering, and admin operations.
+//!
+//! When built [`with_storage`](LinotpServer::with_storage), every
+//! security-relevant mutation appends a WAL record through the
+//! [`durability`](crate::durability) layer *before* the operation is
+//! acknowledged: an accepted code whose replay mark cannot be persisted is
+//! answered [`ValidationOutcome::Unavailable`] (deny), never `Success` —
+//! the fail-safe direction for an authentication service.
 
 use crate::audit::{AuditAction, AuditLog};
+use crate::durability::snapshot::snapshot_live;
+use crate::durability::wal::action_tag;
+use crate::durability::{
+    recover, DurabilityCounters, Persistence, RecoverError, RecoveryReport, StorageBackend,
+    WalRecord,
+};
 use crate::sms::{PhoneNumber, SmsMessage, SmsProvider};
 use crate::store::{PendingSmsCode, TokenPairing, TokenStore, TotpProvenance, UserTokenStatus};
 use crate::{DRIFT_TOLERANCE_SECS, LOCKOUT_THRESHOLD, SMS_CODE_VALIDITY_SECS};
@@ -25,6 +38,10 @@ pub enum ValidationOutcome {
     Locked,
     /// User has no pairing in the token database.
     NoToken,
+    /// The code matched but its nullification could not be made durable;
+    /// the attempt is denied rather than risk a replay window after a
+    /// crash. The submitted code is burned either way.
+    Unavailable,
 }
 
 impl ValidationOutcome {
@@ -49,6 +66,8 @@ pub enum SmsTrigger {
     NoToken,
     /// Account locked out.
     Locked,
+    /// The issued code could not be made durable; nothing was sent.
+    Unavailable,
 }
 
 /// Server tuning.
@@ -62,6 +81,11 @@ pub struct ServerConfig {
     pub sms_validity_secs: u64,
     /// Half-width of the resync search window, in time steps.
     pub resync_window_steps: u64,
+    /// Audit-log retention cap (ring semantics; oldest entries evicted).
+    pub audit_cap: usize,
+    /// WAL appends between compacting snapshots when a storage backend is
+    /// attached (0 = never compact).
+    pub snapshot_every_appends: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +95,8 @@ impl Default for ServerConfig {
             drift_tolerance_secs: DRIFT_TOLERANCE_SECS,
             sms_validity_secs: SMS_CODE_VALIDITY_SECS,
             resync_window_steps: 2_000,
+            audit_cap: crate::audit::DEFAULT_AUDIT_CAP,
+            snapshot_every_appends: 256,
         }
     }
 }
@@ -82,6 +108,8 @@ pub struct LinotpServer {
     sms: Arc<dyn SmsProvider>,
     rng: Mutex<StdRng>,
     config: ServerConfig,
+    /// WAL/snapshot pump; `None` keeps the original volatile behaviour.
+    persistence: Option<Persistence>,
 }
 
 impl LinotpServer {
@@ -94,11 +122,105 @@ impl LinotpServer {
     pub fn with_config(sms: Arc<dyn SmsProvider>, seed: u64, config: ServerConfig) -> Arc<Self> {
         Arc::new(LinotpServer {
             store: TokenStore::new(),
-            audit: AuditLog::new(),
+            audit: AuditLog::with_cap(config.audit_cap),
             sms,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             config,
+            persistence: None,
         })
+    }
+
+    /// Create a durable server: recover whatever state `backend` holds
+    /// (empty backends recover to an empty store), then persist every
+    /// mutation through it. Fails only if the snapshot is corrupt or the
+    /// backend is unreadable — a torn WAL tail recovers by truncation.
+    pub fn with_storage(
+        sms: Arc<dyn SmsProvider>,
+        seed: u64,
+        config: ServerConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Arc<Self>, RecoverError> {
+        let persistence = Persistence::new(backend, config.snapshot_every_appends);
+        let state = recover(persistence.backend())?;
+        let store = TokenStore::new();
+        store.load_all(state.users);
+        let audit = AuditLog::with_cap(config.audit_cap);
+        audit.load(state.audit_entries, state.audit_dropped);
+        persistence.note_recovery(&state.report);
+        Ok(Arc::new(LinotpServer {
+            store,
+            audit,
+            sms,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            config,
+            persistence: Some(persistence),
+        }))
+    }
+
+    /// Crash the process image and come back up from durable state:
+    /// un-synced backend bytes are lost (possibly leaving a torn tail),
+    /// the in-memory store and audit log are wiped, and `recover()`
+    /// rebuilds them from snapshot + WAL. In-place so shared handles
+    /// (RADIUS handler, admin API) survive the restart.
+    pub fn crash_and_recover(&self) -> Result<RecoveryReport, RecoverError> {
+        let Some(p) = &self.persistence else {
+            return Err(RecoverError::Storage(crate::durability::StorageError::Io(
+                "no storage backend attached".into(),
+            )));
+        };
+        p.backend().simulate_crash();
+        self.store.clear();
+        self.audit.clear();
+        let state = recover(p.backend())?;
+        self.store.load_all(state.users);
+        self.audit.load(state.audit_entries, state.audit_dropped);
+        p.note_recovery(&state.report);
+        Ok(state.report)
+    }
+
+    /// Durability counters, if a storage backend is attached.
+    pub fn durability_counters(&self) -> Option<DurabilityCounters> {
+        self.persistence.as_ref().map(|p| p.stats().counters())
+    }
+
+    /// Whether a storage backend is attached.
+    pub fn has_storage(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Append `record` if a backend is attached. Returns `false` only on a
+    /// persistence failure — the caller decides how that gates the ack.
+    fn persist(&self, record: &WalRecord) -> bool {
+        match &self.persistence {
+            Some(p) => p.append(record).is_ok(),
+            None => true,
+        }
+    }
+
+    /// Persist + record one audit event. Audit persistence failures are
+    /// counted but never gate the operation that produced the event.
+    fn audit_event(&self, at: u64, username: &str, action: AuditAction, success: bool, detail: &str) {
+        self.persist(&WalRecord::Audit {
+            at,
+            user: username.to_string(),
+            action: action_tag(action),
+            success,
+            detail: detail.to_string(),
+        });
+        self.audit.record(at, username, action, success, detail);
+    }
+
+    /// Compact if enough appends have accumulated. Called outside the
+    /// store lock (snapshotting re-reads the store). Expired SMS codes are
+    /// purged first so they never land in durable state.
+    fn maybe_compact(&self, now: u64) {
+        if let Some(p) = &self.persistence {
+            if p.wants_snapshot() {
+                self.store.purge_expired_sms(now);
+                let bytes = snapshot_live(&self.store, &self.audit);
+                let _ = p.install_snapshot(&bytes);
+            }
+        }
     }
 
     /// The token store (shared with the admin API).
@@ -125,11 +247,22 @@ impl LinotpServer {
     // Enrollment (driven by the portal through the admin API)
     // ------------------------------------------------------------------
 
+    /// Enroll `pairing`, writing the WAL record before the store mutation.
+    fn enroll_pairing(&self, username: &str, pairing: TokenPairing, now: u64, detail: &str) {
+        self.persist(&WalRecord::Enroll {
+            user: username.to_string(),
+            pairing: crate::durability::PairingImage::of(&pairing),
+        });
+        self.store.enroll(username, pairing);
+        self.audit_event(now, username, AuditAction::Enroll, true, detail);
+        self.maybe_compact(now);
+    }
+
     /// Enroll a soft token: mint a fresh secret and return it (the portal
     /// turns it into a QR code).
     pub fn enroll_soft(&self, username: &str, now: u64) -> Secret {
         let secret = Secret::generate(&mut *self.rng.lock());
-        self.store.enroll(
+        self.enroll_pairing(
             username,
             TokenPairing::Totp {
                 totp: Totp::new(secret.clone()),
@@ -138,15 +271,15 @@ impl LinotpServer {
                 last_step: None,
                 drift_steps: 0,
             },
+            now,
+            "soft",
         );
-        self.audit
-            .record(now, username, AuditAction::Enroll, true, "soft");
         secret
     }
 
     /// Enroll a hard token from the vendor seed file.
     pub fn enroll_hard(&self, username: &str, serial: &str, secret: Secret, now: u64) {
-        self.store.enroll(
+        self.enroll_pairing(
             username,
             TokenPairing::Totp {
                 totp: Totp::new(secret),
@@ -155,41 +288,46 @@ impl LinotpServer {
                 last_step: None,
                 drift_steps: 0,
             },
+            now,
+            "hard",
         );
-        self.audit
-            .record(now, username, AuditAction::Enroll, true, "hard");
     }
 
     /// Enroll an SMS token for `phone`.
     pub fn enroll_sms(&self, username: &str, phone: PhoneNumber, now: u64) {
-        self.store.enroll(
+        self.enroll_pairing(
             username,
             TokenPairing::Sms {
                 phone,
                 pending: None,
             },
+            now,
+            "sms",
         );
-        self.audit
-            .record(now, username, AuditAction::Enroll, true, "sms");
     }
 
     /// Enroll a static training code; returns the assigned code.
     pub fn enroll_static(&self, username: &str, now: u64) -> String {
         let code = format!("{:06}", self.rng.lock().random_range(0..1_000_000u32));
-        self.store.enroll(
+        self.enroll_pairing(
             username,
             TokenPairing::Static { code: code.clone() },
+            now,
+            "training",
         );
-        self.audit
-            .record(now, username, AuditAction::Enroll, true, "training");
         code
     }
 
     /// Remove a pairing.
     pub fn remove_pairing(&self, username: &str, now: u64) -> bool {
+        // A Remove record for an absent user replays as a no-op, so the
+        // append can precede the existence check.
+        self.persist(&WalRecord::Remove {
+            user: username.to_string(),
+        });
         let existed = self.store.remove(username);
-        self.audit
-            .record(now, username, AuditAction::Remove, existed, "");
+        self.audit_event(now, username, AuditAction::Remove, existed, "");
+        self.maybe_compact(now);
         existed
     }
 
@@ -200,6 +338,12 @@ impl LinotpServer {
     /// Validate `code` for `username` at `now`. Implements the full §3.1/
     /// §3.2 semantics: drift window, replay nullification, SMS expiry, the
     /// consecutive-failure lockout.
+    ///
+    /// With a storage backend attached, the post-attempt security state
+    /// (replay mark, failure counter, active flag) is appended to the WAL
+    /// *inside* the store lock — WAL order matches mutation order — and a
+    /// matching code whose record cannot be persisted is answered
+    /// [`ValidationOutcome::Unavailable`], not `Success`.
     pub fn validate(&self, username: &str, code: &str, now: u64) -> ValidationOutcome {
         let threshold = self.config.lockout_threshold;
         let drift = self.config.drift_tolerance_secs;
@@ -209,6 +353,7 @@ impl LinotpServer {
                 if !rec.active {
                     return (ValidationOutcome::Locked, false);
                 }
+                let mut purged_sms = false;
                 let outcome = match &mut rec.pairing {
                     TokenPairing::Totp {
                         totp,
@@ -231,18 +376,27 @@ impl LinotpServer {
                             None => ValidationOutcome::WrongCode,
                         }
                     }
-                    TokenPairing::Sms { pending, .. } => match pending {
-                        Some(p) if p.active(now) => {
-                            if hpcmfa_crypto::ct::ct_eq_str(&p.code, code) {
-                                // One-time: consume on success.
-                                *pending = None;
-                                ValidationOutcome::Success
-                            } else {
-                                ValidationOutcome::WrongCode
-                            }
+                    TokenPairing::Sms { pending, .. } => {
+                        // Purge an expired code on validate so it doesn't
+                        // linger in memory, snapshots, or status output.
+                        if pending.as_ref().is_some_and(|p| !p.active(now)) {
+                            *pending = None;
+                            purged_sms = true;
                         }
-                        Some(_) | None => ValidationOutcome::WrongCode,
-                    },
+                        match pending {
+                            Some(p) => {
+                                if hpcmfa_crypto::ct::ct_eq_str(&p.code, code) {
+                                    // One-time: consume on success.
+                                    *pending = None;
+                                    purged_sms = true;
+                                    ValidationOutcome::Success
+                                } else {
+                                    ValidationOutcome::WrongCode
+                                }
+                            }
+                            None => ValidationOutcome::WrongCode,
+                        }
+                    }
                     TokenPairing::Static { code: expected } => {
                         if hpcmfa_crypto::ct::ct_eq_str(expected, code) {
                             ValidationOutcome::Success
@@ -264,11 +418,44 @@ impl LinotpServer {
                     }
                     _ => {}
                 }
-                (outcome, locked_now)
+                // Persist the post-attempt state before the ack leaves the
+                // lock. A consumed or expired pending SMS code is cleared
+                // durably too.
+                if purged_sms {
+                    self.persist(&WalRecord::SmsClear {
+                        user: username.to_string(),
+                    });
+                }
+                let persisted = match outcome {
+                    ValidationOutcome::Success
+                    | ValidationOutcome::WrongCode
+                    | ValidationOutcome::Replayed => self.persist(&WalRecord::ValState {
+                        user: username.to_string(),
+                        last_step: match (&rec.pairing, outcome) {
+                            (
+                                TokenPairing::Totp { last_step, .. },
+                                ValidationOutcome::Success,
+                            ) => *last_step,
+                            _ => None,
+                        },
+                        fail_count: rec.fail_count,
+                        active: rec.active,
+                    }),
+                    _ => true,
+                };
+                // An accepted code whose nullification is not durable must
+                // not be acknowledged: after a crash the WAL would re-open
+                // its replay window. The in-memory mark stays advanced
+                // (deny-safe) and the caller sees Unavailable.
+                if outcome == ValidationOutcome::Success && !persisted {
+                    (ValidationOutcome::Unavailable, locked_now)
+                } else {
+                    (outcome, locked_now)
+                }
             })
             .unwrap_or((ValidationOutcome::NoToken, false));
 
-        self.audit.record(
+        self.audit_event(
             now,
             username,
             AuditAction::Validate,
@@ -279,12 +466,13 @@ impl LinotpServer {
                 ValidationOutcome::Replayed => "replayed code",
                 ValidationOutcome::Locked => "account locked",
                 ValidationOutcome::NoToken => "no pairing",
+                ValidationOutcome::Unavailable => "durability unavailable",
             },
         );
         if locked_now {
-            self.audit
-                .record(now, username, AuditAction::Lockout, true, "threshold reached");
+            self.audit_event(now, username, AuditAction::Lockout, true, "threshold reached");
         }
+        self.maybe_compact(now);
         outcome
     }
 
@@ -303,12 +491,24 @@ impl LinotpServer {
                         if pending.as_ref().is_some_and(|p| p.active(now)) {
                             SmsDecision::AlreadyActive
                         } else {
-                            *pending = Some(PendingSmsCode {
+                            let expires_at = now + validity;
+                            // The issue record must be durable before the
+                            // provider is handed the message.
+                            if !self.persist(&WalRecord::SmsIssue {
+                                user: username.to_string(),
                                 code: code.clone(),
                                 sent_at: now,
-                                expires_at: now + validity,
-                            });
-                            SmsDecision::Send(phone.clone())
+                                expires_at,
+                            }) {
+                                SmsDecision::Unavailable
+                            } else {
+                                *pending = Some(PendingSmsCode {
+                                    code: code.clone(),
+                                    sent_at: now,
+                                    expires_at,
+                                });
+                                SmsDecision::Send(phone.clone())
+                            }
                         }
                     }
                     _ => SmsDecision::NotSms,
@@ -316,23 +516,33 @@ impl LinotpServer {
             })
             .unwrap_or(SmsDecision::NoToken);
 
-        match decision {
+        let trigger = match decision {
             SmsDecision::Send(phone) => {
                 let body = format!("Your TACC token code is {code}");
                 let msg = self.sms.send(&phone, &body, now);
-                self.audit
-                    .record(now, username, AuditAction::SmsTriggered, true, "");
+                self.audit_event(now, username, AuditAction::SmsTriggered, true, "");
                 SmsTrigger::Sent(msg)
             }
             SmsDecision::AlreadyActive => {
-                self.audit
-                    .record(now, username, AuditAction::SmsSuppressed, true, "code active");
+                self.audit_event(now, username, AuditAction::SmsSuppressed, true, "code active");
                 SmsTrigger::AlreadyActive
             }
             SmsDecision::NotSms => SmsTrigger::NotSmsUser,
             SmsDecision::NoToken => SmsTrigger::NoToken,
             SmsDecision::Locked => SmsTrigger::Locked,
-        }
+            SmsDecision::Unavailable => {
+                self.audit_event(
+                    now,
+                    username,
+                    AuditAction::SmsTriggered,
+                    false,
+                    "durability unavailable",
+                );
+                SmsTrigger::Unavailable
+            }
+        };
+        self.maybe_compact(now);
+        trigger
     }
 
     // ------------------------------------------------------------------
@@ -344,12 +554,18 @@ impl LinotpServer {
         let ok = self
             .store
             .with_record(username, |rec| {
+                self.persist(&WalRecord::ValState {
+                    user: username.to_string(),
+                    last_step: None,
+                    fail_count: 0,
+                    active: true,
+                });
                 rec.fail_count = 0;
                 rec.active = true;
             })
             .is_some();
-        self.audit
-            .record(now, username, AuditAction::ResetFailCount, ok, "");
+        self.audit_event(now, username, AuditAction::ResetFailCount, ok, "");
+        self.maybe_compact(now);
         ok
     }
 
@@ -390,6 +606,16 @@ impl LinotpServer {
                             totp.params.alg,
                         );
                         if c2 == code2 {
+                            // The resync burns both codes (last_step lands
+                            // past them) — that must be durable before the
+                            // ack, or a crash would let them replay.
+                            if !self.persist(&WalRecord::Resync {
+                                user: username.to_string(),
+                                drift_steps: step as i64 + 1 - center as i64,
+                                last_step: step + 1,
+                            }) {
+                                return false;
+                            }
                             *drift_steps = step as i64 + 1 - center as i64;
                             *last_step = Some(step + 1);
                             rec.fail_count = 0;
@@ -401,13 +627,14 @@ impl LinotpServer {
                 false
             })
             .unwrap_or(false);
-        self.audit.record(now, username, AuditAction::Resync, ok, "");
+        self.audit_event(now, username, AuditAction::Resync, ok, "");
+        self.maybe_compact(now);
         ok
     }
 
-    /// Status for staff tooling.
-    pub fn status(&self, username: &str) -> Option<UserTokenStatus> {
-        self.store.status(username)
+    /// Status for staff tooling (purges an expired pending SMS on read).
+    pub fn status(&self, username: &str, now: u64) -> Option<UserTokenStatus> {
+        self.store.status(username, now)
     }
 }
 
@@ -417,6 +644,7 @@ enum SmsDecision {
     NotSms,
     NoToken,
     Locked,
+    Unavailable,
 }
 
 #[cfg(test)]
@@ -498,7 +726,7 @@ mod tests {
         // 20th failure trips the threshold.
         assert_eq!(srv.validate("alice", "000000", NOW + 19), ValidationOutcome::WrongCode);
         assert_eq!(srv.validate("alice", "000000", NOW + 20), ValidationOutcome::Locked);
-        assert!(!srv.status("alice").unwrap().active);
+        assert!(!srv.status("alice", NOW + 20).unwrap().active);
         assert_eq!(srv.audit().count(AuditAction::Lockout, true), 1);
     }
 
@@ -511,12 +739,12 @@ mod tests {
         }
         let code = soft_device(&secret).displayed_code(NOW + 30);
         assert!(srv.validate("alice", &code, NOW + 30).is_success());
-        assert_eq!(srv.status("alice").unwrap().fail_count, 0);
+        assert_eq!(srv.status("alice", NOW + 30).unwrap().fail_count, 0);
         // Counter starts over: 20 more failures needed to lock.
         for i in 0..19 {
             srv.validate("alice", "000000", NOW + 60 + i);
         }
-        assert!(srv.status("alice").unwrap().active);
+        assert!(srv.status("alice", NOW + 80).unwrap().active);
     }
 
     #[test]
@@ -657,6 +885,115 @@ mod tests {
         assert!(entries.iter().all(|e| !e.detail.contains(&code)));
     }
 
+    fn durable_server(backend: Arc<dyn crate::durability::StorageBackend>) -> Arc<LinotpServer> {
+        LinotpServer::with_storage(TwilioSim::new(5), 42, ServerConfig::default(), backend)
+            .expect("recovery of fresh backend")
+    }
+
+    #[test]
+    fn crash_recovery_keeps_replay_nullification() {
+        use crate::durability::MemoryBackend;
+        let backend = MemoryBackend::healthy();
+        let srv = durable_server(backend);
+        let secret = srv.enroll_soft("alice", NOW);
+        let code = soft_device(&secret).displayed_code(NOW);
+        assert!(srv.validate("alice", &code, NOW).is_success());
+        srv.crash_and_recover().unwrap();
+        // The accepted code must still be nullified after the restart.
+        assert_eq!(srv.validate("alice", &code, NOW), ValidationOutcome::Replayed);
+        // And fresh codes still work.
+        let next = soft_device(&secret).displayed_code(NOW + 30);
+        assert!(srv.validate("alice", &next, NOW + 30).is_success());
+    }
+
+    #[test]
+    fn crash_recovery_keeps_lockout() {
+        use crate::durability::MemoryBackend;
+        let backend = MemoryBackend::healthy();
+        let srv = durable_server(backend);
+        srv.enroll_soft("alice", NOW);
+        for i in 0..20 {
+            srv.validate("alice", "000000", NOW + i);
+        }
+        assert!(!srv.status("alice", NOW + 20).unwrap().active);
+        srv.crash_and_recover().unwrap();
+        assert!(
+            !srv.status("alice", NOW + 21).unwrap().active,
+            "lockout must not regress across a crash"
+        );
+        assert_eq!(srv.validate("alice", "x", NOW + 22), ValidationOutcome::Locked);
+        // Only an admin action reactivates.
+        assert!(srv.reset_failcount("alice", NOW + 30));
+        srv.crash_and_recover().unwrap();
+        assert!(srv.status("alice", NOW + 31).unwrap().active);
+    }
+
+    #[test]
+    fn fsync_failure_denies_instead_of_acking() {
+        use crate::durability::{MemoryBackend, StorageFaultPlan};
+        let plan = StorageFaultPlan::seeded(11);
+        let backend = MemoryBackend::with_plan(Arc::clone(&plan));
+        let srv = durable_server(backend);
+        let secret = srv.enroll_soft("alice", NOW);
+        let code = soft_device(&secret).displayed_code(NOW);
+        plan.set_fsync_fail_every(1);
+        assert_eq!(
+            srv.validate("alice", &code, NOW),
+            ValidationOutcome::Unavailable,
+            "a matching code must not be acked while its record is not durable"
+        );
+        let counters = srv.durability_counters().unwrap();
+        assert!(counters.fsync_failures > 0);
+        // The code is burned in memory either way — deny-safe.
+        plan.set_fsync_fail_every(0);
+        assert_ne!(srv.validate("alice", &code, NOW), ValidationOutcome::Success);
+    }
+
+    #[test]
+    fn sms_issue_not_sent_when_unpersistable() {
+        use crate::durability::{MemoryBackend, StorageFaultPlan};
+        let plan = StorageFaultPlan::seeded(11);
+        let backend = MemoryBackend::with_plan(Arc::clone(&plan));
+        let srv = durable_server(backend);
+        srv.enroll_sms("bob", PhoneNumber::parse("5125551234").unwrap(), NOW);
+        plan.set_fsync_fail_every(1);
+        assert_eq!(srv.trigger_sms("bob", NOW), SmsTrigger::Unavailable);
+        plan.set_fsync_fail_every(0);
+        assert!(matches!(srv.trigger_sms("bob", NOW + 1), SmsTrigger::Sent(_)));
+    }
+
+    #[test]
+    fn compaction_snapshots_and_resets_wal() {
+        use crate::durability::MemoryBackend;
+        let backend = MemoryBackend::healthy();
+        let config = ServerConfig {
+            snapshot_every_appends: 8,
+            ..ServerConfig::default()
+        };
+        let srv = LinotpServer::with_storage(
+            TwilioSim::new(5),
+            42,
+            config,
+            Arc::clone(&backend) as Arc<dyn crate::durability::StorageBackend>,
+        )
+        .unwrap();
+        let secret = srv.enroll_soft("alice", NOW);
+        for i in 0..10u64 {
+            let code = soft_device(&secret).displayed_code(NOW + i * 30);
+            srv.validate("alice", &code, NOW + i * 30);
+        }
+        let counters = srv.durability_counters().unwrap();
+        assert!(counters.snapshots >= 1, "compaction ran");
+        assert!(backend.durable_snapshot().is_some());
+        // Recovery from the compacted state preserves the replay mark.
+        srv.crash_and_recover().unwrap();
+        let old = soft_device(&secret).displayed_code(NOW + 9 * 30);
+        assert_eq!(
+            srv.validate("alice", &old, NOW + 9 * 30),
+            ValidationOutcome::Replayed
+        );
+    }
+
     #[test]
     fn concurrent_validation_storm() {
         let srv = server();
@@ -678,7 +1015,7 @@ mod tests {
         }
         // Every user hit the lockout threshold exactly.
         for u in 0..16 {
-            assert!(!srv.status(&format!("user{u}")).unwrap().active);
+            assert!(!srv.status(&format!("user{u}"), NOW).unwrap().active);
         }
     }
 }

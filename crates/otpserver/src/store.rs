@@ -111,6 +111,9 @@ pub struct UserTokenStatus {
     pub active: bool,
     /// Hard-token serial if applicable.
     pub serial: Option<String>,
+    /// Whether an unexpired SMS code is outstanding (always `false` for
+    /// non-SMS pairings).
+    pub sms_pending: bool,
 }
 
 /// Thread-safe token store. Clone shares state.
@@ -153,17 +156,47 @@ impl TokenStore {
         self.users.read().get(username).cloned()
     }
 
-    /// Status summary for staff tooling.
-    pub fn status(&self, username: &str) -> Option<UserTokenStatus> {
-        self.users.read().get(username).map(|r| UserTokenStatus {
-            kind: r.pairing.kind_label().to_string(),
-            fail_count: r.fail_count,
-            active: r.active,
-            serial: match &r.pairing {
-                TokenPairing::Totp { serial, .. } => serial.clone(),
-                _ => None,
-            },
+    /// Status summary for staff tooling. Takes the current time so an
+    /// expired pending SMS code is purged on read rather than lingering in
+    /// snapshots and status output.
+    pub fn status(&self, username: &str, now: u64) -> Option<UserTokenStatus> {
+        let mut users = self.users.write();
+        users.get_mut(username).map(|r| {
+            if let TokenPairing::Sms { pending, .. } = &mut r.pairing {
+                if pending.as_ref().is_some_and(|p| !p.active(now)) {
+                    *pending = None;
+                }
+            }
+            UserTokenStatus {
+                kind: r.pairing.kind_label().to_string(),
+                fail_count: r.fail_count,
+                active: r.active,
+                serial: match &r.pairing {
+                    TokenPairing::Totp { serial, .. } => serial.clone(),
+                    _ => None,
+                },
+                sms_pending: matches!(
+                    &r.pairing,
+                    TokenPairing::Sms { pending: Some(p), .. } if p.active(now)
+                ),
+            }
         })
+    }
+
+    /// Drop every expired pending SMS code in the store. Returns how many
+    /// were purged. Called before snapshotting so stale codes never land
+    /// in durable state.
+    pub fn purge_expired_sms(&self, now: u64) -> usize {
+        let mut purged = 0;
+        for rec in self.users.write().values_mut() {
+            if let TokenPairing::Sms { pending, .. } = &mut rec.pairing {
+                if pending.as_ref().is_some_and(|p| !p.active(now)) {
+                    *pending = None;
+                    purged += 1;
+                }
+            }
+        }
+        purged
     }
 
     /// Mutate a user's record under the write lock. Returns `None` if the
@@ -184,6 +217,21 @@ impl TokenStore {
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.users.read().is_empty()
+    }
+
+    /// Clone the full user map (snapshot encoding and tests).
+    pub fn export_all(&self) -> BTreeMap<String, UserTokenRecord> {
+        self.users.read().clone()
+    }
+
+    /// Replace the full user map (crash recovery).
+    pub fn load_all(&self, users: BTreeMap<String, UserTokenRecord>) {
+        *self.users.write() = users;
+    }
+
+    /// Drop every record (simulated crash wipes the in-memory image).
+    pub fn clear(&self) {
+        self.users.write().clear();
     }
 
     /// Count pairings by kind label — the Table 1 numerator.
@@ -257,11 +305,73 @@ mod tests {
                 code: "123456".into(),
             },
         );
-        assert_eq!(store.status("h").unwrap().kind, "hard");
-        assert_eq!(store.status("h").unwrap().serial.as_deref(), Some("TACC-0001"));
-        assert_eq!(store.status("s").unwrap().kind, "sms");
-        assert_eq!(store.status("t").unwrap().kind, "training");
-        assert_eq!(store.status("missing"), None);
+        assert_eq!(store.status("h", 0).unwrap().kind, "hard");
+        assert_eq!(
+            store.status("h", 0).unwrap().serial.as_deref(),
+            Some("TACC-0001")
+        );
+        assert_eq!(store.status("s", 0).unwrap().kind, "sms");
+        assert_eq!(store.status("t", 0).unwrap().kind, "training");
+        assert_eq!(store.status("missing", 0), None);
+    }
+
+    #[test]
+    fn status_purges_expired_sms_and_reports_pending() {
+        let store = TokenStore::new();
+        store.enroll(
+            "s",
+            TokenPairing::Sms {
+                phone: PhoneNumber::parse("5125551234").unwrap(),
+                pending: Some(PendingSmsCode {
+                    code: "111111".into(),
+                    sent_at: 100,
+                    expires_at: 400,
+                }),
+            },
+        );
+        assert!(store.status("s", 200).unwrap().sms_pending);
+        // After expiry the status read itself purges the stale code.
+        assert!(!store.status("s", 400).unwrap().sms_pending);
+        let rec = store.get("s").unwrap();
+        assert!(matches!(rec.pairing, TokenPairing::Sms { pending: None, .. }));
+    }
+
+    #[test]
+    fn purge_expired_sms_sweeps_store() {
+        let store = TokenStore::new();
+        for (name, expires_at) in [("a", 400u64), ("b", 900)] {
+            store.enroll(
+                name,
+                TokenPairing::Sms {
+                    phone: PhoneNumber::parse("5125551234").unwrap(),
+                    pending: Some(PendingSmsCode {
+                        code: "222222".into(),
+                        sent_at: 100,
+                        expires_at,
+                    }),
+                },
+            );
+        }
+        assert_eq!(store.purge_expired_sms(500), 1);
+        assert!(matches!(
+            store.get("a").unwrap().pairing,
+            TokenPairing::Sms { pending: None, .. }
+        ));
+        assert!(matches!(
+            store.get("b").unwrap().pairing,
+            TokenPairing::Sms { pending: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn export_load_round_trip() {
+        let store = TokenStore::new();
+        store.enroll("alice", totp_pairing(TotpProvenance::Soft));
+        let image = store.export_all();
+        store.clear();
+        assert!(store.is_empty());
+        store.load_all(image);
+        assert!(store.has_pairing("alice"));
     }
 
     #[test]

@@ -84,7 +84,7 @@ proptest! {
                     locked = true;
                 }
             }
-            let status = srv.status("u").unwrap();
+            let status = srv.status("u", t).unwrap();
             prop_assert_eq!(status.active, !locked, "attempt {}", i);
         }
     }

@@ -5,15 +5,17 @@
 //! unavailable" (§3.4). This module turns that claim into an experiment:
 //! a [`FaultScript`] replays a deterministic sequence of infrastructure
 //! faults (outages, rolling restarts, packet loss, flapping, garbled-reply
-//! storms, latency spikes) against a [`Center`] while a steady stream of
-//! real logins runs through the full sshd → PAM → RADIUS → OTP path. The
-//! run produces a [`ChaosReport`] with availability figures and the
-//! per-server health the circuit breakers accumulated.
+//! storms, latency spikes, and OTP-server crash/recover cycles) against a
+//! [`Center`] while a steady stream of real logins runs through the full
+//! sshd → PAM → RADIUS → OTP path. The run produces a [`ChaosReport`]
+//! with availability figures, the per-server health the circuit breakers
+//! accumulated, and — for durable runs — WAL replay statistics.
 //!
 //! Everything is virtual-time and seeded: the same script and seed yield
 //! byte-identical reports.
 
 use hpcmfa_core::center::{Center, CenterConfig};
+use hpcmfa_otpserver::{MemoryBackend, StorageBackend};
 use hpcmfa_pam::modules::token::EnforcementMode;
 use hpcmfa_radius::breaker::BreakerConfig;
 use hpcmfa_radius::client::{RetryPolicy, ServerHealthSnapshot};
@@ -48,6 +50,12 @@ pub enum FaultAction {
         /// Extra one-way latency, microseconds.
         extra_us: u64,
     },
+    /// Kill the center's OTP server and recover it from durable storage
+    /// mid-stream. The `server` index is ignored — the whole RADIUS fleet
+    /// shares one OTP back end. Requires a runner built with
+    /// [`ChaosParams::durable_otp`]; firing it against an in-memory-only
+    /// center is a script bug and panics.
+    OtpCrashRestart,
 }
 
 /// Apply `action` to server `server` just before login number `at_login`.
@@ -108,6 +116,20 @@ impl FaultScript {
         }
         script
     }
+
+    /// Crash-and-recover the OTP server every `every` logins over a
+    /// `logins`-long stream, starting at login `every` (never at 0, so
+    /// the first crash interrupts an in-flight stream rather than an
+    /// empty store).
+    pub fn periodic_otp_crashes(every: usize, logins: usize) -> Self {
+        let mut script = FaultScript::new();
+        let mut t = every.max(1);
+        while t < logins {
+            script = script.at(t, 0, FaultAction::OtpCrashRestart);
+            t += every.max(1);
+        }
+        script
+    }
 }
 
 /// Scenario parameters.
@@ -127,6 +149,13 @@ pub struct ChaosParams {
     pub breaker: BreakerConfig,
     /// Master seed.
     pub seed: u64,
+    /// Give the OTP server a durable (fault-injectable, in-memory)
+    /// storage backend so [`FaultAction::OtpCrashRestart`] events can
+    /// kill and recover it mid-stream.
+    pub durable_otp: bool,
+    /// Compaction cadence for the durable OTP server (appends per
+    /// snapshot). Ignored unless `durable_otp` is set.
+    pub otp_snapshot_every: u64,
 }
 
 impl Default for ChaosParams {
@@ -139,6 +168,8 @@ impl Default for ChaosParams {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             seed: 0xc4a05,
+            durable_otp: false,
+            otp_snapshot_every: 256,
         }
     }
 }
@@ -159,6 +190,13 @@ pub struct ChaosReport {
     /// Per-server health from the login node's RADIUS client: attempts,
     /// failures, breaker-skipped sends, breaker state.
     pub health: Vec<ServerHealthSnapshot>,
+    /// OTP-server crash/recover cycles the script fired.
+    pub otp_crashes: usize,
+    /// WAL records replayed across all OTP recoveries (0 without
+    /// durable storage).
+    pub otp_records_replayed: u64,
+    /// Bytes dropped truncating torn WAL tails during OTP recoveries.
+    pub otp_truncated_bytes: u64,
 }
 
 impl ChaosReport {
@@ -205,6 +243,13 @@ impl std::fmt::Display for ChaosReport {
                 h.name, h.attempts, h.successes, h.failures, h.skipped, h.breaker, h.breaker_opens,
             )?;
         }
+        if self.otp_crashes > 0 {
+            writeln!(
+                f,
+                "  otp: {} crash/recover cycles, {} WAL records replayed, {} torn-tail bytes dropped",
+                self.otp_crashes, self.otp_records_replayed, self.otp_truncated_bytes,
+            )?;
+        }
         Ok(())
     }
 }
@@ -217,6 +262,10 @@ pub struct ChaosRunner {
     /// The center under test (single login node, so the health stats have
     /// one unambiguous owner).
     pub center: Arc<Center>,
+    /// The OTP server's storage backend when built with
+    /// [`ChaosParams::durable_otp`] (inspect WAL/snapshot state or dial
+    /// in storage faults via its plan).
+    pub otp_backend: Option<Arc<MemoryBackend>>,
     params: ChaosParams,
     devices: Vec<(String, TokenFn)>,
 }
@@ -225,6 +274,7 @@ impl ChaosRunner {
     /// Stand up a full-enforcement center with `params.users` soft-token
     /// users, ready to take a login stream.
     pub fn new(params: ChaosParams) -> Self {
+        let otp_backend = params.durable_otp.then(MemoryBackend::healthy);
         let center = Center::new(CenterConfig {
             radius_servers: params.radius_servers,
             login_nodes: vec!["login1".into()],
@@ -232,6 +282,10 @@ impl ChaosRunner {
             seed: params.seed,
             retry: params.retry.clone(),
             breaker: params.breaker,
+            otp_storage: otp_backend
+                .as_ref()
+                .map(|b| Arc::clone(b) as Arc<dyn StorageBackend>),
+            otp_snapshot_every: params.otp_snapshot_every,
             ..CenterConfig::default()
         });
         let mut devices = Vec::new();
@@ -246,12 +300,19 @@ impl ChaosRunner {
         }
         ChaosRunner {
             center,
+            otp_backend,
             params,
             devices,
         }
     }
 
     fn apply(&self, event: &FaultEvent) {
+        if event.action == FaultAction::OtpCrashRestart {
+            self.center
+                .crash_otp_server()
+                .expect("OTP server recovers from durable state");
+            return;
+        }
         let faults = &self.center.radius_faults[event.server];
         match event.action {
             FaultAction::ServerDown => faults.set_down(true),
@@ -260,6 +321,7 @@ impl ChaosRunner {
             FaultAction::GarbleStorm { one_in } => faults.set_garble_every(one_in),
             FaultAction::Flap { period } => faults.set_flap_period(period),
             FaultAction::LatencySpike { extra_us } => faults.set_extra_latency_us(extra_us),
+            FaultAction::OtpCrashRestart => unreachable!("handled above"),
         }
     }
 
@@ -272,11 +334,17 @@ impl ChaosRunner {
             eventual_failures: 0,
             redials: 0,
             health: Vec::new(),
+            otp_crashes: 0,
+            otp_records_replayed: 0,
+            otp_truncated_bytes: 0,
         };
         let source_ip = Ipv4Addr::new(70, 112, 50, 3); // external: MFA enforced
         for login in 0..self.params.logins {
             for event in script.events.iter().filter(|e| e.at_login == login) {
                 self.apply(event);
+                if event.action == FaultAction::OtpCrashRestart {
+                    report.otp_crashes += 1;
+                }
             }
             let (user, device) = &self.devices[login % self.devices.len()];
             let device = Arc::clone(device);
@@ -307,6 +375,10 @@ impl ChaosRunner {
             }
         }
         report.health = self.center.radius_health(0);
+        if let Some(counters) = self.center.linotp.durability_counters() {
+            report.otp_records_replayed = counters.records_replayed;
+            report.otp_truncated_bytes = counters.truncated_bytes;
+        }
         report
     }
 }
@@ -404,6 +476,62 @@ mod tests {
         let script = FaultScript::outage_with_loss(1, 3, 4);
         let a = ChaosRunner::new(small(30)).run(&script);
         let b = ChaosRunner::new(small(30)).run(&script);
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    fn durable(logins: usize) -> ChaosParams {
+        ChaosParams {
+            durable_otp: true,
+            otp_snapshot_every: 16,
+            ..small(logins)
+        }
+    }
+
+    #[test]
+    fn otp_crash_restart_mid_stream_keeps_full_availability() {
+        let script = FaultScript::periodic_otp_crashes(10, 40);
+        let runner = ChaosRunner::new(durable(40));
+        let report = runner.run(&script);
+        assert_eq!(report.otp_crashes, 3, "{report}");
+        assert_eq!(report.availability(), 1.0, "{report}");
+        assert!(report.otp_records_replayed > 0, "state came back from the WAL: {report}");
+    }
+
+    #[test]
+    fn otp_crashes_stack_with_radius_faults() {
+        let script = FaultScript::outage_with_loss(0, 3, 6)
+            .at(8, 0, FaultAction::OtpCrashRestart)
+            .at(16, 0, FaultAction::OtpCrashRestart);
+        let report = ChaosRunner::new(durable(30)).run(&script);
+        assert_eq!(report.otp_crashes, 2, "{report}");
+        assert_eq!(report.availability(), 1.0, "{report}");
+    }
+
+    #[test]
+    fn otp_crash_with_flaky_fsync_still_recovers() {
+        let runner = ChaosRunner::new(durable(30));
+        runner
+            .otp_backend
+            .as_ref()
+            .expect("durable runner has a backend")
+            .plan()
+            .set_fsync_fail_every(7);
+        let report = runner.run(&FaultScript::periodic_otp_crashes(10, 30));
+        assert_eq!(report.otp_crashes, 2, "{report}");
+        // A failed fsync denies that dial (fail-safe), but re-dials with a
+        // fresh code make the stream converge.
+        assert!(report.availability() >= 0.9, "{report}");
+        assert_eq!(
+            report.eventual_successes + report.eventual_failures,
+            report.logins
+        );
+    }
+
+    #[test]
+    fn durable_chaos_deterministic_given_seed() {
+        let script = FaultScript::periodic_otp_crashes(7, 30);
+        let a = ChaosRunner::new(durable(30)).run(&script);
+        let b = ChaosRunner::new(durable(30)).run(&script);
         assert_eq!(format!("{a}"), format!("{b}"));
     }
 }

@@ -76,7 +76,7 @@ fn main() {
             denied += 1;
         }
     }
-    let status = center.linotp.status("bob").unwrap();
+    let status = center.linotp.status("bob", center.clock.now()).unwrap();
     println!(
         "\nafter {denied} wrong-code attempts: fail_count={}, active={}",
         status.fail_count, status.active
@@ -107,7 +107,7 @@ fn main() {
         resp.status,
         resp.body.to_string()
     );
-    let status = center.linotp.status("bob").unwrap();
+    let status = center.linotp.status("bob", center.clock.now()).unwrap();
     println!("bob active again: {}", status.active);
 
     center.clock.advance(400); // let the consumed/pending state expire

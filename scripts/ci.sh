@@ -12,6 +12,11 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q"
 cargo test -q --offline --workspace
 
+echo "==> durability acceptance + crash-point sweep"
+cargo test -q --offline --test durability
+cargo test -q --offline -p hpcmfa-otpserver --test crash_sweep
+cargo test -q --offline -p hpcmfa-otpserver --test wal_proptests
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace -- -D warnings
 

@@ -170,7 +170,7 @@ fn lockout_threshold_through_the_full_stack() {
         c.clock.advance(3);
         assert!(!c.ssh(0, &attacker).granted);
     }
-    assert!(!c.linotp.status("victim").unwrap().active);
+    assert!(!c.linotp.status("victim", c.clock.now()).unwrap().active);
 
     // Even the legitimate device is refused while deactivated.
     c.clock.advance(30);
