@@ -1,0 +1,57 @@
+//! Auth-path latency: p50/p90/p99 of the RADIUS request duration over a
+//! clean login stream, printed as ONE machine-readable JSON line so CI
+//! and scripts can diff runs (`cargo run --bin latency | jq .p99_us`).
+//!
+//! Durations come from the client's deterministic virtual clock (each
+//! attempt is charged its modeled cost: ~2 ms per healthy round trip,
+//! 1 s per timeout), so the same seed prints the same line every run.
+
+use hpcmfa_workload::chaos::{ChaosParams, ChaosRunner, FaultScript};
+
+fn main() {
+    let mut params = ChaosParams {
+        logins: 200,
+        ..ChaosParams::default()
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--logins" => {
+                params.logins = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--logins needs an integer");
+                i += 2;
+            }
+            "--seed" => {
+                params.seed = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?} (expected --logins/--seed)"),
+        }
+    }
+    eprintln!(
+        "driving {} logins through the full sshd → PAM → RADIUS → OTP path (seed {}) ...",
+        params.logins, params.seed
+    );
+    let seed = params.seed;
+    let logins = params.logins;
+    let report = ChaosRunner::new(params).run(&FaultScript::new());
+    let hist = report
+        .metrics
+        .histogram_family("hpcmfa_radius_request_duration_us");
+    println!(
+        "{{\"metric\":\"hpcmfa_radius_request_duration_us\",\"logins\":{logins},\"seed\":{seed},\
+\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{},\"mean_us\":{:.1}}}",
+        hist.count(),
+        hist.p50(),
+        hist.quantile(0.90),
+        hist.quantile(0.99),
+        hist.max(),
+        hist.mean(),
+    );
+}

@@ -23,6 +23,7 @@ use hpcmfa_ssh::authlog::AuthLog;
 use hpcmfa_ssh::client::ClientProfile;
 use hpcmfa_ssh::daemon::{SessionReport, SshDaemon};
 use hpcmfa_ssh::keys::{KeyPair, PublicKey};
+use hpcmfa_telemetry::{MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -62,6 +63,10 @@ pub struct CenterConfig {
     /// Compaction cadence for the durable OTP server: a snapshot replaces
     /// the WAL after this many appends. Ignored without `otp_storage`.
     pub otp_snapshot_every: u64,
+    /// The center-wide metrics registry. Every component — PAM stacks,
+    /// RADIUS clients, sshd instances, the OTP back end — records into
+    /// this one registry, so a single scrape sees the whole auth path.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for CenterConfig {
@@ -80,6 +85,7 @@ impl Default for CenterConfig {
             degradation: DegradationPolicy::FailClosed,
             otp_storage: None,
             otp_snapshot_every: ServerConfig::default().snapshot_every_appends,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 }
@@ -141,14 +147,20 @@ impl Center {
                 config.seed,
                 ServerConfig {
                     snapshot_every_appends: config.otp_snapshot_every,
+                    metrics: Arc::clone(&config.metrics),
                     ..ServerConfig::default()
                 },
                 Arc::clone(backend),
             )
             .expect("durable OTP state recovers at startup"),
-            None => {
-                LinotpServer::new(Arc::clone(&twilio) as Arc<dyn SmsProvider>, config.seed)
-            }
+            None => LinotpServer::with_config(
+                Arc::clone(&twilio) as Arc<dyn SmsProvider>,
+                config.seed,
+                ServerConfig {
+                    metrics: Arc::clone(&config.metrics),
+                    ..ServerConfig::default()
+                },
+            ),
         };
         let admin = AdminApi::new(Arc::clone(&linotp), "LinOTP admin area", config.seed ^ 0xadd);
         admin.add_admin("portal-svc", "portal-svc-password");
@@ -194,7 +206,11 @@ impl Center {
             let mut client_config = ClientConfig::new(config.radius_secret.clone(), name);
             client_config.retry = config.retry.clone();
             client_config.breaker = config.breaker;
-            let radius_client = Arc::new(RadiusClient::new(client_config, transports.clone()));
+            let radius_client = Arc::new(RadiusClient::with_metrics(
+                client_config,
+                transports.clone(),
+                Arc::clone(&config.metrics),
+            ));
             let token_module = TokenModule::new(
                 config.enforcement.clone(),
                 Arc::clone(&radius_client),
@@ -217,11 +233,13 @@ impl Center {
                 ExemptionModule::new(exemptions.clone()),
             );
             stack.push(ControlFlag::Required, Arc::clone(&token_module) as _);
-            let daemon = SshDaemon::new(
+            stack.set_metrics(Arc::clone(&config.metrics));
+            let daemon = SshDaemon::with_metrics(
                 name,
                 Arc::new(stack),
                 authlog,
                 Arc::clone(&clock_arc),
+                Arc::clone(&config.metrics),
             );
             nodes.push(Arc::new(LoginNode {
                 name: name.clone(),
@@ -436,6 +454,16 @@ impl Center {
     /// SSH into node `node_idx` with `profile`.
     pub fn ssh(&self, node_idx: usize, profile: &ClientProfile) -> SessionReport {
         self.nodes[node_idx].daemon.connect(profile)
+    }
+
+    /// The center-wide metrics registry shared by every component.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.config.metrics
+    }
+
+    /// A point-in-time snapshot of every metric in the center.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.config.metrics.snapshot()
     }
 
     /// An address inside the internal network (for intra-center traffic).
@@ -656,6 +684,51 @@ mod tests {
         let fresh = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
             .with_token(TokenSource::device(move |now| Some(d2.displayed_code(now))));
         assert!(c.ssh(0, &fresh).granted);
+    }
+
+    #[test]
+    fn one_login_populates_the_shared_registry_and_threads_one_trace() {
+        let c = center();
+        c.set_enforcement(EnforcementMode::Full);
+        let device = c.pair_soft("alice");
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| {
+                Some(device.displayed_code(now))
+            }));
+        let report = c.ssh(0, &profile);
+        assert!(report.granted, "prompts: {:?}", report.prompts);
+
+        // Every layer recorded into the ONE center-wide registry.
+        let snap = c.metrics_snapshot();
+        assert!(snap.counter_family("hpcmfa_ssh_sessions_total") >= 1);
+        assert!(snap.counter_family("hpcmfa_pam_stack_runs_total") >= 1);
+        assert!(snap.counter_family("hpcmfa_radius_requests_total") >= 1);
+        assert!(
+            snap.counter("hpcmfa_otp_validations_total{outcome=\"success\"}") >= 1,
+            "the OTP back end shares the registry"
+        );
+        let hist = snap.histogram_family("hpcmfa_radius_request_duration_us");
+        assert!(hist.count() >= 1, "auth-path latency histogram present");
+
+        // The session minted a trace id that reached the OTP audit log:
+        // PAM stamped it on the RADIUS wire, the back end appended it to
+        // the audit detail, and the tracer saw spans from both ends.
+        let trace = *report.trace_ids.last().expect("session minted a trace id");
+        let needle = format!("trace={trace}");
+        assert!(
+            c.linotp
+                .audit()
+                .for_user("alice")
+                .iter()
+                .any(|e| e.detail.contains(&needle)),
+            "audit rows carry the session trace id"
+        );
+        let components = c.metrics().tracer().components_for(trace);
+        assert!(
+            components.contains(&"pam".to_string())
+                && components.contains(&"otp".to_string()),
+            "spans from both ends of the path: {components:?}"
+        );
     }
 
     #[test]

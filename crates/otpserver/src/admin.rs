@@ -158,6 +158,7 @@ impl AdminApi {
             ("GET", "/admin/show") => self.admin_show(req, now),
             ("GET", "/audit/search") => self.audit_search(req),
             ("GET", "/system/durability") => self.system_durability(),
+            ("GET", "/system/metrics") => self.system_metrics(),
             _ => HttpResponse::error(404, "no such route"),
         }
     }
@@ -315,6 +316,13 @@ impl AdminApi {
             ])),
             None => HttpResponse::error(404, "no storage backend configured"),
         }
+    }
+
+    /// Prometheus text exposition of the server's telemetry registry. The
+    /// scrape body rides in `result.value` (this typed model has no raw
+    /// text/plain responses); it is valid `text/format` verbatim.
+    fn system_metrics(&self) -> HttpResponse {
+        HttpResponse::ok(Json::str(self.server.metrics().render_prometheus()))
     }
 
     fn audit_search(&self, req: &HttpRequest) -> HttpResponse {
@@ -648,6 +656,28 @@ mod tests {
         assert_eq!(entries[0].get("action").unwrap().as_str(), Some("enroll"));
         assert_eq!(entries[1].get("action").unwrap().as_str(), Some("validate"));
         assert_eq!(entries[1].get("success").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text_to_authed_admins_only() {
+        let api = api();
+        // Produce some traffic so families exist.
+        api.handle(
+            &HttpRequest::new(
+                "POST",
+                "/validate/check",
+                Json::obj([("user", Json::str("x")), ("pass", Json::str("y"))]),
+            ),
+            NOW,
+        );
+        let noauth = api.handle(&HttpRequest::new("GET", "/system/metrics", Json::Null), NOW);
+        assert_eq!(noauth.status, 401);
+        let resp = api.handle(&signed(&api, "GET", "/system/metrics", Json::Null), NOW);
+        assert!(resp.is_ok());
+        let text = resp.value().unwrap().as_str().unwrap();
+        assert!(text.contains("# TYPE hpcmfa_otp_validations_total counter"));
+        assert!(text.contains("hpcmfa_otp_validations_total{outcome=\"no_token\"} 1"));
+        assert!(text.contains("hpcmfa_otp_validate_wall_us_count 1"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub use backend::{FileBackend, MemoryBackend, StorageFaultPlan};
 pub use snapshot::{recover, RecoverError, RecoveredState, RecoveryReport};
 pub use wal::{decode_stream, PairingImage, WalRecord, WalTail};
 
+use hpcmfa_telemetry::{Counter, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -114,28 +115,33 @@ pub trait StorageBackend: Send + Sync {
 
 /// Monotonic durability counters, exposed to admins via
 /// `GET /system/durability` and asserted on by the chaos scenarios.
+///
+/// Each field is a telemetry [`Counter`]; built through
+/// [`DurabilityStats::registered`] the same instruments also surface in the
+/// shared registry's `GET /system/metrics` output under `hpcmfa_otp_wal_*`
+/// names, so the legacy JSON route and the Prometheus scrape always agree.
 #[derive(Default)]
 pub struct DurabilityStats {
     /// WAL records appended and synced.
-    pub appends: AtomicU64,
+    pub appends: Arc<Counter>,
     /// Appends the backend rejected (short write / crashed / I/O).
-    pub append_failures: AtomicU64,
+    pub append_failures: Arc<Counter>,
     /// Successful fsyncs.
-    pub fsyncs: AtomicU64,
+    pub fsyncs: Arc<Counter>,
     /// Failed fsyncs.
-    pub fsync_failures: AtomicU64,
+    pub fsync_failures: Arc<Counter>,
     /// Snapshots written (compactions).
-    pub snapshots: AtomicU64,
+    pub snapshots: Arc<Counter>,
     /// Snapshot attempts that failed.
-    pub snapshot_failures: AtomicU64,
+    pub snapshot_failures: Arc<Counter>,
     /// Recoveries performed.
-    pub recoveries: AtomicU64,
+    pub recoveries: Arc<Counter>,
     /// WAL records replayed across all recoveries.
-    pub records_replayed: AtomicU64,
+    pub records_replayed: Arc<Counter>,
     /// Recoveries that truncated a torn or corrupt tail.
-    pub tail_truncations: AtomicU64,
+    pub tail_truncations: Arc<Counter>,
     /// Bytes dropped by tail truncation across all recoveries.
-    pub truncated_bytes: AtomicU64,
+    pub truncated_bytes: Arc<Counter>,
 }
 
 /// A plain-value copy of [`DurabilityStats`] for reporting.
@@ -164,19 +170,36 @@ pub struct DurabilityCounters {
 }
 
 impl DurabilityStats {
+    /// Stats whose counters live in `metrics`, so every increment is
+    /// visible to Prometheus scrapes as well as to [`Self::counters`].
+    pub fn registered(metrics: &MetricsRegistry) -> Self {
+        DurabilityStats {
+            appends: metrics.counter("hpcmfa_otp_wal_appends_total", &[]),
+            append_failures: metrics.counter("hpcmfa_otp_wal_append_failures_total", &[]),
+            fsyncs: metrics.counter("hpcmfa_otp_wal_fsyncs_total", &[]),
+            fsync_failures: metrics.counter("hpcmfa_otp_wal_fsync_failures_total", &[]),
+            snapshots: metrics.counter("hpcmfa_otp_snapshot_writes_total", &[]),
+            snapshot_failures: metrics.counter("hpcmfa_otp_snapshot_failures_total", &[]),
+            recoveries: metrics.counter("hpcmfa_otp_recoveries_total", &[]),
+            records_replayed: metrics.counter("hpcmfa_otp_wal_records_replayed_total", &[]),
+            tail_truncations: metrics.counter("hpcmfa_otp_wal_tail_truncations_total", &[]),
+            truncated_bytes: metrics.counter("hpcmfa_otp_wal_truncated_bytes_total", &[]),
+        }
+    }
+
     /// Snapshot the counters.
     pub fn counters(&self) -> DurabilityCounters {
         DurabilityCounters {
-            appends: self.appends.load(Ordering::Relaxed),
-            append_failures: self.append_failures.load(Ordering::Relaxed),
-            fsyncs: self.fsyncs.load(Ordering::Relaxed),
-            fsync_failures: self.fsync_failures.load(Ordering::Relaxed),
-            snapshots: self.snapshots.load(Ordering::Relaxed),
-            snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
-            recoveries: self.recoveries.load(Ordering::Relaxed),
-            records_replayed: self.records_replayed.load(Ordering::Relaxed),
-            tail_truncations: self.tail_truncations.load(Ordering::Relaxed),
-            truncated_bytes: self.truncated_bytes.load(Ordering::Relaxed),
+            appends: self.appends.get(),
+            append_failures: self.append_failures.get(),
+            fsyncs: self.fsyncs.get(),
+            fsync_failures: self.fsync_failures.get(),
+            snapshots: self.snapshots.get(),
+            snapshot_failures: self.snapshot_failures.get(),
+            recoveries: self.recoveries.get(),
+            records_replayed: self.records_replayed.get(),
+            tail_truncations: self.tail_truncations.get(),
+            truncated_bytes: self.truncated_bytes.get(),
         }
     }
 }
@@ -186,6 +209,10 @@ impl DurabilityStats {
 pub struct Persistence {
     backend: Arc<dyn StorageBackend>,
     stats: DurabilityStats,
+    /// Wall-clock latency of a full durable append (encode + write + sync).
+    append_us: Arc<Histogram>,
+    /// Wall-clock latency of the fsync alone.
+    fsync_us: Arc<Histogram>,
     /// Appends between snapshots; 0 disables compaction.
     snapshot_every: u64,
     appends_since_snapshot: AtomicU64,
@@ -193,11 +220,32 @@ pub struct Persistence {
 
 impl Persistence {
     /// Pump through `backend`, compacting every `snapshot_every` appends
-    /// (0 = never).
+    /// (0 = never). Counters and latency histograms stay private to this
+    /// pump; use [`Persistence::with_metrics`] to surface them in a
+    /// registry.
     pub fn new(backend: Arc<dyn StorageBackend>, snapshot_every: u64) -> Self {
         Persistence {
             backend,
             stats: DurabilityStats::default(),
+            append_us: Arc::new(Histogram::new()),
+            fsync_us: Arc::new(Histogram::new()),
+            snapshot_every,
+            appends_since_snapshot: AtomicU64::new(0),
+        }
+    }
+
+    /// Like [`Persistence::new`], but counters and latency histograms are
+    /// registered in `metrics` (`hpcmfa_otp_wal_*`).
+    pub fn with_metrics(
+        backend: Arc<dyn StorageBackend>,
+        snapshot_every: u64,
+        metrics: &MetricsRegistry,
+    ) -> Self {
+        Persistence {
+            backend,
+            stats: DurabilityStats::registered(metrics),
+            append_us: metrics.histogram("hpcmfa_otp_wal_append_us", &[]),
+            fsync_us: metrics.histogram("hpcmfa_otp_wal_fsync_us", &[]),
             snapshot_every,
             appends_since_snapshot: AtomicU64::new(0),
         }
@@ -216,22 +264,26 @@ impl Persistence {
     /// Append one record and make it durable. The operation that produced
     /// the record must not be acknowledged until this returns `Ok`.
     pub fn append(&self, record: &WalRecord) -> Result<(), StorageError> {
+        let started = std::time::Instant::now();
         let frame = record.encode_frame();
         if let Err(e) = self.backend.append_wal(&frame) {
             self.backend.rollback_inflight();
-            self.stats.append_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.append_failures.inc();
             return Err(e);
         }
+        let sync_started = std::time::Instant::now();
         match self.backend.sync_wal() {
             Ok(()) => {
-                self.stats.appends.fetch_add(1, Ordering::Relaxed);
-                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.fsync_us.record_elapsed_us(sync_started);
+                self.append_us.record_elapsed_us(started);
+                self.stats.appends.inc();
+                self.stats.fsyncs.inc();
                 self.appends_since_snapshot.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             Err(e) => {
-                self.stats.fsync_failures.fetch_add(1, Ordering::Relaxed);
-                self.stats.append_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.fsync_failures.inc();
+                self.stats.append_failures.inc();
                 Err(e)
             }
         }
@@ -249,29 +301,25 @@ impl Persistence {
     /// compaction never loses records.
     pub fn install_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
         if let Err(e) = self.backend.write_snapshot(bytes) {
-            self.stats.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.snapshot_failures.inc();
             return Err(e);
         }
         if let Err(e) = self.backend.reset_wal() {
-            self.stats.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.snapshot_failures.inc();
             return Err(e);
         }
-        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.stats.snapshots.inc();
         self.appends_since_snapshot.store(0, Ordering::Relaxed);
         Ok(())
     }
 
     /// Record a completed recovery in the counters.
     pub fn note_recovery(&self, report: &RecoveryReport) {
-        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .records_replayed
-            .fetch_add(report.wal_records as u64, Ordering::Relaxed);
+        self.stats.recoveries.inc();
+        self.stats.records_replayed.add(report.wal_records as u64);
         if report.truncated_bytes > 0 {
-            self.stats.tail_truncations.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .truncated_bytes
-                .fetch_add(report.truncated_bytes as u64, Ordering::Relaxed);
+            self.stats.tail_truncations.inc();
+            self.stats.truncated_bytes.add(report.truncated_bytes as u64);
         }
         self.appends_since_snapshot.store(0, Ordering::Relaxed);
     }

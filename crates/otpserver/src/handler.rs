@@ -83,10 +83,13 @@ impl Handler for OtpRadiusHandler {
             return ServerDecision::Discard;
         };
         let now = self.clock.now();
+        // The login node's trace id, if the client stamped one on the wire;
+        // threads the request through the validation engine's audit rows.
+        let trace = hpcmfa_radius::tracewire::trace_id_of(request);
 
         if password.is_empty() {
             // Null request: open the challenge, texting SMS users first.
-            return match self.server.trigger_sms(username, now) {
+            return match self.server.trigger_sms_traced(username, now, trace) {
                 SmsTrigger::Sent(_) => self.challenge(SMS_SENT_MSG),
                 SmsTrigger::AlreadyActive => self.challenge(SMS_ALREADY_SENT_MSG),
                 // Soft/hard/static users just get the prompt; users with no
@@ -100,7 +103,11 @@ impl Handler for OtpRadiusHandler {
         let Ok(code) = std::str::from_utf8(password) else {
             return Self::reject();
         };
-        if self.server.validate(username, code, now).is_success() {
+        if self
+            .server
+            .validate_traced(username, code, now, trace)
+            .is_success()
+        {
             ServerDecision::Accept(vec![])
         } else {
             Self::reject()

@@ -20,6 +20,7 @@ use crate::store::{PendingSmsCode, TokenPairing, TokenStore, TotpProvenance, Use
 use crate::{DRIFT_TOLERANCE_SECS, LOCKOUT_THRESHOLD, SMS_CODE_VALIDITY_SECS};
 use hpcmfa_otp::secret::Secret;
 use hpcmfa_otp::totp::Totp;
+use hpcmfa_telemetry::{MetricsRegistry, TraceId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -86,6 +87,10 @@ pub struct ServerConfig {
     /// WAL appends between compacting snapshots when a storage backend is
     /// attached (0 = never compact).
     pub snapshot_every_appends: u64,
+    /// Telemetry registry receiving validation counters, latency
+    /// histograms, durability counters, and spans. Defaults to a private
+    /// registry; a computing center hands every component the same one.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +102,7 @@ impl Default for ServerConfig {
             resync_window_steps: 2_000,
             audit_cap: crate::audit::DEFAULT_AUDIT_CAP,
             snapshot_every_appends: 256,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 }
@@ -108,8 +114,21 @@ pub struct LinotpServer {
     sms: Arc<dyn SmsProvider>,
     rng: Mutex<StdRng>,
     config: ServerConfig,
+    /// Shared handle to `config.metrics`.
+    metrics: Arc<MetricsRegistry>,
     /// WAL/snapshot pump; `None` keeps the original volatile behaviour.
     persistence: Option<Persistence>,
+}
+
+/// Audit detail with the request's trace id appended, when one rode in on
+/// the RADIUS hop — `grep trace=<hex>` then joins the OTP audit log with
+/// the PAM and RADIUS spans of the same login.
+fn traced_detail(detail: &str, trace: Option<TraceId>) -> String {
+    match trace {
+        Some(t) if detail.is_empty() => format!("trace={t}"),
+        Some(t) => format!("{detail} trace={t}"),
+        None => detail.to_string(),
+    }
 }
 
 impl LinotpServer {
@@ -120,12 +139,14 @@ impl LinotpServer {
 
     /// Create with explicit configuration.
     pub fn with_config(sms: Arc<dyn SmsProvider>, seed: u64, config: ServerConfig) -> Arc<Self> {
+        let metrics = Arc::clone(&config.metrics);
         Arc::new(LinotpServer {
             store: TokenStore::new(),
             audit: AuditLog::with_cap(config.audit_cap),
             sms,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             config,
+            metrics,
             persistence: None,
         })
     }
@@ -140,19 +161,22 @@ impl LinotpServer {
         config: ServerConfig,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Arc<Self>, RecoverError> {
-        let persistence = Persistence::new(backend, config.snapshot_every_appends);
+        let persistence =
+            Persistence::with_metrics(backend, config.snapshot_every_appends, &config.metrics);
         let state = recover(persistence.backend())?;
         let store = TokenStore::new();
         store.load_all(state.users);
         let audit = AuditLog::with_cap(config.audit_cap);
         audit.load(state.audit_entries, state.audit_dropped);
         persistence.note_recovery(&state.report);
+        let metrics = Arc::clone(&config.metrics);
         Ok(Arc::new(LinotpServer {
             store,
             audit,
             sms,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             config,
+            metrics,
             persistence: Some(persistence),
         }))
     }
@@ -186,6 +210,12 @@ impl LinotpServer {
     /// Whether a storage backend is attached.
     pub fn has_storage(&self) -> bool {
         self.persistence.is_some()
+    }
+
+    /// The telemetry registry (shared with the admin API's
+    /// `GET /system/metrics` route).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Append `record` if a backend is attached. Returns `false` only on a
@@ -345,6 +375,20 @@ impl LinotpServer {
     /// matching code whose record cannot be persisted is answered
     /// [`ValidationOutcome::Unavailable`], not `Success`.
     pub fn validate(&self, username: &str, code: &str, now: u64) -> ValidationOutcome {
+        self.validate_traced(username, code, now, None)
+    }
+
+    /// [`LinotpServer::validate`] with an optional trace id: the outcome is
+    /// recorded as an `otp` span and the audit detail carries the id, so
+    /// one login's PAM, RADIUS, and OTP records can be joined.
+    pub fn validate_traced(
+        &self,
+        username: &str,
+        code: &str,
+        now: u64,
+        trace: Option<TraceId>,
+    ) -> ValidationOutcome {
+        let started = std::time::Instant::now();
         let threshold = self.config.lockout_threshold;
         let drift = self.config.drift_tolerance_secs;
         let (outcome, locked_now) = self
@@ -460,17 +504,46 @@ impl LinotpServer {
             username,
             AuditAction::Validate,
             outcome.is_success(),
-            match outcome {
-                ValidationOutcome::Success => "ok",
-                ValidationOutcome::WrongCode => "wrong code",
-                ValidationOutcome::Replayed => "replayed code",
-                ValidationOutcome::Locked => "account locked",
-                ValidationOutcome::NoToken => "no pairing",
-                ValidationOutcome::Unavailable => "durability unavailable",
-            },
+            &traced_detail(
+                match outcome {
+                    ValidationOutcome::Success => "ok",
+                    ValidationOutcome::WrongCode => "wrong code",
+                    ValidationOutcome::Replayed => "replayed code",
+                    ValidationOutcome::Locked => "account locked",
+                    ValidationOutcome::NoToken => "no pairing",
+                    ValidationOutcome::Unavailable => "durability unavailable",
+                },
+                trace,
+            ),
         );
         if locked_now {
-            self.audit_event(now, username, AuditAction::Lockout, true, "threshold reached");
+            self.audit_event(
+                now,
+                username,
+                AuditAction::Lockout,
+                true,
+                &traced_detail("threshold reached", trace),
+            );
+        }
+        let outcome_label = match outcome {
+            ValidationOutcome::Success => "success",
+            ValidationOutcome::WrongCode => "wrong_code",
+            ValidationOutcome::Replayed => "replayed",
+            ValidationOutcome::Locked => "locked",
+            ValidationOutcome::NoToken => "no_token",
+            ValidationOutcome::Unavailable => "unavailable",
+        };
+        self.metrics
+            .counter("hpcmfa_otp_validations_total", &[("outcome", outcome_label)])
+            .inc();
+        if locked_now {
+            self.metrics.counter("hpcmfa_otp_lockouts_total", &[]).inc();
+        }
+        self.metrics
+            .histogram("hpcmfa_otp_validate_wall_us", &[])
+            .record_elapsed_us(started);
+        if let Some(t) = trace {
+            self.metrics.tracer().span(t, "otp", "validate", outcome_label);
         }
         self.maybe_compact(now);
         outcome
@@ -478,6 +551,17 @@ impl LinotpServer {
 
     /// Trigger an SMS code for `username` (the "null request" path).
     pub fn trigger_sms(&self, username: &str, now: u64) -> SmsTrigger {
+        self.trigger_sms_traced(username, now, None)
+    }
+
+    /// [`LinotpServer::trigger_sms`] with an optional trace id carried into
+    /// the span and audit detail.
+    pub fn trigger_sms_traced(
+        &self,
+        username: &str,
+        now: u64,
+        trace: Option<TraceId>,
+    ) -> SmsTrigger {
         let validity = self.config.sms_validity_secs;
         let code = format!("{:06}", self.rng.lock().random_range(0..1_000_000u32));
         let decision = self
@@ -520,11 +604,23 @@ impl LinotpServer {
             SmsDecision::Send(phone) => {
                 let body = format!("Your TACC token code is {code}");
                 let msg = self.sms.send(&phone, &body, now);
-                self.audit_event(now, username, AuditAction::SmsTriggered, true, "");
+                self.audit_event(
+                    now,
+                    username,
+                    AuditAction::SmsTriggered,
+                    true,
+                    &traced_detail("", trace),
+                );
                 SmsTrigger::Sent(msg)
             }
             SmsDecision::AlreadyActive => {
-                self.audit_event(now, username, AuditAction::SmsSuppressed, true, "code active");
+                self.audit_event(
+                    now,
+                    username,
+                    AuditAction::SmsSuppressed,
+                    true,
+                    &traced_detail("code active", trace),
+                );
                 SmsTrigger::AlreadyActive
             }
             SmsDecision::NotSms => SmsTrigger::NotSmsUser,
@@ -536,11 +632,25 @@ impl LinotpServer {
                     username,
                     AuditAction::SmsTriggered,
                     false,
-                    "durability unavailable",
+                    &traced_detail("durability unavailable", trace),
                 );
                 SmsTrigger::Unavailable
             }
         };
+        let result_label = match &trigger {
+            SmsTrigger::Sent(_) => "sent",
+            SmsTrigger::AlreadyActive => "already_active",
+            SmsTrigger::NotSmsUser => "not_sms_user",
+            SmsTrigger::NoToken => "no_token",
+            SmsTrigger::Locked => "locked",
+            SmsTrigger::Unavailable => "unavailable",
+        };
+        self.metrics
+            .counter("hpcmfa_otp_sms_triggers_total", &[("result", result_label)])
+            .inc();
+        if let Some(t) = trace {
+            self.metrics.tracer().span(t, "otp", "sms", result_label);
+        }
         self.maybe_compact(now);
         trigger
     }
@@ -992,6 +1102,45 @@ mod tests {
             srv.validate("alice", &old, NOW + 9 * 30),
             ValidationOutcome::Replayed
         );
+    }
+
+    #[test]
+    fn traced_validation_stamps_audit_span_and_counters() {
+        let srv = server();
+        let secret = srv.enroll_soft("alice", NOW);
+        let code = soft_device(&secret).displayed_code(NOW);
+        let id = TraceId::from_u64(0xabcd);
+        assert!(srv.validate_traced("alice", &code, NOW, Some(id)).is_success());
+        // The audit row carries the trace id; joinable with PAM/RADIUS spans.
+        assert!(srv
+            .audit()
+            .for_user("alice")
+            .iter()
+            .any(|e| e.detail.contains(&format!("trace={id}"))));
+        let spans = srv.metrics().tracer().spans_for(id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].component, "otp");
+        assert_eq!(spans[0].detail, "success");
+        let snap = srv.metrics().snapshot();
+        assert_eq!(
+            snap.counter("hpcmfa_otp_validations_total{outcome=\"success\"}"),
+            1
+        );
+        assert!(snap.histogram_family("hpcmfa_otp_validate_wall_us").count() >= 1);
+    }
+
+    #[test]
+    fn durability_counters_and_registry_agree() {
+        use crate::durability::MemoryBackend;
+        let srv = durable_server(MemoryBackend::healthy());
+        srv.enroll_soft("alice", NOW);
+        srv.validate("alice", "000000", NOW);
+        let c = srv.durability_counters().unwrap();
+        assert!(c.appends > 0);
+        let snap = srv.metrics().snapshot();
+        assert_eq!(snap.counter("hpcmfa_otp_wal_appends_total"), c.appends);
+        assert_eq!(snap.counter("hpcmfa_otp_wal_fsyncs_total"), c.fsyncs);
+        assert_eq!(snap.counter("hpcmfa_otp_recoveries_total"), c.recoveries);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::conv::Conversation;
 use hpcmfa_otp::clock::Clock;
+use hpcmfa_telemetry::TraceId;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -26,6 +27,11 @@ pub struct PamContext<'a> {
     /// step-up authentication: exemption modules honour it by declining to
     /// bypass the second factor for this login.
     pub risk_step_up: bool,
+    /// Telemetry id for this login attempt, propagated through RADIUS to
+    /// the OTP server's audit log. Defaults to a freshly minted global id;
+    /// the SSH daemon overwrites it with a deterministically derived one
+    /// so simulations stay reproducible.
+    pub trace_id: TraceId,
 }
 
 impl<'a> PamContext<'a> {
@@ -44,6 +50,7 @@ impl<'a> PamContext<'a> {
             conv,
             pubkey_succeeded: false,
             risk_step_up: false,
+            trace_id: TraceId::mint(),
         }
     }
 

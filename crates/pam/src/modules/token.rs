@@ -202,7 +202,7 @@ impl TokenModule {
         let opening = {
             let mut rng = self.rng.lock();
             self.radius
-                .authenticate(&mut *rng, &ctx.username, b"", &rhost)
+                .authenticate_traced(&mut *rng, &ctx.username, b"", &rhost, Some(ctx.trace_id))
         };
         let (state, prompt_text) = match opening {
             Ok(Outcome::Challenge { state, message }) => (
@@ -226,8 +226,14 @@ impl TokenModule {
 
         let answer = {
             let mut rng = self.rng.lock();
-            self.radius
-                .respond_to_challenge(&mut *rng, &ctx.username, code.as_bytes(), &rhost, &state)
+            self.radius.respond_to_challenge_traced(
+                &mut *rng,
+                &ctx.username,
+                code.as_bytes(),
+                &rhost,
+                &state,
+                Some(ctx.trace_id),
+            )
         };
         match answer {
             Ok(Outcome::Accept { .. }) => PamResult::Success,

@@ -7,6 +7,8 @@
 //! succeeded.
 
 use crate::context::PamContext;
+use hpcmfa_telemetry::MetricsRegistry;
+use std::sync::Arc;
 
 /// A module's result for one invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,9 @@ pub struct StackEntry {
 #[derive(Default)]
 pub struct PamStack {
     entries: Vec<StackEntry>,
+    /// Optional telemetry: verdict counters and a per-login span. `None`
+    /// keeps bare test stacks free of any registry.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// A trace of one stack evaluation, for the Figure 1 walkthrough example
@@ -110,6 +115,14 @@ impl PamStack {
         self
     }
 
+    /// Attach a telemetry registry: every subsequent evaluation counts its
+    /// verdict under `hpcmfa_pam_stack_runs_total{verdict=…}` and records a
+    /// `pam` span for the context's trace id.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) -> &mut Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Number of lines.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -134,7 +147,22 @@ impl PamStack {
         self.run(ctx, Some(trace))
     }
 
-    fn run(&self, ctx: &mut PamContext<'_>, mut trace: Option<&mut Vec<StackTraceLine>>) -> PamVerdict {
+    fn run(&self, ctx: &mut PamContext<'_>, trace: Option<&mut Vec<StackTraceLine>>) -> PamVerdict {
+        let verdict = self.eval(ctx, trace);
+        if let Some(metrics) = &self.metrics {
+            let label = match verdict {
+                PamVerdict::Granted => "granted",
+                PamVerdict::Denied => "denied",
+            };
+            metrics
+                .counter("hpcmfa_pam_stack_runs_total", &[("verdict", label)])
+                .inc();
+            metrics.tracer().span(ctx.trace_id, "pam", "stack", label);
+        }
+        verdict
+    }
+
+    fn eval(&self, ctx: &mut PamContext<'_>, mut trace: Option<&mut Vec<StackTraceLine>>) -> PamVerdict {
         if self.entries.is_empty() {
             return PamVerdict::Denied;
         }
@@ -383,6 +411,33 @@ mod tests {
         s.push(ControlFlag::Optional, fixed("opt", PamResult::Success));
         s.push(ControlFlag::Required, fixed("req", PamResult::AuthErr));
         assert_eq!(run(&s), PamVerdict::Denied);
+    }
+
+    #[test]
+    fn metrics_count_verdicts_and_record_a_pam_span() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut s = PamStack::new();
+        s.push(ControlFlag::Required, fixed("a", PamResult::Success));
+        s.set_metrics(Arc::clone(&metrics));
+        let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
+        let mut ctx = PamContext::new(
+            "u",
+            Ipv4Addr::LOCALHOST,
+            Arc::new(SimClock::at(0)),
+            &mut conv,
+        );
+        assert_eq!(s.authenticate(&mut ctx), PamVerdict::Granted);
+        let id = ctx.trace_id;
+        assert_eq!(
+            metrics
+                .snapshot()
+                .counter("hpcmfa_pam_stack_runs_total{verdict=\"granted\"}"),
+            1
+        );
+        let spans = metrics.tracer().spans_for(id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].component, "pam");
+        assert_eq!(spans[0].detail, "granted");
     }
 
     #[test]

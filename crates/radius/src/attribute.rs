@@ -19,6 +19,9 @@ pub enum AttributeType {
     ReplyMessage,
     /// 24 — opaque server state for challenge–response round trips.
     State,
+    /// 26 — vendor-specific payload; this deployment uses it to carry the
+    /// request trace id across hops (see [`crate::tracewire`]).
+    VendorSpecific,
     /// 31 — the remote client address, used for exemption decisions.
     CallingStationId,
     /// 32 — NAS identifier string.
@@ -38,6 +41,7 @@ impl AttributeType {
             AttributeType::NasIpAddress => 4,
             AttributeType::ReplyMessage => 18,
             AttributeType::State => 24,
+            AttributeType::VendorSpecific => 26,
             AttributeType::CallingStationId => 31,
             AttributeType::NasIdentifier => 32,
             AttributeType::ProxyState => 33,
@@ -53,6 +57,7 @@ impl AttributeType {
             4 => AttributeType::NasIpAddress,
             18 => AttributeType::ReplyMessage,
             24 => AttributeType::State,
+            26 => AttributeType::VendorSpecific,
             31 => AttributeType::CallingStationId,
             32 => AttributeType::NasIdentifier,
             33 => AttributeType::ProxyState,
@@ -120,6 +125,7 @@ mod tests {
         assert_eq!(AttributeType::UserPassword.code(), 2);
         assert_eq!(AttributeType::ReplyMessage.code(), 18);
         assert_eq!(AttributeType::State.code(), 24);
+        assert_eq!(AttributeType::VendorSpecific.code(), 26);
         assert_eq!(AttributeType::CallingStationId.code(), 31);
         assert_eq!(AttributeType::ProxyState.code(), 33);
     }

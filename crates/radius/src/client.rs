@@ -26,7 +26,9 @@ use crate::attribute::{Attribute, AttributeType};
 use crate::auth::{hide_password, request_authenticator, verify_response};
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::packet::{Code, Packet};
+use crate::tracewire;
 use crate::transport::{Transport, TransportError};
+use hpcmfa_telemetry::{Counter, Histogram, MetricsRegistry, TraceId};
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -243,6 +245,63 @@ pub struct ServerHealthSnapshot {
     pub breaker_opens: u64,
 }
 
+/// Registry instruments resolved once at construction so the hot path
+/// records without touching the registry lock. Per-server series carry a
+/// `server` label with the transport name.
+struct ClientInstruments {
+    requests: Arc<Counter>,
+    failovers: Arc<Counter>,
+    duration_us: Arc<Histogram>,
+    outcome_accept: Arc<Counter>,
+    outcome_reject: Arc<Counter>,
+    outcome_challenge: Arc<Counter>,
+    outcome_error: Arc<Counter>,
+    err_timeout: Arc<Counter>,
+    err_unreachable: Arc<Counter>,
+    err_garbled: Arc<Counter>,
+    err_discard: Arc<Counter>,
+    per_server: Vec<ServerInstruments>,
+}
+
+/// Per-server labelled counters.
+struct ServerInstruments {
+    attempts: Arc<Counter>,
+    failures: Arc<Counter>,
+    skipped: Arc<Counter>,
+}
+
+impl ClientInstruments {
+    fn resolve(metrics: &MetricsRegistry, transports: &[Arc<dyn Transport>]) -> Self {
+        let outcome = |o: &str| metrics.counter("hpcmfa_radius_outcomes_total", &[("outcome", o)]);
+        let err = |k: &str| metrics.counter("hpcmfa_radius_transport_errors_total", &[("kind", k)]);
+        ClientInstruments {
+            requests: metrics.counter("hpcmfa_radius_requests_total", &[]),
+            failovers: metrics.counter("hpcmfa_radius_failovers_total", &[]),
+            duration_us: metrics.histogram("hpcmfa_radius_request_duration_us", &[]),
+            outcome_accept: outcome("accept"),
+            outcome_reject: outcome("reject"),
+            outcome_challenge: outcome("challenge"),
+            outcome_error: outcome("error"),
+            err_timeout: err("timeout"),
+            err_unreachable: err("unreachable"),
+            err_garbled: err("garbled"),
+            err_discard: err("discard"),
+            per_server: transports
+                .iter()
+                .map(|t| {
+                    let name = t.name();
+                    let server = [("server", name.as_str())];
+                    ServerInstruments {
+                        attempts: metrics.counter("hpcmfa_radius_attempts_total", &server),
+                        failures: metrics.counter("hpcmfa_radius_failures_total", &server),
+                        skipped: metrics.counter("hpcmfa_radius_skips_total", &server),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
 /// How one reply should steer the failover loop.
 enum Interpreted {
     /// A verified outcome: return it.
@@ -268,16 +327,31 @@ pub struct RadiusClient {
     vclock: AtomicU64,
     /// Exchange counters.
     pub stats: ClientStats,
+    /// Shared registry (also owns the request tracer).
+    metrics: Arc<MetricsRegistry>,
+    /// Hot-path instruments resolved from `metrics` at construction.
+    instruments: ClientInstruments,
 }
 
 impl RadiusClient {
-    /// Build a client over `transports`.
+    /// Build a client over `transports` with a private metrics registry.
     pub fn new(config: ClientConfig, transports: Vec<Arc<dyn Transport>>) -> Self {
+        Self::with_metrics(config, transports, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Build a client that records into a shared `metrics` registry (the
+    /// `Center` passes one registry to every component on the auth path).
+    pub fn with_metrics(
+        config: ClientConfig,
+        transports: Vec<Arc<dyn Transport>>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         let breakers = transports
             .iter()
             .map(|_| CircuitBreaker::new(config.breaker))
             .collect();
         let health = transports.iter().map(|_| ServerHealth::default()).collect();
+        let instruments = ClientInstruments::resolve(&metrics, &transports);
         RadiusClient {
             config,
             transports,
@@ -287,7 +361,14 @@ impl RadiusClient {
             identifier: AtomicUsize::new(0),
             vclock: AtomicU64::new(0),
             stats: ClientStats::default(),
+            metrics,
+            instruments,
         }
+    }
+
+    /// The registry this client records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     fn next_identifier(&self) -> u8 {
@@ -331,7 +412,21 @@ impl RadiusClient {
         password: &[u8],
         calling_station: &str,
     ) -> Result<Outcome, ClientError> {
-        self.request(rng, username, password, calling_station, None)
+        self.request(rng, username, password, calling_station, None, None)
+    }
+
+    /// [`authenticate`](Self::authenticate) carrying a trace id: the id is
+    /// encoded as a vendor attribute on the wire and a `radius.client`
+    /// span is recorded.
+    pub fn authenticate_traced<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        password: &[u8],
+        calling_station: &str,
+        trace: Option<TraceId>,
+    ) -> Result<Outcome, ClientError> {
+        self.request(rng, username, password, calling_station, None, trace)
     }
 
     /// Continue a challenge with the user's answer and the echoed state.
@@ -343,9 +438,28 @@ impl RadiusClient {
         calling_station: &str,
         state: &[u8],
     ) -> Result<Outcome, ClientError> {
-        self.request(rng, username, answer, calling_station, Some(state))
+        self.request(rng, username, answer, calling_station, Some(state), None)
     }
 
+    /// [`respond_to_challenge`](Self::respond_to_challenge) carrying a
+    /// trace id.
+    pub fn respond_to_challenge_traced<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        answer: &[u8],
+        calling_station: &str,
+        state: &[u8],
+        trace: Option<TraceId>,
+    ) -> Result<Outcome, ClientError> {
+        self.request(rng, username, answer, calling_station, Some(state), trace)
+    }
+
+    /// Issue one request and record its telemetry: a virtual-time latency
+    /// sample (deterministic — the vclock only moves by attempt costs), an
+    /// outcome counter, and a span when traced. Under concurrent logins
+    /// the shared vclock interleaves, so per-request deltas are upper
+    /// bounds; single-threaded simulations get exact figures.
     fn request<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,
@@ -353,11 +467,56 @@ impl RadiusClient {
         password: &[u8],
         calling_station: &str,
         state: Option<&[u8]>,
+        trace: Option<TraceId>,
+    ) -> Result<Outcome, ClientError> {
+        let t0 = self.vclock_us();
+        let result = self.walk_pool(rng, username, password, calling_station, state, trace);
+        self.instruments
+            .duration_us
+            .record(self.vclock_us().saturating_sub(t0));
+        let outcome = match &result {
+            Ok(Outcome::Accept { .. }) => {
+                self.instruments.outcome_accept.inc();
+                "accept"
+            }
+            Ok(Outcome::Reject { .. }) => {
+                self.instruments.outcome_reject.inc();
+                "reject"
+            }
+            Ok(Outcome::Challenge { .. }) => {
+                self.instruments.outcome_challenge.inc();
+                "challenge"
+            }
+            Err(_) => {
+                self.instruments.outcome_error.inc();
+                "error"
+            }
+        };
+        if let Some(t) = trace {
+            let label = if state.is_some() {
+                "challenge_response"
+            } else {
+                "authenticate"
+            };
+            self.metrics.tracer().span(t, "radius.client", label, outcome);
+        }
+        result
+    }
+
+    fn walk_pool<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        password: &[u8],
+        calling_station: &str,
+        state: Option<&[u8]>,
+        trace: Option<TraceId>,
     ) -> Result<Outcome, ClientError> {
         if self.transports.is_empty() {
             return Err(ClientError::NoServers);
         }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.instruments.requests.inc();
 
         let ra = request_authenticator(rng);
         let id = self.next_identifier();
@@ -377,6 +536,9 @@ impl RadiusClient {
             ));
         if let Some(s) = state {
             packet = packet.with_attribute(Attribute::new(AttributeType::State, s.to_vec()));
+        }
+        if let Some(t) = trace {
+            packet = packet.with_attribute(tracewire::trace_attribute(t));
         }
         let wire = packet.encode();
 
@@ -398,52 +560,57 @@ impl RadiusClient {
                 if now >= deadline {
                     return Err(ClientError::AllServersFailed { attempts });
                 }
+                let breaker_before = self.breakers[idx].state();
                 if !self.breakers[idx].allow(now) {
                     self.health[idx].skipped.fetch_add(1, Ordering::Relaxed);
+                    self.instruments.per_server[idx].skipped.inc();
                     continue;
                 }
+                self.note_breaker_transition(idx, breaker_before);
                 sent_any = true;
                 attempts += 1;
                 self.stats.attempts.fetch_add(1, Ordering::Relaxed);
                 if attempts > 1 {
                     self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    self.instruments.failovers.inc();
                 }
                 self.health[idx].attempts.fetch_add(1, Ordering::Relaxed);
+                self.instruments.per_server[idx].attempts.inc();
                 match self.transports[idx].exchange(&wire) {
                     Ok(reply) => {
                         let now = self.advance(retry.rtt_cost_us);
                         match self.interpret(&reply, id, &ra) {
                             Interpreted::Done(outcome) => {
+                                let before = self.breakers[idx].state();
                                 self.breakers[idx].record_success();
+                                self.note_breaker_transition(idx, before);
                                 self.health[idx].successes.fetch_add(1, Ordering::Relaxed);
                                 return Ok(outcome);
                             }
                             Interpreted::Fatal(e) => {
                                 // The transport works; the payload is the
                                 // problem. Never mark the server dead for it.
+                                let before = self.breakers[idx].state();
                                 self.breakers[idx].record_success();
+                                self.note_breaker_transition(idx, before);
                                 return Err(e);
                             }
                             Interpreted::Discard => {
-                                self.breakers[idx].record_failure(now);
-                                self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                                self.record_failure(idx, now, &self.instruments.err_discard);
                             }
                         }
                     }
                     Err(TransportError::Timeout) | Err(TransportError::Io(_)) => {
                         let now = self.advance(retry.timeout_cost_us);
-                        self.breakers[idx].record_failure(now);
-                        self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                        self.record_failure(idx, now, &self.instruments.err_timeout);
                     }
                     Err(TransportError::Unreachable) => {
                         let now = self.advance(retry.unreachable_cost_us);
-                        self.breakers[idx].record_failure(now);
-                        self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                        self.record_failure(idx, now, &self.instruments.err_unreachable);
                     }
                     Err(TransportError::GarbledReply) => {
                         let now = self.advance(retry.rtt_cost_us);
-                        self.breakers[idx].record_failure(now);
-                        self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+                        self.record_failure(idx, now, &self.instruments.err_garbled);
                     }
                 }
             }
@@ -464,6 +631,37 @@ impl RadiusClient {
             if self.advance(delay) >= deadline {
                 return Err(ClientError::AllServersFailed { attempts });
             }
+        }
+    }
+
+    /// Count one transport-level failure against server `idx`: breaker,
+    /// health, per-server failure series and the per-kind error counter.
+    fn record_failure(&self, idx: usize, now_us: u64, kind: &Counter) {
+        let before = self.breakers[idx].state();
+        self.breakers[idx].record_failure(now_us);
+        self.note_breaker_transition(idx, before);
+        self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
+        self.instruments.per_server[idx].failures.inc();
+        kind.inc();
+    }
+
+    /// Bump the breaker-transition counter when the state moved away from
+    /// `before`. Transitions are rare, so this one registry lookup per
+    /// transition is off the hot path.
+    fn note_breaker_transition(&self, idx: usize, before: BreakerState) {
+        let after = self.breakers[idx].state();
+        if after != before {
+            let to = match after {
+                BreakerState::Closed => "closed",
+                BreakerState::Open => "open",
+                BreakerState::HalfOpen => "half_open",
+            };
+            self.metrics
+                .counter(
+                    "hpcmfa_radius_breaker_transitions_total",
+                    &[("server", &self.transports[idx].name()), ("to", to)],
+                )
+                .inc();
         }
     }
 
@@ -747,6 +945,79 @@ mod tests {
             client.next_identifier();
         }
         assert_eq!(client.next_identifier(), first);
+    }
+
+    #[test]
+    fn telemetry_counts_requests_and_latency() {
+        let (client, plans) = pool(2);
+        let mut rng = StdRng::seed_from_u64(21);
+        plans[0].set_down(true);
+        for _ in 0..4 {
+            client
+                .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+                .unwrap();
+        }
+        let snap = client.metrics().snapshot();
+        assert_eq!(snap.counter("hpcmfa_radius_requests_total"), 4);
+        assert_eq!(snap.counter("hpcmfa_radius_outcomes_total{outcome=\"accept\"}"), 4);
+        assert!(snap.counter_family("hpcmfa_radius_attempts_total") >= 4);
+        assert!(snap.counter("hpcmfa_radius_transport_errors_total{kind=\"unreachable\"}") > 0);
+        let hist = snap.histogram("hpcmfa_radius_request_duration_us").unwrap();
+        assert_eq!(hist.count(), 4);
+        // Logins that hit the dead server first charge the unreachable
+        // cost on top of the healthy round trip.
+        assert!(hist.max() >= 12_000, "unreachable cost missing: {}", hist.max());
+        assert!(hist.min() >= 2_000, "rtt cost missing: {}", hist.min());
+    }
+
+    #[test]
+    fn traced_requests_carry_the_id_and_record_spans() {
+        use hpcmfa_telemetry::trace::namespace;
+        // A handler that proves the vendor attribute reached the server.
+        let seen: Arc<parking_lot::Mutex<Vec<Option<TraceId>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Packet, _pw: Option<&[u8]>| {
+            seen2.lock().push(crate::tracewire::trace_id_of(req));
+            ServerDecision::Accept(vec![])
+        });
+        let server = Arc::new(RadiusServer::new(SECRET, handler));
+        let transport: Arc<dyn Transport> =
+            Arc::new(InMemoryTransport::new("radius0", server, FaultPlan::healthy()));
+        let client = RadiusClient::new(ClientConfig::new(SECRET, "login1"), vec![transport]);
+        let mut rng = StdRng::seed_from_u64(22);
+        let id = TraceId::derive(namespace("login1"), 0);
+        client
+            .authenticate_traced(&mut rng, "alice", b"123456", "10.0.0.1", Some(id))
+            .unwrap();
+        client
+            .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+            .unwrap();
+        assert_eq!(seen.lock().as_slice(), &[Some(id), None]);
+        let spans = client.metrics().tracer().spans_for(id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].component, "radius.client");
+        assert_eq!(spans[0].label, "authenticate");
+        assert_eq!(spans[0].detail, "accept");
+    }
+
+    #[test]
+    fn breaker_transitions_are_counted() {
+        let (client, plans) = pool(2);
+        let mut rng = StdRng::seed_from_u64(23);
+        plans[0].set_down(true);
+        for _ in 0..50 {
+            client
+                .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
+                .unwrap();
+        }
+        let snap = client.metrics().snapshot();
+        assert!(
+            snap.counter(
+                "hpcmfa_radius_breaker_transitions_total{server=\"radius0\",to=\"open\"}"
+            ) >= 1,
+            "open transition not recorded"
+        );
     }
 
     #[test]

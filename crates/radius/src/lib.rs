@@ -30,6 +30,7 @@ pub mod client;
 pub mod packet;
 pub mod proxy;
 pub mod server;
+pub mod tracewire;
 pub mod transport;
 
 pub use attribute::{Attribute, AttributeType};

@@ -12,6 +12,8 @@ use crate::client::{ClientError, Outcome, RadiusClient};
 use crate::packet::Packet;
 use crate::server::{Handler, ServerDecision};
 use crate::attribute::Attribute;
+use crate::tracewire;
+use hpcmfa_telemetry::MetricsRegistry;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,18 +31,33 @@ pub struct ProxyHandler {
     pub forwarded: AtomicU64,
     /// Upstream failures turned into local discards.
     pub upstream_failures: AtomicU64,
+    /// Shared registry; defaults to the upstream client's.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ProxyHandler {
     /// Create a proxy relaying to `upstream`. `seed` keeps simulations
-    /// deterministic.
+    /// deterministic. Metrics and spans go to the upstream client's
+    /// registry.
     pub fn new(proxy_id: &str, upstream: Arc<RadiusClient>, seed: u64) -> Self {
+        let metrics = Arc::clone(upstream.metrics());
+        Self::with_metrics(proxy_id, upstream, seed, metrics)
+    }
+
+    /// Create a proxy recording into an explicit registry.
+    pub fn with_metrics(
+        proxy_id: &str,
+        upstream: Arc<RadiusClient>,
+        seed: u64,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         ProxyHandler {
             upstream,
             proxy_id: proxy_id.to_string(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             forwarded: AtomicU64::new(0),
             upstream_failures: AtomicU64::new(0),
+            metrics,
         }
     }
 }
@@ -64,22 +81,39 @@ impl Handler for ProxyHandler {
         let state = request
             .attribute(AttributeType::State)
             .map(|a| a.value.clone());
+        // Re-forward the caller's trace id upstream so the home server's
+        // audit rows carry the id the login node minted.
+        let trace = tracewire::trace_id_of(request);
 
         self.forwarded.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .counter("hpcmfa_radius_proxy_forwarded_total", &[("proxy", &self.proxy_id)])
+            .inc();
         let mut rng = self.rng.lock();
         let result = match state {
-            Some(s) => self.upstream.respond_to_challenge(
+            Some(s) => self.upstream.respond_to_challenge_traced(
                 &mut *rng,
                 &username,
                 password,
                 &calling,
                 &s,
+                trace,
             ),
             None => self
                 .upstream
-                .authenticate(&mut *rng, &username, password, &calling),
+                .authenticate_traced(&mut *rng, &username, password, &calling, trace),
         };
         drop(rng);
+
+        if let Some(t) = trace {
+            let detail = match &result {
+                Ok(Outcome::Accept { .. }) => "accept",
+                Ok(Outcome::Reject { .. }) => "reject",
+                Ok(Outcome::Challenge { .. }) => "challenge",
+                Err(_) => "upstream_failed",
+            };
+            self.metrics.tracer().span(t, "radius.proxy", "forward", detail);
+        }
 
         match result {
             Ok(Outcome::Accept { message }) => ServerDecision::Accept(reply_attrs(message)),
@@ -93,6 +127,12 @@ impl Handler for ProxyHandler {
                 // RFC: a proxy that cannot reach its home server stays
                 // silent; the NAS will fail over to another proxy.
                 self.upstream_failures.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .counter(
+                        "hpcmfa_radius_proxy_upstream_failures_total",
+                        &[("proxy", &self.proxy_id)],
+                    )
+                    .inc();
                 ServerDecision::Discard
             }
         }
@@ -204,6 +244,51 @@ mod tests {
             .authenticate(&mut rng, "alice", b"123456", "1.2.3.4")
             .unwrap_err();
         assert!(matches!(err, ClientError::AllServersFailed { .. }));
+    }
+
+    #[test]
+    fn trace_id_survives_the_proxy_hop() {
+        use hpcmfa_telemetry::{MetricsRegistry, TraceId};
+        // Home handler that records the trace id it saw on the wire.
+        let seen: Arc<Mutex<Vec<Option<TraceId>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let home_handler: Arc<dyn Handler> = Arc::new(move |req: &Packet, _pw: Option<&[u8]>| {
+            seen2.lock().push(tracewire::trace_id_of(req));
+            ServerDecision::Accept(vec![])
+        });
+        let metrics = Arc::new(MetricsRegistry::new());
+        let home = Arc::new(RadiusServer::new(HOME_SECRET, home_handler));
+        let home_transport: Arc<dyn Transport> =
+            Arc::new(InMemoryTransport::new("home", home, FaultPlan::healthy()));
+        let upstream = Arc::new(RadiusClient::with_metrics(
+            ClientConfig::new(HOME_SECRET, "proxy1"),
+            vec![home_transport],
+            Arc::clone(&metrics),
+        ));
+        let proxy = Arc::new(ProxyHandler::new("proxy1", upstream, 99));
+        let edge = Arc::new(RadiusServer::new(EDGE_SECRET, proxy));
+        let client = RadiusClient::with_metrics(
+            ClientConfig::new(EDGE_SECRET, "login1"),
+            vec![Arc::new(InMemoryTransport::new("edge", edge, FaultPlan::healthy()))],
+            Arc::clone(&metrics),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let id = TraceId::from_u64(0xfeed);
+        let out = client
+            .authenticate_traced(&mut rng, "alice", b"123456", "1.2.3.4", Some(id))
+            .unwrap();
+        assert!(matches!(out, Outcome::Accept { .. }));
+        assert_eq!(seen.lock().as_slice(), &[Some(id)], "id did not reach home");
+        // Both client hops and the proxy hop recorded spans for one id.
+        let components = metrics.tracer().components_for(id);
+        assert_eq!(components, vec!["radius.client", "radius.proxy"]);
+        assert_eq!(metrics.tracer().spans_for(id).len(), 3);
+        assert_eq!(
+            metrics
+                .snapshot()
+                .counter("hpcmfa_radius_proxy_forwarded_total{proxy=\"proxy1\"}"),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Trace-id propagation over the RADIUS wire.
+//!
+//! The telemetry [`TraceId`] rides requests as a Vendor-Specific attribute
+//! (IANA type 26, RFC 2865 §5.26): a 4-byte vendor id, a 1-byte
+//! vendor-type, a 1-byte vendor-length, then the 8-byte big-endian id.
+//! The vendor id is 32473 — the enterprise number RFC 5612 reserves for
+//! documentation/example use, which is exactly what a reproduction
+//! deployment should squat on. Real RADIUS tooling ignores unknown VSAs,
+//! so the attribute is transparent to interoperating servers; our proxy
+//! copies it upstream so the home server's audit rows carry the same id
+//! the login node minted.
+
+use crate::attribute::{Attribute, AttributeType};
+use crate::packet::Packet;
+use hpcmfa_telemetry::TraceId;
+
+/// RFC 5612 documentation enterprise number, used as our vendor id.
+pub const TRACE_VENDOR_ID: u32 = 32473;
+
+/// Vendor-type of the trace-id sub-attribute within our vendor space.
+pub const TRACE_VENDOR_TYPE: u8 = 1;
+
+/// Encode `trace` as a Vendor-Specific attribute.
+pub fn trace_attribute(trace: TraceId) -> Attribute {
+    let mut value = Vec::with_capacity(14);
+    value.extend_from_slice(&TRACE_VENDOR_ID.to_be_bytes());
+    value.push(TRACE_VENDOR_TYPE);
+    value.push(10); // vendor-length: type + len + 8-byte id
+    value.extend_from_slice(&trace.as_u64().to_be_bytes());
+    Attribute::new(AttributeType::VendorSpecific, value)
+}
+
+/// Decode the trace id from one Vendor-Specific attribute, if it is ours.
+pub fn decode_trace(attr: &Attribute) -> Option<TraceId> {
+    if attr.ty != AttributeType::VendorSpecific || attr.value.len() != 14 {
+        return None;
+    }
+    let vendor = u32::from_be_bytes(attr.value[0..4].try_into().ok()?);
+    if vendor != TRACE_VENDOR_ID || attr.value[4] != TRACE_VENDOR_TYPE || attr.value[5] != 10 {
+        return None;
+    }
+    let id = u64::from_be_bytes(attr.value[6..14].try_into().ok()?);
+    Some(TraceId::from_u64(id))
+}
+
+/// The trace id carried by `packet`, if any (first matching VSA wins).
+pub fn trace_id_of(packet: &Packet) -> Option<TraceId> {
+    packet
+        .attributes_of(AttributeType::VendorSpecific)
+        .into_iter()
+        .find_map(decode_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Code;
+
+    #[test]
+    fn round_trip_through_attribute() {
+        let id = TraceId::from_u64(0x0123_4567_89ab_cdef);
+        let attr = trace_attribute(id);
+        assert_eq!(attr.ty, AttributeType::VendorSpecific);
+        assert_eq!(attr.value.len(), 14);
+        assert_eq!(decode_trace(&attr), Some(id));
+    }
+
+    #[test]
+    fn round_trip_through_packet_encoding() {
+        let id = TraceId::from_u64(42);
+        let pkt = Packet::new(Code::AccessRequest, 7, [0u8; 16]).with_attribute(trace_attribute(id));
+        let decoded = Packet::decode(&pkt.encode()).unwrap();
+        assert_eq!(trace_id_of(&decoded), Some(id));
+    }
+
+    #[test]
+    fn foreign_vsas_are_ignored() {
+        // Wrong vendor id.
+        let mut value = 9u32.to_be_bytes().to_vec();
+        value.push(TRACE_VENDOR_TYPE);
+        value.push(10);
+        value.extend_from_slice(&7u64.to_be_bytes());
+        let foreign = Attribute::new(AttributeType::VendorSpecific, value);
+        assert_eq!(decode_trace(&foreign), None);
+        // Truncated payload.
+        let short = Attribute::new(AttributeType::VendorSpecific, vec![1, 2, 3]);
+        assert_eq!(decode_trace(&short), None);
+        // A packet with only foreign VSAs carries no trace.
+        let pkt = Packet::new(Code::AccessRequest, 1, [0u8; 16]).with_attribute(foreign);
+        assert_eq!(trace_id_of(&pkt), None);
+        // But ours is still found after a foreign one.
+        let id = TraceId::from_u64(5);
+        let pkt = pkt.with_attribute(trace_attribute(id));
+        assert_eq!(trace_id_of(&pkt), Some(id));
+    }
+}

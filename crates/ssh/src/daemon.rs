@@ -12,8 +12,10 @@ use crate::keys::PublicKey;
 use hpcmfa_otp::clock::Clock;
 use hpcmfa_pam::conv::{ConvError, Conversation, Prompt};
 use hpcmfa_pam::stack::{PamStack, PamVerdict};
+use hpcmfa_telemetry::{trace, MetricsRegistry, TraceId};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// sshd's `MaxAuthTries`-equivalent: one initial try plus "two more times".
@@ -35,6 +37,10 @@ pub struct SessionReport {
     pub prompts: Vec<String>,
     /// The banner text presented before authentication.
     pub banner: String,
+    /// One trace id per PAM stack attempt, in order. Derived
+    /// deterministically from the daemon name and a per-daemon sequence, so
+    /// identical simulations mint identical ids.
+    pub trace_ids: Vec<TraceId>,
 }
 
 /// Bridges a [`CredentialResponder`] into a PAM [`Conversation`], recording
@@ -68,6 +74,12 @@ pub struct SshDaemon {
     authlog: AuthLog,
     clock: Arc<dyn Clock>,
     banner: RwLock<String>,
+    /// Trace-id namespace, derived from the daemon name.
+    trace_ns: u64,
+    /// Per-daemon attempt sequence feeding deterministic trace ids.
+    trace_seq: AtomicU64,
+    /// Optional telemetry registry for session counters.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl SshDaemon {
@@ -80,7 +92,24 @@ impl SshDaemon {
             authlog,
             clock,
             banner: RwLock::new(String::new()),
+            trace_ns: trace::namespace(name),
+            trace_seq: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Like [`SshDaemon::new`], additionally counting sessions and attempts
+    /// in `metrics` under `hpcmfa_ssh_*` with a `daemon` label.
+    pub fn with_metrics(
+        name: &str,
+        stack: Arc<PamStack>,
+        authlog: AuthLog,
+        clock: Arc<dyn Clock>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        let mut daemon = Self::new(name, stack, authlog, clock);
+        daemon.metrics = Some(metrics);
+        daemon
     }
 
     /// Install a public key for `user` (an `authorized_keys` line).
@@ -176,6 +205,7 @@ impl SshDaemon {
 
         let mut attempts = 0;
         let mut granted = false;
+        let mut trace_ids = Vec::new();
         while attempts < MAX_STACK_ATTEMPTS {
             attempts += 1;
             let mut ctx = hpcmfa_pam::context::PamContext::new(
@@ -185,6 +215,11 @@ impl SshDaemon {
                 &mut conv,
             );
             ctx.pubkey_succeeded = false;
+            // Replace the minted fallback with a deterministic per-daemon
+            // id so simulation output stays seed-reproducible.
+            ctx.trace_id =
+                TraceId::derive(self.trace_ns, self.trace_seq.fetch_add(1, Ordering::Relaxed));
+            trace_ids.push(ctx.trace_id);
             match self.stack.authenticate(&mut ctx) {
                 PamVerdict::Granted => {
                     granted = true;
@@ -226,6 +261,19 @@ impl SshDaemon {
             tty: request.wants_tty,
         });
 
+        if let Some(metrics) = &self.metrics {
+            let outcome = if granted { "granted" } else { "denied" };
+            metrics
+                .counter(
+                    "hpcmfa_ssh_sessions_total",
+                    &[("daemon", &self.name), ("outcome", outcome)],
+                )
+                .inc();
+            metrics
+                .counter("hpcmfa_ssh_stack_attempts_total", &[("daemon", &self.name)])
+                .add(u64::from(attempts));
+        }
+
         SessionReport {
             granted,
             attempts,
@@ -233,6 +281,7 @@ impl SshDaemon {
             mfa_prompted,
             prompts: conv.prompts,
             banner,
+            trace_ids,
         }
     }
 }
@@ -384,6 +433,43 @@ mod tests {
         let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
         let report = d.connect(&profile);
         assert!(report.banner.contains("MFA is required"));
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_per_daemon_and_counted() {
+        use hpcmfa_telemetry::MetricsRegistry;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let build = |metrics: Arc<MetricsRegistry>| {
+            let authlog = AuthLog::new();
+            let dir = directory_with("alice", "hunter2");
+            let stack = first_factor_stack(dir, authlog.clone());
+            SshDaemon::with_metrics(
+                "login1",
+                stack,
+                authlog,
+                Arc::new(SimClock::at(1_000_000)),
+                metrics,
+            )
+        };
+        let d1 = build(Arc::clone(&metrics));
+        let d2 = build(Arc::new(MetricsRegistry::new()));
+        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
+        let r1 = d1.connect(&profile);
+        let r2 = d2.connect(&profile);
+        // One attempt, one trace id, identical across identically-named
+        // daemons (seed reproducibility for simulations).
+        assert_eq!(r1.trace_ids.len(), 1);
+        assert_eq!(r1.trace_ids, r2.trace_ids);
+        // A second session on the same daemon mints a fresh id.
+        let r3 = d1.connect(&profile);
+        assert_ne!(r1.trace_ids, r3.trace_ids);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counter_family("hpcmfa_ssh_sessions_total"),
+            2,
+            "both d1 sessions counted"
+        );
+        assert_eq!(snap.counter_family("hpcmfa_ssh_stack_attempts_total"), 2);
     }
 
     #[test]

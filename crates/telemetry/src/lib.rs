@@ -1,0 +1,33 @@
+//! Telemetry for the MFA auth path: metrics and request tracing.
+//!
+//! The paper's operators ran a two-month phased rollout over ~10,000
+//! accounts and reasoned about it through LinOTP audit rows and RADIUS
+//! logs (§5, §6). This crate gives the reproduction a first-class
+//! observability layer instead:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free monotonic and signed instruments;
+//! * [`Histogram`] — a log-linear latency histogram (16 sub-buckets per
+//!   power of two, ≤ 6.25 % relative error) with p50/p90/p99/max
+//!   extraction and mergeable [`HistogramSnapshot`] shards;
+//! * [`MetricsRegistry`] — a thread-safe, label-aware registry that
+//!   renders the Prometheus text exposition format and cheap
+//!   [`MetricsSnapshot`] views for reports and tests;
+//! * [`TraceId`] / [`Tracer`] — span-based request tracing: one id minted
+//!   per login attempt in the PAM stack and propagated through the RADIUS
+//!   client/proxy (as a vendor attribute) into the OTP-server audit log,
+//!   so a single login's hops can be reconstructed end to end.
+//!
+//! The crate is deliberately dependency-free (`std` only): every consumer
+//! on the auth path (`pam`, `radius`, `otpserver`, `core`, `workload`,
+//! `bench`) links it, so it must never pull the dependency graph sideways.
+//!
+//! Metric names follow `hpcmfa_<component>_<what>_<unit>`; see DESIGN.md
+//! §9 for the full naming scheme and overhead budget.
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use trace::{SpanRecord, TraceId, Tracer};

@@ -1,0 +1,283 @@
+//! Span-based request tracing.
+//!
+//! A [`TraceId`] is minted once per login attempt (by the SSH daemon as it
+//! builds the PAM context) and carried across every hop of the auth path:
+//! the PAM token module forwards it to the RADIUS client, the client
+//! encodes it as a vendor-specific attribute on the wire, proxies copy it
+//! upstream, and the OTP server stamps it into its audit rows. Each
+//! component also drops a [`SpanRecord`] into the shared [`Tracer`], so
+//! one login's hops can be reconstructed end to end — the reproduction's
+//! stand-in for grepping LinOTP and FreeRADIUS logs by timestamp (§3.2).
+//!
+//! Ids must be *deterministic*: chaos and durability scenarios build two
+//! identical worlds in one process and demand byte-identical reports, so
+//! ids are derived from a stable namespace (hash of the daemon name) and
+//! a per-daemon sequence number rather than a process-global counter.
+//! [`TraceId::mint`] exists as a process-global fallback for contexts
+//! built outside a daemon (unit tests, ad-hoc harnesses).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Spans retained by a [`Tracer`] before the oldest are evicted.
+pub const DEFAULT_TRACER_CAP: usize = 65_536;
+
+/// SplitMix64: a full-period mixing function; distinct inputs give
+/// well-scattered outputs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A stable 64-bit namespace for [`TraceId::derive`], hashed from a
+/// component name (FNV-1a then mixed).
+pub fn namespace(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// A 64-bit request-trace identifier, rendered as 16 lowercase hex
+/// digits everywhere (display, audit details, metrics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+/// Process-global sequence for [`TraceId::mint`].
+static MINTED: AtomicU64 = AtomicU64::new(0);
+
+impl TraceId {
+    /// Wrap a raw id (e.g. decoded from the RADIUS vendor attribute).
+    pub fn from_u64(v: u64) -> Self {
+        TraceId(v)
+    }
+
+    /// The raw id (e.g. for wire encoding).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Deterministically derive the `seq`-th id in `namespace`. Identical
+    /// `(namespace, seq)` pairs always yield the same id, so two
+    /// identically-constructed simulations produce identical traces.
+    pub fn derive(namespace: u64, seq: u64) -> Self {
+        TraceId(splitmix64(namespace ^ splitmix64(seq)))
+    }
+
+    /// Mint a fresh id from a process-global sequence. Not deterministic
+    /// across differently-interleaved runs — simulation code paths use
+    /// [`TraceId::derive`] instead.
+    pub fn mint() -> Self {
+        TraceId::derive(namespace("hpcmfa.mint"), MINTED.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The 16-hex-digit rendering (same as `Display`).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the 16-hex-digit rendering back into an id.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceId({:016x})", self.0)
+    }
+}
+
+/// One hop of one traced request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request this span belongs to.
+    pub trace: TraceId,
+    /// Which component recorded it (`pam`, `radius.client`,
+    /// `radius.proxy`, `otp`).
+    pub component: String,
+    /// Short operation label (`authenticate`, `forward`, `validate`, …).
+    pub label: String,
+    /// Free-form detail (outcome, server name, attempt count; never
+    /// secrets or token codes).
+    pub detail: String,
+}
+
+struct TracerInner {
+    spans: VecDeque<SpanRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe span buffer shared by every component on the
+/// auth path (one per [`MetricsRegistry`]).
+///
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+pub struct Tracer {
+    inner: Mutex<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::with_cap(DEFAULT_TRACER_CAP)
+    }
+}
+
+impl Tracer {
+    /// New tracer with the default retention cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New tracer retaining at most `cap` spans (ring eviction).
+    pub fn with_cap(cap: usize) -> Self {
+        Tracer {
+            inner: Mutex::new(TracerInner {
+                spans: VecDeque::new(),
+                cap,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TracerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record one span for `trace`.
+    pub fn span(&self, trace: TraceId, component: &str, label: &str, detail: &str) {
+        let mut inner = self.lock();
+        if inner.cap == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        while inner.spans.len() >= inner.cap {
+            inner.spans.pop_front();
+            inner.dropped += 1;
+        }
+        inner.spans.push_back(SpanRecord {
+            trace,
+            component: component.to_string(),
+            label: label.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// All retained spans for `trace`, in recording order.
+    pub fn spans_for(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.lock().spans.iter().filter(|s| s.trace == trace).cloned().collect()
+    }
+
+    /// The distinct components that recorded spans for `trace`, sorted.
+    pub fn components_for(&self, trace: TraceId) -> Vec<String> {
+        self.lock()
+            .spans
+            .iter()
+            .filter(|s| s.trace == trace)
+            .map(|s| s.component.clone())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// The distinct trace ids with retained spans, sorted.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        self.lock()
+            .spans
+            .iter()
+            .map(|s| s.trace)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Retained span count.
+    pub fn len(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().spans.is_empty()
+    }
+
+    /// Spans evicted by the ring cap since creation.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Drop every retained span (the dropped counter is kept).
+    pub fn clear(&self) {
+        self.lock().spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic_and_scattered() {
+        let ns = namespace("login1");
+        assert_eq!(TraceId::derive(ns, 7), TraceId::derive(ns, 7));
+        assert_ne!(TraceId::derive(ns, 7), TraceId::derive(ns, 8));
+        assert_ne!(TraceId::derive(ns, 0), TraceId::derive(namespace("login2"), 0));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let id = TraceId::derive(namespace("x"), 42);
+        assert_eq!(TraceId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(id.to_hex().len(), 16);
+        assert_eq!(format!("{id}"), id.to_hex());
+        assert!(TraceId::from_hex("nope").is_none());
+        assert!(TraceId::from_hex("00112233445566778899").is_none());
+    }
+
+    #[test]
+    fn mint_yields_distinct_ids() {
+        assert_ne!(TraceId::mint(), TraceId::mint());
+    }
+
+    #[test]
+    fn tracer_records_and_queries() {
+        let t = Tracer::new();
+        let a = TraceId::from_u64(1);
+        let b = TraceId::from_u64(2);
+        t.span(a, "pam", "authenticate", "challenge");
+        t.span(a, "radius.proxy", "forward", "upstream=home");
+        t.span(a, "otp", "validate", "ok");
+        t.span(b, "pam", "authenticate", "reject");
+        assert_eq!(t.spans_for(a).len(), 3);
+        assert_eq!(t.components_for(a), vec!["otp", "pam", "radius.proxy"]);
+        assert_eq!(t.trace_ids(), vec![a, b]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn ring_cap_evicts_oldest() {
+        let t = Tracer::with_cap(2);
+        for i in 0..5 {
+            t.span(TraceId::from_u64(i), "pam", "x", "");
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.spans_for(TraceId::from_u64(0)).is_empty());
+        assert_eq!(t.spans_for(TraceId::from_u64(4)).len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the log-linear histogram: bucket boundaries tile
+//! the `u64` range, quantiles are monotone and error-bounded, and shard
+//! merging is associative (so per-server shards can be folded in any
+//! grouping and give the same report).
+
+use hpcmfa_telemetry::histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> BoxedStrategy<u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..100_000,
+        100_000u64..10_000_000_000,
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+    ]
+    .boxed()
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    fn value_lands_inside_its_bucket(v in arb_value()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        prop_assert!(v < bucket_upper_bound(i) || i == NUM_BUCKETS - 1);
+    }
+
+    fn bucket_index_is_monotone(a in arb_value(), b in arb_value()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    fn bucket_width_bounds_relative_error(v in arb_value()) {
+        prop_assume!(v >= SUB as u64);
+        prop_assume!(v < u64::MAX / 2);
+        let i = bucket_index(v);
+        let width = bucket_upper_bound(i) - bucket_lower_bound(i);
+        // Width is lower_bound / SUB rounded to a power of two: at most
+        // v / SUB.
+        prop_assert!(width <= v / SUB as u64 + 1, "v={v} width={width}");
+    }
+
+    fn quantiles_are_monotone_in_q(values in prop::collection::vec(arb_value(), 1..200)) {
+        let s = snapshot_of(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(
+                s.quantile(w[0]) <= s.quantile(w[1]),
+                "q={} gave more than q={}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    fn quantiles_stay_within_observed_range(values in prop::collection::vec(arb_value(), 1..200), q in 0.0f64..1.0) {
+        let s = snapshot_of(&values);
+        let est = s.quantile(q);
+        let max = *values.iter().max().unwrap();
+        let min = *values.iter().min().unwrap();
+        prop_assert!(est <= max);
+        // The estimate is an upper bound of some observed value, so it can
+        // never fall below the bucket floor of the minimum.
+        prop_assert!(est >= bucket_lower_bound(bucket_index(min)));
+    }
+
+    fn quantile_upper_bounds_true_rank_value(values in prop::collection::vec(0u64..1_000_000, 1..200), q in 0.0f64..1.0) {
+        let s = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = s.quantile(q);
+        prop_assert!(est >= truth, "q={q}: est {est} below true {truth}");
+        // Error is bounded by one bucket width.
+        prop_assert!(
+            est <= truth + truth / SUB as u64 + 1,
+            "q={q}: est {est} too far above true {truth}"
+        );
+    }
+
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(arb_value(), 0..60),
+        b in prop::collection::vec(arb_value(), 0..60),
+        c in prop::collection::vec(arb_value(), 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        // Identity element.
+        let mut with_empty = sa.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&with_empty, &sa);
+    }
+
+    fn merge_equals_single_shard(
+        a in prop::collection::vec(arb_value(), 0..60),
+        b in prop::collection::vec(arb_value(), 0..60),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&all));
+    }
+}

@@ -20,6 +20,7 @@ use hpcmfa_pam::modules::token::EnforcementMode;
 use hpcmfa_radius::breaker::BreakerConfig;
 use hpcmfa_radius::client::{RetryPolicy, ServerHealthSnapshot};
 use hpcmfa_ssh::client::{ClientProfile, TokenSource};
+use hpcmfa_telemetry::MetricsSnapshot;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -56,6 +57,23 @@ pub enum FaultAction {
     /// [`ChaosParams::durable_otp`]; firing it against an in-memory-only
     /// center is a script bug and panics.
     OtpCrashRestart,
+}
+
+impl FaultAction {
+    /// Stable label naming the fault family this action belongs to —
+    /// used for the report's per-kind breakdown and the
+    /// `hpcmfa_chaos_faults_total{kind=…}` counter. Clearing actions
+    /// (`ServerUp`, a zero cadence) share their family's label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultAction::ServerDown | FaultAction::ServerUp => "outage",
+            FaultAction::PacketLoss { .. } => "packet_loss",
+            FaultAction::GarbleStorm { .. } => "garble",
+            FaultAction::Flap { .. } => "flap",
+            FaultAction::LatencySpike { .. } => "latency_spike",
+            FaultAction::OtpCrashRestart => "otp_crash",
+        }
+    }
 }
 
 /// Apply `action` to server `server` just before login number `at_login`.
@@ -174,6 +192,21 @@ impl Default for ChaosParams {
     }
 }
 
+/// Outcome tallies for the logins attempted while one fault kind was
+/// active, so a mixed script can be read apart: did the garble storm or
+/// the latency spike cost the re-dials?
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultKindStats {
+    /// Logins attempted while this kind was active.
+    pub logins: usize,
+    /// Of those, granted on the first dial.
+    pub first_try_successes: usize,
+    /// Of those, granted within the re-dial budget.
+    pub eventual_successes: usize,
+    /// Re-dials spent on those logins.
+    pub redials: usize,
+}
+
 /// What a scenario run produced.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -197,6 +230,16 @@ pub struct ChaosReport {
     pub otp_records_replayed: u64,
     /// Bytes dropped truncating torn WAL tails during OTP recoveries.
     pub otp_truncated_bytes: u64,
+    /// Per-fault-kind outcome breakdown, in a fixed kind order; only
+    /// kinds that were active for at least one login appear. A login
+    /// under two concurrent kinds is counted under both.
+    pub by_fault_kind: Vec<(&'static str, FaultKindStats)>,
+    /// Point-in-time snapshot of the center-wide metrics registry taken
+    /// at the end of the run — the full auth-path counters and latency
+    /// histograms behind the availability headline. Not part of the
+    /// [`Display`](std::fmt::Display) output: wall-clock histograms
+    /// would break byte-identical reports.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ChaosReport {
@@ -248,6 +291,13 @@ impl std::fmt::Display for ChaosReport {
                 f,
                 "  otp: {} crash/recover cycles, {} WAL records replayed, {} torn-tail bytes dropped",
                 self.otp_crashes, self.otp_records_replayed, self.otp_truncated_bytes,
+            )?;
+        }
+        for (kind, s) in &self.by_fault_kind {
+            writeln!(
+                f,
+                "  fault[{kind}]: {} logins, {} first-try, {} eventual, {} re-dials",
+                s.logins, s.first_try_successes, s.eventual_successes, s.redials,
             )?;
         }
         Ok(())
@@ -327,6 +377,15 @@ impl ChaosRunner {
 
     /// Replay `script` under a steady login stream and report.
     pub fn run(self, script: &FaultScript) -> ChaosReport {
+        // The per-kind breakdown's fixed presentation order.
+        const KIND_ORDER: [&str; 6] = [
+            "outage",
+            "packet_loss",
+            "garble",
+            "flap",
+            "latency_spike",
+            "otp_crash",
+        ];
         let mut report = ChaosReport {
             logins: self.params.logins,
             first_try_successes: 0,
@@ -337,48 +396,105 @@ impl ChaosRunner {
             otp_crashes: 0,
             otp_records_replayed: 0,
             otp_truncated_bytes: 0,
+            by_fault_kind: Vec::new(),
+            metrics: MetricsSnapshot::default(),
         };
+        // Mirror of each server's fault plane, so every login can be
+        // attributed to the fault kinds active while it dialed.
+        let n = self.params.radius_servers;
+        let (mut down, mut loss) = (vec![false; n], vec![0u64; n]);
+        let (mut garble, mut flap, mut latency) = (vec![0u64; n], vec![0u64; n], vec![0u64; n]);
+        let mut kind_stats: std::collections::HashMap<&'static str, FaultKindStats> =
+            std::collections::HashMap::new();
         let source_ip = Ipv4Addr::new(70, 112, 50, 3); // external: MFA enforced
         for login in 0..self.params.logins {
+            let mut otp_crashed_now = false;
             for event in script.events.iter().filter(|e| e.at_login == login) {
                 self.apply(event);
-                if event.action == FaultAction::OtpCrashRestart {
-                    report.otp_crashes += 1;
+                self.center
+                    .metrics()
+                    .counter("hpcmfa_chaos_faults_total", &[("kind", event.action.kind())])
+                    .inc();
+                match event.action {
+                    FaultAction::ServerDown => down[event.server] = true,
+                    FaultAction::ServerUp => down[event.server] = false,
+                    FaultAction::PacketLoss { one_in } => loss[event.server] = one_in,
+                    FaultAction::GarbleStorm { one_in } => garble[event.server] = one_in,
+                    FaultAction::Flap { period } => flap[event.server] = period,
+                    FaultAction::LatencySpike { extra_us } => latency[event.server] = extra_us,
+                    FaultAction::OtpCrashRestart => {
+                        report.otp_crashes += 1;
+                        otp_crashed_now = true;
+                    }
                 }
+            }
+            let mut active: Vec<&'static str> = Vec::new();
+            if down.iter().any(|&d| d) {
+                active.push("outage");
+            }
+            if loss.iter().any(|&v| v > 0) {
+                active.push("packet_loss");
+            }
+            if garble.iter().any(|&v| v > 0) {
+                active.push("garble");
+            }
+            if flap.iter().any(|&v| v > 0) {
+                active.push("flap");
+            }
+            if latency.iter().any(|&v| v > 0) {
+                active.push("latency_spike");
+            }
+            if otp_crashed_now {
+                active.push("otp_crash");
             }
             let (user, device) = &self.devices[login % self.devices.len()];
             let device = Arc::clone(device);
             let profile = ClientProfile::interactive_user(user, source_ip, &format!("{user}-pw"))
                 .with_token(TokenSource::Device(device));
             let mut granted = false;
+            let mut dials_spent = 0;
             for dial in 0..=self.params.max_redials {
                 // Step past the TOTP window so a retry (or the next login
                 // by this user) is a fresh code, not a replay.
                 self.center.clock.advance(30);
+                dials_spent = dial;
                 if self.center.ssh(0, &profile).granted {
                     granted = true;
-                    if dial == 0 {
-                        report.first_try_successes += 1;
-                    } else {
-                        report.redials += dial;
-                    }
                     break;
                 }
-                if dial == self.params.max_redials {
-                    report.redials += dial;
-                }
             }
+            let first_try = granted && dials_spent == 0;
+            if first_try {
+                report.first_try_successes += 1;
+            }
+            report.redials += dials_spent;
             if granted {
                 report.eventual_successes += 1;
             } else {
                 report.eventual_failures += 1;
             }
+            for kind in active {
+                let s = kind_stats.entry(kind).or_default();
+                s.logins += 1;
+                if first_try {
+                    s.first_try_successes += 1;
+                }
+                if granted {
+                    s.eventual_successes += 1;
+                }
+                s.redials += dials_spent;
+            }
         }
+        report.by_fault_kind = KIND_ORDER
+            .iter()
+            .filter_map(|k| kind_stats.get(k).map(|s| (*k, *s)))
+            .collect();
         report.health = self.center.radius_health(0);
         if let Some(counters) = self.center.linotp.durability_counters() {
             report.otp_records_replayed = counters.records_replayed;
             report.otp_truncated_bytes = counters.truncated_bytes;
         }
+        report.metrics = self.center.metrics_snapshot();
         report
     }
 }
@@ -469,6 +585,44 @@ mod tests {
         let report = ChaosRunner::new(params).run(&script);
         assert_eq!(report.eventual_failures, 5, "{report}");
         assert_eq!(report.eventual_successes, 15, "{report}");
+    }
+
+    #[test]
+    fn per_fault_kind_breakdown_attributes_logins() {
+        // Garble on for the first 20 logins, latency spike for the last 10;
+        // the middle 10 run clean.
+        let script = FaultScript::new()
+            .at(0, 0, FaultAction::GarbleStorm { one_in: 1 })
+            .at(20, 0, FaultAction::GarbleStorm { one_in: 0 })
+            .at(30, 2, FaultAction::LatencySpike { extra_us: 40_000 });
+        let report = ChaosRunner::new(small(40)).run(&script);
+        let kinds: std::collections::HashMap<_, _> =
+            report.by_fault_kind.iter().copied().collect();
+        assert_eq!(kinds["garble"].logins, 20, "{report}");
+        assert_eq!(kinds["latency_spike"].logins, 10, "{report}");
+        assert!(!kinds.contains_key("outage"), "{report}");
+        // The fault applications themselves were counted in the registry.
+        assert_eq!(
+            report
+                .metrics
+                .counter("hpcmfa_chaos_faults_total{kind=\"garble\"}"),
+            2
+        );
+        assert_eq!(
+            report
+                .metrics
+                .counter("hpcmfa_chaos_faults_total{kind=\"latency_spike\"}"),
+            1
+        );
+        // The snapshot carries the full auth path, not just chaos counters.
+        assert!(report.metrics.counter_family("hpcmfa_radius_requests_total") >= 40);
+        assert!(
+            report
+                .metrics
+                .histogram_family("hpcmfa_radius_request_duration_us")
+                .count()
+                >= 40
+        );
     }
 
     #[test]

@@ -186,6 +186,7 @@ mod tests {
             sms_sent: 10,
             sms_cost_micros: 1_075_000,
             failures_by_cohort: Default::default(),
+            metrics: Default::default(),
         }
     }
 

@@ -167,6 +167,9 @@ pub struct SimOutput {
     /// Failed-login counts by cohort (diagnostics; which population the
     /// transition actually hurt).
     pub failures_by_cohort: std::collections::HashMap<Cohort, u64>,
+    /// End-of-run snapshot of the center-wide metrics registry: the
+    /// counters and latency histograms behind the per-day aggregates.
+    pub metrics: hpcmfa_telemetry::MetricsSnapshot,
 }
 
 impl SimOutput {
@@ -835,6 +838,7 @@ impl RolloutSim {
             total_successful_logins: total_ok,
             sms_sent: self.center.twilio.sent_count(),
             sms_cost_micros: self.center.twilio.total_cost_micros(months),
+            metrics: self.center.metrics_snapshot(),
         }
     }
 }

@@ -11,7 +11,6 @@
 //! ```
 
 use securing_hpc::core::center::{Center, CenterConfig};
-use securing_hpc::core::Clock as _;
 use securing_hpc::pam::context::PamContext;
 use securing_hpc::pam::conv::ScriptedConversation;
 use securing_hpc::pam::modules::exemption::ExemptionModule;
@@ -64,7 +63,7 @@ fn main() {
         ),
     );
 
-    let mut login = |label: &str, ip: &str, answers: Vec<&str>| {
+    let login = |label: &str, ip: &str, answers: Vec<&str>| {
         let mut conv =
             ScriptedConversation::with_answers(answers.iter().map(|s| s.to_string()));
         let transcript = conv.transcript();

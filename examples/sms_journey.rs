@@ -104,8 +104,7 @@ fn main() {
     );
     println!(
         "staff POST /admin/reset -> HTTP {} body {}",
-        resp.status,
-        resp.body.to_string()
+        resp.status, resp.body
     );
     let status = center.linotp.status("bob", center.clock.now()).unwrap();
     println!("bob active again: {}", status.active);

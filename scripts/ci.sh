@@ -17,7 +17,13 @@ cargo test -q --offline --test durability
 cargo test -q --offline -p hpcmfa-otpserver --test crash_sweep
 cargo test -q --offline -p hpcmfa-otpserver --test wal_proptests
 
+echo "==> telemetry: histogram properties, tracing, metrics scrape"
+cargo test -q --offline -p hpcmfa-telemetry
+cargo test -q --offline -p hpcmfa-telemetry --test histogram_props
+cargo test -q --offline --test tracing
+cargo test -q --offline --test telemetry
+
 echo "==> cargo clippy -- -D warnings"
-cargo clippy --offline --workspace -- -D warnings
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "CI green."

@@ -671,7 +671,7 @@ mod tests {
             items in prop::collection::vec(any::<bool>(), 0..4),
         ) {
             prop_assume!(x != 55);
-            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((1..100).contains(&x));
             prop_assert_ne!(x, 55);
             prop_assert_eq!(pair.1.len(), 1);
             prop_assert!(items.len() <= 3, "vec(_, 0..4) produced {} items", items.len());

@@ -13,4 +13,5 @@ pub use hpcmfa_portal as portal;
 pub use hpcmfa_radius as radius;
 pub use hpcmfa_risk as risk;
 pub use hpcmfa_ssh as ssh;
+pub use hpcmfa_telemetry as telemetry;
 pub use hpcmfa_workload as workload;

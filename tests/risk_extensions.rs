@@ -153,7 +153,7 @@ fn geo_deny_list_blocks_before_anything_else() {
         UnixPasswordModule::new(center.directory.clone(), "ou=people,dc=tacc"),
     );
 
-    let mut run = |ip: &str, answers: Vec<String>| {
+    let run = |ip: &str, answers: Vec<String>| {
         let mut conv = ScriptedConversation::with_answers(answers);
         let mut ctx = PamContext::new(
             "restricted",

@@ -1,0 +1,162 @@
+//! End-to-end request tracing: ONE trace id minted at the login node is
+//! visible at every layer it crossed — the PAM stack span, the RADIUS
+//! client span, the proxy-tier span when a FreeRADIUS-style middle hop is
+//! deployed, and the `trace=<id>` suffix on the OTP server's audit rows.
+//!
+//! This is the acceptance scenario for the telemetry subsystem: without a
+//! shared id, correlating "this denied login" with "that audit row" across
+//! three daemons means matching timestamps by eye.
+
+use securing_hpc::core::center::Center;
+use securing_hpc::otp::clock::{Clock, SimClock};
+use securing_hpc::otp::device::SoftToken;
+use securing_hpc::otp::totp::TotpParams;
+use securing_hpc::otpserver::handler::OtpRadiusHandler;
+use securing_hpc::otpserver::server::{LinotpServer, ServerConfig};
+use securing_hpc::otpserver::sms::{SmsProvider, TwilioSim};
+use securing_hpc::pam::context::PamContext;
+use securing_hpc::pam::conv::ScriptedConversation;
+use securing_hpc::pam::modules::token::{EnforcementMode, TokenModule};
+use securing_hpc::pam::stack::{ControlFlag, PamStack, PamVerdict};
+use securing_hpc::radius::client::{ClientConfig, RadiusClient};
+use securing_hpc::radius::proxy::ProxyHandler;
+use securing_hpc::radius::server::RadiusServer;
+use securing_hpc::radius::transport::{FaultPlan, InMemoryTransport, Transport};
+use securing_hpc::ssh::client::{ClientProfile, TokenSource};
+use securing_hpc::telemetry::{MetricsRegistry, TraceId};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const EXTERNAL_IP: Ipv4Addr = Ipv4Addr::new(70, 112, 50, 3);
+
+/// A full simulated login through the assembled center: the session's
+/// trace id shows up in the PAM span, the RADIUS client span, the OTP
+/// validation span, and the audit log — all in the ONE shared registry.
+#[test]
+fn full_center_login_yields_one_trace_across_all_layers() {
+    let c = Center::default_center();
+    c.create_user("alice", "alice@utexas.edu", "alice-pw");
+    c.set_enforcement(EnforcementMode::Full);
+    let device = c.pair_soft("alice");
+    let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+        .with_token(TokenSource::device(move |now| {
+            Some(device.displayed_code(now))
+        }));
+    let report = c.ssh(0, &profile);
+    assert!(report.granted, "prompts: {:?}", report.prompts);
+
+    let trace = *report
+        .trace_ids
+        .last()
+        .expect("the daemon minted a trace id for the attempt");
+    let components = c.metrics().tracer().components_for(trace);
+    for layer in ["pam", "radius.client", "otp"] {
+        assert!(
+            components.contains(&layer.to_string()),
+            "no {layer} span for trace {trace}; got {components:?}"
+        );
+    }
+    // The OTP audit rows carry the same id, so an admin can grep the
+    // audit log by the id a login node logged.
+    let needle = format!("trace={trace}");
+    assert!(
+        c.linotp
+            .audit()
+            .for_user("alice")
+            .iter()
+            .any(|e| e.detail.contains(&needle)),
+        "audit rows lack {needle}"
+    );
+}
+
+/// The same property with a FreeRADIUS-style proxy tier in the middle:
+/// login node → edge proxy → home OTP server, different shared secret per
+/// hop. The id is re-stamped on the upstream leg, so PAM, both RADIUS
+/// hops, the proxy, and the OTP audit rows all agree on one id.
+#[test]
+fn one_trace_id_spans_pam_proxy_tier_and_otp_audit() {
+    const HOME_SECRET: &[u8] = b"home-secret";
+    const EDGE_SECRET: &[u8] = b"edge-secret";
+    const NOW: u64 = 1_475_000_000;
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let clock = SimClock::at(NOW);
+    let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
+
+    // Home tier: the LinOTP-style validation server.
+    let twilio = TwilioSim::new(3);
+    let linotp = LinotpServer::with_config(
+        twilio as Arc<dyn SmsProvider>,
+        7,
+        ServerConfig {
+            metrics: Arc::clone(&metrics),
+            ..ServerConfig::default()
+        },
+    );
+    let secret = linotp.enroll_soft("alice", NOW);
+    let device = SoftToken::new(secret, TotpParams::default());
+    let handler = OtpRadiusHandler::new(Arc::clone(&linotp), Arc::clone(&clock_arc));
+    let home = Arc::new(RadiusServer::new(HOME_SECRET, handler));
+    let home_transport: Arc<dyn Transport> =
+        Arc::new(InMemoryTransport::new("home0", home, FaultPlan::healthy()));
+
+    // Proxy tier: forwards to home with its own client and secret.
+    let upstream = Arc::new(RadiusClient::with_metrics(
+        ClientConfig::new(HOME_SECRET, "proxy1"),
+        vec![home_transport],
+        Arc::clone(&metrics),
+    ));
+    let proxy = Arc::new(ProxyHandler::new("proxy1", upstream, 99));
+    let edge = Arc::new(RadiusServer::new(EDGE_SECRET, proxy));
+    let edge_transport: Arc<dyn Transport> =
+        Arc::new(InMemoryTransport::new("edge0", edge, FaultPlan::healthy()));
+
+    // Login node: a PAM stack whose token module dials the edge proxy.
+    let nas_client = Arc::new(RadiusClient::with_metrics(
+        ClientConfig::new(EDGE_SECRET, "login1"),
+        vec![edge_transport],
+        Arc::clone(&metrics),
+    ));
+    let token_module = TokenModule::new(
+        EnforcementMode::Full,
+        Arc::clone(&nas_client),
+        securing_hpc::directory::ldap::Directory::new(),
+        "ou=people,dc=tacc",
+        11,
+    );
+    let mut stack = PamStack::new();
+    stack.push(ControlFlag::Required, token_module as _);
+    stack.set_metrics(Arc::clone(&metrics));
+
+    let code = device.displayed_code(clock.now());
+    let mut conv = ScriptedConversation::with_answers(vec![code]);
+    let mut ctx = PamContext::new("alice", EXTERNAL_IP, Arc::clone(&clock_arc), &mut conv);
+    let id = TraceId::from_u64(0x7acc_2017);
+    ctx.trace_id = id;
+    assert_eq!(stack.authenticate(&mut ctx), PamVerdict::Granted);
+
+    let components = metrics.tracer().components_for(id);
+    for layer in ["pam", "radius.client", "radius.proxy", "otp"] {
+        assert!(
+            components.contains(&layer.to_string()),
+            "no {layer} span for the login's trace id; got {components:?}"
+        );
+    }
+    let needle = format!("trace={id}");
+    assert!(
+        linotp
+            .audit()
+            .for_user("alice")
+            .iter()
+            .any(|e| e.detail.contains(&needle)),
+        "home-server audit rows lack {needle}"
+    );
+    // Forwarding really went through the middle hop.
+    assert!(
+        metrics
+            .snapshot()
+            .counter("hpcmfa_radius_proxy_forwarded_total{proxy=\"proxy1\"}")
+            >= 2,
+        "challenge open + answer both crossed the proxy"
+    );
+}
