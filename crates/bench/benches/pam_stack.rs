@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpcmfa_core::center::{Center, CenterConfig};
+use hpcmfa_core::Clock as _;
 use hpcmfa_pam::modules::token::EnforcementMode;
 use hpcmfa_ssh::client::{ClientProfile, TokenSource};
-use hpcmfa_core::Clock as _;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -49,10 +49,9 @@ fn bench_paths(c: &mut Criterion) {
         center.set_enforcement(EnforcementMode::Full);
         let device = center.pair_soft("alice");
         let clock = center.clock.clone();
-        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-            .with_token(TokenSource::device(move |now| {
-                Some(device.displayed_code(now))
-            }));
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+            TokenSource::device(move |now| Some(device.displayed_code(now))),
+        );
         group.bench_function("password_plus_token", |b| {
             b.iter(|| {
                 clock.advance(30);

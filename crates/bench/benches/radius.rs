@@ -84,17 +84,13 @@ fn bench_failover(c: &mut Criterion) {
             p.set_down(true);
         }
         let mut rng = StdRng::seed_from_u64(2);
-        group.bench_with_input(
-            BenchmarkId::new("3_servers_down", down),
-            &down,
-            |b, _| {
-                b.iter(|| {
-                    client
-                        .authenticate(&mut rng, "alice", b"123456", "70.1.2.3")
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("3_servers_down", down), &down, |b, _| {
+            b.iter(|| {
+                client
+                    .authenticate(&mut rng, "alice", b"123456", "70.1.2.3")
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -11,7 +11,10 @@ use hpcmfa_workload::figures::{fig3_series, render_bar_chart};
 fn main() {
     let out = FigureArgs::parse().run();
     let series = fig3_series(&out);
-    println!("{}", render_bar_chart("Figure 3: unique MFA users per day", &series, 60));
+    println!(
+        "{}",
+        render_bar_chart("Figure 3: unique MFA users per day", &series, 60)
+    );
 
     let avg = |from: Date, to: Date| {
         let vals: Vec<u64> = series
@@ -22,11 +25,26 @@ fn main() {
         vals.iter().sum::<u64>() as f64 / vals.len().max(1) as f64
     };
     println!("\nweekday averages of unique MFA users:");
-    println!("  pre-announcement (Jul)        {:8.1}", avg(Date::new(2016, 7, 1), Date::new(2016, 8, 9)));
-    println!("  phase 1 (08-10 .. 09-05)      {:8.1}", avg(Date::new(2016, 8, 10), Date::new(2016, 9, 5)));
-    println!("  phase 2 (09-06 .. 10-03)      {:8.1}", avg(Date::new(2016, 9, 6), Date::new(2016, 10, 3)));
-    println!("  phase 3 (10-04 .. 12-16)      {:8.1}", avg(Date::new(2016, 10, 4), Date::new(2016, 12, 16)));
-    println!("  winter holiday (12-17 .. 12-30){:7.1}", avg(Date::new(2016, 12, 17), Date::new(2016, 12, 30)));
+    println!(
+        "  pre-announcement (Jul)        {:8.1}",
+        avg(Date::new(2016, 7, 1), Date::new(2016, 8, 9))
+    );
+    println!(
+        "  phase 1 (08-10 .. 09-05)      {:8.1}",
+        avg(Date::new(2016, 8, 10), Date::new(2016, 9, 5))
+    );
+    println!(
+        "  phase 2 (09-06 .. 10-03)      {:8.1}",
+        avg(Date::new(2016, 9, 6), Date::new(2016, 10, 3))
+    );
+    println!(
+        "  phase 3 (10-04 .. 12-16)      {:8.1}",
+        avg(Date::new(2016, 10, 4), Date::new(2016, 12, 16))
+    );
+    println!(
+        "  winter holiday (12-17 .. 12-30){:7.1}",
+        avg(Date::new(2016, 12, 17), Date::new(2016, 12, 30))
+    );
     let before = avg(Date::new(2016, 8, 30), Date::new(2016, 9, 5));
     let after = avg(Date::new(2016, 9, 7), Date::new(2016, 9, 13));
     println!(

@@ -32,6 +32,12 @@ fn main() {
     let transition = out.ticket_mfa_share(Date::new(2016, 8, 1), Date::new(2016, 12, 31));
     let q1 = out.ticket_mfa_share(Date::new(2017, 1, 1), Date::new(2017, 3, 31));
     println!("\nMFA share of ticket inquiries:");
-    println!("  Aug–Dec 2016: measured {:5.1} %   (paper: 6.7 %)", transition * 100.0);
-    println!("  Jan–Mar 2017: measured {:5.1} %   (paper: 2.7 %)", q1 * 100.0);
+    println!(
+        "  Aug–Dec 2016: measured {:5.1} %   (paper: 6.7 %)",
+        transition * 100.0
+    );
+    println!(
+        "  Jan–Mar 2017: measured {:5.1} %   (paper: 2.7 %)",
+        q1 * 100.0
+    );
 }

@@ -44,14 +44,20 @@ fn main() {
     let hist = report
         .metrics
         .histogram_family("hpcmfa_radius_request_duration_us");
-    println!(
+    let line = format!(
         "{{\"metric\":\"hpcmfa_radius_request_duration_us\",\"logins\":{logins},\"seed\":{seed},\
-\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{},\"mean_us\":{:.1}}}",
+\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{},\"mean_us\":{:.1}}}",
         hist.count(),
         hist.p50(),
         hist.quantile(0.90),
         hist.quantile(0.99),
+        hist.quantile(0.999),
         hist.max(),
         hist.mean(),
     );
+    println!("{line}");
+    // Also persist the line so CI can diff runs without re-capturing stdout.
+    if let Err(e) = std::fs::write("BENCH_latency.json", format!("{line}\n")) {
+        eprintln!("warning: could not write BENCH_latency.json: {e}");
+    }
 }

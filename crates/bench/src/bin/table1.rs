@@ -10,7 +10,10 @@ fn main() {
     match Table1::from_output(&out) {
         Some(t) => {
             println!("{}", t.render_against_paper());
-            println!("total successful logins in the window: {}", out.total_successful_logins);
+            println!(
+                "total successful logins in the window: {}",
+                out.total_successful_logins
+            );
             println!("(paper §6: 'over half a million successful log ins' at full scale)");
         }
         None => println!("no pairings recorded — run a longer window"),

@@ -111,6 +111,9 @@ mod tests {
             (Date::new(2016, 10, 10), 4), // next Monday
         ];
         let w = weekly(&series);
-        assert_eq!(w, vec![(Date::new(2016, 10, 3), 6), (Date::new(2016, 10, 10), 4)]);
+        assert_eq!(
+            w,
+            vec![(Date::new(2016, 10, 3), 6), (Date::new(2016, 10, 10), 4)]
+        );
     }
 }

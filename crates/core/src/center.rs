@@ -23,7 +23,7 @@ use hpcmfa_ssh::authlog::AuthLog;
 use hpcmfa_ssh::client::ClientProfile;
 use hpcmfa_ssh::daemon::{SessionReport, SshDaemon};
 use hpcmfa_ssh::keys::{KeyPair, PublicKey};
-use hpcmfa_telemetry::{MetricsRegistry, MetricsSnapshot};
+use hpcmfa_telemetry::{default_security_rules, AlertEngine, MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -128,6 +128,10 @@ pub struct Center {
     pub radius_servers: Vec<Arc<RadiusServer>>,
     /// Login nodes.
     pub nodes: Vec<Arc<LoginNode>>,
+    /// The center-wide alert engine: the default security rule set
+    /// evaluated over the shared registry after every login, on the
+    /// virtual clock. Also served by the admin API's `/system/alerts`.
+    pub alerts: Arc<AlertEngine>,
     /// Exemption file text lines added beyond the internal-network rule,
     /// mirrored to every node.
     exemption_lines: Mutex<Vec<String>>,
@@ -162,7 +166,11 @@ impl Center {
                 },
             ),
         };
-        let admin = AdminApi::new(Arc::clone(&linotp), "LinOTP admin area", config.seed ^ 0xadd);
+        let admin = AdminApi::new(
+            Arc::clone(&linotp),
+            "LinOTP admin area",
+            config.seed ^ 0xadd,
+        );
         admin.add_admin("portal-svc", "portal-svc-password");
         let portal = hpcmfa_portal::portal::Portal::new(
             Arc::clone(&admin),
@@ -250,6 +258,12 @@ impl Center {
             }));
         }
 
+        let alerts = Arc::new(AlertEngine::new(
+            Arc::clone(&config.metrics),
+            default_security_rules(),
+        ));
+        admin.attach_alerts(Arc::clone(&alerts));
+
         Arc::new(Center {
             config,
             clock,
@@ -262,6 +276,7 @@ impl Center {
             radius_faults,
             radius_servers,
             nodes,
+            alerts,
             exemption_lines: Mutex::new(Vec::new()),
         })
     }
@@ -428,7 +443,10 @@ impl Center {
 
     /// Append an exemption rule (one config line) and reload every node's
     /// list — "changes take effect immediately upon write to disk" (§3.4).
-    pub fn add_exemption_rule(&self, line: &str) -> Result<(), hpcmfa_pam::access::AccessParseError> {
+    pub fn add_exemption_rule(
+        &self,
+        line: &str,
+    ) -> Result<(), hpcmfa_pam::access::AccessParseError> {
         let mut lines = self.exemption_lines.lock();
         let internal_rule = format!(
             "+ : ALL : {}/{} : ALL",
@@ -451,9 +469,15 @@ impl Center {
         Ok(())
     }
 
-    /// SSH into node `node_idx` with `profile`.
+    /// SSH into node `node_idx` with `profile`. Every login also drives
+    /// one alert-engine evaluation at the current virtual time, so any
+    /// center-based harness (chaos, rollout, tests) gets a per-login
+    /// alert cadence with no extra pumping.
     pub fn ssh(&self, node_idx: usize, profile: &ClientProfile) -> SessionReport {
-        self.nodes[node_idx].daemon.connect(profile)
+        let report = self.nodes[node_idx].daemon.connect(profile);
+        self.alerts
+            .tick(self.clock.now(), &self.config.metrics.snapshot());
+        report
     }
 
     /// The center-wide metrics registry shared by every component.
@@ -501,11 +525,12 @@ mod tests {
         let c = center();
         let device = c.pair_soft("alice");
         let clock = c.clock.clone();
-        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-            .with_token(TokenSource::device(move |now| {
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+            TokenSource::device(move |now| {
                 let _ = &clock;
                 Some(device.displayed_code(now))
-            }));
+            }),
+        );
         let report = c.ssh(0, &profile);
         assert!(report.granted, "prompts: {:?}", report.prompts);
         assert!(report.mfa_prompted);
@@ -525,8 +550,7 @@ mod tests {
     fn internal_traffic_is_exempt() {
         let c = center();
         c.set_enforcement(EnforcementMode::Full);
-        let profile =
-            ClientProfile::interactive_user("alice", c.internal_ip(7), "alice-pw");
+        let profile = ClientProfile::interactive_user("alice", c.internal_ip(7), "alice-pw");
         let report = c.ssh(0, &profile);
         assert!(report.granted);
         assert!(!report.mfa_prompted);
@@ -559,7 +583,8 @@ mod tests {
     fn temporary_variance_expires_mid_simulation() {
         let c = center();
         c.set_enforcement(EnforcementMode::Full);
-        c.add_exemption_rule("+ : alice : ALL : 2016-08-20").unwrap();
+        c.add_exemption_rule("+ : alice : ALL : 2016-08-20")
+            .unwrap();
         let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw");
         assert!(c.ssh(0, &profile).granted);
         // Advance past the variance (start is 2016-08-10).
@@ -576,15 +601,16 @@ mod tests {
         let clock = c.clock.clone();
         // The login-time token source reads the most recent SMS; carrier
         // latency means we read slightly in the future of "now".
-        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-            .with_token(TokenSource::device(move |now| {
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+            TokenSource::device(move |now| {
                 clock.advance(10); // user waits for the text
                 let _ = now;
                 twilio
                     .inbox(&phone, clock.now())
                     .last()
                     .map(|m| m.body.rsplit(' ').next().unwrap().to_string())
-            }));
+            }),
+        );
         let report = c.ssh(0, &profile);
         assert!(report.granted, "prompts: {:?}", report.prompts);
         assert!(report.prompts.iter().any(|p| p.contains("SMS")));
@@ -628,10 +654,9 @@ mod tests {
         // Take down 2 of 3 RADIUS servers.
         c.radius_faults[0].set_down(true);
         c.radius_faults[1].set_down(true);
-        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-            .with_token(TokenSource::device(move |now| {
-                Some(device.displayed_code(now))
-            }));
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+            TokenSource::device(move |now| Some(device.displayed_code(now))),
+        );
         assert!(c.ssh(0, &profile).granted);
         // Total outage fails secure.
         c.radius_faults[2].set_down(true);
@@ -645,10 +670,9 @@ mod tests {
         c.set_enforcement(EnforcementMode::Full);
         let device = c.pair_soft("alice");
         let d2 = device.clone();
-        let p1 = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-            .with_token(TokenSource::device(move |now| {
-                Some(device.displayed_code(now))
-            }));
+        let p1 = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+            TokenSource::device(move |now| Some(device.displayed_code(now))),
+        );
         assert!(c.ssh(0, &p1).granted);
         c.clock.advance(30);
         let p2 = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
@@ -691,10 +715,9 @@ mod tests {
         let c = center();
         c.set_enforcement(EnforcementMode::Full);
         let device = c.pair_soft("alice");
-        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-            .with_token(TokenSource::device(move |now| {
-                Some(device.displayed_code(now))
-            }));
+        let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+            TokenSource::device(move |now| Some(device.displayed_code(now))),
+        );
         let report = c.ssh(0, &profile);
         assert!(report.granted, "prompts: {:?}", report.prompts);
 
@@ -725,8 +748,7 @@ mod tests {
         );
         let components = c.metrics().tracer().components_for(trace);
         assert!(
-            components.contains(&"pam".to_string())
-                && components.contains(&"otp".to_string()),
+            components.contains(&"pam".to_string()) && components.contains(&"otp".to_string()),
             "spans from both ends of the path: {components:?}"
         );
     }

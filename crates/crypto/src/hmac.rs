@@ -119,7 +119,10 @@ mod tests {
         // 80-byte key exceeds the 64-byte block: must be hashed first.
         let key = [0xaau8; 80];
         assert_eq!(
-            to_hex(&hmac::<Sha1>(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            to_hex(&hmac::<Sha1>(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "aa4ae5e15272d00e95705637ce8a3b55ed402112"
         );
     }

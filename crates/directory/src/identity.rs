@@ -131,7 +131,11 @@ impl IdentityDb {
     }
 
     /// Register a new account; allocates the shared unique user ID.
-    pub fn create_account(&self, username: &str, email: &str) -> Result<AccountRecord, IdentityError> {
+    pub fn create_account(
+        &self,
+        username: &str,
+        email: &str,
+    ) -> Result<AccountRecord, IdentityError> {
         let mut inner = self.inner.write();
         if inner.accounts.contains_key(username) {
             return Err(IdentityError::DuplicateUsername(username.to_string()));

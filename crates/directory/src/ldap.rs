@@ -304,11 +304,7 @@ impl Directory {
     }
 
     /// Apply `f` to the entry at `dn` under the write lock.
-    pub fn modify(
-        &self,
-        dn: &str,
-        f: impl FnOnce(&mut Entry),
-    ) -> Result<(), DirectoryError> {
+    pub fn modify(&self, dn: &str, f: impl FnOnce(&mut Entry)) -> Result<(), DirectoryError> {
         let mut map = self.inner.write();
         let entry = map
             .get_mut(dn)
@@ -367,7 +363,10 @@ mod tests {
         let e = Entry::new("uid=x,dc=tacc").with_attr("uid", "x");
         dir.add(e.clone()).unwrap();
         assert_eq!(dir.get("uid=x,dc=tacc"), Some(e.clone()));
-        assert_eq!(dir.add(e), Err(DirectoryError::AlreadyExists("uid=x,dc=tacc".into())));
+        assert_eq!(
+            dir.add(e),
+            Err(DirectoryError::AlreadyExists("uid=x,dc=tacc".into()))
+        );
         dir.delete("uid=x,dc=tacc").unwrap();
         assert_eq!(dir.get("uid=x,dc=tacc"), None);
         assert_eq!(
@@ -450,9 +449,7 @@ mod tests {
         .unwrap();
         let e = dir.get("uid=carol,ou=people,dc=tacc").unwrap();
         assert_eq!(e.get_one("mfaPairing"), Some("hard"));
-        assert!(dir
-            .modify("uid=nobody,dc=tacc", |_| {})
-            .is_err());
+        assert!(dir.modify("uid=nobody,dc=tacc", |_| {}).is_err());
     }
 
     #[test]
@@ -471,8 +468,15 @@ mod tests {
         let dir = people_dir();
         dir.add(Entry::new("uid=svc,ou=services,dc=tacc").with_attr("uid", "svc"))
             .unwrap();
-        assert_eq!(dir.search("ou=people,dc=tacc", &Filter::Present("uid".into())).len(), 4);
-        assert_eq!(dir.search("dc=tacc", &Filter::Present("uid".into())).len(), 5);
+        assert_eq!(
+            dir.search("ou=people,dc=tacc", &Filter::Present("uid".into()))
+                .len(),
+            4
+        );
+        assert_eq!(
+            dir.search("dc=tacc", &Filter::Present("uid".into())).len(),
+            5
+        );
     }
 
     #[test]
@@ -484,7 +488,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..50 {
                     let dn = format!("uid=u{t}-{i},ou=people,dc=tacc");
-                    d.add(Entry::new(dn).with_attr("uid", &format!("u{t}-{i}"))).unwrap();
+                    d.add(Entry::new(dn).with_attr("uid", &format!("u{t}-{i}")))
+                        .unwrap();
                     let _ = d.search("dc=tacc", &Filter::Present("uid".into()));
                 }
             }));

@@ -247,7 +247,10 @@ mod tests {
         let uri = OtpauthUri::new("TACC", "alice", secret(), TotpParams::default());
         let app = SoftToken::from_uri(&uri.render()).unwrap();
         let server = Totp::new(secret());
-        assert_eq!(app.displayed_code(1_475_000_000), server.code_at(1_475_000_000));
+        assert_eq!(
+            app.displayed_code(1_475_000_000),
+            server.code_at(1_475_000_000)
+        );
     }
 
     #[test]

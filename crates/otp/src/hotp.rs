@@ -47,9 +47,8 @@ pub fn validate_window(
     digits: u32,
     alg: HashAlg,
 ) -> Option<u64> {
-    (counter..=counter.saturating_add(look_ahead)).find(|&c| {
-        hpcmfa_crypto::ct::ct_eq_str(&hotp(secret, c, digits, alg), candidate)
-    })
+    (counter..=counter.saturating_add(look_ahead))
+        .find(|&c| hpcmfa_crypto::ct::ct_eq_str(&hotp(secret, c, digits, alg), candidate))
 }
 
 #[cfg(test)]

@@ -79,7 +79,12 @@ impl Secret {
 impl std::fmt::Debug for Secret {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let fp = hpcmfa_crypto::sha256::sha256(&self.0);
-        write!(f, "Secret(len={}, fp={})", self.0.len(), &hex::to_hex(&fp)[..8])
+        write!(
+            f,
+            "Secret(len={}, fp={})",
+            self.0.len(),
+            &hex::to_hex(&fp)[..8]
+        )
     }
 }
 

@@ -138,10 +138,23 @@ mod tests {
         let seed64 = Secret::from_bytes(
             *b"1234567890123456789012345678901234567890123456789012345678901234",
         );
-        let times: [u64; 6] = [59, 1111111109, 1111111111, 1234567890, 2000000000, 20000000000];
-        let sha1_codes = ["94287082", "07081804", "14050471", "89005924", "69279037", "65353130"];
-        let sha256_codes = ["46119246", "68084774", "67062674", "91819424", "90698825", "77737706"];
-        let sha512_codes = ["90693936", "25091201", "99943326", "93441116", "38618901", "47863826"];
+        let times: [u64; 6] = [
+            59,
+            1111111109,
+            1111111111,
+            1234567890,
+            2000000000,
+            20000000000,
+        ];
+        let sha1_codes = [
+            "94287082", "07081804", "14050471", "89005924", "69279037", "65353130",
+        ];
+        let sha256_codes = [
+            "46119246", "68084774", "67062674", "91819424", "90698825", "77737706",
+        ];
+        let sha512_codes = [
+            "90693936", "25091201", "99943326", "93441116", "38618901", "47863826",
+        ];
 
         let mk = |secret: Secret, alg| {
             Totp::with_params(

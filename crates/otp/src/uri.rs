@@ -129,9 +129,7 @@ impl OtpauthUri {
         for pair in query.split('&') {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
             match k {
-                "secret" => {
-                    secret = Some(Secret::from_base32(v).map_err(|_| UriError::BadSecret)?)
-                }
+                "secret" => secret = Some(Secret::from_base32(v).map_err(|_| UriError::BadSecret)?),
                 "issuer" => issuer = pct_decode(v).ok_or(UriError::BadLabel)?,
                 "digits" => {
                     params.digits = v

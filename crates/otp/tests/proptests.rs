@@ -1,7 +1,12 @@
 //! Property-based tests for the OTP algorithms.
 
 use hpcmfa_crypto::HashAlg;
-use hpcmfa_otp::{hotp::hotp, secret::Secret, totp::{Totp, TotpParams}, uri::OtpauthUri};
+use hpcmfa_otp::{
+    hotp::hotp,
+    secret::Secret,
+    totp::{Totp, TotpParams},
+    uri::OtpauthUri,
+};
 use proptest::prelude::*;
 
 fn arb_secret() -> impl Strategy<Value = Secret> {

@@ -20,6 +20,7 @@ use hpcmfa_crypto::digestauth::{DigestAuthorization, DigestChallenge, DigestVeri
 use hpcmfa_otp::secret::Secret;
 use hpcmfa_otp::totp::TotpParams;
 use hpcmfa_otp::uri::OtpauthUri;
+use hpcmfa_telemetry::AlertEngine;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -110,6 +111,10 @@ impl HttpResponse {
 pub struct AdminApi {
     server: Arc<LinotpServer>,
     verifier: Mutex<DigestVerifier>,
+    /// Alert engine behind `GET /system/alerts`, attached by whoever wires
+    /// the computing center together (the engine spans more components than
+    /// this server, so it cannot be constructed here).
+    alerts: Mutex<Option<Arc<AlertEngine>>>,
 }
 
 impl AdminApi {
@@ -118,12 +123,18 @@ impl AdminApi {
         Arc::new(AdminApi {
             server,
             verifier: Mutex::new(DigestVerifier::new(realm, seed)),
+            alerts: Mutex::new(None),
         })
     }
 
     /// Register an API credential (e.g. the portal service account).
     pub fn add_admin(&self, username: &str, password: &str) {
         self.verifier.lock().add_user(username, password);
+    }
+
+    /// Attach the center-wide alert engine served by `/system/alerts`.
+    pub fn attach_alerts(&self, engine: Arc<AlertEngine>) {
+        *self.alerts.lock() = Some(engine);
     }
 
     /// Issue a digest challenge (the 401 `WWW-Authenticate` payload).
@@ -158,7 +169,8 @@ impl AdminApi {
             ("GET", "/admin/show") => self.admin_show(req, now),
             ("GET", "/audit/search") => self.audit_search(req),
             ("GET", "/system/durability") => self.system_durability(),
-            ("GET", "/system/metrics") => self.system_metrics(),
+            ("GET", "/system/metrics") => self.system_metrics(now),
+            ("GET", "/system/alerts") => self.system_alerts(now),
             _ => HttpResponse::error(404, "no such route"),
         }
     }
@@ -287,10 +299,7 @@ impl AdminApi {
                 ("kind", Json::str(st.kind)),
                 ("failcount", Json::Num(st.fail_count as f64)),
                 ("active", Json::Bool(st.active)),
-                (
-                    "serial",
-                    st.serial.map(Json::Str).unwrap_or(Json::Null),
-                ),
+                ("serial", st.serial.map(Json::Str).unwrap_or(Json::Null)),
                 ("sms_pending", Json::Bool(st.sms_pending)),
             ])),
             None => HttpResponse::error(404, "no pairing for user"),
@@ -312,7 +321,10 @@ impl AdminApi {
                 ("records_replayed", Json::Num(c.records_replayed as f64)),
                 ("tail_truncations", Json::Num(c.tail_truncations as f64)),
                 ("truncated_bytes", Json::Num(c.truncated_bytes as f64)),
-                ("audit_dropped", Json::Num(self.server.audit().dropped() as f64)),
+                (
+                    "audit_dropped",
+                    Json::Num(self.server.audit().dropped() as f64),
+                ),
             ])),
             None => HttpResponse::error(404, "no storage backend configured"),
         }
@@ -320,9 +332,73 @@ impl AdminApi {
 
     /// Prometheus text exposition of the server's telemetry registry. The
     /// scrape body rides in `result.value` (this typed model has no raw
-    /// text/plain responses); it is valid `text/format` verbatim.
-    fn system_metrics(&self) -> HttpResponse {
+    /// text/plain responses); it is valid `text/format` verbatim. Gauges
+    /// are refreshed from the token store first — the same census
+    /// `/system/alerts` reads.
+    fn system_metrics(&self, now: u64) -> HttpResponse {
+        self.server.refresh_gauges(now);
         HttpResponse::ok(Json::str(self.server.metrics().render_prometheus()))
+    }
+
+    /// Alerting surface: active and recently resolved alerts from the
+    /// attached engine, the tail of the security-event ring, and the
+    /// security-posture gauges — all read from the same registry pass as
+    /// `/system/metrics` so the two routes cannot disagree.
+    fn system_alerts(&self, now: u64) -> HttpResponse {
+        self.server.refresh_gauges(now);
+        let snap = self.server.metrics().snapshot();
+        let status_json = |s: &hpcmfa_telemetry::AlertStatus| {
+            Json::obj([
+                ("rule", Json::str(s.rule.clone())),
+                ("state", Json::str(s.state.label())),
+                ("since", Json::Num(s.since as f64)),
+            ])
+        };
+        let (active, recent_resolved) = match &*self.alerts.lock() {
+            Some(engine) => (
+                Json::Arr(engine.active().iter().map(status_json).collect()),
+                Json::Arr(engine.recent_resolved().iter().map(status_json).collect()),
+            ),
+            None => (Json::Arr(Vec::new()), Json::Arr(Vec::new())),
+        };
+        let events: Vec<Json> = self
+            .server
+            .metrics()
+            .security_events()
+            .tail(64)
+            .into_iter()
+            .map(|e| {
+                Json::obj([
+                    ("kind", Json::str(e.kind.label())),
+                    ("at", Json::Num(e.at as f64)),
+                    (
+                        "trace",
+                        e.trace
+                            .map(|t| Json::str(t.to_string()))
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("detail", Json::str(e.detail)),
+                ])
+            })
+            .collect();
+        HttpResponse::ok(Json::obj([
+            ("active", active),
+            ("recent_resolved", recent_resolved),
+            ("events", Json::Arr(events)),
+            (
+                "gauges",
+                Json::obj([
+                    (
+                        "locked_users",
+                        Json::Num(snap.gauge("hpcmfa_otp_locked_users") as f64),
+                    ),
+                    (
+                        "sms_pending",
+                        Json::Num(snap.gauge("hpcmfa_otp_sms_pending") as f64),
+                    ),
+                ]),
+            ),
+        ]))
     }
 
     fn audit_search(&self, req: &HttpRequest) -> HttpResponse {
@@ -387,12 +463,8 @@ mod tests {
         let api = api();
         let chal = api.issue_challenge();
         let auth = answer_challenge(&chal, "portal", "wrong", "POST", "/admin/init", "cn", 1);
-        let req = HttpRequest::new(
-            "POST",
-            "/admin/init",
-            Json::obj([("user", Json::str("a"))]),
-        )
-        .with_auth(auth);
+        let req = HttpRequest::new("POST", "/admin/init", Json::obj([("user", Json::str("a"))]))
+            .with_auth(auth);
         assert_eq!(api.handle(&req, NOW).status, 401);
     }
 
@@ -400,13 +472,17 @@ mod tests {
     fn replayed_authorization_rejected() {
         let api = api();
         let chal = api.issue_challenge();
-        let auth = answer_challenge(&chal, "portal", "portal-pass", "GET", "/admin/show", "cn", 1);
-        let req = HttpRequest::new(
+        let auth = answer_challenge(
+            &chal,
+            "portal",
+            "portal-pass",
             "GET",
             "/admin/show",
-            Json::obj([("user", Json::str("a"))]),
-        )
-        .with_auth(auth);
+            "cn",
+            1,
+        );
+        let req = HttpRequest::new("GET", "/admin/show", Json::obj([("user", Json::str("a"))]))
+            .with_auth(auth);
         let first = api.handle(&req, NOW);
         assert_ne!(first.status, 401); // 404: no pairing, but auth passed
         let replay = api.handle(&req, NOW);
@@ -554,7 +630,10 @@ mod tests {
                 &api,
                 "POST",
                 "/admin/init",
-                Json::obj([("user", Json::str("train01")), ("type", Json::str("static"))]),
+                Json::obj([
+                    ("user", Json::str("train01")),
+                    ("type", Json::str("static")),
+                ]),
             ),
             NOW,
         );
@@ -678,6 +757,52 @@ mod tests {
         assert!(text.contains("# TYPE hpcmfa_otp_validations_total counter"));
         assert!(text.contains("hpcmfa_otp_validations_total{outcome=\"no_token\"} 1"));
         assert!(text.contains("hpcmfa_otp_validate_wall_us_count 1"));
+    }
+
+    #[test]
+    fn alerts_route_serves_events_and_gauges() {
+        let api = api();
+        api.handle(
+            &signed(
+                &api,
+                "POST",
+                "/admin/init",
+                Json::obj([
+                    ("user", Json::str("b")),
+                    ("type", Json::str("sms")),
+                    ("phone", Json::str("5125551234")),
+                ]),
+            ),
+            NOW,
+        );
+        // First trigger sends; the immediate re-trigger is suppressed and
+        // emits an sms_abuse security event.
+        for _ in 0..2 {
+            api.handle(
+                &signed(
+                    &api,
+                    "POST",
+                    "/admin/smschallenge",
+                    Json::obj([("user", Json::str("b"))]),
+                ),
+                NOW,
+            );
+        }
+        let noauth = api.handle(&HttpRequest::new("GET", "/system/alerts", Json::Null), NOW);
+        assert_eq!(noauth.status, 401);
+        let resp = api.handle(&signed(&api, "GET", "/system/alerts", Json::Null), NOW + 1);
+        assert!(resp.is_ok());
+        let value = resp.value().unwrap();
+        // No engine attached: alert lists are present but empty.
+        assert!(value.get("active").unwrap().as_arr().unwrap().is_empty());
+        let events = value.get("events").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("kind").unwrap().as_str() == Some("sms_abuse")));
+        // One outstanding SMS code, nobody locked.
+        let gauges = value.get("gauges").unwrap();
+        assert_eq!(gauges.get("sms_pending").unwrap().as_f64(), Some(1.0));
+        assert_eq!(gauges.get("locked_users").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -114,7 +114,14 @@ impl AuditLog {
     }
 
     /// Append an entry, evicting the oldest if the log is at cap.
-    pub fn record(&self, at: u64, username: &str, action: AuditAction, success: bool, detail: &str) {
+    pub fn record(
+        &self,
+        at: u64,
+        username: &str,
+        action: AuditAction,
+        success: bool,
+        detail: &str,
+    ) {
         let mut inner = self.inner.write();
         if inner.cap == 0 {
             inner.dropped += 1;

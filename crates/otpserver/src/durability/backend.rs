@@ -448,10 +448,8 @@ mod tests {
 
     #[test]
     fn file_backend_round_trip_and_truncate() {
-        let dir = std::env::temp_dir().join(format!(
-            "hpcmfa-durability-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("hpcmfa-durability-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let b = FileBackend::open(&dir).unwrap();
         let f1 = rec("a").encode_frame();
@@ -485,10 +483,8 @@ mod tests {
 
     #[test]
     fn file_backend_missing_snapshot_is_none() {
-        let dir = std::env::temp_dir().join(format!(
-            "hpcmfa-durability-nosnap-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("hpcmfa-durability-nosnap-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let b = FileBackend::open(&dir).unwrap();
         assert_eq!(b.read_snapshot().unwrap(), None);

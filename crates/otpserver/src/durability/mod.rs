@@ -319,7 +319,9 @@ impl Persistence {
         self.stats.records_replayed.add(report.wal_records as u64);
         if report.truncated_bytes > 0 {
             self.stats.tail_truncations.inc();
-            self.stats.truncated_bytes.add(report.truncated_bytes as u64);
+            self.stats
+                .truncated_bytes
+                .add(report.truncated_bytes as u64);
         }
         self.appends_since_snapshot.store(0, Ordering::Relaxed);
     }

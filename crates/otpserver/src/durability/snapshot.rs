@@ -200,9 +200,9 @@ fn decode_snapshot(bytes: &[u8]) -> Result<DecodedSnapshot, RecoverError> {
 fn skipped_users(records: &[WalRecord]) -> usize {
     records[..records.len() - 1]
         .iter()
-        .filter(|r| {
-            matches!(r, WalRecord::SnapshotUser { pairing, .. } if pairing.restore().is_none())
-        })
+        .filter(
+            |r| matches!(r, WalRecord::SnapshotUser { pairing, .. } if pairing.restore().is_none()),
+        )
         .count()
 }
 
@@ -262,10 +262,7 @@ fn apply(
             last_step,
         } => {
             if let Some(rec) = users.get_mut(user) {
-                if let TokenPairing::Totp {
-                    drift_steps: d, ..
-                } = &mut rec.pairing
-                {
+                if let TokenPairing::Totp { drift_steps: d, .. } = &mut rec.pairing {
                     *d = *drift_steps;
                 }
                 merge_last_step(&mut rec.pairing, *last_step);
@@ -492,7 +489,10 @@ mod tests {
         }
         let clean_len = wal.len();
         // A torn third frame.
-        let torn = WalRecord::Remove { user: "carol".into() }.encode_frame();
+        let torn = WalRecord::Remove {
+            user: "carol".into(),
+        }
+        .encode_frame();
         wal.extend_from_slice(&torn[..torn.len() - 3]);
         let b: Arc<dyn StorageBackend> = MemoryBackend::with_contents(wal, None);
         let state = recover(&b).unwrap();

@@ -159,17 +159,15 @@ impl PairingImage {
             }
             PairingImage::Sms { phone, pending } => Some(TokenPairing::Sms {
                 phone: PhoneNumber::parse(phone).ok()?,
-                pending: pending.as_ref().map(|(code, sent_at, expires_at)| {
-                    PendingSmsCode {
+                pending: pending
+                    .as_ref()
+                    .map(|(code, sent_at, expires_at)| PendingSmsCode {
                         code: code.clone(),
                         sent_at: *sent_at,
                         expires_at: *expires_at,
-                    }
-                }),
+                    }),
             }),
-            PairingImage::Static { code } => {
-                Some(TokenPairing::Static { code: code.clone() })
-            }
+            PairingImage::Static { code } => Some(TokenPairing::Static { code: code.clone() }),
         }
     }
 }
@@ -560,15 +558,18 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
 
     fn i64(&mut self) -> Option<i64> {
-        self.take(8).map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+        self.take(8)
+            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
     }
 
     fn bytes(&mut self) -> Option<Vec<u8>> {
@@ -802,7 +803,9 @@ mod tests {
                 drift_steps: -240,
                 last_step: 10,
             },
-            WalRecord::Remove { user: "dave".into() },
+            WalRecord::Remove {
+                user: "dave".into(),
+            },
         ]
     }
 

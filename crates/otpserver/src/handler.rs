@@ -177,7 +177,13 @@ mod tests {
         let code = device.displayed_code(rig.clock.now());
         let fin = rig
             .client
-            .respond_to_challenge(&mut rig.rng, "alice", code.as_bytes(), "198.51.100.7", &state)
+            .respond_to_challenge(
+                &mut rig.rng,
+                "alice",
+                code.as_bytes(),
+                "198.51.100.7",
+                &state,
+            )
             .unwrap();
         assert!(matches!(fin, Outcome::Accept { .. }));
     }
@@ -274,10 +280,7 @@ mod tests {
             hide_password(b"123456", &ra, SECRET),
         ));
         // Route straight through a server to observe the discard.
-        let handler = OtpRadiusHandler::new(
-            Arc::clone(&rig.linotp),
-            Arc::new(SimClock::at(NOW)),
-        );
+        let handler = OtpRadiusHandler::new(Arc::clone(&rig.linotp), Arc::new(SimClock::at(NOW)));
         let server = RadiusServer::new(SECRET, handler);
         assert_eq!(server.process_datagram(&req.encode()), None);
     }
@@ -285,10 +288,7 @@ mod tests {
     #[test]
     fn challenge_states_are_unique() {
         let rig = rig();
-        let handler = OtpRadiusHandler::new(
-            Arc::clone(&rig.linotp),
-            Arc::new(SimClock::at(NOW)),
-        );
+        let handler = OtpRadiusHandler::new(Arc::clone(&rig.linotp), Arc::new(SimClock::at(NOW)));
         let s1 = handler.fresh_state();
         let s2 = handler.fresh_state();
         assert_ne!(s1, s2);

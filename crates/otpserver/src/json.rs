@@ -29,12 +29,7 @@ pub enum Json {
 impl Json {
     /// Object builder from pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Shorthand string value.
@@ -69,9 +64,7 @@ impl Json {
     /// Integer content (numbers that are whole).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -274,8 +267,8 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let s = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let s =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let cp = u32::from_str_radix(s, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogates unsupported (not emitted by this API).
@@ -449,8 +442,17 @@ mod tests {
     #[test]
     fn parse_errors() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "tru", "\"unterminated", "01x", "{\"a\":1,}",
-            "[1] trailing", "\"bad\\q\"", "\"\\u12\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1,}",
+            "[1] trailing",
+            "\"bad\\q\"",
+            "\"\\u12\"",
         ] {
             assert!(Json::parse(bad).is_err(), "should fail: {bad:?}");
         }

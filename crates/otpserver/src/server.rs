@@ -20,7 +20,7 @@ use crate::store::{PendingSmsCode, TokenPairing, TokenStore, TotpProvenance, Use
 use crate::{DRIFT_TOLERANCE_SECS, LOCKOUT_THRESHOLD, SMS_CODE_VALIDITY_SECS};
 use hpcmfa_otp::secret::Secret;
 use hpcmfa_otp::totp::Totp;
-use hpcmfa_telemetry::{MetricsRegistry, TraceId};
+use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind, TraceId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -229,7 +229,14 @@ impl LinotpServer {
 
     /// Persist + record one audit event. Audit persistence failures are
     /// counted but never gate the operation that produced the event.
-    fn audit_event(&self, at: u64, username: &str, action: AuditAction, success: bool, detail: &str) {
+    fn audit_event(
+        &self,
+        at: u64,
+        username: &str,
+        action: AuditAction,
+        success: bool,
+        detail: &str,
+    ) {
         self.persist(&WalRecord::Audit {
             at,
             user: username.to_string(),
@@ -476,10 +483,9 @@ impl LinotpServer {
                     | ValidationOutcome::Replayed => self.persist(&WalRecord::ValState {
                         user: username.to_string(),
                         last_step: match (&rec.pairing, outcome) {
-                            (
-                                TokenPairing::Totp { last_step, .. },
-                                ValidationOutcome::Success,
-                            ) => *last_step,
+                            (TokenPairing::Totp { last_step, .. }, ValidationOutcome::Success) => {
+                                *last_step
+                            }
                             _ => None,
                         },
                         fail_count: rec.fail_count,
@@ -534,16 +540,42 @@ impl LinotpServer {
             ValidationOutcome::Unavailable => "unavailable",
         };
         self.metrics
-            .counter("hpcmfa_otp_validations_total", &[("outcome", outcome_label)])
+            .counter(
+                "hpcmfa_otp_validations_total",
+                &[("outcome", outcome_label)],
+            )
             .inc();
         if locked_now {
             self.metrics.counter("hpcmfa_otp_lockouts_total", &[]).inc();
+            self.metrics.emit_event(
+                SecurityEventKind::LockoutStorm,
+                trace,
+                now,
+                format!("user={username} threshold reached"),
+            );
+        }
+        match outcome {
+            ValidationOutcome::Replayed => self.metrics.emit_event(
+                SecurityEventKind::ReplayAttempt,
+                trace,
+                now,
+                format!("user={username} consumed code resubmitted"),
+            ),
+            ValidationOutcome::Unavailable => self.metrics.emit_event(
+                SecurityEventKind::WalFsyncDegraded,
+                trace,
+                now,
+                format!("user={username} accepted code not durable, denied"),
+            ),
+            _ => {}
         }
         self.metrics
             .histogram("hpcmfa_otp_validate_wall_us", &[])
             .record_elapsed_us(started);
         if let Some(t) = trace {
-            self.metrics.tracer().span(t, "otp", "validate", outcome_label);
+            self.metrics
+                .tracer()
+                .span(t, "otp", "validate", outcome_label);
         }
         self.maybe_compact(now);
         outcome
@@ -621,6 +653,12 @@ impl LinotpServer {
                     true,
                     &traced_detail("code active", trace),
                 );
+                self.metrics.emit_event(
+                    SecurityEventKind::SmsAbuse,
+                    trace,
+                    now,
+                    format!("user={username} re-trigger while code active"),
+                );
                 SmsTrigger::AlreadyActive
             }
             SmsDecision::NotSms => SmsTrigger::NotSmsUser,
@@ -633,6 +671,12 @@ impl LinotpServer {
                     AuditAction::SmsTriggered,
                     false,
                     &traced_detail("durability unavailable", trace),
+                );
+                self.metrics.emit_event(
+                    SecurityEventKind::WalFsyncDegraded,
+                    trace,
+                    now,
+                    format!("user={username} sms issue not durable, withheld"),
                 );
                 SmsTrigger::Unavailable
             }
@@ -746,6 +790,20 @@ impl LinotpServer {
     pub fn status(&self, username: &str, now: u64) -> Option<UserTokenStatus> {
         self.store.status(username, now)
     }
+
+    /// Refresh the `hpcmfa_otp_locked_users` / `hpcmfa_otp_sms_pending`
+    /// gauges from one store pass at `now`. Both admin observability
+    /// routes call this before rendering, so `/system/metrics` and
+    /// `/system/alerts` always agree on the same census.
+    pub fn refresh_gauges(&self, now: u64) {
+        let (locked, sms_pending) = self.store.gauge_counts(now);
+        self.metrics
+            .gauge("hpcmfa_otp_locked_users", &[])
+            .set(locked as i64);
+        self.metrics
+            .gauge("hpcmfa_otp_sms_pending", &[])
+            .set(sms_pending as i64);
+    }
 }
 
 enum SmsDecision {
@@ -780,7 +838,10 @@ mod tests {
         let secret = srv.enroll_soft("alice", NOW);
         let device = soft_device(&secret);
         let code = device.displayed_code(NOW + 60);
-        assert_eq!(srv.validate("alice", &code, NOW + 60), ValidationOutcome::Success);
+        assert_eq!(
+            srv.validate("alice", &code, NOW + 60),
+            ValidationOutcome::Success
+        );
     }
 
     #[test]
@@ -790,7 +851,10 @@ mod tests {
         let code = soft_device(&secret).displayed_code(NOW);
         assert!(srv.validate("alice", &code, NOW).is_success());
         // "the provided token code is nullified" (§3.2).
-        assert_eq!(srv.validate("alice", &code, NOW), ValidationOutcome::Replayed);
+        assert_eq!(
+            srv.validate("alice", &code, NOW),
+            ValidationOutcome::Replayed
+        );
         // The next step's code works.
         let next = soft_device(&secret).displayed_code(NOW + 30);
         assert!(srv.validate("alice", &next, NOW + 30).is_success());
@@ -803,7 +867,10 @@ mod tests {
         let srv = server();
         let secret = srv.enroll_soft("alice", NOW);
         let code = soft_device(&secret).displayed_code(NOW);
-        assert_eq!(srv.validate("alice", "000000", NOW), ValidationOutcome::WrongCode);
+        assert_eq!(
+            srv.validate("alice", "000000", NOW),
+            ValidationOutcome::WrongCode
+        );
         assert!(srv.validate("alice", &code, NOW).is_success());
     }
 
@@ -834,8 +901,14 @@ mod tests {
             );
         }
         // 20th failure trips the threshold.
-        assert_eq!(srv.validate("alice", "000000", NOW + 19), ValidationOutcome::WrongCode);
-        assert_eq!(srv.validate("alice", "000000", NOW + 20), ValidationOutcome::Locked);
+        assert_eq!(
+            srv.validate("alice", "000000", NOW + 19),
+            ValidationOutcome::WrongCode
+        );
+        assert_eq!(
+            srv.validate("alice", "000000", NOW + 20),
+            ValidationOutcome::Locked
+        );
         assert!(!srv.status("alice", NOW + 20).unwrap().active);
         assert_eq!(srv.audit().count(AuditAction::Lockout, true), 1);
     }
@@ -864,7 +937,10 @@ mod tests {
         for i in 0..20 {
             srv.validate("alice", "000000", NOW + i);
         }
-        assert_eq!(srv.validate("alice", "x", NOW + 30), ValidationOutcome::Locked);
+        assert_eq!(
+            srv.validate("alice", "x", NOW + 30),
+            ValidationOutcome::Locked
+        );
         assert!(srv.reset_failcount("alice", NOW + 40));
         let code = soft_device(&secret).displayed_code(NOW + 60);
         assert!(srv.validate("alice", &code, NOW + 60).is_success());
@@ -884,7 +960,10 @@ mod tests {
         assert_eq!(code.len(), 6);
         assert!(srv.validate("bob", &code, NOW + 10).is_success());
         // Consumed: same code fails afterwards.
-        assert_eq!(srv.validate("bob", &code, NOW + 11), ValidationOutcome::WrongCode);
+        assert_eq!(
+            srv.validate("bob", &code, NOW + 11),
+            ValidationOutcome::WrongCode
+        );
     }
 
     #[test]
@@ -933,17 +1012,26 @@ mod tests {
         assert!(srv.validate("train01", &code, NOW).is_success());
         // Reusable within the session (no replay nullification for static).
         assert!(srv.validate("train01", &code, NOW + 100).is_success());
-        assert_eq!(srv.validate("train01", "999999", NOW), ValidationOutcome::WrongCode);
+        assert_eq!(
+            srv.validate("train01", "999999", NOW),
+            ValidationOutcome::WrongCode
+        );
         // Regeneration invalidates the old code.
         let new_code = srv.enroll_static("train01", NOW + 200);
         assert_ne!(code, new_code);
-        assert_eq!(srv.validate("train01", &code, NOW + 201), ValidationOutcome::WrongCode);
+        assert_eq!(
+            srv.validate("train01", &code, NOW + 201),
+            ValidationOutcome::WrongCode
+        );
     }
 
     #[test]
     fn validation_without_pairing() {
         let srv = server();
-        assert_eq!(srv.validate("ghost", "123456", NOW), ValidationOutcome::NoToken);
+        assert_eq!(
+            srv.validate("ghost", "123456", NOW),
+            ValidationOutcome::NoToken
+        );
     }
 
     #[test]
@@ -1010,7 +1098,10 @@ mod tests {
         assert!(srv.validate("alice", &code, NOW).is_success());
         srv.crash_and_recover().unwrap();
         // The accepted code must still be nullified after the restart.
-        assert_eq!(srv.validate("alice", &code, NOW), ValidationOutcome::Replayed);
+        assert_eq!(
+            srv.validate("alice", &code, NOW),
+            ValidationOutcome::Replayed
+        );
         // And fresh codes still work.
         let next = soft_device(&secret).displayed_code(NOW + 30);
         assert!(srv.validate("alice", &next, NOW + 30).is_success());
@@ -1031,7 +1122,10 @@ mod tests {
             !srv.status("alice", NOW + 21).unwrap().active,
             "lockout must not regress across a crash"
         );
-        assert_eq!(srv.validate("alice", "x", NOW + 22), ValidationOutcome::Locked);
+        assert_eq!(
+            srv.validate("alice", "x", NOW + 22),
+            ValidationOutcome::Locked
+        );
         // Only an admin action reactivates.
         assert!(srv.reset_failcount("alice", NOW + 30));
         srv.crash_and_recover().unwrap();
@@ -1056,7 +1150,10 @@ mod tests {
         assert!(counters.fsync_failures > 0);
         // The code is burned in memory either way — deny-safe.
         plan.set_fsync_fail_every(0);
-        assert_ne!(srv.validate("alice", &code, NOW), ValidationOutcome::Success);
+        assert_ne!(
+            srv.validate("alice", &code, NOW),
+            ValidationOutcome::Success
+        );
     }
 
     #[test]
@@ -1069,7 +1166,10 @@ mod tests {
         plan.set_fsync_fail_every(1);
         assert_eq!(srv.trigger_sms("bob", NOW), SmsTrigger::Unavailable);
         plan.set_fsync_fail_every(0);
-        assert!(matches!(srv.trigger_sms("bob", NOW + 1), SmsTrigger::Sent(_)));
+        assert!(matches!(
+            srv.trigger_sms("bob", NOW + 1),
+            SmsTrigger::Sent(_)
+        ));
     }
 
     #[test]
@@ -1110,7 +1210,9 @@ mod tests {
         let secret = srv.enroll_soft("alice", NOW);
         let code = soft_device(&secret).displayed_code(NOW);
         let id = TraceId::from_u64(0xabcd);
-        assert!(srv.validate_traced("alice", &code, NOW, Some(id)).is_success());
+        assert!(srv
+            .validate_traced("alice", &code, NOW, Some(id))
+            .is_success());
         // The audit row carries the trace id; joinable with PAM/RADIUS spans.
         assert!(srv
             .audit()

@@ -199,6 +199,30 @@ impl TokenStore {
         purged
     }
 
+    /// One-pass security-posture census under a single write lock: purge
+    /// expired pending SMS codes, then count locked-out users and users
+    /// with an unexpired SMS code outstanding. Both `/system/metrics` and
+    /// `/system/alerts` refresh their gauges from this one read so the two
+    /// surfaces can never disagree about the same instant.
+    pub fn gauge_counts(&self, now: u64) -> (u64, u64) {
+        let mut locked = 0u64;
+        let mut sms_pending = 0u64;
+        for rec in self.users.write().values_mut() {
+            if let TokenPairing::Sms { pending, .. } = &mut rec.pairing {
+                if pending.as_ref().is_some_and(|p| !p.active(now)) {
+                    *pending = None;
+                }
+                if pending.is_some() {
+                    sms_pending += 1;
+                }
+            }
+            if !rec.active {
+                locked += 1;
+            }
+        }
+        (locked, sms_pending)
+    }
+
     /// Mutate a user's record under the write lock. Returns `None` if the
     /// user has no pairing, else the closure's result.
     pub fn with_record<T>(
@@ -333,7 +357,10 @@ mod tests {
         // After expiry the status read itself purges the stale code.
         assert!(!store.status("s", 400).unwrap().sms_pending);
         let rec = store.get("s").unwrap();
-        assert!(matches!(rec.pairing, TokenPairing::Sms { pending: None, .. }));
+        assert!(matches!(
+            rec.pairing,
+            TokenPairing::Sms { pending: None, .. }
+        ));
     }
 
     #[test]
@@ -359,7 +386,45 @@ mod tests {
         ));
         assert!(matches!(
             store.get("b").unwrap().pairing,
-            TokenPairing::Sms { pending: Some(_), .. }
+            TokenPairing::Sms {
+                pending: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gauge_counts_purge_and_census_in_one_pass() {
+        let store = TokenStore::new();
+        store.enroll("locked", totp_pairing(TotpProvenance::Soft));
+        store.with_record("locked", |r| r.active = false);
+        store.enroll(
+            "fresh",
+            TokenPairing::Sms {
+                phone: PhoneNumber::parse("5125551234").unwrap(),
+                pending: Some(PendingSmsCode {
+                    code: "111111".into(),
+                    sent_at: 100,
+                    expires_at: 900,
+                }),
+            },
+        );
+        store.enroll(
+            "stale",
+            TokenPairing::Sms {
+                phone: PhoneNumber::parse("5125551235").unwrap(),
+                pending: Some(PendingSmsCode {
+                    code: "222222".into(),
+                    sent_at: 100,
+                    expires_at: 400,
+                }),
+            },
+        );
+        assert_eq!(store.gauge_counts(500), (1, 1));
+        // The census purged the stale code durably in memory.
+        assert!(matches!(
+            store.get("stale").unwrap().pairing,
+            TokenPairing::Sms { pending: None, .. }
         ));
     }
 

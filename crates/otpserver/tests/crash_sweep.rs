@@ -22,9 +22,7 @@ use hpcmfa_otp::totp::TotpParams;
 use hpcmfa_otpserver::durability::wal::FRAME_HEADER_LEN;
 use hpcmfa_otpserver::server::{LinotpServer, ServerConfig};
 use hpcmfa_otpserver::sms::{PhoneNumber, TwilioSim};
-use hpcmfa_otpserver::{
-    recover, FileBackend, MemoryBackend, StorageBackend, ValidationOutcome,
-};
+use hpcmfa_otpserver::{recover, FileBackend, MemoryBackend, StorageBackend, ValidationOutcome};
 use std::sync::Arc;
 
 /// Facts the script establishes, each stamped with the durable WAL length
@@ -153,7 +151,9 @@ fn assert_invariants(srv: &LinotpServer, facts: &Facts, cut: usize) {
     for (user, acked) in &facts.locked {
         if *acked <= cut {
             assert!(
-                !srv.status(user, facts.end_time).expect("user exists").active,
+                !srv.status(user, facts.end_time)
+                    .expect("user exists")
+                    .active,
                 "{user} was locked before WAL byte {acked} but is active \
                  after a crash at byte {cut}"
             );
@@ -162,7 +162,9 @@ fn assert_invariants(srv: &LinotpServer, facts: &Facts, cut: usize) {
     for (user, acked) in &facts.reset {
         if *acked <= cut {
             assert!(
-                srv.status(user, facts.end_time).expect("user exists").active,
+                srv.status(user, facts.end_time)
+                    .expect("user exists")
+                    .active,
                 "staff reset for {user} at WAL byte {acked} was lost by a \
                  crash at byte {cut}"
             );
@@ -190,10 +192,7 @@ fn file_backend_crash_after_every_append_preserves_invariants() {
     let facts = run_script(&backend);
     let wal = backend.durable_wal();
 
-    let dir = std::env::temp_dir().join(format!(
-        "hpcmfa-crash-sweep-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("hpcmfa-crash-sweep-{}", std::process::id()));
     for &cut in &frame_boundaries(&wal) {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();

@@ -1,11 +1,11 @@
 //! Property-based tests for the OTP server: JSON codec round trips and
 //! validation-engine invariants.
 
+use hpcmfa_otp::device::SoftToken;
+use hpcmfa_otp::totp::TotpParams;
 use hpcmfa_otpserver::json::Json;
 use hpcmfa_otpserver::server::{LinotpServer, ValidationOutcome};
 use hpcmfa_otpserver::sms::TwilioSim;
-use hpcmfa_otp::device::SoftToken;
-use hpcmfa_otp::totp::TotpParams;
 use proptest::prelude::*;
 
 fn arb_json() -> impl Strategy<Value = Json> {

@@ -5,9 +5,7 @@
 //! frame always fails its checksum instead of parsing into something
 //! plausible).
 
-use hpcmfa_otpserver::durability::wal::{
-    crc32, decode_stream, PairingImage, WalRecord, WalTail,
-};
+use hpcmfa_otpserver::durability::wal::{crc32, decode_stream, PairingImage, WalRecord, WalTail};
 use proptest::prelude::*;
 
 fn arb_user() -> BoxedStrategy<String> {
@@ -19,10 +17,7 @@ fn arb_opt_step() -> BoxedStrategy<Option<u64>> {
 }
 
 fn arb_pairing() -> BoxedStrategy<PairingImage> {
-    let serial = prop_oneof![
-        Just(None),
-        "[A-Z]{2,4}-[0-9]{4}".prop_map(Some),
-    ];
+    let serial = prop_oneof![Just(None), "[A-Z]{2,4}-[0-9]{4}".prop_map(Some),];
     let totp = (
         prop::collection::vec(any::<u8>(), 10..33),
         (6u32..9, 30u64..61, 0u64..1_000),
@@ -49,16 +44,15 @@ fn arb_pairing() -> BoxedStrategy<PairingImage> {
         ("[0-9]{6}", 0u64..1_000_000, 0u64..1_000_000)
             .prop_map(|(code, sent_at, expires_at)| Some((code, sent_at, expires_at))),
     ];
-    let sms = ("[0-9]{10}", pending)
-        .prop_map(|(phone, pending)| PairingImage::Sms { phone, pending });
+    let sms =
+        ("[0-9]{10}", pending).prop_map(|(phone, pending)| PairingImage::Sms { phone, pending });
     let fixed = "[0-9]{8}".prop_map(|code| PairingImage::Static { code });
     prop_oneof![totp, sms, fixed].boxed()
 }
 
 fn arb_record() -> BoxedStrategy<WalRecord> {
     prop_oneof![
-        (arb_user(), arb_pairing())
-            .prop_map(|(user, pairing)| WalRecord::Enroll { user, pairing }),
+        (arb_user(), arb_pairing()).prop_map(|(user, pairing)| WalRecord::Enroll { user, pairing }),
         arb_user().prop_map(|user| WalRecord::Remove { user }),
         (arb_user(), arb_opt_step(), 0u32..25, any::<bool>()).prop_map(
             |(user, last_step, fail_count, active)| WalRecord::ValState {
@@ -68,13 +62,13 @@ fn arb_record() -> BoxedStrategy<WalRecord> {
                 active,
             }
         ),
-        (arb_user(), -5i64..6, 0u64..50_000_000).prop_map(
-            |(user, drift_steps, last_step)| WalRecord::Resync {
+        (arb_user(), -5i64..6, 0u64..50_000_000).prop_map(|(user, drift_steps, last_step)| {
+            WalRecord::Resync {
                 user,
                 drift_steps,
                 last_step,
             }
-        ),
+        }),
         (arb_user(), "[0-9]{6}", 0u64..1_000_000, 0u64..1_000_000).prop_map(
             |(user, code, sent_at, expires_at)| WalRecord::SmsIssue {
                 user,
@@ -84,15 +78,17 @@ fn arb_record() -> BoxedStrategy<WalRecord> {
             }
         ),
         arb_user().prop_map(|user| WalRecord::SmsClear { user }),
-        ((0u64..2_000_000_000, arb_user(), 0u8..8), (any::<bool>(), "\\PC{0,24}")).prop_map(
-            |((at, user, action), (success, detail))| WalRecord::Audit {
+        (
+            (0u64..2_000_000_000, arb_user(), 0u8..8),
+            (any::<bool>(), "\\PC{0,24}")
+        )
+            .prop_map(|((at, user, action), (success, detail))| WalRecord::Audit {
                 at,
                 user,
                 action,
                 success,
                 detail,
-            }
-        ),
+            }),
         (arb_user(), arb_pairing(), 0u32..25, any::<bool>()).prop_map(
             |(user, pairing, fail_count, active)| WalRecord::SnapshotUser {
                 user,
@@ -101,13 +97,13 @@ fn arb_record() -> BoxedStrategy<WalRecord> {
                 active,
             }
         ),
-        (0u64..5_000, 0u64..5_000, 0u64..5_000).prop_map(
-            |(users, audits, audit_dropped)| WalRecord::SnapshotSeal {
+        (0u64..5_000, 0u64..5_000, 0u64..5_000).prop_map(|(users, audits, audit_dropped)| {
+            WalRecord::SnapshotSeal {
                 users,
                 audits,
                 audit_dropped,
             }
-        ),
+        }),
     ]
     .boxed()
 }

@@ -512,7 +512,10 @@ mod tests {
             assert_eq!(cfg.decide(u, ip("8.8.8.8"), 0), AccessDecision::Exempt);
         }
         assert_eq!(cfg.decide("x", ip("10.0.0.2"), 0), AccessDecision::Exempt);
-        assert_eq!(cfg.decide("x", ip("10.0.0.3"), 0), AccessDecision::NotExempt);
+        assert_eq!(
+            cfg.decide("x", ip("10.0.0.3"), 0),
+            AccessDecision::NotExempt
+        );
     }
 
     #[test]
@@ -559,19 +562,26 @@ mod tests {
             watched.decide("gw", ip("1.1.1.1"), 0),
             AccessDecision::NotExempt
         );
-        watched
-            .reload_from_text("+ : gw : ALL : ALL\n")
-            .unwrap();
-        assert_eq!(watched.decide("gw", ip("1.1.1.1"), 0), AccessDecision::Exempt);
+        watched.reload_from_text("+ : gw : ALL : ALL\n").unwrap();
+        assert_eq!(
+            watched.decide("gw", ip("1.1.1.1"), 0),
+            AccessDecision::Exempt
+        );
         // Bad reload leaves old rules active.
         assert!(watched.reload_from_text("junk line\n").is_err());
-        assert_eq!(watched.decide("gw", ip("1.1.1.1"), 0), AccessDecision::Exempt);
+        assert_eq!(
+            watched.decide("gw", ip("1.1.1.1"), 0),
+            AccessDecision::Exempt
+        );
     }
 
     #[test]
     fn blanket_all_all_all() {
         // The "drop everything back to single factor" escape hatch.
         let cfg = AccessConfig::parse("+ : ALL : ALL : ALL\n").unwrap();
-        assert_eq!(cfg.decide("anyone", ip("8.8.8.8"), 0), AccessDecision::Exempt);
+        assert_eq!(
+            cfg.decide("anyone", ip("8.8.8.8"), 0),
+            AccessDecision::Exempt
+        );
     }
 }

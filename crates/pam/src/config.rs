@@ -74,7 +74,9 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-fn parse_control(tokens: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>) -> Result<ControlFlag, String> {
+fn parse_control(
+    tokens: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>,
+) -> Result<ControlFlag, String> {
     let first = tokens.next().ok_or("missing control flag")?;
     match first {
         "required" => Ok(ControlFlag::Required),
@@ -101,8 +103,7 @@ fn parse_control(tokens: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>
             for p in parts.iter().filter(|p| !p.is_empty()) {
                 match p.split_once('=') {
                     Some(("success", n)) => {
-                        success_skip =
-                            Some(n.parse::<usize>().map_err(|_| "bad success=N value")?)
+                        success_skip = Some(n.parse::<usize>().map_err(|_| "bad success=N value")?)
                     }
                     Some(("default", "ignore")) => default_ignore = true,
                     _ => return Err(format!("unsupported control token {p:?}")),

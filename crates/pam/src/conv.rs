@@ -160,7 +160,8 @@ mod tests {
             "first"
         );
         assert_eq!(
-            conv.converse(&Prompt::EchoOff("TACC Token:".into())).unwrap(),
+            conv.converse(&Prompt::EchoOff("TACC Token:".into()))
+                .unwrap(),
             "second"
         );
         assert_eq!(
@@ -172,7 +173,8 @@ mod tests {
     #[test]
     fn info_prompts_do_not_consume_answers() {
         let mut conv = ScriptedConversation::with_answers(["only"]);
-        conv.converse(&Prompt::Info("MFA is coming".into())).unwrap();
+        conv.converse(&Prompt::Info("MFA is coming".into()))
+            .unwrap();
         assert_eq!(
             conv.converse(&Prompt::EchoOn("Ack:".into())).unwrap(),
             "only"
@@ -193,7 +195,8 @@ mod tests {
         let mut conv = ScriptedConversation::with_answers(["123456"]);
         let transcript = conv.transcript();
         conv.converse(&Prompt::Info("notice".into())).unwrap();
-        conv.converse(&Prompt::EchoOff("TACC Token:".into())).unwrap();
+        conv.converse(&Prompt::EchoOff("TACC Token:".into()))
+            .unwrap();
         let t = transcript.lock();
         assert_eq!(t.len(), 2);
         assert_eq!(t[0].reply, None);

@@ -30,5 +30,5 @@ pub mod stack;
 
 pub use access::{AccessConfig, AccessDecision};
 pub use context::PamContext;
-pub use conv::{Conversation, ConvError, Prompt, ScriptedConversation, TranscriptEntry};
+pub use conv::{ConvError, Conversation, Prompt, ScriptedConversation, TranscriptEntry};
 pub use stack::{ControlFlag, PamModule, PamResult, PamStack, PamVerdict};

@@ -67,9 +67,8 @@ mod tests {
 
     #[test]
     fn exempt_user_succeeds() {
-        let cfg = WatchedAccessConfig::new(
-            AccessConfig::parse("+ : gateway1 : ALL : ALL\n").unwrap(),
-        );
+        let cfg =
+            WatchedAccessConfig::new(AccessConfig::parse("+ : gateway1 : ALL : ALL\n").unwrap());
         let m = ExemptionModule::new(cfg);
         assert_eq!(
             run(&m, "gateway1", Ipv4Addr::new(8, 8, 8, 8), 0),

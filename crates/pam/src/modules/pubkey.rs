@@ -85,13 +85,19 @@ mod tests {
 
     impl AuthLogSource for ToyLog {
         fn pubkey_success(&self, user: &str, rhost: Ipv4Addr, now: u64, within: u64) -> bool {
-            self.0.lock().iter().any(|(u, r, at)| {
-                u == user && *r == rhost && *at <= now && now - at <= within
-            })
+            self.0
+                .lock()
+                .iter()
+                .any(|(u, r, at)| u == user && *r == rhost && *at <= now && now - at <= within)
         }
     }
 
-    fn ctx_run(module: &PubkeyCheckModule, user: &str, ip: Ipv4Addr, now: u64) -> (PamResult, bool) {
+    fn ctx_run(
+        module: &PubkeyCheckModule,
+        user: &str,
+        ip: Ipv4Addr,
+        now: u64,
+    ) -> (PamResult, bool) {
         let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
         let mut ctx = PamContext::new(user, ip, Arc::new(SimClock::at(now)), &mut conv);
         let r = module.authenticate(&mut ctx);
@@ -101,7 +107,9 @@ mod tests {
     #[test]
     fn recent_entry_found() {
         let log = Arc::new(ToyLog::default());
-        log.0.lock().push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 995));
+        log.0
+            .lock()
+            .push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 995));
         let module = PubkeyCheckModule::new(Arc::clone(&log) as Arc<dyn AuthLogSource>);
         let (r, flag) = ctx_run(&module, "alice", Ipv4Addr::new(1, 2, 3, 4), 1000);
         assert_eq!(r, PamResult::Success);
@@ -111,7 +119,9 @@ mod tests {
     #[test]
     fn stale_entry_ignored() {
         let log = Arc::new(ToyLog::default());
-        log.0.lock().push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 900));
+        log.0
+            .lock()
+            .push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 900));
         let module = PubkeyCheckModule::new(Arc::clone(&log) as Arc<dyn AuthLogSource>);
         let (r, flag) = ctx_run(&module, "alice", Ipv4Addr::new(1, 2, 3, 4), 1000);
         assert_eq!(r, PamResult::Ignore);
@@ -121,7 +131,9 @@ mod tests {
     #[test]
     fn wrong_user_or_host_ignored() {
         let log = Arc::new(ToyLog::default());
-        log.0.lock().push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 999));
+        log.0
+            .lock()
+            .push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 999));
         let module = PubkeyCheckModule::new(Arc::clone(&log) as Arc<dyn AuthLogSource>);
         assert_eq!(
             ctx_run(&module, "bob", Ipv4Addr::new(1, 2, 3, 4), 1000).0,
@@ -136,7 +148,9 @@ mod tests {
     #[test]
     fn custom_freshness_window() {
         let log = Arc::new(ToyLog::default());
-        log.0.lock().push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 500));
+        log.0
+            .lock()
+            .push(("alice".into(), Ipv4Addr::new(1, 2, 3, 4), 500));
         let module =
             PubkeyCheckModule::with_freshness(Arc::clone(&log) as Arc<dyn AuthLogSource>, 600);
         assert_eq!(

@@ -49,8 +49,8 @@ impl PamModule for SolarisComboModule {
         if pubkey_ok {
             ctx.pubkey_succeeded = true;
         }
-        let exempt = self.config.decide(&ctx.username, ctx.rhost, ctx.now())
-            == AccessDecision::Exempt;
+        let exempt =
+            self.config.decide(&ctx.username, ctx.rhost, ctx.now()) == AccessDecision::Exempt;
         if pubkey_ok && exempt {
             PamResult::Success
         } else {

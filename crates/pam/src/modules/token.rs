@@ -201,14 +201,18 @@ impl TokenModule {
         // Null request: opens the challenge and triggers SMS sends.
         let opening = {
             let mut rng = self.rng.lock();
-            self.radius
-                .authenticate_traced(&mut *rng, &ctx.username, b"", &rhost, Some(ctx.trace_id))
+            self.radius.authenticate_traced(
+                &mut *rng,
+                &ctx.username,
+                b"",
+                &rhost,
+                Some(ctx.trace_id),
+            )
         };
         let (state, prompt_text) = match opening {
-            Ok(Outcome::Challenge { state, message }) => (
-                state,
-                message.unwrap_or_else(|| "TACC Token:".to_string()),
-            ),
+            Ok(Outcome::Challenge { state, message }) => {
+                (state, message.unwrap_or_else(|| "TACC Token:".to_string()))
+            }
             Ok(Outcome::Accept { .. }) => return PamResult::Success,
             Ok(Outcome::Reject { .. }) => return PamResult::AuthErr,
             // Whole fleet unreachable: apply the degradation policy
@@ -506,9 +510,8 @@ mod tests {
         add_user(&rig, "alice", Some("soft"));
         rig.linotp.enroll_soft("oncall1", NOW);
         rig.linotp.enroll_soft("alice", NOW);
-        let operators = WatchedAccessConfig::new(
-            AccessConfig::parse("+ : oncall1 : ALL : ALL\n").unwrap(),
-        );
+        let operators =
+            WatchedAccessConfig::new(AccessConfig::parse("+ : oncall1 : ALL : ALL\n").unwrap());
         rig.module
             .set_degradation(DegradationPolicy::FailOpenExempt { operators });
         rig.faults.set_down(true);
@@ -529,9 +532,8 @@ mod tests {
         let rig = rig(EnforcementMode::Full);
         add_user(&rig, "oncall1", Some("soft"));
         rig.linotp.enroll_soft("oncall1", NOW);
-        let operators = WatchedAccessConfig::new(
-            AccessConfig::parse("+ : oncall1 : ALL : ALL\n").unwrap(),
-        );
+        let operators =
+            WatchedAccessConfig::new(AccessConfig::parse("+ : oncall1 : ALL : ALL\n").unwrap());
         rig.module
             .set_degradation(DegradationPolicy::FailOpenExempt { operators });
         let (r, _) = run(&rig, "oncall1", vec!["000000".into()]);
@@ -592,12 +594,18 @@ mod tests {
 
     #[test]
     fn mode_parse_fail_secure() {
-        assert_eq!(EnforcementMode::parse("off", None, None), EnforcementMode::Off);
+        assert_eq!(
+            EnforcementMode::parse("off", None, None),
+            EnforcementMode::Off
+        );
         assert_eq!(
             EnforcementMode::parse("paired", None, None),
             EnforcementMode::Paired
         );
-        assert_eq!(EnforcementMode::parse("full", None, None), EnforcementMode::Full);
+        assert_eq!(
+            EnforcementMode::parse("full", None, None),
+            EnforcementMode::Full
+        );
         assert_eq!(
             EnforcementMode::parse("countdown", Some("2016-10-04"), Some("http://x")),
             EnforcementMode::Countdown {
@@ -614,6 +622,9 @@ mod tests {
             EnforcementMode::parse("countdown", Some("garbage"), Some("x")),
             EnforcementMode::Full
         );
-        assert_eq!(EnforcementMode::parse("bogus", None, None), EnforcementMode::Full);
+        assert_eq!(
+            EnforcementMode::parse("bogus", None, None),
+            EnforcementMode::Full
+        );
     }
 }

@@ -7,8 +7,15 @@
 //! succeeded.
 
 use crate::context::PamContext;
-use hpcmfa_telemetry::MetricsRegistry;
+use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Consecutive denials before the stack reports an auth-failure burst on
+/// the security-event ring. Well under the OTP server's 20-failure
+/// lockout, so operators hear about a credential-stuffing run before
+/// accounts start locking.
+pub const FAILURE_BURST_THRESHOLD: u32 = 5;
 
 /// A module's result for one invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +82,11 @@ pub struct PamStack {
     /// Optional telemetry: verdict counters and a per-login span. `None`
     /// keeps bare test stacks free of any registry.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Consecutive denied verdicts since the last grant; at
+    /// [`FAILURE_BURST_THRESHOLD`] an `auth_failure_burst` security event
+    /// is emitted (once per streak — the counter keeps climbing but only
+    /// the crossing emits).
+    denied_streak: AtomicU32,
 }
 
 /// A trace of one stack evaluation, for the Figure 1 walkthrough example
@@ -158,11 +170,31 @@ impl PamStack {
                 .counter("hpcmfa_pam_stack_runs_total", &[("verdict", label)])
                 .inc();
             metrics.tracer().span(ctx.trace_id, "pam", "stack", label);
+            match verdict {
+                PamVerdict::Granted => {
+                    self.denied_streak.store(0, Ordering::Relaxed);
+                }
+                PamVerdict::Denied => {
+                    let streak = self.denied_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                    if streak == FAILURE_BURST_THRESHOLD {
+                        metrics.emit_event(
+                            SecurityEventKind::AuthFailureBurst,
+                            Some(ctx.trace_id),
+                            ctx.now(),
+                            format!("user={} {streak} consecutive denials", ctx.username),
+                        );
+                    }
+                }
+            }
         }
         verdict
     }
 
-    fn eval(&self, ctx: &mut PamContext<'_>, mut trace: Option<&mut Vec<StackTraceLine>>) -> PamVerdict {
+    fn eval(
+        &self,
+        ctx: &mut PamContext<'_>,
+        mut trace: Option<&mut Vec<StackTraceLine>>,
+    ) -> PamVerdict {
         if self.entries.is_empty() {
             return PamVerdict::Denied;
         }
@@ -303,7 +335,10 @@ mod tests {
         let count = Arc::new(AtomicU32::new(0));
         let mut s = PamStack::new();
         s.push(ControlFlag::Required, fixed("fail", PamResult::AuthErr));
-        s.push(ControlFlag::Required, Arc::new(Counting(Arc::clone(&count))));
+        s.push(
+            ControlFlag::Required,
+            Arc::new(Counting(Arc::clone(&count))),
+        );
         assert_eq!(run(&s), PamVerdict::Denied);
         assert_eq!(count.load(Ordering::SeqCst), 1);
     }
@@ -324,7 +359,10 @@ mod tests {
         let count = Arc::new(AtomicU32::new(0));
         let mut s = PamStack::new();
         s.push(ControlFlag::Requisite, fixed("fail", PamResult::AuthErr));
-        s.push(ControlFlag::Required, Arc::new(Counting(Arc::clone(&count))));
+        s.push(
+            ControlFlag::Required,
+            Arc::new(Counting(Arc::clone(&count))),
+        );
         assert_eq!(run(&s), PamVerdict::Denied);
         assert_eq!(count.load(Ordering::SeqCst), 0);
     }
@@ -357,8 +395,14 @@ mod tests {
     fn success_skip_jumps_over_next_modules() {
         // pubkey success skips the password module.
         let mut s = PamStack::new();
-        s.push(ControlFlag::SuccessSkip(1), fixed("pubkey", PamResult::Success));
-        s.push(ControlFlag::Requisite, fixed("password", PamResult::AuthErr));
+        s.push(
+            ControlFlag::SuccessSkip(1),
+            fixed("pubkey", PamResult::Success),
+        );
+        s.push(
+            ControlFlag::Requisite,
+            fixed("password", PamResult::AuthErr),
+        );
         s.push(ControlFlag::Required, fixed("token", PamResult::Success));
         assert_eq!(run(&s), PamVerdict::Granted);
     }
@@ -367,8 +411,14 @@ mod tests {
     fn success_skip_noop_on_failure() {
         // pubkey not used: the password module must run (here it passes).
         let mut s = PamStack::new();
-        s.push(ControlFlag::SuccessSkip(1), fixed("pubkey", PamResult::AuthErr));
-        s.push(ControlFlag::Requisite, fixed("password", PamResult::Success));
+        s.push(
+            ControlFlag::SuccessSkip(1),
+            fixed("pubkey", PamResult::AuthErr),
+        );
+        s.push(
+            ControlFlag::Requisite,
+            fixed("password", PamResult::Success),
+        );
         s.push(ControlFlag::Required, fixed("token", PamResult::Success));
         assert_eq!(run(&s), PamVerdict::Granted);
     }
@@ -378,7 +428,10 @@ mod tests {
         // A lone skip-success with nothing granting must deny: nothing
         // asserted authentication.
         let mut s = PamStack::new();
-        s.push(ControlFlag::SuccessSkip(1), fixed("pubkey", PamResult::Success));
+        s.push(
+            ControlFlag::SuccessSkip(1),
+            fixed("pubkey", PamResult::Success),
+        );
         assert_eq!(run(&s), PamVerdict::Denied);
     }
 
@@ -441,10 +494,53 @@ mod tests {
     }
 
     #[test]
+    fn denial_streak_emits_one_burst_event() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut s = PamStack::new();
+        s.push(ControlFlag::Required, fixed("a", PamResult::AuthErr));
+        s.set_metrics(Arc::clone(&metrics));
+        for _ in 0..FAILURE_BURST_THRESHOLD + 2 {
+            let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
+            let mut ctx = PamContext::new(
+                "u",
+                Ipv4Addr::LOCALHOST,
+                Arc::new(SimClock::at(7)),
+                &mut conv,
+            );
+            assert_eq!(s.authenticate(&mut ctx), PamVerdict::Denied);
+        }
+        // Only the threshold crossing emits, not every denial after it.
+        let events = metrics
+            .security_events()
+            .of_kind(SecurityEventKind::AuthFailureBurst);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].trace.is_some());
+        assert_eq!(events[0].at, 7);
+        // A grant resets the streak, so a fresh run of denials re-arms it.
+        let mut grant = PamStack::new();
+        grant.push(ControlFlag::Required, fixed("ok", PamResult::Success));
+        grant.set_metrics(Arc::clone(&metrics));
+        let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
+        let mut ctx = PamContext::new(
+            "u",
+            Ipv4Addr::LOCALHOST,
+            Arc::new(SimClock::at(8)),
+            &mut conv,
+        );
+        assert_eq!(grant.authenticate(&mut ctx), PamVerdict::Granted);
+    }
+
+    #[test]
     fn trace_records_skips() {
         let mut s = PamStack::new();
-        s.push(ControlFlag::SuccessSkip(1), fixed("pubkey", PamResult::Success));
-        s.push(ControlFlag::Requisite, fixed("password", PamResult::AuthErr));
+        s.push(
+            ControlFlag::SuccessSkip(1),
+            fixed("pubkey", PamResult::Success),
+        );
+        s.push(
+            ControlFlag::Requisite,
+            fixed("password", PamResult::AuthErr),
+        );
         s.push(ControlFlag::Required, fixed("token", PamResult::Success));
         let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
         let mut ctx = PamContext::new(

@@ -9,22 +9,21 @@ fn arb_line() -> impl Strategy<Value = String> {
     let action = prop::sample::select(vec!["+", "-"]);
     let users = prop_oneof![
         Just("ALL".to_string()),
-        proptest::collection::vec(0u32..40, 1..4)
-            .prop_map(|ids| ids.iter().map(|i| format!("user{i}")).collect::<Vec<_>>().join(" ")),
+        proptest::collection::vec(0u32..40, 1..4).prop_map(|ids| ids
+            .iter()
+            .map(|i| format!("user{i}"))
+            .collect::<Vec<_>>()
+            .join(" ")),
     ];
     let origins = prop_oneof![
         Just("ALL".to_string()),
-        (any::<[u8; 4]>(), 8u8..=32).prop_map(|(o, p)| {
-            format!("{}/{}", Ipv4Addr::from(o), p)
-        }),
+        (any::<[u8; 4]>(), 8u8..=32).prop_map(|(o, p)| { format!("{}/{}", Ipv4Addr::from(o), p) }),
     ];
     let expiry = prop_oneof![
         Just("ALL".to_string()),
-        (2016u32..2018, 1u32..=12, 1u32..=28)
-            .prop_map(|(y, m, d)| format!("{y:04}-{m:02}-{d:02}")),
+        (2016u32..2018, 1u32..=12, 1u32..=28).prop_map(|(y, m, d)| format!("{y:04}-{m:02}-{d:02}")),
     ];
-    (action, users, origins, expiry)
-        .prop_map(|(a, u, o, e)| format!("{a} : {u} : {o} : {e}"))
+    (action, users, origins, expiry).prop_map(|(a, u, o, e)| format!("{a} : {u} : {o} : {e}"))
 }
 
 fn arb_config() -> impl Strategy<Value = AccessConfig> {

@@ -64,7 +64,10 @@ impl std::fmt::Display for PortalError {
             PortalError::BadPhone(p) => write!(f, "invalid phone number: {p}"),
             PortalError::UnknownSerial => write!(f, "unknown hard token serial"),
             PortalError::HardTokenRequiresTicket => {
-                write!(f, "hard tokens are unpaired through the support ticket system")
+                write!(
+                    f,
+                    "hard tokens are unpaired through the support ticket system"
+                )
             }
             PortalError::NotPaired => write!(f, "no MFA pairing on file"),
             PortalError::BadUnpairLink => write!(f, "invalid or expired unpairing link"),
@@ -111,7 +114,10 @@ impl Portal {
             identity,
             directory,
             people_base: people_base.to_string(),
-            signer: UrlSigner::new(url_key.to_vec(), "https://portal.tacc.utexas.edu/mfa/unpair"),
+            signer: UrlSigner::new(
+                url_key.to_vec(),
+                "https://portal.tacc.utexas.edu/mfa/unpair",
+            ),
             clock,
             sessions: Mutex::new(HashMap::new()),
             hard_seeds: Mutex::new(HashMap::new()),
@@ -126,7 +132,12 @@ impl Portal {
     }
 
     /// One digest-authenticated admin call: challenge, answer, dispatch.
-    fn admin_call(&self, method: &str, path: &str, body: Json) -> Result<HttpResponse, PortalError> {
+    fn admin_call(
+        &self,
+        method: &str,
+        path: &str,
+        body: Json,
+    ) -> Result<HttpResponse, PortalError> {
         let now = self.clock.now();
         let challenge = self.admin.issue_challenge();
         let cn = self.cnonce.fetch_add(1, Ordering::Relaxed);
@@ -230,7 +241,10 @@ impl Portal {
         self.identity.get(user).ok_or(PortalError::UnknownAccount)?;
         let secret = {
             let seeds = self.hard_seeds.lock();
-            seeds.get(serial).cloned().ok_or(PortalError::UnknownSerial)?
+            seeds
+                .get(serial)
+                .cloned()
+                .ok_or(PortalError::UnknownSerial)?
         };
         let resp = self.admin_call(
             "POST",
@@ -419,10 +433,7 @@ mod tests {
 
     fn rig() -> Rig {
         let twilio = TwilioSim::new(4);
-        let linotp = LinotpServer::new(
-            Arc::clone(&twilio) as Arc<dyn SmsProvider>,
-            31,
-        );
+        let linotp = LinotpServer::new(Arc::clone(&twilio) as Arc<dyn SmsProvider>, 31);
         let admin = AdminApi::new(Arc::clone(&linotp), "LinOTP admin area", 17);
         admin.add_admin("portal-svc", "portal-secret");
         let identity = IdentityDb::new();
@@ -438,7 +449,9 @@ mod tests {
             b"url-signing-key",
             Arc::new(clock.clone()),
         );
-        identity.create_account("alice", "alice@utexas.edu").unwrap();
+        identity
+            .create_account("alice", "alice@utexas.edu")
+            .unwrap();
         identity.create_account("bob", "bob@utexas.edu").unwrap();
         Rig {
             portal,

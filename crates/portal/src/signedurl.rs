@@ -93,10 +93,11 @@ impl UrlSigner {
             .map(|(_, t)| t)
             .ok_or(UrlError::Malformed)?;
         let mut parts = token.split('.');
-        let (user_b64, expires_str, sig) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some(u), Some(e), Some(s), None) => (u, e, s),
-            _ => return Err(UrlError::Malformed),
-        };
+        let (user_b64, expires_str, sig) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(u), Some(e), Some(s), None) => (u, e, s),
+                _ => return Err(UrlError::Malformed),
+            };
         let user_bytes = base64::decode_url(user_b64).map_err(|_| UrlError::Malformed)?;
         let user = String::from_utf8(user_bytes).map_err(|_| UrlError::Malformed)?;
         let expires: u64 = expires_str.parse().map_err(|_| UrlError::Malformed)?;
@@ -167,7 +168,10 @@ mod tests {
     #[test]
     fn malformed_urls_rejected() {
         let s = signer();
-        assert_eq!(s.verify("https://portal/mfa/unpair", 0), Err(UrlError::Malformed));
+        assert_eq!(
+            s.verify("https://portal/mfa/unpair", 0),
+            Err(UrlError::Malformed)
+        );
         assert_eq!(
             s.verify("https://portal/mfa/unpair?token=abc", 0),
             Err(UrlError::Malformed)

@@ -50,7 +50,10 @@ pub fn verify_response(response: &Packet, request_auth: &[u8; 16], secret: &[u8]
 /// Empty passwords (the "null RADIUS response" that triggers an SMS, §3.3)
 /// encode as one block of padding.
 pub fn hide_password(password: &[u8], request_auth: &[u8; 16], secret: &[u8]) -> Vec<u8> {
-    assert!(password.len() <= 128, "RFC 2865 limits passwords to 128 octets");
+    assert!(
+        password.len() <= 128,
+        "RFC 2865 limits passwords to 128 octets"
+    );
     let blocks = password.len().div_ceil(16).max(1);
     let mut padded = password.to_vec();
     padded.resize(blocks * 16, 0);
@@ -191,13 +194,20 @@ mod tests {
         // Wrong secret fails too.
         assert!(!verify_response(&resp, &ra, b"bad-secret"));
         // Wrong request authenticator fails.
-        assert!(!verify_response(&resp, &fixture_authenticator("other"), SECRET));
+        assert!(!verify_response(
+            &resp,
+            &fixture_authenticator("other"),
+            SECRET
+        ));
     }
 
     #[test]
     fn request_authenticators_are_random() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert_ne!(request_authenticator(&mut rng), request_authenticator(&mut rng));
+        assert_ne!(
+            request_authenticator(&mut rng),
+            request_authenticator(&mut rng)
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::packet::{Code, Packet};
 use crate::tracewire;
 use crate::transport::{Transport, TransportError};
-use hpcmfa_telemetry::{Counter, Histogram, MetricsRegistry, TraceId};
+use hpcmfa_telemetry::{Counter, Histogram, MetricsRegistry, SecurityEventKind, TraceId};
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -498,7 +498,9 @@ impl RadiusClient {
             } else {
                 "authenticate"
             };
-            self.metrics.tracer().span(t, "radius.client", label, outcome);
+            self.metrics
+                .tracer()
+                .span(t, "radius.client", label, outcome);
         }
         result
     }
@@ -566,7 +568,7 @@ impl RadiusClient {
                     self.instruments.per_server[idx].skipped.inc();
                     continue;
                 }
-                self.note_breaker_transition(idx, breaker_before);
+                self.note_breaker_transition(idx, breaker_before, trace);
                 sent_any = true;
                 attempts += 1;
                 self.stats.attempts.fetch_add(1, Ordering::Relaxed);
@@ -578,12 +580,14 @@ impl RadiusClient {
                 self.instruments.per_server[idx].attempts.inc();
                 match self.transports[idx].exchange(&wire) {
                     Ok(reply) => {
-                        let now = self.advance(retry.rtt_cost_us);
+                        let now = self.advance(
+                            retry.rtt_cost_us + self.transports[idx].round_trip_latency_us(),
+                        );
                         match self.interpret(&reply, id, &ra) {
                             Interpreted::Done(outcome) => {
                                 let before = self.breakers[idx].state();
                                 self.breakers[idx].record_success();
-                                self.note_breaker_transition(idx, before);
+                                self.note_breaker_transition(idx, before, trace);
                                 self.health[idx].successes.fetch_add(1, Ordering::Relaxed);
                                 return Ok(outcome);
                             }
@@ -592,25 +596,25 @@ impl RadiusClient {
                                 // problem. Never mark the server dead for it.
                                 let before = self.breakers[idx].state();
                                 self.breakers[idx].record_success();
-                                self.note_breaker_transition(idx, before);
+                                self.note_breaker_transition(idx, before, trace);
                                 return Err(e);
                             }
                             Interpreted::Discard => {
-                                self.record_failure(idx, now, &self.instruments.err_discard);
+                                self.record_failure(idx, now, &self.instruments.err_discard, trace);
                             }
                         }
                     }
                     Err(TransportError::Timeout) | Err(TransportError::Io(_)) => {
                         let now = self.advance(retry.timeout_cost_us);
-                        self.record_failure(idx, now, &self.instruments.err_timeout);
+                        self.record_failure(idx, now, &self.instruments.err_timeout, trace);
                     }
                     Err(TransportError::Unreachable) => {
                         let now = self.advance(retry.unreachable_cost_us);
-                        self.record_failure(idx, now, &self.instruments.err_unreachable);
+                        self.record_failure(idx, now, &self.instruments.err_unreachable, trace);
                     }
                     Err(TransportError::GarbledReply) => {
                         let now = self.advance(retry.rtt_cost_us);
-                        self.record_failure(idx, now, &self.instruments.err_garbled);
+                        self.record_failure(idx, now, &self.instruments.err_garbled, trace);
                     }
                 }
             }
@@ -636,10 +640,10 @@ impl RadiusClient {
 
     /// Count one transport-level failure against server `idx`: breaker,
     /// health, per-server failure series and the per-kind error counter.
-    fn record_failure(&self, idx: usize, now_us: u64, kind: &Counter) {
+    fn record_failure(&self, idx: usize, now_us: u64, kind: &Counter, trace: Option<TraceId>) {
         let before = self.breakers[idx].state();
         self.breakers[idx].record_failure(now_us);
-        self.note_breaker_transition(idx, before);
+        self.note_breaker_transition(idx, before, trace);
         self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
         self.instruments.per_server[idx].failures.inc();
         kind.inc();
@@ -647,8 +651,10 @@ impl RadiusClient {
 
     /// Bump the breaker-transition counter when the state moved away from
     /// `before`. Transitions are rare, so this one registry lookup per
-    /// transition is off the hot path.
-    fn note_breaker_transition(&self, idx: usize, before: BreakerState) {
+    /// transition is off the hot path. A trip to `Open` also lands on the
+    /// security-event ring: a pool member just got benched, stamped with
+    /// the login that tipped it over.
+    fn note_breaker_transition(&self, idx: usize, before: BreakerState, trace: Option<TraceId>) {
         let after = self.breakers[idx].state();
         if after != before {
             let to = match after {
@@ -662,6 +668,14 @@ impl RadiusClient {
                     &[("server", &self.transports[idx].name()), ("to", to)],
                 )
                 .inc();
+            if after == BreakerState::Open {
+                self.metrics.emit_event(
+                    SecurityEventKind::BreakerFlap,
+                    trace,
+                    self.vclock_us(),
+                    format!("server={} breaker opened", self.transports[idx].name()),
+                );
+            }
         }
     }
 
@@ -828,7 +842,10 @@ mod tests {
         let ClientError::AllServersFailed { attempts } = err else {
             panic!("expected AllServersFailed, got {err:?}");
         };
-        assert!(attempts >= 4, "too few attempts before giving up: {attempts}");
+        assert!(
+            attempts >= 4,
+            "too few attempts before giving up: {attempts}"
+        );
         // The virtual clock never runs past the login deadline by more
         // than one backoff step.
         assert!(client.vclock_us() <= client.config.retry.deadline_us * 2);
@@ -959,14 +976,21 @@ mod tests {
         }
         let snap = client.metrics().snapshot();
         assert_eq!(snap.counter("hpcmfa_radius_requests_total"), 4);
-        assert_eq!(snap.counter("hpcmfa_radius_outcomes_total{outcome=\"accept\"}"), 4);
+        assert_eq!(
+            snap.counter("hpcmfa_radius_outcomes_total{outcome=\"accept\"}"),
+            4
+        );
         assert!(snap.counter_family("hpcmfa_radius_attempts_total") >= 4);
         assert!(snap.counter("hpcmfa_radius_transport_errors_total{kind=\"unreachable\"}") > 0);
         let hist = snap.histogram("hpcmfa_radius_request_duration_us").unwrap();
         assert_eq!(hist.count(), 4);
         // Logins that hit the dead server first charge the unreachable
         // cost on top of the healthy round trip.
-        assert!(hist.max() >= 12_000, "unreachable cost missing: {}", hist.max());
+        assert!(
+            hist.max() >= 12_000,
+            "unreachable cost missing: {}",
+            hist.max()
+        );
         assert!(hist.min() >= 2_000, "rtt cost missing: {}", hist.min());
     }
 
@@ -982,8 +1006,11 @@ mod tests {
             ServerDecision::Accept(vec![])
         });
         let server = Arc::new(RadiusServer::new(SECRET, handler));
-        let transport: Arc<dyn Transport> =
-            Arc::new(InMemoryTransport::new("radius0", server, FaultPlan::healthy()));
+        let transport: Arc<dyn Transport> = Arc::new(InMemoryTransport::new(
+            "radius0",
+            server,
+            FaultPlan::healthy(),
+        ));
         let client = RadiusClient::new(ClientConfig::new(SECRET, "login1"), vec![transport]);
         let mut rng = StdRng::seed_from_u64(22);
         let id = TraceId::derive(namespace("login1"), 0);
@@ -1013,9 +1040,8 @@ mod tests {
         }
         let snap = client.metrics().snapshot();
         assert!(
-            snap.counter(
-                "hpcmfa_radius_breaker_transitions_total{server=\"radius0\",to=\"open\"}"
-            ) >= 1,
+            snap.counter("hpcmfa_radius_breaker_transitions_total{server=\"radius0\",to=\"open\"}")
+                >= 1,
             "open transition not recorded"
         );
     }

@@ -128,7 +128,12 @@ impl Packet {
 
     /// Total encoded length.
     pub fn wire_len(&self) -> usize {
-        MIN_PACKET_LEN + self.attributes.iter().map(Attribute::wire_len).sum::<usize>()
+        MIN_PACKET_LEN
+            + self
+                .attributes
+                .iter()
+                .map(Attribute::wire_len)
+                .sum::<usize>()
     }
 
     /// Encode to wire bytes.

@@ -7,13 +7,13 @@
 //! In the paper's deployment the FreeRADIUS tier proxies between login nodes
 //! and the LinOTP host exactly this way.
 
+use crate::attribute::Attribute;
 use crate::attribute::AttributeType;
 use crate::client::{ClientError, Outcome, RadiusClient};
 use crate::packet::Packet;
 use crate::server::{Handler, ServerDecision};
-use crate::attribute::Attribute;
 use crate::tracewire;
-use hpcmfa_telemetry::MetricsRegistry;
+use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,18 +87,16 @@ impl Handler for ProxyHandler {
 
         self.forwarded.fetch_add(1, Ordering::Relaxed);
         self.metrics
-            .counter("hpcmfa_radius_proxy_forwarded_total", &[("proxy", &self.proxy_id)])
+            .counter(
+                "hpcmfa_radius_proxy_forwarded_total",
+                &[("proxy", &self.proxy_id)],
+            )
             .inc();
         let mut rng = self.rng.lock();
         let result = match state {
-            Some(s) => self.upstream.respond_to_challenge_traced(
-                &mut *rng,
-                &username,
-                password,
-                &calling,
-                &s,
-                trace,
-            ),
+            Some(s) => self
+                .upstream
+                .respond_to_challenge_traced(&mut *rng, &username, password, &calling, &s, trace),
             None => self
                 .upstream
                 .authenticate_traced(&mut *rng, &username, password, &calling, trace),
@@ -112,7 +110,9 @@ impl Handler for ProxyHandler {
                 Ok(Outcome::Challenge { .. }) => "challenge",
                 Err(_) => "upstream_failed",
             };
-            self.metrics.tracer().span(t, "radius.proxy", "forward", detail);
+            self.metrics
+                .tracer()
+                .span(t, "radius.proxy", "forward", detail);
         }
 
         match result {
@@ -133,6 +133,12 @@ impl Handler for ProxyHandler {
                         &[("proxy", &self.proxy_id)],
                     )
                     .inc();
+                self.metrics.emit_event(
+                    SecurityEventKind::BreakerFlap,
+                    trace,
+                    self.upstream.vclock_us(),
+                    format!("proxy={} upstream_failed", self.proxy_id),
+                );
                 ServerDecision::Discard
             }
         }
@@ -214,7 +220,9 @@ mod tests {
     fn proxied_challenge_round_trip() {
         let (client, _) = chain();
         let mut rng = StdRng::seed_from_u64(2);
-        let out = client.authenticate(&mut rng, "alice", b"", "1.2.3.4").unwrap();
+        let out = client
+            .authenticate(&mut rng, "alice", b"", "1.2.3.4")
+            .unwrap();
         let Outcome::Challenge { state, message } = out else {
             panic!("expected challenge");
         };
@@ -269,7 +277,11 @@ mod tests {
         let edge = Arc::new(RadiusServer::new(EDGE_SECRET, proxy));
         let client = RadiusClient::with_metrics(
             ClientConfig::new(EDGE_SECRET, "login1"),
-            vec![Arc::new(InMemoryTransport::new("edge", edge, FaultPlan::healthy()))],
+            vec![Arc::new(InMemoryTransport::new(
+                "edge",
+                edge,
+                FaultPlan::healthy(),
+            ))],
             Arc::clone(&metrics),
         );
         let mut rng = StdRng::seed_from_u64(7);

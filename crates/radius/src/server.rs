@@ -275,7 +275,10 @@ mod tests {
         let req = make_request(5, Some(b"badcode"));
         let resp = Packet::decode(&server.process_datagram(&req.encode()).unwrap()).unwrap();
         assert_eq!(resp.code, Code::AccessReject);
-        assert_eq!(resp.text(AttributeType::ReplyMessage), Some("Authentication error"));
+        assert_eq!(
+            resp.text(AttributeType::ReplyMessage),
+            Some("Authentication error")
+        );
     }
 
     #[test]

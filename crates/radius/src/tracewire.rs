@@ -68,7 +68,8 @@ mod tests {
     #[test]
     fn round_trip_through_packet_encoding() {
         let id = TraceId::from_u64(42);
-        let pkt = Packet::new(Code::AccessRequest, 7, [0u8; 16]).with_attribute(trace_attribute(id));
+        let pkt =
+            Packet::new(Code::AccessRequest, 7, [0u8; 16]).with_attribute(trace_attribute(id));
         let decoded = Packet::decode(&pkt.encode()).unwrap();
         assert_eq!(trace_id_of(&decoded), Some(id));
     }

@@ -48,6 +48,15 @@ pub trait Transport: Send + Sync {
 
     /// Diagnostic name for logs and stats.
     fn name(&self) -> String;
+
+    /// Simulated round-trip latency an answered exchange currently costs,
+    /// in microseconds. Clients charge this to their virtual clock so the
+    /// request-duration histogram — and the latency alert rules reading
+    /// it — see injected latency spikes. Real transports return 0: their
+    /// latency is wall time, which the virtual clock deliberately ignores.
+    fn round_trip_latency_us(&self) -> u64 {
+        0
+    }
 }
 
 /// Deterministic fault injection for [`InMemoryTransport`].
@@ -155,8 +164,8 @@ impl FaultPlan {
     }
 
     fn charge_latency(&self) {
-        let l = self.latency_us.load(Ordering::SeqCst)
-            + self.extra_latency_us.load(Ordering::SeqCst);
+        let l =
+            self.latency_us.load(Ordering::SeqCst) + self.extra_latency_us.load(Ordering::SeqCst);
         if l > 0 {
             self.total_latency_us.fetch_add(2 * l, Ordering::SeqCst);
         }
@@ -222,6 +231,11 @@ impl Transport for InMemoryTransport {
     fn name(&self) -> String {
         self.label.clone()
     }
+
+    fn round_trip_latency_us(&self) -> u64 {
+        2 * (self.faults.latency_us.load(Ordering::SeqCst)
+            + self.faults.extra_latency_us.load(Ordering::SeqCst))
+    }
 }
 
 /// Real-UDP transport: one ephemeral socket per exchange.
@@ -242,7 +256,8 @@ impl UdpTransport {
 
 impl Transport for UdpTransport {
     fn exchange(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
-        let sock = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| TransportError::Io(e.to_string()))?;
+        let sock =
+            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| TransportError::Io(e.to_string()))?;
         sock.set_read_timeout(Some(self.timeout))
             .map_err(|e| TransportError::Io(e.to_string()))?;
         sock.send_to(request, self.server_addr)
@@ -322,9 +337,7 @@ mod tests {
         let pattern: Vec<bool> = (0..12).map(|_| plan.flapping_down()).collect();
         assert_eq!(
             pattern,
-            vec![
-                false, false, false, true, true, true, false, false, false, true, true, true
-            ]
+            vec![false, false, false, true, true, true, false, false, false, true, true, true]
         );
     }
 

@@ -8,18 +8,20 @@ use proptest::prelude::*;
 
 fn arb_retry_policy() -> impl Strategy<Value = RetryPolicy> {
     (
-        1_000u64..30_000_000,   // deadline
-        1u64..200_000,          // initial backoff
-        1u64..2_000_000,        // max backoff
-        any::<u64>(),           // jitter seed
+        1_000u64..30_000_000, // deadline
+        1u64..200_000,        // initial backoff
+        1u64..2_000_000,      // max backoff
+        any::<u64>(),         // jitter seed
     )
-        .prop_map(|(deadline_us, initial_backoff_us, max_backoff_us, jitter_seed)| RetryPolicy {
-            deadline_us,
-            initial_backoff_us,
-            max_backoff_us,
-            jitter_seed,
-            ..RetryPolicy::default()
-        })
+        .prop_map(
+            |(deadline_us, initial_backoff_us, max_backoff_us, jitter_seed)| RetryPolicy {
+                deadline_us,
+                initial_backoff_us,
+                max_backoff_us,
+                jitter_seed,
+                ..RetryPolicy::default()
+            },
+        )
 }
 
 fn arb_code() -> impl Strategy<Value = Code> {

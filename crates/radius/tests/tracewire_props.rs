@@ -1,0 +1,99 @@
+//! Property-based tests for the trace-id VSA codec (`tracewire`).
+//!
+//! The decoder sits on the untrusted side of the wire: every login node
+//! and proxy runs it against attacker-controllable attribute bytes, so it
+//! must reject truncated, oversized, and garbled VSAs without panicking
+//! and never confuse a foreign vendor's attribute for ours.
+
+use hpcmfa_radius::attribute::{Attribute, AttributeType};
+use hpcmfa_radius::packet::{Code, Packet};
+use hpcmfa_radius::tracewire::{
+    decode_trace, trace_attribute, trace_id_of, TRACE_VENDOR_ID, TRACE_VENDOR_TYPE,
+};
+use hpcmfa_telemetry::TraceId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every 64-bit id survives encode → decode exactly.
+    #[test]
+    fn trace_attribute_round_trips(id in any::<u64>()) {
+        let trace = TraceId::from_u64(id);
+        let attr = trace_attribute(trace);
+        prop_assert_eq!(decode_trace(&attr), Some(trace));
+    }
+
+    /// The id also survives a full packet encode → decode cycle alongside
+    /// arbitrary other attributes.
+    #[test]
+    fn trace_id_survives_packet_round_trip(
+        id in any::<u64>(),
+        pkt_id in any::<u8>(),
+        auth in any::<[u8; 16]>(),
+        extra in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4),
+    ) {
+        let trace = TraceId::from_u64(id);
+        let mut pkt = Packet::new(Code::AccessRequest, pkt_id, auth);
+        for value in extra {
+            pkt = pkt.with_attribute(Attribute::new(AttributeType::ReplyMessage, value));
+        }
+        let pkt = pkt.with_attribute(trace_attribute(trace));
+        let decoded = Packet::decode(&pkt.encode()).unwrap();
+        prop_assert_eq!(trace_id_of(&decoded), Some(trace));
+    }
+
+    /// Arbitrary VSA payloads never panic the decoder, and only a payload
+    /// that is byte-for-byte well-formed (our vendor id, our vendor-type,
+    /// correct vendor-length, exactly 14 bytes) decodes to Some.
+    #[test]
+    fn garbled_vsa_never_panics_and_only_wellformed_decodes(
+        value in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let attr = Attribute::new(AttributeType::VendorSpecific, value.clone());
+        let decoded = decode_trace(&attr);
+        let wellformed = value.len() == 14
+            && value[0..4] == TRACE_VENDOR_ID.to_be_bytes()
+            && value[4] == TRACE_VENDOR_TYPE
+            && value[5] == 10;
+        prop_assert_eq!(decoded.is_some(), wellformed);
+    }
+
+    /// Truncating a valid attribute's payload at any point kills the
+    /// decode — a short read can never yield a (wrong) id.
+    #[test]
+    fn truncated_vsa_is_rejected(id in any::<u64>(), keep in 0usize..14) {
+        let full = trace_attribute(TraceId::from_u64(id));
+        let short = Attribute::new(AttributeType::VendorSpecific, full.value[..keep].to_vec());
+        prop_assert_eq!(decode_trace(&short), None);
+    }
+
+    /// Flipping any single byte of a valid payload either breaks the
+    /// envelope (→ None) or lands inside the 8 id bytes, in which case it
+    /// must decode to a *different* id — never silently the original.
+    #[test]
+    fn bitflipped_vsa_never_decodes_to_original(
+        id in any::<u64>(),
+        at in 0usize..14,
+        flip in 1u8..=255,
+    ) {
+        let trace = TraceId::from_u64(id);
+        let mut value = trace_attribute(trace).value;
+        value[at] ^= flip;
+        let mutated = Attribute::new(AttributeType::VendorSpecific, value);
+        match decode_trace(&mutated) {
+            None => prop_assert!(at < 6, "envelope bytes live in [0,6)"),
+            Some(other) => {
+                prop_assert!(at >= 6, "id bytes live in [6,14)");
+                prop_assert_ne!(other, trace);
+            }
+        }
+    }
+
+    /// A non-VSA attribute carrying our exact payload bytes still decodes
+    /// to nothing: the attribute type gates the parse.
+    #[test]
+    fn non_vsa_attribute_is_ignored(id in any::<u64>()) {
+        let payload = trace_attribute(TraceId::from_u64(id)).value;
+        let not_vsa = Attribute::new(AttributeType::ReplyMessage, payload);
+        prop_assert_eq!(decode_trace(&not_vsa), None);
+    }
+}

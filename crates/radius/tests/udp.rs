@@ -15,7 +15,11 @@ use std::time::Duration;
 
 const SECRET: &[u8] = b"udp-secret";
 
-fn spawn_server() -> (std::net::SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+fn spawn_server() -> (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
     let handler = Arc::new(|_req: &Packet, pw: Option<&[u8]>| match pw {
         Some(b"") => ServerDecision::Challenge(vec![
             Attribute::new(AttributeType::State, b"udp-state".to_vec()),
@@ -93,12 +97,19 @@ fn udp_timeout_when_server_never_answers() {
     let start = std::time::Instant::now();
     let err = transport.exchange(b"any request").unwrap_err();
     assert_eq!(err, hpcmfa_radius::transport::TransportError::Timeout);
-    assert!(start.elapsed() < Duration::from_secs(2), "timeout not honored");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "timeout not honored"
+    );
     drop(silent);
 }
 
 /// A "server" that answers every datagram with undecodable junk.
-fn spawn_junk_server() -> (std::net::SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+fn spawn_junk_server() -> (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
     let socket = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
     let addr = socket.local_addr().unwrap();
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -135,7 +146,10 @@ fn udp_garbled_reply_fails_over_to_healthy_server() {
         .expect("failover past garbled reply");
     assert!(matches!(out, Outcome::Accept { .. }));
     let health = client.server_health();
-    assert!(health[0].failures > 0, "garbled reply not counted as failure");
+    assert!(
+        health[0].failures > 0,
+        "garbled reply not counted as failure"
+    );
 
     junk_stop.store(true, Ordering::SeqCst);
     good_stop.store(true, Ordering::SeqCst);
@@ -151,8 +165,7 @@ fn udp_concurrent_clients() {
         joins.push(std::thread::spawn(move || {
             let transport: Arc<dyn Transport> =
                 Arc::new(UdpTransport::new(addr, Duration::from_millis(500)));
-            let client =
-                RadiusClient::new(ClientConfig::new(SECRET, "login-udp"), vec![transport]);
+            let client = RadiusClient::new(ClientConfig::new(SECRET, "login-udp"), vec![transport]);
             let mut rng = StdRng::seed_from_u64(100 + t);
             for _ in 0..10 {
                 let out = client

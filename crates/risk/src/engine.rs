@@ -139,8 +139,7 @@ impl RiskEngine {
             score += w.high_velocity;
         }
 
-        h.recent_failures
-            .retain(|&t| now.saturating_sub(t) <= 3600);
+        h.recent_failures.retain(|&t| now.saturating_sub(t) <= 3600);
         score += w.recent_failure * (h.recent_failures.len().min(5) as u32);
 
         let decision = if score >= w.deny_at {
@@ -255,8 +254,8 @@ mod tests {
         let e = engine();
         e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
         e.assess("alice", "141.30.1.1".parse().unwrap(), 30 * DAY); // step-up (trip)
-        // 20 minutes after a German login, a Chinese one: new country +
-        // new network + impossible travel ≥ deny threshold.
+                                                                    // 20 minutes after a German login, a Chinese one: new country +
+                                                                    // new network + impossible travel ≥ deny threshold.
         let (score, d) = e.assess("alice", "1.2.3.4".parse().unwrap(), 30 * DAY + 1200);
         assert!(score >= 90, "score {score}");
         assert_eq!(d, RiskDecision::Deny);
@@ -319,8 +318,14 @@ mod tests {
         };
         assert_eq!(run("carol", "70.1.1.1", 0), (PamResult::Ignore, false));
         // New country weeks later: step-up flag set, stack continues.
-        assert_eq!(run("carol", "141.30.1.1", 30 * DAY), (PamResult::Ignore, true));
+        assert_eq!(
+            run("carol", "141.30.1.1", 30 * DAY),
+            (PamResult::Ignore, true)
+        );
         // Impossible travel right after: denied.
-        assert_eq!(run("carol", "1.2.3.4", 30 * DAY + 600), (PamResult::AuthErr, false));
+        assert_eq!(
+            run("carol", "1.2.3.4", 30 * DAY + 600),
+            (PamResult::AuthErr, false)
+        );
     }
 }

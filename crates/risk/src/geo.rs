@@ -289,11 +289,7 @@ mod tests {
         assert!(!p.permits("u", None));
     }
 
-    fn run_module(
-        module: &GeoGateModule,
-        user: &str,
-        ip: &str,
-    ) -> (PamResult, bool) {
+    fn run_module(module: &GeoGateModule, user: &str, ip: &str) -> (PamResult, bool) {
         let mut conv = ScriptedConversation::with_answers(Vec::<String>::new());
         let mut ctx = PamContext::new(
             user,
@@ -311,8 +307,14 @@ mod tests {
         let policy = Arc::new(GeoPolicy::new(GeoAction::Deny));
         policy.allow_user("usonly", &[cc("US")]);
         let m = GeoGateModule::new(db, policy);
-        assert_eq!(run_module(&m, "usonly", "70.1.2.3"), (PamResult::Ignore, false));
-        assert_eq!(run_module(&m, "usonly", "1.2.3.4"), (PamResult::AuthErr, false));
+        assert_eq!(
+            run_module(&m, "usonly", "70.1.2.3"),
+            (PamResult::Ignore, false)
+        );
+        assert_eq!(
+            run_module(&m, "usonly", "1.2.3.4"),
+            (PamResult::AuthErr, false)
+        );
     }
 
     #[test]

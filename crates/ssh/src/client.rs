@@ -133,11 +133,7 @@ impl CredentialResponder for ProfileResponder<'_> {
         }
         let text = prompt.text().to_ascii_lowercase();
         if text.contains("password") {
-            return self
-                .profile
-                .password
-                .clone()
-                .ok_or(ConvError::Aborted);
+            return self.profile.password.clone().ok_or(ConvError::Aborted);
         }
         if text.contains("token") {
             return match &self.profile.token {
@@ -172,8 +168,9 @@ mod tests {
 
     #[test]
     fn device_token_source_uses_time() {
-        let p = ClientProfile::interactive_user("alice", Ipv4Addr::LOCALHOST, "pw")
-            .with_token(TokenSource::device(|now| Some(format!("{:06}", now % 1_000_000))));
+        let p = ClientProfile::interactive_user("alice", Ipv4Addr::LOCALHOST, "pw").with_token(
+            TokenSource::device(|now| Some(format!("{:06}", now % 1_000_000))),
+        );
         let mut r = ProfileResponder::new(&p);
         assert_eq!(r.respond(&prompt_token(), 123456).unwrap(), "123456");
     }

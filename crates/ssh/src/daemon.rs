@@ -217,8 +217,10 @@ impl SshDaemon {
             ctx.pubkey_succeeded = false;
             // Replace the minted fallback with a deterministic per-daemon
             // id so simulation output stays seed-reproducible.
-            ctx.trace_id =
-                TraceId::derive(self.trace_ns, self.trace_seq.fetch_add(1, Ordering::Relaxed));
+            ctx.trace_id = TraceId::derive(
+                self.trace_ns,
+                self.trace_seq.fetch_add(1, Ordering::Relaxed),
+            );
             trace_ids.push(ctx.trace_id);
             match self.stack.authenticate(&mut ctx) {
                 PamVerdict::Granted => {
@@ -342,18 +344,14 @@ mod tests {
         let authlog = AuthLog::new();
         let dir = directory_with("alice", "hunter2");
         let stack = first_factor_stack(dir, authlog.clone());
-        SshDaemon::new(
-            "login1",
-            stack,
-            authlog,
-            Arc::new(SimClock::at(1_000_000)),
-        )
+        SshDaemon::new("login1", stack, authlog, Arc::new(SimClock::at(1_000_000)))
     }
 
     #[test]
     fn password_login_succeeds() {
         let d = daemon();
-        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
+        let profile =
+            ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
         let report = d.connect(&profile);
         assert!(report.granted);
         assert!(!report.used_pubkey);
@@ -407,8 +405,7 @@ mod tests {
         let key = KeyPair::generate("alice@laptop");
         d.authorize_key("alice", key.public());
         d.revoke_keys("alice");
-        let profile =
-            ClientProfile::batch_client("alice", Ipv4Addr::new(8, 8, 8, 8), key);
+        let profile = ClientProfile::batch_client("alice", Ipv4Addr::new(8, 8, 8, 8), key);
         assert!(!d.connect(&profile).granted);
     }
 
@@ -430,7 +427,8 @@ mod tests {
     fn banner_is_reported() {
         let d = daemon();
         d.set_banner("MFA is required. See https://portal/mfa");
-        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
+        let profile =
+            ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
         let report = d.connect(&profile);
         assert!(report.banner.contains("MFA is required"));
     }
@@ -453,7 +451,8 @@ mod tests {
         };
         let d1 = build(Arc::clone(&metrics));
         let d2 = build(Arc::new(MetricsRegistry::new()));
-        let profile = ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
+        let profile =
+            ClientProfile::interactive_user("alice", Ipv4Addr::new(8, 8, 8, 8), "hunter2");
         let r1 = d1.connect(&profile);
         let r2 = d2.connect(&profile);
         // One attempt, one trace id, identical across identically-named

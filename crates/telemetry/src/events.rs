@@ -1,0 +1,265 @@
+//! The structured security-event stream.
+//!
+//! Counters tell an operator *how much*; security events tell them *what
+//! happened*. Components on the auth path emit typed
+//! [`SecurityEvent`]s — a replayed OTP, a lockout, a circuit breaker
+//! tripping, a WAL fsync failing — into a bounded, thread-safe ring owned
+//! by the [`MetricsRegistry`], each stamped with the request's
+//! [`TraceId`] so an alert links straight to the spans and audit rows
+//! behind it. Emission also bumps the
+//! `hpcmfa_security_events_total{kind=…}` counter family, which is what
+//! the [`alert`](crate::alert) rule engine watches.
+//!
+//! Timestamps are *virtual*: each emitter stamps its own deterministic
+//! clock (the simulation's unix seconds for the OTP server and PAM, the
+//! RADIUS client's microsecond vclock), never the wall clock, so seeded
+//! runs render byte-identical event feeds.
+//!
+//! [`MetricsRegistry`]: crate::MetricsRegistry
+
+use crate::trace::TraceId;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Events retained by a [`SecurityEvents`] ring before eviction.
+pub const DEFAULT_EVENTS_CAP: usize = 4_096;
+
+/// The taxonomy of security-relevant conditions the stack can raise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SecurityEventKind {
+    /// A streak of consecutive authentication failures (PAM stack).
+    AuthFailureBurst,
+    /// A user account crossed the OTP failure-lockout threshold.
+    LockoutStorm,
+    /// An already-consumed OTP step was presented again.
+    ReplayAttempt,
+    /// An SMS fallback code was requested while one was still pending.
+    SmsAbuse,
+    /// A RADIUS circuit breaker tripped open (or a proxy lost its
+    /// upstream pool).
+    BreakerFlap,
+    /// A WAL append/fsync failed and a request was denied fail-safe.
+    WalFsyncDegraded,
+}
+
+impl SecurityEventKind {
+    /// The snake_case label used for the
+    /// `hpcmfa_security_events_total{kind=…}` series and in rendered
+    /// feeds.
+    pub fn label(self) -> &'static str {
+        match self {
+            SecurityEventKind::AuthFailureBurst => "auth_failure_burst",
+            SecurityEventKind::LockoutStorm => "lockout_storm",
+            SecurityEventKind::ReplayAttempt => "replay_attempt",
+            SecurityEventKind::SmsAbuse => "sms_abuse",
+            SecurityEventKind::BreakerFlap => "breaker_flap",
+            SecurityEventKind::WalFsyncDegraded => "wal_fsync_degraded",
+        }
+    }
+
+    /// Every kind, in declaration order (for exhaustive reports).
+    pub fn all() -> [SecurityEventKind; 6] {
+        [
+            SecurityEventKind::AuthFailureBurst,
+            SecurityEventKind::LockoutStorm,
+            SecurityEventKind::ReplayAttempt,
+            SecurityEventKind::SmsAbuse,
+            SecurityEventKind::BreakerFlap,
+            SecurityEventKind::WalFsyncDegraded,
+        ]
+    }
+}
+
+impl fmt::Display for SecurityEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One security event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecurityEvent {
+    /// What happened.
+    pub kind: SecurityEventKind,
+    /// The request that triggered it, when one was in flight. Every
+    /// emitter on the simulated auth path has a trace in scope, so in
+    /// `Center`-driven runs this is always `Some`.
+    pub trace: Option<TraceId>,
+    /// The emitter's virtual-clock timestamp (unix seconds for the OTP
+    /// server / PAM, microseconds for the RADIUS client vclock).
+    pub at: u64,
+    /// Free-form detail (user, server, streak length; never secrets).
+    pub detail: String,
+}
+
+impl fmt::Display for SecurityEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.trace {
+            Some(t) => write!(f, "{} {} trace={} {}", self.at, self.kind, t, self.detail),
+            None => write!(f, "{} {} trace=- {}", self.at, self.kind, self.detail),
+        }
+    }
+}
+
+struct EventsInner {
+    ring: VecDeque<SecurityEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe ring of [`SecurityEvent`]s (one per
+/// [`MetricsRegistry`], like the span [`Tracer`]).
+///
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+/// [`Tracer`]: crate::Tracer
+pub struct SecurityEvents {
+    inner: Mutex<EventsInner>,
+}
+
+impl Default for SecurityEvents {
+    fn default() -> Self {
+        Self::with_cap(DEFAULT_EVENTS_CAP)
+    }
+}
+
+impl SecurityEvents {
+    /// New ring with the default retention cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New ring retaining at most `cap` events.
+    pub fn with_cap(cap: usize) -> Self {
+        SecurityEvents {
+            inner: Mutex::new(EventsInner {
+                ring: VecDeque::new(),
+                cap,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, EventsInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one event, evicting the oldest past the cap.
+    pub fn push(&self, event: SecurityEvent) {
+        let mut inner = self.lock();
+        if inner.cap == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        while inner.ring.len() >= inner.cap {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(event);
+    }
+
+    /// The newest `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<SecurityEvent> {
+        let inner = self.lock();
+        let skip = inner.ring.len().saturating_sub(n);
+        inner.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Every retained event, oldest first.
+    pub fn all(&self) -> Vec<SecurityEvent> {
+        self.lock().ring.iter().cloned().collect()
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn of_kind(&self, kind: SecurityEventKind) -> Vec<SecurityEvent> {
+        self.lock()
+            .ring
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().ring.is_empty()
+    }
+
+    /// Events evicted by the ring cap since creation.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: SecurityEventKind, at: u64) -> SecurityEvent {
+        SecurityEvent {
+            kind,
+            trace: Some(TraceId::from_u64(at)),
+            at,
+            detail: format!("n={at}"),
+        }
+    }
+
+    #[test]
+    fn push_and_tail_preserve_order() {
+        let ring = SecurityEvents::new();
+        for i in 0..5 {
+            ring.push(ev(SecurityEventKind::ReplayAttempt, i));
+        }
+        assert_eq!(ring.len(), 5);
+        let tail = ring.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].at, 3);
+        assert_eq!(tail[1].at, 4);
+        assert_eq!(ring.tail(100).len(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn cap_evicts_oldest_and_counts_drops() {
+        let ring = SecurityEvents::with_cap(3);
+        for i in 0..7 {
+            ring.push(ev(SecurityEventKind::BreakerFlap, i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 4);
+        assert_eq!(ring.all()[0].at, 4);
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let ring = SecurityEvents::new();
+        ring.push(ev(SecurityEventKind::LockoutStorm, 1));
+        ring.push(ev(SecurityEventKind::SmsAbuse, 2));
+        ring.push(ev(SecurityEventKind::LockoutStorm, 3));
+        assert_eq!(ring.of_kind(SecurityEventKind::LockoutStorm).len(), 2);
+        assert_eq!(ring.of_kind(SecurityEventKind::WalFsyncDegraded).len(), 0);
+    }
+
+    #[test]
+    fn display_renders_trace_and_detail() {
+        let e = ev(SecurityEventKind::WalFsyncDegraded, 9);
+        let line = e.to_string();
+        assert!(line.starts_with("9 wal_fsync_degraded trace=0000000000000009"));
+        assert!(line.ends_with("n=9"));
+        let anon = SecurityEvent { trace: None, ..e };
+        assert!(anon.to_string().contains("trace=-"));
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            SecurityEventKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(SecurityEventKind::ReplayAttempt.label(), "replay_attempt");
+    }
+}

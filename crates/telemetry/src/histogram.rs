@@ -110,7 +110,11 @@ impl Histogram {
     /// in-flight observations — totals are exact once writers quiesce.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
@@ -208,6 +212,32 @@ impl HistogramSnapshot {
         &self.counts
     }
 
+    /// The observations gained since `earlier` (element-wise bucket
+    /// subtraction), for windowed views over a cumulative series: the
+    /// alert engine diffs two snapshots of the same histogram to ask
+    /// "what was the p99 of the last N seconds". `earlier` must be a
+    /// previous snapshot of the same recorder; `count` is recomputed
+    /// from the bucket deltas, `max`/`min` are the later snapshot's
+    /// (the tightest bounds derivable without per-window extremes), so
+    /// quantiles of the delta stay upper estimates exactly like the
+    /// base quantile contract.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max: self.max,
+            min: self.min,
+        }
+    }
+
     /// The value at quantile `q` in `[0, 1]`: an upper estimate off by at
     /// most one bucket width (≤ 6.25 % relative error), clamped to the
     /// observed maximum, and monotone non-decreasing in `q`. Returns 0
@@ -274,7 +304,10 @@ mod tests {
     fn extreme_values_stay_in_range() {
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
-        assert_eq!(bucket_index(bucket_lower_bound(NUM_BUCKETS - 1)), NUM_BUCKETS - 1);
+        assert_eq!(
+            bucket_index(bucket_lower_bound(NUM_BUCKETS - 1)),
+            NUM_BUCKETS - 1
+        );
     }
 
     #[test]
@@ -289,7 +322,10 @@ mod tests {
         for (q, v) in [(0.0, 17u64), (1.0, 987_654_321)] {
             let est = s.quantile(q);
             assert!(est >= v, "q={q}: {est} < {v}");
-            assert!((est - v) as f64 <= v as f64 / SUB as f64, "q={q}: {est} vs {v}");
+            assert!(
+                (est - v) as f64 <= v as f64 / SUB as f64,
+                "q={q}: {est} vs {v}"
+            );
         }
     }
 
@@ -353,6 +389,28 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(100);
+        }
+        let before = h.snapshot();
+        for _ in 0..10 {
+            h.record(8_000);
+        }
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count(), 10);
+        assert_eq!(delta.sum(), 80_000);
+        // Only the window's observations shape the quantiles.
+        assert!(delta.p50() >= 8_000);
+        // An empty window is the identity delta.
+        let snap = h.snapshot();
+        let none = snap.delta_since(&snap);
+        assert_eq!(none.count(), 0);
+        assert_eq!(none.quantile(0.99), 0);
     }
 
     #[test]

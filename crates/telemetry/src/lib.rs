@@ -15,7 +15,14 @@
 //! * [`TraceId`] / [`Tracer`] — span-based request tracing: one id minted
 //!   per login attempt in the PAM stack and propagated through the RADIUS
 //!   client/proxy (as a vendor attribute) into the OTP-server audit log,
-//!   so a single login's hops can be reconstructed end to end.
+//!   so a single login's hops can be reconstructed end to end;
+//! * [`SecurityEvent`] / [`SecurityEvents`] — a bounded ring of typed
+//!   security events (replays, lockouts, breaker trips, fsync failures),
+//!   each stamped with the triggering request's [`TraceId`];
+//! * [`AlertEngine`] — a deterministic rule engine (threshold,
+//!   rate-over-window, multi-window SLO burn rate, windowed latency
+//!   quantiles) evaluated over successive [`MetricsSnapshot`]s on the
+//!   virtual clock, with pending/firing/resolved state machines.
 //!
 //! The crate is deliberately dependency-free (`std` only): every consumer
 //! on the auth path (`pam`, `radius`, `otpserver`, `core`, `workload`,
@@ -24,10 +31,18 @@
 //! Metric names follow `hpcmfa_<component>_<what>_<unit>`; see DESIGN.md
 //! §9 for the full naming scheme and overhead budget.
 
+pub mod alert;
+pub mod events;
 pub mod histogram;
 pub mod registry;
+pub mod slo;
 pub mod trace;
 
+pub use alert::{
+    default_security_rules, AlertEngine, AlertState, AlertStatus, AlertTransition, Condition, Rule,
+};
+pub use events::{SecurityEvent, SecurityEventKind, SecurityEvents};
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use slo::SliSpec;
 pub use trace::{SpanRecord, TraceId, Tracer};

@@ -16,8 +16,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::events::{SecurityEvent, SecurityEventKind, SecurityEvents};
 use crate::histogram::{bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
-use crate::trace::Tracer;
+use crate::trace::{TraceId, Tracer};
 
 /// A monotonically increasing counter.
 #[derive(Default)]
@@ -140,7 +141,9 @@ impl SeriesKey {
 
 /// Escape a label value per the exposition format.
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 type SeriesMap<T> = RwLock<BTreeMap<SeriesKey, Arc<T>>>;
@@ -154,6 +157,7 @@ pub struct MetricsRegistry {
     gauges: SeriesMap<Gauge>,
     histograms: SeriesMap<Histogram>,
     tracer: Tracer,
+    events: SecurityEvents,
 }
 
 impl fmt::Debug for MetricsRegistry {
@@ -186,6 +190,16 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// New registry with explicit span/event ring caps (tests and
+    /// memory-constrained deployments).
+    pub fn with_ring_caps(tracer_cap: usize, events_cap: usize) -> Self {
+        MetricsRegistry {
+            tracer: Tracer::with_cap(tracer_cap),
+            events: SecurityEvents::with_cap(events_cap),
+            ..Self::default()
+        }
+    }
+
     /// The counter series `name{labels}`, created at zero on first use.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         get_or_insert(&self.counters, name, labels)
@@ -206,6 +220,31 @@ impl MetricsRegistry {
         &self.tracer
     }
 
+    /// The shared security-event ring.
+    pub fn security_events(&self) -> &SecurityEvents {
+        &self.events
+    }
+
+    /// Emit one security event: append it to the ring and bump
+    /// `hpcmfa_security_events_total{kind=…}`. `at` is the emitter's
+    /// virtual-clock timestamp; `trace` is the triggering request.
+    pub fn emit_event(
+        &self,
+        kind: SecurityEventKind,
+        trace: Option<TraceId>,
+        at: u64,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(SecurityEvent {
+            kind,
+            trace,
+            at,
+            detail: detail.into(),
+        });
+        self.counter("hpcmfa_security_events_total", &[("kind", kind.label())])
+            .inc();
+    }
+
     /// Render every series in the Prometheus text exposition format:
     /// `# TYPE` headers, one `name{labels} value` line per counter/gauge
     /// series, and cumulative `_bucket{le=…}` / `_sum` / `_count` lines
@@ -217,6 +256,12 @@ impl MetricsRegistry {
         for (key, c) in read(&self.counters).iter() {
             type_header(&mut out, &mut last_family, &key.name, "counter");
             out.push_str(&format!("{} {}\n", key.render(), c.get()));
+        }
+        // Ring-eviction counters live on the rings themselves, not in the
+        // series map; expose them so overflow is never silent.
+        for (name, v) in self.ring_drop_counters() {
+            type_header(&mut out, &mut last_family, name, "counter");
+            out.push_str(&format!("{name} {v}\n"));
         }
         last_family.clear();
         for (key, g) in read(&self.gauges).iter() {
@@ -243,19 +288,45 @@ impl MetricsRegistry {
                 key.render_with("_bucket", "le", "+Inf"),
                 snap.count()
             ));
-            out.push_str(&format!("{}_sum{} {}\n", key.name, label_block(key), snap.sum()));
-            out.push_str(&format!("{}_count{} {}\n", key.name, label_block(key), snap.count()));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                key.name,
+                label_block(key),
+                snap.sum()
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                key.name,
+                label_block(key),
+                snap.count()
+            ));
         }
         out
     }
 
+    /// The eviction counters of the span and event rings, as
+    /// `(family, value)` pairs.
+    fn ring_drop_counters(&self) -> [(&'static str, u64); 2] {
+        [
+            (
+                "hpcmfa_security_events_dropped_total",
+                self.events.dropped(),
+            ),
+            ("hpcmfa_tracer_dropped_total", self.tracer.dropped()),
+        ]
+    }
+
     /// Freeze every series into a [`MetricsSnapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = read(&self.counters)
+            .iter()
+            .map(|(k, c)| (k.render(), c.get()))
+            .collect();
+        for (name, v) in self.ring_drop_counters() {
+            counters.insert(name.to_string(), v);
+        }
         MetricsSnapshot {
-            counters: read(&self.counters)
-                .iter()
-                .map(|(k, c)| (k.render(), c.get()))
-                .collect(),
+            counters,
             gauges: read(&self.gauges)
                 .iter()
                 .map(|(k, g)| (k.render(), g.get()))
@@ -375,8 +446,10 @@ mod tests {
     #[test]
     fn prometheus_rendering_is_valid_and_deterministic() {
         let reg = MetricsRegistry::new();
-        reg.counter("hpcmfa_logins_total", &[("outcome", "granted")]).add(3);
-        reg.counter("hpcmfa_logins_total", &[("outcome", "denied")]).inc();
+        reg.counter("hpcmfa_logins_total", &[("outcome", "granted")])
+            .add(3);
+        reg.counter("hpcmfa_logins_total", &[("outcome", "denied")])
+            .inc();
         reg.gauge("hpcmfa_servers_up", &[]).set(2);
         let h = reg.histogram("hpcmfa_rtt_us", &[]);
         h.record(10);
@@ -421,7 +494,8 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         let reg = MetricsRegistry::new();
-        reg.counter("hpcmfa_odd_total", &[("msg", "a\"b\\c\nd")]).inc();
+        reg.counter("hpcmfa_odd_total", &[("msg", "a\"b\\c\nd")])
+            .inc();
         let text = reg.render_prometheus();
         assert!(text.contains("msg=\"a\\\"b\\\\c\\nd\""), "{text}");
     }
@@ -440,10 +514,57 @@ mod tests {
     }
 
     #[test]
+    fn emit_event_feeds_ring_and_counter() {
+        let reg = MetricsRegistry::new();
+        let t = crate::TraceId::from_u64(7);
+        reg.emit_event(SecurityEventKind::ReplayAttempt, Some(t), 100, "user=alice");
+        reg.emit_event(SecurityEventKind::ReplayAttempt, Some(t), 130, "user=alice");
+        reg.emit_event(SecurityEventKind::BreakerFlap, None, 140, "server=radius0");
+        assert_eq!(reg.security_events().len(), 3);
+        assert_eq!(
+            reg.security_events()
+                .of_kind(SecurityEventKind::ReplayAttempt)
+                .len(),
+            2
+        );
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("hpcmfa_security_events_total{kind=\"replay_attempt\"}"),
+            2
+        );
+        assert_eq!(snap.counter_family("hpcmfa_security_events_total"), 3);
+    }
+
+    #[test]
+    fn ring_drop_counters_are_exposed() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.snapshot().counter("hpcmfa_tracer_dropped_total"), 0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE hpcmfa_tracer_dropped_total counter\n"));
+        assert!(text.contains("hpcmfa_tracer_dropped_total 0\n"));
+        assert!(text.contains("hpcmfa_security_events_dropped_total 0\n"));
+        // Overflow is visible, not silent.
+        let tight = MetricsRegistry::with_ring_caps(2, 1);
+        for i in 0..5 {
+            tight
+                .tracer()
+                .span(crate::TraceId::from_u64(i), "pam", "x", "");
+            tight.emit_event(SecurityEventKind::SmsAbuse, None, i, "");
+        }
+        let snap = tight.snapshot();
+        assert_eq!(snap.counter("hpcmfa_tracer_dropped_total"), 3);
+        assert_eq!(snap.counter("hpcmfa_security_events_dropped_total"), 4);
+        assert!(tight
+            .render_prometheus()
+            .contains("hpcmfa_tracer_dropped_total 3\n"));
+    }
+
+    #[test]
     fn registry_debug_is_compact() {
         let reg = MetricsRegistry::new();
         reg.counter("c", &[]).inc();
-        reg.tracer().span(crate::TraceId::from_u64(1), "pam", "x", "");
+        reg.tracer()
+            .span(crate::TraceId::from_u64(1), "pam", "x", "");
         let dbg = format!("{reg:?}");
         assert!(dbg.contains("MetricsRegistry"));
         assert!(dbg.contains("counters: 1"));

@@ -74,7 +74,10 @@ impl TraceId {
     /// across differently-interleaved runs — simulation code paths use
     /// [`TraceId::derive`] instead.
     pub fn mint() -> Self {
-        TraceId::derive(namespace("hpcmfa.mint"), MINTED.fetch_add(1, Ordering::Relaxed))
+        TraceId::derive(
+            namespace("hpcmfa.mint"),
+            MINTED.fetch_add(1, Ordering::Relaxed),
+        )
     }
 
     /// The 16-hex-digit rendering (same as `Display`).
@@ -180,7 +183,12 @@ impl Tracer {
 
     /// All retained spans for `trace`, in recording order.
     pub fn spans_for(&self, trace: TraceId) -> Vec<SpanRecord> {
-        self.lock().spans.iter().filter(|s| s.trace == trace).cloned().collect()
+        self.lock()
+            .spans
+            .iter()
+            .filter(|s| s.trace == trace)
+            .cloned()
+            .collect()
     }
 
     /// The distinct components that recorded spans for `trace`, sorted.
@@ -236,7 +244,10 @@ mod tests {
         let ns = namespace("login1");
         assert_eq!(TraceId::derive(ns, 7), TraceId::derive(ns, 7));
         assert_ne!(TraceId::derive(ns, 7), TraceId::derive(ns, 8));
-        assert_ne!(TraceId::derive(ns, 0), TraceId::derive(namespace("login2"), 0));
+        assert_ne!(
+            TraceId::derive(ns, 0),
+            TraceId::derive(namespace("login2"), 0)
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! grouping and give the same report).
 
 use hpcmfa_telemetry::histogram::{
-    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB,
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot,
+    NUM_BUCKETS, SUB,
 };
 use proptest::prelude::*;
 

@@ -128,9 +128,10 @@ impl FaultScript {
         let mut script = FaultScript::new();
         for s in 0..n_servers {
             let t = start + s * hold;
-            script = script
-                .at(t, s, FaultAction::ServerDown)
-                .at(t + hold, s, FaultAction::ServerUp);
+            script =
+                script
+                    .at(t, s, FaultAction::ServerDown)
+                    .at(t + hold, s, FaultAction::ServerUp);
         }
         script
     }
@@ -240,6 +241,13 @@ pub struct ChaosReport {
     /// [`Display`](std::fmt::Display) output: wall-clock histograms
     /// would break byte-identical reports.
     pub metrics: MetricsSnapshot,
+    /// The alert engine's full transition timeline (`"{at} {rule}
+    /// {from}->{to}"` lines, virtual seconds). Deterministic, so it IS
+    /// part of the Display output and of byte-identical comparisons.
+    pub alerts: Vec<String>,
+    /// The security-event ring at the end of the run, rendered one event
+    /// per line (virtual timestamps + trace ids — deterministic).
+    pub security_events: Vec<String>,
 }
 
 impl ChaosReport {
@@ -299,6 +307,12 @@ impl std::fmt::Display for ChaosReport {
                 "  fault[{kind}]: {} logins, {} first-try, {} eventual, {} re-dials",
                 s.logins, s.first_try_successes, s.eventual_successes, s.redials,
             )?;
+        }
+        for line in &self.alerts {
+            writeln!(f, "  alert: {line}")?;
+        }
+        for line in &self.security_events {
+            writeln!(f, "  event: {line}")?;
         }
         Ok(())
     }
@@ -398,6 +412,8 @@ impl ChaosRunner {
             otp_truncated_bytes: 0,
             by_fault_kind: Vec::new(),
             metrics: MetricsSnapshot::default(),
+            alerts: Vec::new(),
+            security_events: Vec::new(),
         };
         // Mirror of each server's fault plane, so every login can be
         // attributed to the fault kinds active while it dialed.
@@ -413,7 +429,10 @@ impl ChaosRunner {
                 self.apply(event);
                 self.center
                     .metrics()
-                    .counter("hpcmfa_chaos_faults_total", &[("kind", event.action.kind())])
+                    .counter(
+                        "hpcmfa_chaos_faults_total",
+                        &[("kind", event.action.kind())],
+                    )
                     .inc();
                 match event.action {
                     FaultAction::ServerDown => down[event.server] = true,
@@ -495,6 +514,15 @@ impl ChaosRunner {
             report.otp_truncated_bytes = counters.truncated_bytes;
         }
         report.metrics = self.center.metrics_snapshot();
+        report.alerts = self.center.alerts.timeline_lines();
+        report.security_events = self
+            .center
+            .metrics()
+            .security_events()
+            .all()
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
         report
     }
 }
@@ -596,8 +624,7 @@ mod tests {
             .at(20, 0, FaultAction::GarbleStorm { one_in: 0 })
             .at(30, 2, FaultAction::LatencySpike { extra_us: 40_000 });
         let report = ChaosRunner::new(small(40)).run(&script);
-        let kinds: std::collections::HashMap<_, _> =
-            report.by_fault_kind.iter().copied().collect();
+        let kinds: std::collections::HashMap<_, _> = report.by_fault_kind.iter().copied().collect();
         assert_eq!(kinds["garble"].logins, 20, "{report}");
         assert_eq!(kinds["latency_spike"].logins, 10, "{report}");
         assert!(!kinds.contains_key("outage"), "{report}");
@@ -615,7 +642,12 @@ mod tests {
             1
         );
         // The snapshot carries the full auth path, not just chaos counters.
-        assert!(report.metrics.counter_family("hpcmfa_radius_requests_total") >= 40);
+        assert!(
+            report
+                .metrics
+                .counter_family("hpcmfa_radius_requests_total")
+                >= 40
+        );
         assert!(
             report
                 .metrics
@@ -648,7 +680,10 @@ mod tests {
         let report = runner.run(&script);
         assert_eq!(report.otp_crashes, 3, "{report}");
         assert_eq!(report.availability(), 1.0, "{report}");
-        assert!(report.otp_records_replayed > 0, "state came back from the WAL: {report}");
+        assert!(
+            report.otp_records_replayed > 0,
+            "state came back from the WAL: {report}"
+        );
     }
 
     #[test]

@@ -36,11 +36,7 @@ pub fn fig6_series(out: &SimOutput) -> Vec<(Date, u64)> {
 /// Days ranked by new pairings, descending (the paper's "ranks first" /
 /// "ranks fourth" observations).
 pub fn pairing_rank(out: &SimOutput) -> Vec<(Date, u64)> {
-    let mut ranked: Vec<(Date, u64)> = out
-        .days
-        .iter()
-        .map(|d| (d.date, d.new_pairings))
-        .collect();
+    let mut ranked: Vec<(Date, u64)> = out.days.iter().map(|d| (d.date, d.new_pairings)).collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked
 }
@@ -86,9 +82,7 @@ impl Table1 {
         s.push_str("Token Device Pairing Type | Paper (%) | Measured (%)\n");
         s.push_str("--------------------------+-----------+-------------\n");
         for ((name, measured), (_, reported)) in self.rows.iter().zip(paper.rows.iter()) {
-            s.push_str(&format!(
-                "{name:<26}| {reported:>9.2} | {measured:>11.2}\n"
-            ));
+            s.push_str(&format!("{name:<26}| {reported:>9.2} | {measured:>11.2}\n"));
         }
         s
     }
@@ -137,11 +131,7 @@ pub fn render_bar_chart(title: &str, series: &[(Date, u64)], width: usize) -> St
 }
 
 /// Render a grouped series (e.g. Figure 4's three bar groups) as columns.
-pub fn render_multi_series(
-    title: &str,
-    header: &[&str],
-    rows: &[(Date, Vec<u64>)],
-) -> String {
+pub fn render_multi_series(title: &str, header: &[&str], rows: &[(Date, Vec<u64>)]) -> String {
     let mut s = format!("{title}\n{:<12}", "date");
     for h in header {
         s.push_str(&format!("{h:>12}"));
@@ -187,6 +177,8 @@ mod tests {
             sms_cost_micros: 1_075_000,
             failures_by_cohort: Default::default(),
             metrics: Default::default(),
+            alerts: Vec::new(),
+            security_events: Vec::new(),
         }
     }
 

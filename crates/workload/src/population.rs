@@ -314,9 +314,7 @@ impl Population {
                 daily_logins: rng.random_range(0.2..1.0),
                 activity_prob: 0.15,
                 // Training accounts get static codes as workshops occur.
-                adoption_day: Some(
-                    Date::new(2016, 8, 15).plus_days(rng.random_range(0..100)),
-                ),
+                adoption_day: Some(Date::new(2016, 8, 15).plus_days(rng.random_range(0..100))),
                 uses_pubkey: false,
                 phone: None,
             });
@@ -385,9 +383,8 @@ mod tests {
             .filter(|u| u.adoption_day.is_some())
             .collect();
         let n = adopters.len() as f64;
-        let frac = |d: DevicePreference| {
-            adopters.iter().filter(|u| u.device == d).count() as f64 / n
-        };
+        let frac =
+            |d: DevicePreference| adopters.iter().filter(|u| u.device == d).count() as f64 / n;
         let soft = frac(DevicePreference::Soft);
         let sms = frac(DevicePreference::Sms);
         let hard = frac(DevicePreference::Hard);
@@ -396,8 +393,10 @@ mod tests {
         assert!((0.34..0.46).contains(&sms), "sms {sms}");
         assert!((0.005..0.03).contains(&hard), "hard {hard}");
         assert!((0.01..0.05).contains(&training), "training {training}");
-        assert!(soft > sms && sms > training && training > hard,
-            "Table 1 ordering: soft > sms > training > hard");
+        assert!(
+            soft > sms && sms > training && training > hard,
+            "Table 1 ordering: soft > sms > training > hard"
+        );
     }
 
     #[test]
@@ -408,8 +407,10 @@ mod tests {
         let sep8 = w(2016, 9, 8);
         let aug10 = w(2016, 8, 10);
         let oct4 = w(2016, 10, 4);
-        assert!(sep7 > sep8 && sep8 > aug10 && aug10 > oct4,
-            "top three planned days exceed the mandatory date");
+        assert!(
+            sep7 > sep8 && sep8 > aug10 && aug10 > oct4,
+            "top three planned days exceed the mandatory date"
+        );
         // Oct 4's planned weight still beats the ordinary phase-2 base.
         assert!(oct4 >= 2.0 * w(2016, 9, 20));
         assert_eq!(w(2016, 8, 9), 0.0, "no adoption before announcement");
@@ -442,7 +443,10 @@ mod tests {
     fn gateways_and_community_never_adopt() {
         let pop = Population::generate(PopulationParams::scaled(0.1));
         for u in pop.users.iter() {
-            if matches!(u.cohort, Cohort::Gateway | Cohort::Community | Cohort::Inactive) {
+            if matches!(
+                u.cohort,
+                Cohort::Gateway | Cohort::Community | Cohort::Inactive
+            ) {
                 assert!(u.adoption_day.is_none(), "{}", u.username);
             }
         }
@@ -463,7 +467,11 @@ mod tests {
         let pop = Population::generate(PopulationParams::scaled(0.2));
         for u in pop.cohort(Cohort::Staff) {
             let d = u.adoption_day.unwrap();
-            assert!(d < Date::new(2016, 8, 16), "staff {} adopted {d}", u.username);
+            assert!(
+                d < Date::new(2016, 8, 16),
+                "staff {} adopted {d}",
+                u.username
+            );
         }
     }
 }

@@ -15,8 +15,8 @@
 //! master connections).
 
 use crate::population::{Cohort, DevicePreference, Population, UserSpec};
-use hpcmfa_otp::clock::Clock as _;
 use hpcmfa_core::center::{Center, CenterConfig};
+use hpcmfa_otp::clock::Clock as _;
 use hpcmfa_otp::date::Date;
 use hpcmfa_otp::device::HardTokenBatch;
 use hpcmfa_pam::modules::token::EnforcementMode;
@@ -170,6 +170,12 @@ pub struct SimOutput {
     /// End-of-run snapshot of the center-wide metrics registry: the
     /// counters and latency histograms behind the per-day aggregates.
     pub metrics: hpcmfa_telemetry::MetricsSnapshot,
+    /// Full alert-transition timeline from the center's rule engine, in
+    /// virtual-time order (deterministic for a given seed).
+    pub alerts: Vec<String>,
+    /// Security events observed during the run, rendered in emission
+    /// order (deterministic for a given seed).
+    pub security_events: Vec<String>,
 }
 
 impl SimOutput {
@@ -268,8 +274,7 @@ impl RolloutSim {
             .filter(|u| u.device == DevicePreference::Hard)
             .count();
         let mut batch_rng = StdRng::seed_from_u64(params.seed ^ 0xfe17);
-        let hard_batch =
-            HardTokenBatch::manufacture("TACC", hard_count + 64, &mut batch_rng);
+        let hard_batch = HardTokenBatch::manufacture("TACC", hard_count + 64, &mut batch_rng);
 
         let mut users = Vec::with_capacity(population.len());
         let mut gateway_names = Vec::new();
@@ -278,7 +283,11 @@ impl RolloutSim {
             if spec.cohort == Cohort::Inactive {
                 // Dormant accounts exist in the identity plant but never
                 // generate events; keep them out of the hot loop.
-                center.create_user(&spec.username, &format!("{}@x.edu", spec.username), "unused");
+                center.create_user(
+                    &spec.username,
+                    &format!("{}@x.edu", spec.username),
+                    "unused",
+                );
                 continue;
             }
             center.create_user(
@@ -367,11 +376,7 @@ impl RolloutSim {
             if u.paired {
                 return false;
             }
-            (
-                u.spec.username.clone(),
-                u.spec.device,
-                u.spec.phone.clone(),
-            )
+            (u.spec.username.clone(), u.spec.device, u.spec.phone.clone())
         };
         let handle = match device {
             DevicePreference::Soft => {
@@ -497,9 +502,7 @@ impl RolloutSim {
             .iter()
             .enumerate()
             .filter(|(_, u)| {
-                u.spec.adoption_day == Some(date)
-                    && u.spec.cohort != Cohort::Automated
-                    && !u.paired
+                u.spec.adoption_day == Some(date) && u.spec.cohort != Cohort::Automated && !u.paired
             })
             .map(|(i, _)| i)
             .collect();
@@ -536,11 +539,7 @@ impl RolloutSim {
             let candidates: Vec<usize> = (0..self.users.len())
                 .filter(|&i| {
                     let u = &self.users[i];
-                    u.paired
-                        && matches!(
-                            u.spec.cohort,
-                            Cohort::Interactive | Cohort::Staff
-                        )
+                    u.paired && matches!(u.spec.cohort, Cohort::Interactive | Cohort::Staff)
                 })
                 .collect();
             for idx in candidates {
@@ -839,6 +838,15 @@ impl RolloutSim {
             sms_sent: self.center.twilio.sent_count(),
             sms_cost_micros: self.center.twilio.total_cost_micros(months),
             metrics: self.center.metrics_snapshot(),
+            alerts: self.center.alerts.timeline_lines(),
+            security_events: self
+                .center
+                .metrics()
+                .security_events()
+                .all()
+                .iter()
+                .map(|e| e.to_string())
+                .collect(),
         }
     }
 }
@@ -879,9 +887,18 @@ mod tests {
         let phase1 = avg(m.announce, Date::new(2016, 9, 5));
         let phase2 = avg(Date::new(2016, 9, 8), Date::new(2016, 10, 3));
         let phase3 = avg(Date::new(2016, 10, 10), Date::new(2016, 12, 10));
-        assert!(phase1 > pre, "adoption begins in phase 1: {pre} -> {phase1}");
-        assert!(phase2 > phase1 * 1.5, "phase 2 accelerates: {phase1} -> {phase2}");
-        assert!(phase3 > phase2, "phase 3 is the plateau: {phase2} -> {phase3}");
+        assert!(
+            phase1 > pre,
+            "adoption begins in phase 1: {pre} -> {phase1}"
+        );
+        assert!(
+            phase2 > phase1 * 1.5,
+            "phase 2 accelerates: {phase1} -> {phase2}"
+        );
+        assert!(
+            phase3 > phase2,
+            "phase 3 is the plateau: {phase2} -> {phase3}"
+        );
         // Holiday dip.
         let holiday = avg(Date::new(2016, 12, 24), Date::new(2016, 12, 30));
         assert!(holiday < phase3 * 0.7, "winter dip: {phase3} -> {holiday}");
@@ -963,6 +980,11 @@ mod tests {
         })
         .run();
         assert_eq!(a.days, b.days);
+        assert_eq!(a.alerts, b.alerts, "alert timelines diverge across seeds");
+        assert_eq!(
+            a.security_events, b.security_events,
+            "security-event feeds diverge across seeds"
+        );
     }
 
     #[test]

@@ -76,7 +76,8 @@ fn main() {
         }));
     let node = &center.nodes[0].daemon;
     let mut mux = MultiplexedConnection::new(node);
-    mux.establish(&profile).expect("master authenticates with MFA");
+    mux.establish(&profile)
+        .expect("master authenticates with MFA");
     for _ in 0..25 {
         mux.open_channel().unwrap();
     }

@@ -24,7 +24,9 @@ fn main() {
     let center = Center::new(CenterConfig::default());
     center.create_user("alice", "a@x.edu", "alice-pw");
     center.create_user("gateway1", "g@x.edu", "gw-pw");
-    center.add_exemption_rule("+ : gateway1 : ALL : ALL").unwrap();
+    center
+        .add_exemption_rule("+ : gateway1 : ALL : ALL")
+        .unwrap();
     let node = &center.nodes[0];
 
     // The sysadmin view: the stack as a configuration file (§3.4, Fig. 1).
@@ -71,12 +73,7 @@ auth required                   pam_tacc_mfa_token.so mode=full
 
     let trace_path = |title: &str, user: &str, ip: Ipv4Addr, answers: Vec<String>| {
         let mut conv = ScriptedConversation::with_answers(answers);
-        let mut ctx = PamContext::new(
-            user,
-            ip,
-            Arc::new(center.clock.clone()),
-            &mut conv,
-        );
+        let mut ctx = PamContext::new(user, ip, Arc::new(center.clock.clone()), &mut conv);
         let mut trace = Vec::new();
         let verdict = stack.authenticate_traced(&mut ctx, &mut trace);
         println!("=== {title} ===");
@@ -139,14 +136,16 @@ auth required                   pam_tacc_mfa_token.so mode=full
     // Path E: pubkey first factor skips the password prompt entirely.
     let key = center.provision_key("alice");
     // Log the sshd-side pubkey verification, as the daemon would.
-    node.daemon.authlog().record(securing_hpc::ssh::authlog::LogEntry {
-        at: center.clock.now(),
-        user: "alice".into(),
-        rhost: Ipv4Addr::new(70, 1, 1, 1),
-        method: securing_hpc::ssh::authlog::AuthMethod::Publickey,
-        success: true,
-        tty: true,
-    });
+    node.daemon
+        .authlog()
+        .record(securing_hpc::ssh::authlog::LogEntry {
+            at: center.clock.now(),
+            user: "alice".into(),
+            rhost: Ipv4Addr::new(70, 1, 1, 1),
+            method: securing_hpc::ssh::authlog::AuthMethod::Publickey,
+            success: true,
+            tty: true,
+        });
     let _ = key;
     center.clock.advance(30);
     let code = device.displayed_code(center.clock.now());

@@ -15,7 +15,10 @@ fn main() {
         seed: 42,
         ..RolloutParams::default()
     };
-    println!("replaying 2016-07-01 .. 2016-12-31 at population scale {} ...", params.population_scale);
+    println!(
+        "replaying 2016-07-01 .. 2016-12-31 at population scale {} ...",
+        params.population_scale
+    );
     let out = RolloutSim::new(params).run();
 
     let window = |from: Date, to: Date| {
@@ -41,13 +44,36 @@ fn main() {
         )
     };
 
-    println!("\n{:<34}{:>10}{:>12}{:>12}{:>10}", "window", "mfa/day", "ext/day", "extMFA/day", "pairings");
+    println!(
+        "\n{:<34}{:>10}{:>12}{:>12}{:>10}",
+        "window", "mfa/day", "ext/day", "extMFA/day", "pairings"
+    );
     for (label, from, to) in [
-        ("pre-announcement (Jul)", Date::new(2016, 7, 1), Date::new(2016, 8, 9)),
-        ("phase 1: opt-in (08-10..09-05)", Date::new(2016, 8, 10), Date::new(2016, 9, 5)),
-        ("phase 2: countdown (09-06..10-03)", Date::new(2016, 9, 6), Date::new(2016, 10, 3)),
-        ("phase 3: mandatory (10-04..12-16)", Date::new(2016, 10, 4), Date::new(2016, 12, 16)),
-        ("winter holiday (12-17..12-30)", Date::new(2016, 12, 17), Date::new(2016, 12, 30)),
+        (
+            "pre-announcement (Jul)",
+            Date::new(2016, 7, 1),
+            Date::new(2016, 8, 9),
+        ),
+        (
+            "phase 1: opt-in (08-10..09-05)",
+            Date::new(2016, 8, 10),
+            Date::new(2016, 9, 5),
+        ),
+        (
+            "phase 2: countdown (09-06..10-03)",
+            Date::new(2016, 9, 6),
+            Date::new(2016, 10, 3),
+        ),
+        (
+            "phase 3: mandatory (10-04..12-16)",
+            Date::new(2016, 10, 4),
+            Date::new(2016, 12, 16),
+        ),
+        (
+            "winter holiday (12-17..12-30)",
+            Date::new(2016, 12, 17),
+            Date::new(2016, 12, 30),
+        ),
     ] {
         let (mfa, ext, ext_mfa, pairings) = window(from, to);
         println!("{label:<34}{mfa:>10.1}{ext:>12.1}{ext_mfa:>12.1}{pairings:>10}");

@@ -54,26 +54,23 @@ fn main() {
 
     // SSH in from outside: password first factor, then the token code.
     let dev = device.clone();
-    let profile = ClientProfile::interactive_user(
-        "alice",
-        Ipv4Addr::new(70, 112, 5, 9),
-        "correct-horse",
-    )
-    .with_token(TokenSource::device(move |now| {
-        Some(dev.displayed_code(now))
-    }));
+    let profile =
+        ClientProfile::interactive_user("alice", Ipv4Addr::new(70, 112, 5, 9), "correct-horse")
+            .with_token(TokenSource::device(move |now| {
+                Some(dev.displayed_code(now))
+            }));
     let report = center.ssh(0, &profile);
     println!("\nSSH login prompts: {:?}", report.prompts);
-    println!("granted: {}, used MFA: {}", report.granted, report.mfa_prompted);
+    println!(
+        "granted: {}, used MFA: {}",
+        report.granted, report.mfa_prompted
+    );
     assert!(report.granted && report.mfa_prompted);
 
     // Inside the center no second factor is demanded (§3.4): compute and
     // storage nodes exchange traffic freely.
-    let internal = ClientProfile::interactive_user(
-        "alice",
-        center.internal_ip(17),
-        "correct-horse",
-    );
+    let internal =
+        ClientProfile::interactive_user("alice", center.internal_ip(17), "correct-horse");
     let report = center.ssh(1, &internal);
     println!(
         "\ninternal login from {}: granted={}, MFA prompted={} (exempt network)",
@@ -84,12 +81,9 @@ fn main() {
     assert!(report.granted && !report.mfa_prompted);
 
     // Wrong codes are rejected — and audited.
-    let wrong = ClientProfile::interactive_user(
-        "alice",
-        Ipv4Addr::new(70, 112, 5, 9),
-        "correct-horse",
-    )
-    .with_token(TokenSource::Fixed("000000".into()));
+    let wrong =
+        ClientProfile::interactive_user("alice", Ipv4Addr::new(70, 112, 5, 9), "correct-horse")
+            .with_token(TokenSource::Fixed("000000".into()));
     let report = center.ssh(0, &wrong);
     println!("\nwrong token code: granted={}", report.granted);
     assert!(!report.granted);

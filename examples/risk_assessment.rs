@@ -26,7 +26,9 @@ const DAY: u64 = 86_400;
 fn main() {
     let center = Center::new(CenterConfig::default());
     center.create_user("gateway1", "ops@gateway.org", "gw-pw");
-    center.add_exemption_rule("+ : gateway1 : ALL : ALL").unwrap();
+    center
+        .add_exemption_rule("+ : gateway1 : ALL : ALL")
+        .unwrap();
     let node = &center.nodes[0];
 
     // A small GeoIP database (production would load a full one).
@@ -43,7 +45,10 @@ fn main() {
 
     // Figure 1 stack + risk gate at the top.
     let mut stack = PamStack::new();
-    stack.push(ControlFlag::Requisite, RiskGateModule::new(Arc::clone(&engine)));
+    stack.push(
+        ControlFlag::Requisite,
+        RiskGateModule::new(Arc::clone(&engine)),
+    );
     stack.push(
         ControlFlag::Requisite,
         UnixPasswordModule::new(center.directory.clone(), "ou=people,dc=tacc"),
@@ -64,8 +69,7 @@ fn main() {
     );
 
     let login = |label: &str, ip: &str, answers: Vec<&str>| {
-        let mut conv =
-            ScriptedConversation::with_answers(answers.iter().map(|s| s.to_string()));
+        let mut conv = ScriptedConversation::with_answers(answers.iter().map(|s| s.to_string()));
         let transcript = conv.transcript();
         let mut ctx = PamContext::new(
             "gateway1",
@@ -75,9 +79,7 @@ fn main() {
         );
         let verdict = stack.authenticate(&mut ctx);
         let (score, decision) = { (ctx.risk_step_up, verdict) };
-        println!(
-            "{label:<44} from {ip:<12} -> {decision:?} (step-up demanded: {score})"
-        );
+        println!("{label:<44} from {ip:<12} -> {decision:?} (step-up demanded: {score})");
         for p in transcript.lock().iter() {
             println!("    prompt: {}", p.prompt.text());
         }
@@ -85,7 +87,11 @@ fn main() {
     };
 
     println!("exempt gateway account under dynamic risk assessment:\n");
-    login("habitual location, exemption bypasses MFA", "70.1.2.3", vec!["gw-pw"]);
+    login(
+        "habitual location, exemption bypasses MFA",
+        "70.1.2.3",
+        vec!["gw-pw"],
+    );
 
     center.clock.advance(45 * DAY);
     login(
@@ -102,5 +108,9 @@ fn main() {
     );
 
     center.clock.advance(45 * DAY);
-    login("back home: standing exemption works again", "70.1.2.3", vec!["gw-pw"]);
+    login(
+        "back home: standing exemption works again",
+        "70.1.2.3",
+        vec!["gw-pw"],
+    );
 }

@@ -10,8 +10,8 @@
 use securing_hpc::core::center::{Center, CenterConfig};
 use securing_hpc::core::Clock as _;
 use securing_hpc::crypto::digestauth::answer_challenge;
-use securing_hpc::otpserver::json::Json;
 use securing_hpc::otpserver::admin::HttpRequest;
+use securing_hpc::otpserver::json::Json;
 use securing_hpc::otpserver::sms::SmsProvider;
 use securing_hpc::pam::modules::token::EnforcementMode;
 use securing_hpc::ssh::client::{ClientProfile, TokenSource};

@@ -6,6 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -22,6 +25,10 @@ cargo test -q --offline -p hpcmfa-telemetry
 cargo test -q --offline -p hpcmfa-telemetry --test histogram_props
 cargo test -q --offline --test tracing
 cargo test -q --offline --test telemetry
+
+echo "==> alerting: rule engine, event stream, deterministic timelines"
+cargo test -q --offline --test alerting
+cargo test -q --offline -p hpcmfa-radius --test tracewire_props
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings

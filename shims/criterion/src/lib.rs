@@ -43,7 +43,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(name: &str) -> Self {
-        BenchmarkId { label: name.to_string() }
+        BenchmarkId {
+            label: name.to_string(),
+        }
     }
 }
 
@@ -71,7 +73,12 @@ impl Bencher {
     }
 }
 
-fn report(label: &str, group: Option<&str>, mean: Option<Duration>, throughput: Option<Throughput>) {
+fn report(
+    label: &str,
+    group: Option<&str>,
+    mean: Option<Duration>,
+    throughput: Option<Throughput>,
+) {
     let full = match group {
         Some(g) => format!("{g}/{label}"),
         None => label.to_string(),
@@ -82,11 +89,16 @@ fn report(label: &str, group: Option<&str>, mean: Option<Duration>, throughput: 
             let rate = throughput.map(|t| {
                 let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
                 match t {
-                    Throughput::Bytes(n) => format!("  {:>12.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+                    Throughput::Bytes(n) => {
+                        format!("  {:>12.1} MiB/s", per_sec(n) / (1024.0 * 1024.0))
+                    }
                     Throughput::Elements(n) => format!("  {:>12.1} elem/s", per_sec(n)),
                 }
             });
-            println!("bench {full:50} {mean:>12.3?}/iter{}", rate.unwrap_or_default());
+            println!(
+                "bench {full:50} {mean:>12.3?}/iter{}",
+                rate.unwrap_or_default()
+            );
         }
     }
 }
@@ -100,7 +112,10 @@ pub struct Criterion {
 impl Criterion {
     /// Run a standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { iters: DEFAULT_ITERS, mean: None };
+        let mut b = Bencher {
+            iters: DEFAULT_ITERS,
+            mean: None,
+        };
         f(&mut b);
         report(name, None, b.mean, None);
         self
@@ -150,7 +165,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { iters: self.iters, mean: None };
+        let mut b = Bencher {
+            iters: self.iters,
+            mean: None,
+        };
         f(&mut b);
         report(&id.label, Some(&self.name), b.mean, self.throughput);
         self
@@ -167,7 +185,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher { iters: self.iters, mean: None };
+        let mut b = Bencher {
+            iters: self.iters,
+            mean: None,
+        };
         f(&mut b, input);
         report(&id.label, Some(&self.name), b.mean, self.throughput);
         self

@@ -127,7 +127,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> BoxedStrategy<T> {
     fn new<F: Fn(&mut TestRng) -> T + Send + Sync + 'static>(f: F) -> Self {
-        BoxedStrategy { gen_fn: Arc::new(f) }
+        BoxedStrategy {
+            gen_fn: Arc::new(f),
+        }
     }
 }
 
@@ -315,13 +317,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -340,7 +348,10 @@ pub mod collection {
 
     /// Vectors of `element` values, length in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -367,7 +378,11 @@ pub mod collection {
         values: V,
         size: impl Into<SizeRange>,
     ) -> BTreeMapStrategy<K, V> {
-        BTreeMapStrategy { keys, values, size: size.into() }
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
     }
 
     impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
@@ -658,7 +673,10 @@ mod tests {
         let mut b = TestRng::for_test("same");
         let strat = crate::collection::vec(any::<u8>(), 0..10);
         for _ in 0..50 {
-            assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+            assert_eq!(
+                Strategy::generate(&strat, &mut a),
+                Strategy::generate(&strat, &mut b)
+            );
         }
     }
 

@@ -98,7 +98,8 @@ fn run_stream(
         }
         let crash_now = crash_every.is_some_and(|every| (login + 1) % every == 0);
         if crash_now {
-            c.crash_otp_server().expect("OTP server recovers from durable state");
+            c.crash_otp_server()
+                .expect("OTP server recovers from durable state");
             res.crashes += 1;
             // The code accepted just before the crash must still be
             // nullified on the recovered server (its TOTP step is still
@@ -137,7 +138,10 @@ fn crash_interrupted_stream_matches_crash_free_run() {
     // And the interrupted stream completed exactly like the control:
     // every acknowledged mutation survived, so no login was lost.
     assert_eq!(control.granted, LOGINS, "{control:?}");
-    assert_eq!(crashed.granted, control.granted, "{crashed:?} vs {control:?}");
+    assert_eq!(
+        crashed.granted, control.granted,
+        "{crashed:?} vs {control:?}"
+    );
 }
 
 #[test]

@@ -2,6 +2,8 @@
 //! public surfaces — portal pairing, SSH entry, enforcement modes,
 //! exemptions, lockout, and unpairing.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use securing_hpc::core::center::{Center, CenterConfig};
 use securing_hpc::core::Clock as _;
 use securing_hpc::directory::identity::PairingMethod;
@@ -9,8 +11,6 @@ use securing_hpc::otp::device::HardTokenBatch;
 use securing_hpc::otpserver::sms::SmsProvider;
 use securing_hpc::pam::modules::token::EnforcementMode;
 use securing_hpc::ssh::client::{ClientProfile, TokenSource};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -30,8 +30,9 @@ fn every_token_type_can_log_in() {
     // Soft.
     c.create_user("soft_user", "s@x.edu", "soft-pw");
     let soft = c.pair_soft("soft_user");
-    let p = ClientProfile::interactive_user("soft_user", OUTSIDE, "soft-pw")
-        .with_token(TokenSource::device(move |now| Some(soft.displayed_code(now))));
+    let p = ClientProfile::interactive_user("soft_user", OUTSIDE, "soft-pw").with_token(
+        TokenSource::device(move |now| Some(soft.displayed_code(now))),
+    );
     assert!(c.ssh(0, &p).granted);
 
     // Hard.
@@ -109,8 +110,9 @@ fn enforcement_mode_lifecycle_matches_rollout_phases() {
 
     // Pairing restores access.
     let device = c.pair_soft("alice");
-    let p = ClientProfile::interactive_user("alice", OUTSIDE, "alice-pw")
-        .with_token(TokenSource::device(move |now| Some(device.displayed_code(now))));
+    let p = ClientProfile::interactive_user("alice", OUTSIDE, "alice-pw").with_token(
+        TokenSource::device(move |now| Some(device.displayed_code(now))),
+    );
     assert!(c.ssh(0, &p).granted);
 }
 
@@ -120,8 +122,9 @@ fn unpairing_through_portal_revokes_access() {
     c.create_user("alice", "a@x.edu", "alice-pw");
     let device = c.pair_soft("alice");
     let dev2 = device.clone();
-    let p = ClientProfile::interactive_user("alice", OUTSIDE, "alice-pw")
-        .with_token(TokenSource::device(move |now| Some(device.displayed_code(now))));
+    let p = ClientProfile::interactive_user("alice", OUTSIDE, "alice-pw").with_token(
+        TokenSource::device(move |now| Some(device.displayed_code(now))),
+    );
     assert!(c.ssh(0, &p).granted);
 
     // Unpair with possession proof.
@@ -148,8 +151,9 @@ fn email_unpair_after_lost_phone() {
     assert_eq!(c.identity.get("bob").unwrap().pairing, None);
     // Re-pairing works afterwards (new secret).
     let device = c.pair_soft("bob");
-    let p = ClientProfile::interactive_user("bob", OUTSIDE, "bob-pw")
-        .with_token(TokenSource::device(move |now| Some(device.displayed_code(now))));
+    let p = ClientProfile::interactive_user("bob", OUTSIDE, "bob-pw").with_token(
+        TokenSource::device(move |now| Some(device.displayed_code(now))),
+    );
     assert!(c.ssh(0, &p).granted);
     assert_eq!(
         c.identity.get("bob").unwrap().pairing,
@@ -175,8 +179,9 @@ fn lockout_threshold_through_the_full_stack() {
     // Even the legitimate device is refused while deactivated.
     c.clock.advance(30);
     let dev = device.clone();
-    let legit = ClientProfile::interactive_user("victim", OUTSIDE, "victim-pw")
-        .with_token(TokenSource::device(move |now| Some(dev.displayed_code(now))));
+    let legit = ClientProfile::interactive_user("victim", OUTSIDE, "victim-pw").with_token(
+        TokenSource::device(move |now| Some(dev.displayed_code(now))),
+    );
     assert!(!c.ssh(0, &legit).granted);
 
     // Staff reset restores service.

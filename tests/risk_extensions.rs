@@ -40,12 +40,17 @@ fn rig() -> RiskRig {
     let center = Center::new(CenterConfig::default());
     center.create_user("gateway1", "g@x.edu", "gw-pw");
     center.create_user("alice", "a@x.edu", "alice-pw");
-    center.add_exemption_rule("+ : gateway1 : ALL : ALL").unwrap();
+    center
+        .add_exemption_rule("+ : gateway1 : ALL : ALL")
+        .unwrap();
     let node = &center.nodes[0];
 
     let engine = RiskEngine::new(geodb(), RiskWeights::default());
     let mut stack = PamStack::new();
-    stack.push(ControlFlag::Requisite, RiskGateModule::new(Arc::clone(&engine)));
+    stack.push(
+        ControlFlag::Requisite,
+        RiskGateModule::new(Arc::clone(&engine)),
+    );
     stack.push(
         ControlFlag::Requisite,
         UnixPasswordModule::new(center.directory.clone(), "ou=people,dc=tacc"),
@@ -80,11 +85,8 @@ fn login(rig: &RiskRig, user: &str, ip: &str, answers: Vec<String>) -> PamVerdic
         &mut conv,
     );
     let verdict = rig.stack.authenticate(&mut ctx);
-    rig.engine.record_outcome(
-        user,
-        rig.center.clock.now(),
-        verdict == PamVerdict::Granted,
-    );
+    rig.engine
+        .record_outcome(user, rig.center.clock.now(), verdict == PamVerdict::Granted);
     verdict
 }
 

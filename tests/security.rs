@@ -1,6 +1,8 @@
 //! Adversarial integration tests: the layered design must hold against
 //! protocol-level attacks, not just wrong codes.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use securing_hpc::core::Clock as _;
 use securing_hpc::crypto::digestauth::answer_challenge;
 use securing_hpc::otp::clock::SimClock;
@@ -15,8 +17,6 @@ use securing_hpc::radius::attribute::{Attribute, AttributeType};
 use securing_hpc::radius::auth::{hide_password, request_authenticator, verify_response};
 use securing_hpc::radius::packet::{Code, Packet};
 use securing_hpc::radius::server::RadiusServer;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 const NOW: u64 = 1_475_000_000;
@@ -26,11 +26,7 @@ fn radius_rig() -> (Arc<RadiusServer>, Arc<LinotpServer>, SimClock) {
     let clock = SimClock::at(NOW);
     let linotp = LinotpServer::new(TwilioSim::new(1), 2);
     let handler = OtpRadiusHandler::new(Arc::clone(&linotp), Arc::new(clock.clone()));
-    (
-        Arc::new(RadiusServer::new(SECRET, handler)),
-        linotp,
-        clock,
-    )
+    (Arc::new(RadiusServer::new(SECRET, handler)), linotp, clock)
 }
 
 /// An off-path attacker cannot forge an Access-Accept without the shared
@@ -154,7 +150,7 @@ fn malformed_datagrams_are_discarded() {
     for garbage in [
         vec![],
         vec![0xff; 3],
-        vec![0x01; 19],            // one byte short of a header
+        vec![0x01; 19], // one byte short of a header
         {
             let mut v = vec![0x63; 64]; // unknown code
             v[2] = 0;

@@ -7,8 +7,8 @@ use securing_hpc::core::center::{Center, CenterConfig};
 use securing_hpc::core::Clock as _;
 use securing_hpc::pam::context::PamContext;
 use securing_hpc::pam::conv::ScriptedConversation;
-use securing_hpc::pam::modules::solaris::SolarisComboModule;
 use securing_hpc::pam::modules::password::UnixPasswordModule;
+use securing_hpc::pam::modules::solaris::SolarisComboModule;
 use securing_hpc::pam::modules::token::{EnforcementMode, TokenModule};
 use securing_hpc::pam::stack::{ControlFlag, PamStack, PamVerdict};
 use securing_hpc::ssh::authlog::{AuthLog, AuthMethod, LogEntry};
@@ -29,7 +29,9 @@ fn rig() -> Rig {
     let center = Center::new(CenterConfig::default());
     center.create_user("gateway1", "g@x.edu", "gw-pw");
     center.create_user("alice", "a@x.edu", "alice-pw");
-    center.add_exemption_rule("+ : gateway1 : ALL : ALL").unwrap();
+    center
+        .add_exemption_rule("+ : gateway1 : ALL : ALL")
+        .unwrap();
     let node = &center.nodes[0];
 
     let authlog = AuthLog::new();
@@ -89,7 +91,10 @@ fn exempt_gateway_with_pubkey_is_fully_noninteractive() {
     log_pubkey(&r, "gateway1", GW_IP);
     let (verdict, prompts) = login(&r, "gateway1", GW_IP, vec![]);
     assert_eq!(verdict, PamVerdict::Granted);
-    assert!(prompts.is_empty(), "combo short-circuits everything: {prompts:?}");
+    assert!(
+        prompts.is_empty(),
+        "combo short-circuits everything: {prompts:?}"
+    );
 }
 
 #[test]
@@ -116,12 +121,7 @@ fn ordinary_user_with_pubkey_still_faces_token() {
     // Pubkey succeeded but no exemption: combo is Ignore, so the Solaris
     // stack (lacking the skip) asks for the password AND the token.
     let code = device.displayed_code(r.center.clock.now());
-    let (verdict, prompts) = login(
-        &r,
-        "alice",
-        USER_IP,
-        vec!["alice-pw".into(), code],
-    );
+    let (verdict, prompts) = login(&r, "alice", USER_IP, vec!["alice-pw".into(), code]);
     assert_eq!(verdict, PamVerdict::Granted);
     assert_eq!(prompts.len(), 2, "{prompts:?}");
     assert!(prompts[1].contains("Token"));

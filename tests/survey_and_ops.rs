@@ -66,7 +66,8 @@ fn exemption_reload_applies_to_inflight_traffic() {
 
     assert!(!c.ssh(0, &batch).granted, "no exemption yet");
     // Staff grant a variance; "changes take effect immediately" (§3.4).
-    c.add_exemption_rule("+ : late_prof : ALL : 2016-12-31").unwrap();
+    c.add_exemption_rule("+ : late_prof : ALL : 2016-12-31")
+        .unwrap();
     assert!(c.ssh(0, &batch).granted);
     // And on the other login node too — each node reloaded.
     assert!(c.ssh(1, &batch).granted);
@@ -78,8 +79,9 @@ fn radius_fleet_degrades_gracefully_and_recovers() {
     c.set_enforcement(EnforcementMode::Full);
     c.create_user("alice", "a@x.edu", "alice-pw");
     let device = c.pair_soft("alice");
-    let profile = ClientProfile::interactive_user("alice", OUTSIDE, "alice-pw")
-        .with_token(TokenSource::device(move |now| Some(device.displayed_code(now))));
+    let profile = ClientProfile::interactive_user("alice", OUTSIDE, "alice-pw").with_token(
+        TokenSource::device(move |now| Some(device.displayed_code(now))),
+    );
 
     // Rolling outage: kill one server at a time; logins keep working.
     for victim in 0..c.radius_faults.len() {

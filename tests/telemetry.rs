@@ -6,9 +6,9 @@
 
 use securing_hpc::core::center::{Center, CenterConfig};
 use securing_hpc::crypto::digestauth::answer_challenge;
+use securing_hpc::otp::clock::Clock;
 use securing_hpc::otpserver::admin::{AdminApi, HttpRequest};
 use securing_hpc::otpserver::json::Json;
-use securing_hpc::otp::clock::Clock;
 use securing_hpc::otpserver::{MemoryBackend, StorageBackend};
 use securing_hpc::pam::modules::token::EnforcementMode;
 use securing_hpc::ssh::client::{ClientProfile, TokenSource};
@@ -45,10 +45,9 @@ fn center_after_one_login(config: CenterConfig) -> Arc<Center> {
     c.create_user("alice", "alice@utexas.edu", "alice-pw");
     c.set_enforcement(EnforcementMode::Full);
     let device = c.pair_soft("alice");
-    let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-        .with_token(TokenSource::device(move |now| {
-            Some(device.displayed_code(now))
-        }));
+    let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+        TokenSource::device(move |now| Some(device.displayed_code(now))),
+    );
     assert!(c.ssh(0, &profile).granted);
     c
 }
@@ -108,7 +107,10 @@ fn metrics_scrape_is_valid_prometheus_text() {
         assert!(types.contains_key(family), "undeclared family for {series}");
     }
     // The families the acceptance criteria name are present.
-    assert_eq!(types.get("hpcmfa_otp_validations_total").unwrap(), "counter");
+    assert_eq!(
+        types.get("hpcmfa_otp_validations_total").unwrap(),
+        "counter"
+    );
     assert_eq!(
         types.get("hpcmfa_otp_validate_wall_us").unwrap(),
         "histogram"

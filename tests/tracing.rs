@@ -38,10 +38,9 @@ fn full_center_login_yields_one_trace_across_all_layers() {
     c.create_user("alice", "alice@utexas.edu", "alice-pw");
     c.set_enforcement(EnforcementMode::Full);
     let device = c.pair_soft("alice");
-    let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
-        .with_token(TokenSource::device(move |now| {
-            Some(device.displayed_code(now))
-        }));
+    let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+        TokenSource::device(move |now| Some(device.displayed_code(now))),
+    );
     let report = c.ssh(0, &profile);
     assert!(report.granted, "prompts: {:?}", report.prompts);
 
