@@ -51,6 +51,16 @@ pub trait Digest: Default + Clone {
     /// Consume the hasher and produce the digest bytes.
     fn finalize_vec(self) -> Vec<u8>;
 
+    /// Consume the hasher, writing the digest into `out` (which must be at
+    /// least [`Digest::OUTPUT_LEN`] bytes; only that prefix is written).
+    /// The default routes through [`Digest::finalize_vec`]; the concrete
+    /// digests override it to finish into fixed arrays with no heap
+    /// allocation — the HMAC hot path ([`hmac::HmacKey::mac_into`]) leans
+    /// on that.
+    fn finalize_into(self, out: &mut [u8]) {
+        out[..Self::OUTPUT_LEN].copy_from_slice(&self.finalize_vec());
+    }
+
     /// One-shot convenience: digest of `data`.
     fn digest(data: &[u8]) -> Vec<u8> {
         let mut h = Self::default();
@@ -99,6 +109,61 @@ impl HashAlg {
             HashAlg::Sha1 => hmac::hmac::<sha1::Sha1>(key, msg),
             HashAlg::Sha256 => hmac::hmac::<sha256::Sha256>(key, msg),
             HashAlg::Sha512 => hmac::hmac::<sha512::Sha512>(key, msg),
+        }
+    }
+
+    /// Precompute the HMAC midstates for `key` under this algorithm (see
+    /// [`hmac::HmacKey`]). Callers that MAC many messages against one
+    /// secret — a TOTP drift-window scan, a resync search — build this
+    /// once and pay two block compressions per message afterwards.
+    pub fn prepare_key(self, key: &[u8]) -> PreparedHmac {
+        match self {
+            HashAlg::Sha1 => PreparedHmac::Sha1(hmac::HmacKey::new(key)),
+            HashAlg::Sha256 => PreparedHmac::Sha256(hmac::HmacKey::new(key)),
+            HashAlg::Sha512 => PreparedHmac::Sha512(hmac::HmacKey::new(key)),
+        }
+    }
+}
+
+/// A precomputed [`hmac::HmacKey`] for a dynamically chosen [`HashAlg`] —
+/// the store records the algorithm as data, so the hot path dispatches on
+/// this enum rather than a generic parameter.
+#[derive(Clone)]
+pub enum PreparedHmac {
+    /// HMAC-SHA-1 midstates.
+    Sha1(hmac::HmacKey<sha1::Sha1>),
+    /// HMAC-SHA-256 midstates.
+    Sha256(hmac::HmacKey<sha256::Sha256>),
+    /// HMAC-SHA-512 midstates.
+    Sha512(hmac::HmacKey<sha512::Sha512>),
+}
+
+impl PreparedHmac {
+    /// The MAC length this key produces.
+    pub fn output_len(&self) -> usize {
+        match self {
+            PreparedHmac::Sha1(_) => sha1::Sha1::OUTPUT_LEN,
+            PreparedHmac::Sha256(_) => sha256::Sha256::OUTPUT_LEN,
+            PreparedHmac::Sha512(_) => sha512::Sha512::OUTPUT_LEN,
+        }
+    }
+
+    /// One-shot MAC of `msg`.
+    pub fn mac(&self, msg: &[u8]) -> Vec<u8> {
+        match self {
+            PreparedHmac::Sha1(k) => k.mac(msg),
+            PreparedHmac::Sha256(k) => k.mac(msg),
+            PreparedHmac::Sha512(k) => k.mac(msg),
+        }
+    }
+
+    /// One-shot MAC of `msg` into `out` (size with
+    /// [`hmac::MAX_OUTPUT_LEN`]); returns the MAC length. Allocation-free.
+    pub fn mac_into(&self, msg: &[u8], out: &mut [u8]) -> usize {
+        match self {
+            PreparedHmac::Sha1(k) => k.mac_into(msg, out),
+            PreparedHmac::Sha256(k) => k.mac_into(msg, out),
+            PreparedHmac::Sha512(k) => k.mac_into(msg, out),
         }
     }
 }

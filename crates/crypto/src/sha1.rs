@@ -119,6 +119,10 @@ impl Digest for Sha1 {
     fn finalize_vec(self) -> Vec<u8> {
         self.finalize().to_vec()
     }
+
+    fn finalize_into(self, out: &mut [u8]) {
+        out[..Self::OUTPUT_LEN].copy_from_slice(&self.finalize());
+    }
 }
 
 /// One-shot SHA-1.

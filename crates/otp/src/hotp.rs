@@ -5,7 +5,7 @@
 //! truth for code generation.
 
 use crate::secret::Secret;
-use hpcmfa_crypto::HashAlg;
+use hpcmfa_crypto::{hmac::MAX_OUTPUT_LEN, HashAlg, PreparedHmac};
 
 /// Compute the raw HOTP value (before decimal truncation) for `counter`.
 ///
@@ -13,8 +13,16 @@ use hpcmfa_crypto::HashAlg;
 /// MAC byte selects a 4-byte window whose 31-bit big-endian value is reduced
 /// modulo `10^digits`.
 pub fn hotp_value(secret: &Secret, counter: u64, alg: HashAlg) -> u32 {
-    let mac = alg.hmac(secret.bytes(), &counter.to_be_bytes());
-    dynamic_truncate(&mac)
+    hotp_value_prepared(&alg.prepare_key(secret.bytes()), counter)
+}
+
+/// [`hotp_value`] against a precomputed [`PreparedHmac`]. Validation scans
+/// (TOTP drift window, resync search) build the key once and call this per
+/// counter: two block compressions and zero heap allocations per candidate.
+pub fn hotp_value_prepared(key: &PreparedHmac, counter: u64) -> u32 {
+    let mut mac = [0u8; MAX_OUTPUT_LEN];
+    let n = key.mac_into(&counter.to_be_bytes(), &mut mac);
+    dynamic_truncate(&mac[..n])
 }
 
 /// RFC 4226 dynamic truncation of an HMAC output.
@@ -28,7 +36,12 @@ pub fn dynamic_truncate(mac: &[u8]) -> u32 {
 /// Compute the `digits`-digit HOTP code for `counter` as a zero-padded
 /// string — what the user types at the `TACC Token:` prompt.
 pub fn hotp(secret: &Secret, counter: u64, digits: u32, alg: HashAlg) -> String {
-    let value = hotp_value(secret, counter, alg) % 10u32.pow(digits);
+    hotp_prepared(&alg.prepare_key(secret.bytes()), counter, digits)
+}
+
+/// [`hotp`] against a precomputed [`PreparedHmac`].
+pub fn hotp_prepared(key: &PreparedHmac, counter: u64, digits: u32) -> String {
+    let value = hotp_value_prepared(key, counter) % 10u32.pow(digits);
     crate::format_code(value, digits)
 }
 
@@ -47,8 +60,9 @@ pub fn validate_window(
     digits: u32,
     alg: HashAlg,
 ) -> Option<u64> {
+    let key = alg.prepare_key(secret.bytes());
     (counter..=counter.saturating_add(look_ahead))
-        .find(|&c| hpcmfa_crypto::ct::ct_eq_str(&hotp(secret, c, digits, alg), candidate))
+        .find(|&c| hpcmfa_crypto::ct::ct_eq_str(&hotp_prepared(&key, c, digits), candidate))
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! codes from a window of adjacent time steps to absorb client clock drift —
 //! the paper tolerates up to 300 seconds (±10 steps of 30 s).
 
-use crate::hotp::{hotp, hotp_value};
+use crate::hotp::{hotp, hotp_prepared, hotp_value};
 use crate::secret::Secret;
 use hpcmfa_crypto::HashAlg;
 
@@ -94,6 +94,9 @@ impl Totp {
         let center = self.params.time_step(unix_time);
         let lo = center.saturating_sub(window);
         let hi = center.saturating_add(window);
+        // Precompute the HMAC midstates once: each window step then costs
+        // two block compressions instead of a full key schedule.
+        let key = self.params.alg.prepare_key(self.secret.bytes());
         // Scan the full window unconditionally; per-step comparison is
         // constant-time so total work leaks only the (public) window size.
         // Among matches, report the step closest to the present: six-digit
@@ -102,7 +105,7 @@ impl Totp {
         // replay tracking reject a legitimate login.
         let mut matched: Option<u64> = None;
         for step in lo..=hi {
-            let code = hotp(&self.secret, step, self.params.digits, self.params.alg);
+            let code = hotp_prepared(&key, step, self.params.digits);
             if hpcmfa_crypto::ct::ct_eq_str(&code, candidate) {
                 let better = match matched {
                     None => true,

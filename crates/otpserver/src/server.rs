@@ -745,20 +745,14 @@ impl LinotpServer {
                 let center = totp.params.time_step(now);
                 let lo = center.saturating_sub(window);
                 let hi = center.saturating_add(window);
+                // One key preparation for the whole ±window search — at the
+                // default ±2000 steps this saves ~8000 block compressions.
+                let key = totp.params.alg.prepare_key(totp.secret.bytes());
                 for step in lo..hi {
-                    let c1 = hpcmfa_otp::hotp::hotp(
-                        &totp.secret,
-                        step,
-                        totp.params.digits,
-                        totp.params.alg,
-                    );
+                    let c1 = hpcmfa_otp::hotp::hotp_prepared(&key, step, totp.params.digits);
                     if c1 == code1 {
-                        let c2 = hpcmfa_otp::hotp::hotp(
-                            &totp.secret,
-                            step + 1,
-                            totp.params.digits,
-                            totp.params.alg,
-                        );
+                        let c2 =
+                            hpcmfa_otp::hotp::hotp_prepared(&key, step + 1, totp.params.digits);
                         if c2 == code2 {
                             // The resync burns both codes (last_step lands
                             // past them) — that must be durable before the

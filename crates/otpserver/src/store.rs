@@ -3,12 +3,62 @@
 //! One record per user: the pairing (which kind of token and its secret
 //! material), replay-prevention state, the consecutive-failure counter, and
 //! the active flag the lockout policy clears.
+//!
+//! # Sharding
+//!
+//! The store is partitioned into [`SHARD_COUNT`] shards, each its own
+//! `RwLock<BTreeMap>`, keyed by an FNV-1a hash of the username
+//! ([`shard_of_name`] — deterministic across processes and runs, unlike
+//! `RandomState`). Validations for users in different shards proceed in
+//! parallel; per-user operations still serialize under their shard's write
+//! lock, which is all the replay/lockout invariants need.
+//!
+//! Two security-posture gauges — locked-out users and outstanding unexpired
+//! SMS codes — are maintained *incrementally*: every mutation path diffs the
+//! record's gauge contribution before and after the change and applies the
+//! delta to global atomics. `/system/metrics` and `/system/alerts` read the
+//! atomics instead of taking a whole-store write-lock census per scrape.
+//! The only wrinkle is time: an SMS code stops counting when it *expires*,
+//! not when it is mutated, so each shard keeps a conservative low watermark
+//! of its earliest pending-code expiry (`sms_expiry_floor`). A gauge read at
+//! `now` sweeps only shards whose floor has passed, purging expired codes
+//! (and decrementing the gauge) exactly as the old census did — shards with
+//! no expirable code are not even read-locked.
+//!
+//! Admin enumeration ([`TokenStore::export_all`], [`TokenStore::breakdown`])
+//! merges shards into a `BTreeMap`, so output order is the same sorted key
+//! order as the old single-map store and seeded runs stay byte-identical.
 
 use crate::sms::PhoneNumber;
 use hpcmfa_otp::totp::Totp;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// log2 of [`SHARD_COUNT`].
+pub const SHARD_BITS: u32 = 4;
+
+/// Number of hash partitions. 16 shards keeps per-shard contention
+/// negligible for any realistic validator thread count while the merge cost
+/// of admin enumeration stays trivial.
+pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
+
+/// Sentinel for "no pending SMS code in this shard".
+const NO_FLOOR: u64 = u64::MAX;
+
+/// Deterministic shard index for `name`: FNV-1a over the bytes, folded and
+/// masked to [`SHARD_COUNT`]. Public so schedulers (the throughput harness)
+/// can partition users by shard and provably never contend on a shard lock.
+pub fn shard_of_name(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    // Fold the high bits in: FNV-1a's low bits alone mix short keys poorly.
+    ((h ^ (h >> 32)) & (SHARD_COUNT as u64 - 1)) as usize
+}
 
 /// Which physical token a TOTP pairing corresponds to (identical math,
 /// different provenance and reporting label).
@@ -39,7 +89,7 @@ impl PendingSmsCode {
 }
 
 /// A user's pairing record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TokenPairing {
     /// Soft or hard TOTP token.
     Totp {
@@ -89,7 +139,7 @@ impl TokenPairing {
 }
 
 /// Per-user record in the store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserTokenRecord {
     /// The pairing.
     pub pairing: TokenPairing,
@@ -116,10 +166,65 @@ pub struct UserTokenStatus {
     pub sms_pending: bool,
 }
 
-/// Thread-safe token store. Clone shares state.
-#[derive(Clone, Default)]
+/// What a record contributes to the global gauges: whether it is locked
+/// out, and the expiry of its pending SMS code if one is outstanding.
+fn contribution(rec: &UserTokenRecord) -> (bool, Option<u64>) {
+    let pending = match &rec.pairing {
+        TokenPairing::Sms {
+            pending: Some(p), ..
+        } => Some(p.expires_at),
+        _ => None,
+    };
+    (!rec.active, pending)
+}
+
+/// One hash partition.
+#[derive(Default)]
+struct Shard {
+    users: RwLock<BTreeMap<String, UserTokenRecord>>,
+    /// Conservative low watermark of the earliest `expires_at` among this
+    /// shard's pending SMS codes; [`NO_FLOOR`] when none. May lag low after
+    /// a code is consumed (raising it cheaply is impossible without a
+    /// sweep) — a stale-low floor only costs one extra sweep, never
+    /// correctness.
+    sms_expiry_floor: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            users: RwLock::new(BTreeMap::new()),
+            sms_expiry_floor: AtomicU64::new(NO_FLOOR),
+        }
+    }
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    /// Users with `active == false`.
+    locked_users: AtomicU64,
+    /// Users with *some* pending SMS code. Equals the number of unexpired
+    /// codes only after expired ones are purged — which every gauge read
+    /// does (floor-gated) before loading this.
+    sms_pending: AtomicU64,
+}
+
+/// Thread-safe sharded token store. Clone shares state.
+#[derive(Clone)]
 pub struct TokenStore {
-    users: Arc<RwLock<BTreeMap<String, UserTokenRecord>>>,
+    inner: Arc<Inner>,
+}
+
+impl Default for TokenStore {
+    fn default() -> Self {
+        TokenStore {
+            inner: Arc::new(Inner {
+                shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+                locked_users: AtomicU64::new(0),
+                sms_pending: AtomicU64::new(0),
+            }),
+        }
+    }
 }
 
 impl TokenStore {
@@ -128,40 +233,85 @@ impl TokenStore {
         Self::default()
     }
 
+    fn shard(&self, username: &str) -> &Shard {
+        &self.inner.shards[shard_of_name(username)]
+    }
+
+    /// Apply the gauge delta between a record's contribution `before` and
+    /// `after` a mutation. Called with the owning shard's write lock held,
+    /// so per-record transitions are never double-counted.
+    fn apply_diff(&self, shard: &Shard, before: (bool, Option<u64>), after: (bool, Option<u64>)) {
+        match (before.0, after.0) {
+            (false, true) => {
+                self.inner.locked_users.fetch_add(1, Ordering::SeqCst);
+            }
+            (true, false) => {
+                self.inner.locked_users.fetch_sub(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        match (before.1.is_some(), after.1.is_some()) {
+            (false, true) => {
+                self.inner.sms_pending.fetch_add(1, Ordering::SeqCst);
+            }
+            (true, false) => {
+                self.inner.sms_pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        if let Some(expires_at) = after.1 {
+            shard
+                .sms_expiry_floor
+                .fetch_min(expires_at, Ordering::SeqCst);
+        }
+    }
+
     /// Enroll (or replace) a pairing for `username`. Re-enrolling resets
     /// failure state, matching LinOTP's behaviour on token re-init.
     pub fn enroll(&self, username: &str, pairing: TokenPairing) {
-        self.users.write().insert(
-            username.to_string(),
-            UserTokenRecord {
-                pairing,
-                fail_count: 0,
-                active: true,
-            },
-        );
+        let record = UserTokenRecord {
+            pairing,
+            fail_count: 0,
+            active: true,
+        };
+        let after = contribution(&record);
+        let shard = self.shard(username);
+        let mut users = shard.users.write();
+        let before = users
+            .insert(username.to_string(), record)
+            .map(|old| contribution(&old))
+            .unwrap_or((false, None));
+        self.apply_diff(shard, before, after);
     }
 
     /// Remove a user's pairing. Returns whether one existed.
     pub fn remove(&self, username: &str) -> bool {
-        self.users.write().remove(username).is_some()
+        let shard = self.shard(username);
+        let mut users = shard.users.write();
+        match users.remove(username) {
+            Some(old) => {
+                self.apply_diff(shard, contribution(&old), (false, None));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Whether the user has any pairing.
     pub fn has_pairing(&self, username: &str) -> bool {
-        self.users.read().contains_key(username)
+        self.shard(username).users.read().contains_key(username)
     }
 
     /// Snapshot a user's record.
     pub fn get(&self, username: &str) -> Option<UserTokenRecord> {
-        self.users.read().get(username).cloned()
+        self.shard(username).users.read().get(username).cloned()
     }
 
     /// Status summary for staff tooling. Takes the current time so an
     /// expired pending SMS code is purged on read rather than lingering in
     /// snapshots and status output.
     pub fn status(&self, username: &str, now: u64) -> Option<UserTokenStatus> {
-        let mut users = self.users.write();
-        users.get_mut(username).map(|r| {
+        self.with_record(username, |r| {
             if let TokenPairing::Sms { pending, .. } = &mut r.pairing {
                 if pending.as_ref().is_some_and(|p| !p.active(now)) {
                     *pending = None;
@@ -183,86 +333,131 @@ impl TokenStore {
         })
     }
 
+    /// Purge expired pending SMS codes in one shard, adjusting the gauge
+    /// and recomputing the floor exactly. Returns how many were purged.
+    fn purge_shard(&self, shard: &Shard, now: u64) -> usize {
+        let mut users = shard.users.write();
+        let mut purged = 0;
+        let mut floor = NO_FLOOR;
+        for rec in users.values_mut() {
+            if let TokenPairing::Sms { pending, .. } = &mut rec.pairing {
+                match pending {
+                    Some(p) if p.active(now) => floor = floor.min(p.expires_at),
+                    Some(_) => {
+                        *pending = None;
+                        self.inner.sms_pending.fetch_sub(1, Ordering::SeqCst);
+                        purged += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+        shard.sms_expiry_floor.store(floor, Ordering::SeqCst);
+        purged
+    }
+
     /// Drop every expired pending SMS code in the store. Returns how many
     /// were purged. Called before snapshotting so stale codes never land
-    /// in durable state.
+    /// in durable state. Shards whose expiry floor is still in the future
+    /// cannot hold an expired code and are skipped without locking.
     pub fn purge_expired_sms(&self, now: u64) -> usize {
         let mut purged = 0;
-        for rec in self.users.write().values_mut() {
-            if let TokenPairing::Sms { pending, .. } = &mut rec.pairing {
-                if pending.as_ref().is_some_and(|p| !p.active(now)) {
-                    *pending = None;
-                    purged += 1;
-                }
+        for shard in &self.inner.shards {
+            if now >= shard.sms_expiry_floor.load(Ordering::SeqCst) {
+                purged += self.purge_shard(shard, now);
             }
         }
         purged
     }
 
-    /// One-pass security-posture census under a single write lock: purge
-    /// expired pending SMS codes, then count locked-out users and users
-    /// with an unexpired SMS code outstanding. Both `/system/metrics` and
-    /// `/system/alerts` refresh their gauges from this one read so the two
-    /// surfaces can never disagree about the same instant.
+    /// Security-posture gauges at `now`: (locked-out users, users with an
+    /// unexpired SMS code outstanding). Both `/system/metrics` and
+    /// `/system/alerts` refresh from this one read so the two surfaces can
+    /// never disagree about the same instant.
+    ///
+    /// Expired codes are purged first (floor-gated, usually touching no
+    /// shard at all); the counts themselves come from the incrementally
+    /// maintained atomics — no whole-store census.
     pub fn gauge_counts(&self, now: u64) -> (u64, u64) {
-        let mut locked = 0u64;
-        let mut sms_pending = 0u64;
-        for rec in self.users.write().values_mut() {
-            if let TokenPairing::Sms { pending, .. } = &mut rec.pairing {
-                if pending.as_ref().is_some_and(|p| !p.active(now)) {
-                    *pending = None;
-                }
-                if pending.is_some() {
-                    sms_pending += 1;
-                }
-            }
-            if !rec.active {
-                locked += 1;
-            }
-        }
-        (locked, sms_pending)
+        self.purge_expired_sms(now);
+        (
+            self.inner.locked_users.load(Ordering::SeqCst),
+            self.inner.sms_pending.load(Ordering::SeqCst),
+        )
     }
 
-    /// Mutate a user's record under the write lock. Returns `None` if the
-    /// user has no pairing, else the closure's result.
+    /// Mutate a user's record under its shard's write lock. Returns `None`
+    /// if the user has no pairing, else the closure's result. Gauge deltas
+    /// caused by the closure are applied before the lock is released.
     pub fn with_record<T>(
         &self,
         username: &str,
         f: impl FnOnce(&mut UserTokenRecord) -> T,
     ) -> Option<T> {
-        self.users.write().get_mut(username).map(f)
+        let shard = self.shard(username);
+        let mut users = shard.users.write();
+        let rec = users.get_mut(username)?;
+        let before = contribution(rec);
+        let out = f(rec);
+        let after = contribution(rec);
+        self.apply_diff(shard, before, after);
+        Some(out)
     }
 
     /// Number of enrolled users.
     pub fn len(&self) -> usize {
-        self.users.read().len()
+        self.inner.shards.iter().map(|s| s.users.read().len()).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.users.read().is_empty()
+        self.inner.shards.iter().all(|s| s.users.read().is_empty())
     }
 
-    /// Clone the full user map (snapshot encoding and tests).
+    /// Clone the full user map, merged across shards in sorted key order
+    /// (snapshot encoding and tests) — byte-identical to the old
+    /// single-map export.
     pub fn export_all(&self) -> BTreeMap<String, UserTokenRecord> {
-        self.users.read().clone()
+        let mut out = BTreeMap::new();
+        for shard in &self.inner.shards {
+            for (name, rec) in shard.users.read().iter() {
+                out.insert(name.clone(), rec.clone());
+            }
+        }
+        out
     }
 
-    /// Replace the full user map (crash recovery).
+    /// Replace the full user map (crash recovery). Gauges and expiry
+    /// floors are rebuilt from scratch.
     pub fn load_all(&self, users: BTreeMap<String, UserTokenRecord>) {
-        *self.users.write() = users;
+        self.clear();
+        for (name, rec) in users {
+            let shard = &self.inner.shards[shard_of_name(&name)];
+            let after = contribution(&rec);
+            let mut map = shard.users.write();
+            map.insert(name, rec);
+            self.apply_diff(shard, (false, None), after);
+        }
     }
 
     /// Drop every record (simulated crash wipes the in-memory image).
     pub fn clear(&self) {
-        self.users.write().clear();
+        for shard in &self.inner.shards {
+            shard.users.write().clear();
+            shard.sms_expiry_floor.store(NO_FLOOR, Ordering::SeqCst);
+        }
+        self.inner.locked_users.store(0, Ordering::SeqCst);
+        self.inner.sms_pending.store(0, Ordering::SeqCst);
     }
 
-    /// Count pairings by kind label — the Table 1 numerator.
+    /// Count pairings by kind label — the Table 1 numerator. Sorted-map
+    /// output, same as the pre-shard store.
     pub fn breakdown(&self) -> BTreeMap<&'static str, usize> {
         let mut out = BTreeMap::new();
-        for rec in self.users.read().values() {
-            *out.entry(rec.pairing.kind_label()).or_insert(0) += 1;
+        for shard in &self.inner.shards {
+            for rec in shard.users.read().values() {
+                *out.entry(rec.pairing.kind_label()).or_insert(0) += 1;
+            }
         }
         out
     }
@@ -461,5 +656,138 @@ mod tests {
         assert!(p.active(100));
         assert!(p.active(399));
         assert!(!p.active(400));
+    }
+
+    #[test]
+    fn shard_of_name_is_stable_and_in_range() {
+        // Pinned values: any change to the hash would silently re-partition
+        // durable stores and break the throughput harness's disjointness
+        // argument.
+        assert_eq!(shard_of_name("alice"), shard_of_name("alice"));
+        for name in ["", "alice", "bob", "user0123", "üñí"] {
+            assert!(shard_of_name(name) < SHARD_COUNT);
+        }
+        // Distribution sanity: 256 sequential usernames must not collapse
+        // into a handful of shards.
+        let mut hit = [false; SHARD_COUNT];
+        for i in 0..256 {
+            hit[shard_of_name(&format!("user{i:04}"))] = true;
+        }
+        assert!(hit.iter().filter(|h| **h).count() >= SHARD_COUNT / 2);
+    }
+
+    #[test]
+    fn gauges_track_every_mutation_path() {
+        let store = TokenStore::new();
+        assert_eq!(store.gauge_counts(0), (0, 0));
+
+        // Lock via with_record.
+        store.enroll("a", totp_pairing(TotpProvenance::Soft));
+        store.with_record("a", |r| r.active = false);
+        assert_eq!(store.gauge_counts(0), (1, 0));
+        // Unlock.
+        store.with_record("a", |r| r.active = true);
+        assert_eq!(store.gauge_counts(0), (0, 0));
+        // Lock then remove: gauge must not leak.
+        store.with_record("a", |r| r.active = false);
+        store.remove("a");
+        assert_eq!(store.gauge_counts(0), (0, 0));
+
+        // Pending SMS issued via with_record, consumed via with_record.
+        store.enroll(
+            "s",
+            TokenPairing::Sms {
+                phone: PhoneNumber::parse("5125551234").unwrap(),
+                pending: None,
+            },
+        );
+        store.with_record("s", |r| {
+            if let TokenPairing::Sms { pending, .. } = &mut r.pairing {
+                *pending = Some(PendingSmsCode {
+                    code: "111111".into(),
+                    sent_at: 10,
+                    expires_at: 300,
+                });
+            }
+        });
+        assert_eq!(store.gauge_counts(20), (0, 1));
+        store.with_record("s", |r| {
+            if let TokenPairing::Sms { pending, .. } = &mut r.pairing {
+                *pending = None;
+            }
+        });
+        assert_eq!(store.gauge_counts(20), (0, 0));
+
+        // Re-enroll over a locked user resets the locked gauge.
+        store.enroll("a", totp_pairing(TotpProvenance::Soft));
+        store.with_record("a", |r| r.active = false);
+        store.enroll("a", totp_pairing(TotpProvenance::Soft));
+        assert_eq!(store.gauge_counts(20), (0, 0));
+    }
+
+    #[test]
+    fn gauges_survive_clear_and_load_all() {
+        let store = TokenStore::new();
+        store.enroll("locked", totp_pairing(TotpProvenance::Soft));
+        store.with_record("locked", |r| r.active = false);
+        store.enroll(
+            "s",
+            TokenPairing::Sms {
+                phone: PhoneNumber::parse("5125551234").unwrap(),
+                pending: Some(PendingSmsCode {
+                    code: "111111".into(),
+                    sent_at: 10,
+                    expires_at: 300,
+                }),
+            },
+        );
+        let image = store.export_all();
+        assert_eq!(store.gauge_counts(20), (1, 1));
+        store.clear();
+        assert_eq!(store.gauge_counts(20), (0, 0));
+        store.load_all(image);
+        assert_eq!(store.gauge_counts(20), (1, 1));
+        // The rebuilt floor still expires the reloaded code on time.
+        assert_eq!(store.gauge_counts(300), (1, 0));
+    }
+
+    #[test]
+    fn expiry_floor_skips_unexpirable_shards_but_never_misses() {
+        let store = TokenStore::new();
+        // Many codes with staggered expiries across shards.
+        for i in 0..40u64 {
+            store.enroll(
+                &format!("user{i:03}"),
+                TokenPairing::Sms {
+                    phone: PhoneNumber::parse("5125551234").unwrap(),
+                    pending: Some(PendingSmsCode {
+                        code: "111111".into(),
+                        sent_at: 0,
+                        expires_at: 100 + i * 10,
+                    }),
+                },
+            );
+        }
+        assert_eq!(store.gauge_counts(0), (0, 40));
+        // Expire roughly half; the gauge must reflect exactly the survivors.
+        let now = 100 + 19 * 10 + 1; // codes 0..=19 expired
+        assert_eq!(store.gauge_counts(now), (0, 20));
+        // And all of them eventually.
+        assert_eq!(store.gauge_counts(100 + 39 * 10), (0, 0));
+    }
+
+    #[test]
+    fn export_all_is_sorted_across_shards() {
+        let store = TokenStore::new();
+        let mut names: Vec<String> = (0..64).map(|i| format!("user{i:03}")).collect();
+        // Insert in scrambled order.
+        names.reverse();
+        for n in &names {
+            store.enroll(n, totp_pairing(TotpProvenance::Soft));
+        }
+        let exported: Vec<String> = store.export_all().keys().cloned().collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(exported, sorted);
     }
 }

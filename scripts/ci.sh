@@ -30,6 +30,21 @@ echo "==> alerting: rule engine, event stream, deterministic timelines"
 cargo test -q --offline --test alerting
 cargo test -q --offline -p hpcmfa-radius --test tracewire_props
 
+echo "==> hot path: midstate/store equivalence props, concurrency smoke"
+cargo test -q --offline -p hpcmfa-crypto --test hmac_midstate_props
+cargo test -q --offline -p hpcmfa-otpserver --test store_proptests
+cargo test -q --offline -p hpcmfa-otpserver --test concurrency_smoke
+
+echo "==> throughput smoke (threads=2) + BENCH_throughput.json schema"
+cargo build --release --offline -q -p hpcmfa-bench --bin throughput
+./target/release/throughput --threads 1,2 --users 64 --logins 8 \
+    --out target/BENCH_throughput_smoke.json --check >/dev/null
+for key in '"bench":"throughput"' '"runs":' '"logins_per_sec":' \
+    '"virtual_elapsed_us":' '"max_speedup_vs_1":'; do
+    grep -q "$key" target/BENCH_throughput_smoke.json \
+        || { echo "BENCH_throughput_smoke.json missing $key"; exit 1; }
+done
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
