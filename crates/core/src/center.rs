@@ -6,6 +6,7 @@ use hpcmfa_otp::clock::{Clock, SimClock};
 use hpcmfa_otp::device::{HardTokenBatch, SoftToken};
 use hpcmfa_otpserver::admin::AdminApi;
 use hpcmfa_otpserver::handler::OtpRadiusHandler;
+use hpcmfa_otpserver::overload::OverloadConfig;
 use hpcmfa_otpserver::server::{LinotpServer, ServerConfig};
 use hpcmfa_otpserver::sms::{PhoneNumber, SmsProvider, TwilioSim};
 use hpcmfa_otpserver::{RecoverError, RecoveryReport, StorageBackend};
@@ -19,6 +20,8 @@ use hpcmfa_radius::breaker::BreakerConfig;
 use hpcmfa_radius::client::{ClientConfig, RadiusClient, RetryPolicy, ServerHealthSnapshot};
 use hpcmfa_radius::server::RadiusServer;
 use hpcmfa_radius::transport::{FaultPlan, InMemoryTransport, Transport};
+use hpcmfa_risk::engine::{RiskEngine, RiskGateModule, RiskWeights};
+use hpcmfa_risk::geo::GeoDb;
 use hpcmfa_ssh::authlog::AuthLog;
 use hpcmfa_ssh::client::ClientProfile;
 use hpcmfa_ssh::daemon::{SessionReport, SshDaemon};
@@ -27,6 +30,15 @@ use hpcmfa_telemetry::{default_security_rules, AlertEngine, MetricsRegistry, Met
 use parking_lot::Mutex;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+
+/// Behavioural risk assessment for the login path (§6 growth feature).
+#[derive(Clone)]
+pub struct RiskParams {
+    /// IP → country database the engine scores against.
+    pub geodb: Arc<GeoDb>,
+    /// Scoring weights and thresholds.
+    pub weights: RiskWeights,
+}
 
 /// Deployment parameters.
 #[derive(Clone)]
@@ -67,6 +79,16 @@ pub struct CenterConfig {
     /// RADIUS clients, sshd instances, the OTP back end — records into
     /// this one registry, so a single scrape sees the whole auth path.
     pub metrics: Arc<MetricsRegistry>,
+    /// Behavioural risk assessment. `Some` places a `requisite` risk gate
+    /// at the head of every node's PAM stack (before the pubkey check, so
+    /// the pubkey module's skip arithmetic is untouched) and feeds login
+    /// outcomes back to the engine. `None` (the default) keeps the stack
+    /// exactly as before.
+    pub risk: Option<RiskParams>,
+    /// Overload protection for the OTP back end. `Some` puts a bounded
+    /// admission queue with per-source-network rate limiting in front of
+    /// validation; `None` (the default) leaves it unguarded.
+    pub otp_overload: Option<OverloadConfig>,
 }
 
 impl Default for CenterConfig {
@@ -86,6 +108,8 @@ impl Default for CenterConfig {
             otp_storage: None,
             otp_snapshot_every: ServerConfig::default().snapshot_every_appends,
             metrics: Arc::new(MetricsRegistry::new()),
+            risk: None,
+            otp_overload: None,
         }
     }
 }
@@ -132,6 +156,8 @@ pub struct Center {
     /// evaluated over the shared registry after every login, on the
     /// virtual clock. Also served by the admin API's `/system/alerts`.
     pub alerts: Arc<AlertEngine>,
+    /// The behavioural risk engine, when [`CenterConfig::risk`] is set.
+    pub risk_engine: Option<Arc<RiskEngine>>,
     /// Exemption file text lines added beyond the internal-network rule,
     /// mirrored to every node.
     exemption_lines: Mutex<Vec<String>>,
@@ -152,6 +178,7 @@ impl Center {
                 ServerConfig {
                     snapshot_every_appends: config.otp_snapshot_every,
                     metrics: Arc::clone(&config.metrics),
+                    overload: config.otp_overload.clone(),
                     ..ServerConfig::default()
                 },
                 Arc::clone(backend),
@@ -162,6 +189,7 @@ impl Center {
                 config.seed,
                 ServerConfig {
                     metrics: Arc::clone(&config.metrics),
+                    overload: config.otp_overload.clone(),
                     ..ServerConfig::default()
                 },
             ),
@@ -200,6 +228,13 @@ impl Center {
             radius_servers.push(server);
         }
 
+        // Risk engine, shared by every node's gate and fed by Center::ssh.
+        let risk_engine = config.risk.as_ref().map(|p| {
+            let engine = RiskEngine::new(Arc::clone(&p.geodb), p.weights.clone());
+            engine.attach_metrics(Arc::clone(&config.metrics));
+            engine
+        });
+
         // Login nodes.
         let internal_rule = format!(
             "+ : ALL : {}/{} : ALL",
@@ -228,6 +263,15 @@ impl Center {
             );
             token_module.set_degradation(config.degradation.clone());
             let mut stack = PamStack::new();
+            // The risk gate leads the stack: a denied login never reaches
+            // the password module (and the pubkey module's SuccessSkip(1)
+            // arithmetic, which skips the *next* module, stays intact).
+            if let Some(engine) = &risk_engine {
+                stack.push(
+                    ControlFlag::Requisite,
+                    RiskGateModule::new(Arc::clone(engine)),
+                );
+            }
             stack.push(
                 ControlFlag::SuccessSkip(1),
                 PubkeyCheckModule::new(Arc::new(authlog.clone())),
@@ -277,6 +321,7 @@ impl Center {
             radius_servers,
             nodes,
             alerts,
+            risk_engine,
             exemption_lines: Mutex::new(Vec::new()),
         })
     }
@@ -475,6 +520,9 @@ impl Center {
     /// alert cadence with no extra pumping.
     pub fn ssh(&self, node_idx: usize, profile: &ClientProfile) -> SessionReport {
         let report = self.nodes[node_idx].daemon.connect(profile);
+        if let Some(engine) = &self.risk_engine {
+            engine.record_outcome(&profile.username, self.clock.now(), report.granted);
+        }
         self.alerts
             .tick(self.clock.now(), &self.config.metrics.snapshot());
         report

@@ -760,6 +760,42 @@ mod tests {
     }
 
     #[test]
+    fn metrics_route_renders_shed_and_risk_counters() {
+        use crate::overload::OverloadConfig;
+        use crate::server::ServerConfig;
+
+        // Overload protection pre-registers every shed reason, so the
+        // exposition shows them at zero before any storm.
+        let server = LinotpServer::with_config(
+            TwilioSim::new(1),
+            13,
+            ServerConfig {
+                overload: Some(OverloadConfig::default()),
+                ..ServerConfig::default()
+            },
+        );
+        // Risk decisions land in the same shared registry in
+        // Center-driven runs; simulate that by pre-registering here.
+        for d in ["allow", "step_up", "deny"] {
+            server
+                .metrics()
+                .counter("hpcmfa_risk_decisions_total", &[("decision", d)]);
+        }
+        let api = AdminApi::new(server, "LinOTP admin area", 7);
+        api.add_admin("portal", "portal-pass");
+        let resp = api.handle(&signed(&api, "GET", "/system/metrics", Json::Null), NOW);
+        assert!(resp.is_ok());
+        let text = resp.value().unwrap().as_str().unwrap();
+        assert!(text.contains("# TYPE hpcmfa_shed_total counter"));
+        assert!(text.contains("hpcmfa_shed_total{reason=\"rate_limited\"} 0"));
+        assert!(text.contains("hpcmfa_shed_total{reason=\"unauth_flood\"} 0"));
+        assert!(text.contains("hpcmfa_shed_total{reason=\"queue_full\"} 0"));
+        assert!(text.contains("# TYPE hpcmfa_risk_decisions_total counter"));
+        assert!(text.contains("hpcmfa_risk_decisions_total{decision=\"deny\"} 0"));
+        assert!(text.contains("hpcmfa_otp_validate_vtime_us_count{lane=\"trusted\"} 0"));
+    }
+
+    #[test]
     fn alerts_route_serves_events_and_gauges() {
         let api = api();
         api.handle(

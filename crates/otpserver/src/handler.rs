@@ -86,10 +86,18 @@ impl Handler for OtpRadiusHandler {
         // The login node's trace id, if the client stamped one on the wire;
         // threads the request through the validation engine's audit rows.
         let trace = hpcmfa_radius::tracewire::trace_id_of(request);
+        // The client's source address (Calling-Station-Id) feeds the
+        // per-network admission control when overload protection is on.
+        let source = request
+            .text(AttributeType::CallingStationId)
+            .and_then(|s| s.parse().ok());
 
         if password.is_empty() {
             // Null request: open the challenge, texting SMS users first.
-            return match self.server.trigger_sms_traced(username, now, trace) {
+            return match self
+                .server
+                .trigger_sms_guarded(username, now, trace, source)
+            {
                 SmsTrigger::Sent(_) => self.challenge(SMS_SENT_MSG),
                 SmsTrigger::AlreadyActive => self.challenge(SMS_ALREADY_SENT_MSG),
                 // Soft/hard/static users just get the prompt; users with no
@@ -105,7 +113,7 @@ impl Handler for OtpRadiusHandler {
         };
         if self
             .server
-            .validate_traced(username, code, now, trace)
+            .validate_guarded(username, code, now, trace, source)
             .is_success()
         {
             ServerDecision::Accept(vec![])

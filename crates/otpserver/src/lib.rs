@@ -28,6 +28,7 @@ pub mod audit;
 pub mod durability;
 pub mod handler;
 pub mod json;
+pub mod overload;
 pub mod server;
 pub mod sms;
 pub mod store;
@@ -37,6 +38,7 @@ pub use durability::{
     RecoveryReport, StorageBackend, StorageError, StorageFaultPlan,
 };
 pub use handler::OtpRadiusHandler;
+pub use overload::{AdmissionController, OverloadConfig, ShedReason};
 pub use server::{LinotpServer, SmsTrigger, ValidationOutcome};
 pub use sms::{SmsProvider, TwilioSim};
 pub use store::{TokenPairing, TokenStore, UserTokenStatus};

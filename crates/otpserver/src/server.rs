@@ -15,6 +15,7 @@ use crate::durability::{
     recover, DurabilityCounters, Persistence, RecoverError, RecoveryReport, StorageBackend,
     WalRecord,
 };
+use crate::overload::{AdmissionController, OverloadConfig};
 use crate::sms::{PhoneNumber, SmsMessage, SmsProvider};
 use crate::store::{PendingSmsCode, TokenPairing, TokenStore, TotpProvenance, UserTokenStatus};
 use crate::{DRIFT_TOLERANCE_SECS, LOCKOUT_THRESHOLD, SMS_CODE_VALIDITY_SECS};
@@ -91,6 +92,9 @@ pub struct ServerConfig {
     /// histograms, durability counters, and spans. Defaults to a private
     /// registry; a computing center hands every component the same one.
     pub metrics: Arc<MetricsRegistry>,
+    /// Admission control in front of the token store; `None` (the
+    /// default) keeps the original unguarded behaviour.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +107,7 @@ impl Default for ServerConfig {
             audit_cap: crate::audit::DEFAULT_AUDIT_CAP,
             snapshot_every_appends: 256,
             metrics: Arc::new(MetricsRegistry::new()),
+            overload: None,
         }
     }
 }
@@ -118,6 +123,8 @@ pub struct LinotpServer {
     metrics: Arc<MetricsRegistry>,
     /// WAL/snapshot pump; `None` keeps the original volatile behaviour.
     persistence: Option<Persistence>,
+    /// Admission control; `None` keeps the original unguarded behaviour.
+    admission: Option<AdmissionController>,
 }
 
 /// Audit detail with the request's trace id appended, when one rode in on
@@ -140,6 +147,10 @@ impl LinotpServer {
     /// Create with explicit configuration.
     pub fn with_config(sms: Arc<dyn SmsProvider>, seed: u64, config: ServerConfig) -> Arc<Self> {
         let metrics = Arc::clone(&config.metrics);
+        let admission = config
+            .overload
+            .clone()
+            .map(|c| AdmissionController::new(c, Arc::clone(&metrics)));
         Arc::new(LinotpServer {
             store: TokenStore::new(),
             audit: AuditLog::with_cap(config.audit_cap),
@@ -148,6 +159,7 @@ impl LinotpServer {
             config,
             metrics,
             persistence: None,
+            admission,
         })
     }
 
@@ -170,6 +182,10 @@ impl LinotpServer {
         audit.load(state.audit_entries, state.audit_dropped);
         persistence.note_recovery(&state.report);
         let metrics = Arc::clone(&config.metrics);
+        let admission = config
+            .overload
+            .clone()
+            .map(|c| AdmissionController::new(c, Arc::clone(&metrics)));
         Ok(Arc::new(LinotpServer {
             store,
             audit,
@@ -178,6 +194,7 @@ impl LinotpServer {
             config,
             metrics,
             persistence: Some(persistence),
+            admission,
         }))
     }
 
@@ -383,6 +400,90 @@ impl LinotpServer {
     /// [`ValidationOutcome::Unavailable`], not `Success`.
     pub fn validate(&self, username: &str, code: &str, now: u64) -> ValidationOutcome {
         self.validate_traced(username, code, now, None)
+    }
+
+    /// The admission controller, when overload protection is configured.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// [`LinotpServer::validate_traced`] behind admission control: the
+    /// request's source address (the RADIUS `Calling-Station-Id`) is
+    /// checked against the per-network token bucket and the bounded
+    /// queue first. A shed request is denied fail-safe with
+    /// [`ValidationOutcome::Unavailable`] — the store is never touched,
+    /// so a flood cannot inflate a victim's failure counter. A
+    /// successful validation marks the source network trusted.
+    pub fn validate_guarded(
+        &self,
+        username: &str,
+        code: &str,
+        now: u64,
+        trace: Option<TraceId>,
+        source: Option<std::net::Ipv4Addr>,
+    ) -> ValidationOutcome {
+        if let (Some(adm), Some(src)) = (&self.admission, source) {
+            if let Err(reason) = adm.admit(src, now, trace, "validate") {
+                self.audit_event(
+                    now,
+                    username,
+                    AuditAction::Validate,
+                    false,
+                    &traced_detail(&format!("shed: {}", reason.label()), trace),
+                );
+                self.metrics
+                    .counter(
+                        "hpcmfa_otp_validations_total",
+                        &[("outcome", "unavailable")],
+                    )
+                    .inc();
+                if let Some(t) = trace {
+                    self.metrics.tracer().span(t, "otp", "validate", "shed");
+                }
+                return ValidationOutcome::Unavailable;
+            }
+        }
+        let outcome = self.validate_traced(username, code, now, trace);
+        if outcome.is_success() {
+            if let (Some(adm), Some(src)) = (&self.admission, source) {
+                adm.note_success(src, now);
+            }
+        }
+        outcome
+    }
+
+    /// [`LinotpServer::trigger_sms_traced`] behind admission control: a
+    /// shed null request sends nothing (no Twilio cost to an SMS flood)
+    /// and reports [`SmsTrigger::Unavailable`] — fail-safe deny.
+    pub fn trigger_sms_guarded(
+        &self,
+        username: &str,
+        now: u64,
+        trace: Option<TraceId>,
+        source: Option<std::net::Ipv4Addr>,
+    ) -> SmsTrigger {
+        if let (Some(adm), Some(src)) = (&self.admission, source) {
+            if let Err(reason) = adm.admit(src, now, trace, "sms") {
+                self.audit_event(
+                    now,
+                    username,
+                    AuditAction::SmsTriggered,
+                    false,
+                    &traced_detail(&format!("shed: {}", reason.label()), trace),
+                );
+                self.metrics
+                    .counter(
+                        "hpcmfa_otp_sms_triggers_total",
+                        &[("result", "unavailable")],
+                    )
+                    .inc();
+                if let Some(t) = trace {
+                    self.metrics.tracer().span(t, "otp", "sms", "shed");
+                }
+                return SmsTrigger::Unavailable;
+            }
+        }
+        self.trigger_sms_traced(username, now, trace)
     }
 
     /// [`LinotpServer::validate`] with an optional trace id: the outcome is

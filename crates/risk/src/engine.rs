@@ -9,10 +9,16 @@
 use crate::geo::{CountryCode, GeoDb};
 use hpcmfa_pam::context::PamContext;
 use hpcmfa_pam::stack::{PamModule, PamResult};
+use hpcmfa_telemetry::{Counter, Gauge, MetricsRegistry, SecurityEventKind, TraceId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Sentinel for "no tracked history, nothing to purge" (mirrors the
+/// token store's `sms_expiry_floor` watermark).
+const NO_FLOOR: u64 = u64::MAX;
 
 /// Scoring weights and thresholds.
 #[derive(Debug, Clone)]
@@ -39,6 +45,9 @@ pub struct RiskWeights {
     pub step_up_at: u32,
     /// Score at or above which the login is denied.
     pub deny_at: u32,
+    /// Per-user history entries idle for longer than this are purged
+    /// (watermark sweep); a purged user's next login re-baselines.
+    pub history_retention_secs: u64,
 }
 
 impl Default for RiskWeights {
@@ -54,6 +63,7 @@ impl Default for RiskWeights {
             velocity_max: 6,
             step_up_at: 40,
             deny_at: 90,
+            history_retention_secs: 90 * 86_400,
         }
     }
 }
@@ -69,6 +79,17 @@ pub enum RiskDecision {
     Deny,
 }
 
+impl RiskDecision {
+    /// The label used for `hpcmfa_risk_decisions_total{decision=…}`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RiskDecision::Allow => "allow",
+            RiskDecision::StepUp => "step_up",
+            RiskDecision::Deny => "deny",
+        }
+    }
+}
+
 #[derive(Default)]
 struct UserHistory {
     countries: Vec<CountryCode>,
@@ -76,6 +97,17 @@ struct UserHistory {
     last_country: Option<(CountryCode, u64)>,
     attempts: Vec<u64>,
     recent_failures: Vec<u64>,
+    last_seen: u64,
+}
+
+/// Counter/gauge handles the engine bumps once attached to a registry.
+struct RiskMetrics {
+    registry: Arc<MetricsRegistry>,
+    allow: Arc<Counter>,
+    step_up: Arc<Counter>,
+    deny: Arc<Counter>,
+    purged: Arc<Counter>,
+    tracked: Arc<Gauge>,
 }
 
 /// The engine: shared, thread-safe, bounded history per user.
@@ -83,6 +115,11 @@ pub struct RiskEngine {
     geodb: Arc<GeoDb>,
     weights: RiskWeights,
     history: Mutex<HashMap<String, UserHistory>>,
+    /// Earliest instant any tracked user's history expires. Only ever
+    /// lowered outside a sweep (`fetch_min`), recomputed exactly during
+    /// one — the same discipline as the store's `sms_expiry_floor`.
+    purge_floor: AtomicU64,
+    metrics: Mutex<Option<RiskMetrics>>,
 }
 
 impl RiskEngine {
@@ -92,20 +129,70 @@ impl RiskEngine {
             geodb,
             weights,
             history: Mutex::new(HashMap::new()),
+            purge_floor: AtomicU64::new(NO_FLOOR),
+            metrics: Mutex::new(None),
         })
+    }
+
+    /// Attach a metrics registry: decisions bump
+    /// `hpcmfa_risk_decisions_total{decision=…}`, step-up/deny emit
+    /// typed security events, purges and tracked-user count are
+    /// observable. Pre-registers every series so `/system/metrics`
+    /// renders them at zero.
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        let m = RiskMetrics {
+            allow: registry.counter("hpcmfa_risk_decisions_total", &[("decision", "allow")]),
+            step_up: registry.counter("hpcmfa_risk_decisions_total", &[("decision", "step_up")]),
+            deny: registry.counter("hpcmfa_risk_decisions_total", &[("decision", "deny")]),
+            purged: registry.counter("hpcmfa_risk_history_purged_total", &[]),
+            tracked: registry.gauge("hpcmfa_risk_tracked_users", &[]),
+            registry,
+        };
+        *self.metrics.lock() = Some(m);
     }
 
     fn net16(ip: Ipv4Addr) -> u32 {
         u32::from(ip) >> 16
     }
 
+    /// Watermark sweep: drop every user idle past the retention window.
+    /// Cheap in the common case — a single atomic load says "nothing can
+    /// have expired yet". Returns how many entries were purged.
+    fn purge_due(&self, history: &mut HashMap<String, UserHistory>, now: u64) -> u64 {
+        if now < self.purge_floor.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let retention = self.weights.history_retention_secs;
+        let before = history.len();
+        history.retain(|_, h| h.last_seen.saturating_add(retention) > now);
+        let mut floor = NO_FLOOR;
+        for h in history.values() {
+            floor = floor.min(h.last_seen.saturating_add(retention));
+        }
+        self.purge_floor.store(floor, Ordering::SeqCst);
+        (before - history.len()) as u64
+    }
+
     /// Score an attempt and update history. Call once per login attempt.
     pub fn assess(&self, user: &str, ip: Ipv4Addr, now: u64) -> (u32, RiskDecision) {
+        self.assess_traced(user, ip, now, None)
+    }
+
+    /// [`RiskEngine::assess`] with the in-flight request's trace id, so
+    /// emitted step-up/deny events link back to the login's spans.
+    pub fn assess_traced(
+        &self,
+        user: &str,
+        ip: Ipv4Addr,
+        now: u64,
+        trace: Option<TraceId>,
+    ) -> (u32, RiskDecision) {
         let w = &self.weights;
         let country = self.geodb.country_of(ip);
         let net = Self::net16(ip);
 
         let mut history = self.history.lock();
+        let purged = self.purge_due(&mut history, now);
         let h = history.entry(user.to_string()).or_default();
         let mut score = 0u32;
 
@@ -142,6 +229,14 @@ impl RiskEngine {
         h.recent_failures.retain(|&t| now.saturating_sub(t) <= 3600);
         score += w.recent_failure * (h.recent_failures.len().min(5) as u32);
 
+        h.last_seen = now;
+        let tracked = history.len();
+        drop(history);
+        self.purge_floor.fetch_min(
+            now.saturating_add(w.history_retention_secs),
+            Ordering::SeqCst,
+        );
+
         let decision = if score >= w.deny_at {
             RiskDecision::Deny
         } else if score >= w.step_up_at {
@@ -149,6 +244,30 @@ impl RiskEngine {
         } else {
             RiskDecision::Allow
         };
+        if let Some(m) = self.metrics.lock().as_ref() {
+            match decision {
+                RiskDecision::Allow => m.allow.inc(),
+                RiskDecision::StepUp => m.step_up.inc(),
+                RiskDecision::Deny => m.deny.inc(),
+            }
+            if purged > 0 {
+                m.purged.add(purged);
+            }
+            m.tracked.set(tracked as i64);
+            let kind = match decision {
+                RiskDecision::StepUp => Some(SecurityEventKind::RiskStepUp),
+                RiskDecision::Deny => Some(SecurityEventKind::RiskDeny),
+                RiskDecision::Allow => None,
+            };
+            if let Some(kind) = kind {
+                m.registry.emit_event(
+                    kind,
+                    trace,
+                    now,
+                    format!("user={user} ip={ip} score={score}"),
+                );
+            }
+        }
         (score, decision)
     }
 
@@ -156,12 +275,20 @@ impl RiskEngine {
     pub fn record_outcome(&self, user: &str, now: u64, granted: bool) {
         if !granted {
             let mut history = self.history.lock();
-            history
-                .entry(user.to_string())
-                .or_default()
-                .recent_failures
-                .push(now);
+            let h = history.entry(user.to_string()).or_default();
+            h.recent_failures.push(now);
+            h.last_seen = now;
+            drop(history);
+            self.purge_floor.fetch_min(
+                now.saturating_add(self.weights.history_retention_secs),
+                Ordering::SeqCst,
+            );
         }
+    }
+
+    /// How many users the engine currently tracks (post-purge size).
+    pub fn tracked_users(&self) -> usize {
+        self.history.lock().len()
     }
 
     /// Forget a user's history (account reset).
@@ -188,7 +315,9 @@ impl PamModule for RiskGateModule {
     }
 
     fn authenticate(&self, ctx: &mut PamContext<'_>) -> PamResult {
-        let (_score, decision) = self.engine.assess(&ctx.username, ctx.rhost, ctx.now());
+        let (_score, decision) =
+            self.engine
+                .assess_traced(&ctx.username, ctx.rhost, ctx.now(), Some(ctx.trace_id));
         match decision {
             RiskDecision::Allow => PamResult::Ignore,
             RiskDecision::StepUp => {
@@ -327,5 +456,119 @@ mod tests {
             run("carol", "1.2.3.4", 30 * DAY + 600),
             (PamResult::AuthErr, false)
         );
+    }
+
+    #[test]
+    fn zero_width_velocity_window_counts_only_same_second() {
+        let e = RiskEngine::new(
+            Arc::new(GeoDb::parse("70.0.0.0/8 US\n").unwrap()),
+            RiskWeights {
+                velocity_window_secs: 0,
+                velocity_max: 2,
+                ..RiskWeights::default()
+            },
+        );
+        // Attempts on distinct seconds never accumulate.
+        for i in 0..10 {
+            let (score, _) = e.assess("bot", "70.1.1.1".parse().unwrap(), 100 + i);
+            assert_eq!(score, 0, "attempt {i}");
+        }
+        // Three attempts inside the same second trip the zero-width window.
+        e.assess("bot", "70.1.1.1".parse().unwrap(), 500);
+        e.assess("bot", "70.1.1.1".parse().unwrap(), 500);
+        let (score, _) = e.assess("bot", "70.1.1.1".parse().unwrap(), 500);
+        assert_eq!(score, 25);
+    }
+
+    #[test]
+    fn travel_window_boundary_is_exclusive() {
+        let w = RiskWeights::default();
+        // Gap exactly == travel_window_secs: plausible, no travel score.
+        let e = engine();
+        e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
+        e.assess("alice", "141.30.1.1".parse().unwrap(), 30 * DAY);
+        let (score, _) = e.assess(
+            "alice",
+            "1.2.3.4".parse().unwrap(),
+            30 * DAY + w.travel_window_secs,
+        );
+        assert_eq!(score, 40 + 15, "boundary gap is only new country+network");
+        // One second inside the window: impossible travel fires.
+        let e = engine();
+        e.assess("bob", "70.1.1.1".parse().unwrap(), 0);
+        e.assess("bob", "141.30.1.1".parse().unwrap(), 30 * DAY);
+        let (score, d) = e.assess(
+            "bob",
+            "1.2.3.4".parse().unwrap(),
+            30 * DAY + w.travel_window_secs - 1,
+        );
+        assert_eq!(score, 40 + 15 + 45);
+        assert_eq!(d, RiskDecision::Deny);
+    }
+
+    #[test]
+    fn failure_score_saturates_at_five() {
+        let e = engine();
+        e.assess("alice", "70.1.1.1".parse().unwrap(), 0);
+        for i in 0..50 {
+            e.record_outcome("alice", 1000 + i, false);
+        }
+        // 50 fresh failures score exactly like 5: the cap keeps repeated
+        // failures alone below the deny threshold.
+        let (score, d) = e.assess("alice", "70.1.1.1".parse().unwrap(), 1100);
+        assert_eq!(score, 50);
+        assert_eq!(d, RiskDecision::StepUp);
+    }
+
+    #[test]
+    fn idle_history_is_purged_at_the_watermark() {
+        let e = RiskEngine::new(
+            Arc::new(GeoDb::parse("70.0.0.0/8 US\n141.30.0.0/16 DE\n").unwrap()),
+            RiskWeights {
+                history_retention_secs: 1000,
+                ..RiskWeights::default()
+            },
+        );
+        e.assess("idle", "70.1.1.1".parse().unwrap(), 0);
+        e.assess("fresh", "70.2.2.2".parse().unwrap(), 900);
+        assert_eq!(e.tracked_users(), 2);
+        // Sweeps only run once the earliest expiry passes; `idle` expires
+        // at t=1000, `fresh` at t=1900.
+        let (_, _) = e.assess("fresh", "70.2.2.2".parse().unwrap(), 1200);
+        assert_eq!(e.tracked_users(), 1, "idle swept at the watermark");
+        // A purged user re-baselines: a new country scores zero.
+        let (score, d) = e.assess("idle", "141.30.9.9".parse().unwrap(), 1300);
+        assert_eq!(score, 0);
+        assert_eq!(d, RiskDecision::Allow);
+    }
+
+    #[test]
+    fn metrics_and_events_track_decisions() {
+        use hpcmfa_telemetry::MetricsRegistry;
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let e = engine();
+        e.attach_metrics(Arc::clone(&reg));
+        e.assess("alice", "70.1.1.1".parse().unwrap(), 0); // allow (baseline)
+        e.assess("alice", "141.30.1.1".parse().unwrap(), 30 * DAY); // step-up
+        e.assess("alice", "1.2.3.4".parse().unwrap(), 30 * DAY + 600); // deny
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("hpcmfa_risk_decisions_total{decision=\"allow\"}"),
+            1
+        );
+        assert_eq!(
+            snap.counter("hpcmfa_risk_decisions_total{decision=\"step_up\"}"),
+            1
+        );
+        assert_eq!(
+            snap.counter("hpcmfa_risk_decisions_total{decision=\"deny\"}"),
+            1
+        );
+        let events = reg.security_events().all();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, SecurityEventKind::RiskStepUp);
+        assert_eq!(events[1].kind, SecurityEventKind::RiskDeny);
+        assert!(events[1].detail.contains("user=alice"));
     }
 }

@@ -528,6 +528,20 @@ pub fn default_security_rules() -> Vec<Rule> {
         event_rate("replay_attempts", "replay_attempt", 600, 1, 600),
         event_rate("sms_abuse", "sms_abuse", 600, 3, 600),
         event_rate("wal_fsync_degraded", "wal_fsync_degraded", 300, 1, 300),
+        event_rate("risk_deny_surge", "risk_deny", 600, 3, 600),
+        event_rate("risk_step_up_surge", "risk_step_up", 600, 10, 600),
+        // Shedding is watched on its own counter family (summed over
+        // every `reason` label) so the rule sees the aggregate pressure.
+        Rule {
+            name: "overload_shedding".to_string(),
+            condition: Condition::RateOverWindow {
+                series: "hpcmfa_shed_total".to_string(),
+                window_secs: 300,
+                min_increase: 10,
+            },
+            for_secs: 0,
+            cooldown_secs: 300,
+        },
     ]
 }
 

@@ -41,6 +41,15 @@ pub enum SecurityEventKind {
     BreakerFlap,
     /// A WAL append/fsync failed and a request was denied fail-safe.
     WalFsyncDegraded,
+    /// The risk engine demanded step-up for a login (exemption bypass
+    /// revoked; the token module must run).
+    RiskStepUp,
+    /// The risk engine denied a login outright (score ≥ deny threshold,
+    /// e.g. impossible travel).
+    RiskDeny,
+    /// The OTP-server admission controller shed a request under
+    /// overload (rate limit, unauthenticated flood, or full queue).
+    OverloadShed,
 }
 
 impl SecurityEventKind {
@@ -55,11 +64,14 @@ impl SecurityEventKind {
             SecurityEventKind::SmsAbuse => "sms_abuse",
             SecurityEventKind::BreakerFlap => "breaker_flap",
             SecurityEventKind::WalFsyncDegraded => "wal_fsync_degraded",
+            SecurityEventKind::RiskStepUp => "risk_step_up",
+            SecurityEventKind::RiskDeny => "risk_deny",
+            SecurityEventKind::OverloadShed => "overload_shed",
         }
     }
 
     /// Every kind, in declaration order (for exhaustive reports).
-    pub fn all() -> [SecurityEventKind; 6] {
+    pub fn all() -> [SecurityEventKind; 9] {
         [
             SecurityEventKind::AuthFailureBurst,
             SecurityEventKind::LockoutStorm,
@@ -67,6 +79,9 @@ impl SecurityEventKind {
             SecurityEventKind::SmsAbuse,
             SecurityEventKind::BreakerFlap,
             SecurityEventKind::WalFsyncDegraded,
+            SecurityEventKind::RiskStepUp,
+            SecurityEventKind::RiskDeny,
+            SecurityEventKind::OverloadShed,
         ]
     }
 }
@@ -259,7 +274,9 @@ mod tests {
     fn labels_are_stable_and_distinct() {
         let labels: std::collections::BTreeSet<_> =
             SecurityEventKind::all().iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), 6);
+        assert_eq!(labels.len(), 9);
         assert_eq!(SecurityEventKind::ReplayAttempt.label(), "replay_attempt");
+        assert_eq!(SecurityEventKind::RiskDeny.label(), "risk_deny");
+        assert_eq!(SecurityEventKind::OverloadShed.label(), "overload_shed");
     }
 }

@@ -20,14 +20,20 @@
 //! * [`chaos`] — scripted fault-injection scenarios (outages, rolling
 //!   restarts, packet loss, garble storms) replayed against a center under
 //!   a live login stream, reporting availability and breaker behaviour.
+//! * [`attack`] — seeded adversarial scenarios (credential stuffing,
+//!   password spraying, token phishing, SMS floods, slow-and-low probing)
+//!   replayed against the full defense stack, reporting detection
+//!   precision/recall, shed rates, and benign collateral.
 //!
 //! [`Center`]: hpcmfa_core::Center
 
+pub mod attack;
 pub mod chaos;
 pub mod figures;
 pub mod population;
 pub mod rollout;
 
+pub use attack::{AttackKind, AttackParams, AttackReport, AttackRunner, AttackScenario};
 pub use chaos::{ChaosParams, ChaosReport, ChaosRunner, FaultAction, FaultEvent, FaultScript};
 pub use figures::{render_bar_chart, Table1};
 pub use population::{Cohort, DevicePreference, Population, PopulationParams, UserSpec};

@@ -15,7 +15,7 @@
 //! master connections).
 
 use crate::population::{Cohort, DevicePreference, Population, UserSpec};
-use hpcmfa_core::center::{Center, CenterConfig};
+use hpcmfa_core::center::{Center, CenterConfig, RiskParams};
 use hpcmfa_otp::clock::Clock as _;
 use hpcmfa_otp::date::Date;
 use hpcmfa_otp::device::HardTokenBatch;
@@ -99,6 +99,11 @@ pub struct RolloutParams {
     pub repair_daily_prob: f64,
     /// Simulation seed.
     pub seed: u64,
+    /// Score every login through the behavioural risk engine (default
+    /// weights). The rollout population is the benign baseline for the
+    /// detection report: with everyone logging in from their stable home
+    /// networks, the deny counter must stay at zero.
+    pub risk: bool,
 }
 
 impl Default for RolloutParams {
@@ -111,6 +116,7 @@ impl Default for RolloutParams {
             tickets: TicketParams::default(),
             repair_daily_prob: 0.001,
             seed: 1017,
+            risk: false,
         }
     }
 }
@@ -264,6 +270,16 @@ impl RolloutSim {
             start_time: params.from.unix_midnight(),
             enforcement: EnforcementMode::Off,
             seed: params.seed,
+            // One-country fixture spanning every simulated external /8 plus
+            // the internal network: the benign baseline only exercises the
+            // velocity/failure/new-network signals, never geography.
+            risk: params.risk.then(|| RiskParams {
+                geodb: Arc::new(
+                    hpcmfa_risk::geo::GeoDb::parse("64.0.0.0/2 US\n128.0.0.0/2 US\n")
+                        .expect("baseline geodb parses"),
+                ),
+                weights: hpcmfa_risk::engine::RiskWeights::default(),
+            }),
             ..CenterConfig::default()
         });
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -864,6 +880,32 @@ mod tests {
             ..RolloutParams::default()
         })
         .run()
+    }
+
+    #[test]
+    fn risk_scored_baseline_never_denies_benign_users() {
+        // The 10k-user rollout (scaled) with every login scored by the
+        // risk engine: the benign population must draw zero denies —
+        // this run is the false-positive baseline the detection report
+        // cites.
+        let out = RolloutSim::new(RolloutParams {
+            population_scale: 0.01,
+            to: Date::new(2016, 10, 31),
+            seed: 7,
+            risk: true,
+            ..RolloutParams::default()
+        })
+        .run();
+        assert_eq!(
+            out.metrics
+                .counter("hpcmfa_risk_decisions_total{decision=\"deny\"}"),
+            0
+        );
+        assert!(
+            out.metrics
+                .counter("hpcmfa_risk_decisions_total{decision=\"allow\"}")
+                > 0
+        );
     }
 
     #[test]

@@ -35,6 +35,12 @@ cargo test -q --offline -p hpcmfa-crypto --test hmac_midstate_props
 cargo test -q --offline -p hpcmfa-otpserver --test store_proptests
 cargo test -q --offline -p hpcmfa-otpserver --test concurrency_smoke
 
+echo "==> adversarial harness: attack acceptance suite"
+cargo test -q --offline --test attacks
+
+echo "==> stuffing-storm smoke (sheds fire, zero benign lockouts, p99 SLO)"
+timeout 30 cargo test -q --offline --test attacks stuffing_storm_smoke
+
 echo "==> throughput smoke (threads=2) + BENCH_throughput.json schema"
 cargo build --release --offline -q -p hpcmfa-bench --bin throughput
 ./target/release/throughput --threads 1,2 --users 64 --logins 8 \

@@ -1,0 +1,155 @@
+//! Acceptance suite for the adversarial workload harness (DESIGN.md §12).
+//!
+//! Three claims are on trial:
+//!
+//! 1. **Detection** — every seeded attacker model is caught: recall ≥ 0.9
+//!    for credential stuffing, password spraying, and SMS floods; a
+//!    phishing relay holding valid credentials *and* live token codes
+//!    never gets a shell; and a stuffing surge walks the alert engine
+//!    through its full pending → firing → resolved lifecycle.
+//! 2. **Collateral** — the defenses never lock a benign account out and
+//!    never shed benign traffic, even mid-storm.
+//! 3. **Replayability** — each scenario is deterministic on the virtual
+//!    clock: two runs with the same seed produce byte-identical reports,
+//!    alert timelines, and security-event feeds.
+
+use securing_hpc::workload::attack::{AttackParams, AttackRunner, AttackScenario};
+
+fn run_default(scenario: AttackScenario) -> securing_hpc::workload::AttackReport {
+    AttackRunner::new(AttackParams::default(), scenario).run()
+}
+
+/// Every preset replays byte-identically: the Display output embeds the
+/// full report, the alert transition timeline, and the security-event
+/// feed, so one string comparison pins all three.
+#[test]
+fn all_scenarios_replay_byte_identically() {
+    let presets: [fn() -> AttackScenario; 5] = [
+        AttackScenario::credential_stuffing,
+        AttackScenario::password_spraying,
+        AttackScenario::token_phishing,
+        AttackScenario::sms_flood,
+        AttackScenario::slow_and_low,
+    ];
+    for preset in presets {
+        let a = run_default(preset());
+        let b = run_default(preset());
+        assert_eq!(
+            format!("{a}"),
+            format!("{b}"),
+            "scenario {} did not replay byte-identically",
+            a.kind
+        );
+        // The comparison is only meaningful if the feeds have content.
+        assert!(!a.alerts.is_empty() || !a.security_events.is_empty());
+    }
+}
+
+#[test]
+fn credential_stuffing_recall_and_alert_lifecycle() {
+    let report = run_default(AttackScenario::credential_stuffing());
+    assert!(
+        report.recall() >= 0.9,
+        "stuffing recall {:.3} < 0.9:\n{report}",
+        report.recall()
+    );
+    assert_eq!(report.attack_granted, 0, "attacker got in:\n{report}");
+    assert_eq!(report.benign_lockouts, 0, "benign lockout:\n{report}");
+    // The deny surge must traverse the full alert state machine within
+    // the run: inactive -> pending -> firing -> resolved.
+    for transition in [
+        "risk_deny_surge inactive->pending",
+        "risk_deny_surge pending->firing",
+        "risk_deny_surge firing->resolved",
+    ] {
+        assert!(
+            report.alerts.iter().any(|l| l.contains(transition)),
+            "missing alert transition {transition:?}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn password_spraying_recall() {
+    let report = run_default(AttackScenario::password_spraying());
+    assert!(
+        report.recall() >= 0.9,
+        "spraying recall {:.3} < 0.9:\n{report}",
+        report.recall()
+    );
+    assert_eq!(report.attack_granted, 0, "attacker got in:\n{report}");
+    assert_eq!(report.benign_lockouts, 0, "benign lockout:\n{report}");
+}
+
+#[test]
+fn sms_flood_recall_and_suppression() {
+    let report = run_default(AttackScenario::sms_flood());
+    assert!(
+        report.recall() >= 0.9,
+        "sms-flood recall {:.3} < 0.9:\n{report}",
+        report.recall()
+    );
+    assert_eq!(report.attack_granted, 0, "attacker got in:\n{report}");
+    assert_eq!(report.benign_lockouts, 0, "benign lockout:\n{report}");
+    // The §3.3 resend suppression is the SMS flood's cost ceiling: the
+    // flood must trip it, or every null request would cost carrier money.
+    assert!(
+        report.flagged_sms_abuse > 0,
+        "flood never hit the resend suppression:\n{report}"
+    );
+}
+
+#[test]
+fn token_phishing_is_always_stopped() {
+    let report = run_default(AttackScenario::token_phishing());
+    // The relay holds the victim's password and clones their live codes;
+    // behavioural geography is the only remaining defense — and it must
+    // flag and stop every single attempt.
+    assert_eq!(report.attack_granted, 0, "phisher got a shell:\n{report}");
+    assert_eq!(
+        report.attack_flagged, report.attack_attempts,
+        "phishing attempt went unflagged:\n{report}"
+    );
+    assert_eq!(report.benign_lockouts, 0, "benign lockout:\n{report}");
+}
+
+#[test]
+fn slow_and_low_probing_is_flagged() {
+    let report = run_default(AttackScenario::slow_and_low());
+    assert!(
+        report.recall() >= 0.9,
+        "slow-and-low recall {:.3} < 0.9:\n{report}",
+        report.recall()
+    );
+    assert_eq!(report.attack_granted, 0, "prober got in:\n{report}");
+    assert_eq!(report.benign_lockouts, 0, "benign lockout:\n{report}");
+}
+
+/// The overload acceptance: a stuffing storm at 12× the benign login rate
+/// under tight admission control. The storm must shed (fail-safe deny at
+/// the queue, before the store sees the attempt), benign traffic must
+/// ride the trusted lane unshed and un-locked-out, and the benign p99
+/// virtual queueing latency must stay within 2× of a no-attack run.
+#[test]
+fn stuffing_storm_smoke() {
+    let control = AttackRunner::new(AttackParams::storm(), AttackScenario::control()).run();
+    let storm = AttackRunner::new(AttackParams::storm(), AttackScenario::stuffing_storm()).run();
+
+    assert!(storm.recall() > 0.0, "storm went undetected:\n{storm}");
+    assert!(
+        storm.flagged_shed > 0,
+        "admission control never shed:\n{storm}"
+    );
+    assert_eq!(storm.attack_granted, 0, "storm got a shell in:\n{storm}");
+    assert_eq!(storm.benign_shed, 0, "benign traffic shed:\n{storm}");
+    assert_eq!(storm.benign_lockouts, 0, "benign lockout:\n{storm}");
+    assert!(
+        storm.trusted_p99_us <= control.trusted_p99_us.saturating_mul(2),
+        "benign p99 {}us blew the 2x SLO vs control {}us",
+        storm.trusted_p99_us,
+        control.trusted_p99_us
+    );
+    // And the storm itself replays byte-identically.
+    let again = AttackRunner::new(AttackParams::storm(), AttackScenario::stuffing_storm()).run();
+    assert_eq!(format!("{storm}"), format!("{again}"));
+}
