@@ -1,0 +1,196 @@
+//! WAL replay (crash recovery) time against population size, writing
+//! `BENCH_recovery.json`.
+//!
+//! For each population size the bench builds a durable server with
+//! compaction disabled (every mutation stays in the WAL), enrolls the
+//! users, drives a fixed number of successful validations per user, and
+//! then times [`recover`] — the full decode-and-replay pass a restarted
+//! OTP server (or a warm standby catching up from a shipped WAL) pays
+//! before it can serve. The record and byte counts are seeded and
+//! deterministic; the wall-clock replay seconds are the machine-specific
+//! measurement the bench exists to take.
+
+use hpcmfa_otp::totp::Totp;
+use hpcmfa_otpserver::server::{LinotpServer, ServerConfig};
+use hpcmfa_otpserver::sms::TwilioSim;
+use hpcmfa_otpserver::{recover, MemoryBackend, StorageBackend};
+use std::sync::Arc;
+
+/// TOTP step width used to mint a fresh code per round.
+const STEP_SECS: u64 = 30;
+
+struct RunResult {
+    users: usize,
+    wal_records: u64,
+    wal_bytes: u64,
+    recovered_users: usize,
+    replay_secs: f64,
+    records_per_sec: f64,
+}
+
+/// Build a WAL for `users` users with `logins` accepted codes each, then
+/// time one full recovery replay of it.
+fn run(users: usize, logins: u64, seed: u64) -> RunResult {
+    let backend = MemoryBackend::healthy();
+    let server = LinotpServer::with_storage(
+        TwilioSim::new(seed),
+        seed,
+        ServerConfig {
+            // Compaction off: the whole history stays in the WAL, so the
+            // replay cost scales with what actually happened.
+            snapshot_every_appends: u64::MAX,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+    )
+    .expect("fresh durable server");
+    let t0 = 1_700_000_000u64;
+    let enrolled: Vec<(String, Totp)> = (0..users)
+        .map(|i| {
+            let name = format!("user{i:05}");
+            let secret = server.enroll_soft(&name, t0);
+            (name, Totp::new(secret))
+        })
+        .collect();
+    for round in 0..logins {
+        let now = t0 + (round + 1) * STEP_SECS;
+        for (name, totp) in &enrolled {
+            let code = totp.code_at(now);
+            assert!(
+                server.validate(name, &code, now).is_success(),
+                "bench validations must all succeed"
+            );
+        }
+    }
+    drop(server);
+    let wal_bytes = backend.wal_len();
+
+    let storage = Arc::clone(&backend) as Arc<dyn StorageBackend>;
+    let start = std::time::Instant::now();
+    let state = recover(&storage).expect("clean WAL replays");
+    let replay_secs = start.elapsed().as_secs_f64();
+
+    RunResult {
+        users,
+        wal_records: state.report.wal_records as u64,
+        wal_bytes,
+        recovered_users: state.users.len(),
+        replay_secs,
+        records_per_sec: state.report.wal_records as f64 / replay_secs.max(1e-9),
+    }
+}
+
+fn main() {
+    let mut populations: Vec<usize> = vec![128, 512, 2048];
+    let mut logins = 4u64;
+    let mut seed = 42u64;
+    let mut out = "BENCH_recovery.json".to_string();
+    let mut check = false;
+
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--users" => {
+                populations = argv
+                    .get(i + 1)
+                    .map(|s| {
+                        s.split(',')
+                            .map(|t| t.parse().expect("--users takes a comma list"))
+                            .collect()
+                    })
+                    .expect("--users needs a comma list, e.g. 128,512,2048");
+                i += 2;
+            }
+            "--logins" => {
+                logins = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--logins needs an integer");
+                i += 2;
+            }
+            "--seed" => {
+                seed = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+                i += 2;
+            }
+            "--out" => {
+                out = argv.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --users/--logins/--seed/--out/--check)"
+            ),
+        }
+    }
+
+    eprintln!(
+        "replaying WALs for populations {populations:?} x {logins} logins each (seed {seed}) ..."
+    );
+    let runs: Vec<RunResult> = populations
+        .iter()
+        .map(|&n| {
+            let r = run(n, logins, seed);
+            eprintln!(
+                "  users={:<6} wal_records={:<7} wal_bytes={:<9} replay={:.4}s ({:>10.0} records/sec)",
+                r.users, r.wal_records, r.wal_bytes, r.replay_secs, r.records_per_sec
+            );
+            r
+        })
+        .collect();
+
+    let runs_json: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"users\":{},\"wal_records\":{},\"wal_bytes\":{},\
+\"recovered_users\":{},\"replay_secs\":{:.6},\"records_per_sec\":{:.1}}}",
+                r.users,
+                r.wal_records,
+                r.wal_bytes,
+                r.recovered_users,
+                r.replay_secs,
+                r.records_per_sec
+            )
+        })
+        .collect();
+    let line = format!(
+        "{{\"bench\":\"recovery\",\"seed\":{seed},\"logins_per_user\":{logins},\
+\"runs\":[{}]}}",
+        runs_json.join(",")
+    );
+    println!("{line}");
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    if check {
+        for r in &runs {
+            assert_eq!(
+                r.recovered_users, r.users,
+                "recovery lost users at population {}",
+                r.users
+            );
+            assert!(
+                r.replay_secs > 0.0 && r.records_per_sec > 0.0,
+                "degenerate timing at population {}",
+                r.users
+            );
+        }
+        for pair in runs.windows(2) {
+            assert!(
+                pair[1].users <= pair[0].users || pair[1].wal_records > pair[0].wal_records,
+                "WAL records did not grow with the population ({} -> {} users)",
+                pair[0].users,
+                pair[1].users
+            );
+        }
+        eprintln!("check passed: every population recovered in full, replay cost scales");
+    }
+}

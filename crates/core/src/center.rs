@@ -9,7 +9,9 @@ use hpcmfa_otpserver::handler::OtpRadiusHandler;
 use hpcmfa_otpserver::overload::OverloadConfig;
 use hpcmfa_otpserver::server::{LinotpServer, ServerConfig};
 use hpcmfa_otpserver::sms::{PhoneNumber, SmsProvider, TwilioSim};
-use hpcmfa_otpserver::{RecoverError, RecoveryReport, StorageBackend};
+use hpcmfa_otpserver::{
+    LinkFaultPlan, OtpCluster, RecoverError, RecoveryReport, ReplicationMode, StorageBackend,
+};
 use hpcmfa_pam::access::{AccessConfig, Cidr, WatchedAccessConfig};
 use hpcmfa_pam::modules::exemption::ExemptionModule;
 use hpcmfa_pam::modules::password::{hash_password, UnixPasswordModule, PASSWORD_ATTR};
@@ -38,6 +40,45 @@ pub struct RiskParams {
     pub geodb: Arc<GeoDb>,
     /// Scoring weights and thresholds.
     pub weights: RiskWeights,
+}
+
+/// Warm-standby replication for the OTP back end. The caller supplies
+/// both storage nodes (keeping typed handles for fault injection); the
+/// center builds the cluster, routes the validation server through it,
+/// and arms breaker-driven failover in every RADIUS handler.
+#[derive(Clone)]
+pub struct OtpReplicationParams {
+    /// Ack mode: `Sync` never acknowledges a write the standby has not
+    /// applied; `Async` tolerates bounded staleness.
+    pub mode: ReplicationMode,
+    /// The primary's storage node.
+    pub primary: Arc<dyn StorageBackend>,
+    /// The warm standby's storage node.
+    pub standby: Arc<dyn StorageBackend>,
+    /// Breaker tuning for the primary's local-storage health (reuses the
+    /// RADIUS breaker; an open breaker schedules the failover).
+    pub breaker: BreakerConfig,
+    /// Fault plan for the replication link (drops, reorder, partition,
+    /// lag) — chaos scripts keep a handle to drive it mid-run.
+    pub link_plan: Arc<LinkFaultPlan>,
+}
+
+impl OtpReplicationParams {
+    /// Replication over the given nodes with a healthy link and default
+    /// breaker tuning.
+    pub fn new(
+        mode: ReplicationMode,
+        primary: Arc<dyn StorageBackend>,
+        standby: Arc<dyn StorageBackend>,
+    ) -> Self {
+        OtpReplicationParams {
+            mode,
+            primary,
+            standby,
+            breaker: BreakerConfig::default(),
+            link_plan: LinkFaultPlan::healthy(),
+        }
+    }
 }
 
 /// Deployment parameters.
@@ -89,6 +130,12 @@ pub struct CenterConfig {
     /// admission queue with per-source-network rate limiting in front of
     /// validation; `None` (the default) leaves it unguarded.
     pub otp_overload: Option<OverloadConfig>,
+    /// Warm-standby replication for the OTP back end. `Some` supersedes
+    /// `otp_storage`: the server writes through the cluster's routing
+    /// backend and every RADIUS handler promotes the standby when the
+    /// primary's breaker opens. `None` (the default) keeps the
+    /// single-node layout.
+    pub otp_replication: Option<OtpReplicationParams>,
 }
 
 impl Default for CenterConfig {
@@ -110,6 +157,7 @@ impl Default for CenterConfig {
             metrics: Arc::new(MetricsRegistry::new()),
             risk: None,
             otp_overload: None,
+            otp_replication: None,
         }
     }
 }
@@ -158,6 +206,10 @@ pub struct Center {
     pub alerts: Arc<AlertEngine>,
     /// The behavioural risk engine, when [`CenterConfig::risk`] is set.
     pub risk_engine: Option<Arc<RiskEngine>>,
+    /// The OTP replication cluster, when
+    /// [`CenterConfig::otp_replication`] is set: epoch, lag, and
+    /// promotion controls for chaos scripts and operators.
+    pub otp_cluster: Option<Arc<OtpCluster>>,
     /// Exemption file text lines added beyond the internal-network rule,
     /// mirrored to every node.
     exemption_lines: Mutex<Vec<String>>,
@@ -171,7 +223,25 @@ impl Center {
         let directory = Directory::new();
         let identity = IdentityDb::new();
         let twilio = TwilioSim::new(config.seed ^ 0x5115);
-        let linotp = match &config.otp_storage {
+        // Replication supersedes plain durable storage: the server writes
+        // through the cluster's routing backend, which ships every synced
+        // batch to the warm standby.
+        let otp_cluster_parts = config.otp_replication.as_ref().map(|p| {
+            OtpCluster::new(
+                Arc::clone(&p.primary),
+                Arc::clone(&p.standby),
+                p.mode,
+                Arc::clone(&clock_arc),
+                Arc::clone(&config.metrics),
+                p.breaker,
+                Arc::clone(&p.link_plan),
+            )
+        });
+        let otp_backend: Option<Arc<dyn StorageBackend>> = match &otp_cluster_parts {
+            Some((_, backend)) => Some(Arc::clone(backend) as Arc<dyn StorageBackend>),
+            None => config.otp_storage.clone(),
+        };
+        let linotp = match &otp_backend {
             Some(backend) => LinotpServer::with_storage(
                 Arc::clone(&twilio) as Arc<dyn SmsProvider>,
                 config.seed,
@@ -194,6 +264,7 @@ impl Center {
                 },
             ),
         };
+        let otp_cluster = otp_cluster_parts.map(|(cluster, _)| cluster);
         let admin = AdminApi::new(
             Arc::clone(&linotp),
             "LinOTP admin area",
@@ -216,7 +287,14 @@ impl Center {
         let mut radius_servers = Vec::new();
         let mut transports: Vec<Arc<dyn Transport>> = Vec::new();
         for i in 0..config.radius_servers {
-            let handler = OtpRadiusHandler::new(Arc::clone(&linotp), Arc::clone(&clock_arc));
+            let handler = match &otp_cluster {
+                Some(cluster) => OtpRadiusHandler::with_cluster(
+                    Arc::clone(&linotp),
+                    Arc::clone(&clock_arc),
+                    Arc::clone(cluster),
+                ),
+                None => OtpRadiusHandler::new(Arc::clone(&linotp), Arc::clone(&clock_arc)),
+            };
             let server = Arc::new(RadiusServer::new(config.radius_secret.clone(), handler));
             let faults = FaultPlan::healthy();
             transports.push(Arc::new(InMemoryTransport::new(
@@ -322,6 +400,7 @@ impl Center {
             nodes,
             alerts,
             risk_engine,
+            otp_cluster,
             exemption_lines: Mutex::new(Vec::new()),
         })
     }
@@ -756,6 +835,51 @@ mod tests {
         let fresh = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
             .with_token(TokenSource::device(move |now| Some(d2.displayed_code(now))));
         assert!(c.ssh(0, &fresh).granted);
+    }
+
+    #[test]
+    fn replicated_center_promotes_the_standby_when_the_primary_dies() {
+        use hpcmfa_otpserver::MemoryBackend;
+        let primary = MemoryBackend::healthy();
+        let standby = MemoryBackend::healthy();
+        let c = Center::new(CenterConfig {
+            otp_replication: Some(OtpReplicationParams::new(
+                ReplicationMode::Sync,
+                Arc::clone(&primary) as Arc<dyn StorageBackend>,
+                Arc::clone(&standby) as Arc<dyn StorageBackend>,
+            )),
+            ..CenterConfig::default()
+        });
+        c.create_user("alice", "alice@utexas.edu", "alice-pw");
+        c.set_enforcement(EnforcementMode::Full);
+        let device = c.pair_soft("alice");
+        let code = device.displayed_code(c.clock.now());
+        let replayed = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::Fixed(code));
+        assert!(c.ssh(0, &replayed).granted);
+
+        // Kill the primary's storage: durable appends fail, its breaker
+        // opens, and the next request promotes the warm standby.
+        primary.set_down(true);
+        let d2 = device.clone();
+        let fresh = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw")
+            .with_token(TokenSource::device(move |now| Some(d2.displayed_code(now))));
+        let cluster = c.otp_cluster.as_ref().expect("replicated center");
+        for _ in 0..6 {
+            c.clock.advance(30);
+            let _ = c.ssh(0, &fresh);
+            if cluster.epoch() > 1 {
+                break;
+            }
+        }
+        assert_eq!(cluster.epoch(), 2, "standby promoted");
+        assert_eq!(cluster.failovers(), 1);
+
+        // The fleet serves from the standby...
+        c.clock.advance(30);
+        assert!(c.ssh(1, &fresh).granted);
+        // ...and the pre-crash acceptance replicated: replay still denied.
+        assert!(!c.ssh(0, &replayed).granted);
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //! deterministic in-memory fault-injecting one.
 //!
 //! The file backend is what a production deployment would run on the OTP
-//! server host: an append-only `wal.log` plus an atomically-replaced
-//! `snapshot.bin` in one directory. The memory backend is the test
-//! substrate: identical semantics, plus a seeded [`StorageFaultPlan`]
-//! injecting the failure modes disks actually exhibit — short writes,
-//! fsync failures, read corruption and torn crash tails — in the same
-//! cadence-counter style as the RADIUS transport's `FaultPlan`.
+//! server host: an append-only WAL, size-rotated into `wal.<seq>.log`
+//! segments, plus an atomically-replaced `snapshot.bin` in one directory.
+//! The memory backend is the test substrate: identical semantics, plus a
+//! seeded [`StorageFaultPlan`] injecting the failure modes disks actually
+//! exhibit — short writes, fsync failures, read corruption and torn crash
+//! tails — in the same cadence-counter style as the RADIUS transport's
+//! `FaultPlan`, and a [`MemoryBackend::set_down`] switch that models a
+//! dead primary node for the replication layer.
 
 use super::{StorageBackend, StorageError};
 use parking_lot::Mutex;
@@ -23,59 +25,171 @@ use std::sync::Arc;
 // File backend
 // ---------------------------------------------------------------------
 
-/// WAL file name inside the storage directory.
+/// Base WAL file name inside the storage directory (segment 0; later
+/// segments are `wal.<seq>.log`).
 pub const WAL_FILE: &str = "wal.log";
 
 /// Snapshot file name inside the storage directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 
-struct WalFile {
-    file: File,
+/// Default segment-rotation threshold: an active segment at or past this
+/// size is sealed before the next append.
+pub const DEFAULT_ROTATE_BYTES: u64 = 1 << 20;
+
+#[derive(Clone)]
+struct Segment {
+    seq: u64,
+    path: PathBuf,
     /// Length of the known-good prefix: bytes successfully written (a
     /// failed append truncates back to this, so a detected short write
     /// never poisons the stream).
     len: u64,
 }
 
-/// Durable storage in a directory: `wal.log` + `snapshot.bin`.
+struct WalState {
+    /// Sealed (rotated-out) segments, ascending by sequence. Synced at
+    /// seal time; deleted when snapshot compaction resets the WAL.
+    sealed: Vec<Segment>,
+    active: Segment,
+    /// Open append handle on the active segment.
+    file: File,
+}
+
+impl WalState {
+    fn total_len(&self) -> u64 {
+        self.sealed.iter().map(|s| s.len).sum::<u64>() + self.active.len
+    }
+}
+
+/// Durable storage in a directory: segmented `wal.log` / `wal.<seq>.log`
+/// files plus `snapshot.bin`.
 pub struct FileBackend {
     dir: PathBuf,
-    wal: Mutex<WalFile>,
+    rotate_bytes: u64,
+    wal: Mutex<WalState>,
 }
 
 impl FileBackend {
-    /// Open (creating if needed) the storage directory. An existing WAL is
-    /// kept — recovery decides what in it is valid.
+    /// Open (creating if needed) the storage directory with the default
+    /// rotation threshold. Existing WAL segments are kept — recovery
+    /// decides what in them is valid.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Arc<Self>> {
+        Self::open_with_rotation(dir, DEFAULT_ROTATE_BYTES)
+    }
+
+    /// Open with an explicit rotation threshold (0 disables rotation).
+    /// A leftover `snapshot.bin.tmp` from a crash mid-replace is removed;
+    /// recovery never reads it.
+    pub fn open_with_rotation(
+        dir: impl AsRef<Path>,
+        rotate_bytes: u64,
+    ) -> std::io::Result<Arc<Self>> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let _ = std::fs::remove_file(dir.join(format!("{SNAPSHOT_FILE}.tmp")));
+        let mut segments: Vec<Segment> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let seq = if name == WAL_FILE {
+                Some(0)
+            } else {
+                name.strip_prefix("wal.")
+                    .and_then(|s| s.strip_suffix(".log"))
+                    .and_then(|s| s.parse::<u64>().ok())
+            };
+            if let Some(seq) = seq {
+                let len = entry.metadata()?.len();
+                segments.push(Segment {
+                    seq,
+                    path: entry.path(),
+                    len,
+                });
+            }
+        }
+        segments.sort_by_key(|s| s.seq);
+        let active = match segments.pop() {
+            Some(seg) => seg,
+            None => Segment {
+                seq: 0,
+                path: dir.join(WAL_FILE),
+                len: 0,
+            },
+        };
         let file = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(dir.join(WAL_FILE))?;
-        let len = file.metadata()?.len();
+            .open(&active.path)?;
         Ok(Arc::new(FileBackend {
             dir,
-            wal: Mutex::new(WalFile { file, len }),
+            rotate_bytes,
+            wal: Mutex::new(WalState {
+                sealed: segments,
+                active,
+                file,
+            }),
         }))
     }
 
     fn io<T>(r: std::io::Result<T>) -> Result<T, StorageError> {
         r.map_err(|e| StorageError::Io(e.to_string()))
     }
+
+    fn segment_path(&self, seq: u64) -> PathBuf {
+        if seq == 0 {
+            self.dir.join(WAL_FILE)
+        } else {
+            self.dir.join(format!("wal.{seq}.log"))
+        }
+    }
+
+    /// Fsync the storage directory itself, making renames, creates and
+    /// deletes durable. Without this a crash after a metadata operation
+    /// can roll it back — the snapshot-resurrection bug this PR fixes.
+    fn sync_dir(&self) -> Result<(), StorageError> {
+        let d = Self::io(File::open(&self.dir))?;
+        d.sync_all().map_err(|_| StorageError::FsyncFailed)
+    }
+
+    /// Seal the active segment and start a new one. The sealed file is
+    /// fsynced first so its contents are durable before any append lands
+    /// in the successor; the directory is fsynced so the new file's
+    /// existence is durable too.
+    fn rotate_locked(&self, wal: &mut WalState) -> Result<(), StorageError> {
+        wal.file
+            .sync_data()
+            .map_err(|_| StorageError::FsyncFailed)?;
+        let next_seq = wal.active.seq + 1;
+        let path = self.segment_path(next_seq);
+        let file = Self::io(OpenOptions::new().create(true).append(true).open(&path))?;
+        let sealed = std::mem::replace(
+            &mut wal.active,
+            Segment {
+                seq: next_seq,
+                path,
+                len: 0,
+            },
+        );
+        wal.file = file;
+        wal.sealed.push(sealed);
+        self.sync_dir()
+    }
 }
 
 impl StorageBackend for FileBackend {
     fn append_wal(&self, frame: &[u8]) -> Result<(), StorageError> {
         let mut wal = self.wal.lock();
+        if self.rotate_bytes > 0 && wal.active.len >= self.rotate_bytes {
+            self.rotate_locked(&mut wal)?;
+        }
         match wal.file.write_all(frame) {
             Ok(()) => {
-                wal.len += frame.len() as u64;
+                wal.active.len += frame.len() as u64;
                 Ok(())
             }
             Err(e) => {
                 // Cut any partial bytes back off the stream.
-                let good = wal.len;
+                let good = wal.active.len;
                 let _ = wal.file.set_len(good);
                 Err(StorageError::Io(e.to_string()))
             }
@@ -83,40 +197,93 @@ impl StorageBackend for FileBackend {
     }
 
     fn sync_wal(&self) -> Result<(), StorageError> {
+        // Sealed segments were synced at rotation; only the active one
+        // can hold buffered bytes.
         let wal = self.wal.lock();
         wal.file.sync_data().map_err(|_| StorageError::FsyncFailed)
     }
 
     fn read_wal(&self) -> Result<Vec<u8>, StorageError> {
-        Self::io(std::fs::read(self.dir.join(WAL_FILE)))
+        let wal = self.wal.lock();
+        let mut out = Vec::new();
+        for seg in wal.sealed.iter().chain(std::iter::once(&wal.active)) {
+            out.extend_from_slice(&Self::io(std::fs::read(&seg.path))?);
+        }
+        Ok(out)
     }
 
     fn truncate_wal(&self, len: u64) -> Result<(), StorageError> {
         let mut wal = self.wal.lock();
-        Self::io(wal.file.set_len(len))?;
-        wal.len = len;
-        wal.file.sync_data().map_err(|_| StorageError::FsyncFailed)
+        let mut segments = std::mem::take(&mut wal.sealed);
+        segments.push(wal.active.clone());
+        let mut keep: Vec<Segment> = Vec::new();
+        let mut remaining = len;
+        let mut cutting = false;
+        for seg in segments {
+            if cutting {
+                Self::io(std::fs::remove_file(&seg.path))?;
+                continue;
+            }
+            if remaining >= seg.len {
+                remaining -= seg.len;
+                keep.push(seg);
+                continue;
+            }
+            // The cut lands inside this segment; everything after it goes.
+            let f = Self::io(OpenOptions::new().write(true).open(&seg.path))?;
+            Self::io(f.set_len(remaining))?;
+            f.sync_data().map_err(|_| StorageError::FsyncFailed)?;
+            keep.push(Segment {
+                len: remaining,
+                ..seg
+            });
+            cutting = true;
+        }
+        let active = keep.pop().expect("a WAL always has at least one segment");
+        let file = Self::io(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&active.path),
+        )?;
+        wal.sealed = keep;
+        wal.active = active;
+        wal.file = file;
+        self.sync_dir()
     }
 
     fn wal_len(&self) -> u64 {
-        self.wal.lock().len
+        self.wal.lock().total_len()
     }
 
     fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
-        // Classic atomic replace: write sideways, fsync, rename. A crash
-        // at any point leaves either the old or the new snapshot intact.
+        // Classic atomic replace: write sideways, fsync, rename, fsync
+        // the directory. A crash at any point leaves either the old or
+        // the new snapshot intact — the directory fsync is what makes the
+        // rename itself durable; without it a crash right after the
+        // rename can resurrect the *old* snapshot, silently rolling
+        // recovery back past compacted WAL records.
         let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
         let mut f = Self::io(File::create(&tmp))?;
         Self::io(f.write_all(bytes))?;
         f.sync_data().map_err(|_| StorageError::FsyncFailed)?;
         drop(f);
-        Self::io(std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE)))
+        Self::io(std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE)))?;
+        self.sync_dir()
     }
 
     fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError> {
         match std::fs::read(self.dir.join(SNAPSHOT_FILE)) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StorageError::Io(e.to_string())),
+        }
+    }
+
+    fn clear_snapshot(&self) -> Result<(), StorageError> {
+        match std::fs::remove_file(self.dir.join(SNAPSHOT_FILE)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(StorageError::Io(e.to_string())),
         }
     }
@@ -230,6 +397,10 @@ struct MemState {
 pub struct MemoryBackend {
     state: Mutex<MemState>,
     plan: Arc<StorageFaultPlan>,
+    /// Node down: every operation fails with [`StorageError::Crashed`]
+    /// until the node is brought back up. Durable state is retained —
+    /// this models a crashed-but-recoverable replica, not disk loss.
+    down: AtomicBool,
 }
 
 impl MemoryBackend {
@@ -243,6 +414,7 @@ impl MemoryBackend {
         Arc::new(MemoryBackend {
             state: Mutex::new(MemState::default()),
             plan,
+            down: AtomicBool::new(false),
         })
     }
 
@@ -256,12 +428,31 @@ impl MemoryBackend {
                 snapshot,
             }),
             plan: StorageFaultPlan::healthy(),
+            down: AtomicBool::new(false),
         })
     }
 
     /// The fault plan.
     pub fn plan(&self) -> &Arc<StorageFaultPlan> {
         &self.plan
+    }
+
+    /// Take the node down (every operation fails) or bring it back up.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Whether the node is down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    fn up(&self) -> Result<(), StorageError> {
+        if self.is_down() {
+            Err(StorageError::Crashed)
+        } else {
+            Ok(())
+        }
     }
 
     /// The durable WAL bytes (test observability; no fault injection).
@@ -277,6 +468,7 @@ impl MemoryBackend {
 
 impl StorageBackend for MemoryBackend {
     fn append_wal(&self, frame: &[u8]) -> Result<(), StorageError> {
+        self.up()?;
         let mut st = self.state.lock();
         if self.plan.short_write_hit() {
             let keep = self.plan.draw(frame.len());
@@ -291,6 +483,7 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn sync_wal(&self) -> Result<(), StorageError> {
+        self.up()?;
         let mut st = self.state.lock();
         if self.plan.fsync_hit() {
             // Like a real failed fsync, the fate of the buffered bytes is
@@ -303,6 +496,7 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn read_wal(&self) -> Result<Vec<u8>, StorageError> {
+        self.up()?;
         let st = self.state.lock();
         let mut bytes = st.durable.clone();
         if !bytes.is_empty() && self.plan.read_hit() {
@@ -313,6 +507,7 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn truncate_wal(&self, len: u64) -> Result<(), StorageError> {
+        self.up()?;
         let mut st = self.state.lock();
         st.durable.truncate(len as usize);
         st.inflight.clear();
@@ -320,15 +515,20 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn wal_len(&self) -> u64 {
+        if self.is_down() {
+            return 0;
+        }
         self.state.lock().durable.len() as u64
     }
 
     fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.up()?;
         self.state.lock().snapshot = Some(bytes.to_vec());
         Ok(())
     }
 
     fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError> {
+        self.up()?;
         let st = self.state.lock();
         let mut snap = st.snapshot.clone();
         if let Some(bytes) = snap.as_mut() {
@@ -343,6 +543,12 @@ impl StorageBackend for MemoryBackend {
             }
         }
         Ok(snap)
+    }
+
+    fn clear_snapshot(&self) -> Result<(), StorageError> {
+        self.up()?;
+        self.state.lock().snapshot = None;
+        Ok(())
     }
 
     fn rollback_inflight(&self) {
@@ -372,6 +578,23 @@ mod tests {
 
     fn rec(user: &str) -> WalRecord {
         WalRecord::Remove { user: user.into() }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hpcmfa-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wal_segment_count(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name == WAL_FILE || (name.starts_with("wal.") && name.ends_with(".log"))
+            })
+            .count()
     }
 
     #[test]
@@ -447,10 +670,36 @@ mod tests {
     }
 
     #[test]
+    fn down_node_fails_everything_but_retains_state() {
+        let b = MemoryBackend::healthy();
+        b.append_wal(&rec("a").encode_frame()).unwrap();
+        b.sync_wal().unwrap();
+        b.set_down(true);
+        assert_eq!(
+            b.append_wal(&rec("b").encode_frame()),
+            Err(StorageError::Crashed)
+        );
+        assert_eq!(b.sync_wal(), Err(StorageError::Crashed));
+        assert_eq!(b.read_wal(), Err(StorageError::Crashed));
+        assert_eq!(b.read_snapshot(), Err(StorageError::Crashed));
+        assert_eq!(b.wal_len(), 0);
+        b.set_down(false);
+        let (records, tail) = decode_stream(&b.read_wal().unwrap());
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records, vec![rec("a")], "durable state survived the outage");
+    }
+
+    #[test]
+    fn memory_clear_snapshot_removes_it() {
+        let b = MemoryBackend::healthy();
+        b.write_snapshot(b"snap").unwrap();
+        b.clear_snapshot().unwrap();
+        assert_eq!(b.read_snapshot().unwrap(), None);
+    }
+
+    #[test]
     fn file_backend_round_trip_and_truncate() {
-        let dir =
-            std::env::temp_dir().join(format!("hpcmfa-durability-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("durability-test");
         let b = FileBackend::open(&dir).unwrap();
         let f1 = rec("a").encode_frame();
         let f2 = rec("b").encode_frame();
@@ -483,11 +732,124 @@ mod tests {
 
     #[test]
     fn file_backend_missing_snapshot_is_none() {
-        let dir =
-            std::env::temp_dir().join(format!("hpcmfa-durability-nosnap-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("durability-nosnap");
         let b = FileBackend::open(&dir).unwrap();
         assert_eq!(b.read_snapshot().unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_cleans_stale_snapshot_tmp_on_open() {
+        let dir = temp_dir("durability-staletmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crash between the tmp write and the rename leaves this file;
+        // it must never be read as a snapshot, and reopening clears it.
+        std::fs::write(dir.join(format!("{SNAPSHOT_FILE}.tmp")), b"half-written").unwrap();
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.read_snapshot().unwrap(), None);
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_clear_snapshot_is_idempotent() {
+        let dir = temp_dir("durability-clearsnap");
+        let b = FileBackend::open(&dir).unwrap();
+        b.clear_snapshot().unwrap();
+        b.write_snapshot(b"snap").unwrap();
+        b.clear_snapshot().unwrap();
+        assert_eq!(b.read_snapshot().unwrap(), None);
+        b.clear_snapshot().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_replays_in_order() {
+        let dir = temp_dir("durability-rotate");
+        let b = FileBackend::open_with_rotation(&dir, 32).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..12 {
+            let r = rec(&format!("user{i:02}"));
+            b.append_wal(&r.encode_frame()).unwrap();
+            b.sync_wal().unwrap();
+            expect.push(r);
+        }
+        assert!(
+            wal_segment_count(&dir) > 1,
+            "a 32-byte threshold must have rotated"
+        );
+        let (records, tail) = decode_stream(&b.read_wal().unwrap());
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records, expect, "replay order is stable across segments");
+        let total = b.wal_len();
+        drop(b);
+        // Reopen: same bytes, same order, appends continue on the newest
+        // segment.
+        let reopened = FileBackend::open_with_rotation(&dir, 32).unwrap();
+        assert_eq!(reopened.wal_len(), total);
+        let (records, tail) = decode_stream(&reopened.read_wal().unwrap());
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records, expect);
+        reopened.append_wal(&rec("more").encode_frame()).unwrap();
+        reopened.sync_wal().unwrap();
+        let (records, _) = decode_stream(&reopened.read_wal().unwrap());
+        assert_eq!(records.len(), 13);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_across_segments_deletes_later_files() {
+        let dir = temp_dir("durability-segtrunc");
+        let b = FileBackend::open_with_rotation(&dir, 32).unwrap();
+        let frames: Vec<Vec<u8>> = (0..10)
+            .map(|i| rec(&format!("user{i:02}")).encode_frame())
+            .collect();
+        for f in &frames {
+            b.append_wal(f).unwrap();
+            b.sync_wal().unwrap();
+        }
+        let before = wal_segment_count(&dir);
+        assert!(before > 1);
+        // Keep only the first three frames — the cut lands in an early
+        // segment and every later segment file must disappear.
+        let keep: u64 = frames[..3].iter().map(|f| f.len() as u64).sum();
+        b.truncate_wal(keep).unwrap();
+        assert!(wal_segment_count(&dir) < before);
+        assert_eq!(b.wal_len(), keep);
+        let (records, tail) = decode_stream(&b.read_wal().unwrap());
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records.len(), 3);
+        // The stream keeps accepting appends after the cut.
+        b.append_wal(&rec("next").encode_frame()).unwrap();
+        b.sync_wal().unwrap();
+        let (records, tail) = decode_stream(&b.read_wal().unwrap());
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_after_compaction_deletes_sealed_segments() {
+        let dir = temp_dir("durability-segreset");
+        let b = FileBackend::open_with_rotation(&dir, 32).unwrap();
+        for i in 0..10 {
+            b.append_wal(&rec(&format!("user{i:02}")).encode_frame())
+                .unwrap();
+            b.sync_wal().unwrap();
+        }
+        assert!(wal_segment_count(&dir) > 1);
+        b.write_snapshot(b"compacted").unwrap();
+        b.reset_wal().unwrap();
+        assert_eq!(
+            wal_segment_count(&dir),
+            1,
+            "compaction must delete sealed segments"
+        );
+        assert_eq!(b.wal_len(), 0);
+        assert_eq!(
+            b.read_snapshot().unwrap().as_deref(),
+            Some(&b"compacted"[..])
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -24,10 +24,15 @@
 //! account stays locked until an admin acts.
 
 pub mod backend;
+pub mod replication;
 pub mod snapshot;
 pub mod wal;
 
 pub use backend::{FileBackend, MemoryBackend, StorageFaultPlan};
+pub use replication::{
+    ApplyResult, ClusterBackend, LinkFaultPlan, MemoryLink, OtpCluster, ReplEnvelope, ReplFrame,
+    ReplicationLink, ReplicationMode, StandbyNode,
+};
 pub use snapshot::{recover, RecoverError, RecoveredState, RecoveryReport};
 pub use wal::{decode_stream, PairingImage, WalRecord, WalTail};
 
@@ -99,6 +104,13 @@ pub trait StorageBackend: Send + Sync {
 
     /// Read the current snapshot blob, if one exists.
     fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Remove the snapshot blob entirely (a replication resync wipes the
+    /// standby before replaying the primary's state). Absence is not an
+    /// error.
+    fn clear_snapshot(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
 
     /// Discard bytes appended but not yet synced (called after a failed
     /// append so a detected short write cannot poison the stream).

@@ -332,11 +332,11 @@ const PAIR_TOTP: u8 = 1;
 const PAIR_SMS: u8 = 2;
 const PAIR_STATIC: u8 = 3;
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -524,15 +524,23 @@ impl WalRecord {
 // Payload decoding
 // ---------------------------------------------------------------------
 
-/// Bounds-checked cursor over a payload.
-struct Reader<'a> {
+/// Bounds-checked cursor over a payload (shared with the replication
+/// frame codec).
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, pos: 0 }
+    }
+
+    /// Everything after the cursor, consuming it.
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
+        let s = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        s
     }
 
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
@@ -545,7 +553,7 @@ impl<'a> Reader<'a> {
         Some(s)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|b| b[0])
     }
 
@@ -562,7 +570,7 @@ impl<'a> Reader<'a> {
             .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }

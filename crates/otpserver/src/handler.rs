@@ -14,6 +14,7 @@
 //! treated as a direct single-shot validation (some SSH/SFTP clients send
 //! the token concatenated this way).
 
+use crate::durability::OtpCluster;
 use crate::server::{LinotpServer, SmsTrigger};
 use hpcmfa_otp::clock::Clock;
 use hpcmfa_radius::attribute::{Attribute, AttributeType};
@@ -39,6 +40,11 @@ pub struct OtpRadiusHandler {
     server: Arc<LinotpServer>,
     clock: Arc<dyn Clock>,
     challenge_counter: AtomicU64,
+    /// Replicated storage, when the deployment runs a warm standby. The
+    /// handler is the failover trigger point: requests arrive here with
+    /// no store locks held, so a due promotion can safely reload the
+    /// server from the new primary before the request proceeds.
+    cluster: Option<Arc<OtpCluster>>,
 }
 
 impl OtpRadiusHandler {
@@ -48,6 +54,24 @@ impl OtpRadiusHandler {
             server,
             clock,
             challenge_counter: AtomicU64::new(0),
+            cluster: None,
+        })
+    }
+
+    /// Like [`OtpRadiusHandler::new`], but backed by a replicated storage
+    /// cluster: when the primary's circuit breaker opens, the next request
+    /// promotes the warm standby before being served.
+    pub fn with_cluster(
+        server: Arc<LinotpServer>,
+        clock: Arc<dyn Clock>,
+        cluster: Arc<OtpCluster>,
+    ) -> Arc<Self> {
+        cluster.attach_server(Arc::clone(&server));
+        Arc::new(OtpRadiusHandler {
+            server,
+            clock,
+            challenge_counter: AtomicU64::new(0),
+            cluster: Some(cluster),
         })
     }
 
@@ -75,6 +99,11 @@ impl OtpRadiusHandler {
 
 impl Handler for OtpRadiusHandler {
     fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision {
+        // Failover safe point: promote a due standby before touching the
+        // store (the promotion reloads the server's working set).
+        if let Some(cluster) = &self.cluster {
+            cluster.maybe_failover(self.clock.now());
+        }
         let Some(username) = request.text(AttributeType::UserName) else {
             return ServerDecision::Discard;
         };

@@ -34,8 +34,10 @@ pub mod sms;
 pub mod store;
 
 pub use durability::{
-    recover, DurabilityCounters, FileBackend, MemoryBackend, Persistence, RecoverError,
-    RecoveryReport, StorageBackend, StorageError, StorageFaultPlan,
+    recover, ApplyResult, ClusterBackend, DurabilityCounters, FileBackend, LinkFaultPlan,
+    MemoryBackend, MemoryLink, OtpCluster, Persistence, RecoverError, RecoveryReport, ReplEnvelope,
+    ReplFrame, ReplicationLink, ReplicationMode, StandbyNode, StorageBackend, StorageError,
+    StorageFaultPlan,
 };
 pub use handler::OtpRadiusHandler;
 pub use overload::{AdmissionController, OverloadConfig, ShedReason};

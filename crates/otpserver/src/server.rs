@@ -210,6 +210,20 @@ impl LinotpServer {
             )));
         };
         p.backend().simulate_crash();
+        self.reload_from_storage()
+    }
+
+    /// Rebuild the in-memory store and audit log from durable state
+    /// without crashing the backend first. A replication failover calls
+    /// this after promoting the standby: the backend now routes to the
+    /// new primary, so the server's working set must be re-read from it.
+    /// In-place so shared handles (RADIUS handler, admin API) survive.
+    pub fn reload_from_storage(&self) -> Result<RecoveryReport, RecoverError> {
+        let Some(p) = &self.persistence else {
+            return Err(RecoverError::Storage(crate::durability::StorageError::Io(
+                "no storage backend attached".into(),
+            )));
+        };
         self.store.clear();
         self.audit.clear();
         let state = recover(p.backend())?;

@@ -235,3 +235,102 @@ fn torn_tail_at_every_byte_recovers_by_truncation() {
     // sweeps — so no per-byte server rebuild is needed here.
     let _ = facts;
 }
+
+#[test]
+fn segmented_file_backend_crash_after_every_append_preserves_invariants() {
+    let backend = MemoryBackend::healthy();
+    let facts = run_script(&backend);
+    let wal = backend.durable_wal();
+
+    let dir = std::env::temp_dir().join(format!("hpcmfa-crash-sweep-seg-{}", std::process::id()));
+    for &cut in &frame_boundaries(&wal) {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // The same bytes, but spread across sealed segments plus an
+        // active tail, as a rotating writer would have left them —
+        // frames may straddle segment files; replay order must hold.
+        let bytes = &wal[..cut];
+        let chunk = 700usize;
+        let mut seq = 0usize;
+        let mut pos = 0usize;
+        loop {
+            let end = (pos + chunk).min(bytes.len());
+            let name = if seq == 0 {
+                "wal.log".to_string()
+            } else {
+                format!("wal.{seq}.log")
+            };
+            std::fs::write(dir.join(name), &bytes[pos..end]).unwrap();
+            pos = end;
+            seq += 1;
+            if pos >= bytes.len() {
+                break;
+            }
+        }
+        let file_backend = FileBackend::open_with_rotation(&dir, chunk as u64).unwrap();
+        let srv = durable_server(file_backend as Arc<dyn StorageBackend>);
+        assert_invariants(&srv, &facts, cut);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The snapshot rename window: a crash after the tmp file was fully
+/// written but before the rename (or before the directory entry was
+/// fsynced) must leave the previous durable snapshot + WAL in force,
+/// and reopening sweeps the orphaned tmp.
+#[test]
+fn snapshot_rename_window_is_swept_on_reopen() {
+    let dir = std::env::temp_dir().join(format!("hpcmfa-crash-sweep-tmp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A compacting server: snapshots replace the WAL every few appends.
+    let backend = FileBackend::open(&dir).unwrap();
+    let srv = LinotpServer::with_storage(
+        TwilioSim::new(9),
+        41,
+        ServerConfig {
+            snapshot_every_appends: 8,
+            ..ServerConfig::default()
+        },
+        backend as Arc<dyn StorageBackend>,
+    )
+    .expect("durable server recovers at startup");
+    let mut t = 1_480_000_000u64;
+    let alice = SoftToken::new(srv.enroll_soft("alice", t), TotpParams::default());
+    let mut last = (String::new(), 0u64);
+    for _ in 0..12 {
+        t += 30;
+        let code = alice.displayed_code(t);
+        assert_eq!(srv.validate("alice", &code, t), ValidationOutcome::Success);
+        last = (code, t);
+    }
+    assert!(
+        dir.join("snapshot.bin").exists(),
+        "compaction produced a durable snapshot"
+    );
+    drop(srv);
+
+    // Crash inside the rename window: the next snapshot reached the tmp
+    // name but never replaced the durable one.
+    std::fs::write(dir.join("snapshot.bin.tmp"), b"half-written snapshot").unwrap();
+    let backend = FileBackend::open(&dir).unwrap();
+    assert!(
+        !dir.join("snapshot.bin.tmp").exists(),
+        "reopen sweeps the orphaned tmp"
+    );
+    let srv = durable_server(backend as Arc<dyn StorageBackend>);
+    let (code, at) = last;
+    assert_ne!(
+        srv.validate("alice", &code, at),
+        ValidationOutcome::Success,
+        "replay nullification survives the rename-window crash"
+    );
+    let fresh = alice.displayed_code(at + 300);
+    assert_eq!(
+        srv.validate("alice", &fresh, at + 300),
+        ValidationOutcome::Success,
+        "the recovered server keeps serving"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -131,6 +131,13 @@ impl CircuitBreaker {
     /// streak; trip the breaker when the threshold is reached, and re-open
     /// immediately when a half-open probe fails.
     pub fn record_failure(&self, now_us: u64) {
+        self.record_failure_opened(now_us);
+    }
+
+    /// Like [`CircuitBreaker::record_failure`], but reports whether *this*
+    /// failure tripped the breaker open — the edge a caller reacts to
+    /// exactly once (the OTP replication layer schedules a failover on it).
+    pub fn record_failure_opened(&self, now_us: u64) -> bool {
         let mut core = self.core.lock();
         core.streak = core.streak.saturating_add(1);
         let trip = match core.state {
@@ -143,6 +150,7 @@ impl CircuitBreaker {
             core.open_until_us = now_us + self.config.cooldown_us;
             core.opened_count += 1;
         }
+        trip
     }
 }
 

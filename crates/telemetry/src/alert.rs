@@ -530,6 +530,9 @@ pub fn default_security_rules() -> Vec<Rule> {
         event_rate("wal_fsync_degraded", "wal_fsync_degraded", 300, 1, 300),
         event_rate("risk_deny_surge", "risk_deny", 600, 3, 600),
         event_rate("risk_step_up_surge", "risk_step_up", 600, 10, 600),
+        // Any OTP failover is page-worthy: redundancy is gone until the
+        // deposed node rejoins as the new standby.
+        event_rate("otp_failover", "failover", 600, 1, 600),
         // Shedding is watched on its own counter family (summed over
         // every `reason` label) so the rule sees the aggregate pressure.
         Rule {

@@ -50,6 +50,9 @@ pub enum SecurityEventKind {
     /// The OTP-server admission controller shed a request under
     /// overload (rate limit, unauthenticated flood, or full queue).
     OverloadShed,
+    /// An OTP standby was promoted to primary (replication failover):
+    /// the epoch advanced and the deposed node is fenced.
+    Failover,
 }
 
 impl SecurityEventKind {
@@ -67,11 +70,12 @@ impl SecurityEventKind {
             SecurityEventKind::RiskStepUp => "risk_step_up",
             SecurityEventKind::RiskDeny => "risk_deny",
             SecurityEventKind::OverloadShed => "overload_shed",
+            SecurityEventKind::Failover => "failover",
         }
     }
 
     /// Every kind, in declaration order (for exhaustive reports).
-    pub fn all() -> [SecurityEventKind; 9] {
+    pub fn all() -> [SecurityEventKind; 10] {
         [
             SecurityEventKind::AuthFailureBurst,
             SecurityEventKind::LockoutStorm,
@@ -82,6 +86,7 @@ impl SecurityEventKind {
             SecurityEventKind::RiskStepUp,
             SecurityEventKind::RiskDeny,
             SecurityEventKind::OverloadShed,
+            SecurityEventKind::Failover,
         ]
     }
 }
@@ -274,9 +279,10 @@ mod tests {
     fn labels_are_stable_and_distinct() {
         let labels: std::collections::BTreeSet<_> =
             SecurityEventKind::all().iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), 9);
+        assert_eq!(labels.len(), 10);
         assert_eq!(SecurityEventKind::ReplayAttempt.label(), "replay_attempt");
         assert_eq!(SecurityEventKind::RiskDeny.label(), "risk_deny");
         assert_eq!(SecurityEventKind::OverloadShed.label(), "overload_shed");
+        assert_eq!(SecurityEventKind::Failover.label(), "failover");
     }
 }

@@ -14,8 +14,9 @@
 //! Everything is virtual-time and seeded: the same script and seed yield
 //! byte-identical reports.
 
-use hpcmfa_core::center::{Center, CenterConfig};
-use hpcmfa_otpserver::{MemoryBackend, StorageBackend};
+use hpcmfa_core::center::{Center, CenterConfig, OtpReplicationParams};
+use hpcmfa_otp::clock::Clock;
+use hpcmfa_otpserver::{MemoryBackend, ReplicationMode, SmsProvider, StorageBackend};
 use hpcmfa_pam::modules::token::EnforcementMode;
 use hpcmfa_radius::breaker::BreakerConfig;
 use hpcmfa_radius::client::{RetryPolicy, ServerHealthSnapshot};
@@ -57,6 +58,37 @@ pub enum FaultAction {
     /// [`ChaosParams::durable_otp`]; firing it against an in-memory-only
     /// center is a script bug and panics.
     OtpCrashRestart,
+    /// Kill the replicated OTP primary's storage node (it stays down
+    /// until [`FaultAction::OtpDeposedRejoin`]). Durable appends start
+    /// failing, the cluster breaker opens, and the next RADIUS request
+    /// promotes the warm standby. The `server` index is ignored.
+    /// Requires [`ChaosParams::replicated_otp`].
+    OtpPrimaryCrash,
+    /// Partition (`on: true`) or heal (`on: false`) the replication
+    /// link. In sync mode a partition makes the primary refuse to
+    /// acknowledge writes (fail-safe denial) without ever tripping the
+    /// breaker — a partition alone must not cause a split-brain
+    /// promotion. Requires [`ChaosParams::replicated_otp`].
+    OtpReplicationPartition {
+        /// `true` severs the link, `false` heals it.
+        on: bool,
+    },
+    /// Hold back the newest `frames` frames on the replication link so
+    /// the standby applies at a lag (0 clears). Requires
+    /// [`ChaosParams::replicated_otp`].
+    OtpReplicationLag {
+        /// Frames held back from delivery.
+        frames: u64,
+    },
+    /// Operator-initiated failover: promote the warm standby
+    /// immediately, bumping the epoch and fencing the old primary.
+    /// Requires [`ChaosParams::replicated_otp`].
+    OtpFailover,
+    /// Heal the deposed primary's storage, replay its stale frames
+    /// against the epoch fence (all must be rejected), and readmit the
+    /// node as the new warm standby. Requires
+    /// [`ChaosParams::replicated_otp`].
+    OtpDeposedRejoin,
 }
 
 impl FaultAction {
@@ -72,6 +104,11 @@ impl FaultAction {
             FaultAction::Flap { .. } => "flap",
             FaultAction::LatencySpike { .. } => "latency_spike",
             FaultAction::OtpCrashRestart => "otp_crash",
+            FaultAction::OtpPrimaryCrash
+            | FaultAction::OtpReplicationPartition { .. }
+            | FaultAction::OtpReplicationLag { .. }
+            | FaultAction::OtpFailover
+            | FaultAction::OtpDeposedRejoin => "otp_failover",
         }
     }
 }
@@ -149,6 +186,37 @@ impl FaultScript {
         }
         script
     }
+
+    /// Failover scenario: the replicated primary's storage dies a third
+    /// of the way into the stream (mid-batch, with real state in flight),
+    /// the breaker opens and the standby is promoted, then at two thirds
+    /// the deposed node heals, is epoch-fenced, and rejoins as standby.
+    pub fn primary_crash_mid_batch(logins: usize) -> Self {
+        FaultScript::new()
+            .at(logins / 3, 0, FaultAction::OtpPrimaryCrash)
+            .at(2 * logins / 3, 0, FaultAction::OtpDeposedRejoin)
+    }
+
+    /// Failover scenario: the replication link partitions from login
+    /// `start` to login `heal` while the stream (typically including SMS
+    /// fallback users, see [`ChaosParams::sms_users`]) keeps dialing. In
+    /// sync mode the partitioned window is denied fail-safe and — the
+    /// split-brain check — must NOT promote the standby.
+    pub fn partition_during_sms_burst(start: usize, heal: usize) -> Self {
+        FaultScript::new()
+            .at(start, 0, FaultAction::OtpReplicationPartition { on: true })
+            .at(heal, 0, FaultAction::OtpReplicationPartition { on: false })
+    }
+
+    /// Failover scenario: the standby starts lagging `frames` frames at
+    /// login `lag_at`, then an operator forces a promotion at
+    /// `promote_at` — the failover event records the unacked tail the
+    /// lagging standby never applied.
+    pub fn lagging_standby_promotion(lag_at: usize, promote_at: usize, frames: u64) -> Self {
+        FaultScript::new()
+            .at(lag_at, 0, FaultAction::OtpReplicationLag { frames })
+            .at(promote_at, 0, FaultAction::OtpFailover)
+    }
 }
 
 /// Scenario parameters.
@@ -175,6 +243,16 @@ pub struct ChaosParams {
     /// Compaction cadence for the durable OTP server (appends per
     /// snapshot). Ignored unless `durable_otp` is set.
     pub otp_snapshot_every: u64,
+    /// Give the OTP server a warm-standby replication pair (two
+    /// fault-injectable in-memory nodes) in the given ack mode, so the
+    /// `Otp*` failover actions can crash the primary, partition the
+    /// link, and promote the standby mid-stream. Supersedes
+    /// `durable_otp`.
+    pub replicated_otp: Option<ReplicationMode>,
+    /// Of the `users`, how many pair an SMS fallback token instead of a
+    /// soft token (the first `sms_users` of the roster). Their logins
+    /// read the challenge code off the simulated carrier inbox.
+    pub sms_users: usize,
 }
 
 impl Default for ChaosParams {
@@ -189,6 +267,8 @@ impl Default for ChaosParams {
             seed: 0xc4a05,
             durable_otp: false,
             otp_snapshot_every: 256,
+            replicated_otp: None,
+            sms_users: 0,
         }
     }
 }
@@ -231,6 +311,14 @@ pub struct ChaosReport {
     pub otp_records_replayed: u64,
     /// Bytes dropped truncating torn WAL tails during OTP recoveries.
     pub otp_truncated_bytes: u64,
+    /// Replication epoch at the end of the run (0 without replication;
+    /// starts at 1, each promotion bumps it).
+    pub otp_epoch: u64,
+    /// Standby promotions the cluster performed during the run.
+    pub otp_failovers: u64,
+    /// Frames the standby still lagged behind the primary at the end of
+    /// the run.
+    pub otp_replication_lag: u64,
     /// Per-fault-kind outcome breakdown, in a fixed kind order; only
     /// kinds that were active for at least one login appear. A login
     /// under two concurrent kinds is counted under both.
@@ -301,6 +389,13 @@ impl std::fmt::Display for ChaosReport {
                 self.otp_crashes, self.otp_records_replayed, self.otp_truncated_bytes,
             )?;
         }
+        if self.otp_epoch > 0 {
+            writeln!(
+                f,
+                "  otp-ha: epoch {}, {} failovers, {} frames standby lag",
+                self.otp_epoch, self.otp_failovers, self.otp_replication_lag,
+            )?;
+        }
         for (kind, s) in &self.by_fault_kind {
             writeln!(
                 f,
@@ -330,6 +425,13 @@ pub struct ChaosRunner {
     /// [`ChaosParams::durable_otp`] (inspect WAL/snapshot state or dial
     /// in storage faults via its plan).
     pub otp_backend: Option<Arc<MemoryBackend>>,
+    /// The replicated primary's storage node when built with
+    /// [`ChaosParams::replicated_otp`] (the node
+    /// [`FaultAction::OtpPrimaryCrash`] kills).
+    pub otp_primary: Option<Arc<MemoryBackend>>,
+    /// The warm standby's storage node when built with
+    /// [`ChaosParams::replicated_otp`].
+    pub otp_standby: Option<Arc<MemoryBackend>>,
     params: ChaosParams,
     devices: Vec<(String, TokenFn)>,
 }
@@ -339,6 +441,19 @@ impl ChaosRunner {
     /// users, ready to take a login stream.
     pub fn new(params: ChaosParams) -> Self {
         let otp_backend = params.durable_otp.then(MemoryBackend::healthy);
+        let (otp_primary, otp_standby, replication) = match params.replicated_otp {
+            Some(mode) => {
+                let primary = MemoryBackend::healthy();
+                let standby = MemoryBackend::healthy();
+                let p = OtpReplicationParams::new(
+                    mode,
+                    Arc::clone(&primary) as Arc<dyn StorageBackend>,
+                    Arc::clone(&standby) as Arc<dyn StorageBackend>,
+                );
+                (Some(primary), Some(standby), Some(p))
+            }
+            None => (None, None, None),
+        };
         let center = Center::new(CenterConfig {
             radius_servers: params.radius_servers,
             login_nodes: vec!["login1".into()],
@@ -350,32 +465,102 @@ impl ChaosRunner {
                 .as_ref()
                 .map(|b| Arc::clone(b) as Arc<dyn StorageBackend>),
             otp_snapshot_every: params.otp_snapshot_every,
+            otp_replication: replication,
             ..CenterConfig::default()
         });
         let mut devices = Vec::new();
         for i in 0..params.users {
             let name = format!("chaos{i:02}");
             center.create_user(&name, &format!("{name}@utexas.edu"), &format!("{name}-pw"));
-            let token = center.pair_soft(&name);
-            devices.push((
-                name,
-                Arc::new(move |now| Some(token.displayed_code(now))) as TokenFn,
-            ));
+            if i < params.sms_users {
+                let phone = center.pair_sms(&name, &format!("512555{:04}", 1200 + i));
+                let twilio = Arc::clone(&center.twilio);
+                let clock = center.clock.clone();
+                devices.push((
+                    name,
+                    Arc::new(move |_now| {
+                        clock.advance(10); // wait out carrier delivery
+                        twilio
+                            .inbox(&phone, clock.now())
+                            .last()
+                            .map(|m| m.body.rsplit(' ').next().unwrap().to_string())
+                    }) as TokenFn,
+                ));
+            } else {
+                let token = center.pair_soft(&name);
+                devices.push((
+                    name,
+                    Arc::new(move |now| Some(token.displayed_code(now))) as TokenFn,
+                ));
+            }
         }
         ChaosRunner {
             center,
             otp_backend,
+            otp_primary,
+            otp_standby,
             params,
             devices,
         }
     }
 
+    fn cluster(&self) -> &Arc<hpcmfa_otpserver::OtpCluster> {
+        self.center
+            .otp_cluster
+            .as_ref()
+            .expect("Otp failover actions require ChaosParams::replicated_otp")
+    }
+
     fn apply(&self, event: &FaultEvent) {
-        if event.action == FaultAction::OtpCrashRestart {
-            self.center
-                .crash_otp_server()
-                .expect("OTP server recovers from durable state");
-            return;
+        match event.action {
+            FaultAction::OtpCrashRestart => {
+                self.center
+                    .crash_otp_server()
+                    .expect("OTP server recovers from durable state");
+                return;
+            }
+            FaultAction::OtpPrimaryCrash => {
+                self.otp_primary
+                    .as_ref()
+                    .expect("OtpPrimaryCrash requires ChaosParams::replicated_otp")
+                    .set_down(true);
+                return;
+            }
+            FaultAction::OtpReplicationPartition { on } => {
+                let cluster = self.cluster();
+                cluster.link_plan().set_partitioned(on);
+                if !on {
+                    // Drain the healed link deterministically: the first
+                    // pump re-offers the unacked window, the second
+                    // delivers it.
+                    cluster.pump();
+                    cluster.pump();
+                }
+                return;
+            }
+            FaultAction::OtpReplicationLag { frames } => {
+                self.cluster().link_plan().set_lag_frames(frames);
+                return;
+            }
+            FaultAction::OtpFailover => {
+                self.cluster()
+                    .force_promote(self.center.clock.now(), "scripted failover");
+                return;
+            }
+            FaultAction::OtpDeposedRejoin => {
+                if let Some(primary) = &self.otp_primary {
+                    primary.set_down(false);
+                }
+                let cluster = self.cluster();
+                // Every frame the deposed node still held is from an old
+                // epoch: the fence must reject all of them before the
+                // node is readmitted as the new standby.
+                let (offered, rejected) = cluster.rejoin_deposed();
+                assert_eq!(offered, rejected, "stale frames must all be fenced");
+                cluster.rejoin_as_standby();
+                return;
+            }
+            _ => {}
         }
         let faults = &self.center.radius_faults[event.server];
         match event.action {
@@ -385,20 +570,21 @@ impl ChaosRunner {
             FaultAction::GarbleStorm { one_in } => faults.set_garble_every(one_in),
             FaultAction::Flap { period } => faults.set_flap_period(period),
             FaultAction::LatencySpike { extra_us } => faults.set_extra_latency_us(extra_us),
-            FaultAction::OtpCrashRestart => unreachable!("handled above"),
+            _ => unreachable!("handled above"),
         }
     }
 
     /// Replay `script` under a steady login stream and report.
     pub fn run(self, script: &FaultScript) -> ChaosReport {
         // The per-kind breakdown's fixed presentation order.
-        const KIND_ORDER: [&str; 6] = [
+        const KIND_ORDER: [&str; 7] = [
             "outage",
             "packet_loss",
             "garble",
             "flap",
             "latency_spike",
             "otp_crash",
+            "otp_failover",
         ];
         let mut report = ChaosReport {
             logins: self.params.logins,
@@ -410,6 +596,9 @@ impl ChaosRunner {
             otp_crashes: 0,
             otp_records_replayed: 0,
             otp_truncated_bytes: 0,
+            otp_epoch: 0,
+            otp_failovers: 0,
+            otp_replication_lag: 0,
             by_fault_kind: Vec::new(),
             metrics: MetricsSnapshot::default(),
             alerts: Vec::new(),
@@ -420,11 +609,15 @@ impl ChaosRunner {
         let n = self.params.radius_servers;
         let (mut down, mut loss) = (vec![false; n], vec![0u64; n]);
         let (mut garble, mut flap, mut latency) = (vec![0u64; n], vec![0u64; n], vec![0u64; n]);
+        // Replication-link state (partition and lag persist; crash,
+        // forced promotion, and rejoin are one-shot like otp_crash).
+        let (mut repl_partitioned, mut repl_lag) = (false, 0u64);
         let mut kind_stats: std::collections::HashMap<&'static str, FaultKindStats> =
             std::collections::HashMap::new();
         let source_ip = Ipv4Addr::new(70, 112, 50, 3); // external: MFA enforced
         for login in 0..self.params.logins {
             let mut otp_crashed_now = false;
+            let mut ha_event_now = false;
             for event in script.events.iter().filter(|e| e.at_login == login) {
                 self.apply(event);
                 self.center
@@ -445,6 +638,11 @@ impl ChaosRunner {
                         report.otp_crashes += 1;
                         otp_crashed_now = true;
                     }
+                    FaultAction::OtpReplicationPartition { on } => repl_partitioned = on,
+                    FaultAction::OtpReplicationLag { frames } => repl_lag = frames,
+                    FaultAction::OtpPrimaryCrash
+                    | FaultAction::OtpFailover
+                    | FaultAction::OtpDeposedRejoin => ha_event_now = true,
                 }
             }
             let mut active: Vec<&'static str> = Vec::new();
@@ -465,6 +663,9 @@ impl ChaosRunner {
             }
             if otp_crashed_now {
                 active.push("otp_crash");
+            }
+            if repl_partitioned || repl_lag > 0 || ha_event_now {
+                active.push("otp_failover");
             }
             let (user, device) = &self.devices[login % self.devices.len()];
             let device = Arc::clone(device);
@@ -512,6 +713,11 @@ impl ChaosRunner {
         if let Some(counters) = self.center.linotp.durability_counters() {
             report.otp_records_replayed = counters.records_replayed;
             report.otp_truncated_bytes = counters.truncated_bytes;
+        }
+        if let Some(cluster) = &self.center.otp_cluster {
+            report.otp_epoch = cluster.epoch();
+            report.otp_failovers = cluster.failovers();
+            report.otp_replication_lag = cluster.replication_lag();
         }
         report.metrics = self.center.metrics_snapshot();
         report.alerts = self.center.alerts.timeline_lines();
@@ -721,6 +927,94 @@ mod tests {
         let script = FaultScript::periodic_otp_crashes(7, 30);
         let a = ChaosRunner::new(durable(30)).run(&script);
         let b = ChaosRunner::new(durable(30)).run(&script);
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    fn replicated(logins: usize, mode: ReplicationMode) -> ChaosParams {
+        ChaosParams {
+            replicated_otp: Some(mode),
+            ..small(logins)
+        }
+    }
+
+    #[test]
+    fn primary_crash_mid_batch_promotes_and_rejoins() {
+        let script = FaultScript::primary_crash_mid_batch(30);
+        let runner = ChaosRunner::new(replicated(30, ReplicationMode::Sync));
+        let center = Arc::clone(&runner.center);
+        let report = runner.run(&script);
+        assert_eq!(report.otp_failovers, 1, "{report}");
+        assert_eq!(report.otp_epoch, 2, "{report}");
+        // A few dials died with the primary; the stream converged on the
+        // promoted standby.
+        assert!(report.availability() >= 0.9, "{report}");
+        // The failover landed in the event feed and the alert timeline.
+        assert!(
+            report
+                .security_events
+                .iter()
+                .any(|e| e.contains("failover")),
+            "{report}"
+        );
+        assert!(
+            report.alerts.iter().any(|l| l.contains("otp_failover")),
+            "{report}"
+        );
+        // The deposed node was fenced (apply() asserts every stale frame
+        // was rejected) and readmitted as the new warm standby.
+        assert!(
+            center.otp_cluster.as_ref().unwrap().has_standby(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn partition_during_sms_burst_never_promotes() {
+        let mut params = replicated(24, ReplicationMode::Sync);
+        params.sms_users = 2;
+        let script = FaultScript::partition_during_sms_burst(8, 16);
+        let runner = ChaosRunner::new(params);
+        let center = Arc::clone(&runner.center);
+        let report = runner.run(&script);
+        // The split-brain check: a partition alone (local storage still
+        // healthy) must never open the breaker or promote the standby.
+        assert_eq!(report.otp_failovers, 0, "{report}");
+        assert_eq!(report.otp_epoch, 1, "{report}");
+        // Sync mode refuses what the standby can't see: the partitioned
+        // window is denied fail-safe, the healed link restores service.
+        assert!(report.eventual_failures > 0, "{report}");
+        assert!(report.availability() >= 0.5, "{report}");
+        assert_eq!(
+            center.otp_cluster.as_ref().unwrap().replication_lag(),
+            0,
+            "standby caught up after the heal: {report}"
+        );
+    }
+
+    #[test]
+    fn lagging_standby_promotion_records_the_lost_tail() {
+        let script = FaultScript::lagging_standby_promotion(5, 15, 8);
+        let report = ChaosRunner::new(replicated(25, ReplicationMode::Async)).run(&script);
+        assert_eq!(report.otp_failovers, 1, "{report}");
+        assert_eq!(report.otp_epoch, 2, "{report}");
+        // Async mode kept serving through the lag and the promotion.
+        assert!(report.availability() >= 0.9, "{report}");
+        // The forced promotion of a lagging standby records the unacked
+        // tail it never applied.
+        assert!(
+            report
+                .security_events
+                .iter()
+                .any(|e| e.contains("failover") && !e.contains("unacked_frames=0")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn replicated_chaos_deterministic_given_seed() {
+        let script = FaultScript::primary_crash_mid_batch(24);
+        let a = ChaosRunner::new(replicated(24, ReplicationMode::Sync)).run(&script);
+        let b = ChaosRunner::new(replicated(24, ReplicationMode::Sync)).run(&script);
         assert_eq!(format!("{a}"), format!("{b}"));
     }
 }

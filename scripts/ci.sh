@@ -35,6 +35,20 @@ cargo test -q --offline -p hpcmfa-crypto --test hmac_midstate_props
 cargo test -q --offline -p hpcmfa-otpserver --test store_proptests
 cargo test -q --offline -p hpcmfa-otpserver --test concurrency_smoke
 
+echo "==> replication: codec/fence proptests + failover acceptance suite"
+cargo test -q --offline -p hpcmfa-otpserver --test replication_proptests
+cargo test -q --offline --test failover
+
+echo "==> recovery smoke (WAL replay vs population) + BENCH_recovery.json schema"
+cargo build --release --offline -q -p hpcmfa-bench --bin recovery
+./target/release/recovery --users 32,128 --logins 2 \
+    --out target/BENCH_recovery_smoke.json --check >/dev/null
+for key in '"bench":"recovery"' '"runs":' '"wal_records":' \
+    '"recovered_users":' '"replay_secs":'; do
+    grep -q "$key" target/BENCH_recovery_smoke.json \
+        || { echo "BENCH_recovery_smoke.json missing $key"; exit 1; }
+done
+
 echo "==> adversarial harness: attack acceptance suite"
 cargo test -q --offline --test attacks
 
