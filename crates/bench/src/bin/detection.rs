@@ -38,6 +38,7 @@ fn main() {
         AttackScenario::token_phishing(),
         AttackScenario::sms_flood(),
         AttackScenario::slow_and_low(),
+        AttackScenario::token_theft(),
     ];
     let mut reports = Vec::new();
     for scenario in presets {
@@ -45,6 +46,16 @@ fn main() {
         println!("{}", row_named(r.kind, &r));
         reports.push(r);
     }
+
+    // The token-theft run's dedicated signal: the /16 binding on stolen
+    // resumption tokens, which fires where geography cannot.
+    let theft = reports.last().expect("token_theft ran");
+    println!();
+    println!("token theft (stolen resumption token, in-country proxies):");
+    println!(
+        "  replay signals fired:         {} of {} attempts (granted: {})",
+        theft.flagged_resume_replay, theft.attack_attempts, theft.attack_granted
+    );
 
     // The overload acceptance pair: a 12×-benign-rate stuffing storm under
     // tight admission control, against its own no-attack control run.

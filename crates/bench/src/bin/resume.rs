@@ -1,0 +1,281 @@
+//! Session-resumption vs full-OTP login throughput against one
+//! [`LinotpServer`], reporting logins/sec for both paths and writing
+//! `BENCH_resume.json`.
+//!
+//! # What is being compared
+//!
+//! The **full** path is the normal repeat login: a TOTP validation that
+//! scans the ±10-step drift window (21 midstate HMACs) under the user's
+//! shard lock. The **resume** path is the stateless token presented on a
+//! repeat login: one HMAC-SHA256 verify over the ~80-byte token body
+//! (midstate-cached key: one inner + one outer compression), then a
+//! single-use nonce spend in the ledger. Both paths are driven against
+//! the real server code; the resume path runs the exact
+//! validate-then-consume sequence the RADIUS handler uses.
+//!
+//! # Determinism
+//!
+//! Elapsed time is *accounted, not measured*, on the same virtual-clock
+//! convention the throughput and latency benches use: every operation
+//! charges its modeled compute cost, so the same seed prints the same
+//! headline line on any machine. Wall time rides along as a secondary
+//! field. The bench also pins the semantics it claims: every full login
+//! must succeed, every resume spend must be fresh, and the
+//! `hpcmfa_otp_window_scans_total` counter must not move during the
+//! resume phase — resumption never walks the TOTP window.
+
+use hpcmfa_federation::ResumeAuthority;
+use hpcmfa_otp::totp::Totp;
+use hpcmfa_otpserver::server::LinotpServer;
+use hpcmfa_otpserver::sms::TwilioSim;
+use hpcmfa_otpserver::ResumeConsumeOutcome;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+/// Modeled one-core cost of a full TOTP validation (drift window scan —
+/// 21 midstate HMACs — plus shard-lock bookkeeping), µs. Matches the
+/// throughput bench.
+const FULL_COST_US: u64 = 80;
+
+/// Modeled one-core cost of a resumption validation: one midstate-cached
+/// HMAC verify over the token body plus the decode, µs.
+const RESUME_COST_US: u64 = 6;
+
+/// Modeled serialized cost per accepted login (audit ring append, global
+/// counters, and — for resume — the nonce WAL append), µs.
+const SERIAL_COST_US: u64 = 5;
+
+/// TOTP step width.
+const STEP_SECS: u64 = 30;
+
+struct PathResult {
+    total_logins: u64,
+    successes: u64,
+    virtual_elapsed_us: u64,
+    logins_per_sec: f64,
+    wall_elapsed_us: u64,
+    window_scans: u64,
+}
+
+fn json(r: &PathResult) -> String {
+    format!(
+        "{{\"total_logins\":{},\"successes\":{},\"virtual_elapsed_us\":{},\
+\"logins_per_sec\":{:.1},\"wall_elapsed_us\":{},\"window_scans\":{}}}",
+        r.total_logins,
+        r.successes,
+        r.virtual_elapsed_us,
+        r.logins_per_sec,
+        r.wall_elapsed_us,
+        r.window_scans
+    )
+}
+
+fn window_scans(server: &LinotpServer) -> u64 {
+    server
+        .metrics()
+        .snapshot()
+        .counter("hpcmfa_otp_window_scans_total")
+}
+
+/// Repeat logins via full TOTP validation: fresh step per round so every
+/// code is new.
+fn run_full(
+    server: &LinotpServer,
+    enrolled: &[(String, Totp)],
+    logins: u64,
+    t0: u64,
+) -> PathResult {
+    let scans_before = window_scans(server);
+    let wall_start = std::time::Instant::now();
+    let mut ok = 0u64;
+    for round in 0..logins {
+        let now = t0 + (round + 1) * STEP_SECS;
+        for (name, totp) in enrolled {
+            if server.validate(name, &totp.code_at(now), now).is_success() {
+                ok += 1;
+            }
+        }
+    }
+    let total = enrolled.len() as u64 * logins;
+    let virtual_elapsed_us = total * (FULL_COST_US + SERIAL_COST_US);
+    PathResult {
+        total_logins: total,
+        successes: ok,
+        virtual_elapsed_us,
+        logins_per_sec: total as f64 * 1e6 / virtual_elapsed_us as f64,
+        wall_elapsed_us: wall_start.elapsed().as_micros() as u64,
+        window_scans: window_scans(server) - scans_before,
+    }
+}
+
+/// Repeat logins via resumption: tokens are pre-minted (issuance belongs
+/// to the *previous* login), then each presentation runs the handler's
+/// exact sequence — stateless validate, then single-use nonce spend.
+fn run_resume(
+    server: &LinotpServer,
+    authority: &ResumeAuthority,
+    users: usize,
+    logins: u64,
+    t0: u64,
+    seed: u64,
+) -> PathResult {
+    let client = Ipv4Addr::new(70, 10, 50, 3);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e5);
+    let minted: Vec<(String, String)> = (0..logins)
+        .flat_map(|round| {
+            let issued = t0 + round * STEP_SECS;
+            (0..users).map(move |i| (format!("user{i:04}"), issued))
+        })
+        .map(|(name, issued)| {
+            let token = authority.issue(&mut rng, &name, client, issued);
+            (name, token)
+        })
+        .collect();
+
+    let scans_before = window_scans(server);
+    let wall_start = std::time::Instant::now();
+    let mut ok = 0u64;
+    for (i, (name, token)) in minted.iter().enumerate() {
+        let now = t0 + (i as u64 / users as u64 + 1) * STEP_SECS;
+        if let Ok(claims) = authority.validate(token, name, client, now) {
+            let expires = authority.expires_at(claims.issued_step);
+            if server.consume_resume_nonce(name, claims.nonce, expires, now, None)
+                == ResumeConsumeOutcome::Fresh
+            {
+                ok += 1;
+            }
+        }
+    }
+    let total = minted.len() as u64;
+    let virtual_elapsed_us = total * (RESUME_COST_US + SERIAL_COST_US);
+    PathResult {
+        total_logins: total,
+        successes: ok,
+        virtual_elapsed_us,
+        logins_per_sec: total as f64 * 1e6 / virtual_elapsed_us as f64,
+        wall_elapsed_us: wall_start.elapsed().as_micros() as u64,
+        window_scans: window_scans(server) - scans_before,
+    }
+}
+
+fn main() {
+    let mut users = 256usize;
+    let mut logins = 25u64;
+    let mut seed = 42u64;
+    let mut out = "BENCH_resume.json".to_string();
+    let mut check = false;
+
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--users" => {
+                users = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--users needs an integer");
+                i += 2;
+            }
+            "--logins" => {
+                logins = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--logins needs an integer");
+                i += 2;
+            }
+            "--seed" => {
+                seed = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+                i += 2;
+            }
+            "--out" => {
+                out = argv.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --users/--logins/--seed/--out/--check)"
+            ),
+        }
+    }
+
+    eprintln!(
+        "driving {users} users x {logins} repeat logins, full-OTP vs resumption (seed {seed}) ..."
+    );
+    let server = LinotpServer::new(TwilioSim::new(seed), seed);
+    let t0 = 1_700_000_000u64;
+    let enrolled: Vec<(String, Totp)> = (0..users)
+        .map(|i| {
+            let name = format!("user{i:04}");
+            let secret = server.enroll_soft(&name, t0);
+            (name, Totp::new(secret))
+        })
+        .collect();
+    // Lifetime covers the whole bench window so no token expires mid-run.
+    let authority =
+        ResumeAuthority::new(b"bench-resume-key", "tacc", "tacc", logins + 2, STEP_SECS);
+
+    let full = run_full(&server, &enrolled, logins, t0);
+    eprintln!(
+        "  full:   logins/sec={:>10.0} (virtual)  wall={}us  window_scans={}",
+        full.logins_per_sec, full.wall_elapsed_us, full.window_scans
+    );
+    let resume = run_resume(&server, &authority, users, logins, t0, seed);
+    eprintln!(
+        "  resume: logins/sec={:>10.0} (virtual)  wall={}us  window_scans={}",
+        resume.logins_per_sec, resume.wall_elapsed_us, resume.window_scans
+    );
+    let speedup = resume.logins_per_sec / full.logins_per_sec;
+    eprintln!("  speedup: {speedup:.2}x");
+
+    let line = format!(
+        "{{\"bench\":\"resume\",\"seed\":{seed},\"users\":{users},\"logins_per_user\":{logins},\
+\"model\":{{\"full_cost_us\":{FULL_COST_US},\"resume_cost_us\":{RESUME_COST_US},\
+\"serial_cost_us\":{SERIAL_COST_US}}},\
+\"full\":{},\"resume\":{},\"resume_speedup_vs_full\":{speedup:.2}}}",
+        json(&full),
+        json(&resume)
+    );
+    println!("{line}");
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    if check {
+        assert_eq!(
+            full.successes,
+            full.total_logins,
+            "full-OTP path: {} of {} validations failed",
+            full.total_logins - full.successes,
+            full.total_logins
+        );
+        assert_eq!(
+            resume.successes,
+            resume.total_logins,
+            "resume path: {} of {} spends were not fresh",
+            resume.total_logins - resume.successes,
+            resume.total_logins
+        );
+        assert!(
+            full.window_scans == full.total_logins,
+            "every full login scans the window exactly once (got {} for {})",
+            full.window_scans,
+            full.total_logins
+        );
+        assert_eq!(
+            resume.window_scans, 0,
+            "resumption must never walk the TOTP window"
+        );
+        assert!(
+            speedup >= 5.0,
+            "resumption must be >= 5x full-OTP logins/sec, got {speedup:.2}x"
+        );
+        eprintln!("check passed: resumption is O(1), single-use, and >= 5x full OTP");
+    }
+}

@@ -2,6 +2,7 @@
 
 use hpcmfa_directory::identity::{IdentityDb, PairingMethod};
 use hpcmfa_directory::ldap::{Directory, Entry};
+use hpcmfa_federation::{ResumeAuthority, TrustConfig};
 use hpcmfa_otp::clock::{Clock, SimClock};
 use hpcmfa_otp::device::{HardTokenBatch, SoftToken};
 use hpcmfa_otpserver::admin::AdminApi;
@@ -20,7 +21,8 @@ use hpcmfa_pam::modules::token::{DegradationPolicy, EnforcementMode, TokenModule
 use hpcmfa_pam::stack::{ControlFlag, PamStack};
 use hpcmfa_radius::breaker::BreakerConfig;
 use hpcmfa_radius::client::{ClientConfig, RadiusClient, RetryPolicy, ServerHealthSnapshot};
-use hpcmfa_radius::server::RadiusServer;
+use hpcmfa_radius::realm::RealmRouter;
+use hpcmfa_radius::server::{Handler, RadiusServer};
 use hpcmfa_radius::transport::{FaultPlan, InMemoryTransport, Transport};
 use hpcmfa_risk::engine::{RiskEngine, RiskGateModule, RiskWeights};
 use hpcmfa_risk::geo::GeoDb;
@@ -81,6 +83,33 @@ impl OtpReplicationParams {
     }
 }
 
+/// Cross-site federation for a center: realm routing plus stateless
+/// session-resumption tokens.
+#[derive(Clone)]
+pub struct FederationParams {
+    /// This site's home realm and the peers it trusts. Each peer entry
+    /// carries that link's shared RADIUS secret and per-realm policy
+    /// (degradation mode, risk weight). Peers' upstream pools are wired
+    /// after construction with [`Center::connect_peer_realm`].
+    pub trust: TrustConfig,
+    /// Site-local HMAC key protecting resumption tokens. Never shared
+    /// with peers: a token is only redeemable where it was minted.
+    pub resume_key: Vec<u8>,
+    /// Resumption-token lifetime in 30-second TOTP steps.
+    pub resume_lifetime_steps: u64,
+}
+
+impl FederationParams {
+    /// Federation for `trust` with a lifetime of `lifetime_steps` steps.
+    pub fn new(trust: TrustConfig, resume_key: &[u8], resume_lifetime_steps: u64) -> Self {
+        FederationParams {
+            trust,
+            resume_key: resume_key.to_vec(),
+            resume_lifetime_steps,
+        }
+    }
+}
+
 /// Deployment parameters.
 #[derive(Clone)]
 pub struct CenterConfig {
@@ -136,6 +165,11 @@ pub struct CenterConfig {
     /// primary's breaker opens. `None` (the default) keeps the
     /// single-node layout.
     pub otp_replication: Option<OtpReplicationParams>,
+    /// Cross-site federation. `Some` fronts every RADIUS server with a
+    /// realm router (`user@site` principals route to their home realm)
+    /// and enables session-resumption token issuance on full-MFA logins.
+    /// `None` (the default) keeps the single-site layout.
+    pub federation: Option<FederationParams>,
 }
 
 impl Default for CenterConfig {
@@ -158,6 +192,7 @@ impl Default for CenterConfig {
             risk: None,
             otp_overload: None,
             otp_replication: None,
+            federation: None,
         }
     }
 }
@@ -210,6 +245,13 @@ pub struct Center {
     /// [`CenterConfig::otp_replication`] is set: epoch, lag, and
     /// promotion controls for chaos scripts and operators.
     pub otp_cluster: Option<Arc<OtpCluster>>,
+    /// The realm routers fronting each RADIUS server, when
+    /// [`CenterConfig::federation`] is set. Index-aligned with
+    /// `radius_servers`.
+    pub realm_routers: Vec<Arc<RealmRouter>>,
+    /// The fleet's transports, exposed so peer sites can build their
+    /// cross-realm upstream pools against this center.
+    radius_transports: Vec<Arc<dyn Transport>>,
     /// Exemption file text lines added beyond the internal-network rule,
     /// mirrored to every node.
     exemption_lines: Mutex<Vec<String>>,
@@ -282,9 +324,12 @@ impl Center {
             Arc::clone(&clock_arc),
         );
 
-        // RADIUS fleet.
+        // RADIUS fleet. With federation, a realm router fronts each
+        // server's OTP handler: home traffic is stripped and served
+        // locally, peer realms are proxied to their own upstream pools.
         let mut radius_faults = Vec::new();
         let mut radius_servers = Vec::new();
+        let mut realm_routers = Vec::new();
         let mut transports: Vec<Arc<dyn Transport>> = Vec::new();
         for i in 0..config.radius_servers {
             let handler = match &otp_cluster {
@@ -295,7 +340,33 @@ impl Center {
                 ),
                 None => OtpRadiusHandler::new(Arc::clone(&linotp), Arc::clone(&clock_arc)),
             };
-            let server = Arc::new(RadiusServer::new(config.radius_secret.clone(), handler));
+            let front: Arc<dyn Handler> = match &config.federation {
+                Some(fed) => {
+                    // Distinct nonce streams per handler: the fleet is
+                    // load-balanced, and two handlers at the same RNG
+                    // position would mint colliding nonces.
+                    handler.attach_resume(
+                        ResumeAuthority::new(
+                            &fed.resume_key,
+                            &fed.trust.home_realm,
+                            &fed.trust.home_realm,
+                            fed.resume_lifetime_steps,
+                            30,
+                        ),
+                        config.seed ^ 0xfed0 ^ (i as u64) << 8,
+                    );
+                    let router = Arc::new(RealmRouter::new(
+                        fed.trust.clone(),
+                        handler,
+                        config.seed ^ 0xfed1 ^ (i as u64) << 8,
+                        Arc::clone(&config.metrics),
+                    ));
+                    realm_routers.push(Arc::clone(&router));
+                    router
+                }
+                None => handler,
+            };
+            let server = Arc::new(RadiusServer::new(config.radius_secret.clone(), front));
             let faults = FaultPlan::healthy();
             transports.push(Arc::new(InMemoryTransport::new(
                 &format!("radius{i}"),
@@ -401,6 +472,8 @@ impl Center {
             alerts,
             risk_engine,
             otp_cluster,
+            realm_routers,
+            radius_transports: transports,
             exemption_lines: Mutex::new(Vec::new()),
         })
     }
@@ -553,6 +626,45 @@ impl Center {
     /// Per-RADIUS-server health as seen from login node `node_idx`.
     pub fn radius_health(&self, node_idx: usize) -> Vec<ServerHealthSnapshot> {
         self.nodes[node_idx].radius_client.server_health()
+    }
+
+    /// The fleet's transports, for peer sites building cross-realm pools.
+    pub fn radius_transports(&self) -> Vec<Arc<dyn Transport>> {
+        self.radius_transports.clone()
+    }
+
+    /// Wire `peer` as the upstream for `realm`: every realm router in
+    /// this center gets a dedicated [`RadiusClient`] over the peer's
+    /// fleet, keyed with the shared secret from this site's trust config.
+    /// The realm must appear in the trust ACL (the secret comes from its
+    /// peer entry) and this center must be federated.
+    pub fn connect_peer_realm(&self, realm: &str, peer: &Center) {
+        let fed = self
+            .config
+            .federation
+            .as_ref()
+            .expect("connect_peer_realm on a non-federated center");
+        let secret = fed
+            .trust
+            .peer(realm)
+            .unwrap_or_else(|| panic!("realm {realm} not in the trust ACL"))
+            .secret
+            .clone();
+        let mut client_config =
+            ClientConfig::new(secret, &format!("{}-to-{realm}", fed.trust.home_realm));
+        client_config.retry = self.config.retry.clone();
+        client_config.breaker = self.config.breaker;
+        // One pool per realm, shared by all routers: its per-server
+        // breakers are this realm's breakers, independent of every other
+        // realm's pool and of the local fleet's clients.
+        let upstream = Arc::new(RadiusClient::with_metrics(
+            client_config,
+            peer.radius_transports(),
+            Arc::clone(&self.config.metrics),
+        ));
+        for router in &self.realm_routers {
+            router.add_route(realm, Arc::clone(&upstream));
+        }
     }
 
     /// Kill the OTP server mid-stream and bring it back from durable

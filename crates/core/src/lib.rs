@@ -12,6 +12,6 @@
 
 pub mod center;
 
-pub use center::{Center, CenterConfig, LoginNode};
+pub use center::{Center, CenterConfig, FederationParams, LoginNode};
 
 pub use hpcmfa_otp::clock::{Clock, SimClock};

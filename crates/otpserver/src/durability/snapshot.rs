@@ -78,6 +78,10 @@ pub struct RecoveredState {
     pub audit_entries: Vec<AuditEntry>,
     /// The audit ring's dropped-entry counter at snapshot time.
     pub audit_dropped: u64,
+    /// Consumed resumption-token nonces → ledger expiry. Single-use
+    /// enforcement survives the crash because this map is rebuilt from
+    /// the snapshot and every replayed `ResumeConsume` record.
+    pub resume_consumed: BTreeMap<[u8; 16], u64>,
     /// What happened.
     pub report: RecoveryReport,
 }
@@ -87,6 +91,7 @@ pub fn encode_snapshot(
     users: &BTreeMap<String, UserTokenRecord>,
     audit_entries: &[AuditEntry],
     audit_dropped: u64,
+    resume_consumed: &BTreeMap<[u8; 16], u64>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     for (user, rec) in users {
@@ -95,22 +100,38 @@ pub fn encode_snapshot(
     for entry in audit_entries {
         out.extend_from_slice(&WalRecord::audit(entry).encode_frame());
     }
+    for (nonce, expires_at) in resume_consumed {
+        out.extend_from_slice(
+            &WalRecord::ResumeConsume {
+                user: String::new(),
+                nonce: *nonce,
+                expires_at: *expires_at,
+            }
+            .encode_frame(),
+        );
+    }
     out.extend_from_slice(
         &WalRecord::SnapshotSeal {
             users: users.len() as u64,
             audits: audit_entries.len() as u64,
             audit_dropped,
+            resumes: resume_consumed.len() as u64,
         }
         .encode_frame(),
     );
     out
 }
 
-/// Convenience: snapshot a live store + audit log (used by compaction).
-pub fn snapshot_live(store: &crate::store::TokenStore, audit: &AuditLog) -> Vec<u8> {
+/// Convenience: snapshot a live store + audit log + resume ledger (used
+/// by compaction).
+pub fn snapshot_live(
+    store: &crate::store::TokenStore,
+    audit: &AuditLog,
+    resume_consumed: &BTreeMap<[u8; 16], u64>,
+) -> Vec<u8> {
     let users = store.export_all();
     let entries = audit.export_all();
-    encode_snapshot(&users, &entries, audit.dropped())
+    encode_snapshot(&users, &entries, audit.dropped(), resume_consumed)
 }
 
 /// What a valid snapshot blob decodes to.
@@ -118,6 +139,7 @@ struct DecodedSnapshot {
     users: BTreeMap<String, UserTokenRecord>,
     audits: Vec<AuditEntry>,
     audit_dropped: u64,
+    resume_consumed: BTreeMap<[u8; 16], u64>,
     skipped: usize,
 }
 
@@ -131,12 +153,14 @@ fn decode_snapshot(bytes: &[u8]) -> Result<DecodedSnapshot, RecoverError> {
         users: want_users,
         audits: want_audits,
         audit_dropped,
+        resumes: want_resumes,
     }) = records.last().cloned()
     else {
         return Err(RecoverError::SnapshotCorrupt);
     };
     let mut users = BTreeMap::new();
     let mut audits = Vec::new();
+    let mut resume_consumed = BTreeMap::new();
     let mut skipped = 0usize;
     for rec in &records[..records.len() - 1] {
         match rec {
@@ -177,6 +201,11 @@ fn decode_snapshot(bytes: &[u8]) -> Result<DecodedSnapshot, RecoverError> {
                     detail: detail.clone(),
                 });
             }
+            WalRecord::ResumeConsume {
+                nonce, expires_at, ..
+            } => {
+                resume_consumed.insert(*nonce, *expires_at);
+            }
             // Anything else inside a snapshot is a writer bug or damage.
             _ => return Err(RecoverError::SnapshotCorrupt),
         }
@@ -186,6 +215,7 @@ fn decode_snapshot(bytes: &[u8]) -> Result<DecodedSnapshot, RecoverError> {
     // against decoded + skipped.
     if users.len() + skipped_users(&records) != want_users as usize
         || audits.len() + skipped_audits(&records) != want_audits as usize
+        || resume_consumed.len() != want_resumes as usize
     {
         return Err(RecoverError::SnapshotCorrupt);
     }
@@ -193,6 +223,7 @@ fn decode_snapshot(bytes: &[u8]) -> Result<DecodedSnapshot, RecoverError> {
         users,
         audits,
         audit_dropped,
+        resume_consumed,
         skipped,
     })
 }
@@ -220,6 +251,7 @@ fn skipped_audits(records: &[WalRecord]) -> usize {
 fn apply(
     users: &mut BTreeMap<String, UserTokenRecord>,
     audits: &mut Vec<AuditEntry>,
+    resume_consumed: &mut BTreeMap<[u8; 16], u64>,
     rec: &WalRecord,
 ) -> bool {
     match rec {
@@ -315,6 +347,15 @@ fn apply(
             }
             None => false,
         },
+        WalRecord::ResumeConsume {
+            nonce, expires_at, ..
+        } => {
+            // Max-merge like `last_step`: a nonce can never un-consume,
+            // and its ledger retention only ever extends.
+            let slot = resume_consumed.entry(*nonce).or_insert(*expires_at);
+            *slot = (*slot).max(*expires_at);
+            true
+        }
         // Snapshot-only records inside the WAL are skipped, not fatal.
         WalRecord::SnapshotUser { .. } | WalRecord::SnapshotSeal { .. } => false,
     }
@@ -333,16 +374,22 @@ fn merge_last_step(pairing: &mut TokenPairing, step: u64) {
 pub fn recover(backend: &Arc<dyn StorageBackend>) -> Result<RecoveredState, RecoverError> {
     let mut report = RecoveryReport::default();
 
-    let (mut users, mut audits, audit_dropped) = match backend.read_snapshot()? {
-        Some(bytes) => {
-            let snap = decode_snapshot(&bytes)?;
-            report.snapshot_users = snap.users.len();
-            report.snapshot_audits = snap.audits.len();
-            report.skipped_records += snap.skipped;
-            (snap.users, snap.audits, snap.audit_dropped)
-        }
-        None => (BTreeMap::new(), Vec::new(), 0),
-    };
+    let (mut users, mut audits, audit_dropped, mut resume_consumed) =
+        match backend.read_snapshot()? {
+            Some(bytes) => {
+                let snap = decode_snapshot(&bytes)?;
+                report.snapshot_users = snap.users.len();
+                report.snapshot_audits = snap.audits.len();
+                report.skipped_records += snap.skipped;
+                (
+                    snap.users,
+                    snap.audits,
+                    snap.audit_dropped,
+                    snap.resume_consumed,
+                )
+            }
+            None => (BTreeMap::new(), Vec::new(), 0, BTreeMap::new()),
+        };
 
     let wal = backend.read_wal()?;
     let (records, tail) = decode_stream(&wal);
@@ -350,7 +397,7 @@ pub fn recover(backend: &Arc<dyn StorageBackend>) -> Result<RecoveredState, Reco
     report.wal_bytes = tail.valid_len(wal.len());
     report.truncated_bytes = wal.len() - report.wal_bytes;
     for rec in &records {
-        if apply(&mut users, &mut audits, rec) {
+        if apply(&mut users, &mut audits, &mut resume_consumed, rec) {
             report.wal_records += 1;
         } else {
             report.skipped_records += 1;
@@ -364,6 +411,7 @@ pub fn recover(backend: &Arc<dyn StorageBackend>) -> Result<RecoveredState, Reco
         users,
         audit_entries: audits,
         audit_dropped,
+        resume_consumed,
         report,
     })
 }
@@ -524,8 +572,18 @@ mod tests {
             success: true,
             detail: "soft".into(),
         }];
-        let snap = encode_snapshot(&users, &audit, 7);
+        let mut consumed = BTreeMap::new();
+        consumed.insert([3u8; 16], 1_700_000_630u64);
+        let snap = encode_snapshot(&users, &audit, 7, &consumed);
         let mut wal = Vec::new();
+        wal.extend_from_slice(
+            &WalRecord::ResumeConsume {
+                user: "alice".into(),
+                nonce: [9u8; 16],
+                expires_at: 1_700_000_990,
+            }
+            .encode_frame(),
+        );
         wal.extend_from_slice(
             &WalRecord::ValState {
                 user: "alice".into(),
@@ -545,6 +603,9 @@ mod tests {
         };
         assert_eq!(*last_step, Some(95));
         assert_eq!(state.users["alice"].fail_count, 0);
+        // Both the snapshotted and the WAL-replayed nonce survive.
+        assert_eq!(state.resume_consumed.get(&[3u8; 16]), Some(&1_700_000_630));
+        assert_eq!(state.resume_consumed.get(&[9u8; 16]), Some(&1_700_000_990));
     }
 
     #[test]
@@ -558,7 +619,7 @@ mod tests {
                 active: true,
             },
         );
-        let mut snap = encode_snapshot(&users, &[], 0);
+        let mut snap = encode_snapshot(&users, &[], 0, &BTreeMap::new());
         let mid = snap.len() / 2;
         snap[mid] ^= 0x40;
         let b: Arc<dyn StorageBackend> = MemoryBackend::with_contents(Vec::new(), Some(snap));

@@ -239,6 +239,20 @@ pub enum WalRecord {
         /// Free-form detail.
         detail: String,
     },
+    /// A session-resumption token's single-use nonce was consumed.
+    /// Appended (and fsynced) before the accept is acknowledged, so
+    /// replaying the WAL rebuilds the nonce ledger and a stolen token
+    /// replayed after a crash or failover is still denied.
+    ResumeConsume {
+        /// Account that presented the token (forensic context only; the
+        /// ledger keys on the nonce).
+        user: String,
+        /// The token's 128-bit nonce.
+        nonce: [u8; 16],
+        /// When the token's stateless expiry takes over and the ledger
+        /// may forget this nonce.
+        expires_at: u64,
+    },
     /// Snapshot-only: one user's full record.
     SnapshotUser {
         /// Account.
@@ -259,6 +273,8 @@ pub enum WalRecord {
         audits: u64,
         /// Audit entries dropped by the retention ring before the snapshot.
         audit_dropped: u64,
+        /// Consumed resumption-nonce records in the snapshot.
+        resumes: u64,
     },
 }
 
@@ -327,6 +343,7 @@ const TAG_SMS_CLEAR: u8 = 6;
 const TAG_AUDIT: u8 = 7;
 const TAG_SNAP_USER: u8 = 8;
 const TAG_SNAP_SEAL: u8 = 9;
+const TAG_RESUME_CONSUME: u8 = 10;
 
 const PAIR_TOTP: u8 = 1;
 const PAIR_SMS: u8 = 2;
@@ -495,15 +512,27 @@ impl WalRecord {
                 put_u32(&mut out, *fail_count);
                 out.push(u8::from(*active));
             }
+            WalRecord::ResumeConsume {
+                user,
+                nonce,
+                expires_at,
+            } => {
+                out.push(TAG_RESUME_CONSUME);
+                put_str(&mut out, user);
+                out.extend_from_slice(nonce);
+                put_u64(&mut out, *expires_at);
+            }
             WalRecord::SnapshotSeal {
                 users,
                 audits,
                 audit_dropped,
+                resumes,
             } => {
                 out.push(TAG_SNAP_SEAL);
                 put_u64(&mut out, *users);
                 put_u64(&mut out, *audits);
                 put_u64(&mut out, *audit_dropped);
+                put_u64(&mut out, *resumes);
             }
         }
         out
@@ -573,6 +602,10 @@ impl<'a> Reader<'a> {
     pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn fixed16(&mut self) -> Option<[u8; 16]> {
+        self.take(16).map(|b| b.try_into().unwrap())
     }
 
     fn i64(&mut self) -> Option<i64> {
@@ -690,6 +723,12 @@ impl WalRecord {
                 users: r.u64()?,
                 audits: r.u64()?,
                 audit_dropped: r.u64()?,
+                resumes: r.u64()?,
+            },
+            TAG_RESUME_CONSUME => WalRecord::ResumeConsume {
+                user: r.string()?,
+                nonce: r.fixed16()?,
+                expires_at: r.u64()?,
             },
             _ => return None,
         };
@@ -813,6 +852,11 @@ mod tests {
             },
             WalRecord::Remove {
                 user: "dave".into(),
+            },
+            WalRecord::ResumeConsume {
+                user: "alice".into(),
+                nonce: [7u8; 16],
+                expires_at: 1_700_000_630,
             },
         ]
     }

@@ -15,11 +15,17 @@
 //! the token concatenated this way).
 
 use crate::durability::OtpCluster;
-use crate::server::{LinotpServer, SmsTrigger};
+use crate::server::{LinotpServer, ResumeConsumeOutcome, SmsTrigger};
+use hpcmfa_federation::{ResumeAuthority, TokenError};
 use hpcmfa_otp::clock::Clock;
 use hpcmfa_radius::attribute::{Attribute, AttributeType};
 use hpcmfa_radius::packet::Packet;
 use hpcmfa_radius::server::{Handler, ServerDecision};
+use hpcmfa_telemetry::{SecurityEventKind, TraceId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -35,6 +41,16 @@ pub const SMS_ALREADY_SENT_MSG: &str = "SMS already sent; code still valid. TACC
 /// Reject message — deliberately uninformative to outsiders.
 pub const AUTH_ERROR_MSG: &str = "Authentication error";
 
+pub use hpcmfa_federation::RESUME_REPLY_PREFIX;
+
+/// Resumption-token issuing/validating state, attached when the site
+/// participates in federation with session resumption enabled.
+struct ResumeState {
+    authority: ResumeAuthority,
+    /// Deterministic nonce source (seeded at attach time).
+    rng: StdRng,
+}
+
 /// The OTP-validating RADIUS handler.
 pub struct OtpRadiusHandler {
     server: Arc<LinotpServer>,
@@ -45,6 +61,8 @@ pub struct OtpRadiusHandler {
     /// no store locks held, so a due promotion can safely reload the
     /// server from the new primary before the request proceeds.
     cluster: Option<Arc<OtpCluster>>,
+    /// Session-resumption issuing/validating authority, when attached.
+    resume: Mutex<Option<ResumeState>>,
 }
 
 impl OtpRadiusHandler {
@@ -55,6 +73,7 @@ impl OtpRadiusHandler {
             clock,
             challenge_counter: AtomicU64::new(0),
             cluster: None,
+            resume: Mutex::new(None),
         })
     }
 
@@ -72,7 +91,93 @@ impl OtpRadiusHandler {
             clock,
             challenge_counter: AtomicU64::new(0),
             cluster: Some(cluster),
+            resume: Mutex::new(None),
         })
+    }
+
+    /// Enable session resumption: full-MFA Accepts carry a
+    /// `resume=<token>` `Reply-Message`, and later requests presenting a
+    /// token skip the OTP engine entirely for one HMAC verify plus a
+    /// single-use ledger check. `seed` feeds the deterministic nonce RNG.
+    pub fn attach_resume(&self, authority: ResumeAuthority, seed: u64) {
+        *self.resume.lock() = Some(ResumeState {
+            authority,
+            rng: StdRng::seed_from_u64(seed),
+        });
+    }
+
+    /// O(1) resumption path: one MAC verify + binding checks + a durable
+    /// single-use nonce consume. Never touches the OTP window scan.
+    fn handle_resume(
+        &self,
+        username: &str,
+        token: &str,
+        source: Option<Ipv4Addr>,
+        now: u64,
+        trace: Option<TraceId>,
+    ) -> ServerDecision {
+        let metrics = Arc::clone(self.server.metrics());
+        let count = |outcome: &'static str| {
+            metrics
+                .counter(
+                    "hpcmfa_otp_resume_validations_total",
+                    &[("outcome", outcome)],
+                )
+                .inc();
+        };
+        let mut guard = self.resume.lock();
+        let Some(state) = guard.as_mut() else {
+            // Token-shaped password at a site with resumption disabled.
+            count("not_enabled");
+            return Self::reject();
+        };
+        let Some(client) = source else {
+            // Address binding is the point; no Calling-Station-Id, no entry.
+            count("no_address");
+            return Self::reject();
+        };
+        match state.authority.validate(token, username, client, now) {
+            Ok(claims) => {
+                let expires_at = state.authority.expires_at(claims.issued_step);
+                drop(guard);
+                match self.server.consume_resume_nonce(
+                    username,
+                    claims.nonce,
+                    expires_at,
+                    now,
+                    trace,
+                ) {
+                    ResumeConsumeOutcome::Fresh => {
+                        count("ok");
+                        ServerDecision::Accept(vec![])
+                    }
+                    ResumeConsumeOutcome::Replayed => {
+                        count("replayed");
+                        Self::reject()
+                    }
+                    ResumeConsumeOutcome::Unavailable => {
+                        count("unavailable");
+                        Self::reject()
+                    }
+                }
+            }
+            Err(err) => {
+                count(err.label());
+                if err == TokenError::WrongAddress {
+                    // A valid token from outside its bound /16 is the
+                    // stolen-token shape (RFC 9000 §8.1.4): the MAC passed,
+                    // so someone holds a real token somewhere it was never
+                    // issued to.
+                    metrics.emit_event(
+                        SecurityEventKind::ResumeReplay,
+                        trace,
+                        now,
+                        format!("user={username} valid resume token from foreign /16 ({client})"),
+                    );
+                }
+                Self::reject()
+            }
+        }
     }
 
     fn fresh_state(&self) -> Vec<u8> {
@@ -140,12 +245,27 @@ impl Handler for OtpRadiusHandler {
         let Ok(code) = std::str::from_utf8(password) else {
             return Self::reject();
         };
+        if ResumeAuthority::is_token(code) {
+            return self.handle_resume(username, code, source, now, trace);
+        }
         if self
             .server
             .validate_guarded(username, code, now, trace, source)
             .is_success()
         {
-            ServerDecision::Accept(vec![])
+            // Full MFA succeeded: hand back a resumption token bound to
+            // this user and client /16, if the site issues them.
+            let mut attrs = Vec::new();
+            if let Some(client) = source {
+                if let Some(state) = self.resume.lock().as_mut() {
+                    let token = state.authority.issue(&mut state.rng, username, client, now);
+                    attrs.push(Attribute::text(
+                        AttributeType::ReplyMessage,
+                        &format!("{RESUME_REPLY_PREFIX}{token}"),
+                    ));
+                }
+            }
+            ServerDecision::Accept(attrs)
         } else {
             Self::reject()
         }

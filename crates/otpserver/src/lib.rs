@@ -41,7 +41,7 @@ pub use durability::{
 };
 pub use handler::OtpRadiusHandler;
 pub use overload::{AdmissionController, OverloadConfig, ShedReason};
-pub use server::{LinotpServer, SmsTrigger, ValidationOutcome};
+pub use server::{LinotpServer, ResumeConsumeOutcome, SmsTrigger, ValidationOutcome};
 pub use sms::{SmsProvider, TwilioSim};
 pub use store::{TokenPairing, TokenStore, UserTokenStatus};
 

@@ -25,6 +25,7 @@ use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind, TraceId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Result of a token-code validation.
@@ -125,6 +126,10 @@ pub struct LinotpServer {
     persistence: Option<Persistence>,
     /// Admission control; `None` keeps the original unguarded behaviour.
     admission: Option<AdmissionController>,
+    /// Consumed resumption-token nonces → ledger expiry (the token's own
+    /// stateless expiry, after which the entry may be purged). Single-use
+    /// enforcement for the federation resumption path.
+    resume_consumed: Mutex<BTreeMap<[u8; 16], u64>>,
 }
 
 /// Audit detail with the request's trace id appended, when one rode in on
@@ -160,6 +165,7 @@ impl LinotpServer {
             metrics,
             persistence: None,
             admission,
+            resume_consumed: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -195,6 +201,7 @@ impl LinotpServer {
             metrics,
             persistence: Some(persistence),
             admission,
+            resume_consumed: Mutex::new(state.resume_consumed),
         }))
     }
 
@@ -226,9 +233,11 @@ impl LinotpServer {
         };
         self.store.clear();
         self.audit.clear();
+        self.resume_consumed.lock().clear();
         let state = recover(p.backend())?;
         self.store.load_all(state.users);
         self.audit.load(state.audit_entries, state.audit_dropped);
+        *self.resume_consumed.lock() = state.resume_consumed;
         p.note_recovery(&state.report);
         Ok(state.report)
     }
@@ -285,7 +294,15 @@ impl LinotpServer {
         if let Some(p) = &self.persistence {
             if p.wants_snapshot() {
                 self.store.purge_expired_sms(now);
-                let bytes = snapshot_live(&self.store, &self.audit);
+                // Expired nonces fall out of durable state here: past
+                // their expiry the stateless step-window check rejects
+                // the token anyway, so the ledger may forget them.
+                let consumed = {
+                    let mut ledger = self.resume_consumed.lock();
+                    ledger.retain(|_, expires_at| *expires_at > now);
+                    ledger.clone()
+                };
+                let bytes = snapshot_live(&self.store, &self.audit, &consumed);
                 let _ = p.install_snapshot(&bytes);
             }
         }
@@ -530,6 +547,12 @@ impl LinotpServer {
                         let adjusted_now =
                             now.saturating_add_signed(*drift_steps * totp.params.step_secs as i64);
                         let window = totp.window_for_drift(drift);
+                        // Every full-OTP validation walks the drift window.
+                        // The resumption fast path never reaches this line,
+                        // which is what lets tests pin "zero window scans".
+                        self.metrics
+                            .counter("hpcmfa_otp_window_scans_total", &[])
+                            .inc();
                         match totp.verify(code, adjusted_now, window) {
                             Some(step) => {
                                 if last_step.is_some_and(|ls| step <= ls) {
@@ -691,6 +714,78 @@ impl LinotpServer {
             self.metrics
                 .tracer()
                 .span(t, "otp", "validate", outcome_label);
+        }
+        self.maybe_compact(now);
+        outcome
+    }
+
+    /// Consume a resumption-token nonce, enforcing single use durably.
+    ///
+    /// The token itself is stateless (integrity, binding, and expiry are
+    /// all checked by `ResumeAuthority::validate` before this is called);
+    /// the only server-side state is this nonce ledger. First presentation
+    /// inserts the nonce and persists a `ResumeConsume` record *inside the
+    /// ledger lock* before acknowledging — the same persist-before-ack
+    /// discipline as OTP nullification — so single use survives crash
+    /// recovery and standby promotion. A nonce that cannot be made durable
+    /// is denied (`Unavailable`) while the in-memory entry stays, which is
+    /// deny-safe.
+    pub fn consume_resume_nonce(
+        &self,
+        username: &str,
+        nonce: [u8; 16],
+        expires_at: u64,
+        now: u64,
+        trace: Option<TraceId>,
+    ) -> ResumeConsumeOutcome {
+        let outcome = {
+            let mut ledger = self.resume_consumed.lock();
+            if let std::collections::btree_map::Entry::Vacant(slot) = ledger.entry(nonce) {
+                slot.insert(expires_at);
+                if self.persist(&WalRecord::ResumeConsume {
+                    user: username.to_string(),
+                    nonce,
+                    expires_at,
+                }) {
+                    ResumeConsumeOutcome::Fresh
+                } else {
+                    ResumeConsumeOutcome::Unavailable
+                }
+            } else {
+                ResumeConsumeOutcome::Replayed
+            }
+        };
+        let (label, detail, success) = match outcome {
+            ResumeConsumeOutcome::Fresh => ("fresh", "resume token accepted", true),
+            ResumeConsumeOutcome::Replayed => ("replayed", "resume nonce already consumed", false),
+            ResumeConsumeOutcome::Unavailable => {
+                ("unavailable", "resume consume not durable, denied", false)
+            }
+        };
+        self.audit_event(
+            now,
+            username,
+            AuditAction::Validate,
+            success,
+            &traced_detail(detail, trace),
+        );
+        self.metrics
+            .counter("hpcmfa_otp_resume_consumes_total", &[("outcome", label)])
+            .inc();
+        match outcome {
+            ResumeConsumeOutcome::Replayed => self.metrics.emit_event(
+                SecurityEventKind::ResumeReplay,
+                trace,
+                now,
+                format!("user={username} resumption nonce replayed"),
+            ),
+            ResumeConsumeOutcome::Unavailable => self.metrics.emit_event(
+                SecurityEventKind::WalFsyncDegraded,
+                trace,
+                now,
+                format!("user={username} resume consume not durable, denied"),
+            ),
+            ResumeConsumeOutcome::Fresh => {}
         }
         self.maybe_compact(now);
         outcome
@@ -913,6 +1008,17 @@ impl LinotpServer {
             .gauge("hpcmfa_otp_sms_pending", &[])
             .set(sms_pending as i64);
     }
+}
+
+/// Outcome of [`LinotpServer::consume_resume_nonce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeConsumeOutcome {
+    /// First presentation: nonce recorded durably, login may proceed.
+    Fresh,
+    /// The nonce was already consumed — a replay. Deny.
+    Replayed,
+    /// The consume record could not be made durable. Deny (fail-safe).
+    Unavailable,
 }
 
 enum SmsDecision {

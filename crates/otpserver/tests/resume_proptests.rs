@@ -1,0 +1,103 @@
+//! Property tests for the resumption nonce ledger: a stolen (or honest)
+//! token's nonce is spendable exactly once, and stays spent across any
+//! interleaving of crash-and-recover cycles — the `ResumeConsume` WAL
+//! record is appended before the acceptance is acknowledged, so replay
+//! protection can never regress to a pre-consume state.
+
+use hpcmfa_otpserver::server::{LinotpServer, ServerConfig};
+use hpcmfa_otpserver::sms::TwilioSim;
+use hpcmfa_otpserver::{MemoryBackend, ResumeConsumeOutcome, StorageBackend};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn durable_server(snapshot_every: u64) -> Arc<LinotpServer> {
+    LinotpServer::with_storage(
+        TwilioSim::new(7),
+        91,
+        ServerConfig {
+            snapshot_every_appends: snapshot_every,
+            ..ServerConfig::default()
+        },
+        MemoryBackend::healthy() as Arc<dyn StorageBackend>,
+    )
+    .expect("fresh backend recovers empty")
+}
+
+proptest! {
+    /// Each distinct nonce is accepted exactly once; every later spend is
+    /// a replay, no matter how many crash/recover cycles separate the two
+    /// and no matter whether compaction folded the ledger into a snapshot.
+    #[test]
+    fn nonce_spends_exactly_once_across_crashes(
+        raw_nonces in prop::collection::vec(any::<[u8; 16]>(), 1..10),
+        crash_pattern in prop::collection::vec(any::<bool>(), 30),
+        snapshot_every in prop_oneof![Just(4u64), Just(u64::MAX)],
+    ) {
+        let nonces: std::collections::BTreeSet<[u8; 16]> = raw_nonces.into_iter().collect();
+        let server = durable_server(snapshot_every);
+        let now = 1_700_000_000u64;
+        let expires = now + 3_600;
+        let mut crashes = crash_pattern.into_iter();
+        let mut maybe_crash = |server: &Arc<LinotpServer>| {
+            if crashes.next().unwrap_or(false) {
+                server.crash_and_recover().expect("recovers");
+            }
+        };
+        for (i, nonce) in nonces.iter().enumerate() {
+            let user = format!("user{i}");
+            maybe_crash(&server);
+            prop_assert_eq!(
+                server.consume_resume_nonce(&user, *nonce, expires, now, None),
+                ResumeConsumeOutcome::Fresh,
+                "first spend of a fresh nonce must be accepted"
+            );
+            maybe_crash(&server);
+            prop_assert_eq!(
+                server.consume_resume_nonce(&user, *nonce, expires, now, None),
+                ResumeConsumeOutcome::Replayed,
+                "second spend must be refused"
+            );
+        }
+        // One more full pass after a final crash: every nonce is still
+        // burned on the recovered ledger.
+        server.crash_and_recover().expect("recovers");
+        for (i, nonce) in nonces.iter().enumerate() {
+            let user = format!("user{i}");
+            prop_assert_eq!(
+                server.consume_resume_nonce(&user, *nonce, expires, now, None),
+                ResumeConsumeOutcome::Replayed,
+                "burned nonce resurrected by recovery"
+            );
+        }
+    }
+
+    /// A nonce whose token has outlived its validity window may be purged
+    /// from the ledger by compaction — the stateless expiry check takes
+    /// over — but within the window it is never forgotten, even when a
+    /// snapshot replaces the WAL mid-run.
+    #[test]
+    fn compaction_never_forgets_a_live_nonce(
+        nonce in any::<[u8; 16]>(),
+        filler in prop::collection::vec(any::<[u8; 16]>(), 1..8),
+    ) {
+        let server = durable_server(2); // compact aggressively
+        let now = 1_700_000_000u64;
+        let expires = now + 3_600;
+        prop_assert_eq!(
+            server.consume_resume_nonce("alice", nonce, expires, now, None),
+            ResumeConsumeOutcome::Fresh
+        );
+        // Drive compactions with other consumes.
+        for (i, f) in filler.iter().enumerate() {
+            if *f != nonce {
+                let _ = server.consume_resume_nonce(&format!("u{i}"), *f, expires, now, None);
+            }
+        }
+        server.crash_and_recover().expect("recovers");
+        prop_assert_eq!(
+            server.consume_resume_nonce("alice", nonce, expires, now, None),
+            ResumeConsumeOutcome::Replayed,
+            "live nonce lost across compaction + crash"
+        );
+    }
+}

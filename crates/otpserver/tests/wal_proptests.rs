@@ -97,13 +97,21 @@ fn arb_record() -> BoxedStrategy<WalRecord> {
                 active,
             }
         ),
-        (0u64..5_000, 0u64..5_000, 0u64..5_000).prop_map(|(users, audits, audit_dropped)| {
-            WalRecord::SnapshotSeal {
+        (0u64..5_000, 0u64..5_000, 0u64..5_000, 0u64..5_000).prop_map(
+            |(users, audits, audit_dropped, resumes)| WalRecord::SnapshotSeal {
                 users,
                 audits,
                 audit_dropped,
+                resumes,
             }
-        }),
+        ),
+        (arb_user(), any::<[u8; 16]>(), 0u64..2_000_000_000).prop_map(
+            |(user, nonce, expires_at)| WalRecord::ResumeConsume {
+                user,
+                nonce,
+                expires_at,
+            }
+        ),
     ]
     .boxed()
 }

@@ -32,6 +32,11 @@ pub struct PamContext<'a> {
     /// the SSH daemon overwrites it with a deterministically derived one
     /// so simulations stay reproducible.
     pub trace_id: TraceId,
+    /// A session-resumption token issued by the OTP server on a full-MFA
+    /// success (the `resume=` `Reply-Message`). The application layer
+    /// hands it back to the client, which may present it in place of a
+    /// code on its next login from the same /16.
+    pub issued_resume_token: Option<String>,
 }
 
 impl<'a> PamContext<'a> {
@@ -51,6 +56,7 @@ impl<'a> PamContext<'a> {
             pubkey_succeeded: false,
             risk_step_up: false,
             trace_id: TraceId::mint(),
+            issued_resume_token: None,
         }
     }
 

@@ -213,7 +213,10 @@ impl TokenModule {
             Ok(Outcome::Challenge { state, message }) => {
                 (state, message.unwrap_or_else(|| "TACC Token:".to_string()))
             }
-            Ok(Outcome::Accept { .. }) => return PamResult::Success,
+            Ok(Outcome::Accept { message }) => {
+                capture_resume_token(ctx, message.as_deref());
+                return PamResult::Success;
+            }
             Ok(Outcome::Reject { .. }) => return PamResult::AuthErr,
             // Whole fleet unreachable: apply the degradation policy
             // (fail-closed unless an operator variance is configured).
@@ -240,7 +243,10 @@ impl TokenModule {
             )
         };
         match answer {
-            Ok(Outcome::Accept { .. }) => PamResult::Success,
+            Ok(Outcome::Accept { message }) => {
+                capture_resume_token(ctx, message.as_deref());
+                PamResult::Success
+            }
             Ok(Outcome::Reject { message }) => {
                 let text = message.unwrap_or_else(|| "Authentication error".into());
                 let _ = ctx.conv.converse(&Prompt::ErrorMsg(text));
@@ -273,6 +279,16 @@ impl TokenModule {
             Ok(_) => PamResult::Success,
             Err(_) => PamResult::Abort,
         }
+    }
+}
+
+/// Stash a `resume=<token>` `Reply-Message` from an Accept on the
+/// context so the application can hand the token back to the client.
+fn capture_resume_token(ctx: &mut PamContext<'_>, message: Option<&str>) {
+    if let Some(token) =
+        message.and_then(|m| m.strip_prefix(hpcmfa_federation::RESUME_REPLY_PREFIX))
+    {
+        ctx.issued_resume_token = Some(token.to_string());
     }
 }
 

@@ -29,6 +29,7 @@ pub mod breaker;
 pub mod client;
 pub mod packet;
 pub mod proxy;
+pub mod realm;
 pub mod server;
 pub mod tracewire;
 pub mod transport;
@@ -37,6 +38,7 @@ pub use attribute::{Attribute, AttributeType};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{ClientConfig, ClientError, RadiusClient, RetryPolicy, ServerHealthSnapshot};
 pub use packet::{Code, Packet, PacketError};
+pub use realm::RealmRouter;
 pub use server::{Handler, RadiusServer, ServerDecision};
 pub use transport::{FaultPlan, InMemoryTransport, Transport, TransportError};
 

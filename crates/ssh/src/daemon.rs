@@ -41,6 +41,11 @@ pub struct SessionReport {
     /// deterministically from the daemon name and a per-daemon sequence, so
     /// identical simulations mint identical ids.
     pub trace_ids: Vec<TraceId>,
+    /// Session-resumption token issued by the OTP server when this login
+    /// completed full MFA at a federation-enabled site. The client may
+    /// present it in place of a code on its next connection from the same
+    /// /16.
+    pub issued_resume_token: Option<String>,
 }
 
 /// Bridges a [`CredentialResponder`] into a PAM [`Conversation`], recording
@@ -206,6 +211,7 @@ impl SshDaemon {
         let mut attempts = 0;
         let mut granted = false;
         let mut trace_ids = Vec::new();
+        let mut issued_resume_token = None;
         while attempts < MAX_STACK_ATTEMPTS {
             attempts += 1;
             let mut ctx = hpcmfa_pam::context::PamContext::new(
@@ -225,6 +231,7 @@ impl SshDaemon {
             match self.stack.authenticate(&mut ctx) {
                 PamVerdict::Granted => {
                     granted = true;
+                    issued_resume_token = ctx.issued_resume_token.take();
                     break;
                 }
                 PamVerdict::Denied => {
@@ -284,6 +291,7 @@ impl SshDaemon {
             prompts: conv.prompts,
             banner,
             trace_ids,
+            issued_resume_token,
         }
     }
 }

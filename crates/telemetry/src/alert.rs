@@ -533,6 +533,12 @@ pub fn default_security_rules() -> Vec<Rule> {
         // Any OTP failover is page-worthy: redundancy is gone until the
         // deposed node rejoins as the new standby.
         event_rate("otp_failover", "failover", 600, 1, 600),
+        // One replayed resumption token is a stolen credential in flight
+        // (RFC 9000 §8.1.4): page on the first sighting.
+        event_rate("resume_replay", "resume_replay", 600, 1, 600),
+        // A federated realm dropping off the map strands every roaming
+        // user from that site.
+        event_rate("realm_unreachable", "realm_unreachable", 600, 1, 600),
         // Shedding is watched on its own counter family (summed over
         // every `reason` label) so the rule sees the aggregate pressure.
         Rule {

@@ -53,6 +53,13 @@ pub enum SecurityEventKind {
     /// An OTP standby was promoted to primary (replication failover):
     /// the epoch advanced and the deposed node is fenced.
     Failover,
+    /// A session-resumption token was replayed: its single-use nonce was
+    /// already consumed, or it was presented from outside its bound /16
+    /// (RFC 9000 §8.1.4's stolen-token shape).
+    ResumeReplay,
+    /// A federated realm's entire upstream pool became unreachable (the
+    /// realm router could not deliver a login to the peer).
+    RealmUnreachable,
 }
 
 impl SecurityEventKind {
@@ -71,11 +78,13 @@ impl SecurityEventKind {
             SecurityEventKind::RiskDeny => "risk_deny",
             SecurityEventKind::OverloadShed => "overload_shed",
             SecurityEventKind::Failover => "failover",
+            SecurityEventKind::ResumeReplay => "resume_replay",
+            SecurityEventKind::RealmUnreachable => "realm_unreachable",
         }
     }
 
     /// Every kind, in declaration order (for exhaustive reports).
-    pub fn all() -> [SecurityEventKind; 10] {
+    pub fn all() -> [SecurityEventKind; 12] {
         [
             SecurityEventKind::AuthFailureBurst,
             SecurityEventKind::LockoutStorm,
@@ -87,6 +96,8 @@ impl SecurityEventKind {
             SecurityEventKind::RiskDeny,
             SecurityEventKind::OverloadShed,
             SecurityEventKind::Failover,
+            SecurityEventKind::ResumeReplay,
+            SecurityEventKind::RealmUnreachable,
         ]
     }
 }
@@ -279,10 +290,15 @@ mod tests {
     fn labels_are_stable_and_distinct() {
         let labels: std::collections::BTreeSet<_> =
             SecurityEventKind::all().iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), 10);
+        assert_eq!(labels.len(), 12);
         assert_eq!(SecurityEventKind::ReplayAttempt.label(), "replay_attempt");
         assert_eq!(SecurityEventKind::RiskDeny.label(), "risk_deny");
         assert_eq!(SecurityEventKind::OverloadShed.label(), "overload_shed");
         assert_eq!(SecurityEventKind::Failover.label(), "failover");
+        assert_eq!(SecurityEventKind::ResumeReplay.label(), "resume_replay");
+        assert_eq!(
+            SecurityEventKind::RealmUnreachable.label(),
+            "realm_unreachable"
+        );
     }
 }

@@ -20,7 +20,8 @@
 //! ran. Everything is virtual-time and seeded: the same scenario and seed
 //! yield byte-identical reports, alert timelines, and event feeds.
 
-use hpcmfa_core::center::{Center, CenterConfig, RiskParams};
+use hpcmfa_core::center::{Center, CenterConfig, FederationParams, RiskParams};
+use hpcmfa_federation::TrustConfig;
 use hpcmfa_otpserver::OverloadConfig;
 use hpcmfa_pam::modules::token::EnforcementMode;
 use hpcmfa_risk::engine::RiskWeights;
@@ -60,6 +61,11 @@ pub enum AttackKind {
     /// One probe every few minutes from a single quiet network, tuned to
     /// stay under velocity thresholds.
     SlowAndLow,
+    /// The attacker phished a victim's password *and* session-resumption
+    /// token (the RFC 9000 §8.1.4 stolen-token shape) and replays the
+    /// token from their own networks — outside the /16 the token was
+    /// bound to at issuance.
+    TokenTheft,
 }
 
 impl AttackKind {
@@ -71,6 +77,7 @@ impl AttackKind {
             AttackKind::TokenPhishing => "token_phishing",
             AttackKind::SmsFlood => "sms_flood",
             AttackKind::SlowAndLow => "slow_and_low",
+            AttackKind::TokenTheft => "token_theft",
         }
     }
 }
@@ -192,6 +199,21 @@ impl AttackScenario {
         }
     }
 
+    /// Token theft: the attacker replays the victim's freshly issued
+    /// resumption token (plus their phished password) once per step from
+    /// rotating *in-country* residential proxies — no geo signal for the
+    /// risk engine to score, so the token's /16 binding is the only
+    /// thing between them and a shell.
+    pub fn token_theft() -> Self {
+        AttackScenario {
+            source_pool: 200,
+            victims: 1,
+            home_country_sources: true,
+            breached_creds: Some(1),
+            ..Self::preset(AttackKind::TokenTheft)
+        }
+    }
+
     /// A zero-rate scenario: the no-attack control run.
     pub fn control() -> Self {
         AttackScenario {
@@ -268,11 +290,12 @@ struct Fired {
     deny: bool,
     shed: bool,
     sms_abuse: bool,
+    resume_replay: bool,
 }
 
 impl Fired {
     fn any(&self) -> bool {
-        self.step_up || self.deny || self.shed || self.sms_abuse
+        self.step_up || self.deny || self.shed || self.sms_abuse || self.resume_replay
     }
 }
 
@@ -284,6 +307,8 @@ struct Detectors {
     shed_unauth_flood: Arc<Counter>,
     shed_queue_full: Arc<Counter>,
     sms_already_active: Arc<Counter>,
+    resume_wrong_address: Arc<Counter>,
+    resume_replayed: Arc<Counter>,
 }
 
 impl Detectors {
@@ -299,10 +324,18 @@ impl Detectors {
                 "hpcmfa_otp_sms_triggers_total",
                 &[("result", "already_active")],
             ),
+            resume_wrong_address: m.counter(
+                "hpcmfa_otp_resume_validations_total",
+                &[("outcome", "wrong_address")],
+            ),
+            resume_replayed: m.counter(
+                "hpcmfa_otp_resume_validations_total",
+                &[("outcome", "replayed")],
+            ),
         }
     }
 
-    fn sample(&self) -> [u64; 6] {
+    fn sample(&self) -> [u64; 8] {
         [
             self.step_up.get(),
             self.deny.get(),
@@ -310,16 +343,19 @@ impl Detectors {
             self.shed_unauth_flood.get(),
             self.shed_queue_full.get(),
             self.sms_already_active.get(),
+            self.resume_wrong_address.get(),
+            self.resume_replayed.get(),
         ]
     }
 
-    fn fired_since(&self, before: [u64; 6]) -> Fired {
+    fn fired_since(&self, before: [u64; 8]) -> Fired {
         let now = self.sample();
         Fired {
             step_up: now[0] > before[0],
             deny: now[1] > before[1],
             shed: now[2] > before[2] || now[3] > before[3] || now[4] > before[4],
             sms_abuse: now[5] > before[5],
+            resume_replay: now[6] > before[6] || now[7] > before[7],
         }
     }
 }
@@ -343,6 +379,9 @@ pub struct AttackReport {
     pub flagged_shed: usize,
     /// …the SMS "already sent" suppression.
     pub flagged_sms_abuse: usize,
+    /// …a resumption-token replay signal (wrong-/16 presentation or a
+    /// nonce already burned in the single-use ledger).
+    pub flagged_resume_replay: usize,
     /// Benign logins dialed (one per step).
     pub benign_attempts: usize,
     /// Benign logins granted.
@@ -412,7 +451,7 @@ impl std::fmt::Display for AttackReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "attack[{}]: {} attempts, {} granted, {} flagged ({} deny, {} step-up, {} shed, {} sms-abuse), recall {:.3}, precision {:.3}",
+            "attack[{}]: {} attempts, {} granted, {} flagged ({} deny, {} step-up, {} shed, {} sms-abuse, {} resume-replay), recall {:.3}, precision {:.3}",
             self.kind,
             self.attack_attempts,
             self.attack_granted,
@@ -421,6 +460,7 @@ impl std::fmt::Display for AttackReport {
             self.flagged_step_up,
             self.flagged_shed,
             self.flagged_sms_abuse,
+            self.flagged_resume_replay,
             self.recall(),
             self.precision(),
         )?;
@@ -474,6 +514,12 @@ impl AttackRunner {
     /// and `params.sms_users` SMS-paired users.
     pub fn new(params: AttackParams, scenario: AttackScenario) -> Self {
         let geodb = Arc::new(GeoDb::parse(ATTACK_GEODB).expect("fixture geodb parses"));
+        // Token theft only exists where tokens do: enable the federation
+        // stack (local-only trust — no peers — is enough to mint
+        // resumption tokens) for that scenario.
+        let federation = (scenario.kind == AttackKind::TokenTheft).then(|| {
+            FederationParams::new(TrustConfig::local_only("tacc"), b"attack-resume-key", 20)
+        });
         let center = Center::new(CenterConfig {
             login_nodes: vec!["login1".into()],
             enforcement: EnforcementMode::Full,
@@ -483,6 +529,7 @@ impl AttackRunner {
                 weights: params.weights.clone(),
             }),
             otp_overload: params.overload.clone(),
+            federation,
             ..CenterConfig::default()
         });
         let mut benign = Vec::new();
@@ -551,9 +598,10 @@ impl AttackRunner {
                 let country = if sweep.is_multiple_of(2) { 185 } else { 91 };
                 Ipv4Addr::new(country, 30 + (sweep % pool.min(200)) as u8, 4, 4)
             }
-            AttackKind::TokenPhishing => {
+            AttackKind::TokenPhishing | AttackKind::TokenTheft => {
                 // A fresh network in a rotating country every attempt: the
-                // impossible-travel signature.
+                // impossible-travel signature, and (for theft) a /16 that
+                // never matches the one sealed into the stolen token.
                 const COUNTRIES: [u8; 4] = [1, 185, 203, 91];
                 Ipv4Addr::new(
                     COUNTRIES[counter % 4],
@@ -583,7 +631,14 @@ impl AttackRunner {
     }
 
     /// The credential-and-token pair for hostile attempt `counter`.
-    fn attacker_profile(&self, counter: usize, victim: &BenignUser) -> ClientProfile {
+    /// `stolen` is the victim's most recently exfiltrated resumption
+    /// token, when the scenario has one.
+    fn attacker_profile(
+        &self,
+        counter: usize,
+        victim: &BenignUser,
+        stolen: Option<&str>,
+    ) -> ClientProfile {
         let s = &self.scenario;
         let breached = match s.breached_creds {
             Some(n) => counter.is_multiple_of(n.max(1)),
@@ -594,11 +649,16 @@ impl AttackRunner {
         } else {
             "hunter2".to_string()
         };
-        let token = if s.kind == AttackKind::TokenPhishing {
+        let token = match s.kind {
             // The relay clones the victim's live codes.
-            TokenSource::Device(Arc::clone(&victim.token))
-        } else {
-            TokenSource::Fixed("000000".to_string())
+            AttackKind::TokenPhishing => TokenSource::Device(Arc::clone(&victim.token)),
+            // The thief replays the exfiltrated resumption token verbatim
+            // (falling back to a doomed guess until one has been minted).
+            AttackKind::TokenTheft => match stolen {
+                Some(t) => TokenSource::Fixed(t.to_string()),
+                None => TokenSource::Fixed("000000".to_string()),
+            },
+            _ => TokenSource::Fixed("000000".to_string()),
         };
         ClientProfile::interactive_user(&victim.name, self.attacker_ip(counter), &password)
             .with_token(token)
@@ -616,6 +676,7 @@ impl AttackRunner {
             flagged_step_up: 0,
             flagged_shed: 0,
             flagged_sms_abuse: 0,
+            flagged_resume_replay: 0,
             benign_attempts: 0,
             benign_granted: 0,
             benign_flagged: 0,
@@ -628,6 +689,11 @@ impl AttackRunner {
             security_events: Vec::new(),
         };
         let mut attempt_counter = 0usize;
+        // Token theft's exfiltration channel: the most recent resumption
+        // token each benign user was issued, as captured off the wire by
+        // the attacker's phishing kit.
+        let mut stolen: std::collections::BTreeMap<String, String> =
+            std::collections::BTreeMap::new();
         for step in 0..self.params.steps {
             // Step past the TOTP window so the next login by the same user
             // is a fresh code, not a replay.
@@ -639,7 +705,11 @@ impl AttackRunner {
                 ClientProfile::interactive_user(&user.name, user.ip, &format!("{}-pw", user.name))
                     .with_token(TokenSource::Device(Arc::clone(&user.token)));
             let before = detect.sample();
-            let granted = self.center.ssh(0, &profile).granted;
+            let session = self.center.ssh(0, &profile);
+            let granted = session.granted;
+            if let Some(token) = session.issued_resume_token {
+                stolen.insert(user.name.clone(), token);
+            }
             let fired = detect.fired_since(before);
             report.benign_attempts += 1;
             if granted {
@@ -658,7 +728,8 @@ impl AttackRunner {
             if self.scenario.active_at(step) {
                 for _ in 0..self.scenario.rate {
                     let victim = &self.benign[self.victim_index(attempt_counter)];
-                    let profile = self.attacker_profile(attempt_counter, victim);
+                    let phished = stolen.get(&victim.name).map(String::as_str);
+                    let profile = self.attacker_profile(attempt_counter, victim, phished);
                     attempt_counter += 1;
                     let before = detect.sample();
                     let granted = self.center.ssh(0, &profile).granted;
@@ -681,6 +752,9 @@ impl AttackRunner {
                     }
                     if fired.sms_abuse {
                         report.flagged_sms_abuse += 1;
+                    }
+                    if fired.resume_replay {
+                        report.flagged_resume_replay += 1;
                     }
                 }
             }
@@ -769,6 +843,24 @@ mod tests {
         // is the only thing standing between them and a shell.
         assert_eq!(report.attack_granted, 0, "{report}");
         assert_eq!(report.attack_flagged, report.attack_attempts, "{report}");
+        assert_eq!(report.benign_lockouts, 0, "{report}");
+    }
+
+    #[test]
+    fn stolen_resume_token_never_gets_in() {
+        let report = run(AttackScenario::token_theft());
+        assert_eq!(report.attack_attempts, 40);
+        // The attacker holds the victim's password AND a live resumption
+        // token; the /16 binding is the only remaining control.
+        assert_eq!(report.attack_granted, 0, "{report}");
+        assert!(report.flagged_resume_replay > 0, "{report}");
+        assert!(
+            report
+                .security_events
+                .iter()
+                .any(|e| e.contains("resume_replay")),
+            "{report}"
+        );
         assert_eq!(report.benign_lockouts, 0, "{report}");
     }
 

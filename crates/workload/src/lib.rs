@@ -29,12 +29,14 @@
 
 pub mod attack;
 pub mod chaos;
+pub mod federation;
 pub mod figures;
 pub mod population;
 pub mod rollout;
 
 pub use attack::{AttackKind, AttackParams, AttackReport, AttackRunner, AttackScenario};
 pub use chaos::{ChaosParams, ChaosReport, ChaosRunner, FaultAction, FaultEvent, FaultScript};
+pub use federation::{FedSite, FederationReport, FederationSim};
 pub use figures::{render_bar_chart, Table1};
 pub use population::{Cohort, DevicePreference, Population, PopulationParams, UserSpec};
 pub use rollout::{DayRecord, Milestones, RolloutParams, RolloutSim, SimOutput};

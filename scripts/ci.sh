@@ -55,6 +55,21 @@ cargo test -q --offline --test attacks
 echo "==> stuffing-storm smoke (sheds fire, zero benign lockouts, p99 SLO)"
 timeout 30 cargo test -q --offline --test attacks stuffing_storm_smoke
 
+echo "==> federation: realm routing + resumption acceptance suite"
+cargo test -q --offline --test federation
+cargo test -q --offline -p hpcmfa-federation --test token_proptests
+cargo test -q --offline -p hpcmfa-otpserver --test resume_proptests
+
+echo "==> resume-bench smoke (O(1), single-use, >=5x) + BENCH_resume.json schema"
+cargo build --release --offline -q -p hpcmfa-bench --bin resume
+./target/release/resume --users 64 --logins 4 \
+    --out target/BENCH_resume_smoke.json --check >/dev/null
+for key in '"bench":"resume"' '"full":' '"resume":' \
+    '"window_scans":' '"resume_speedup_vs_full":'; do
+    grep -q "$key" target/BENCH_resume_smoke.json \
+        || { echo "BENCH_resume_smoke.json missing $key"; exit 1; }
+done
+
 echo "==> throughput smoke (threads=2) + BENCH_throughput.json schema"
 cargo build --release --offline -q -p hpcmfa-bench --bin throughput
 ./target/release/throughput --threads 1,2 --users 64 --logins 8 \

@@ -6,6 +6,7 @@
 pub use hpcmfa_core as core;
 pub use hpcmfa_crypto as crypto;
 pub use hpcmfa_directory as directory;
+pub use hpcmfa_federation as federation;
 pub use hpcmfa_otp as otp;
 pub use hpcmfa_otpserver as otpserver;
 pub use hpcmfa_pam as pam;

@@ -24,12 +24,13 @@ fn run_default(scenario: AttackScenario) -> securing_hpc::workload::AttackReport
 /// feed, so one string comparison pins all three.
 #[test]
 fn all_scenarios_replay_byte_identically() {
-    let presets: [fn() -> AttackScenario; 5] = [
+    let presets: [fn() -> AttackScenario; 6] = [
         AttackScenario::credential_stuffing,
         AttackScenario::password_spraying,
         AttackScenario::token_phishing,
         AttackScenario::sms_flood,
         AttackScenario::slow_and_low,
+        AttackScenario::token_theft,
     ];
     for preset in presets {
         let a = run_default(preset());
@@ -111,6 +112,39 @@ fn token_phishing_is_always_stopped() {
         "phishing attempt went unflagged:\n{report}"
     );
     assert_eq!(report.benign_lockouts, 0, "benign lockout:\n{report}");
+}
+
+#[test]
+fn token_theft_replay_is_stopped_and_attributed() {
+    let report = run_default(AttackScenario::token_theft());
+    // The thief holds the victim's password AND a live resumption token,
+    // and replays from in-country proxies the risk engine cannot score
+    // on geography; the token's /16 binding must still hold the door.
+    assert_eq!(report.attack_granted, 0, "thief got a shell:\n{report}");
+    assert!(
+        report.flagged_resume_replay > 0,
+        "no replay signal fired:\n{report}"
+    );
+    assert_eq!(report.benign_lockouts, 0, "benign lockout:\n{report}");
+    // The home realm names the theft in its typed event feed, and the
+    // replay surge drives the resume_replay alert rule through pending.
+    assert!(
+        report
+            .security_events
+            .iter()
+            .any(|e| e.contains("resume_replay") && e.contains("foreign /16")),
+        "no typed resume_replay event:\n{report}"
+    );
+    assert!(
+        report
+            .alerts
+            .iter()
+            .any(|l| l.contains("resume_replay inactive->pending")),
+        "resume_replay alert never left inactive:\n{report}"
+    );
+    // Byte-identical replay pins the event/alert timeline in full.
+    let again = run_default(AttackScenario::token_theft());
+    assert_eq!(format!("{report}"), format!("{again}"));
 }
 
 #[test]
