@@ -30,7 +30,9 @@ use hpcmfa_ssh::authlog::AuthLog;
 use hpcmfa_ssh::client::ClientProfile;
 use hpcmfa_ssh::daemon::{SessionReport, SshDaemon};
 use hpcmfa_ssh::keys::{KeyPair, PublicKey};
-use hpcmfa_telemetry::{default_security_rules, AlertEngine, MetricsRegistry, MetricsSnapshot};
+use hpcmfa_telemetry::{
+    default_security_rules, AlertEngine, MetricsRegistry, MetricsSnapshot, TraceCollector,
+};
 use parking_lot::Mutex;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -252,6 +254,10 @@ pub struct Center {
     /// The fleet's transports, exposed so peer sites can build their
     /// cross-realm upstream pools against this center.
     radius_transports: Vec<Arc<dyn Transport>>,
+    /// Cross-site trace assembly over this site's registry plus any peer
+    /// registries registered via [`Center::add_trace_source`]. Also served
+    /// by the admin API's `GET /system/traces`.
+    pub traces: Arc<TraceCollector>,
     /// Exemption file text lines added beyond the internal-network rule,
     /// mirrored to every node.
     exemption_lines: Mutex<Vec<String>>,
@@ -262,6 +268,14 @@ impl Center {
     pub fn new(config: CenterConfig) -> Arc<Self> {
         let clock = SimClock::at(config.start_time);
         let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
+        // Span ids are namespaced by site so federated traces assembled
+        // across several centers can never collide.
+        let site_label = config
+            .federation
+            .as_ref()
+            .map(|f| f.trust.home_realm.clone())
+            .unwrap_or_else(|| "site".to_string());
+        config.metrics.tracer().set_namespace(&site_label);
         let directory = Directory::new();
         let identity = IdentityDb::new();
         let twilio = TwilioSim::new(config.seed ^ 0x5115);
@@ -457,6 +471,13 @@ impl Center {
         ));
         admin.attach_alerts(Arc::clone(&alerts));
 
+        // Cross-site trace assembly: this site's registry is the first
+        // source; federation wiring adds peer registries so one login's
+        // spans from every hop assemble into a single tree.
+        let traces = Arc::new(TraceCollector::new());
+        traces.add_source(Arc::clone(&config.metrics));
+        admin.attach_traces(Arc::clone(&traces));
+
         Arc::new(Center {
             config,
             clock,
@@ -474,6 +495,7 @@ impl Center {
             otp_cluster,
             realm_routers,
             radius_transports: transports,
+            traces,
             exemption_lines: Mutex::new(Vec::new()),
         })
     }
@@ -631,6 +653,13 @@ impl Center {
     /// The fleet's transports, for peer sites building cross-realm pools.
     pub fn radius_transports(&self) -> Vec<Arc<dyn Transport>> {
         self.radius_transports.clone()
+    }
+
+    /// Register a peer site's metrics registry with this site's trace
+    /// collector: a federated login's spans recorded over there join the
+    /// trees assembled (and served via `GET /system/traces`) here.
+    pub fn add_trace_source(&self, registry: Arc<MetricsRegistry>) {
+        self.traces.add_source(registry);
     }
 
     /// Wire `peer` as the upstream for `realm`: every realm router in

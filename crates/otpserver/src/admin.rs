@@ -20,7 +20,7 @@ use hpcmfa_crypto::digestauth::{DigestAuthorization, DigestChallenge, DigestVeri
 use hpcmfa_otp::secret::Secret;
 use hpcmfa_otp::totp::TotpParams;
 use hpcmfa_otp::uri::OtpauthUri;
-use hpcmfa_telemetry::AlertEngine;
+use hpcmfa_telemetry::{AlertEngine, TraceCollector, TraceTree};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -115,6 +115,9 @@ pub struct AdminApi {
     /// the computing center together (the engine spans more components than
     /// this server, so it cannot be constructed here).
     alerts: Mutex<Option<Arc<AlertEngine>>>,
+    /// Trace collector behind `GET /system/traces`, attached alongside the
+    /// alert engine; it may aggregate several sites' registries.
+    traces: Mutex<Option<Arc<TraceCollector>>>,
 }
 
 impl AdminApi {
@@ -124,6 +127,7 @@ impl AdminApi {
             server,
             verifier: Mutex::new(DigestVerifier::new(realm, seed)),
             alerts: Mutex::new(None),
+            traces: Mutex::new(None),
         })
     }
 
@@ -135,6 +139,11 @@ impl AdminApi {
     /// Attach the center-wide alert engine served by `/system/alerts`.
     pub fn attach_alerts(&self, engine: Arc<AlertEngine>) {
         *self.alerts.lock() = Some(engine);
+    }
+
+    /// Attach the trace collector served by `/system/traces`.
+    pub fn attach_traces(&self, collector: Arc<TraceCollector>) {
+        *self.traces.lock() = Some(collector);
     }
 
     /// Issue a digest challenge (the 401 `WWW-Authenticate` payload).
@@ -171,6 +180,7 @@ impl AdminApi {
             ("GET", "/system/durability") => self.system_durability(),
             ("GET", "/system/metrics") => self.system_metrics(now),
             ("GET", "/system/alerts") => self.system_alerts(now),
+            ("GET", "/system/traces") => self.system_traces(),
             _ => HttpResponse::error(404, "no such route"),
         }
     }
@@ -377,6 +387,10 @@ impl AdminApi {
                             .map(|t| Json::str(t.to_string()))
                             .unwrap_or(Json::Null),
                     ),
+                    (
+                        "span",
+                        e.span.map(|s| Json::str(s.to_hex())).unwrap_or(Json::Null),
+                    ),
                     ("detail", Json::str(e.detail)),
                 ])
             })
@@ -397,6 +411,61 @@ impl AdminApi {
                         Json::Num(snap.gauge("hpcmfa_otp_sms_pending") as f64),
                     ),
                 ]),
+            ),
+        ]))
+    }
+
+    /// Cross-site trace assembly: the most recent traces, the slowest
+    /// traces with their critical paths, and the per-component self-time
+    /// breakdown — everything the attached collector can assemble from its
+    /// registered span sources. 404s when no collector is attached.
+    fn system_traces(&self) -> HttpResponse {
+        let Some(collector) = self.traces.lock().clone() else {
+            return HttpResponse::error(404, "no trace collector attached");
+        };
+        let tree_json = |tree: &TraceTree| {
+            let root = tree.root();
+            Json::obj([
+                ("trace", Json::str(tree.trace.to_string())),
+                (
+                    "root",
+                    Json::str(format!("{}/{}", root.component, root.label)),
+                ),
+                ("duration_us", Json::Num(tree.duration_us() as f64)),
+                ("spans", Json::Num(tree.spans.len() as f64)),
+                (
+                    "critical_path",
+                    Json::Arr(
+                        tree.critical_path()
+                            .iter()
+                            .map(|hop| {
+                                Json::obj([
+                                    ("span", Json::str(hop.span.to_hex())),
+                                    ("op", Json::str(format!("{}/{}", hop.component, hop.label))),
+                                    ("duration_us", Json::Num(hop.duration_us as f64)),
+                                    ("self_time_us", Json::Num(hop.self_time_us as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let recent: Vec<Json> = collector.recent(8).iter().map(tree_json).collect();
+        let slowest: Vec<Json> = collector.slowest(5).iter().map(tree_json).collect();
+        HttpResponse::ok(Json::obj([
+            ("traces", Json::Num(collector.trace_ids().len() as f64)),
+            ("recent", Json::Arr(recent)),
+            ("slowest", Json::Arr(slowest)),
+            (
+                "self_time_by_component",
+                Json::Obj(
+                    collector
+                        .self_time_by_component()
+                        .into_iter()
+                        .map(|(component, us)| (component, Json::Num(us as f64)))
+                        .collect(),
+                ),
             ),
         ]))
     }

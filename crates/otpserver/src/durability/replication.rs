@@ -32,7 +32,9 @@ use super::wal::{crc32, put_u32, put_u64, Reader};
 use super::{StorageBackend, StorageError};
 use hpcmfa_otp::clock::Clock;
 use hpcmfa_radius::breaker::{BreakerConfig, CircuitBreaker};
-use hpcmfa_telemetry::{Counter, Gauge, MetricsRegistry, SecurityEventKind};
+use hpcmfa_telemetry::{
+    Counter, Gauge, MetricsRegistry, SecurityEventKind, SpanCtx, TraceClock, TraceId,
+};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -811,9 +813,27 @@ impl OtpCluster {
         self.core.failovers.inc();
         self.core.epoch_gauge.set(new_epoch as i64);
         self.core.lag_gauge.set(0);
-        self.core.metrics.emit_event(
+        // A failover is its own operation, not part of any login: mint a
+        // trace derived from the new epoch and record the promotion as a
+        // timed span so the Failover event resolves to a live span.
+        let trace = TraceId::from_u64(0xFA11_0FE5_0000_0000 ^ new_epoch);
+        let ctx = SpanCtx::root(trace, TraceClock::at(now.saturating_mul(1_000_000)));
+        let mut span = self
+            .core
+            .metrics
+            .tracer()
+            .start(&ctx, "otp.cluster", "failover");
+        span.attr_u64("epoch", new_epoch);
+        span.attr_u64("unacked_frames", lost as u64);
+        span.set_detail(reason.to_string());
+        ctx.clock
+            .advance_us(crate::server::span_cost::FAILOVER_PROMOTE_US);
+        let span_id = span.id();
+        span.finish();
+        self.core.metrics.emit_event_spanned(
             SecurityEventKind::Failover,
-            None,
+            Some(trace),
+            Some(span_id),
             now,
             format!("standby promoted to epoch {new_epoch} ({reason}); unacked_frames={lost}"),
         );

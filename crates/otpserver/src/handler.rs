@@ -15,13 +15,15 @@
 //! the token concatenated this way).
 
 use crate::durability::OtpCluster;
+use crate::server::span_cost;
 use crate::server::{LinotpServer, ResumeConsumeOutcome, SmsTrigger};
 use hpcmfa_federation::{ResumeAuthority, TokenError};
 use hpcmfa_otp::clock::Clock;
 use hpcmfa_radius::attribute::{Attribute, AttributeType};
 use hpcmfa_radius::packet::Packet;
 use hpcmfa_radius::server::{Handler, ServerDecision};
-use hpcmfa_telemetry::{SecurityEventKind, TraceId};
+use hpcmfa_radius::tracewire;
+use hpcmfa_telemetry::{SecurityEventKind, SpanCtx, SpanStatus, TraceClock};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,9 +116,12 @@ impl OtpRadiusHandler {
         token: &str,
         source: Option<Ipv4Addr>,
         now: u64,
-        trace: Option<TraceId>,
+        ctx: Option<&SpanCtx>,
     ) -> ServerDecision {
+        let trace = ctx.map(|c| c.trace);
         let metrics = Arc::clone(self.server.metrics());
+        let mut span = ctx.map(|c| metrics.tracer().start(c, "otp", "resume"));
+        let child = span.as_ref().map(|g| g.child_ctx());
         let count = |outcome: &'static str| {
             metrics
                 .counter(
@@ -125,15 +130,23 @@ impl OtpRadiusHandler {
                 )
                 .inc();
         };
+        let fail = |span: &mut Option<hpcmfa_telemetry::SpanGuard<'_>>, detail: &'static str| {
+            if let Some(g) = span.as_mut() {
+                g.set_status(SpanStatus::Error);
+                g.set_detail(detail);
+            }
+        };
         let mut guard = self.resume.lock();
         let Some(state) = guard.as_mut() else {
             // Token-shaped password at a site with resumption disabled.
             count("not_enabled");
+            fail(&mut span, "not_enabled");
             return Self::reject();
         };
         let Some(client) = source else {
             // Address binding is the point; no Calling-Station-Id, no entry.
             count("no_address");
+            fail(&mut span, "no_address");
             return Self::reject();
         };
         match state.authority.validate(token, username, client, now) {
@@ -145,32 +158,39 @@ impl OtpRadiusHandler {
                     claims.nonce,
                     expires_at,
                     now,
-                    trace,
+                    child.as_ref(),
                 ) {
                     ResumeConsumeOutcome::Fresh => {
                         count("ok");
+                        if let Some(g) = span.as_mut() {
+                            g.set_detail("ok");
+                        }
                         ServerDecision::Accept(vec![])
                     }
                     ResumeConsumeOutcome::Replayed => {
                         count("replayed");
+                        fail(&mut span, "replayed");
                         Self::reject()
                     }
                     ResumeConsumeOutcome::Unavailable => {
                         count("unavailable");
+                        fail(&mut span, "unavailable");
                         Self::reject()
                     }
                 }
             }
             Err(err) => {
                 count(err.label());
+                fail(&mut span, err.label());
                 if err == TokenError::WrongAddress {
                     // A valid token from outside its bound /16 is the
                     // stolen-token shape (RFC 9000 §8.1.4): the MAC passed,
                     // so someone holds a real token somewhere it was never
                     // issued to.
-                    metrics.emit_event(
+                    metrics.emit_event_spanned(
                         SecurityEventKind::ResumeReplay,
                         trace,
+                        span.as_ref().map(|g| g.id()),
                         now,
                         format!("user={username} valid resume token from foreign /16 ({client})"),
                     );
@@ -200,6 +220,30 @@ impl OtpRadiusHandler {
             AUTH_ERROR_MSG,
         )])
     }
+
+    /// Append the responder's trace-clock reading to the reply so the
+    /// requesting client fast-forwards its shared clock past the modeled
+    /// server time — the propagation half of monotone cross-hop spans.
+    /// Discards carry nothing (no reply datagram exists to carry it).
+    fn stamp_clock(decision: ServerDecision, ctx: Option<&SpanCtx>) -> ServerDecision {
+        let Some(c) = ctx else { return decision };
+        let attr = tracewire::clock_attribute(c.clock.now_us());
+        match decision {
+            ServerDecision::Accept(mut attrs) => {
+                attrs.push(attr);
+                ServerDecision::Accept(attrs)
+            }
+            ServerDecision::Reject(mut attrs) => {
+                attrs.push(attr);
+                ServerDecision::Reject(attrs)
+            }
+            ServerDecision::Challenge(mut attrs) => {
+                attrs.push(attr);
+                ServerDecision::Challenge(attrs)
+            }
+            other => other,
+        }
+    }
 }
 
 impl Handler for OtpRadiusHandler {
@@ -217,9 +261,18 @@ impl Handler for OtpRadiusHandler {
             return ServerDecision::Discard;
         };
         let now = self.clock.now();
-        // The login node's trace id, if the client stamped one on the wire;
-        // threads the request through the validation engine's audit rows.
-        let trace = hpcmfa_radius::tracewire::trace_id_of(request);
+        // The login node's span context, if the client stamped one on the
+        // wire: the trace id threads the audit rows, the parent span id
+        // hangs the responder's spans under the requesting attempt, and
+        // the clock reading keeps virtual timestamps monotone across the
+        // hop. A v1 (bare trace id) attribute yields a parentless context
+        // rooted at this site's own clock origin.
+        let ctx = tracewire::trace_ctx_of(request).map(|w| SpanCtx {
+            trace: w.trace,
+            parent: w.parent,
+            clock: TraceClock::at(w.clock_us),
+        });
+        let ctx = ctx.as_ref();
         // The client's source address (Calling-Station-Id) feeds the
         // per-network admission control when overload protection is on.
         let source = request
@@ -228,10 +281,7 @@ impl Handler for OtpRadiusHandler {
 
         if password.is_empty() {
             // Null request: open the challenge, texting SMS users first.
-            return match self
-                .server
-                .trigger_sms_guarded(username, now, trace, source)
-            {
+            let decision = match self.server.trigger_sms_guarded(username, now, ctx, source) {
                 SmsTrigger::Sent(_) => self.challenge(SMS_SENT_MSG),
                 SmsTrigger::AlreadyActive => self.challenge(SMS_ALREADY_SENT_MSG),
                 // Soft/hard/static users just get the prompt; users with no
@@ -240,19 +290,34 @@ impl Handler for OtpRadiusHandler {
                 SmsTrigger::NotSmsUser | SmsTrigger::NoToken => self.challenge(TOKEN_PROMPT),
                 SmsTrigger::Locked | SmsTrigger::Unavailable => Self::reject(),
             };
+            return Self::stamp_clock(decision, ctx);
         }
 
         let Ok(code) = std::str::from_utf8(password) else {
-            return Self::reject();
+            return Self::stamp_clock(Self::reject(), ctx);
         };
         if ResumeAuthority::is_token(code) {
-            return self.handle_resume(username, code, source, now, trace);
+            let decision = self.handle_resume(username, code, source, now, ctx);
+            return Self::stamp_clock(decision, ctx);
         }
-        if self
+        let decision = if self
             .server
-            .validate_guarded(username, code, now, trace, source)
+            .validate_guarded(username, code, now, ctx, source)
             .is_success()
         {
+            if self.cluster.is_some() {
+                // Replicated deployments ship the accept's WAL frame to the
+                // warm standby and wait for its ack before answering.
+                if let Some(c) = ctx {
+                    let ack = self
+                        .server
+                        .metrics()
+                        .tracer()
+                        .start(c, "otp", "replication_ack");
+                    c.clock.advance_us(span_cost::REPLICATION_ACK_US);
+                    ack.finish();
+                }
+            }
             // Full MFA succeeded: hand back a resumption token bound to
             // this user and client /16, if the site issues them.
             let mut attrs = Vec::new();
@@ -268,7 +333,8 @@ impl Handler for OtpRadiusHandler {
             ServerDecision::Accept(attrs)
         } else {
             Self::reject()
-        }
+        };
+        Self::stamp_clock(decision, ctx)
     }
 }
 

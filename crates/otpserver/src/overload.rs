@@ -27,7 +27,7 @@
 //! `hpcmfa_shed_total{reason=…}` and emits an
 //! [`OverloadShed`](SecurityEventKind::OverloadShed) security event.
 
-use hpcmfa_telemetry::{Counter, Histogram, MetricsRegistry, SecurityEventKind, TraceId};
+use hpcmfa_telemetry::{Counter, Histogram, MetricsRegistry, SecurityEventKind, SpanId, TraceId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -155,17 +155,20 @@ impl AdmissionController {
     }
 
     /// Decide admission for a request from `source` at virtual second
-    /// `now`. On `Ok` the request's virtual queueing delay has been
-    /// recorded; on `Err` the shed has been counted and a typed
+    /// `now`. On `Ok` the request's virtual queueing delay (µs) is
+    /// returned and has been recorded in the lane histogram; on `Err` the
+    /// shed has been counted and a typed
     /// [`OverloadShed`](SecurityEventKind::OverloadShed) event emitted —
-    /// the caller answers fail-safe deny.
+    /// stamped with the caller's `span`, when it passed one — and the
+    /// caller answers fail-safe deny.
     pub fn admit(
         &self,
         source: Ipv4Addr,
         now: u64,
         trace: Option<TraceId>,
+        span: Option<SpanId>,
         op: &str,
-    ) -> Result<(), ShedReason> {
+    ) -> Result<u64, ShedReason> {
         let c = &self.config;
         let net = Self::net16(source);
         let mut s = self.state.lock();
@@ -197,7 +200,7 @@ impl AdmissionController {
         bucket.last_refill = now;
         if bucket.milli_tokens < 1_000 {
             drop(s);
-            return Err(self.shed(ShedReason::RateLimited, source, now, trace, op));
+            return Err(self.shed(ShedReason::RateLimited, source, now, trace, span, op));
         }
         bucket.milli_tokens -= 1_000;
 
@@ -211,24 +214,25 @@ impl AdmissionController {
             // the bounded queue — a best-effort flood cannot delay it.
             if s.trusted_backlog_us.saturating_add(cost) > c.queue_capacity.saturating_mul(cost) {
                 drop(s);
-                return Err(self.shed(ShedReason::QueueFull, source, now, trace, op));
+                return Err(self.shed(ShedReason::QueueFull, source, now, trace, span, op));
             }
             let latency = s.trusted_backlog_us + cost;
             s.trusted_backlog_us += cost;
             s.total_backlog_us += cost;
             drop(s);
             self.vtime_trusted.record(latency);
+            Ok(latency)
         } else {
             if s.total_backlog_us.saturating_add(cost) > c.latency_slo_us {
                 drop(s);
-                return Err(self.shed(ShedReason::UnauthFlood, source, now, trace, op));
+                return Err(self.shed(ShedReason::UnauthFlood, source, now, trace, span, op));
             }
             let latency = s.total_backlog_us + cost;
             s.total_backlog_us += cost;
             drop(s);
             self.vtime_best_effort.record(latency);
+            Ok(latency)
         }
-        Ok(())
     }
 
     fn shed(
@@ -237,6 +241,7 @@ impl AdmissionController {
         source: Ipv4Addr,
         now: u64,
         trace: Option<TraceId>,
+        span: Option<SpanId>,
         op: &str,
     ) -> ShedReason {
         match reason {
@@ -245,9 +250,10 @@ impl AdmissionController {
             ShedReason::QueueFull => self.shed_queue_full.inc(),
         }
         let octets = source.octets();
-        self.metrics.emit_event(
+        self.metrics.emit_event_spanned(
             SecurityEventKind::OverloadShed,
             trace,
+            span,
             now,
             format!(
                 "op={op} net={}.{}.0.0/16 reason={}",
@@ -286,20 +292,20 @@ mod tests {
         });
         for i in 0..3 {
             assert!(
-                adm.admit(ATTACKER, 100, None, "validate").is_ok(),
+                adm.admit(ATTACKER, 100, None, None, "validate").is_ok(),
                 "req {i}"
             );
         }
         assert_eq!(
-            adm.admit(ATTACKER, 100, None, "validate"),
+            adm.admit(ATTACKER, 100, None, None, "validate"),
             Err(ShedReason::RateLimited)
         );
         // A different /16 is unaffected.
         assert!(adm
-            .admit(Ipv4Addr::new(198, 19, 7, 9), 100, None, "validate")
+            .admit(Ipv4Addr::new(198, 19, 7, 9), 100, None, None, "validate")
             .is_ok());
         // The bucket refills with virtual time (30/min → one per 2 s).
-        assert!(adm.admit(ATTACKER, 102, None, "validate").is_ok());
+        assert!(adm.admit(ATTACKER, 102, None, None, "validate").is_ok());
     }
 
     #[test]
@@ -318,8 +324,8 @@ mod tests {
         let mut shed = 0;
         for i in 0..40u32 {
             let ip = Ipv4Addr::new(198, 18 + (i % 8) as u8, 1, 1);
-            match adm.admit(ip, 100, None, "validate") {
-                Ok(()) => admitted += 1,
+            match adm.admit(ip, 100, None, None, "validate") {
+                Ok(_) => admitted += 1,
                 Err(r) => {
                     assert_eq!(r, ShedReason::UnauthFlood);
                     shed += 1;
@@ -330,7 +336,7 @@ mod tests {
         assert_eq!(shed, 35);
         // …but the trusted network still gets in, queued only behind
         // trusted work (none), i.e. at bare service cost.
-        assert!(adm.admit(BENIGN, 100, None, "validate").is_ok());
+        assert!(adm.admit(BENIGN, 100, None, None, "validate").is_ok());
     }
 
     #[test]
@@ -343,10 +349,10 @@ mod tests {
         });
         adm.note_success(BENIGN, 100);
         for _ in 0..4 {
-            assert!(adm.admit(BENIGN, 100, None, "validate").is_ok());
+            assert!(adm.admit(BENIGN, 100, None, None, "validate").is_ok());
         }
         assert_eq!(
-            adm.admit(BENIGN, 100, None, "validate"),
+            adm.admit(BENIGN, 100, None, None, "validate"),
             Err(ShedReason::QueueFull)
         );
     }
@@ -360,9 +366,11 @@ mod tests {
             ..OverloadConfig::default()
         });
         adm.note_success(BENIGN, 100);
-        assert!(adm.admit(BENIGN, 100, None, "validate").is_ok());
+        assert!(adm.admit(BENIGN, 100, None, None, "validate").is_ok());
         // Past the TTL the network is best-effort again (SLO 0 → shed).
-        assert!(adm.admit(BENIGN, 100 + 3_601, None, "validate").is_err());
+        assert!(adm
+            .admit(BENIGN, 100 + 3_601, None, None, "validate")
+            .is_err());
     }
 
     #[test]
@@ -375,8 +383,8 @@ mod tests {
             },
             Arc::clone(&reg),
         );
-        assert!(adm.admit(ATTACKER, 50, None, "validate").is_ok());
-        assert!(adm.admit(ATTACKER, 50, None, "validate").is_err());
+        assert!(adm.admit(ATTACKER, 50, None, None, "validate").is_ok());
+        assert!(adm.admit(ATTACKER, 50, None, None, "validate").is_err());
         let snap = reg.snapshot();
         assert_eq!(
             snap.counter("hpcmfa_shed_total{reason=\"rate_limited\"}"),

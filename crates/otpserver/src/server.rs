@@ -21,12 +21,33 @@ use crate::store::{PendingSmsCode, TokenPairing, TokenStore, TotpProvenance, Use
 use crate::{DRIFT_TOLERANCE_SECS, LOCKOUT_THRESHOLD, SMS_CODE_VALIDITY_SECS};
 use hpcmfa_otp::secret::Secret;
 use hpcmfa_otp::totp::Totp;
-use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind, TraceId};
+use hpcmfa_telemetry::{
+    MetricsRegistry, SecurityEventKind, SpanCtx, SpanStatus, TraceClock, TraceId,
+};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Modeled virtual-time costs (µs) charged to the shared trace clock by
+/// the responder-side spans. Purely virtual — wall time is untouched —
+/// these make the critical-path analysis name which stage dominated a
+/// login (window scan vs WAL fsync vs admission wait) deterministically.
+pub mod span_cost {
+    /// Fixed engine overhead per validate/sms operation.
+    pub const OTP_BASE_US: u64 = 90;
+    /// Per drift-window step walked during a TOTP verify.
+    pub const WINDOW_SCAN_STEP_US: u64 = 18;
+    /// One WAL append + fsync on the durable path.
+    pub const WAL_FSYNC_US: u64 = 420;
+    /// Handing one message to the SMS provider.
+    pub const SMS_DISPATCH_US: u64 = 250;
+    /// Waiting for the warm standby to ack the shipped frame.
+    pub const REPLICATION_ACK_US: u64 = 650;
+    /// Promoting the standby to primary (reload included).
+    pub const FAILOVER_PROMOTE_US: u64 = 1_500;
+}
 
 /// Result of a token-code validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +161,58 @@ fn traced_detail(detail: &str, trace: Option<TraceId>) -> String {
         Some(t) if detail.is_empty() => format!("trace={t}"),
         Some(t) => format!("{detail} trace={t}"),
         None => detail.to_string(),
+    }
+}
+
+/// The `outcome` label used for counters and span details.
+fn validation_label(outcome: ValidationOutcome) -> &'static str {
+    match outcome {
+        ValidationOutcome::Success => "success",
+        ValidationOutcome::WrongCode => "wrong_code",
+        ValidationOutcome::Replayed => "replayed",
+        ValidationOutcome::Locked => "locked",
+        ValidationOutcome::NoToken => "no_token",
+        ValidationOutcome::Unavailable => "unavailable",
+    }
+}
+
+/// The `result` label used for counters and span details.
+fn sms_label(trigger: &SmsTrigger) -> &'static str {
+    match trigger {
+        SmsTrigger::Sent(_) => "sent",
+        SmsTrigger::AlreadyActive => "already_active",
+        SmsTrigger::NotSmsUser => "not_sms_user",
+        SmsTrigger::NoToken => "no_token",
+        SmsTrigger::Locked => "locked",
+        SmsTrigger::Unavailable => "unavailable",
+    }
+}
+
+/// Close out a `validate` span: outcome label as detail, degraded for
+/// durability denials, error for the other non-success outcomes.
+fn stamp_validation_span(
+    guard: &mut Option<hpcmfa_telemetry::SpanGuard<'_>>,
+    outcome: ValidationOutcome,
+) {
+    if let Some(g) = guard.as_mut() {
+        g.set_detail(validation_label(outcome));
+        match outcome {
+            ValidationOutcome::Success => {}
+            ValidationOutcome::Unavailable => g.set_status(SpanStatus::Degraded),
+            _ => g.set_status(SpanStatus::Error),
+        }
+    }
+}
+
+/// Close out an `sms` span analogously.
+fn stamp_sms_span(guard: &mut Option<hpcmfa_telemetry::SpanGuard<'_>>, trigger: &SmsTrigger) {
+    if let Some(g) = guard.as_mut() {
+        g.set_detail(sms_label(trigger));
+        match trigger {
+            SmsTrigger::Sent(_) | SmsTrigger::AlreadyActive | SmsTrigger::NotSmsUser => {}
+            SmsTrigger::Unavailable => g.set_status(SpanStatus::Degraded),
+            SmsTrigger::NoToken | SmsTrigger::Locked => g.set_status(SpanStatus::Error),
+        }
     }
 }
 
@@ -438,94 +511,181 @@ impl LinotpServer {
         self.admission.as_ref()
     }
 
-    /// [`LinotpServer::validate_traced`] behind admission control: the
+    /// [`LinotpServer::validate_spanned`] behind admission control: the
     /// request's source address (the RADIUS `Calling-Station-Id`) is
     /// checked against the per-network token bucket and the bounded
     /// queue first. A shed request is denied fail-safe with
     /// [`ValidationOutcome::Unavailable`] — the store is never touched,
     /// so a flood cannot inflate a victim's failure counter. A
     /// successful validation marks the source network trusted.
+    ///
+    /// With a span context the whole operation is recorded as a timed
+    /// `otp`/`validate` span; the admission queue wait becomes an
+    /// `admission` child span charging its virtual delay to the shared
+    /// trace clock, so the critical path can name it.
     pub fn validate_guarded(
         &self,
         username: &str,
         code: &str,
         now: u64,
-        trace: Option<TraceId>,
+        ctx: Option<&SpanCtx>,
         source: Option<std::net::Ipv4Addr>,
     ) -> ValidationOutcome {
+        let trace = ctx.map(|c| c.trace);
+        let mut guard = ctx.map(|c| self.metrics.tracer().start(c, "otp", "validate"));
+        let tctx = guard.as_ref().map(|g| g.child_ctx());
+        if let Some(c) = ctx {
+            c.clock.advance_us(span_cost::OTP_BASE_US);
+        }
         if let (Some(adm), Some(src)) = (&self.admission, source) {
-            if let Err(reason) = adm.admit(src, now, trace, "validate") {
-                self.audit_event(
-                    now,
-                    username,
-                    AuditAction::Validate,
-                    false,
-                    &traced_detail(&format!("shed: {}", reason.label()), trace),
-                );
-                self.metrics
-                    .counter(
-                        "hpcmfa_otp_validations_total",
-                        &[("outcome", "unavailable")],
-                    )
-                    .inc();
-                if let Some(t) = trace {
-                    self.metrics.tracer().span(t, "otp", "validate", "shed");
+            let span = guard.as_ref().map(|g| g.id());
+            match adm.admit(src, now, trace, span, "validate") {
+                Err(reason) => {
+                    self.audit_event(
+                        now,
+                        username,
+                        AuditAction::Validate,
+                        false,
+                        &traced_detail(&format!("shed: {}", reason.label()), trace),
+                    );
+                    self.metrics
+                        .counter(
+                            "hpcmfa_otp_validations_total",
+                            &[("outcome", "unavailable")],
+                        )
+                        .inc();
+                    if let Some(g) = guard.as_mut() {
+                        g.set_status(SpanStatus::Shed);
+                        g.set_detail(format!("shed: {}", reason.label()));
+                    }
+                    return ValidationOutcome::Unavailable;
                 }
-                return ValidationOutcome::Unavailable;
+                Ok(wait_us) => {
+                    if let Some(c) = tctx.as_ref() {
+                        let mut adm_span = self.metrics.tracer().start(c, "otp", "admission");
+                        adm_span.attr_u64("wait_us", wait_us);
+                        c.clock.advance_us(wait_us);
+                        adm_span.finish();
+                    }
+                }
             }
         }
-        let outcome = self.validate_traced(username, code, now, trace);
+        let outcome = self.validate_core(username, code, now, trace, tctx.as_ref());
         if outcome.is_success() {
             if let (Some(adm), Some(src)) = (&self.admission, source) {
                 adm.note_success(src, now);
             }
         }
+        stamp_validation_span(&mut guard, outcome);
         outcome
     }
 
-    /// [`LinotpServer::trigger_sms_traced`] behind admission control: a
+    /// [`LinotpServer::trigger_sms_spanned`] behind admission control: a
     /// shed null request sends nothing (no Twilio cost to an SMS flood)
     /// and reports [`SmsTrigger::Unavailable`] — fail-safe deny.
     pub fn trigger_sms_guarded(
         &self,
         username: &str,
         now: u64,
-        trace: Option<TraceId>,
+        ctx: Option<&SpanCtx>,
         source: Option<std::net::Ipv4Addr>,
     ) -> SmsTrigger {
+        let trace = ctx.map(|c| c.trace);
+        let mut guard = ctx.map(|c| self.metrics.tracer().start(c, "otp", "sms"));
+        let tctx = guard.as_ref().map(|g| g.child_ctx());
+        if let Some(c) = ctx {
+            c.clock.advance_us(span_cost::OTP_BASE_US);
+        }
         if let (Some(adm), Some(src)) = (&self.admission, source) {
-            if let Err(reason) = adm.admit(src, now, trace, "sms") {
-                self.audit_event(
-                    now,
-                    username,
-                    AuditAction::SmsTriggered,
-                    false,
-                    &traced_detail(&format!("shed: {}", reason.label()), trace),
-                );
-                self.metrics
-                    .counter(
-                        "hpcmfa_otp_sms_triggers_total",
-                        &[("result", "unavailable")],
-                    )
-                    .inc();
-                if let Some(t) = trace {
-                    self.metrics.tracer().span(t, "otp", "sms", "shed");
+            let span = guard.as_ref().map(|g| g.id());
+            match adm.admit(src, now, trace, span, "sms") {
+                Err(reason) => {
+                    self.audit_event(
+                        now,
+                        username,
+                        AuditAction::SmsTriggered,
+                        false,
+                        &traced_detail(&format!("shed: {}", reason.label()), trace),
+                    );
+                    self.metrics
+                        .counter(
+                            "hpcmfa_otp_sms_triggers_total",
+                            &[("result", "unavailable")],
+                        )
+                        .inc();
+                    if let Some(g) = guard.as_mut() {
+                        g.set_status(SpanStatus::Shed);
+                        g.set_detail(format!("shed: {}", reason.label()));
+                    }
+                    return SmsTrigger::Unavailable;
                 }
-                return SmsTrigger::Unavailable;
+                Ok(wait_us) => {
+                    if let Some(c) = tctx.as_ref() {
+                        let mut adm_span = self.metrics.tracer().start(c, "otp", "admission");
+                        adm_span.attr_u64("wait_us", wait_us);
+                        c.clock.advance_us(wait_us);
+                        adm_span.finish();
+                    }
+                }
             }
         }
-        self.trigger_sms_traced(username, now, trace)
+        let trigger = self.trigger_sms_core(username, now, trace, tctx.as_ref());
+        stamp_sms_span(&mut guard, &trigger);
+        trigger
     }
 
     /// [`LinotpServer::validate`] with an optional trace id: the outcome is
     /// recorded as an `otp` span and the audit detail carries the id, so
-    /// one login's PAM, RADIUS, and OTP records can be joined.
+    /// one login's PAM, RADIUS, and OTP records can be joined. The span is
+    /// rooted at virtual second `now` on a fresh trace clock; callers that
+    /// already hold a propagated [`SpanCtx`] (the RADIUS handler) use
+    /// [`LinotpServer::validate_spanned`] instead so the span lands under
+    /// the login-node parent.
     pub fn validate_traced(
         &self,
         username: &str,
         code: &str,
         now: u64,
         trace: Option<TraceId>,
+    ) -> ValidationOutcome {
+        let ctx = trace.map(|t| SpanCtx::root(t, TraceClock::at(now.saturating_mul(1_000_000))));
+        self.validate_spanned(username, code, now, ctx.as_ref())
+    }
+
+    /// [`LinotpServer::validate`] under a propagated span context: opens a
+    /// timed `otp`/`validate` span (child of `ctx.parent`), charges the
+    /// engine's modeled costs to the shared trace clock, and records
+    /// `window_scan`/`wal_fsync` child spans so the critical path can name
+    /// the dominant stage.
+    pub fn validate_spanned(
+        &self,
+        username: &str,
+        code: &str,
+        now: u64,
+        ctx: Option<&SpanCtx>,
+    ) -> ValidationOutcome {
+        let trace = ctx.map(|c| c.trace);
+        let mut guard = ctx.map(|c| self.metrics.tracer().start(c, "otp", "validate"));
+        let tctx = guard.as_ref().map(|g| g.child_ctx());
+        if let Some(c) = ctx {
+            c.clock.advance_us(span_cost::OTP_BASE_US);
+        }
+        let outcome = self.validate_core(username, code, now, trace, tctx.as_ref());
+        stamp_validation_span(&mut guard, outcome);
+        outcome
+    }
+
+    /// The validation engine proper. `trace` threads the audit detail and
+    /// security events; `tctx` (when spans are on) is the enclosing
+    /// `validate` span's child context — sub-spans parent under it and
+    /// its `parent` field is the validate span id used to stamp events.
+    fn validate_core(
+        &self,
+        username: &str,
+        code: &str,
+        now: u64,
+        trace: Option<TraceId>,
+        tctx: Option<&SpanCtx>,
     ) -> ValidationOutcome {
         let started = std::time::Instant::now();
         let threshold = self.config.lockout_threshold;
@@ -553,6 +713,14 @@ impl LinotpServer {
                         self.metrics
                             .counter("hpcmfa_otp_window_scans_total", &[])
                             .inc();
+                        if let Some(c) = tctx {
+                            let steps = window.saturating_mul(2).saturating_add(1);
+                            let mut scan = self.metrics.tracer().start(c, "otp", "window_scan");
+                            scan.attr_u64("window_steps", steps);
+                            c.clock
+                                .advance_us(span_cost::WINDOW_SCAN_STEP_US.saturating_mul(steps));
+                            scan.finish();
+                        }
                         match totp.verify(code, adjusted_now, window) {
                             Some(step) => {
                                 if last_step.is_some_and(|ls| step <= ls) {
@@ -618,17 +786,32 @@ impl LinotpServer {
                 let persisted = match outcome {
                     ValidationOutcome::Success
                     | ValidationOutcome::WrongCode
-                    | ValidationOutcome::Replayed => self.persist(&WalRecord::ValState {
-                        user: username.to_string(),
-                        last_step: match (&rec.pairing, outcome) {
-                            (TokenPairing::Totp { last_step, .. }, ValidationOutcome::Success) => {
-                                *last_step
+                    | ValidationOutcome::Replayed => {
+                        let fsync = tctx.filter(|_| self.persistence.is_some()).map(|c| {
+                            let g = self.metrics.tracer().start(c, "otp", "wal_fsync");
+                            c.clock.advance_us(span_cost::WAL_FSYNC_US);
+                            g
+                        });
+                        let ok = self.persist(&WalRecord::ValState {
+                            user: username.to_string(),
+                            last_step: match (&rec.pairing, outcome) {
+                                (
+                                    TokenPairing::Totp { last_step, .. },
+                                    ValidationOutcome::Success,
+                                ) => *last_step,
+                                _ => None,
+                            },
+                            fail_count: rec.fail_count,
+                            active: rec.active,
+                        });
+                        if let Some(mut g) = fsync {
+                            if !ok {
+                                g.set_status(SpanStatus::Error);
+                                g.set_detail("append failed");
                             }
-                            _ => None,
-                        },
-                        fail_count: rec.fail_count,
-                        active: rec.active,
-                    }),
+                        }
+                        ok
+                    }
                     _ => true,
                 };
                 // An accepted code whose nullification is not durable must
@@ -669,39 +852,37 @@ impl LinotpServer {
                 &traced_detail("threshold reached", trace),
             );
         }
-        let outcome_label = match outcome {
-            ValidationOutcome::Success => "success",
-            ValidationOutcome::WrongCode => "wrong_code",
-            ValidationOutcome::Replayed => "replayed",
-            ValidationOutcome::Locked => "locked",
-            ValidationOutcome::NoToken => "no_token",
-            ValidationOutcome::Unavailable => "unavailable",
-        };
+        // Events carry the enclosing validate span (`tctx.parent` is the
+        // validate span's id), so every alert joins the trace tree.
+        let span = tctx.and_then(|c| c.parent);
         self.metrics
             .counter(
                 "hpcmfa_otp_validations_total",
-                &[("outcome", outcome_label)],
+                &[("outcome", validation_label(outcome))],
             )
             .inc();
         if locked_now {
             self.metrics.counter("hpcmfa_otp_lockouts_total", &[]).inc();
-            self.metrics.emit_event(
+            self.metrics.emit_event_spanned(
                 SecurityEventKind::LockoutStorm,
                 trace,
+                span,
                 now,
                 format!("user={username} threshold reached"),
             );
         }
         match outcome {
-            ValidationOutcome::Replayed => self.metrics.emit_event(
+            ValidationOutcome::Replayed => self.metrics.emit_event_spanned(
                 SecurityEventKind::ReplayAttempt,
                 trace,
+                span,
                 now,
                 format!("user={username} consumed code resubmitted"),
             ),
-            ValidationOutcome::Unavailable => self.metrics.emit_event(
+            ValidationOutcome::Unavailable => self.metrics.emit_event_spanned(
                 SecurityEventKind::WalFsyncDegraded,
                 trace,
+                span,
                 now,
                 format!("user={username} accepted code not durable, denied"),
             ),
@@ -710,11 +891,6 @@ impl LinotpServer {
         self.metrics
             .histogram("hpcmfa_otp_validate_wall_us", &[])
             .record_elapsed_us(started);
-        if let Some(t) = trace {
-            self.metrics
-                .tracer()
-                .span(t, "otp", "validate", outcome_label);
-        }
         self.maybe_compact(now);
         outcome
     }
@@ -736,12 +912,24 @@ impl LinotpServer {
         nonce: [u8; 16],
         expires_at: u64,
         now: u64,
-        trace: Option<TraceId>,
+        ctx: Option<&SpanCtx>,
     ) -> ResumeConsumeOutcome {
+        let trace = ctx.map(|c| c.trace);
+        let mut guard = ctx.map(|c| self.metrics.tracer().start(c, "otp", "resume_consume"));
+        let span = guard.as_ref().map(|g| g.id());
+        if let Some(c) = ctx {
+            c.clock.advance_us(span_cost::OTP_BASE_US);
+        }
         let outcome = {
             let mut ledger = self.resume_consumed.lock();
             if let std::collections::btree_map::Entry::Vacant(slot) = ledger.entry(nonce) {
                 slot.insert(expires_at);
+                if ctx.is_some() && self.persistence.is_some() {
+                    // The nonce consume is one WAL append on the durable path.
+                    if let Some(c) = ctx {
+                        c.clock.advance_us(span_cost::WAL_FSYNC_US);
+                    }
+                }
                 if self.persist(&WalRecord::ResumeConsume {
                     user: username.to_string(),
                     nonce,
@@ -773,19 +961,29 @@ impl LinotpServer {
             .counter("hpcmfa_otp_resume_consumes_total", &[("outcome", label)])
             .inc();
         match outcome {
-            ResumeConsumeOutcome::Replayed => self.metrics.emit_event(
+            ResumeConsumeOutcome::Replayed => self.metrics.emit_event_spanned(
                 SecurityEventKind::ResumeReplay,
                 trace,
+                span,
                 now,
                 format!("user={username} resumption nonce replayed"),
             ),
-            ResumeConsumeOutcome::Unavailable => self.metrics.emit_event(
+            ResumeConsumeOutcome::Unavailable => self.metrics.emit_event_spanned(
                 SecurityEventKind::WalFsyncDegraded,
                 trace,
+                span,
                 now,
                 format!("user={username} resume consume not durable, denied"),
             ),
             ResumeConsumeOutcome::Fresh => {}
+        }
+        if let Some(g) = guard.as_mut() {
+            g.set_detail(label);
+            match outcome {
+                ResumeConsumeOutcome::Fresh => {}
+                ResumeConsumeOutcome::Replayed => g.set_status(SpanStatus::Error),
+                ResumeConsumeOutcome::Unavailable => g.set_status(SpanStatus::Degraded),
+            }
         }
         self.maybe_compact(now);
         outcome
@@ -797,13 +995,49 @@ impl LinotpServer {
     }
 
     /// [`LinotpServer::trigger_sms`] with an optional trace id carried into
-    /// the span and audit detail.
+    /// the span and audit detail. The span roots at virtual second `now`;
+    /// callers holding a propagated context use
+    /// [`LinotpServer::trigger_sms_spanned`].
     pub fn trigger_sms_traced(
         &self,
         username: &str,
         now: u64,
         trace: Option<TraceId>,
     ) -> SmsTrigger {
+        let ctx = trace.map(|t| SpanCtx::root(t, TraceClock::at(now.saturating_mul(1_000_000))));
+        self.trigger_sms_spanned(username, now, ctx.as_ref())
+    }
+
+    /// [`LinotpServer::trigger_sms`] under a propagated span context:
+    /// records a timed `otp`/`sms` span with `wal_fsync` and
+    /// `sms_dispatch` children charging modeled costs to the trace clock.
+    pub fn trigger_sms_spanned(
+        &self,
+        username: &str,
+        now: u64,
+        ctx: Option<&SpanCtx>,
+    ) -> SmsTrigger {
+        let trace = ctx.map(|c| c.trace);
+        let mut guard = ctx.map(|c| self.metrics.tracer().start(c, "otp", "sms"));
+        let tctx = guard.as_ref().map(|g| g.child_ctx());
+        if let Some(c) = ctx {
+            c.clock.advance_us(span_cost::OTP_BASE_US);
+        }
+        let trigger = self.trigger_sms_core(username, now, trace, tctx.as_ref());
+        stamp_sms_span(&mut guard, &trigger);
+        trigger
+    }
+
+    /// The SMS-trigger engine proper; `tctx` parents the sub-spans, its
+    /// `parent` field stamps emitted events.
+    fn trigger_sms_core(
+        &self,
+        username: &str,
+        now: u64,
+        trace: Option<TraceId>,
+        tctx: Option<&SpanCtx>,
+    ) -> SmsTrigger {
+        let span = tctx.and_then(|c| c.parent);
         let validity = self.config.sms_validity_secs;
         let code = format!("{:06}", self.rng.lock().random_range(0..1_000_000u32));
         let decision = self
@@ -820,6 +1054,11 @@ impl LinotpServer {
                             let expires_at = now + validity;
                             // The issue record must be durable before the
                             // provider is handed the message.
+                            if let Some(c) = tctx.filter(|_| self.persistence.is_some()) {
+                                let fsync = self.metrics.tracer().start(c, "otp", "wal_fsync");
+                                c.clock.advance_us(span_cost::WAL_FSYNC_US);
+                                fsync.finish();
+                            }
                             if !self.persist(&WalRecord::SmsIssue {
                                 user: username.to_string(),
                                 code: code.clone(),
@@ -845,7 +1084,15 @@ impl LinotpServer {
         let trigger = match decision {
             SmsDecision::Send(phone) => {
                 let body = format!("Your TACC token code is {code}");
-                let msg = self.sms.send(&phone, &body, now);
+                let msg = if let Some(c) = tctx {
+                    let dispatch = self.metrics.tracer().start(c, "otp", "sms_dispatch");
+                    c.clock.advance_us(span_cost::SMS_DISPATCH_US);
+                    let msg = self.sms.send(&phone, &body, now);
+                    dispatch.finish();
+                    msg
+                } else {
+                    self.sms.send(&phone, &body, now)
+                };
                 self.audit_event(
                     now,
                     username,
@@ -863,9 +1110,10 @@ impl LinotpServer {
                     true,
                     &traced_detail("code active", trace),
                 );
-                self.metrics.emit_event(
+                self.metrics.emit_event_spanned(
                     SecurityEventKind::SmsAbuse,
                     trace,
+                    span,
                     now,
                     format!("user={username} re-trigger while code active"),
                 );
@@ -882,29 +1130,22 @@ impl LinotpServer {
                     false,
                     &traced_detail("durability unavailable", trace),
                 );
-                self.metrics.emit_event(
+                self.metrics.emit_event_spanned(
                     SecurityEventKind::WalFsyncDegraded,
                     trace,
+                    span,
                     now,
                     format!("user={username} sms issue not durable, withheld"),
                 );
                 SmsTrigger::Unavailable
             }
         };
-        let result_label = match &trigger {
-            SmsTrigger::Sent(_) => "sent",
-            SmsTrigger::AlreadyActive => "already_active",
-            SmsTrigger::NotSmsUser => "not_sms_user",
-            SmsTrigger::NoToken => "no_token",
-            SmsTrigger::Locked => "locked",
-            SmsTrigger::Unavailable => "unavailable",
-        };
         self.metrics
-            .counter("hpcmfa_otp_sms_triggers_total", &[("result", result_label)])
+            .counter(
+                "hpcmfa_otp_sms_triggers_total",
+                &[("result", sms_label(&trigger))],
+            )
             .inc();
-        if let Some(t) = trace {
-            self.metrics.tracer().span(t, "otp", "sms", result_label);
-        }
         self.maybe_compact(now);
         trigger
     }
@@ -1434,10 +1675,17 @@ mod tests {
             .for_user("alice")
             .iter()
             .any(|e| e.detail.contains(&format!("trace={id}"))));
+        // Children record before their parent: the drift-window scan span
+        // first, then the enclosing timed validate span.
         let spans = srv.metrics().tracer().spans_for(id);
-        assert_eq!(spans.len(), 1);
+        assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].component, "otp");
-        assert_eq!(spans[0].detail, "success");
+        assert_eq!(spans[0].label, "window_scan");
+        assert_eq!(spans[1].component, "otp");
+        assert_eq!(spans[1].label, "validate");
+        assert_eq!(spans[1].detail, "success");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert!(spans[1].duration_us() >= span_cost::OTP_BASE_US);
         let snap = srv.metrics().snapshot();
         assert_eq!(
             snap.counter("hpcmfa_otp_validations_total{outcome=\"success\"}"),

@@ -3,7 +3,7 @@
 
 use crate::conv::Conversation;
 use hpcmfa_otp::clock::Clock;
-use hpcmfa_telemetry::TraceId;
+use hpcmfa_telemetry::{SpanCtx, SpanId, TraceClock, TraceId};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -32,6 +32,16 @@ pub struct PamContext<'a> {
     /// the SSH daemon overwrites it with a deterministically derived one
     /// so simulations stay reproducible.
     pub trace_id: TraceId,
+    /// The login's shared virtual trace clock (µs). Every span this
+    /// attempt opens — here, in the RADIUS client, and across the wire on
+    /// the OTP server — stamps itself from this one clock, so the
+    /// assembled trace tree has a single monotone time basis. Defaults to
+    /// the wall-clock-derived epoch of `clock`; the SSH daemon overwrites
+    /// it with the session clock it opened the root span on.
+    pub trace_clock: TraceClock,
+    /// The span the PAM stack should parent its own span under (the SSH
+    /// daemon's session span, when one is open).
+    pub parent_span: Option<SpanId>,
     /// A session-resumption token issued by the OTP server on a full-MFA
     /// success (the `resume=` `Reply-Message`). The application layer
     /// hands it back to the client, which may present it in place of a
@@ -47,6 +57,7 @@ impl<'a> PamContext<'a> {
         clock: Arc<dyn Clock>,
         conv: &'a mut dyn Conversation,
     ) -> Self {
+        let trace_clock = TraceClock::at(clock.now().saturating_mul(1_000_000));
         PamContext {
             username: username.to_string(),
             rhost,
@@ -56,6 +67,8 @@ impl<'a> PamContext<'a> {
             pubkey_succeeded: false,
             risk_step_up: false,
             trace_id: TraceId::mint(),
+            trace_clock,
+            parent_span: None,
             issued_resume_token: None,
         }
     }
@@ -63,6 +76,17 @@ impl<'a> PamContext<'a> {
     /// Current Unix time.
     pub fn now(&self) -> u64 {
         self.clock.now()
+    }
+
+    /// The span context this attempt's spans open under: the login's
+    /// trace, parented under [`PamContext::parent_span`] (root when the
+    /// daemon opened none), on the shared trace clock.
+    pub fn span_ctx(&self) -> SpanCtx {
+        SpanCtx {
+            trace: self.trace_id,
+            parent: self.parent_span,
+            clock: self.trace_clock.clone(),
+        }
     }
 }
 
@@ -87,6 +111,12 @@ mod tests {
         assert_eq!(ctx.service, "sshd");
         assert_eq!(ctx.now(), 1000);
         assert!(!ctx.pubkey_succeeded);
+        // The trace clock seeds from the unix clock in µs and the default
+        // span context is a root of this attempt's trace.
+        assert_eq!(ctx.trace_clock.now_us(), 1_000_000_000);
+        let span_ctx = ctx.span_ctx();
+        assert_eq!(span_ctx.trace, ctx.trace_id);
+        assert_eq!(span_ctx.parent, None);
         clock.advance(30);
         assert_eq!(ctx.now(), 1030);
     }

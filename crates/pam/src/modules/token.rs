@@ -198,16 +198,14 @@ impl TokenModule {
     /// The challenge–response exchange of Figure 2.
     fn prompt_and_validate(&self, ctx: &mut PamContext<'_>) -> PamResult {
         let rhost = ctx.rhost.to_string();
+        // The login's span context: the client's request span parents
+        // under the PAM stack span on the shared trace clock.
+        let span_ctx = ctx.span_ctx();
         // Null request: opens the challenge and triggers SMS sends.
         let opening = {
             let mut rng = self.rng.lock();
-            self.radius.authenticate_traced(
-                &mut *rng,
-                &ctx.username,
-                b"",
-                &rhost,
-                Some(ctx.trace_id),
-            )
+            self.radius
+                .authenticate_spanned(&mut *rng, &ctx.username, b"", &rhost, &span_ctx)
         };
         let (state, prompt_text) = match opening {
             Ok(Outcome::Challenge { state, message }) => {
@@ -233,13 +231,13 @@ impl TokenModule {
 
         let answer = {
             let mut rng = self.rng.lock();
-            self.radius.respond_to_challenge_traced(
+            self.radius.respond_to_challenge_spanned(
                 &mut *rng,
                 &ctx.username,
                 code.as_bytes(),
                 &rhost,
                 &state,
-                Some(ctx.trace_id),
+                &span_ctx,
             )
         };
         match answer {

@@ -7,7 +7,7 @@
 //! succeeded.
 
 use crate::context::PamContext;
-use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind};
+use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind, SpanStatus};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -160,30 +160,43 @@ impl PamStack {
     }
 
     fn run(&self, ctx: &mut PamContext<'_>, trace: Option<&mut Vec<StackTraceLine>>) -> PamVerdict {
+        let Some(metrics) = self.metrics.clone() else {
+            return self.eval(ctx, trace);
+        };
+        // Open the stack's timed span and reparent the context under it
+        // for the duration of the evaluation, so every module span (the
+        // RADIUS token module in particular) hangs off the pam hop.
+        let mut guard = metrics.tracer().start(&ctx.span_ctx(), "pam", "stack");
+        let outer_parent = ctx.parent_span.replace(guard.id());
+        let pam_span = guard.id();
         let verdict = self.eval(ctx, trace);
-        if let Some(metrics) = &self.metrics {
-            let label = match verdict {
-                PamVerdict::Granted => "granted",
-                PamVerdict::Denied => "denied",
-            };
-            metrics
-                .counter("hpcmfa_pam_stack_runs_total", &[("verdict", label)])
-                .inc();
-            metrics.tracer().span(ctx.trace_id, "pam", "stack", label);
-            match verdict {
-                PamVerdict::Granted => {
-                    self.denied_streak.store(0, Ordering::Relaxed);
-                }
-                PamVerdict::Denied => {
-                    let streak = self.denied_streak.fetch_add(1, Ordering::Relaxed) + 1;
-                    if streak == FAILURE_BURST_THRESHOLD {
-                        metrics.emit_event(
-                            SecurityEventKind::AuthFailureBurst,
-                            Some(ctx.trace_id),
-                            ctx.now(),
-                            format!("user={} {streak} consecutive denials", ctx.username),
-                        );
-                    }
+        ctx.parent_span = outer_parent;
+        let label = match verdict {
+            PamVerdict::Granted => "granted",
+            PamVerdict::Denied => "denied",
+        };
+        guard.set_detail(label);
+        if verdict == PamVerdict::Denied {
+            guard.set_status(SpanStatus::Error);
+        }
+        guard.finish();
+        metrics
+            .counter("hpcmfa_pam_stack_runs_total", &[("verdict", label)])
+            .inc();
+        match verdict {
+            PamVerdict::Granted => {
+                self.denied_streak.store(0, Ordering::Relaxed);
+            }
+            PamVerdict::Denied => {
+                let streak = self.denied_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                if streak == FAILURE_BURST_THRESHOLD {
+                    metrics.emit_event_spanned(
+                        SecurityEventKind::AuthFailureBurst,
+                        Some(ctx.trace_id),
+                        Some(pam_span),
+                        ctx.now(),
+                        format!("user={} {streak} consecutive denials", ctx.username),
+                    );
                 }
             }
         }

@@ -28,7 +28,10 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::packet::{Code, Packet};
 use crate::tracewire;
 use crate::transport::{Transport, TransportError};
-use hpcmfa_telemetry::{Counter, Histogram, MetricsRegistry, SecurityEventKind, TraceId};
+use hpcmfa_telemetry::{
+    Counter, Histogram, MetricsRegistry, SecurityEventKind, SpanCtx, SpanId, SpanStatus,
+    TraceClock, TraceId,
+};
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -415,9 +418,12 @@ impl RadiusClient {
         self.request(rng, username, password, calling_station, None, None)
     }
 
-    /// [`authenticate`](Self::authenticate) carrying a trace id: the id is
-    /// encoded as a vendor attribute on the wire and a `radius.client`
-    /// span is recorded.
+    /// [`authenticate`](Self::authenticate) carrying a trace id: the
+    /// context is encoded as a vendor attribute on the wire and a timed
+    /// `radius.client` span tree is recorded. The span opens as a root of
+    /// `trace` on a clock seeded from this client's vclock; callers with
+    /// a login-wide span open use
+    /// [`authenticate_spanned`](Self::authenticate_spanned) instead.
     pub fn authenticate_traced<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,
@@ -426,7 +432,24 @@ impl RadiusClient {
         calling_station: &str,
         trace: Option<TraceId>,
     ) -> Result<Outcome, ClientError> {
-        self.request(rng, username, password, calling_station, None, trace)
+        let ctx = trace.map(|t| self.root_ctx(t));
+        self.request(rng, username, password, calling_station, None, ctx.as_ref())
+    }
+
+    /// [`authenticate`](Self::authenticate) inside an existing span
+    /// context: the request span parents under `ctx.parent` and stamps
+    /// itself from `ctx.clock`, which is advanced by the same virtual
+    /// costs the client charges its own vclock (and fast-forwarded past
+    /// the responder's processing time when the reply carries a clock).
+    pub fn authenticate_spanned<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        password: &[u8],
+        calling_station: &str,
+        ctx: &SpanCtx,
+    ) -> Result<Outcome, ClientError> {
+        self.request(rng, username, password, calling_station, None, Some(ctx))
     }
 
     /// Continue a challenge with the user's answer and the echoed state.
@@ -452,14 +475,58 @@ impl RadiusClient {
         state: &[u8],
         trace: Option<TraceId>,
     ) -> Result<Outcome, ClientError> {
-        self.request(rng, username, answer, calling_station, Some(state), trace)
+        let ctx = trace.map(|t| self.root_ctx(t));
+        self.request(
+            rng,
+            username,
+            answer,
+            calling_station,
+            Some(state),
+            ctx.as_ref(),
+        )
+    }
+
+    /// [`respond_to_challenge`](Self::respond_to_challenge) inside an
+    /// existing span context (see
+    /// [`authenticate_spanned`](Self::authenticate_spanned)).
+    pub fn respond_to_challenge_spanned<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        answer: &[u8],
+        calling_station: &str,
+        state: &[u8],
+        ctx: &SpanCtx,
+    ) -> Result<Outcome, ClientError> {
+        self.request(
+            rng,
+            username,
+            answer,
+            calling_station,
+            Some(state),
+            Some(ctx),
+        )
+    }
+
+    /// The ad-hoc root context the bare `_traced` entry points run under:
+    /// a fresh root of `trace` on a clock seeded from this client's
+    /// vclock, so span durations line up with the request-duration
+    /// histogram.
+    fn root_ctx(&self, trace: TraceId) -> SpanCtx {
+        SpanCtx {
+            trace,
+            parent: None,
+            clock: TraceClock::at(self.vclock_us()),
+        }
     }
 
     /// Issue one request and record its telemetry: a virtual-time latency
     /// sample (deterministic — the vclock only moves by attempt costs), an
-    /// outcome counter, and a span when traced. Under concurrent logins
-    /// the shared vclock interleaves, so per-request deltas are upper
-    /// bounds; single-threaded simulations get exact figures.
+    /// outcome counter, and a timed span tree when traced (one request
+    /// span, one child per exchange attempt, plus backoff / breaker-wait
+    /// children). Under concurrent logins the shared vclock interleaves,
+    /// so per-request deltas are upper bounds; single-threaded simulations
+    /// get exact figures.
     fn request<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,
@@ -467,13 +534,35 @@ impl RadiusClient {
         password: &[u8],
         calling_station: &str,
         state: Option<&[u8]>,
-        trace: Option<TraceId>,
+        ctx: Option<&SpanCtx>,
     ) -> Result<Outcome, ClientError> {
         let t0 = self.vclock_us();
-        let result = self.walk_pool(rng, username, password, calling_station, state, trace);
-        self.instruments
-            .duration_us
-            .record(self.vclock_us().saturating_sub(t0));
+        let label = if state.is_some() {
+            "challenge_response"
+        } else {
+            "authenticate"
+        };
+        let mut guard = ctx.map(|c| self.metrics.tracer().start(c, "radius.client", label));
+        let child_ctx = guard.as_ref().map(|g| g.child_ctx());
+        let result = self.walk_pool(
+            rng,
+            username,
+            password,
+            calling_station,
+            state,
+            child_ctx.as_ref(),
+        );
+        let duration = self.vclock_us().saturating_sub(t0);
+        match ctx {
+            // The worst traced observation per bucket becomes the
+            // histogram's exemplar, so a latency spike links straight to
+            // its trace tree.
+            Some(c) => self
+                .instruments
+                .duration_us
+                .record_traced(duration, c.trace),
+            None => self.instruments.duration_us.record(duration),
+        }
         let outcome = match &result {
             Ok(Outcome::Accept { .. }) => {
                 self.instruments.outcome_accept.inc();
@@ -492,17 +581,22 @@ impl RadiusClient {
                 "error"
             }
         };
-        if let Some(t) = trace {
-            let label = if state.is_some() {
-                "challenge_response"
-            } else {
-                "authenticate"
-            };
-            self.metrics
-                .tracer()
-                .span(t, "radius.client", label, outcome);
+        if let Some(g) = guard.as_mut() {
+            g.set_detail(outcome);
+            if result.is_err() {
+                g.set_status(SpanStatus::Error);
+            }
         }
         result
+    }
+
+    /// Advance the vclock and, when traced, mirror the same charge onto
+    /// the login's trace clock so span timestamps track attempt costs.
+    fn advance_mirrored(&self, delta_us: u64, tctx: Option<&SpanCtx>) -> u64 {
+        if let Some(c) = tctx {
+            c.clock.advance_us(delta_us);
+        }
+        self.advance(delta_us)
     }
 
     fn walk_pool<R: RngCore + ?Sized>(
@@ -512,7 +606,7 @@ impl RadiusClient {
         password: &[u8],
         calling_station: &str,
         state: Option<&[u8]>,
-        trace: Option<TraceId>,
+        tctx: Option<&SpanCtx>,
     ) -> Result<Outcome, ClientError> {
         if self.transports.is_empty() {
             return Err(ClientError::NoServers);
@@ -539,10 +633,15 @@ impl RadiusClient {
         if let Some(s) = state {
             packet = packet.with_attribute(Attribute::new(AttributeType::State, s.to_vec()));
         }
-        if let Some(t) = trace {
-            packet = packet.with_attribute(tracewire::trace_attribute(t));
-        }
-        let wire = packet.encode();
+        // Untraced requests encode once; traced requests re-encode per
+        // attempt because the wire context names the attempt span and the
+        // clock at send time.
+        let wire_plain = if tctx.is_none() {
+            packet.encode()
+        } else {
+            Vec::new()
+        };
+        let trace = tctx.map(|c| c.trace);
 
         // Round-robin with failover: start at the rotor, walk the pool,
         // back off, and repeat until the deadline budget is spent. Servers
@@ -568,7 +667,12 @@ impl RadiusClient {
                     self.instruments.per_server[idx].skipped.inc();
                     continue;
                 }
-                self.note_breaker_transition(idx, breaker_before, trace);
+                self.note_breaker_transition(
+                    idx,
+                    breaker_before,
+                    trace,
+                    tctx.and_then(|c| c.parent),
+                );
                 sent_any = true;
                 attempts += 1;
                 self.stats.attempts.fetch_add(1, Ordering::Relaxed);
@@ -578,16 +682,51 @@ impl RadiusClient {
                 }
                 self.health[idx].attempts.fetch_add(1, Ordering::Relaxed);
                 self.instruments.per_server[idx].attempts.inc();
-                match self.transports[idx].exchange(&wire) {
+                // Open the attempt span and stamp the wire with it: the
+                // responder parents its own spans under this attempt.
+                let mut att = tctx.map(|c| {
+                    let mut g = self.metrics.tracer().start(c, "radius.client", "attempt");
+                    g.attr_str("server", self.transports[idx].name());
+                    g
+                });
+                let att_span = att.as_ref().map(|g| g.id());
+                let wire_buf;
+                let wire: &[u8] = match (&att, tctx) {
+                    (Some(g), Some(c)) => {
+                        wire_buf = packet
+                            .clone()
+                            .with_attribute(tracewire::trace_ctx_attribute(
+                                c.trace,
+                                Some(g.id()),
+                                c.clock.now_us(),
+                            ))
+                            .encode();
+                        &wire_buf
+                    }
+                    _ => &wire_plain,
+                };
+                match self.transports[idx].exchange(wire) {
                     Ok(reply) => {
-                        let now = self.advance(
+                        // A clock-aware responder reports its trace clock
+                        // after processing; fast-forward ours past it so
+                        // the attempt span encloses the server's spans.
+                        if let Some(c) = tctx {
+                            if let Some(server_clock) = Packet::decode(&reply)
+                                .ok()
+                                .and_then(|p| tracewire::clock_of(&p))
+                            {
+                                c.clock.fast_forward_us(server_clock);
+                            }
+                        }
+                        let now = self.advance_mirrored(
                             retry.rtt_cost_us + self.transports[idx].round_trip_latency_us(),
+                            tctx,
                         );
                         match self.interpret(&reply, id, &ra) {
                             Interpreted::Done(outcome) => {
                                 let before = self.breakers[idx].state();
                                 self.breakers[idx].record_success();
-                                self.note_breaker_transition(idx, before, trace);
+                                self.note_breaker_transition(idx, before, trace, att_span);
                                 self.health[idx].successes.fetch_add(1, Ordering::Relaxed);
                                 return Ok(outcome);
                             }
@@ -596,25 +735,69 @@ impl RadiusClient {
                                 // problem. Never mark the server dead for it.
                                 let before = self.breakers[idx].state();
                                 self.breakers[idx].record_success();
-                                self.note_breaker_transition(idx, before, trace);
+                                self.note_breaker_transition(idx, before, trace, att_span);
+                                if let Some(g) = att.as_mut() {
+                                    g.set_status(SpanStatus::Error);
+                                    g.set_detail("fatal");
+                                }
                                 return Err(e);
                             }
                             Interpreted::Discard => {
-                                self.record_failure(idx, now, &self.instruments.err_discard, trace);
+                                if let Some(g) = att.as_mut() {
+                                    g.set_status(SpanStatus::Error);
+                                    g.set_detail("discard");
+                                }
+                                self.record_failure(
+                                    idx,
+                                    now,
+                                    &self.instruments.err_discard,
+                                    trace,
+                                    att_span,
+                                );
                             }
                         }
                     }
                     Err(TransportError::Timeout) | Err(TransportError::Io(_)) => {
-                        let now = self.advance(retry.timeout_cost_us);
-                        self.record_failure(idx, now, &self.instruments.err_timeout, trace);
+                        let now = self.advance_mirrored(retry.timeout_cost_us, tctx);
+                        if let Some(g) = att.as_mut() {
+                            g.set_status(SpanStatus::Error);
+                            g.set_detail("timeout");
+                        }
+                        self.record_failure(
+                            idx,
+                            now,
+                            &self.instruments.err_timeout,
+                            trace,
+                            att_span,
+                        );
                     }
                     Err(TransportError::Unreachable) => {
-                        let now = self.advance(retry.unreachable_cost_us);
-                        self.record_failure(idx, now, &self.instruments.err_unreachable, trace);
+                        let now = self.advance_mirrored(retry.unreachable_cost_us, tctx);
+                        if let Some(g) = att.as_mut() {
+                            g.set_status(SpanStatus::Error);
+                            g.set_detail("unreachable");
+                        }
+                        self.record_failure(
+                            idx,
+                            now,
+                            &self.instruments.err_unreachable,
+                            trace,
+                            att_span,
+                        );
                     }
                     Err(TransportError::GarbledReply) => {
-                        let now = self.advance(retry.rtt_cost_us);
-                        self.record_failure(idx, now, &self.instruments.err_garbled, trace);
+                        let now = self.advance_mirrored(retry.rtt_cost_us, tctx);
+                        if let Some(g) = att.as_mut() {
+                            g.set_status(SpanStatus::Error);
+                            g.set_detail("garbled");
+                        }
+                        self.record_failure(
+                            idx,
+                            now,
+                            &self.instruments.err_garbled,
+                            trace,
+                            att_span,
+                        );
                     }
                 }
             }
@@ -624,6 +807,16 @@ impl RadiusClient {
                 let earliest = self.breakers.iter().filter_map(|b| b.open_until_us()).min();
                 match earliest {
                     Some(t) if t < deadline => {
+                        let wait = t.saturating_sub(self.vclock_us());
+                        if let Some(c) = tctx {
+                            let mut g =
+                                self.metrics
+                                    .tracer()
+                                    .start(c, "radius.client", "breaker_wait");
+                            g.attr_u64("wait_us", wait);
+                            c.clock.advance_us(wait);
+                            g.finish();
+                        }
                         self.vclock.fetch_max(t, Ordering::SeqCst);
                     }
                     _ => return Err(ClientError::AllServersFailed { attempts }),
@@ -632,7 +825,14 @@ impl RadiusClient {
             }
             round += 1;
             let delay = retry.backoff_us(round);
-            if self.advance(delay) >= deadline {
+            let backoff_guard = tctx.map(|c| {
+                let mut g = self.metrics.tracer().start(c, "radius.client", "backoff");
+                g.attr_u64("round", u64::from(round));
+                g
+            });
+            let past_deadline = self.advance_mirrored(delay, tctx) >= deadline;
+            drop(backoff_guard);
+            if past_deadline {
                 return Err(ClientError::AllServersFailed { attempts });
             }
         }
@@ -640,10 +840,17 @@ impl RadiusClient {
 
     /// Count one transport-level failure against server `idx`: breaker,
     /// health, per-server failure series and the per-kind error counter.
-    fn record_failure(&self, idx: usize, now_us: u64, kind: &Counter, trace: Option<TraceId>) {
+    fn record_failure(
+        &self,
+        idx: usize,
+        now_us: u64,
+        kind: &Counter,
+        trace: Option<TraceId>,
+        span: Option<SpanId>,
+    ) {
         let before = self.breakers[idx].state();
         self.breakers[idx].record_failure(now_us);
-        self.note_breaker_transition(idx, before, trace);
+        self.note_breaker_transition(idx, before, trace, span);
         self.health[idx].failures.fetch_add(1, Ordering::Relaxed);
         self.instruments.per_server[idx].failures.inc();
         kind.inc();
@@ -653,8 +860,14 @@ impl RadiusClient {
     /// `before`. Transitions are rare, so this one registry lookup per
     /// transition is off the hot path. A trip to `Open` also lands on the
     /// security-event ring: a pool member just got benched, stamped with
-    /// the login that tipped it over.
-    fn note_breaker_transition(&self, idx: usize, before: BreakerState, trace: Option<TraceId>) {
+    /// the login (and the open span) that tipped it over.
+    fn note_breaker_transition(
+        &self,
+        idx: usize,
+        before: BreakerState,
+        trace: Option<TraceId>,
+        span: Option<SpanId>,
+    ) {
         let after = self.breakers[idx].state();
         if after != before {
             let to = match after {
@@ -669,9 +882,10 @@ impl RadiusClient {
                 )
                 .inc();
             if after == BreakerState::Open {
-                self.metrics.emit_event(
+                self.metrics.emit_event_spanned(
                     SecurityEventKind::BreakerFlap,
                     trace,
+                    span,
                     self.vclock_us(),
                     format!("server={} breaker opened", self.transports[idx].name()),
                 );
@@ -1021,11 +1235,20 @@ mod tests {
             .authenticate(&mut rng, "alice", b"123456", "10.0.0.1")
             .unwrap();
         assert_eq!(seen.lock().as_slice(), &[Some(id), None]);
+        // Children record before parents: the exchange attempt, then the
+        // request span it hangs off.
         let spans = client.metrics().tracer().spans_for(id);
-        assert_eq!(spans.len(), 1);
+        assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].component, "radius.client");
-        assert_eq!(spans[0].label, "authenticate");
-        assert_eq!(spans[0].detail, "accept");
+        assert_eq!(spans[0].label, "attempt");
+        assert_eq!(spans[1].label, "authenticate");
+        assert_eq!(spans[1].detail, "accept");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        // The timed request span charges at least the healthy rtt cost.
+        assert!(spans[1].duration_us() >= 2_000, "{:?}", spans[1]);
+        assert!(spans[1].start_us <= spans[0].start_us);
+        assert!(spans[1].end_us >= spans[0].end_us);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::client::{ClientError, Outcome, RadiusClient};
 use crate::packet::Packet;
 use crate::server::{Handler, ServerDecision};
 use crate::tracewire;
-use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind};
+use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind, SpanCtx, SpanStatus, TraceClock};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,9 +81,12 @@ impl Handler for ProxyHandler {
         let state = request
             .attribute(AttributeType::State)
             .map(|a| a.value.clone());
-        // Re-forward the caller's trace id upstream so the home server's
-        // audit rows carry the id the login node minted.
-        let trace = tracewire::trace_id_of(request);
+        // Re-forward the caller's trace context upstream so the home
+        // server's audit rows carry the id the login node minted, and our
+        // forward span slots between the caller's attempt span and the
+        // upstream client's request span.
+        let wire_ctx = tracewire::trace_ctx_of(request);
+        let trace = wire_ctx.map(|w| w.trace);
 
         self.forwarded.fetch_add(1, Ordering::Relaxed);
         self.metrics
@@ -92,36 +95,69 @@ impl Handler for ProxyHandler {
                 &[("proxy", &self.proxy_id)],
             )
             .inc();
+        let mut guard = wire_ctx.map(|w| {
+            let ctx = SpanCtx {
+                trace: w.trace,
+                parent: w.parent,
+                clock: TraceClock::at(w.clock_us),
+            };
+            let mut g = self.metrics.tracer().start(&ctx, "radius.proxy", "forward");
+            g.attr_str("proxy", self.proxy_id.clone());
+            g
+        });
+        let span_id = guard.as_ref().map(|g| g.id());
+        let child_ctx = guard.as_ref().map(|g| g.child_ctx());
         let mut rng = self.rng.lock();
-        let result = match state {
-            Some(s) => self
+        let result = match (state, child_ctx.as_ref()) {
+            (Some(s), Some(c)) => self
                 .upstream
-                .respond_to_challenge_traced(&mut *rng, &username, password, &calling, &s, trace),
-            None => self
+                .respond_to_challenge_spanned(&mut *rng, &username, password, &calling, &s, c),
+            (Some(s), None) => self
                 .upstream
-                .authenticate_traced(&mut *rng, &username, password, &calling, trace),
+                .respond_to_challenge(&mut *rng, &username, password, &calling, &s),
+            (None, Some(c)) => self
+                .upstream
+                .authenticate_spanned(&mut *rng, &username, password, &calling, c),
+            (None, None) => self
+                .upstream
+                .authenticate(&mut *rng, &username, password, &calling),
         };
         drop(rng);
 
-        if let Some(t) = trace {
-            let detail = match &result {
-                Ok(Outcome::Accept { .. }) => "accept",
-                Ok(Outcome::Reject { .. }) => "reject",
-                Ok(Outcome::Challenge { .. }) => "challenge",
-                Err(_) => "upstream_failed",
-            };
-            self.metrics
-                .tracer()
-                .span(t, "radius.proxy", "forward", detail);
+        let detail = match &result {
+            Ok(Outcome::Accept { .. }) => "accept",
+            Ok(Outcome::Reject { .. }) => "reject",
+            Ok(Outcome::Challenge { .. }) => "challenge",
+            Err(_) => "upstream_failed",
+        };
+        if let Some(g) = guard.as_mut() {
+            g.set_detail(detail);
+            if result.is_err() {
+                g.set_status(SpanStatus::Error);
+            }
         }
+        drop(guard);
+        // Report our trace clock (advanced by the upstream exchange) back
+        // to the caller so its attempt span encloses this whole hop.
+        let clock_attr = child_ctx.map(|c| tracewire::clock_attribute(c.clock.now_us()));
+        let with_clock = |mut attrs: Vec<Attribute>| {
+            if let Some(a) = clock_attr.clone() {
+                attrs.push(a);
+            }
+            attrs
+        };
 
         match result {
-            Ok(Outcome::Accept { message }) => ServerDecision::Accept(reply_attrs(message)),
-            Ok(Outcome::Reject { message }) => ServerDecision::Reject(reply_attrs(message)),
+            Ok(Outcome::Accept { message }) => {
+                ServerDecision::Accept(with_clock(reply_attrs(message)))
+            }
+            Ok(Outcome::Reject { message }) => {
+                ServerDecision::Reject(with_clock(reply_attrs(message)))
+            }
             Ok(Outcome::Challenge { state, message }) => {
                 let mut attrs = reply_attrs(message);
                 attrs.push(Attribute::new(AttributeType::State, state));
-                ServerDecision::Challenge(attrs)
+                ServerDecision::Challenge(with_clock(attrs))
             }
             Err(ClientError::AllServersFailed { .. }) | Err(_) => {
                 // RFC: a proxy that cannot reach its home server stays
@@ -133,9 +169,10 @@ impl Handler for ProxyHandler {
                         &[("proxy", &self.proxy_id)],
                     )
                     .inc();
-                self.metrics.emit_event(
+                self.metrics.emit_event_spanned(
                     SecurityEventKind::BreakerFlap,
                     trace,
+                    span_id,
                     self.upstream.vclock_us(),
                     format!("proxy={} upstream_failed", self.proxy_id),
                 );
@@ -291,10 +328,35 @@ mod tests {
             .unwrap();
         assert!(matches!(out, Outcome::Accept { .. }));
         assert_eq!(seen.lock().as_slice(), &[Some(id)], "id did not reach home");
-        // Both client hops and the proxy hop recorded spans for one id.
+        // Both client hops and the proxy hop recorded spans for one id:
+        // request + attempt per client, plus the proxy's forward span.
         let components = metrics.tracer().components_for(id);
         assert_eq!(components, vec!["radius.client", "radius.proxy"]);
-        assert_eq!(metrics.tracer().spans_for(id).len(), 3);
+        let spans = metrics.tracer().spans_for(id);
+        assert_eq!(spans.len(), 5);
+        // The chain is fully parented: edge request ← edge attempt ←
+        // proxy forward ← upstream request ← upstream attempt.
+        let root = spans.iter().find(|s| s.parent.is_none()).unwrap();
+        assert_eq!(
+            (root.component.as_str(), root.label.as_str()),
+            ("radius.client", "authenticate")
+        );
+        let forward = spans
+            .iter()
+            .find(|s| s.component == "radius.proxy")
+            .unwrap();
+        let edge_attempt = spans
+            .iter()
+            .find(|s| s.id == forward.parent.unwrap())
+            .unwrap();
+        assert_eq!(edge_attempt.label, "attempt");
+        assert_eq!(edge_attempt.parent, Some(root.id));
+        // The proxy's span nests inside the edge attempt on one clock.
+        assert!(edge_attempt.start_us <= forward.start_us);
+        assert!(
+            edge_attempt.end_us >= forward.end_us,
+            "{edge_attempt:?} vs {forward:?}"
+        );
         assert_eq!(
             metrics
                 .snapshot()

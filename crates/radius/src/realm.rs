@@ -27,7 +27,7 @@ use crate::packet::Packet;
 use crate::server::{Handler, ServerDecision};
 use crate::tracewire;
 use hpcmfa_federation::{split_principal, RealmDegradation, RealmPolicy, TrustConfig};
-use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind};
+use hpcmfa_telemetry::{MetricsRegistry, SecurityEventKind, SpanCtx, SpanStatus, TraceClock};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,46 +121,80 @@ impl RealmRouter {
         let state = request
             .attribute(AttributeType::State)
             .map(|a| a.value.clone());
-        let trace = tracewire::trace_id_of(request);
+        let wire_ctx = tracewire::trace_ctx_of(request);
+        let trace = wire_ctx.map(|w| w.trace);
 
+        // The realm hop's span opens on the caller's wire clock, parented
+        // under the caller's attempt span; the peer realm's spans nest
+        // under the upstream client's attempt in turn.
+        let mut guard = wire_ctx.map(|w| {
+            let ctx = SpanCtx {
+                trace: w.trace,
+                parent: w.parent,
+                clock: TraceClock::at(w.clock_us),
+            };
+            let mut g = self.metrics.tracer().start(&ctx, "radius.realm", "forward");
+            g.attr_str("realm", realm.to_string());
+            g
+        });
+        let span_id = guard.as_ref().map(|g| g.id());
+        let child_ctx = guard.as_ref().map(|g| g.child_ctx());
         let mut rng = self.rng.lock();
-        let result = match state {
-            Some(s) => upstream
-                .respond_to_challenge_traced(&mut *rng, &username, password, &calling, &s, trace),
-            None => upstream.authenticate_traced(&mut *rng, &username, password, &calling, trace),
+        let result = match (state, child_ctx.as_ref()) {
+            (Some(s), Some(c)) => upstream
+                .respond_to_challenge_spanned(&mut *rng, &username, password, &calling, &s, c),
+            (Some(s), None) => {
+                upstream.respond_to_challenge(&mut *rng, &username, password, &calling, &s)
+            }
+            (None, Some(c)) => {
+                upstream.authenticate_spanned(&mut *rng, &username, password, &calling, c)
+            }
+            (None, None) => upstream.authenticate(&mut *rng, &username, password, &calling),
         };
         drop(rng);
 
-        if let Some(t) = trace {
-            let detail = match &result {
-                Ok(Outcome::Accept { .. }) => "accept",
-                Ok(Outcome::Reject { .. }) => "reject",
-                Ok(Outcome::Challenge { .. }) => "challenge",
-                Err(_) => "realm_unreachable",
-            };
-            self.metrics.tracer().span(t, "radius.realm", realm, detail);
+        let detail = match &result {
+            Ok(Outcome::Accept { .. }) => "accept",
+            Ok(Outcome::Reject { .. }) => "reject",
+            Ok(Outcome::Challenge { .. }) => "challenge",
+            Err(_) => "realm_unreachable",
+        };
+        if let Some(g) = guard.as_mut() {
+            g.set_detail(detail);
+            if result.is_err() {
+                g.set_status(SpanStatus::Error);
+            }
         }
+        drop(guard);
+        let clock_attr = child_ctx.map(|c| tracewire::clock_attribute(c.clock.now_us()));
+        let with_clock = |mut attrs: Vec<Attribute>| {
+            if let Some(a) = clock_attr.clone() {
+                attrs.push(a);
+            }
+            attrs
+        };
 
         match result {
             Ok(Outcome::Accept { message }) => {
                 self.count(realm, "accept");
-                ServerDecision::Accept(reply_attrs(message))
+                ServerDecision::Accept(with_clock(reply_attrs(message)))
             }
             Ok(Outcome::Reject { message }) => {
                 self.count(realm, "reject");
-                ServerDecision::Reject(reply_attrs(message))
+                ServerDecision::Reject(with_clock(reply_attrs(message)))
             }
             Ok(Outcome::Challenge { state, message }) => {
                 self.count(realm, "challenge");
                 let mut attrs = reply_attrs(message);
                 attrs.push(Attribute::new(AttributeType::State, state));
-                ServerDecision::Challenge(attrs)
+                ServerDecision::Challenge(with_clock(attrs))
             }
             Err(ClientError::AllServersFailed { .. }) | Err(_) => {
                 self.count(realm, "unreachable");
-                self.metrics.emit_event(
+                self.metrics.emit_event_spanned(
                     SecurityEventKind::RealmUnreachable,
                     trace,
+                    span_id,
                     upstream.vclock_us(),
                     format!("realm={realm} upstream pool unreachable"),
                 );

@@ -1,26 +1,60 @@
-//! Trace-id propagation over the RADIUS wire.
+//! Trace-context propagation over the RADIUS wire.
 //!
 //! The telemetry [`TraceId`] rides requests as a Vendor-Specific attribute
 //! (IANA type 26, RFC 2865 §5.26): a 4-byte vendor id, a 1-byte
-//! vendor-type, a 1-byte vendor-length, then the 8-byte big-endian id.
+//! vendor-type, a 1-byte vendor-length, then the big-endian payload.
 //! The vendor id is 32473 — the enterprise number RFC 5612 reserves for
 //! documentation/example use, which is exactly what a reproduction
 //! deployment should squat on. Real RADIUS tooling ignores unknown VSAs,
 //! so the attribute is transparent to interoperating servers; our proxy
 //! copies it upstream so the home server's audit rows carry the same id
 //! the login node minted.
+//!
+//! Two payload versions coexist under vendor-type 1, distinguished by
+//! the vendor-length byte:
+//!
+//! * **v1** (`vendor-length 10`, 8-byte payload): the bare trace id —
+//!   what pre-hierarchical senders emitted; still decoded.
+//! * **v2** (`vendor-length 26`, 24-byte payload): trace id, parent
+//!   [`SpanId`] (0 = none), and the sender's [`TraceClock`] value in µs —
+//!   everything a downstream hop needs to open a correctly parented,
+//!   correctly timed child span.
+//!
+//! Responses carry a second sub-attribute (vendor-type 2, 8-byte
+//! payload): the responder's clock after its processing costs, so the
+//! caller fast-forwards its trace clock and the assembled cross-site
+//! tree keeps one monotone time basis.
+//!
+//! [`TraceClock`]: hpcmfa_telemetry::TraceClock
 
 use crate::attribute::{Attribute, AttributeType};
 use crate::packet::Packet;
-use hpcmfa_telemetry::TraceId;
+use hpcmfa_telemetry::{SpanId, TraceId};
 
 /// RFC 5612 documentation enterprise number, used as our vendor id.
 pub const TRACE_VENDOR_ID: u32 = 32473;
 
-/// Vendor-type of the trace-id sub-attribute within our vendor space.
+/// Vendor-type of the trace-context sub-attribute within our vendor
+/// space (requests).
 pub const TRACE_VENDOR_TYPE: u8 = 1;
 
-/// Encode `trace` as a Vendor-Specific attribute.
+/// Vendor-type of the response-clock sub-attribute (responses).
+pub const CLOCK_VENDOR_TYPE: u8 = 2;
+
+/// The decoded request-side trace context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireTraceCtx {
+    /// The request's trace id.
+    pub trace: TraceId,
+    /// The sender's open span, to parent the receiver's spans under
+    /// (`None` from a v1 sender or a root).
+    pub parent: Option<SpanId>,
+    /// The sender's trace-clock value at send time, µs (0 from v1).
+    pub clock_us: u64,
+}
+
+/// Encode `trace` alone as a v1 Vendor-Specific attribute (bare id; no
+/// parent span or clock).
 pub fn trace_attribute(trace: TraceId) -> Attribute {
     let mut value = Vec::with_capacity(14);
     value.extend_from_slice(&TRACE_VENDOR_ID.to_be_bytes());
@@ -30,25 +64,109 @@ pub fn trace_attribute(trace: TraceId) -> Attribute {
     Attribute::new(AttributeType::VendorSpecific, value)
 }
 
-/// Decode the trace id from one Vendor-Specific attribute, if it is ours.
+/// Encode the full v2 trace context: trace id, parent span (0 encodes
+/// `None`), and the sender's clock in µs.
+pub fn trace_ctx_attribute(trace: TraceId, parent: Option<SpanId>, clock_us: u64) -> Attribute {
+    let mut value = Vec::with_capacity(30);
+    value.extend_from_slice(&TRACE_VENDOR_ID.to_be_bytes());
+    value.push(TRACE_VENDOR_TYPE);
+    value.push(26); // vendor-length: type + len + 3 × 8-byte fields
+    value.extend_from_slice(&trace.as_u64().to_be_bytes());
+    value.extend_from_slice(&parent.map(SpanId::as_u64).unwrap_or(0).to_be_bytes());
+    value.extend_from_slice(&clock_us.to_be_bytes());
+    Attribute::new(AttributeType::VendorSpecific, value)
+}
+
+/// Decode the trace id from one Vendor-Specific attribute, if it is ours
+/// (either payload version).
 pub fn decode_trace(attr: &Attribute) -> Option<TraceId> {
-    if attr.ty != AttributeType::VendorSpecific || attr.value.len() != 14 {
+    decode_trace_ctx(attr).map(|c| c.trace)
+}
+
+/// Decode the full trace context from one Vendor-Specific attribute, if
+/// it is ours. v1 payloads decode with no parent and clock 0.
+pub fn decode_trace_ctx(attr: &Attribute) -> Option<WireTraceCtx> {
+    if attr.ty != AttributeType::VendorSpecific {
         return None;
     }
-    let vendor = u32::from_be_bytes(attr.value[0..4].try_into().ok()?);
-    if vendor != TRACE_VENDOR_ID || attr.value[4] != TRACE_VENDOR_TYPE || attr.value[5] != 10 {
+    let v = &attr.value;
+    if v.len() != 14 && v.len() != 30 {
         return None;
     }
-    let id = u64::from_be_bytes(attr.value[6..14].try_into().ok()?);
-    Some(TraceId::from_u64(id))
+    let vendor = u32::from_be_bytes(v[0..4].try_into().ok()?);
+    if vendor != TRACE_VENDOR_ID || v[4] != TRACE_VENDOR_TYPE {
+        return None;
+    }
+    let expected_len = (v.len() - 4) as u8;
+    if v[5] != expected_len {
+        return None;
+    }
+    let trace = TraceId::from_u64(u64::from_be_bytes(v[6..14].try_into().ok()?));
+    if v.len() == 14 {
+        return Some(WireTraceCtx {
+            trace,
+            parent: None,
+            clock_us: 0,
+        });
+    }
+    let parent_raw = u64::from_be_bytes(v[14..22].try_into().ok()?);
+    let clock_us = u64::from_be_bytes(v[22..30].try_into().ok()?);
+    let parent = if parent_raw == 0 {
+        None
+    } else {
+        Some(SpanId::from_u64(parent_raw))
+    };
+    Some(WireTraceCtx {
+        trace,
+        parent,
+        clock_us,
+    })
 }
 
 /// The trace id carried by `packet`, if any (first matching VSA wins).
 pub fn trace_id_of(packet: &Packet) -> Option<TraceId> {
+    trace_ctx_of(packet).map(|c| c.trace)
+}
+
+/// The full trace context carried by `packet`, if any (first matching
+/// VSA wins).
+pub fn trace_ctx_of(packet: &Packet) -> Option<WireTraceCtx> {
     packet
         .attributes_of(AttributeType::VendorSpecific)
         .into_iter()
-        .find_map(decode_trace)
+        .find_map(decode_trace_ctx)
+}
+
+/// Encode a responder's clock (µs after its processing costs) as the
+/// response-side sub-attribute.
+pub fn clock_attribute(clock_us: u64) -> Attribute {
+    let mut value = Vec::with_capacity(14);
+    value.extend_from_slice(&TRACE_VENDOR_ID.to_be_bytes());
+    value.push(CLOCK_VENDOR_TYPE);
+    value.push(10); // vendor-length: type + len + 8-byte clock
+    value.extend_from_slice(&clock_us.to_be_bytes());
+    Attribute::new(AttributeType::VendorSpecific, value)
+}
+
+/// Decode the responder clock from one Vendor-Specific attribute.
+pub fn decode_clock(attr: &Attribute) -> Option<u64> {
+    if attr.ty != AttributeType::VendorSpecific || attr.value.len() != 14 {
+        return None;
+    }
+    let v = &attr.value;
+    let vendor = u32::from_be_bytes(v[0..4].try_into().ok()?);
+    if vendor != TRACE_VENDOR_ID || v[4] != CLOCK_VENDOR_TYPE || v[5] != 10 {
+        return None;
+    }
+    Some(u64::from_be_bytes(v[6..14].try_into().ok()?))
+}
+
+/// The responder clock carried by `packet`, if any.
+pub fn clock_of(packet: &Packet) -> Option<u64> {
+    packet
+        .attributes_of(AttributeType::VendorSpecific)
+        .into_iter()
+        .find_map(decode_clock)
 }
 
 #[cfg(test)]
@@ -57,21 +175,64 @@ mod tests {
     use crate::packet::Code;
 
     #[test]
-    fn round_trip_through_attribute() {
+    fn v1_round_trip_through_attribute() {
         let id = TraceId::from_u64(0x0123_4567_89ab_cdef);
         let attr = trace_attribute(id);
         assert_eq!(attr.ty, AttributeType::VendorSpecific);
         assert_eq!(attr.value.len(), 14);
         assert_eq!(decode_trace(&attr), Some(id));
+        // v1 decodes as a context with no parent and clock 0.
+        assert_eq!(
+            decode_trace_ctx(&attr),
+            Some(WireTraceCtx {
+                trace: id,
+                parent: None,
+                clock_us: 0
+            })
+        );
+    }
+
+    #[test]
+    fn v2_round_trips_parent_and_clock() {
+        let trace = TraceId::from_u64(42);
+        let parent = SpanId::from_u64(0xdead_beef);
+        let attr = trace_ctx_attribute(trace, Some(parent), 1_234_567);
+        assert_eq!(attr.value.len(), 30);
+        let ctx = decode_trace_ctx(&attr).unwrap();
+        assert_eq!(ctx.trace, trace);
+        assert_eq!(ctx.parent, Some(parent));
+        assert_eq!(ctx.clock_us, 1_234_567);
+        // No parent encodes as zero and decodes back to None.
+        let root = trace_ctx_attribute(trace, None, 7);
+        assert_eq!(decode_trace_ctx(&root).unwrap().parent, None);
+        // The bare-id view still works on a v2 payload.
+        assert_eq!(decode_trace(&attr), Some(trace));
     }
 
     #[test]
     fn round_trip_through_packet_encoding() {
         let id = TraceId::from_u64(42);
-        let pkt =
-            Packet::new(Code::AccessRequest, 7, [0u8; 16]).with_attribute(trace_attribute(id));
+        let span = SpanId::from_u64(9);
+        let pkt = Packet::new(Code::AccessRequest, 7, [0u8; 16])
+            .with_attribute(trace_ctx_attribute(id, Some(span), 500));
         let decoded = Packet::decode(&pkt.encode()).unwrap();
         assert_eq!(trace_id_of(&decoded), Some(id));
+        let ctx = trace_ctx_of(&decoded).unwrap();
+        assert_eq!(ctx.parent, Some(span));
+        assert_eq!(ctx.clock_us, 500);
+    }
+
+    #[test]
+    fn response_clock_round_trips() {
+        let attr = clock_attribute(987_654);
+        assert_eq!(decode_clock(&attr), Some(987_654));
+        // The clock sub-attribute is not a trace context and vice versa.
+        assert_eq!(decode_trace_ctx(&attr), None);
+        assert_eq!(decode_clock(&trace_attribute(TraceId::from_u64(1))), None);
+        let pkt = Packet::new(Code::AccessAccept, 1, [0u8; 16]).with_attribute(clock_attribute(55));
+        let decoded = Packet::decode(&pkt.encode()).unwrap();
+        assert_eq!(clock_of(&decoded), Some(55));
+        assert_eq!(trace_id_of(&decoded), None);
     }
 
     #[test]
@@ -86,6 +247,13 @@ mod tests {
         // Truncated payload.
         let short = Attribute::new(AttributeType::VendorSpecific, vec![1, 2, 3]);
         assert_eq!(decode_trace(&short), None);
+        // Wrong vendor-length byte for the payload size.
+        let mut bad_len = trace_ctx_attribute(TraceId::from_u64(3), None, 0).value;
+        bad_len[5] = 10;
+        assert_eq!(
+            decode_trace(&Attribute::new(AttributeType::VendorSpecific, bad_len)),
+            None
+        );
         // A packet with only foreign VSAs carries no trace.
         let pkt = Packet::new(Code::AccessRequest, 1, [0u8; 16]).with_attribute(foreign);
         assert_eq!(trace_id_of(&pkt), None);

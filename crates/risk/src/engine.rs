@@ -9,7 +9,9 @@
 use crate::geo::{CountryCode, GeoDb};
 use hpcmfa_pam::context::PamContext;
 use hpcmfa_pam::stack::{PamModule, PamResult};
-use hpcmfa_telemetry::{Counter, Gauge, MetricsRegistry, SecurityEventKind, TraceId};
+use hpcmfa_telemetry::{
+    Counter, Gauge, MetricsRegistry, SecurityEventKind, SpanCtx, SpanStatus, TraceClock, TraceId,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -179,7 +181,9 @@ impl RiskEngine {
     }
 
     /// [`RiskEngine::assess`] with the in-flight request's trace id, so
-    /// emitted step-up/deny events link back to the login's spans.
+    /// emitted step-up/deny events link back to the login's spans. The
+    /// span roots at virtual second `now`; callers already holding a
+    /// propagated context use [`RiskEngine::assess_spanned`].
     pub fn assess_traced(
         &self,
         user: &str,
@@ -187,6 +191,21 @@ impl RiskEngine {
         now: u64,
         trace: Option<TraceId>,
     ) -> (u32, RiskDecision) {
+        let ctx = trace.map(|t| SpanCtx::root(t, TraceClock::at(now.saturating_mul(1_000_000))));
+        self.assess_spanned(user, ip, now, ctx.as_ref())
+    }
+
+    /// [`RiskEngine::assess`] under a propagated span context: the scoring
+    /// pass is recorded as a timed `risk`/`assess` span (when a registry is
+    /// attached) and step-up/deny events are stamped with its id.
+    pub fn assess_spanned(
+        &self,
+        user: &str,
+        ip: Ipv4Addr,
+        now: u64,
+        ctx: Option<&SpanCtx>,
+    ) -> (u32, RiskDecision) {
+        let trace = ctx.map(|c| c.trace);
         let w = &self.weights;
         let country = self.geodb.country_of(ip);
         let net = Self::net16(ip);
@@ -245,6 +264,18 @@ impl RiskEngine {
             RiskDecision::Allow
         };
         if let Some(m) = self.metrics.lock().as_ref() {
+            let mut span = ctx.map(|c| m.registry.tracer().start(c, "risk", "assess"));
+            if let Some(g) = span.as_mut() {
+                g.attr_u64("score", u64::from(score));
+                g.set_detail(match decision {
+                    RiskDecision::Allow => "allow",
+                    RiskDecision::StepUp => "step_up",
+                    RiskDecision::Deny => "deny",
+                });
+                if decision == RiskDecision::Deny {
+                    g.set_status(SpanStatus::Error);
+                }
+            }
             match decision {
                 RiskDecision::Allow => m.allow.inc(),
                 RiskDecision::StepUp => m.step_up.inc(),
@@ -260,9 +291,10 @@ impl RiskEngine {
                 RiskDecision::Allow => None,
             };
             if let Some(kind) = kind {
-                m.registry.emit_event(
+                m.registry.emit_event_spanned(
                     kind,
                     trace,
+                    span.as_ref().map(|g| g.id()),
                     now,
                     format!("user={user} ip={ip} score={score}"),
                 );
@@ -315,9 +347,10 @@ impl PamModule for RiskGateModule {
     }
 
     fn authenticate(&self, ctx: &mut PamContext<'_>) -> PamResult {
+        let span_ctx = ctx.span_ctx();
         let (_score, decision) =
             self.engine
-                .assess_traced(&ctx.username, ctx.rhost, ctx.now(), Some(ctx.trace_id));
+                .assess_spanned(&ctx.username, ctx.rhost, ctx.now(), Some(&span_ctx));
         match decision {
             RiskDecision::Allow => PamResult::Ignore,
             RiskDecision::StepUp => {

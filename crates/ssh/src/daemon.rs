@@ -12,7 +12,7 @@ use crate::keys::PublicKey;
 use hpcmfa_otp::clock::Clock;
 use hpcmfa_pam::conv::{ConvError, Conversation, Prompt};
 use hpcmfa_pam::stack::{PamStack, PamVerdict};
-use hpcmfa_telemetry::{trace, MetricsRegistry, TraceId};
+use hpcmfa_telemetry::{trace, MetricsRegistry, SpanStatus, TraceClock, TraceId};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -212,6 +212,10 @@ impl SshDaemon {
         let mut granted = false;
         let mut trace_ids = Vec::new();
         let mut issued_resume_token = None;
+        // One virtual trace clock for the whole connection: attempts are
+        // sequential, so later attempts' spans start after earlier ones
+        // even though each attempt is its own trace.
+        let session_clock = TraceClock::at(now.saturating_mul(1_000_000));
         while attempts < MAX_STACK_ATTEMPTS {
             attempts += 1;
             let mut ctx = hpcmfa_pam::context::PamContext::new(
@@ -227,8 +231,24 @@ impl SshDaemon {
                 self.trace_ns,
                 self.trace_seq.fetch_add(1, Ordering::Relaxed),
             );
+            ctx.trace_clock = session_clock.clone();
             trace_ids.push(ctx.trace_id);
-            match self.stack.authenticate(&mut ctx) {
+            // Root span of this attempt's trace: the sshd session hop.
+            let session_span = self.metrics.as_ref().map(|m| {
+                let mut guard = m.tracer().start(&ctx.span_ctx(), "ssh", "session");
+                guard.attr_str("daemon", self.name.clone());
+                guard.attr_u64("attempt", u64::from(attempts));
+                guard
+            });
+            ctx.parent_span = session_span.as_ref().map(|g| g.id());
+            let verdict = self.stack.authenticate(&mut ctx);
+            if let Some(mut guard) = session_span {
+                if verdict == PamVerdict::Denied {
+                    guard.set_status(SpanStatus::Error);
+                }
+                guard.finish();
+            }
+            match verdict {
                 PamVerdict::Granted => {
                     granted = true;
                     issued_resume_token = ctx.issued_resume_token.take();

@@ -17,7 +17,7 @@
 //!
 //! [`MetricsRegistry`]: crate::MetricsRegistry
 
-use crate::trace::TraceId;
+use crate::trace::{SpanId, TraceId};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Mutex;
@@ -117,6 +117,11 @@ pub struct SecurityEvent {
     /// emitter on the simulated auth path has a trace in scope, so in
     /// `Center`-driven runs this is always `Some`.
     pub trace: Option<TraceId>,
+    /// The span that was open when the event was emitted, so an
+    /// alert → event → span → parent-chain walk needs no grep. Emitters
+    /// off the request path (e.g. background failover) stamp the span
+    /// they opened for the operation itself.
+    pub span: Option<SpanId>,
     /// The emitter's virtual-clock timestamp (unix seconds for the OTP
     /// server / PAM, microseconds for the RADIUS client vclock).
     pub at: u64,
@@ -126,10 +131,17 @@ pub struct SecurityEvent {
 
 impl fmt::Display for SecurityEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} trace=", self.at, self.kind)?;
         match self.trace {
-            Some(t) => write!(f, "{} {} trace={} {}", self.at, self.kind, t, self.detail),
-            None => write!(f, "{} {} trace=- {}", self.at, self.kind, self.detail),
+            Some(t) => write!(f, "{t}")?,
+            None => write!(f, "-")?,
         }
+        write!(f, " span=")?;
+        match self.span {
+            Some(s) => write!(f, "{s}")?,
+            None => write!(f, "-")?,
+        }
+        write!(f, " {}", self.detail)
     }
 }
 
@@ -235,6 +247,7 @@ mod tests {
         SecurityEvent {
             kind,
             trace: Some(TraceId::from_u64(at)),
+            span: Some(SpanId::from_u64(at)),
             at,
             detail: format!("n={at}"),
         }
@@ -277,13 +290,18 @@ mod tests {
     }
 
     #[test]
-    fn display_renders_trace_and_detail() {
+    fn display_renders_trace_span_and_detail() {
         let e = ev(SecurityEventKind::WalFsyncDegraded, 9);
         let line = e.to_string();
         assert!(line.starts_with("9 wal_fsync_degraded trace=0000000000000009"));
+        assert!(line.contains(" span=0000000000000009 "));
         assert!(line.ends_with("n=9"));
-        let anon = SecurityEvent { trace: None, ..e };
-        assert!(anon.to_string().contains("trace=-"));
+        let anon = SecurityEvent {
+            trace: None,
+            span: None,
+            ..e
+        };
+        assert!(anon.to_string().contains("trace=- span=-"));
     }
 
     #[test]

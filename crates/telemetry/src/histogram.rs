@@ -12,7 +12,10 @@
 //! the frozen view: mergeable shard-wise (element-wise bucket addition,
 //! which is associative and commutative) and queryable for quantiles.
 
+use crate::trace::TraceId;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Linear sub-buckets per power of two. 16 keeps the relative quantile
 /// error at or below 1/16 = 6.25 %.
@@ -57,8 +60,25 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// An exemplar: the worst (largest) traced observation that landed in
+/// one bucket, linking a histogram back to a concrete trace — rendered
+/// in OpenMetrics exemplar syntax so an alerting p99 breach points at
+/// the request behind it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The bucket the observation landed in.
+    pub bucket: usize,
+    /// The observed value.
+    pub value: u64,
+    /// The request that produced it.
+    pub trace: TraceId,
+}
+
 /// A concurrent log-linear histogram. All methods take `&self`; recording
-/// is wait-free (a handful of `Relaxed` atomic ops).
+/// is wait-free (a handful of `Relaxed` atomic ops). Traced recording
+/// ([`Histogram::record_traced`]) additionally keeps, per bucket, the
+/// worst observation's [`TraceId`] as an [`Exemplar`] — this takes a
+/// short mutex, so only trace-carrying auth-path observations pay it.
 pub struct Histogram {
     counts: Vec<AtomicU64>,
     count: AtomicU64,
@@ -66,6 +86,8 @@ pub struct Histogram {
     max: AtomicU64,
     /// `u64::MAX` until the first record.
     min: AtomicU64,
+    /// bucket → (worst value, its trace).
+    exemplars: Mutex<BTreeMap<usize, (u64, TraceId)>>,
 }
 
 impl Default for Histogram {
@@ -76,6 +98,7 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
+            exemplars: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -93,6 +116,21 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Record one observation and keep it as the bucket's exemplar if it
+    /// is the worst seen there (ties keep the first, so replays are
+    /// deterministic).
+    pub fn record_traced(&self, v: u64, trace: TraceId) {
+        self.record(v);
+        let bucket = bucket_index(v);
+        let mut ex = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        match ex.get(&bucket) {
+            Some((worst, _)) if *worst >= v => {}
+            _ => {
+                ex.insert(bucket, (v, trace));
+            }
+        }
     }
 
     /// Record the wall-clock microseconds elapsed since `start`.
@@ -119,6 +157,17 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
+            exemplars: self
+                .exemplars
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(&bucket, &(value, trace))| Exemplar {
+                    bucket,
+                    value,
+                    trace,
+                })
+                .collect(),
         }
     }
 }
@@ -132,6 +181,8 @@ pub struct HistogramSnapshot {
     sum: u64,
     max: u64,
     min: u64,
+    /// Per-bucket worst traced observations, sorted by bucket.
+    exemplars: Vec<Exemplar>,
 }
 
 impl Default for HistogramSnapshot {
@@ -142,6 +193,7 @@ impl Default for HistogramSnapshot {
             sum: 0,
             max: 0,
             min: u64::MAX,
+            exemplars: Vec::new(),
         }
     }
 }
@@ -156,7 +208,9 @@ impl HistogramSnapshot {
 
     /// Fold `other` into `self` (element-wise bucket addition). Merging is
     /// associative and commutative, so shards can be combined in any
-    /// order or grouping.
+    /// order or grouping. Exemplars keep, per bucket, the larger value
+    /// (ties break on the smaller trace id, keeping the fold a total
+    /// order).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += *b;
@@ -165,6 +219,21 @@ impl HistogramSnapshot {
         self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
+        if !other.exemplars.is_empty() {
+            let mut by: BTreeMap<usize, Exemplar> =
+                self.exemplars.iter().map(|e| (e.bucket, *e)).collect();
+            for e in &other.exemplars {
+                match by.get(&e.bucket) {
+                    Some(cur)
+                        if (cur.value, std::cmp::Reverse(cur.trace))
+                            >= (e.value, std::cmp::Reverse(e.trace)) => {}
+                    _ => {
+                        by.insert(e.bucket, *e);
+                    }
+                }
+            }
+            self.exemplars = by.into_values().collect();
+        }
     }
 
     /// Total observations.
@@ -235,7 +304,16 @@ impl HistogramSnapshot {
             sum: self.sum.wrapping_sub(earlier.sum),
             max: self.max,
             min: self.min,
+            // Exemplars are cumulative worst-per-bucket; the later
+            // snapshot's are the best available view of the window.
+            exemplars: self.exemplars.clone(),
         }
+    }
+
+    /// Per-bucket worst traced observations, sorted by bucket (empty
+    /// unless [`Histogram::record_traced`] was used).
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
     }
 
     /// The value at quantile `q` in `[0, 1]`: an upper estimate off by at
@@ -411,6 +489,54 @@ mod tests {
         let none = snap.delta_since(&snap);
         assert_eq!(none.count(), 0);
         assert_eq!(none.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn exemplars_keep_the_worst_observation_per_bucket() {
+        let h = Histogram::new();
+        let t1 = TraceId::from_u64(1);
+        let t2 = TraceId::from_u64(2);
+        let t3 = TraceId::from_u64(3);
+        h.record(5); // untraced: no exemplar
+        h.record_traced(100, t1);
+        h.record_traced(101, t2); // same bucket, worse value: replaces
+        h.record_traced(101, t3); // tie: first stays (deterministic)
+        h.record_traced(9_000, t3);
+        let s = h.snapshot();
+        let ex = s.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].bucket, bucket_index(101));
+        assert_eq!(ex[0].value, 101);
+        assert_eq!(ex[0].trace, t2);
+        assert_eq!(ex[1].value, 9_000);
+        assert_eq!(ex[1].trace, t3);
+        // Plain record() never creates exemplars.
+        assert!(Histogram::new().snapshot().exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplar_merge_is_associative_and_commutative() {
+        let mk = |v: u64, trace: u64| {
+            let h = Histogram::new();
+            h.record_traced(v, TraceId::from_u64(trace));
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(100, 1), mk(101, 2), mk(101, 9));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "associative");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "commutative");
+        // Tie between b (trace 2) and c (trace 9): smaller trace wins.
+        assert_eq!(left.exemplars().last().unwrap().trace, TraceId::from_u64(2));
     }
 
     #[test]

@@ -12,13 +12,19 @@
 //! * [`MetricsRegistry`] — a thread-safe, label-aware registry that
 //!   renders the Prometheus text exposition format and cheap
 //!   [`MetricsSnapshot`] views for reports and tests;
-//! * [`TraceId`] / [`Tracer`] — span-based request tracing: one id minted
-//!   per login attempt in the PAM stack and propagated through the RADIUS
-//!   client/proxy (as a vendor attribute) into the OTP-server audit log,
-//!   so a single login's hops can be reconstructed end to end;
+//! * [`TraceId`] / [`SpanId`] / [`Tracer`] — hierarchical timed request
+//!   tracing: one trace id minted per login attempt in the SSH daemon,
+//!   propagated with the parent span and virtual clock through the
+//!   RADIUS client/proxy (as a vendor attribute) into the OTP-server
+//!   audit log; components open RAII [`SpanGuard`]s so a login's hops
+//!   reconstruct as a timed tree;
+//! * [`TraceCollector`] / [`TraceTree`] — cross-site trace assembly with
+//!   per-trace critical-path analysis (which hop dominated the latency)
+//!   behind `GET /system/traces`;
 //! * [`SecurityEvent`] / [`SecurityEvents`] — a bounded ring of typed
 //!   security events (replays, lockouts, breaker trips, fsync failures),
-//!   each stamped with the triggering request's [`TraceId`];
+//!   each stamped with the triggering request's [`TraceId`] and the
+//!   emitting [`SpanId`];
 //! * [`AlertEngine`] — a deterministic rule engine (threshold,
 //!   rate-over-window, multi-window SLO burn rate, windowed latency
 //!   quantiles) evaluated over successive [`MetricsSnapshot`]s on the
@@ -32,6 +38,7 @@
 //! §9 for the full naming scheme and overhead budget.
 
 pub mod alert;
+pub mod collector;
 pub mod events;
 pub mod histogram;
 pub mod registry;
@@ -41,8 +48,11 @@ pub mod trace;
 pub use alert::{
     default_security_rules, AlertEngine, AlertState, AlertStatus, AlertTransition, Condition, Rule,
 };
+pub use collector::{critical_path_summary, CriticalHop, TraceCollector, TraceTree};
 pub use events::{SecurityEvent, SecurityEventKind, SecurityEvents};
-pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use histogram::{Exemplar, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use slo::SliSpec;
-pub use trace::{SpanRecord, TraceId, Tracer};
+pub use trace::{
+    AttrValue, SpanCtx, SpanGuard, SpanId, SpanRecord, SpanStatus, TraceClock, TraceId, Tracer,
+};

@@ -18,7 +18,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::events::{SecurityEvent, SecurityEventKind, SecurityEvents};
 use crate::histogram::{bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
-use crate::trace::{TraceId, Tracer};
+use crate::trace::{SpanId, TraceId, Tracer};
 
 /// A monotonically increasing counter.
 #[derive(Default)]
@@ -228,6 +228,8 @@ impl MetricsRegistry {
     /// Emit one security event: append it to the ring and bump
     /// `hpcmfa_security_events_total{kind=…}`. `at` is the emitter's
     /// virtual-clock timestamp; `trace` is the triggering request.
+    /// Emitters with a span in scope use
+    /// [`MetricsRegistry::emit_event_spanned`] instead.
     pub fn emit_event(
         &self,
         kind: SecurityEventKind,
@@ -235,9 +237,23 @@ impl MetricsRegistry {
         at: u64,
         detail: impl Into<String>,
     ) {
+        self.emit_event_spanned(kind, trace, None, at, detail);
+    }
+
+    /// [`MetricsRegistry::emit_event`] with the emitting span stamped,
+    /// so an alert → event → span → parent-chain walk needs no grep.
+    pub fn emit_event_spanned(
+        &self,
+        kind: SecurityEventKind,
+        trace: Option<TraceId>,
+        span: Option<SpanId>,
+        at: u64,
+        detail: impl Into<String>,
+    ) {
         self.events.push(SecurityEvent {
             kind,
             trace,
+            span,
             at,
             detail: detail.into(),
         });
@@ -272,21 +288,34 @@ impl MetricsRegistry {
         for (key, h) in read(&self.histograms).iter() {
             type_header(&mut out, &mut last_family, &key.name, "histogram");
             let snap = h.snapshot();
+            // OpenMetrics exemplar suffix for a bucket line:
+            // `… # {trace_id="<hex>"} <value>` — the worst traced
+            // observation that landed in that bucket, so a quantile
+            // breach points at a concrete trace.
+            let exemplar_suffix = |bucket: usize| -> String {
+                snap.exemplars()
+                    .iter()
+                    .find(|e| e.bucket == bucket)
+                    .map(|e| format!(" # {{trace_id=\"{}\"}} {}", e.trace, e.value))
+                    .unwrap_or_default()
+            };
             let mut cum = 0u64;
             for (i, &n) in snap.bucket_counts().iter().enumerate() {
                 cum += n;
                 if n > 0 && i + 1 < NUM_BUCKETS {
                     out.push_str(&format!(
-                        "{} {}\n",
+                        "{} {}{}\n",
                         key.render_with("_bucket", "le", &bucket_upper_bound(i).to_string()),
-                        cum
+                        cum,
+                        exemplar_suffix(i)
                     ));
                 }
             }
             out.push_str(&format!(
-                "{} {}\n",
+                "{} {}{}\n",
                 key.render_with("_bucket", "le", "+Inf"),
-                snap.count()
+                snap.count(),
+                exemplar_suffix(NUM_BUCKETS - 1)
             ));
             out.push_str(&format!(
                 "{}_sum{} {}\n",
@@ -533,6 +562,35 @@ mod tests {
             2
         );
         assert_eq!(snap.counter_family("hpcmfa_security_events_total"), 3);
+    }
+
+    #[test]
+    fn traced_observations_render_openmetrics_exemplars() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hpcmfa_radius_request_duration_us", &[("server", "r0")]);
+        h.record(10); // untraced: that bucket gets no exemplar
+        h.record_traced(2_049, TraceId::from_u64(0xbeef));
+        h.record_traced(2_050, TraceId::from_u64(0xfeed)); // same bucket, worse
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# {trace_id=\"000000000000feed\"} 2050\n"),
+            "{text}"
+        );
+        assert!(!text.contains("beef"), "replaced exemplar is gone");
+        // The exemplar rides the bucket line, after the cumulative count.
+        let line = text
+            .lines()
+            .find(|l| l.contains("trace_id"))
+            .expect("exemplar line");
+        assert!(line.starts_with("hpcmfa_radius_request_duration_us_bucket{server=\"r0\",le=\""));
+        assert!(
+            line.contains("} 3 # {"),
+            "cumulative count precedes exemplar"
+        );
+        // Untraced-only histograms render without exemplar suffixes.
+        let plain = MetricsRegistry::new();
+        plain.histogram("hpcmfa_plain_us", &[]).record(5);
+        assert!(!plain.render_prometheus().contains("trace_id"));
     }
 
     #[test]

@@ -1,27 +1,38 @@
-//! Span-based request tracing.
+//! Hierarchical timed request tracing.
 //!
 //! A [`TraceId`] is minted once per login attempt (by the SSH daemon as it
 //! builds the PAM context) and carried across every hop of the auth path:
 //! the PAM token module forwards it to the RADIUS client, the client
 //! encodes it as a vendor-specific attribute on the wire, proxies copy it
 //! upstream, and the OTP server stamps it into its audit rows. Each
-//! component also drops a [`SpanRecord`] into the shared [`Tracer`], so
-//! one login's hops can be reconstructed end to end — the reproduction's
-//! stand-in for grepping LinOTP and FreeRADIUS logs by timestamp (§3.2).
+//! component opens a timed [`SpanGuard`] around its hop, so one login's
+//! journey can be reconstructed end to end as a *tree*: every span has a
+//! [`SpanId`], an optional parent, virtual-clock start/end timestamps, a
+//! [`SpanStatus`], and typed attributes — the reproduction's stand-in for
+//! grepping LinOTP and FreeRADIUS logs by timestamp (§3.2), upgraded so an
+//! operator can ask *which hop dominated the latency*.
 //!
 //! Ids must be *deterministic*: chaos and durability scenarios build two
 //! identical worlds in one process and demand byte-identical reports, so
-//! ids are derived from a stable namespace (hash of the daemon name) and
-//! a per-daemon sequence number rather than a process-global counter.
-//! [`TraceId::mint`] exists as a process-global fallback for contexts
-//! built outside a daemon (unit tests, ad-hoc harnesses).
+//! trace ids are derived from a stable namespace (hash of the daemon name)
+//! and a per-daemon sequence number, and span ids from the tracer's own
+//! namespace and a per-tracer sequence, rather than process-global
+//! counters. [`TraceId::mint`] exists as a process-global fallback for
+//! contexts built outside a daemon (unit tests, ad-hoc harnesses).
+//!
+//! Timestamps are *virtual* microseconds read from the per-login
+//! [`TraceClock`] threaded through the stack in a [`SpanCtx`]. Components
+//! advance the clock by their modeled costs (the same convention the
+//! benches use), and the RADIUS wire carries the clock value across hops
+//! (see `hpcmfa-radius`'s `tracewire`), so a cross-site trace tree has one
+//! monotone time basis and self-times partition the end-to-end duration.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Spans retained by a [`Tracer`] before the oldest are evicted.
+/// Spans retained by a [`Tracer`] before the oldest traces are evicted.
 pub const DEFAULT_TRACER_CAP: usize = 65_536;
 
 /// SplitMix64: a full-period mixing function; distinct inputs give
@@ -106,33 +117,230 @@ impl fmt::Debug for TraceId {
     }
 }
 
-/// One hop of one traced request.
+/// A 64-bit span identifier, unique within a trace (and across the
+/// tracers of a federation when each site names its tracer). Zero is
+/// reserved as the "no span" sentinel on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// Wrap a raw id (e.g. decoded from the RADIUS vendor attribute).
+    /// Zero is the wire sentinel for "no parent" and is remapped.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            SpanId(0x9e37_79b9_7f4a_7c15)
+        } else {
+            SpanId(v)
+        }
+    }
+
+    /// The raw id (e.g. for wire encoding). Never zero.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The 16-hex-digit rendering (same as `Display`).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpanId({:016x})", self.0)
+    }
+}
+
+/// The terminal disposition of a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SpanStatus {
+    /// The hop completed normally.
+    #[default]
+    Ok,
+    /// The hop failed (timeout, unreachable pool, fsync failure, …).
+    Error,
+    /// The hop was shed by admission control before doing real work.
+    Shed,
+    /// The hop completed in a degraded mode (fail-open exemption,
+    /// discard-policy realm, stale standby, …).
+    Degraded,
+}
+
+impl SpanStatus {
+    /// Stable snake_case label used in rendered trees and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Error => "error",
+            SpanStatus::Shed => "shed",
+            SpanStatus::Degraded => "degraded",
+        }
+    }
+}
+
+impl fmt::Display for SpanStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed span attribute value (never secrets or token codes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttrValue {
+    /// Free-form string (server name, realm, outcome, …).
+    Str(String),
+    /// Unsigned quantity (attempt count, queue depth, scanned steps, …).
+    U64(u64),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::U64(n) => write!(f, "{n}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The per-login virtual clock, in microseconds. Shared (cheaply cloned)
+/// by every span of a trace so the tree has a single monotone time
+/// basis; components advance it by their modeled costs and fast-forward
+/// it from clock values returned on the wire.
+#[derive(Clone, Debug, Default)]
+pub struct TraceClock(Arc<AtomicU64>);
+
+impl TraceClock {
+    /// A clock starting at `us` microseconds.
+    pub fn at(us: u64) -> Self {
+        TraceClock(Arc::new(AtomicU64::new(us)))
+    }
+
+    /// Current virtual time, µs.
+    pub fn now_us(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Advance by `us` and return the new time.
+    pub fn advance_us(&self, us: u64) -> u64 {
+        self.0.fetch_add(us, Ordering::Relaxed) + us
+    }
+
+    /// Advance to at least `to_us` (monotone; never goes backwards).
+    pub fn fast_forward_us(&self, to_us: u64) {
+        self.0.fetch_max(to_us, Ordering::Relaxed);
+    }
+}
+
+/// The propagation context a component needs to open a child span:
+/// which trace, under which parent, on which clock. Threaded through the
+/// PAM context and (trace, parent, clock) over the RADIUS wire.
+#[derive(Clone, Debug)]
+pub struct SpanCtx {
+    /// The request this context belongs to.
+    pub trace: TraceId,
+    /// The span to parent new spans under (`None` at the root).
+    pub parent: Option<SpanId>,
+    /// The trace's shared virtual clock.
+    pub clock: TraceClock,
+}
+
+impl SpanCtx {
+    /// A root context for `trace` on `clock`.
+    pub fn root(trace: TraceId, clock: TraceClock) -> Self {
+        SpanCtx {
+            trace,
+            parent: None,
+            clock,
+        }
+    }
+
+    /// The same context re-parented under `span`.
+    pub fn child_of(&self, span: SpanId) -> SpanCtx {
+        SpanCtx {
+            trace: self.trace,
+            parent: Some(span),
+            clock: self.clock.clone(),
+        }
+    }
+}
+
+/// One timed hop of one traced request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanRecord {
     /// The request this span belongs to.
     pub trace: TraceId,
-    /// Which component recorded it (`pam`, `radius.client`,
-    /// `radius.proxy`, `otp`).
+    /// This span's id (unique within the trace).
+    pub id: SpanId,
+    /// The enclosing span, if any (`None` for the root).
+    pub parent: Option<SpanId>,
+    /// Which component recorded it (`ssh`, `pam`, `radius.client`,
+    /// `radius.proxy`, `radius.realm`, `otp`).
     pub component: String,
-    /// Short operation label (`authenticate`, `forward`, `validate`, …).
+    /// Short operation label (`session`, `authenticate`, `forward`,
+    /// `validate`, `wal_fsync`, …).
     pub label: String,
     /// Free-form detail (outcome, server name, attempt count; never
     /// secrets or token codes).
     pub detail: String,
+    /// Terminal disposition.
+    pub status: SpanStatus,
+    /// Virtual start time, µs on the trace clock.
+    pub start_us: u64,
+    /// Virtual end time, µs on the trace clock (`>= start_us`).
+    pub end_us: u64,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
 }
+
+impl SpanRecord {
+    /// The span's wall (virtual) duration.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// How many evicted trace ids the tracer remembers. A straggler span of
+/// an evicted trace arriving after the eviction would otherwise re-enter
+/// the ring as a truncated tree.
+const EVICTED_MEMORY: usize = 1_024;
 
 struct TracerInner {
     spans: VecDeque<SpanRecord>,
     cap: usize,
     dropped: u64,
+    /// Recently evicted trace ids (bounded, oldest forgotten first):
+    /// their straggler spans are dropped rather than retained as
+    /// truncated trees.
+    evicted: VecDeque<TraceId>,
 }
 
 /// A bounded, thread-safe span buffer shared by every component on the
 /// auth path (one per [`MetricsRegistry`]).
 ///
+/// Ring eviction is *whole-trace*: when the cap is exceeded, every span
+/// of the oldest retained [`TraceId`] is evicted together, so
+/// [`Tracer::spans_for`] never returns a truncated tree. The
+/// [`Tracer::dropped`] counter still counts individual evicted spans.
+///
 /// [`MetricsRegistry`]: crate::MetricsRegistry
 pub struct Tracer {
     inner: Mutex<TracerInner>,
+    /// Namespace mixed into span ids (set per site so federated sites
+    /// can't collide); defaults to `namespace("tracer")`.
+    ns: AtomicU64,
+    /// Per-tracer span-id sequence.
+    seq: AtomicU64,
+    /// `false` for the no-op tracer the overhead bench compares against.
+    enabled: AtomicBool,
 }
 
 impl Default for Tracer {
@@ -147,41 +355,168 @@ impl Tracer {
         Self::default()
     }
 
-    /// New tracer retaining at most `cap` spans (ring eviction).
+    /// New tracer retaining at most `cap` spans (whole-trace ring
+    /// eviction).
     pub fn with_cap(cap: usize) -> Self {
         Tracer {
             inner: Mutex::new(TracerInner {
                 spans: VecDeque::new(),
                 cap,
                 dropped: 0,
+                evicted: VecDeque::new(),
             }),
+            ns: AtomicU64::new(namespace("tracer")),
+            seq: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
         }
+    }
+
+    /// A tracer that records nothing and allocates nothing — the
+    /// baseline the `trace_overhead` bench compares the instrumented hot
+    /// path against.
+    pub fn disabled() -> Self {
+        let t = Self::with_cap(0);
+        t.enabled.store(false, Ordering::Relaxed);
+        t
+    }
+
+    /// Whether spans are recorded (false only for [`Tracer::disabled`]
+    /// or after [`Tracer::disable`]).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn span recording off: [`Tracer::start`] hands out inert guards
+    /// that never lock or allocate. The overhead bench disables the
+    /// tracer on an otherwise identical registry to measure the
+    /// instrumented hot path against its no-op baseline.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Name the tracer's span-id namespace (e.g. the site name), so
+    /// federated sites assembling one trace can never collide on span
+    /// ids. Deterministic: same name, same ids.
+    pub fn set_namespace(&self, name: &str) {
+        self.ns.store(namespace(name), Ordering::Relaxed);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, TracerInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Record one span for `trace`.
+    /// Next deterministic span id for `trace`.
+    fn next_id(&self, trace: TraceId) -> SpanId {
+        let ns = self.ns.load(Ordering::Relaxed);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        SpanId::from_u64(splitmix64(
+            ns ^ splitmix64(trace.as_u64() ^ splitmix64(seq)),
+        ))
+    }
+
+    /// Open a timed span under `ctx`. The returned guard records the
+    /// span when dropped (or when [`SpanGuard::finish`] is called); its
+    /// end time is read from the context's clock at that moment.
+    /// `component` and `label` are static so the hot path allocates
+    /// nothing until the span is recorded.
+    pub fn start<'t>(
+        &'t self,
+        ctx: &SpanCtx,
+        component: &'static str,
+        label: &'static str,
+    ) -> SpanGuard<'t> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                tracer: self,
+                trace: ctx.trace,
+                id: SpanId::from_u64(1),
+                parent: None,
+                component,
+                label,
+                clock: ctx.clock.clone(),
+                start_us: 0,
+                status: SpanStatus::Ok,
+                detail: String::new(),
+                attrs: Vec::new(),
+                active: false,
+            };
+        }
+        SpanGuard {
+            tracer: self,
+            trace: ctx.trace,
+            id: self.next_id(ctx.trace),
+            parent: ctx.parent,
+            component,
+            label,
+            clock: ctx.clock.clone(),
+            start_us: ctx.clock.now_us(),
+            status: SpanStatus::Ok,
+            detail: String::new(),
+            attrs: Vec::new(),
+            active: true,
+        }
+    }
+
+    /// Record one point span for `trace` (no parent, zero duration).
+    /// Retained for ad-hoc annotations and tests; instrumented paths use
+    /// [`Tracer::start`].
     pub fn span(&self, trace: TraceId, component: &str, label: &str, detail: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let id = self.next_id(trace);
+        self.insert(SpanRecord {
+            trace,
+            id,
+            parent: None,
+            component: component.to_string(),
+            label: label.to_string(),
+            detail: detail.to_string(),
+            status: SpanStatus::Ok,
+            start_us: 0,
+            end_us: 0,
+            attrs: Vec::new(),
+        });
+    }
+
+    /// Insert a finished span, evicting whole traces (oldest first) past
+    /// the cap. If the incoming span's own trace is the oldest and the
+    /// ring is full, the entire trace — incoming span included — is
+    /// dropped. Stragglers of any recently evicted trace are dropped
+    /// too, so retained trees are never truncated.
+    fn insert(&self, rec: SpanRecord) {
         let mut inner = self.lock();
         if inner.cap == 0 {
             inner.dropped += 1;
             return;
         }
-        while inner.spans.len() >= inner.cap {
-            inner.spans.pop_front();
+        if inner.evicted.contains(&rec.trace) {
             inner.dropped += 1;
+            return;
         }
-        inner.spans.push_back(SpanRecord {
-            trace,
-            component: component.to_string(),
-            label: label.to_string(),
-            detail: detail.to_string(),
-        });
+        while inner.spans.len() >= inner.cap {
+            let victim = inner
+                .spans
+                .front()
+                .expect("len >= cap >= 1 implies non-empty")
+                .trace;
+            let before = inner.spans.len();
+            inner.spans.retain(|s| s.trace != victim);
+            inner.dropped += (before - inner.spans.len()) as u64;
+            if inner.evicted.len() >= EVICTED_MEMORY {
+                inner.evicted.pop_front();
+            }
+            inner.evicted.push_back(victim);
+            if victim == rec.trace {
+                inner.dropped += 1;
+                return;
+            }
+        }
+        inner.spans.push_back(rec);
     }
 
-    /// All retained spans for `trace`, in recording order.
+    /// All retained spans for `trace`, in recording order (children
+    /// close — and therefore record — before their parents).
     pub fn spans_for(&self, trace: TraceId) -> Vec<SpanRecord> {
         self.lock()
             .spans
@@ -191,7 +526,10 @@ impl Tracer {
             .collect()
     }
 
-    /// The distinct components that recorded spans for `trace`, sorted.
+    /// The distinct components that recorded spans for `trace`, in
+    /// sorted (ascending lexicographic) order. The order is part of the
+    /// contract: report sections built from this list are byte-stable
+    /// across shard interleavings.
     pub fn components_for(&self, trace: TraceId) -> Vec<String> {
         self.lock()
             .spans
@@ -203,7 +541,9 @@ impl Tracer {
             .collect()
     }
 
-    /// The distinct trace ids with retained spans, sorted.
+    /// The distinct trace ids with retained spans, in sorted (ascending
+    /// numeric) order. Like [`Tracer::components_for`], the sorted order
+    /// is a documented contract, not an accident of storage.
     pub fn trace_ids(&self) -> Vec<TraceId> {
         self.lock()
             .spans
@@ -229,9 +569,103 @@ impl Tracer {
         self.lock().dropped
     }
 
-    /// Drop every retained span (the dropped counter is kept).
+    /// Drop every retained span and forget the eviction tombstones (the
+    /// dropped counter is kept).
     pub fn clear(&self) {
-        self.lock().spans.clear();
+        let mut inner = self.lock();
+        inner.spans.clear();
+        inner.evicted.clear();
+    }
+}
+
+/// RAII guard for an open span: created by [`Tracer::start`], records
+/// the [`SpanRecord`] when dropped. Mutators set the status, detail and
+/// attributes before the drop; [`SpanGuard::child_ctx`] derives the
+/// context children open their own spans under.
+pub struct SpanGuard<'t> {
+    tracer: &'t Tracer,
+    trace: TraceId,
+    id: SpanId,
+    parent: Option<SpanId>,
+    component: &'static str,
+    label: &'static str,
+    clock: TraceClock,
+    start_us: u64,
+    status: SpanStatus,
+    detail: String,
+    attrs: Vec<(String, AttrValue)>,
+    active: bool,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id (e.g. to stamp onto security events or send as the
+    /// wire parent).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The trace this span belongs to.
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// A [`SpanCtx`] that parents new spans under this one.
+    pub fn child_ctx(&self) -> SpanCtx {
+        SpanCtx {
+            trace: self.trace,
+            parent: Some(self.id),
+            clock: self.clock.clone(),
+        }
+    }
+
+    /// Set the terminal status (default [`SpanStatus::Ok`]).
+    pub fn set_status(&mut self, status: SpanStatus) {
+        self.status = status;
+    }
+
+    /// Set the free-form detail recorded with the span.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.detail = detail.into();
+    }
+
+    /// Attach a string attribute.
+    pub fn attr_str(&mut self, key: &str, value: impl Into<String>) {
+        self.attrs
+            .push((key.to_string(), AttrValue::Str(value.into())));
+    }
+
+    /// Attach an unsigned-quantity attribute.
+    pub fn attr_u64(&mut self, key: &str, value: u64) {
+        self.attrs.push((key.to_string(), AttrValue::U64(value)));
+    }
+
+    /// Attach a boolean attribute.
+    pub fn attr_bool(&mut self, key: &str, value: bool) {
+        self.attrs.push((key.to_string(), AttrValue::Bool(value)));
+    }
+
+    /// Close the span now (equivalent to dropping the guard).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end_us = self.clock.now_us().max(self.start_us);
+        self.tracer.insert(SpanRecord {
+            trace: self.trace,
+            id: self.id,
+            parent: self.parent,
+            component: self.component.to_string(),
+            label: self.label.to_string(),
+            detail: std::mem::take(&mut self.detail),
+            status: self.status,
+            start_us: self.start_us,
+            end_us,
+            attrs: std::mem::take(&mut self.attrs),
+        });
     }
 }
 
@@ -290,5 +724,160 @@ mod tests {
         assert_eq!(t.dropped(), 3);
         assert!(t.spans_for(TraceId::from_u64(0)).is_empty());
         assert_eq!(t.spans_for(TraceId::from_u64(4)).len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_whole_traces_never_truncating_a_tree() {
+        let t = Tracer::with_cap(4);
+        let a = TraceId::from_u64(1);
+        let b = TraceId::from_u64(2);
+        let c = TraceId::from_u64(3);
+        // Trace a has three spans, b has one: inserting c's first span
+        // must evict *all* of a (the oldest trace), not just one span.
+        for _ in 0..3 {
+            t.span(a, "pam", "x", "");
+        }
+        t.span(b, "pam", "x", "");
+        t.span(c, "pam", "x", "");
+        assert!(t.spans_for(a).is_empty(), "a evicted whole");
+        assert_eq!(t.spans_for(b).len(), 1, "b untouched");
+        assert_eq!(t.spans_for(c).len(), 1);
+        assert_eq!(t.dropped(), 3, "dropped counts individual spans");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn a_trace_larger_than_the_cap_is_dropped_whole() {
+        let t = Tracer::with_cap(2);
+        let a = TraceId::from_u64(1);
+        t.span(a, "pam", "x", "");
+        t.span(a, "pam", "y", "");
+        // The third span would overflow; a is the oldest trace *and* the
+        // incoming trace, so the whole trace (incoming span included) is
+        // dropped rather than returning a truncated tree.
+        t.span(a, "pam", "z", "");
+        assert!(t.spans_for(a).is_empty());
+        assert_eq!(t.dropped(), 3);
+        // The tracer still works for later traces.
+        let b = TraceId::from_u64(2);
+        t.span(b, "pam", "x", "");
+        assert_eq!(t.spans_for(b).len(), 1);
+    }
+
+    #[test]
+    fn query_orders_are_sorted_and_deterministic() {
+        // Pinned contract (see DESIGN.md §15): `components_for` is
+        // sorted lexicographically, `trace_ids` numerically — regardless
+        // of recording order.
+        let t = Tracer::new();
+        let hi = TraceId::from_u64(0xffff);
+        let lo = TraceId::from_u64(0x0001);
+        t.span(hi, "zeta", "x", "");
+        t.span(hi, "alpha", "x", "");
+        t.span(hi, "mid", "x", "");
+        t.span(lo, "pam", "x", "");
+        assert_eq!(t.components_for(hi), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(t.trace_ids(), vec![lo, hi]);
+    }
+
+    #[test]
+    fn guard_records_timed_parented_spans() {
+        let t = Tracer::new();
+        let clock = TraceClock::at(1_000);
+        let trace = TraceId::from_u64(7);
+        let ctx = SpanCtx::root(trace, clock.clone());
+        let root_id;
+        {
+            let mut root = t.start(&ctx, "ssh", "session");
+            root_id = root.id();
+            clock.advance_us(10);
+            {
+                let mut child = t.start(&root.child_ctx(), "pam", "stack");
+                clock.advance_us(40);
+                child.set_status(SpanStatus::Error);
+                child.set_detail("denied");
+                child.attr_str("user", "alice");
+                child.attr_u64("attempt", 2);
+            }
+            clock.advance_us(5);
+            root.attr_bool("granted", false);
+        }
+        let spans = t.spans_for(trace);
+        assert_eq!(spans.len(), 2);
+        // Children record before parents (recording order).
+        let child = &spans[0];
+        let root = &spans[1];
+        assert_eq!(root.id, root_id);
+        assert_eq!(root.parent, None);
+        assert_eq!(child.parent, Some(root_id));
+        assert_eq!(root.start_us, 1_000);
+        assert_eq!(root.end_us, 1_055);
+        assert_eq!(child.start_us, 1_010);
+        assert_eq!(child.end_us, 1_050);
+        assert_eq!(child.status, SpanStatus::Error);
+        assert_eq!(child.detail, "denied");
+        assert_eq!(child.duration_us(), 40);
+        assert_eq!(
+            child.attrs,
+            vec![
+                ("user".to_string(), AttrValue::Str("alice".to_string())),
+                ("attempt".to_string(), AttrValue::U64(2)),
+            ]
+        );
+        assert_eq!(
+            root.attrs,
+            vec![("granted".to_string(), AttrValue::Bool(false))]
+        );
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_per_namespace_and_distinct_across() {
+        let mk = |site: &str| {
+            let t = Tracer::new();
+            t.set_namespace(site);
+            let ctx = SpanCtx::root(TraceId::from_u64(9), TraceClock::at(0));
+            let g = t.start(&ctx, "otp", "validate");
+            let id = g.id();
+            drop(g);
+            id
+        };
+        assert_eq!(mk("tacc"), mk("tacc"), "same site, same seq, same id");
+        assert_ne!(mk("tacc"), mk("psc"), "sites never collide");
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let ctx = SpanCtx::root(TraceId::from_u64(1), TraceClock::at(0));
+        {
+            let mut g = t.start(&ctx, "otp", "validate");
+            g.set_detail("ignored");
+        }
+        t.span(TraceId::from_u64(1), "pam", "x", "");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0, "disabled is a no-op, not a drop");
+    }
+
+    #[test]
+    fn status_labels_are_stable() {
+        assert_eq!(SpanStatus::Ok.label(), "ok");
+        assert_eq!(SpanStatus::Error.label(), "error");
+        assert_eq!(SpanStatus::Shed.label(), "shed");
+        assert_eq!(SpanStatus::Degraded.label(), "degraded");
+    }
+
+    #[test]
+    fn trace_clock_is_monotone() {
+        let c = TraceClock::at(100);
+        assert_eq!(c.now_us(), 100);
+        assert_eq!(c.advance_us(50), 150);
+        c.fast_forward_us(120); // behind: no-op
+        assert_eq!(c.now_us(), 150);
+        c.fast_forward_us(400);
+        assert_eq!(c.now_us(), 400);
+        let shared = c.clone();
+        shared.advance_us(1);
+        assert_eq!(c.now_us(), 401, "clones share the clock");
     }
 }

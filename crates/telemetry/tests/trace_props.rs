@@ -1,0 +1,142 @@
+//! Property tests for hierarchical timed spans and trace assembly.
+//!
+//! Three contracts are pinned:
+//!
+//! 1. **Partition** — for any nesting of spans on one virtual clock, the
+//!    per-span self-times sum exactly to the root's end-to-end duration
+//!    (nothing double-counted, nothing lost), and the critical path is a
+//!    real root-to-leaf chain with non-increasing hop durations.
+//! 2. **Whole-trace eviction** — the tracer ring never retains a
+//!    truncated tree: past the cap, the oldest trace's spans are evicted
+//!    *together*, and `dropped()` accounts for every evicted span.
+//! 3. **Documented orders** — `trace_ids()` (ascending numeric) and
+//!    `components_for()` (ascending lexicographic) are sorted contracts,
+//!    not storage accidents.
+
+use hpcmfa_telemetry::{MetricsRegistry, SpanCtx, TraceClock, TraceCollector, TraceId, Tracer};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomly shaped span tree: virtual-clock advances before and after
+/// the children, up to depth 4 and fan-out 4.
+#[derive(Debug, Clone)]
+struct Node {
+    pre_us: u16,
+    tail_us: u16,
+    children: Vec<Node>,
+}
+
+fn arb_node() -> impl Strategy<Value = Node> {
+    let leaf = (0u16..500, 0u16..500).prop_map(|(pre_us, tail_us)| Node {
+        pre_us,
+        tail_us,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (0u16..500, 0u16..500, prop::collection::vec(inner, 0..4)).prop_map(
+            |(pre_us, tail_us, children)| Node {
+                pre_us,
+                tail_us,
+                children,
+            },
+        )
+    })
+}
+
+/// Record `node` as a span under `ctx`, recursing into its children on
+/// the child context (so they parent under this span on the same clock).
+fn build(tracer: &Tracer, ctx: &SpanCtx, node: &Node) {
+    let guard = tracer.start(ctx, "node", "op");
+    let child_ctx = guard.child_ctx();
+    child_ctx.clock.advance_us(u64::from(node.pre_us));
+    for child in &node.children {
+        build(tracer, &child_ctx, child);
+    }
+    child_ctx.clock.advance_us(u64::from(node.tail_us));
+    guard.finish();
+}
+
+proptest! {
+    /// For ANY tree shape, self-times partition the root duration and the
+    /// critical path is a real, non-increasing root-to-leaf chain.
+    fn self_times_partition_root_duration(root in arb_node()) {
+        let reg = Arc::new(MetricsRegistry::new());
+        let trace = TraceId::from_u64(0x9999);
+        let ctx = SpanCtx::root(trace, TraceClock::at(1_000));
+        build(reg.tracer(), &ctx, &root);
+
+        let collector = TraceCollector::new();
+        collector.add_source(Arc::clone(&reg));
+        let tree = collector.assemble(trace).expect("one trace assembles");
+
+        let total: u64 = tree.self_time_by_component().iter().map(|&(_, us)| us).sum();
+        prop_assert_eq!(total, tree.duration_us(), "self-times must partition the total");
+
+        let path = tree.critical_path();
+        prop_assert!(!path.is_empty());
+        prop_assert_eq!(path[0].duration_us, tree.duration_us());
+        prop_assert!(
+            path.windows(2).all(|w| w[1].duration_us <= w[0].duration_us),
+            "hop durations must be non-increasing: {:?}", path
+        );
+        for hop in &path {
+            prop_assert!(
+                tree.spans.iter().any(|s| s.id == hop.span),
+                "critical-path hop {:?} is not a span of the tree", hop
+            );
+        }
+    }
+
+    /// Ring eviction is whole-trace: retained traces are always complete,
+    /// `len() + dropped()` accounts for every recorded span, and the
+    /// survivors are exactly the most recently started traces.
+    fn ring_eviction_drops_whole_oldest_traces(
+        cap in 1usize..40,
+        per in 1usize..6,
+        n in 1usize..20,
+    ) {
+        let tracer = Tracer::with_cap(cap);
+        let clock = TraceClock::at(0);
+        for i in 0..n {
+            let ctx = SpanCtx::root(TraceId::from_u64(1 + i as u64), clock.clone());
+            for _ in 0..per {
+                clock.advance_us(5);
+                tracer.start(&ctx, "t", "op").finish();
+            }
+        }
+        let recorded = (n * per) as u64;
+        prop_assert_eq!(tracer.len() as u64 + tracer.dropped(), recorded);
+        for t in tracer.trace_ids() {
+            prop_assert_eq!(
+                tracer.spans_for(t).len(), per,
+                "retained trace {} is truncated", t
+            );
+        }
+        // Survivors are a contiguous suffix of the insertion order: the
+        // oldest trace is always the next victim.
+        let ids: Vec<u64> = tracer.trace_ids().iter().map(|t| t.as_u64()).collect();
+        if let Some(&min) = ids.first() {
+            let expect: Vec<u64> = (min..=n as u64).collect();
+            prop_assert_eq!(ids, expect);
+        }
+    }
+
+    /// `trace_ids()` is ascending numeric and `components_for()` is
+    /// ascending lexicographic, regardless of recording order.
+    fn listing_orders_are_sorted(seeds in prop::collection::vec(0u64..1_000, 1..20)) {
+        let tracer = Tracer::new();
+        let comps: [&str; 4] = ["delta", "alpha", "charlie", "bravo"];
+        for (i, &s) in seeds.iter().enumerate() {
+            tracer.span(TraceId::from_u64(s), comps[i % comps.len()], "op", "");
+        }
+        let ids = tracer.trace_ids();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "trace_ids not sorted: {:?}", ids);
+        for t in ids {
+            let cs = tracer.components_for(t);
+            prop_assert!(
+                cs.windows(2).all(|w| w[0] < w[1]),
+                "components_for not sorted: {:?}", cs
+            );
+        }
+    }
+}

@@ -410,6 +410,11 @@ pub struct AttackReport {
     pub alerts: Vec<String>,
     /// The security-event ring at the end of the run (deterministic).
     pub security_events: Vec<String>,
+    /// Critical-path summary of the slowest surviving trace in the
+    /// center's collector — under attack, usually a benign login that
+    /// queued behind the flood. Virtual durations; part of the
+    /// byte-identical Display output.
+    pub critical_path: Vec<String>,
 }
 
 impl AttackReport {
@@ -478,6 +483,9 @@ impl std::fmt::Display for AttackReport {
             "latency: trusted p99 {}us, best-effort p99 {}us",
             self.trusted_p99_us, self.best_effort_p99_us,
         )?;
+        for line in &self.critical_path {
+            writeln!(f, "  path: {line}")?;
+        }
         for line in &self.alerts {
             writeln!(f, "  alert: {line}")?;
         }
@@ -687,6 +695,7 @@ impl AttackRunner {
             metrics: MetricsSnapshot::default(),
             alerts: Vec::new(),
             security_events: Vec::new(),
+            critical_path: Vec::new(),
         };
         let mut attempt_counter = 0usize;
         // Token theft's exfiltration channel: the most recent resumption
@@ -789,6 +798,21 @@ impl AttackRunner {
             .iter()
             .map(|e| e.to_string())
             .collect();
+        // Which hop the flood actually slowed down: the admission queue
+        // wait, a window scan, or a WAL fsync. Virtual durations, so the
+        // lines replay byte-identical.
+        report.critical_path = self
+            .center
+            .traces
+            .slowest(1)
+            .first()
+            .map(|tree| {
+                hpcmfa_telemetry::critical_path_summary(tree)
+                    .lines()
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
         report
     }
 }

@@ -336,6 +336,11 @@ pub struct ChaosReport {
     /// The security-event ring at the end of the run, rendered one event
     /// per line (virtual timestamps + trace ids — deterministic).
     pub security_events: Vec<String>,
+    /// Critical-path summary of the slowest surviving trace in the
+    /// center's collector, one line per hop plus the per-component
+    /// self-time breakdown. Virtual-clock durations, so it IS part of
+    /// the byte-identical Display output.
+    pub critical_path: Vec<String>,
 }
 
 impl ChaosReport {
@@ -402,6 +407,9 @@ impl std::fmt::Display for ChaosReport {
                 "  fault[{kind}]: {} logins, {} first-try, {} eventual, {} re-dials",
                 s.logins, s.first_try_successes, s.eventual_successes, s.redials,
             )?;
+        }
+        for line in &self.critical_path {
+            writeln!(f, "  path: {line}")?;
         }
         for line in &self.alerts {
             writeln!(f, "  alert: {line}")?;
@@ -603,6 +611,7 @@ impl ChaosRunner {
             metrics: MetricsSnapshot::default(),
             alerts: Vec::new(),
             security_events: Vec::new(),
+            critical_path: Vec::new(),
         };
         // Mirror of each server's fault plane, so every login can be
         // attributed to the fault kinds active while it dialed.
@@ -729,6 +738,21 @@ impl ChaosRunner {
             .iter()
             .map(|e| e.to_string())
             .collect();
+        // Which hop dominated the slowest surviving login: breaker
+        // wait, retry backoff, window scan, WAL fsync, or the admission
+        // queue. Virtual durations, so the lines replay byte-identical.
+        report.critical_path = self
+            .center
+            .traces
+            .slowest(1)
+            .first()
+            .map(|tree| {
+                hpcmfa_telemetry::critical_path_summary(tree)
+                    .lines()
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
         report
     }
 }

@@ -17,19 +17,32 @@
 //!    (denied, `resume_replay` security event),
 //! 5. the same replay from *inside* the bound /16 (denied by the
 //!    single-use nonce ledger),
-//! 6. a login naming a realm outside the trust ACL (rejected).
+//! 6. a login naming a realm outside the trust ACL (rejected),
+//! 7. a *transit* login: `bob@psc` roams at `sdsc`, whose realm table
+//!    routes `psc` **via tacc** (RADIUS secrets are per-hop, so sdsc's
+//!    peer entry for `psc` carries tacc's secret). The request crosses
+//!    three sites — sdsc → tacc → psc — and its single [`TraceId`]
+//!    joins spans recorded in all three registries.
+//!
+//! Every site's `TraceCollector` is wired with both peers'
+//! registries ([`Center::add_trace_source`]), so any site's
+//! `GET /system/traces` assembles the full cross-site tree. The run
+//! assembles the transit login's tree and appends its deterministic
+//! critical-path summary to the report.
 //!
 //! Everything is seeded and virtual-time, so the [`FederationReport`]'s
 //! `Display` output — per-step outcomes, proxy counters, resume
-//! validation outcomes, and both sites' security-event feeds — is
-//! byte-identical across runs. The acceptance suite replays it five
-//! times and compares the strings.
+//! validation outcomes, critical path, and the sites' security-event
+//! feeds — is byte-identical across runs. The acceptance suite replays
+//! it five times and compares the strings.
 
 use hpcmfa_core::center::{Center, CenterConfig, FederationParams};
 use hpcmfa_federation::{RealmPeer, TrustConfig};
 use hpcmfa_otp::device::SoftToken;
 use hpcmfa_pam::modules::token::EnforcementMode;
 use hpcmfa_ssh::client::{ClientProfile, TokenSource};
+use hpcmfa_ssh::daemon::SessionReport;
+use hpcmfa_telemetry::{critical_path_summary, TraceId};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -65,6 +78,14 @@ pub struct FederationReport {
     pub steps: Vec<String>,
     /// Roaming logins granted (full-MFA logins proxied to a home realm).
     pub roamed_granted: usize,
+    /// Transit logins granted (proxied through an intermediate realm).
+    pub transit_granted: usize,
+    /// The transit login's trace id — one trace joining spans recorded
+    /// at all three sites.
+    pub transit_trace: Option<TraceId>,
+    /// Deterministic critical-path summary of the transit login's
+    /// cross-site trace tree, one line per entry.
+    pub critical_path: Vec<String>,
     /// Resumption logins granted.
     pub resumed_granted: usize,
     /// Replay attempts denied (foreign /16 or burned nonce).
@@ -82,8 +103,9 @@ impl std::fmt::Display for FederationReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "federation: {} roamed, {} resumed ({} window scans), {} replays denied",
+            "federation: {} roamed, {} transit, {} resumed ({} window scans), {} replays denied",
             self.roamed_granted,
+            self.transit_granted,
             self.resumed_granted,
             self.resume_window_scans,
             self.replays_denied,
@@ -93,6 +115,9 @@ impl std::fmt::Display for FederationReport {
         }
         for line in &self.counters {
             writeln!(f, "  counter: {line}")?;
+        }
+        for line in &self.critical_path {
+            writeln!(f, "  path: {line}")?;
         }
         for line in &self.security_events {
             writeln!(f, "  event: {line}")?;
@@ -126,7 +151,17 @@ impl FederationSim {
             let peers = SITES
                 .iter()
                 .filter(|p| *p != name)
-                .map(|p| RealmPeer::new(p, format!("{p}-radius-secret").into_bytes()))
+                .map(|p| {
+                    // RADIUS secrets are per-hop, not per-realm: sdsc
+                    // reaches psc *via tacc*, so its peer entry for
+                    // realm `psc` carries tacc's fleet secret.
+                    let hop = if *name == "sdsc" && *p == "psc" {
+                        "tacc"
+                    } else {
+                        p
+                    };
+                    RealmPeer::new(p, format!("{hop}-radius-secret").into_bytes())
+                })
                 .collect();
             let trust = TrustConfig {
                 home_realm: name.to_string(),
@@ -170,11 +205,29 @@ impl FederationSim {
                 }
             }
         }
-        // Pairwise upstream pools, both directions.
+        // Pairwise upstream pools, both directions — except sdsc's
+        // route for `psc`, which points at tacc: tacc's own router sees
+        // the still-foreign realm and forwards a second hop to psc, so
+        // a `bob@psc` login at sdsc transits all three sites.
         for a in &sites {
             for b in &sites {
                 if a.name != b.name {
-                    a.center.connect_peer_realm(b.name, &b.center);
+                    let via = if a.name == "sdsc" && b.name == "psc" {
+                        &sites[0]
+                    } else {
+                        b
+                    };
+                    a.center.connect_peer_realm(b.name, &via.center);
+                }
+            }
+        }
+        // Every site's trace collector sees both peers' registries:
+        // a federated login's spans — recorded wherever each hop ran —
+        // assemble into one tree at any site's `GET /system/traces`.
+        for a in &sites {
+            for b in &sites {
+                if a.name != b.name {
+                    a.center.add_trace_source(Arc::clone(b.center.metrics()));
                 }
             }
         }
@@ -201,7 +254,7 @@ impl FederationSim {
         ip: Ipv4Addr,
         token: TokenSource,
         what: &str,
-    ) -> (bool, Option<String>) {
+    ) -> SessionReport {
         let site = &self.sites[site_idx];
         let bare = principal.split('@').next().unwrap_or(principal);
         let password = format!("{bare}-pw");
@@ -217,11 +270,13 @@ impl FederationSim {
                 ""
             },
         ));
-        (session.granted, session.issued_resume_token)
+        session
     }
 
-    /// Replay the scripted sequence and report.
-    pub fn run(self) -> FederationReport {
+    /// Replay the scripted sequence and report. Takes `&self` so callers
+    /// can keep inspecting the sites (trace collectors, registries)
+    /// after the run.
+    pub fn run(&self) -> FederationReport {
         let mut report = FederationReport::default();
         let tacc = 0usize;
         let psc = 1usize;
@@ -230,14 +285,16 @@ impl FederationSim {
         for (i, site) in self.sites.iter().enumerate() {
             self.advance(30);
             let device = site.token.clone();
-            let (granted, _) = self.dial(
-                &mut report,
-                i,
-                site.home_user,
-                home_ip(i),
-                TokenSource::Device(Arc::new(move |now| Some(device.displayed_code(now)))),
-                "local",
-            );
+            let granted = self
+                .dial(
+                    &mut report,
+                    i,
+                    site.home_user,
+                    home_ip(i),
+                    TokenSource::Device(Arc::new(move |now| Some(device.displayed_code(now)))),
+                    "local",
+                )
+                .granted;
             assert!(granted, "warmup local login at {} failed", site.name);
         }
 
@@ -247,7 +304,7 @@ impl FederationSim {
         self.advance(30);
         let bob_ip = home_ip(psc);
         let device = self.sites[psc].token.clone();
-        let (granted, minted) = self.dial(
+        let session = self.dial(
             &mut report,
             tacc,
             "bob@psc",
@@ -255,10 +312,12 @@ impl FederationSim {
             TokenSource::Device(Arc::new(move |now| Some(device.displayed_code(now)))),
             "roam",
         );
-        if granted {
+        if session.granted {
             report.roamed_granted += 1;
         }
-        let resume_token = minted.expect("full-MFA roaming login mints a resumption token");
+        let resume_token = session
+            .issued_resume_token
+            .expect("full-MFA roaming login mints a resumption token");
 
         // 3. Resumption: the repeat login presents the token in place of
         // a code. One HMAC verify at psc; the TOTP window is never
@@ -266,14 +325,16 @@ impl FederationSim {
         self.advance(30);
         let scans_key = "hpcmfa_otp_window_scans_total";
         let scans_before = self.sites[psc].counter(scans_key);
-        let (granted, _) = self.dial(
-            &mut report,
-            tacc,
-            "bob@psc",
-            bob_ip,
-            TokenSource::Fixed(resume_token.clone()),
-            "resume",
-        );
+        let granted = self
+            .dial(
+                &mut report,
+                tacc,
+                "bob@psc",
+                bob_ip,
+                TokenSource::Fixed(resume_token.clone()),
+                "resume",
+            )
+            .granted;
         if granted {
             report.resumed_granted += 1;
         }
@@ -284,14 +345,16 @@ impl FederationSim {
         // exactly why this is flagged as a typed `resume_replay` event —
         // but the /16 binding refuses entry.
         self.advance(30);
-        let (granted, _) = self.dial(
-            &mut report,
-            tacc,
-            "bob@psc",
-            Ipv4Addr::new(198, 51, 7, 7),
-            TokenSource::Fixed(resume_token.clone()),
-            "theft",
-        );
+        let granted = self
+            .dial(
+                &mut report,
+                tacc,
+                "bob@psc",
+                Ipv4Addr::new(198, 51, 7, 7),
+                TokenSource::Fixed(resume_token.clone()),
+                "theft",
+            )
+            .granted;
         if !granted {
             report.replays_denied += 1;
         }
@@ -300,14 +363,16 @@ impl FederationSim {
         // but the nonce was burned in step 3 — the WAL-backed single-use
         // ledger refuses the second spend.
         self.advance(30);
-        let (granted, _) = self.dial(
-            &mut report,
-            tacc,
-            "bob@psc",
-            Ipv4Addr::new(bob_ip.octets()[0], bob_ip.octets()[1], 200, 9),
-            TokenSource::Fixed(resume_token),
-            "replay",
-        );
+        let granted = self
+            .dial(
+                &mut report,
+                tacc,
+                "bob@psc",
+                Ipv4Addr::new(bob_ip.octets()[0], bob_ip.octets()[1], 200, 9),
+                TokenSource::Fixed(resume_token),
+                "replay",
+            )
+            .granted;
         if !granted {
             report.replays_denied += 1;
         }
@@ -317,15 +382,49 @@ impl FederationSim {
         let site = &self.sites[tacc];
         site.center
             .create_user("mallory@ncsa", "mallory@ncsa.edu", "mallory-pw");
-        let (granted, _) = self.dial(
-            &mut report,
-            tacc,
-            "mallory@ncsa",
-            Ipv4Addr::new(70, 77, 1, 1),
-            TokenSource::Fixed("000000".into()),
-            "acl",
-        );
+        let granted = self
+            .dial(
+                &mut report,
+                tacc,
+                "mallory@ncsa",
+                Ipv4Addr::new(70, 77, 1, 1),
+                TokenSource::Fixed("000000".into()),
+                "acl",
+            )
+            .granted;
         assert!(!granted, "realm outside the trust ACL must be rejected");
+
+        // 7. Transit: bob roams at sdsc, whose realm table routes `psc`
+        // via tacc. The OTP leg crosses sdsc → tacc → psc; every hop
+        // records spans into its own registry under bob's one trace id,
+        // and any site's collector reassembles the full tree.
+        self.advance(30);
+        let sdsc = 2usize;
+        let device = self.sites[psc].token.clone();
+        let transit = self.dial(
+            &mut report,
+            sdsc,
+            "bob@psc",
+            bob_ip,
+            TokenSource::Device(Arc::new(move |now| Some(device.displayed_code(now)))),
+            "transit",
+        );
+        assert!(transit.granted, "transit login via tacc must succeed");
+        report.transit_granted += 1;
+        report.transit_trace = transit.trace_ids.last().copied();
+
+        // Assemble the transit login's cross-site tree at the visited
+        // site and pin its critical path in the report.
+        let trace = report.transit_trace.expect("transit login has a trace");
+        let tree = self.sites[sdsc]
+            .center
+            .traces
+            .assemble(trace)
+            .expect("transit trace assembles across the three sites");
+        report.critical_path = critical_path_summary(&tree)
+            .lines()
+            .map(str::to_string)
+            .collect();
 
         // Deterministic counters worth pinning.
         for key in [
@@ -337,6 +436,11 @@ impl FederationSim {
                 .counters
                 .push(format!("tacc {key} = {}", self.sites[tacc].counter(key)));
         }
+        let transit_key = "hpcmfa_radius_proxy_forwards_total{outcome=\"accept\",realm=\"psc\"}";
+        report.counters.push(format!(
+            "sdsc {transit_key} = {}",
+            self.sites[sdsc].counter(transit_key)
+        ));
         for key in [
             "hpcmfa_otp_resume_validations_total{outcome=\"ok\"}",
             "hpcmfa_otp_resume_validations_total{outcome=\"wrong_address\"}",
@@ -366,6 +470,7 @@ mod tests {
     fn scripted_run_hits_every_outcome() {
         let report = FederationSim::new(0xfed).run();
         assert_eq!(report.roamed_granted, 1, "{report}");
+        assert_eq!(report.transit_granted, 1, "{report}");
         assert_eq!(report.resumed_granted, 1, "{report}");
         assert_eq!(report.replays_denied, 2, "{report}");
         assert_eq!(report.resume_window_scans, 0, "{report}");
@@ -376,6 +481,30 @@ mod tests {
                 .any(|e| e.starts_with("psc:") && e.contains("resume_replay")),
             "{report}"
         );
+        assert!(
+            report
+                .critical_path
+                .iter()
+                .any(|l| l.starts_with("critical path:")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn transit_trace_joins_spans_from_all_three_sites() {
+        let sim = FederationSim::new(0xfed);
+        let report = sim.run();
+        let trace = report.transit_trace.expect("transit trace id");
+        // Each site's own tracer holds the hop spans it recorded; the
+        // transit login must have left spans at all three.
+        for site in &sim.sites {
+            let spans = site.center.metrics().tracer().spans_for(trace);
+            assert!(
+                !spans.is_empty(),
+                "site {} recorded no spans for the transit trace\n{report}",
+                site.name
+            );
+        }
     }
 
     #[test]

@@ -23,8 +23,13 @@ cargo test -q --offline -p hpcmfa-otpserver --test wal_proptests
 echo "==> telemetry: histogram properties, tracing, metrics scrape"
 cargo test -q --offline -p hpcmfa-telemetry
 cargo test -q --offline -p hpcmfa-telemetry --test histogram_props
+cargo test -q --offline -p hpcmfa-telemetry --test trace_props
 cargo test -q --offline --test tracing
 cargo test -q --offline --test telemetry
+
+echo "==> cross-site trace join (one trace id, three sites, x5 identical)"
+cargo test -q --offline --test tracing federation_transit_trace_joins_spans_from_all_three_sites
+cargo test -q --offline --test tracing transit_critical_path
 
 echo "==> alerting: rule engine, event stream, deterministic timelines"
 cargo test -q --offline --test alerting
@@ -78,6 +83,16 @@ for key in '"bench":"throughput"' '"runs":' '"logins_per_sec":' \
     '"virtual_elapsed_us":' '"max_speedup_vs_1":'; do
     grep -q "$key" target/BENCH_throughput_smoke.json \
         || { echo "BENCH_throughput_smoke.json missing $key"; exit 1; }
+done
+
+echo "==> trace-overhead smoke (recording vs no-op tracer) + BENCH_trace.json schema"
+cargo build --release --offline -q -p hpcmfa-bench --bin trace_overhead
+./target/release/trace_overhead --users 64 --logins 8 --reps 5 \
+    --out target/BENCH_trace_smoke.json >/dev/null
+for key in '"bench":"trace_overhead"' '"noop":' '"instrumented":' \
+    '"spans_recorded":' '"overhead_pct":'; do
+    grep -q "$key" target/BENCH_trace_smoke.json \
+        || { echo "BENCH_trace_smoke.json missing $key"; exit 1; }
 done
 
 echo "==> cargo clippy -- -D warnings"

@@ -35,13 +35,18 @@ const EXTERNAL_IP: Ipv4Addr = Ipv4Addr::new(70, 112, 50, 3);
 fn roaming_login_routes_to_home_realm_and_succeeds() {
     let report = FederationSim::new(0xfed).run();
     assert_eq!(report.roamed_granted, 1, "{report}");
+    assert_eq!(report.transit_granted, 1, "{report}");
     // The visited site's proxy counters show the psc leg: the roaming
-    // full-MFA login and the resumption login were both forwarded and
-    // accepted; the two replays were forwarded and rejected; the
-    // unknown realm never left the router.
+    // full-MFA login, the resumption login, and the transit hop relayed
+    // from sdsc were all forwarded and accepted; the two replays were
+    // forwarded and rejected; the unknown realm never left the router.
     let has = |needle: &str| report.counters.iter().any(|c| c == needle);
     assert!(
-        has("tacc hpcmfa_radius_proxy_forwards_total{outcome=\"accept\",realm=\"psc\"} = 2"),
+        has("tacc hpcmfa_radius_proxy_forwards_total{outcome=\"accept\",realm=\"psc\"} = 3"),
+        "{report}"
+    );
+    assert!(
+        has("sdsc hpcmfa_radius_proxy_forwards_total{outcome=\"accept\",realm=\"psc\"} = 1"),
         "{report}"
     );
     assert!(

@@ -80,6 +80,10 @@ fn metrics_scrape_is_valid_prometheus_text() {
             continue;
         }
         assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+        // Bucket lines may carry an OpenMetrics exemplar suffix —
+        // `… # {trace_id="…"} <value>` — which is not part of the
+        // sample; strip it before parsing.
+        let line = line.split(" # ").next().unwrap();
         // `name{labels} value` or `name value`; labels may contain spaces
         // inside quotes, so split at the last space.
         let (series, value) = line.rsplit_once(' ').expect("sample has a value");

@@ -8,10 +8,13 @@
 //! three daemons means matching timestamps by eye.
 
 use securing_hpc::core::center::Center;
+use securing_hpc::crypto::digestauth::answer_challenge;
 use securing_hpc::otp::clock::{Clock, SimClock};
 use securing_hpc::otp::device::SoftToken;
 use securing_hpc::otp::totp::TotpParams;
+use securing_hpc::otpserver::admin::HttpRequest;
 use securing_hpc::otpserver::handler::OtpRadiusHandler;
+use securing_hpc::otpserver::json::Json;
 use securing_hpc::otpserver::server::{LinotpServer, ServerConfig};
 use securing_hpc::otpserver::sms::{SmsProvider, TwilioSim};
 use securing_hpc::pam::context::PamContext;
@@ -23,7 +26,9 @@ use securing_hpc::radius::proxy::ProxyHandler;
 use securing_hpc::radius::server::RadiusServer;
 use securing_hpc::radius::transport::{FaultPlan, InMemoryTransport, Transport};
 use securing_hpc::ssh::client::{ClientProfile, TokenSource};
-use securing_hpc::telemetry::{MetricsRegistry, TraceId};
+use securing_hpc::telemetry::{critical_path_summary, MetricsRegistry, SpanId, TraceId, TraceTree};
+use securing_hpc::workload::federation::FederationSim;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -157,5 +162,204 @@ fn one_trace_id_spans_pam_proxy_tier_and_otp_audit() {
             .counter("hpcmfa_radius_proxy_forwarded_total{proxy=\"proxy1\"}")
             >= 2,
         "challenge open + answer both crossed the proxy"
+    );
+}
+
+/// The transit login's cross-site trace tree, assembled at the visited
+/// site's collector (which sees all three registries).
+fn transit_tree(sim: &FederationSim) -> (TraceId, TraceTree) {
+    let report = sim.run();
+    let trace = report.transit_trace.expect("transit login has a trace id");
+    let tree = sim.sites[2]
+        .center
+        .traces
+        .assemble(trace)
+        .expect("transit trace assembles across the three sites");
+    (trace, tree)
+}
+
+/// Federation trace join: the `bob@psc`-at-`sdsc` transit login crosses
+/// sdsc → tacc → psc, and its ONE trace id joins spans recorded in all
+/// three sites' registries into a single well-formed tree — exactly one
+/// root, every other span parented inside the tree, and every child's
+/// interval nested within its parent's on the shared virtual clock.
+#[test]
+fn federation_transit_trace_joins_spans_from_all_three_sites() {
+    let sim = FederationSim::new(0xfed);
+    let (trace, tree) = transit_tree(&sim);
+    for site in &sim.sites {
+        assert!(
+            !site.center.metrics().tracer().spans_for(trace).is_empty(),
+            "site {} recorded no spans for the transit trace",
+            site.name
+        );
+    }
+    let ids: BTreeSet<SpanId> = tree.spans.iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), tree.spans.len(), "span ids are unique");
+    let mut roots = 0;
+    for span in &tree.spans {
+        assert!(
+            span.start_us <= span.end_us,
+            "span {}/{} runs backwards",
+            span.component,
+            span.label
+        );
+        match span.parent {
+            None => roots += 1,
+            Some(p) => {
+                assert!(
+                    ids.contains(&p),
+                    "span {}/{} has a parent outside the tree",
+                    span.component,
+                    span.label
+                );
+                let parent = tree.spans.iter().find(|s| s.id == p).unwrap();
+                assert!(
+                    parent.start_us <= span.start_us && span.end_us <= parent.end_us,
+                    "child {}/{} [{}..{}] escapes parent {}/{} [{}..{}]",
+                    span.component,
+                    span.label,
+                    span.start_us,
+                    span.end_us,
+                    parent.component,
+                    parent.label,
+                    parent.start_us,
+                    parent.end_us
+                );
+            }
+        }
+    }
+    assert_eq!(roots, 1, "exactly one root span (the sshd session)");
+    // The two RADIUS forward hops (sdsc's and tacc's realm routers) are
+    // both in the tree: the realm component appears at least twice.
+    let forwards = tree
+        .spans
+        .iter()
+        .filter(|s| s.component == "radius.realm" && s.label == "forward")
+        .count();
+    assert!(
+        forwards >= 2,
+        "expected two transit forward hops in {tree:?}"
+    );
+}
+
+/// Critical-path accounting: every span's self-time partitions the root's
+/// end-to-end virtual duration — nothing double-counted, nothing lost —
+/// and the critical path starts at the root span with its full duration.
+#[test]
+fn transit_critical_path_self_times_partition_end_to_end_duration() {
+    let sim = FederationSim::new(0xfed);
+    let (_, tree) = transit_tree(&sim);
+    let total: u64 = tree.self_time_by_component().iter().map(|(_, us)| us).sum();
+    assert_eq!(
+        total,
+        tree.duration_us(),
+        "self-times must partition the end-to-end duration"
+    );
+    let path = tree.critical_path();
+    assert!(!path.is_empty());
+    assert_eq!(path[0].duration_us, tree.duration_us());
+    // Walking down the path, hop durations never grow.
+    assert!(
+        path.windows(2)
+            .all(|w| w[1].duration_us <= w[0].duration_us),
+        "critical path durations must be non-increasing: {path:?}"
+    );
+}
+
+/// The critical-path summary — the exact block embedded in the chaos,
+/// attack, and federation reports — replays byte-identically across five
+/// seeded runs.
+#[test]
+fn transit_critical_path_summary_is_byte_identical_x5() {
+    let render = || {
+        let sim = FederationSim::new(0xfed);
+        let (_, tree) = transit_tree(&sim);
+        critical_path_summary(&tree)
+    };
+    let first = render();
+    assert!(first.starts_with("critical path: trace "));
+    for _ in 0..4 {
+        assert_eq!(first, render());
+    }
+}
+
+/// Digest-sign a GET against the admin API.
+fn signed_get(admin: &securing_hpc::otpserver::admin::AdminApi, path: &str, now: u64) -> Json {
+    let chal = admin.issue_challenge();
+    let auth = answer_challenge(
+        &chal,
+        "portal-svc",
+        "portal-svc-password",
+        "GET",
+        path,
+        "cn",
+        1,
+    );
+    let resp = admin.handle(
+        &HttpRequest::new("GET", path, Json::Null).with_auth(auth),
+        now,
+    );
+    assert!(resp.is_ok(), "GET {path} failed: {}", resp.status);
+    resp.value().unwrap().clone()
+}
+
+/// `GET /system/metrics` renders at least one OpenMetrics exemplar on the
+/// auth-path latency histogram: the worst traced observation per bucket,
+/// so a latency breach links straight to a concrete trace tree.
+#[test]
+fn metrics_scrape_renders_exemplar_on_auth_path_histogram() {
+    let c = Center::default_center();
+    c.create_user("alice", "alice@utexas.edu", "alice-pw");
+    c.set_enforcement(EnforcementMode::Full);
+    let device = c.pair_soft("alice");
+    let profile = ClientProfile::interactive_user("alice", EXTERNAL_IP, "alice-pw").with_token(
+        TokenSource::device(move |now| Some(device.displayed_code(now))),
+    );
+    assert!(c.ssh(0, &profile).granted);
+
+    let text = signed_get(&c.admin, "/system/metrics", c.clock.now())
+        .as_str()
+        .expect("metrics route returns the exposition text")
+        .to_string();
+    assert!(
+        text.lines().any(|l| {
+            l.starts_with("hpcmfa_radius_request_duration_us_bucket")
+                && l.contains("# {trace_id=\"")
+        }),
+        "no exemplar on the auth-path histogram:\n{text}"
+    );
+}
+
+/// `GET /system/traces` at the visited site serves the assembled
+/// cross-site trees: the transit trace appears with its critical path
+/// and per-component self-time breakdown.
+#[test]
+fn system_traces_route_serves_cross_site_critical_paths() {
+    let sim = FederationSim::new(0xfed);
+    let report = sim.run();
+    let trace = report.transit_trace.expect("transit trace id");
+    let sdsc = &sim.sites[2].center;
+    let body = signed_get(&sdsc.admin, "/system/traces", sdsc.clock.now());
+    assert!(body.get("traces").unwrap().as_u64().unwrap() >= 1);
+    let slowest = body.get("slowest").unwrap().as_arr().unwrap();
+    assert!(!slowest.is_empty());
+    let hex = trace.to_string();
+    let entry = slowest
+        .iter()
+        .chain(body.get("recent").unwrap().as_arr().unwrap())
+        .find(|t| t.get("trace").and_then(Json::as_str) == Some(hex.as_str()))
+        .unwrap_or_else(|| panic!("transit trace {hex} not served by /system/traces"));
+    assert_eq!(
+        entry.get("root").and_then(Json::as_str),
+        Some("ssh/session"),
+        "the transit tree is rooted at the visited site's sshd hop"
+    );
+    let path = entry.get("critical_path").unwrap().as_arr().unwrap();
+    assert!(!path.is_empty());
+    let end_to_end = entry.get("duration_us").unwrap().as_u64().unwrap();
+    assert_eq!(
+        path[0].get("duration_us").and_then(Json::as_u64),
+        Some(end_to_end)
     );
 }
