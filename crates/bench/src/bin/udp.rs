@@ -1,0 +1,341 @@
+//! UDP ingest bench: batched event-loop vs thread-per-request (DESIGN.md §16).
+//!
+//! Regenerates `BENCH_udp.json`. Two claims are pinned:
+//!
+//! 1. **Packet rate.** A batched receive loop (drain the socket up to
+//!    `batch_max` datagrams per wakeup, hand off to a bounded worker pool,
+//!    reuse per-worker encode buffers) beats the naive thread-per-request
+//!    server by ≥3× on the deterministic cost model below.
+//! 2. **Zero-copy decode.** The hot decode loop — `PacketView::parse` plus a
+//!    full attribute walk and the text reads the OTP handler performs — does
+//!    **zero** heap allocations per datagram, measured by a counting global
+//!    allocator, where the owned `Packet::decode` path allocates per
+//!    attribute.
+//!
+//! Like the other benches, wall-clock time is reported but *not* asserted:
+//! `--check` only inspects deterministic quantities (the virtual cost model
+//! and real allocation counts), so CI stays reproducible on noisy runners.
+//!
+//! Cost model (microseconds, commented where each figure comes from):
+//!
+//! - `RECV_SYSCALL_US = 2` — blocking `recvfrom` wakeup path.
+//! - `NB_RECV_US = 1` — nonblocking recv of an already-queued datagram
+//!   (no scheduler round trip; this is what batching amortises into).
+//! - `THREAD_SPAWN_US = 30` — `pthread_create` + stack setup, paid per
+//!   datagram by the thread-per-request server and serialised on its
+//!   accept loop.
+//! - `DISPATCH_US = 1` — bounded-queue mutex handoff per datagram.
+//! - `PROCESS_US = 10` — decode + MD5 password recovery + handler +
+//!   encode + response seal (both servers pay this; the batched pool
+//!   overlaps it across `workers`).
+//!
+//! Both pipelines really run: every datagram goes through
+//! `RadiusServer::process_datagram` (baseline, fresh buffers per call) or
+//! `RadiusServer::process_into` (batched, per-worker reused buffers), and
+//! the allocation columns are measured, not modelled.
+
+use hpcmfa_radius::attribute::{Attribute, AttributeType};
+use hpcmfa_radius::auth::hide_password;
+use hpcmfa_radius::packet::{Code, Packet, PacketView};
+use hpcmfa_radius::server::{Handler, RadiusServer, ServerDecision};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counts every heap allocation so the zero-copy claim is measured, not
+/// asserted by inspection. Deallocation is free to stay out of the way.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+const RECV_SYSCALL_US: u64 = 2;
+const NB_RECV_US: u64 = 1;
+const THREAD_SPAWN_US: u64 = 30;
+const DISPATCH_US: u64 = 1;
+const PROCESS_US: u64 = 10;
+
+const SECRET: &[u8] = b"bench-udp-secret";
+
+/// Allocation-free accept-all handler: implements `handle_view` natively so
+/// the batched path never round-trips through an owned `Packet`, and returns
+/// an empty attribute list (`Vec::new()` does not allocate).
+struct AcceptAll;
+
+impl Handler for AcceptAll {
+    fn handle(&self, _request: &Packet, _password: Option<&[u8]>) -> ServerDecision {
+        ServerDecision::Accept(Vec::new())
+    }
+
+    fn handle_view(&self, _request: &PacketView<'_>, _password: Option<&[u8]>) -> ServerDecision {
+        ServerDecision::Accept(Vec::new())
+    }
+}
+
+/// A realistic Access-Request: username, hidden password, NAS identifier and
+/// calling station — the attribute shape the OTP front end actually sees.
+fn make_wire(rng: &mut StdRng, id: u8) -> Vec<u8> {
+    let mut auth = [0u8; 16];
+    rng.fill_bytes(&mut auth);
+    let mut password = [0u8; 8];
+    rng.fill_bytes(&mut password);
+    let mut p = Packet::new(Code::AccessRequest, id, auth);
+    p.attributes.push(Attribute::new(
+        AttributeType::UserName,
+        format!("user{:03}", id).into_bytes(),
+    ));
+    p.attributes.push(Attribute::new(
+        AttributeType::UserPassword,
+        hide_password(&password, &auth, SECRET),
+    ));
+    p.attributes.push(Attribute::new(
+        AttributeType::NasIdentifier,
+        b"login01".to_vec(),
+    ));
+    p.attributes.push(Attribute::new(
+        AttributeType::CallingStationId,
+        b"198.51.100.77".to_vec(),
+    ));
+    p.encode()
+}
+
+struct RunResult {
+    replied: u64,
+    elapsed_us: u64,
+    pps: f64,
+    allocs_per_datagram: f64,
+    wall_ms: f64,
+}
+
+/// Thread-per-request model: the accept loop pays a blocking recv plus a
+/// thread spawn per datagram, fully serialised; processing overlaps on the
+/// spawned threads so only the last datagram's processing lands on the
+/// critical path. Buffers are fresh per call, as a per-request thread's
+/// would be.
+fn run_baseline(server: &RadiusServer, corpus: &[Vec<u8>], datagrams: u64) -> RunResult {
+    let before = allocs();
+    let start = Instant::now();
+    let mut replied = 0u64;
+    for i in 0..datagrams {
+        let wire = &corpus[(i as usize) % corpus.len()];
+        if server.process_datagram(wire).is_some() {
+            replied += 1;
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let measured_allocs = allocs() - before;
+    let elapsed_us = datagrams * (RECV_SYSCALL_US + THREAD_SPAWN_US) + PROCESS_US;
+    RunResult {
+        replied,
+        elapsed_us,
+        pps: datagrams as f64 / (elapsed_us as f64 / 1e6),
+        allocs_per_datagram: measured_allocs as f64 / datagrams as f64,
+        wall_ms,
+    }
+}
+
+/// Batched model: the receiver pays one blocking syscall per batch and a
+/// cheap nonblocking recv per queued datagram, workers overlap processing
+/// across the pool, and the bounded-queue handoff is the serial term —
+/// `elapsed = max(receiver, slowest worker) + datagrams × DISPATCH_US`.
+fn run_batched(
+    server: &RadiusServer,
+    corpus: &[Vec<u8>],
+    datagrams: u64,
+    workers: u64,
+    batch_max: u64,
+) -> RunResult {
+    let before = allocs();
+    let start = Instant::now();
+    let replied = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let replied = &replied;
+            let ops = datagrams / workers + u64::from(w < datagrams % workers);
+            s.spawn(move || {
+                let mut reply = Vec::with_capacity(hpcmfa_radius::MAX_PACKET_LEN);
+                let mut pw_scratch = Vec::new();
+                for i in 0..ops {
+                    let wire = &corpus[((w + i * workers) as usize) % corpus.len()];
+                    if server.process_into(wire, &mut reply, &mut pw_scratch) {
+                        replied.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let measured_allocs = allocs() - before;
+    let batches = datagrams.div_ceil(batch_max);
+    let receiver_us = batches * RECV_SYSCALL_US + datagrams * NB_RECV_US;
+    let worker_us = datagrams.div_ceil(workers) * PROCESS_US;
+    let elapsed_us = receiver_us.max(worker_us) + datagrams * DISPATCH_US;
+    RunResult {
+        replied: replied.load(Ordering::SeqCst),
+        elapsed_us,
+        pps: datagrams as f64 / (elapsed_us as f64 / 1e6),
+        allocs_per_datagram: measured_allocs as f64 / datagrams as f64,
+        wall_ms,
+    }
+}
+
+fn run_json(r: &RunResult, datagrams: u64) -> String {
+    format!(
+        "{{\"replied\":{},\"datagrams\":{},\"elapsed_us\":{},\"pps\":{:.0},\"allocs_per_datagram\":{:.3},\"wall_ms\":{:.1}}}",
+        r.replied, datagrams, r.elapsed_us, r.pps, r.allocs_per_datagram, r.wall_ms
+    )
+}
+
+fn main() {
+    let mut seed = 20u64;
+    let mut datagrams = 20_000u64;
+    let mut workers = 4u64;
+    let mut batch_max = 64u64;
+    let mut out = String::from("BENCH_udp.json");
+    let mut check = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => {
+                seed = argv[i + 1].parse().expect("--seed u64");
+                i += 2;
+            }
+            "--datagrams" => {
+                datagrams = argv[i + 1].parse().expect("--datagrams u64");
+                i += 2;
+            }
+            "--workers" => {
+                workers = argv[i + 1].parse().expect("--workers u64");
+                i += 2;
+            }
+            "--batch-max" => {
+                batch_max = argv[i + 1].parse().expect("--batch-max u64");
+                i += 2;
+            }
+            "--out" => {
+                out = argv[i + 1].clone();
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(workers > 0 && batch_max > 0 && datagrams > 0);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corpus: Vec<Vec<u8>> = (0..=255u8).map(|id| make_wire(&mut rng, id)).collect();
+    let attrs_per_packet = Packet::decode(&corpus[0])
+        .expect("corpus wire")
+        .attributes
+        .len();
+
+    // Claim 2 first: the hot decode loop — parse, walk every attribute,
+    // read the text fields the OTP handler reads — over the whole corpus,
+    // many times, with the allocator watching.
+    let decode_iters = 10_000u64;
+    let mut sink = 0usize;
+    let before = allocs();
+    for i in 0..decode_iters {
+        let wire = &corpus[(i as usize) % corpus.len()];
+        let view = PacketView::parse(wire).expect("corpus is well-formed");
+        for attr in view.attributes() {
+            sink = sink.wrapping_add(attr.value.len());
+        }
+        sink = sink.wrapping_add(view.text(AttributeType::UserName).map_or(0, str::len));
+        sink = sink.wrapping_add(
+            view.text(AttributeType::CallingStationId)
+                .map_or(0, str::len),
+        );
+    }
+    let view_allocs = allocs() - before;
+    std::hint::black_box(sink);
+
+    let before = allocs();
+    for i in 0..decode_iters {
+        let wire = &corpus[(i as usize) % corpus.len()];
+        std::hint::black_box(Packet::decode(wire).expect("corpus is well-formed"));
+    }
+    let owned_allocs_per_packet = (allocs() - before) as f64 / decode_iters as f64;
+
+    eprintln!(
+        "decode: view {view_allocs} allocs / {decode_iters} packets, owned {owned_allocs_per_packet:.1} allocs/packet ({attrs_per_packet} attrs)"
+    );
+
+    // Claim 1: same server, same corpus, both ingest disciplines.
+    let server = RadiusServer::new(SECRET, Arc::new(AcceptAll));
+    let baseline = run_baseline(&server, &corpus, datagrams);
+    eprintln!(
+        "thread-per-request: {:.0} pps ({:.3} allocs/datagram, wall {:.1} ms)",
+        baseline.pps, baseline.allocs_per_datagram, baseline.wall_ms
+    );
+    let batched = run_batched(&server, &corpus, datagrams, workers, batch_max);
+    eprintln!(
+        "batched x{workers}: {:.0} pps ({:.3} allocs/datagram, wall {:.1} ms)",
+        batched.pps, batched.allocs_per_datagram, batched.wall_ms
+    );
+    let speedup = batched.pps / baseline.pps;
+    eprintln!("speedup vs thread-per-request: {speedup:.2}x");
+
+    let json = format!(
+        "{{\"bench\":\"udp\",\"seed\":{seed},\"datagrams\":{datagrams},\"workers\":{workers},\"batch_max\":{batch_max},\
+\"model\":{{\"recv_syscall_us\":{RECV_SYSCALL_US},\"nb_recv_us\":{NB_RECV_US},\"thread_spawn_us\":{THREAD_SPAWN_US},\
+\"dispatch_us\":{DISPATCH_US},\"process_us\":{PROCESS_US}}},\
+\"decode\":{{\"iters\":{decode_iters},\"attrs_per_packet\":{attrs_per_packet},\"view_allocs_total\":{view_allocs},\
+\"owned_allocs_per_packet\":{owned_allocs_per_packet:.1}}},\
+\"thread_per_request\":{},\"batched\":{},\"speedup_vs_thread_per_request\":{speedup:.2}}}\n",
+        run_json(&baseline, datagrams),
+        run_json(&batched, datagrams),
+    );
+    std::fs::write(&out, &json).expect("write bench output");
+    eprintln!("wrote {out}");
+
+    if check {
+        // Deterministic floors only: the virtual cost model and real
+        // allocation counts. Wall time never gates CI.
+        assert_eq!(
+            view_allocs, 0,
+            "hot decode loop must be allocation-free (got {view_allocs} over {decode_iters} packets)"
+        );
+        assert!(
+            owned_allocs_per_packet >= attrs_per_packet as f64,
+            "owned decode should allocate per attribute; the contrast collapsed"
+        );
+        assert_eq!(baseline.replied, datagrams, "baseline dropped datagrams");
+        assert_eq!(batched.replied, datagrams, "batched path dropped datagrams");
+        assert!(
+            speedup >= 3.0,
+            "batched ingest must clear 3x over thread-per-request, got {speedup:.2}x"
+        );
+        eprintln!("check OK: zero-alloc decode, {speedup:.2}x >= 3x");
+    }
+}

@@ -20,9 +20,9 @@ use crate::server::{LinotpServer, ResumeConsumeOutcome, SmsTrigger};
 use hpcmfa_federation::{ResumeAuthority, TokenError};
 use hpcmfa_otp::clock::Clock;
 use hpcmfa_radius::attribute::{Attribute, AttributeType};
-use hpcmfa_radius::packet::Packet;
+use hpcmfa_radius::packet::{Packet, PacketView};
 use hpcmfa_radius::server::{Handler, ServerDecision};
-use hpcmfa_radius::tracewire;
+use hpcmfa_radius::tracewire::{self, WireTraceCtx};
 use hpcmfa_telemetry::{SecurityEventKind, SpanCtx, SpanStatus, TraceClock};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -244,16 +244,23 @@ impl OtpRadiusHandler {
             other => other,
         }
     }
-}
-
-impl Handler for OtpRadiusHandler {
-    fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision {
+    /// The decision logic shared by both [`Handler`] entry points. All
+    /// request fields arrive pre-extracted as borrows, so the zero-copy
+    /// [`PacketView`] path and the owned [`Packet`] path converge here
+    /// without either copying the datagram.
+    fn decide(
+        &self,
+        username: Option<&str>,
+        password: Option<&[u8]>,
+        wire_ctx: Option<WireTraceCtx>,
+        source_text: Option<&str>,
+    ) -> ServerDecision {
         // Failover safe point: promote a due standby before touching the
         // store (the promotion reloads the server's working set).
         if let Some(cluster) = &self.cluster {
             cluster.maybe_failover(self.clock.now());
         }
-        let Some(username) = request.text(AttributeType::UserName) else {
+        let Some(username) = username else {
             return ServerDecision::Discard;
         };
         let Some(password) = password else {
@@ -267,7 +274,7 @@ impl Handler for OtpRadiusHandler {
         // the clock reading keeps virtual timestamps monotone across the
         // hop. A v1 (bare trace id) attribute yields a parentless context
         // rooted at this site's own clock origin.
-        let ctx = tracewire::trace_ctx_of(request).map(|w| SpanCtx {
+        let ctx = wire_ctx.map(|w| SpanCtx {
             trace: w.trace,
             parent: w.parent,
             clock: TraceClock::at(w.clock_us),
@@ -275,9 +282,7 @@ impl Handler for OtpRadiusHandler {
         let ctx = ctx.as_ref();
         // The client's source address (Calling-Station-Id) feeds the
         // per-network admission control when overload protection is on.
-        let source = request
-            .text(AttributeType::CallingStationId)
-            .and_then(|s| s.parse().ok());
+        let source = source_text.and_then(|s| s.parse().ok());
 
         if password.is_empty() {
             // Null request: open the challenge, texting SMS users first.
@@ -335,6 +340,29 @@ impl Handler for OtpRadiusHandler {
             Self::reject()
         };
         Self::stamp_clock(decision, ctx)
+    }
+}
+
+impl Handler for OtpRadiusHandler {
+    fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision {
+        self.decide(
+            request.text(AttributeType::UserName),
+            password,
+            tracewire::trace_ctx_of(request),
+            request.text(AttributeType::CallingStationId),
+        )
+    }
+
+    /// The batched ingest loop's entry point: every field is read straight
+    /// out of the receive buffer, so a full OTP validation performs no
+    /// per-attribute allocation between socket and store.
+    fn handle_view(&self, request: &PacketView<'_>, password: Option<&[u8]>) -> ServerDecision {
+        self.decide(
+            request.text(AttributeType::UserName),
+            password,
+            tracewire::trace_ctx_of_view(request),
+            request.text(AttributeType::CallingStationId),
+        )
     }
 }
 

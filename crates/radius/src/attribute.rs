@@ -1,6 +1,12 @@
 //! RADIUS attribute TLVs (RFC 2865 §5).
-
-use bytes::{BufMut, BytesMut};
+//!
+//! Two representations coexist:
+//!
+//! * [`Attribute`] — owned value bytes, used to *construct* packets
+//!   (clients building requests, handlers building replies).
+//! * [`AttrView`] — a borrowed `&[u8]` into the receive buffer, used to
+//!   *decode* on the ingest hot loop without per-attribute heap
+//!   allocations (see [`crate::packet::PacketView`]).
 
 /// The attribute types this infrastructure uses.
 ///
@@ -100,11 +106,58 @@ impl Attribute {
     }
 
     /// Append the TLV encoding to `buf`.
-    pub fn encode(&self, buf: &mut BytesMut) {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
         debug_assert!(self.value.len() <= 253, "attribute value too long");
-        buf.put_u8(self.ty.code());
-        buf.put_u8(self.wire_len() as u8);
-        buf.put_slice(&self.value);
+        buf.push(self.ty.code());
+        buf.push(self.wire_len() as u8);
+        buf.extend_from_slice(&self.value);
+    }
+
+    /// The borrowed view of this attribute.
+    pub fn as_view(&self) -> AttrView<'_> {
+        AttrView {
+            ty: self.ty,
+            value: &self.value,
+        }
+    }
+}
+
+/// A borrowed attribute: type plus a slice into the datagram buffer.
+///
+/// Decoding a packet as [`PacketView`](crate::packet::PacketView) yields
+/// these without copying the value bytes — the zero-copy half of the
+/// ingest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrView<'a> {
+    /// Attribute type.
+    pub ty: AttributeType,
+    /// Raw value bytes, borrowed from the receive buffer.
+    pub value: &'a [u8],
+}
+
+impl<'a> AttrView<'a> {
+    /// Value as UTF-8 text, if valid.
+    pub fn as_text(&self) -> Option<&'a str> {
+        std::str::from_utf8(self.value).ok()
+    }
+
+    /// Encoded length on the wire (2-byte header + value).
+    pub fn wire_len(&self) -> usize {
+        2 + self.value.len()
+    }
+
+    /// Copy into an owned [`Attribute`].
+    pub fn to_owned(&self) -> Attribute {
+        Attribute::new(self.ty, self.value.to_vec())
+    }
+
+    /// Append the TLV encoding to `buf` (same layout as
+    /// [`Attribute::encode`], no intermediate allocation).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        debug_assert!(self.value.len() <= 253, "attribute value too long");
+        buf.push(self.ty.code());
+        buf.push(self.wire_len() as u8);
+        buf.extend_from_slice(self.value);
     }
 }
 
@@ -133,10 +186,23 @@ mod tests {
     #[test]
     fn encode_layout() {
         let a = Attribute::text(AttributeType::UserName, "alice");
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         a.encode(&mut buf);
         assert_eq!(&buf[..], &[1, 7, b'a', b'l', b'i', b'c', b'e']);
         assert_eq!(a.wire_len(), 7);
+    }
+
+    #[test]
+    fn view_encodes_identically_to_owned() {
+        let a = Attribute::text(AttributeType::ReplyMessage, "Enter token:");
+        let v = a.as_view();
+        assert_eq!(v.as_text(), Some("Enter token:"));
+        assert_eq!(v.wire_len(), a.wire_len());
+        let (mut owned, mut borrowed) = (Vec::new(), Vec::new());
+        a.encode(&mut owned);
+        v.encode(&mut borrowed);
+        assert_eq!(owned, borrowed);
+        assert_eq!(v.to_owned(), a);
     }
 
     #[test]

@@ -38,6 +38,28 @@ pub fn seal_response(response: &mut Packet, request_auth: &[u8; 16], secret: &[u
     response.authenticator = response_authenticator(response, request_auth, secret);
 }
 
+/// Seal an already-encoded response in place: write `request_auth` into
+/// the authenticator field, hash the whole datagram with the secret, then
+/// overwrite the field with the digest.
+///
+/// This is the zero-copy twin of [`seal_response`]: the owned path clones
+/// the packet and re-encodes it just to hash it; the batched ingest path
+/// encodes the reply once into a reusable buffer and seals it here.
+/// Produces byte-identical output (unit tested below).
+///
+/// # Panics
+///
+/// When `wire` is shorter than a RADIUS header.
+pub fn seal_wire(wire: &mut [u8], request_auth: &[u8; 16], secret: &[u8]) {
+    assert!(wire.len() >= 20, "cannot seal a headerless datagram");
+    wire[4..20].copy_from_slice(request_auth);
+    let mut h = Md5::new();
+    h.update(wire);
+    h.update(secret);
+    let digest = h.finalize();
+    wire[4..20].copy_from_slice(&digest);
+}
+
 /// Verify a received response against the request it answers.
 pub fn verify_response(response: &Packet, request_auth: &[u8; 16], secret: &[u8]) -> bool {
     let expected = response_authenticator(response, request_auth, secret);
@@ -77,10 +99,25 @@ pub fn hide_password(password: &[u8], request_auth: &[u8; 16], secret: &[u8]) ->
 ///
 /// Returns `None` when the field length is not a multiple of 16 (malformed).
 pub fn recover_password(hidden: &[u8], request_auth: &[u8; 16], secret: &[u8]) -> Option<Vec<u8>> {
-    if hidden.is_empty() || !hidden.len().is_multiple_of(16) {
-        return None;
-    }
     let mut out = Vec::with_capacity(hidden.len());
+    recover_password_into(hidden, request_auth, secret, &mut out).then_some(out)
+}
+
+/// [`recover_password`] into a caller-provided buffer (cleared first):
+/// the ingest hot loop reuses one scratch buffer per worker, so password
+/// recovery stops allocating per datagram. Returns `false` — leaving
+/// `out` empty — when the field length is malformed.
+pub fn recover_password_into(
+    hidden: &[u8],
+    request_auth: &[u8; 16],
+    secret: &[u8],
+    out: &mut Vec<u8>,
+) -> bool {
+    out.clear();
+    if hidden.is_empty() || !hidden.len().is_multiple_of(16) {
+        return false;
+    }
+    out.reserve(hidden.len());
     let mut prev: [u8; 16] = *request_auth;
     for chunk in hidden.chunks(16) {
         let mut h = Md5::new();
@@ -95,7 +132,7 @@ pub fn recover_password(hidden: &[u8], request_auth: &[u8; 16], secret: &[u8]) -
     while out.last() == Some(&0) {
         out.pop();
     }
-    Some(out)
+    true
 }
 
 /// A deterministic authenticator derived from a message-authentication
@@ -180,6 +217,39 @@ mod tests {
             .with_attribute(Attribute::text(AttributeType::ReplyMessage, "welcome"));
         seal_response(&mut resp, &ra, SECRET);
         assert!(verify_response(&resp, &ra, SECRET));
+    }
+
+    #[test]
+    fn seal_wire_matches_seal_response_byte_for_byte() {
+        let ra = fixture_authenticator("request");
+        let mut resp = Packet::new(Code::AccessChallenge, 3, [0u8; 16])
+            .with_attribute(Attribute::new(AttributeType::State, vec![9, 9]))
+            .with_attribute(Attribute::text(AttributeType::ReplyMessage, "TACC Token:"));
+        let mut wire = resp.encode();
+        seal_wire(&mut wire, &ra, SECRET);
+        seal_response(&mut resp, &ra, SECRET);
+        assert_eq!(wire, resp.encode());
+    }
+
+    #[test]
+    fn recover_into_reuses_buffer_and_matches_allocating_path() {
+        let ra = fixture_authenticator("ra");
+        let mut scratch = vec![0xaa; 64]; // dirty: must be cleared
+        for pw in [&b""[..], b"123456", b"a-password-longer-than-sixteen-bytes"] {
+            let hidden = hide_password(pw, &ra, SECRET);
+            assert!(recover_password_into(&hidden, &ra, SECRET, &mut scratch));
+            assert_eq!(
+                Some(scratch.clone()),
+                recover_password(&hidden, &ra, SECRET)
+            );
+        }
+        assert!(!recover_password_into(
+            &[1, 2, 3],
+            &ra,
+            SECRET,
+            &mut scratch
+        ));
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -648,6 +648,8 @@ impl RadiusClient {
         // with an open breaker are skipped instead of attempted.
         let retry = &self.config.retry;
         let n = self.transports.len();
+        // One reply buffer reused across every attempt of this walk.
+        let mut reply = Vec::new();
         let start = self.rotor.fetch_add(1, Ordering::Relaxed);
         let t0 = self.vclock_us();
         let deadline = t0.saturating_add(retry.deadline_us);
@@ -705,8 +707,8 @@ impl RadiusClient {
                     }
                     _ => &wire_plain,
                 };
-                match self.transports[idx].exchange(wire) {
-                    Ok(reply) => {
+                match self.transports[idx].exchange_into(wire, &mut reply) {
+                    Ok(()) => {
                         // A clock-aware responder reports its trace clock
                         // after processing; fast-forward ours past it so
                         // the attempt span encloses the server's spans.

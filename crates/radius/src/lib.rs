@@ -21,12 +21,16 @@
 //!   proxy handler for the "proxy chaining across servers" deployment
 //!   pattern (§3.2) ([`proxy`]);
 //! * transports: deterministic in-memory (with fault injection, used by the
-//!   rollout simulator and benches) and real UDP ([`transport`]).
+//!   rollout simulator and benches) and real UDP ([`transport`]);
+//! * a wire-rate batched UDP front end — event-loop socket draining,
+//!   zero-copy [`packet::PacketView`] decode, bounded worker pool, lane
+//!   fairness ([`ingest`], DESIGN.md §16).
 
 pub mod attribute;
 pub mod auth;
 pub mod breaker;
 pub mod client;
+pub mod ingest;
 pub mod packet;
 pub mod proxy;
 pub mod realm;
@@ -34,10 +38,11 @@ pub mod server;
 pub mod tracewire;
 pub mod transport;
 
-pub use attribute::{Attribute, AttributeType};
+pub use attribute::{AttrView, Attribute, AttributeType};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{ClientConfig, ClientError, RadiusClient, RetryPolicy, ServerHealthSnapshot};
-pub use packet::{Code, Packet, PacketError};
+pub use ingest::{BatchedUdpServer, IngestConfig, IngestHandle, IngestStats, Lane};
+pub use packet::{Code, Packet, PacketError, PacketView};
 pub use realm::RealmRouter;
 pub use server::{Handler, RadiusServer, ServerDecision};
 pub use transport::{FaultPlan, InMemoryTransport, Transport, TransportError};

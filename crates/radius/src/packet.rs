@@ -2,10 +2,21 @@
 //!
 //! Layout: `code(1) | identifier(1) | length(2, BE) | authenticator(16) |
 //! attributes...`.
+//!
+//! Two decode paths share one validation discipline:
+//!
+//! * [`Packet::decode`] — owned: every attribute value is copied into its
+//!   own `Vec<u8>`. Kept for construction-side round trips and anything
+//!   that outlives the receive buffer.
+//! * [`PacketView::parse`] — borrowed: one validating walk of the TLVs,
+//!   then attributes are yielded as [`AttrView`] slices into the original
+//!   buffer. Zero heap allocations per attribute — the ingest hot loop
+//!   decodes every datagram this way. The two paths accept and reject
+//!   byte-identical inputs with identical [`PacketError`]s (property
+//!   tested in `tests/view_props.rs`).
 
-use crate::attribute::{Attribute, AttributeType};
+use crate::attribute::{AttrView, Attribute, AttributeType};
 use crate::{MAX_PACKET_LEN, MIN_PACKET_LEN};
-use bytes::{BufMut, BytesMut};
 
 /// RADIUS packet codes used by the authentication flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,19 +147,29 @@ impl Packet {
                 .sum::<usize>()
     }
 
-    /// Encode to wire bytes.
+    /// Encode to wire bytes (thin allocating wrapper over
+    /// [`Packet::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Encode into a caller-provided buffer, clearing it first. The hot
+    /// encode path: per-worker reply buffers are reused across datagrams,
+    /// so steady-state encoding allocates nothing.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         let len = self.wire_len();
         debug_assert!(len <= MAX_PACKET_LEN, "packet exceeds RFC maximum");
-        let mut buf = BytesMut::with_capacity(len);
-        buf.put_u8(self.code.code());
-        buf.put_u8(self.identifier);
-        buf.put_u16(len as u16);
-        buf.put_slice(&self.authenticator);
+        buf.clear();
+        buf.reserve(len);
+        buf.push(self.code.code());
+        buf.push(self.identifier);
+        buf.extend_from_slice(&(len as u16).to_be_bytes());
+        buf.extend_from_slice(&self.authenticator);
         for attr in &self.attributes {
-            attr.encode(&mut buf);
+            attr.encode(buf);
         }
-        buf.to_vec()
     }
 
     /// Decode from wire bytes.
@@ -189,6 +210,133 @@ impl Packet {
             authenticator,
             attributes,
         })
+    }
+
+    /// Borrow this packet's attributes as views (construction-side
+    /// counterpart of [`PacketView::attributes`]).
+    pub fn attribute_views(&self) -> impl Iterator<Item = AttrView<'_>> {
+        self.attributes.iter().map(Attribute::as_view)
+    }
+}
+
+/// A zero-copy decoded RADIUS packet: header fields plus a validated
+/// attribute region borrowed from the receive buffer.
+///
+/// [`PacketView::parse`] performs the same validating TLV walk as
+/// [`Packet::decode`] — same accepted inputs, same [`PacketError`]s — but
+/// copies nothing: attributes are yielded as [`AttrView`] slices. This is
+/// the decode path of the batched ingest loop, where one owned `Vec` per
+/// attribute per datagram was the dominant allocation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    /// Packet code.
+    pub code: Code,
+    /// Request/response matching identifier.
+    pub identifier: u8,
+    /// 16-byte authenticator, borrowed.
+    authenticator: &'a [u8; 16],
+    /// The validated attribute region (`[20, declared_len)`).
+    attrs: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Validate and borrow a packet from wire bytes. Accepts and rejects
+    /// exactly the inputs [`Packet::decode`] does, with identical errors;
+    /// octets past the declared length are padding and ignored.
+    pub fn parse(data: &'a [u8]) -> Result<Self, PacketError> {
+        if data.len() < MIN_PACKET_LEN {
+            return Err(PacketError::TooShort);
+        }
+        let declared = u16::from_be_bytes([data[2], data[3]]) as usize;
+        if declared < MIN_PACKET_LEN || declared > data.len() || declared > MAX_PACKET_LEN {
+            return Err(PacketError::BadLength {
+                declared,
+                actual: data.len(),
+            });
+        }
+        let code = Code::from_code(data[0]).ok_or(PacketError::UnknownCode(data[0]))?;
+        // One validating walk of the TLV region; values are not touched.
+        let mut offset = MIN_PACKET_LEN;
+        while offset < declared {
+            if declared - offset < 2 {
+                return Err(PacketError::MalformedAttribute { offset });
+            }
+            let alen = data[offset + 1] as usize;
+            if alen < 2 || offset + alen > declared {
+                return Err(PacketError::MalformedAttribute { offset });
+            }
+            offset += alen;
+        }
+        let authenticator: &[u8; 16] = data[4..20].try_into().expect("length checked");
+        Ok(PacketView {
+            code,
+            identifier: data[1],
+            authenticator,
+            attrs: &data[MIN_PACKET_LEN..declared],
+        })
+    }
+
+    /// The 16-byte authenticator, borrowed from the buffer.
+    pub fn authenticator(&self) -> &'a [u8; 16] {
+        self.authenticator
+    }
+
+    /// Total length this packet declares on the wire.
+    pub fn wire_len(&self) -> usize {
+        MIN_PACKET_LEN + self.attrs.len()
+    }
+
+    /// Iterate the attributes in wire order, zero-copy. The region was
+    /// validated at parse time, so iteration is infallible.
+    pub fn attributes(&self) -> AttrIter<'a> {
+        AttrIter { rest: self.attrs }
+    }
+
+    /// First attribute of `ty`.
+    pub fn attribute(&self, ty: AttributeType) -> Option<AttrView<'a>> {
+        self.attributes().find(|a| a.ty == ty)
+    }
+
+    /// All attributes of `ty` (Proxy-State may repeat), zero-copy.
+    pub fn attributes_of(&self, ty: AttributeType) -> impl Iterator<Item = AttrView<'a>> {
+        self.attributes().filter(move |a| a.ty == ty)
+    }
+
+    /// Text value of the first attribute of `ty`.
+    pub fn text(&self, ty: AttributeType) -> Option<&'a str> {
+        self.attribute(ty).and_then(|a| a.as_text())
+    }
+
+    /// Copy into an owned [`Packet`] (the compatibility bridge for
+    /// handlers that have not opted into view dispatch).
+    pub fn to_packet(&self) -> Packet {
+        Packet {
+            code: self.code,
+            identifier: self.identifier,
+            authenticator: *self.authenticator,
+            attributes: self.attributes().map(|a| a.to_owned()).collect(),
+        }
+    }
+}
+
+/// Infallible TLV iterator over a validated attribute region.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for AttrIter<'a> {
+    type Item = AttrView<'a>;
+
+    fn next(&mut self) -> Option<AttrView<'a>> {
+        if self.rest.len() < 2 {
+            return None;
+        }
+        let ty = AttributeType::from_code(self.rest[0]);
+        let alen = (self.rest[1] as usize).clamp(2, self.rest.len());
+        let value = &self.rest[2..alen];
+        self.rest = &self.rest[alen..];
+        Some(AttrView { ty, value })
     }
 }
 
@@ -318,5 +466,75 @@ mod tests {
             assert_eq!(Code::from_code(c.code()), Some(c));
         }
         assert_eq!(Code::from_code(99), None);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let p = sample();
+        let mut buf = Vec::new();
+        p.encode_into(&mut buf);
+        assert_eq!(buf, p.encode());
+        let q = Packet::new(Code::AccessAccept, 9, [1u8; 16]);
+        q.encode_into(&mut buf);
+        assert_eq!(buf, q.encode());
+    }
+
+    #[test]
+    fn view_matches_owned_decode() {
+        let p = sample();
+        let wire = p.encode();
+        let view = PacketView::parse(&wire).unwrap();
+        assert_eq!(view.code, p.code);
+        assert_eq!(view.identifier, p.identifier);
+        assert_eq!(view.authenticator(), &p.authenticator);
+        assert_eq!(view.wire_len(), wire.len());
+        assert_eq!(view.to_packet(), p);
+        assert_eq!(view.text(AttributeType::UserName), Some("alice"));
+        assert_eq!(
+            view.attribute(AttributeType::State).map(|a| a.value),
+            Some(&[1u8, 2, 3][..])
+        );
+        assert_eq!(view.attribute(AttributeType::ReplyMessage), None);
+    }
+
+    #[test]
+    fn view_rejects_what_decode_rejects() {
+        // Each corruption family must fail identically on both paths.
+        let mut wire = sample().encode();
+        wire.extend_from_slice(&[0u8; 3]); // padding: still fine
+        assert_eq!(
+            PacketView::parse(&wire).map(|v| v.to_packet()),
+            Packet::decode(&wire)
+        );
+        wire[0] = 77; // unknown code
+        assert_eq!(
+            PacketView::parse(&wire).unwrap_err(),
+            Packet::decode(&wire).unwrap_err()
+        );
+        assert_eq!(
+            PacketView::parse(&[1, 2, 3]).unwrap_err(),
+            PacketError::TooShort
+        );
+        let mut short = sample().encode();
+        let last = short.len() - 4;
+        short[last] = 250; // attribute runs past the packet
+        assert_eq!(
+            PacketView::parse(&short).unwrap_err(),
+            Packet::decode(&short).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn view_iterates_repeated_attributes_in_order() {
+        let p = Packet::new(Code::AccessRequest, 1, [0u8; 16])
+            .with_attribute(Attribute::new(AttributeType::ProxyState, vec![1]))
+            .with_attribute(Attribute::new(AttributeType::ProxyState, vec![2]));
+        let wire = p.encode();
+        let view = PacketView::parse(&wire).unwrap();
+        let states: Vec<&[u8]> = view
+            .attributes_of(AttributeType::ProxyState)
+            .map(|a| a.value)
+            .collect();
+        assert_eq!(states, vec![&[1u8][..], &[2u8][..]]);
     }
 }

@@ -8,8 +8,8 @@
 //! handlers plug into.
 
 use crate::attribute::{Attribute, AttributeType};
-use crate::auth::{recover_password, seal_response};
-use crate::packet::{Code, Packet};
+use crate::auth::{recover_password_into, seal_wire};
+use crate::packet::{Code, Packet, PacketView};
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,6 +35,15 @@ pub trait Handler: Send + Sync {
     /// it is the null request that starts a challenge round or triggers an
     /// SMS send (§3.3).
     fn handle(&self, request: &Packet, password: Option<&[u8]>) -> ServerDecision;
+
+    /// Decide on a zero-copy [`PacketView`] of the request. The default
+    /// bridges through an owned copy so existing handlers keep working;
+    /// hot-path handlers (the OTP handler) override it to read usernames,
+    /// trace contexts and source addresses straight out of the receive
+    /// buffer, keeping the batched ingest loop allocation-free on decode.
+    fn handle_view(&self, request: &PacketView<'_>, password: Option<&[u8]>) -> ServerDecision {
+        self.handle(&request.to_packet(), password)
+    }
 }
 
 impl<F> Handler for F
@@ -76,26 +85,43 @@ impl RadiusServer {
     }
 
     /// Process one raw datagram; `Some(reply_bytes)` or `None` to discard.
+    /// Thin allocating wrapper over [`RadiusServer::process_into`].
     pub fn process_datagram(&self, data: &[u8]) -> Option<Vec<u8>> {
+        let mut reply = Vec::new();
+        let mut pw_scratch = Vec::new();
+        self.process_into(data, &mut reply, &mut pw_scratch)
+            .then_some(reply)
+    }
+
+    /// The zero-copy request path: parse `data` as a borrowed
+    /// [`PacketView`] (no per-attribute allocation), recover the password
+    /// into `pw_scratch`, dispatch to the handler's view entry point, and
+    /// encode + seal the reply directly into `reply`. Both buffers are
+    /// cleared and refilled — workers on the batched ingest loop reuse
+    /// theirs across datagrams, so the steady-state path performs no heap
+    /// allocation for decode, password recovery, reply encoding or
+    /// sealing. Returns `false` (empty `reply`) on discard.
+    pub fn process_into(&self, data: &[u8], reply: &mut Vec<u8>, pw_scratch: &mut Vec<u8>) -> bool {
+        reply.clear();
         self.stats.received.fetch_add(1, Ordering::Relaxed);
-        let request = match Packet::decode(data) {
-            Ok(p) => p,
-            Err(_) => {
-                self.stats.discarded.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
+        let Ok(request) = PacketView::parse(data) else {
+            self.stats.discarded.fetch_add(1, Ordering::Relaxed);
+            return false;
         };
         // Only Access-Requests are valid inbound traffic here.
         if request.code != Code::AccessRequest {
             self.stats.discarded.fetch_add(1, Ordering::Relaxed);
-            return None;
+            return false;
         }
-        let password = request
-            .attribute(AttributeType::UserPassword)
-            .and_then(|a| recover_password(&a.value, &request.authenticator, &self.secret));
+        let mut password: Option<&[u8]> = None;
+        if let Some(a) = request.attribute(AttributeType::UserPassword) {
+            if recover_password_into(a.value, request.authenticator(), &self.secret, pw_scratch) {
+                password = Some(pw_scratch.as_slice());
+            }
+        }
 
-        let decision = self.handler.handle(&request, password.as_deref());
-        let (code, mut attrs) = match decision {
+        let decision = self.handler.handle_view(&request, password);
+        let (code, attrs) = match decision {
             ServerDecision::Accept(a) => (Code::AccessAccept, a),
             ServerDecision::Reject(a) => (Code::AccessReject, a),
             ServerDecision::Challenge(a) => {
@@ -107,20 +133,32 @@ impl RadiusServer {
             }
             ServerDecision::Discard => {
                 self.stats.discarded.fetch_add(1, Ordering::Relaxed);
-                return None;
+                return false;
             }
         };
 
-        // RFC 2865 §5.33: echo Proxy-State attributes unmodified, in order.
-        for ps in request.attributes_of(AttributeType::ProxyState) {
-            attrs.push(ps.clone());
+        // Encode the reply in place: header, decision attributes, then —
+        // RFC 2865 §5.33 — the request's Proxy-State attributes echoed
+        // unmodified in order, copied straight from the receive buffer.
+        reply.push(code.code());
+        reply.push(request.identifier);
+        reply.extend_from_slice(&[0, 0]); // length, patched below
+        reply.extend_from_slice(request.authenticator());
+        for attr in &attrs {
+            attr.encode(reply);
         }
-
-        let mut response = Packet::new(code, request.identifier, [0u8; 16]);
-        response.attributes = attrs;
-        seal_response(&mut response, &request.authenticator, &self.secret);
+        for ps in request.attributes_of(AttributeType::ProxyState) {
+            ps.encode(reply);
+        }
+        debug_assert!(
+            reply.len() <= crate::MAX_PACKET_LEN,
+            "reply exceeds RFC maximum"
+        );
+        let len = (reply.len() as u16).to_be_bytes();
+        reply[2..4].copy_from_slice(&len);
+        seal_wire(reply, request.authenticator(), &self.secret);
         self.stats.replied.fetch_add(1, Ordering::Relaxed);
-        Some(response.encode())
+        true
     }
 
     /// The shared secret (used by proxies re-hiding passwords upstream).

@@ -28,7 +28,7 @@
 //! [`TraceClock`]: hpcmfa_telemetry::TraceClock
 
 use crate::attribute::{Attribute, AttributeType};
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketView};
 use hpcmfa_telemetry::{SpanId, TraceId};
 
 /// RFC 5612 documentation enterprise number, used as our vendor id.
@@ -89,7 +89,14 @@ pub fn decode_trace_ctx(attr: &Attribute) -> Option<WireTraceCtx> {
     if attr.ty != AttributeType::VendorSpecific {
         return None;
     }
-    let v = &attr.value;
+    decode_trace_ctx_bytes(&attr.value)
+}
+
+/// [`decode_trace_ctx`] on the raw Vendor-Specific value bytes — the
+/// borrowed-slice form the zero-copy ingest path uses (no owned
+/// [`Attribute`] ever exists there). Parity with the owned path is
+/// property tested.
+pub fn decode_trace_ctx_bytes(v: &[u8]) -> Option<WireTraceCtx> {
     if v.len() != 14 && v.len() != 30 {
         return None;
     }
@@ -137,6 +144,13 @@ pub fn trace_ctx_of(packet: &Packet) -> Option<WireTraceCtx> {
         .find_map(decode_trace_ctx)
 }
 
+/// The full trace context carried by a borrowed packet view, if any
+/// (first matching VSA wins). Zero-copy: value bytes are read in place.
+pub fn trace_ctx_of_view(view: &PacketView<'_>) -> Option<WireTraceCtx> {
+    view.attributes_of(AttributeType::VendorSpecific)
+        .find_map(|a| decode_trace_ctx_bytes(a.value))
+}
+
 /// Encode a responder's clock (µs after its processing costs) as the
 /// response-side sub-attribute.
 pub fn clock_attribute(clock_us: u64) -> Attribute {
@@ -150,10 +164,18 @@ pub fn clock_attribute(clock_us: u64) -> Attribute {
 
 /// Decode the responder clock from one Vendor-Specific attribute.
 pub fn decode_clock(attr: &Attribute) -> Option<u64> {
-    if attr.ty != AttributeType::VendorSpecific || attr.value.len() != 14 {
+    if attr.ty != AttributeType::VendorSpecific {
         return None;
     }
-    let v = &attr.value;
+    decode_clock_bytes(&attr.value)
+}
+
+/// [`decode_clock`] on the raw Vendor-Specific value bytes (borrowed
+/// form, see [`decode_trace_ctx_bytes`]).
+pub fn decode_clock_bytes(v: &[u8]) -> Option<u64> {
+    if v.len() != 14 {
+        return None;
+    }
     let vendor = u32::from_be_bytes(v[0..4].try_into().ok()?);
     if vendor != TRACE_VENDOR_ID || v[4] != CLOCK_VENDOR_TYPE || v[5] != 10 {
         return None;
@@ -167,6 +189,12 @@ pub fn clock_of(packet: &Packet) -> Option<u64> {
         .attributes_of(AttributeType::VendorSpecific)
         .into_iter()
         .find_map(decode_clock)
+}
+
+/// The responder clock carried by a borrowed packet view, if any.
+pub fn clock_of_view(view: &PacketView<'_>) -> Option<u64> {
+    view.attributes_of(AttributeType::VendorSpecific)
+        .find_map(|a| decode_clock_bytes(a.value))
 }
 
 #[cfg(test)]

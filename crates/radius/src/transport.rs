@@ -46,6 +46,17 @@ pub trait Transport: Send + Sync {
     /// Send `request` bytes, wait for the reply bytes.
     fn exchange(&self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
 
+    /// [`Transport::exchange`] into a caller-provided buffer (cleared
+    /// first). The client walk reuses one reply buffer across retries and
+    /// servers, so per-attempt allocation disappears from the hot path.
+    /// The default copies; [`UdpTransport`] receives straight into `reply`.
+    fn exchange_into(&self, request: &[u8], reply: &mut Vec<u8>) -> Result<(), TransportError> {
+        let r = self.exchange(request)?;
+        reply.clear();
+        reply.extend_from_slice(&r);
+        Ok(())
+    }
+
     /// Diagnostic name for logs and stats.
     fn name(&self) -> String;
 
@@ -238,10 +249,25 @@ impl Transport for InMemoryTransport {
     }
 }
 
-/// Real-UDP transport: one ephemeral socket per exchange.
+/// Real-UDP transport over one persistent socket.
+///
+/// Earlier revisions bound a fresh ephemeral socket and allocated a fresh
+/// receive buffer for every exchange; at wire rate both dominated the
+/// syscall budget. The socket is now bound lazily on first use and kept
+/// for the transport's lifetime, and one receive buffer (guarded together
+/// with the socket) is reused across exchanges.
+///
+/// Reusing a socket means a reply to a *timed-out earlier* exchange can
+/// still be queued when the next exchange starts, so receives drain any
+/// datagram whose RADIUS identifier byte does not match the in-flight
+/// request until the deadline — a stale reply must surface as the original
+/// timeout, never as an identifier mismatch on the next request.
 pub struct UdpTransport {
     server_addr: SocketAddr,
     timeout: Duration,
+    /// Lazily-bound socket plus the reusable receive buffer; one lock
+    /// serializes exchanges so replies cannot cross between callers.
+    io: parking_lot::Mutex<Option<(UdpSocket, Box<[u8; crate::MAX_PACKET_LEN]>)>>,
 }
 
 impl UdpTransport {
@@ -250,28 +276,51 @@ impl UdpTransport {
         UdpTransport {
             server_addr,
             timeout,
+            io: parking_lot::Mutex::new(None),
         }
     }
 }
 
 impl Transport for UdpTransport {
     fn exchange(&self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
-        let sock =
-            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| TransportError::Io(e.to_string()))?;
-        sock.set_read_timeout(Some(self.timeout))
-            .map_err(|e| TransportError::Io(e.to_string()))?;
-        sock.send_to(request, self.server_addr)
-            .map_err(|e| TransportError::Io(e.to_string()))?;
-        let mut buf = [0u8; crate::MAX_PACKET_LEN];
-        match sock.recv_from(&mut buf) {
-            Ok((n, _)) => Ok(buf[..n].to_vec()),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Err(TransportError::Timeout)
+        let mut reply = Vec::new();
+        self.exchange_into(request, &mut reply)?;
+        Ok(reply)
+    }
+
+    fn exchange_into(&self, request: &[u8], reply: &mut Vec<u8>) -> Result<(), TransportError> {
+        reply.clear();
+        let io_err = |e: std::io::Error| TransportError::Io(e.to_string());
+        let mut guard = self.io.lock();
+        if guard.is_none() {
+            let sock = UdpSocket::bind(("127.0.0.1", 0)).map_err(io_err)?;
+            *guard = Some((sock, Box::new([0u8; crate::MAX_PACKET_LEN])));
+        }
+        let (sock, buf) = guard.as_mut().expect("socket bound above");
+        sock.send_to(request, self.server_addr).map_err(io_err)?;
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout);
             }
-            Err(e) => Err(TransportError::Io(e.to_string())),
+            sock.set_read_timeout(Some(remaining)).map_err(io_err)?;
+            match sock.recv_from(buf.as_mut()) {
+                // Drain stale replies (identifier byte differs from the
+                // in-flight request's) left over from timed-out exchanges.
+                Ok((n, _)) if n >= 2 && request.len() >= 2 && buf[1] != request[1] => continue,
+                Ok((n, _)) => {
+                    reply.extend_from_slice(&buf[..n]);
+                    return Ok(());
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(TransportError::Timeout)
+                }
+                Err(e) => return Err(io_err(e)),
+            }
         }
     }
 

@@ -1,11 +1,14 @@
-//! End-to-end RADIUS over real UDP sockets: proves the wire format and the
-//! serve loop work outside the in-memory harness.
+//! End-to-end RADIUS over real UDP sockets: proves the wire format, the
+//! serve loops (single-threaded and batched) and the batch fairness quota
+//! work outside the in-memory harness.
 
 use hpcmfa_radius::attribute::{Attribute, AttributeType};
 use hpcmfa_radius::client::{ClientConfig, Outcome, RadiusClient};
-use hpcmfa_radius::packet::Packet;
+use hpcmfa_radius::ingest::{BatchedUdpServer, IngestConfig, Lane};
+use hpcmfa_radius::packet::{Code, Packet};
 use hpcmfa_radius::server::{RadiusServer, ServerDecision};
 use hpcmfa_radius::transport::{Transport, UdpTransport};
+use hpcmfa_telemetry::MetricsRegistry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::UdpSocket;
@@ -155,6 +158,157 @@ fn udp_garbled_reply_fails_over_to_healthy_server() {
     good_stop.store(true, Ordering::SeqCst);
     junk_handle.join().unwrap();
     good_handle.join().unwrap();
+}
+
+#[test]
+fn udp_batched_ingest_serves_clients() {
+    // The batched front end must be drop-in behind the same wire format.
+    let handler = Arc::new(|_req: &Packet, pw: Option<&[u8]>| match pw {
+        Some(b"654321") => ServerDecision::Accept(vec![]),
+        _ => ServerDecision::Reject(vec![]),
+    });
+    let server = Arc::new(RadiusServer::new(SECRET, handler));
+    let socket = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = socket.local_addr().unwrap();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let handle = BatchedUdpServer::new(server, Arc::new(MetricsRegistry::new()))
+        .serve(socket, Arc::clone(&shutdown));
+
+    let transport: Arc<dyn Transport> =
+        Arc::new(UdpTransport::new(addr, Duration::from_millis(500)));
+    let client = RadiusClient::new(ClientConfig::new(SECRET, "login-udp"), vec![transport]);
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..16 {
+        let out = client
+            .authenticate(&mut rng, "alice", b"654321", "192.0.2.7")
+            .expect("accept");
+        assert!(matches!(out, Outcome::Accept { .. }));
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    handle.join();
+}
+
+#[test]
+fn udp_batch_fairness_flood_does_not_starve_trusted() {
+    let handler = Arc::new(|_req: &Packet, _pw: Option<&[u8]>| ServerDecision::Accept(vec![]));
+    let server = Arc::new(RadiusServer::new(SECRET, handler));
+    let metrics = Arc::new(MetricsRegistry::new());
+    let socket = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = socket.local_addr().unwrap();
+
+    let trusted = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let flood = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let trusted_port = trusted.local_addr().unwrap().port();
+
+    // Queue the whole scenario in the kernel buffer before serving starts,
+    // so one batch drain sees the flood and the trusted datagrams
+    // together: 40 best-effort datagrams first (the starvation shape),
+    // then 8 trusted ones at the back of the queue.
+    let request = |id: u8| {
+        Packet::new(
+            Code::AccessRequest,
+            id,
+            hpcmfa_radius::auth::fixture_authenticator("fair"),
+        )
+        .with_attribute(Attribute::text(AttributeType::UserName, "alice"))
+        .encode()
+    };
+    for id in 0..40u8 {
+        flood.send_to(&request(id), addr).unwrap();
+    }
+    for id in 200..208u8 {
+        trusted.send_to(&request(id), addr).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let config = IngestConfig {
+        batch_max: 64,
+        best_effort_batch_quota: 16,
+        ..IngestConfig::default()
+    };
+    let handle = BatchedUdpServer::with_config(server, Arc::clone(&metrics), config)
+        .classify_with(move |peer, _| {
+            if peer.port() == trusted_port {
+                Lane::Trusted
+            } else {
+                Lane::BestEffort
+            }
+        })
+        .serve(socket, Arc::clone(&shutdown));
+
+    // Every trusted datagram is answered even though 40 best-effort ones
+    // sat ahead of it in the same drain.
+    trusted
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    let mut answered = std::collections::HashSet::new();
+    for _ in 0..8 {
+        let (n, _) = trusted.recv_from(&mut buf).expect("trusted reply");
+        let resp = Packet::decode(&buf[..n]).unwrap();
+        assert_eq!(resp.code, Code::AccessAccept);
+        assert!((200..208).contains(&resp.identifier));
+        answered.insert(resp.identifier);
+    }
+    assert_eq!(answered.len(), 8, "all trusted datagrams answered");
+
+    // Wait for every datagram's *outcome* (replied, discarded or shed), not
+    // just the socket drain — replies land on workers after `received`.
+    let done = |s: hpcmfa_radius::IngestStats| s.replied + s.discarded + s.shed >= 48;
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while !done(handle.stats()) && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    let stats = handle.stats();
+    handle.join();
+    assert_eq!(stats.received, 48);
+    assert!(
+        stats.shed > 0,
+        "flood beyond the quota should shed, got {stats:?}"
+    );
+    // Shed datagrams were never processed and never answered.
+    assert_eq!(stats.replied + stats.shed, 48, "{stats:?}");
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counter("hpcmfa_radius_datagrams_total{outcome=\"shed\"}"),
+        stats.shed
+    );
+    assert!(snap.histogram("hpcmfa_radius_ingest_batch_size").is_some());
+}
+
+#[test]
+fn udp_transport_reuses_socket_and_skips_stale_replies() {
+    // A slow-then-answered exchange: the first request times out, but its
+    // late reply is still queued when the retry runs on the same socket.
+    // The transport must skip the stale datagram (identifier mismatch),
+    // not surface it as the answer to the second request.
+    let socket = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let addr = socket.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut buf = [0u8; 4096];
+        // First request: reply late (after the client's timeout).
+        let (n, peer) = socket.recv_from(&mut buf).unwrap();
+        let first: Vec<u8> = buf[..n].to_vec();
+        std::thread::sleep(Duration::from_millis(200));
+        let _ = socket.send_to(&first, peer); // echo = same identifier
+                                              // Second request: reply immediately.
+        let (n, peer) = socket.recv_from(&mut buf).unwrap();
+        let _ = socket.send_to(&buf[..n], peer);
+    });
+
+    let transport = UdpTransport::new(addr, Duration::from_millis(100));
+    let req1 = [1u8, 7, 0, 20, 0, 0, 0, 0];
+    let req2 = [1u8, 9, 0, 20, 0, 0, 0, 0];
+    assert_eq!(
+        transport.exchange(&req1).unwrap_err(),
+        hpcmfa_radius::transport::TransportError::Timeout
+    );
+    std::thread::sleep(Duration::from_millis(250)); // stale reply arrives
+    let reply = transport.exchange(&req2).expect("fresh reply");
+    assert_eq!(reply[1], 9, "got the stale reply for identifier 7");
+    server.join().unwrap();
 }
 
 #[test]

@@ -95,6 +95,21 @@ for key in '"bench":"trace_overhead"' '"noop":' '"instrumented":' \
         || { echo "BENCH_trace_smoke.json missing $key"; exit 1; }
 done
 
+echo "==> zero-copy decode parity props + batched ingest acceptance"
+cargo test -q --offline -p hpcmfa-radius --test view_props
+cargo test -q --offline -p hpcmfa-radius --test udp udp_batch_fairness_flood_does_not_starve_trusted
+cargo test -q --offline --test udp_ingest
+
+echo "==> udp-bench smoke (>=3x vs thread-per-request, zero-alloc decode) + BENCH_udp.json schema"
+cargo build --release --offline -q -p hpcmfa-bench --bin udp
+./target/release/udp --datagrams 4000 \
+    --out target/BENCH_udp_smoke.json --check >/dev/null
+for key in '"bench":"udp"' '"thread_per_request":' '"batched":' \
+    '"view_allocs_total":0' '"speedup_vs_thread_per_request":'; do
+    grep -q "$key" target/BENCH_udp_smoke.json \
+        || { echo "BENCH_udp_smoke.json missing $key"; exit 1; }
+done
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
